@@ -1,0 +1,130 @@
+//! Shared harness for regenerating every table and figure of the paper's
+//! evaluation (§6).
+//!
+//! Each `repro_*` binary in `src/bin/` prints the rows/series of one paper
+//! artifact; the Criterion benches in `benches/` provide statistically
+//! sound micro-timings of the same code paths. EXPERIMENTS.md records
+//! paper-vs-measured for each.
+
+use std::time::Instant;
+
+use indaas_core::CandidateDeployment;
+use indaas_deps::DepDb;
+use indaas_topology::{FatTree, FatTreeConfig};
+
+/// Wall-clock timing helper.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+/// The Figure 7 workload: a `num_servers`-way redundancy deployment across
+/// distinct pods of a fat tree, with full network/hardware/software
+/// dependency records. Returns the populated DepDB and the candidate
+/// deployment.
+///
+/// `max_paths` caps per-server ECMP path enumeration (Table 3's topology C
+/// has 576 paths per server; the paper materializes all of them, which is
+/// also the default here — pass a cap to scale down).
+pub fn fig7_workload(
+    config: FatTreeConfig,
+    num_servers: usize,
+    max_paths: Option<usize>,
+) -> (DepDb, CandidateDeployment) {
+    let tree = FatTree::new(FatTreeConfig {
+        max_paths_per_server: max_paths.or(config.max_paths_per_server),
+        ..config
+    });
+    assert!(
+        num_servers <= tree.config().ports,
+        "one server per pod at most"
+    );
+    // One server per pod, first ToR, first slot.
+    let coords: Vec<(usize, usize, usize)> = (0..num_servers).map(|p| (p, 0, 0)).collect();
+    let records = tree.deployment_records(&coords);
+    let servers: Vec<String> = coords
+        .iter()
+        .map(|&(p, e, s)| tree.server_name(p, e, s))
+        .collect();
+    let name = format!(
+        "{}-way deployment on {} ({} devices)",
+        num_servers,
+        match tree.config().ports {
+            16 => "topology A",
+            24 => "topology B",
+            48 => "topology C",
+            p =>
+                return (
+                    DepDb::from_records(records),
+                    CandidateDeployment::replicated(
+                        format!("{num_servers}-way on {p}-port fat tree"),
+                        servers
+                    )
+                ),
+        },
+        tree.total_devices()
+    );
+    (
+        DepDb::from_records(records),
+        CandidateDeployment::replicated(name, servers),
+    )
+}
+
+/// Synthetic provider component sets for Figures 8 and 9: `n` elements per
+/// provider, a `shared` fraction drawn from a common pool (so intersections
+/// are non-trivial and the KS chain runs all rounds).
+pub fn synthetic_datasets(k: usize, n: usize, shared: f64) -> Vec<Vec<String>> {
+    assert!((0.0..=1.0).contains(&shared));
+    let n_shared = (n as f64 * shared) as usize;
+    (0..k)
+        .map(|p| {
+            let mut v: Vec<String> = (0..n_shared).map(|i| format!("shared-{i}")).collect();
+            v.extend((n_shared..n).map(|i| format!("p{p}-local-{i}")));
+            v
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig7_workload_shapes() {
+        let (db, cand) = fig7_workload(
+            FatTreeConfig {
+                ports: 4,
+                max_paths_per_server: None,
+            },
+            3,
+            None,
+        );
+        assert_eq!(cand.servers.len(), 3);
+        for s in &cand.servers {
+            assert_eq!(db.network_deps(s).len(), 4); // (k/2)^2 paths.
+            assert_eq!(db.hardware_deps(s).len(), 2);
+            assert_eq!(db.software_deps(s).len(), 1);
+        }
+    }
+
+    #[test]
+    fn synthetic_datasets_overlap() {
+        let sets = synthetic_datasets(3, 100, 0.4);
+        assert_eq!(sets.len(), 3);
+        for s in &sets {
+            assert_eq!(s.len(), 100);
+        }
+        let shared: Vec<_> = sets[0].iter().filter(|e| e.starts_with("shared")).collect();
+        assert_eq!(shared.len(), 40);
+        assert!(sets[1].contains(&"shared-0".to_string()));
+        assert!(!sets[1].contains(&"p0-local-50".to_string()));
+    }
+
+    #[test]
+    fn timed_returns_value() {
+        let (v, secs) = timed(|| 41 + 1);
+        assert_eq!(v, 42);
+        assert!(secs >= 0.0);
+    }
+}

@@ -1,0 +1,195 @@
+//! Division and remainder: single-word fast path and Knuth Algorithm D.
+
+use crate::uint::BigUint;
+
+impl BigUint {
+    /// Divides by a single word, returning `(quotient, remainder)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is zero.
+    pub fn divrem_u64(&self, d: u64) -> (BigUint, u64) {
+        assert!(d != 0, "division by zero");
+        if self.is_zero() {
+            return (BigUint::zero(), 0);
+        }
+        let mut q = vec![0u64; self.limbs.len()];
+        let mut rem: u128 = 0;
+        for i in (0..self.limbs.len()).rev() {
+            let cur = (rem << 64) | self.limbs[i] as u128;
+            q[i] = (cur / d as u128) as u64;
+            rem = cur % d as u128;
+        }
+        (BigUint::from_limbs(q), rem as u64)
+    }
+
+    /// Divides, returning `(quotient, remainder)`.
+    ///
+    /// Uses the single-word fast path when the divisor fits in one limb and
+    /// Knuth's Algorithm D otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    pub fn divrem(&self, divisor: &BigUint) -> (BigUint, BigUint) {
+        assert!(!divisor.is_zero(), "division by zero");
+        if self < divisor {
+            return (BigUint::zero(), self.clone());
+        }
+        if divisor.limbs.len() == 1 {
+            let (q, r) = self.divrem_u64(divisor.limbs[0]);
+            return (q, BigUint::from_u64(r));
+        }
+        self.divrem_knuth(divisor)
+    }
+
+    /// Computes `self mod m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    pub fn rem(&self, m: &BigUint) -> BigUint {
+        self.divrem(m).1
+    }
+
+    /// Knuth TAOCP vol. 2, Algorithm 4.3.1 D, on 64-bit limbs.
+    fn divrem_knuth(&self, divisor: &BigUint) -> (BigUint, BigUint) {
+        let n = divisor.limbs.len();
+        debug_assert!(n >= 2);
+
+        // D1: normalize so the divisor's top limb has its high bit set.
+        let shift = divisor.limbs[n - 1].leading_zeros() as usize;
+        let v = divisor << shift;
+        let mut u = (self << shift).limbs;
+        let m = u.len() - n;
+        u.push(0); // Extra high limb for the partial remainders.
+
+        let vn1 = v.limbs[n - 1];
+        let vn2 = v.limbs[n - 2];
+        let mut q = vec![0u64; m + 1];
+
+        // D2-D7: main loop over quotient digits, most significant first.
+        for j in (0..=m).rev() {
+            // D3: estimate the quotient digit from the top two limbs.
+            let num = ((u[j + n] as u128) << 64) | u[j + n - 1] as u128;
+            let mut qhat = num / vn1 as u128;
+            let mut rhat = num % vn1 as u128;
+            while qhat >> 64 != 0 || qhat * vn2 as u128 > ((rhat << 64) | u[j + n - 2] as u128) {
+                qhat -= 1;
+                rhat += vn1 as u128;
+                if rhat >> 64 != 0 {
+                    break;
+                }
+            }
+
+            // D4: multiply and subtract qhat * v from u[j..j+n+1].
+            let mut borrow: i128 = 0;
+            let mut carry: u128 = 0;
+            for i in 0..n {
+                let p = qhat * v.limbs[i] as u128 + carry;
+                carry = p >> 64;
+                let sub = (u[j + i] as i128) - (p as u64 as i128) - borrow;
+                u[j + i] = sub as u64;
+                borrow = if sub < 0 { 1 } else { 0 };
+            }
+            let sub = (u[j + n] as i128) - (carry as i128) - borrow;
+            u[j + n] = sub as u64;
+
+            // D5/D6: if we subtracted too much, add the divisor back once.
+            if sub < 0 {
+                qhat -= 1;
+                let mut carry: u128 = 0;
+                for i in 0..n {
+                    let t = u[j + i] as u128 + v.limbs[i] as u128 + carry;
+                    u[j + i] = t as u64;
+                    carry = t >> 64;
+                }
+                u[j + n] = u[j + n].wrapping_add(carry as u64);
+            }
+            q[j] = qhat as u64;
+        }
+
+        // D8: denormalize the remainder.
+        let r = BigUint::from_limbs(u[..n].to_vec()) >> shift;
+        (BigUint::from_limbs(q), r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn rand_biguint(rng: &mut impl Rng, limbs: usize) -> BigUint {
+        let v: Vec<u64> = (0..limbs).map(|_| rng.next_u64()).collect();
+        BigUint::from_limbs(v)
+    }
+
+    #[test]
+    fn divrem_u64_small() {
+        let a = BigUint::from_u64(1000);
+        let (q, r) = a.divrem_u64(7);
+        assert_eq!(q, BigUint::from_u64(142));
+        assert_eq!(r, 6);
+    }
+
+    #[test]
+    fn divrem_smaller_dividend() {
+        let a = BigUint::from_u64(3);
+        let b = BigUint::from_limbs(vec![0, 1]);
+        let (q, r) = a.divrem(&b);
+        assert!(q.is_zero());
+        assert_eq!(r, a);
+    }
+
+    #[test]
+    fn divrem_exact() {
+        let b = BigUint::from_hex("ffffffffffffffffffffffffffffffffffffffff").unwrap();
+        let q0 = BigUint::from_hex("123456789abcdef01234").unwrap();
+        let a = &b * &q0;
+        let (q, r) = a.divrem(&b);
+        assert_eq!(q, q0);
+        assert!(r.is_zero());
+    }
+
+    #[test]
+    fn divrem_identity_randomized() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0xd1d1);
+        for _ in 0..200 {
+            let la = 1 + (rng.next_u64() % 12) as usize;
+            let lb = 1 + (rng.next_u64() % 8) as usize;
+            let a = rand_biguint(&mut rng, la);
+            let b = rand_biguint(&mut rng, lb);
+            if b.is_zero() {
+                continue;
+            }
+            let (q, r) = a.divrem(&b);
+            assert!(r < b, "remainder must be below divisor");
+            assert_eq!(&(&q * &b) + &r, a, "a = q*b + r must hold");
+        }
+    }
+
+    #[test]
+    fn divrem_triggers_addback() {
+        // Crafted case known to exercise the D6 add-back path:
+        // u = 2^128 - 1, v = 2^64 + 3.
+        let a = BigUint::from_limbs(vec![u64::MAX, u64::MAX]);
+        let b = BigUint::from_limbs(vec![3, 1]);
+        let (q, r) = a.divrem(&b);
+        assert_eq!(&(&q * &b) + &r, a);
+        assert!(r < b);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn divide_by_zero_panics() {
+        let _ = BigUint::from_u64(1).divrem(&BigUint::zero());
+    }
+
+    #[test]
+    fn rem_matches_divrem() {
+        let a = BigUint::from_hex("deadbeefdeadbeefdeadbeefdeadbeef11").unwrap();
+        let m = BigUint::from_hex("fedcba987654321").unwrap();
+        assert_eq!(a.rem(&m), a.divrem(&m).1);
+    }
+}

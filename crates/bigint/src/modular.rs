@@ -1,0 +1,339 @@
+//! Modular arithmetic: Montgomery contexts, modular exponentiation and
+//! extended-Euclid inverses.
+
+use crate::uint::BigUint;
+use crate::BigIntError;
+
+/// A reusable Montgomery reduction context for a fixed odd modulus.
+///
+/// Exponentiations against the same modulus (the common case in the INDaaS
+/// P-SOP ring protocol, where every element is encrypted under the same
+/// group) share the precomputed `R^2 mod n` and `-n^{-1} mod 2^64` values.
+#[derive(Clone, Debug)]
+pub struct Montgomery {
+    n: BigUint,
+    /// Number of limbs in the modulus (the Montgomery "k").
+    k: usize,
+    /// `-n[0]^{-1} mod 2^64`.
+    n0inv: u64,
+    /// `R^2 mod n` where `R = 2^(64k)`.
+    rr: BigUint,
+}
+
+impl Montgomery {
+    /// Creates a context for odd modulus `n`.
+    ///
+    /// Returns `None` if `n` is zero or even.
+    pub fn new(n: &BigUint) -> Option<Self> {
+        if n.is_zero() || n.is_even() {
+            return None;
+        }
+        let k = n.limbs().len();
+        let n0inv = inv64(n.limbs()[0]).wrapping_neg();
+        // R^2 mod n computed by shifting; runs once per modulus.
+        let r2 = (&BigUint::one() << (128 * k)).rem(n);
+        Some(Montgomery {
+            n: n.clone(),
+            k,
+            n0inv,
+            rr: r2,
+        })
+    }
+
+    /// The modulus this context reduces against.
+    pub fn modulus(&self) -> &BigUint {
+        &self.n
+    }
+
+    /// Montgomery reduction of a (at most) `2k`-limb value `t`:
+    /// returns `t * R^{-1} mod n`.
+    fn redc(&self, t: &BigUint) -> BigUint {
+        let k = self.k;
+        let mut limbs = t.limbs().to_vec();
+        limbs.resize(2 * k + 1, 0);
+        for i in 0..k {
+            let m = limbs[i].wrapping_mul(self.n0inv);
+            // limbs += m * n << (64*i)
+            let mut carry: u128 = 0;
+            for (j, &nj) in self.n.limbs().iter().enumerate() {
+                let tot = limbs[i + j] as u128 + m as u128 * nj as u128 + carry;
+                limbs[i + j] = tot as u64;
+                carry = tot >> 64;
+            }
+            let mut idx = i + k;
+            while carry != 0 {
+                let tot = limbs[idx] as u128 + carry;
+                limbs[idx] = tot as u64;
+                carry = tot >> 64;
+                idx += 1;
+            }
+        }
+        let reduced = BigUint::from_limbs(limbs[k..].to_vec());
+        if reduced >= self.n {
+            reduced.checked_sub(&self.n).expect("reduced >= n")
+        } else {
+            reduced
+        }
+    }
+
+    /// Converts into Montgomery form: `a * R mod n`.
+    fn to_mont(&self, a: &BigUint) -> BigUint {
+        self.redc(&(a * &self.rr))
+    }
+
+    /// Multiplies two Montgomery-form values.
+    fn mont_mul(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        self.redc(&(a * b))
+    }
+
+    /// Computes `base^exp mod n` using left-to-right square-and-multiply
+    /// over Montgomery representatives.
+    pub fn modpow(&self, base: &BigUint, exp: &BigUint) -> BigUint {
+        if self.n.is_one() {
+            return BigUint::zero();
+        }
+        let base = base.rem(&self.n);
+        if exp.is_zero() {
+            return BigUint::one();
+        }
+        let mont_base = self.to_mont(&base);
+        let mut acc = self.to_mont(&BigUint::one());
+        for i in (0..exp.bits()).rev() {
+            acc = self.mont_mul(&acc, &acc);
+            if exp.bit(i) {
+                acc = self.mont_mul(&acc, &mont_base);
+            }
+        }
+        self.redc(&acc)
+    }
+}
+
+/// Inverse of odd `x` modulo `2^64`, via Newton–Hensel lifting.
+fn inv64(x: u64) -> u64 {
+    debug_assert!(x & 1 == 1);
+    let mut inv = x; // Correct to 3 bits.
+    for _ in 0..5 {
+        inv = inv.wrapping_mul(2u64.wrapping_sub(x.wrapping_mul(inv)));
+    }
+    debug_assert_eq!(x.wrapping_mul(inv), 1);
+    inv
+}
+
+impl BigUint {
+    /// Computes `self^exp mod m`.
+    ///
+    /// Uses Montgomery exponentiation for odd moduli and a plain
+    /// square-and-multiply with trial division otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    pub fn modpow(&self, exp: &BigUint, m: &BigUint) -> BigUint {
+        assert!(!m.is_zero(), "modpow with zero modulus");
+        if m.is_one() {
+            return BigUint::zero();
+        }
+        if let Some(ctx) = Montgomery::new(m) {
+            return ctx.modpow(self, exp);
+        }
+        // Even modulus: generic square-and-multiply.
+        let mut acc = BigUint::one();
+        let base = self.rem(m);
+        for i in (0..exp.bits()).rev() {
+            acc = (&acc * &acc).rem(m);
+            if exp.bit(i) {
+                acc = (&acc * &base).rem(m);
+            }
+        }
+        acc
+    }
+
+    /// Greatest common divisor (binary-free Euclid; division is fast here).
+    pub fn gcd(&self, other: &BigUint) -> BigUint {
+        let mut a = self.clone();
+        let mut b = other.clone();
+        while !b.is_zero() {
+            let r = a.rem(&b);
+            a = b;
+            b = r;
+        }
+        a
+    }
+
+    /// Modular inverse: `self^{-1} mod m`, if it exists.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BigIntError::NotInvertible`] when `gcd(self, m) != 1` and
+    /// [`BigIntError::DivisionByZero`] when `m` is zero.
+    pub fn modinv(&self, m: &BigUint) -> Result<BigUint, BigIntError> {
+        if m.is_zero() {
+            return Err(BigIntError::DivisionByZero);
+        }
+        if m.is_one() {
+            return Ok(BigUint::zero());
+        }
+        // Extended Euclid with explicit sign tracking for the Bezout
+        // coefficient of `self`.
+        let mut r0 = m.clone();
+        let mut r1 = self.rem(m);
+        let mut t0 = (BigUint::zero(), false); // (magnitude, negative?)
+        let mut t1 = (BigUint::one(), false);
+        while !r1.is_zero() {
+            let (q, r2) = r0.divrem(&r1);
+            // t2 = t0 - q * t1
+            let qt1 = &q * &t1.0;
+            let t2 = signed_sub(&t0, &(qt1, t1.1));
+            r0 = r1;
+            r1 = r2;
+            t0 = t1;
+            t1 = t2;
+        }
+        if !r0.is_one() {
+            return Err(BigIntError::NotInvertible);
+        }
+        let (mag, neg) = t0;
+        let inv = if neg {
+            m.checked_sub(&mag.rem(m))
+                .expect("reduced magnitude below modulus")
+                .rem(m)
+        } else {
+            mag.rem(m)
+        };
+        Ok(inv)
+    }
+}
+
+/// Computes `a - b` over signed magnitudes `(magnitude, negative?)`.
+fn signed_sub(a: &(BigUint, bool), b: &(BigUint, bool)) -> (BigUint, bool) {
+    match (a.1, b.1) {
+        // a - (-b) = a + b ; (-a) - b = -(a + b)
+        (false, true) => (&a.0 + &b.0, false),
+        (true, false) => (&a.0 + &b.0, true),
+        // Same sign: subtract magnitudes.
+        (sa, _) => {
+            if a.0 >= b.0 {
+                (&a.0 - &b.0, sa)
+            } else {
+                (&b.0 - &a.0, !sa)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inv64_on_random_odds() {
+        for x in [1u64, 3, 5, 0xdeadbeef, u64::MAX, 0x1234567890abcdf1] {
+            let odd = x | 1;
+            assert_eq!(odd.wrapping_mul(inv64(odd)), 1);
+        }
+    }
+
+    #[test]
+    fn modpow_small_cases() {
+        let m = BigUint::from_u64(97);
+        let b = BigUint::from_u64(5);
+        // Fermat: 5^96 = 1 mod 97.
+        assert_eq!(b.modpow(&BigUint::from_u64(96), &m), BigUint::one());
+        assert_eq!(b.modpow(&BigUint::zero(), &m), BigUint::one());
+        assert_eq!(b.modpow(&BigUint::one(), &m), b);
+    }
+
+    #[test]
+    fn modpow_even_modulus() {
+        let m = BigUint::from_u64(100);
+        let b = BigUint::from_u64(7);
+        // 7^4 = 2401 = 1 mod 100.
+        assert_eq!(b.modpow(&BigUint::from_u64(4), &m), BigUint::one());
+    }
+
+    #[test]
+    fn modpow_matches_u128_reference() {
+        let m = BigUint::from_u64(0xffff_fffb); // Prime below 2^32.
+        for (b, e) in [(3u64, 1000u64), (0xdead, 12345), (2, 64), (12345, 0)] {
+            let expect = {
+                let mut acc: u128 = 1;
+                let mut base = b as u128 % 0xffff_fffb;
+                let mut exp = e;
+                while exp > 0 {
+                    if exp & 1 == 1 {
+                        acc = acc * base % 0xffff_fffb;
+                    }
+                    base = base * base % 0xffff_fffb;
+                    exp >>= 1;
+                }
+                acc as u64
+            };
+            assert_eq!(
+                BigUint::from_u64(b).modpow(&BigUint::from_u64(e), &m),
+                BigUint::from_u64(expect)
+            );
+        }
+    }
+
+    #[test]
+    fn modpow_large_modulus_roundtrip() {
+        // RSA-style sanity check: (m^e)^d = m mod p for prime p,
+        // e*d = 1 mod p-1.
+        let p = BigUint::from_hex(
+            "ffffffffffffffffc90fdaa22168c234c4c6628b80dc1cd129024e088a67cc74\
+             020bbea63b139b22514a08798e3404ddef9519b3cd3a431b302b0a6df25f1437\
+             4fe1356d6d51c245e485b576625e7ec6f44c42e9a637ed6b0bff5cb6f406b7ed\
+             ee386bfb5a899fa5ae9f24117c4b1fe649286651ece65381ffffffffffffffff",
+        )
+        .unwrap();
+        let pm1 = &p - &BigUint::one();
+        let e = BigUint::from_u64(65537);
+        let d = e.modinv(&pm1).unwrap();
+        let msg = BigUint::from_hex("123456789abcdef0fedcba9876543210").unwrap();
+        let c = msg.modpow(&e, &p);
+        assert_eq!(c.modpow(&d, &p), msg);
+    }
+
+    #[test]
+    fn montgomery_rejects_even_or_zero() {
+        assert!(Montgomery::new(&BigUint::zero()).is_none());
+        assert!(Montgomery::new(&BigUint::from_u64(10)).is_none());
+        assert!(Montgomery::new(&BigUint::from_u64(9)).is_some());
+    }
+
+    #[test]
+    fn gcd_basic() {
+        let a = BigUint::from_u64(48);
+        let b = BigUint::from_u64(36);
+        assert_eq!(a.gcd(&b), BigUint::from_u64(12));
+        assert_eq!(a.gcd(&BigUint::zero()), a);
+        assert_eq!(BigUint::zero().gcd(&b), b);
+    }
+
+    #[test]
+    fn modinv_small() {
+        let m = BigUint::from_u64(97);
+        for x in 1u64..97 {
+            let inv = BigUint::from_u64(x).modinv(&m).unwrap();
+            let prod = (&BigUint::from_u64(x) * &inv).rem(&m);
+            assert_eq!(prod, BigUint::one(), "inverse failed for {x}");
+        }
+    }
+
+    #[test]
+    fn modinv_not_coprime_errors() {
+        let m = BigUint::from_u64(100);
+        assert_eq!(
+            BigUint::from_u64(10).modinv(&m),
+            Err(BigIntError::NotInvertible)
+        );
+    }
+
+    #[test]
+    fn modinv_zero_modulus_errors() {
+        assert_eq!(
+            BigUint::from_u64(10).modinv(&BigUint::zero()),
+            Err(BigIntError::DivisionByZero)
+        );
+    }
+}

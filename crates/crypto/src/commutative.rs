@@ -1,0 +1,221 @@
+//! Pohlig–Hellman commutative encryption over a shared prime-order group.
+//!
+//! P-SOP (§4.2.2) requires a cipher with the commutativity property
+//! `E_K(E_J(m)) = E_J(E_K(m))`. Exponentiation modulo a shared prime `p`
+//! provides it: party `i` holds a secret exponent `e_i` coprime to `p-1`,
+//! encrypts with `m ↦ m^{e_i} mod p`, and exponentiations under different
+//! keys commute. The paper's prototype used commutative RSA (SRA "Mental
+//! Poker" [56]); Pohlig–Hellman [50] over a fixed safe prime is the standard
+//! equivalent that avoids a shared-modulus key ceremony.
+//!
+//! The group is the 1024-bit MODP group from RFC 3526 (a well-known safe
+//! prime), matching the paper's 1024-bit key size in Figure 8.
+
+use indaas_bigint::{BigUint, Montgomery};
+use rand::Rng;
+
+use crate::hash::sha256;
+
+/// The RFC 3526 1024-bit MODP prime (Oakley group 2), in hexadecimal.
+pub const MODP_1024_HEX: &str = "ffffffffffffffffc90fdaa22168c234c4c6628b80dc1cd129024e088a67cc74\
+     020bbea63b139b22514a08798e3404ddef9519b3cd3a431b302b0a6df25f1437\
+     4fe1356d6d51c245e485b576625e7ec6f44c42e9a637ed6b0bff5cb6f406b7ed\
+     ee386bfb5a899fa5ae9f24117c4b1fe649286651ece65381ffffffffffffffff";
+
+/// A party's secret commutative-encryption key: an exponent and its inverse
+/// modulo `p-1`.
+#[derive(Clone, Debug)]
+pub struct CommutativeKey {
+    enc_exp: BigUint,
+    dec_exp: BigUint,
+}
+
+/// Commutative cipher context: the shared group plus a party's secret key.
+///
+/// # Examples
+///
+/// ```
+/// use indaas_crypto::CommutativeCipher;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let alice = CommutativeCipher::generate(&mut rng);
+/// let bob = CommutativeCipher::generate(&mut rng);
+/// let m = alice.hash_to_group(b"libssl 1.0.1");
+/// let both1 = bob.encrypt(&alice.encrypt(&m));
+/// let both2 = alice.encrypt(&bob.encrypt(&m));
+/// assert_eq!(both1, both2); // Order of encryption does not matter.
+/// ```
+pub struct CommutativeCipher {
+    mont: Montgomery,
+    key: CommutativeKey,
+}
+
+impl CommutativeCipher {
+    /// Byte length of a serialized group element / ciphertext.
+    pub const ELEMENT_BYTES: usize = 128;
+
+    /// Generates a fresh key in the shared RFC 3526 group.
+    pub fn generate(rng: &mut impl Rng) -> Self {
+        let p = BigUint::from_hex(MODP_1024_HEX).expect("constant prime parses");
+        Self::with_modulus(p, rng)
+    }
+
+    /// Generates a key for an arbitrary odd prime modulus (tests use small
+    /// groups to keep exhaustive checks cheap).
+    pub fn with_modulus(p: BigUint, rng: &mut impl Rng) -> Self {
+        let p_minus_1 = p.checked_sub(&BigUint::one()).expect("p >= 2");
+        let key = loop {
+            let e = BigUint::random_below(rng, &p_minus_1);
+            if e.is_zero() {
+                continue;
+            }
+            if let Ok(d) = e.modinv(&p_minus_1) {
+                break CommutativeKey {
+                    enc_exp: e,
+                    dec_exp: d,
+                };
+            }
+        };
+        let mont = Montgomery::new(&p).expect("odd prime modulus");
+        CommutativeCipher { mont, key }
+    }
+
+    /// The group modulus.
+    pub fn modulus(&self) -> &BigUint {
+        self.mont.modulus()
+    }
+
+    /// The secret key (exposed for persistence in tests; never sent).
+    pub fn key(&self) -> &CommutativeKey {
+        &self.key
+    }
+
+    /// Deterministically maps arbitrary bytes into the group, via SHA-256.
+    ///
+    /// The digest (256 bits) is always far below the 1024-bit modulus, and is
+    /// non-zero with overwhelming probability, so the map lands in the
+    /// multiplicative group.
+    pub fn hash_to_group(&self, data: &[u8]) -> BigUint {
+        let digest = sha256(data);
+        let v = BigUint::from_bytes_be(&digest);
+        // Extremely unlikely zero digest: map to 1 (still a group element).
+        if v.is_zero() {
+            BigUint::one()
+        } else {
+            v.rem(self.mont.modulus())
+        }
+    }
+
+    /// Encrypts a group element: `m^e mod p`.
+    pub fn encrypt(&self, m: &BigUint) -> BigUint {
+        self.mont.modpow(m, &self.key.enc_exp)
+    }
+
+    /// Decrypts one layer this party added: `c^d mod p`.
+    pub fn decrypt(&self, c: &BigUint) -> BigUint {
+        self.mont.modpow(c, &self.key.dec_exp)
+    }
+
+    /// Serializes a ciphertext to fixed-width bytes (for traffic accounting
+    /// and wire transfer in the simulated network).
+    pub fn element_to_bytes(&self, c: &BigUint) -> Vec<u8> {
+        let width = self.mont.modulus().bits().div_ceil(8);
+        c.to_bytes_be_padded(width)
+    }
+
+    /// Deserializes a ciphertext.
+    pub fn element_from_bytes(&self, bytes: &[u8]) -> BigUint {
+        BigUint::from_bytes_be(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(0xc0ffee)
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip() {
+        let mut r = rng();
+        let c = CommutativeCipher::generate(&mut r);
+        let m = c.hash_to_group(b"router 10.0.0.1");
+        assert_eq!(c.decrypt(&c.encrypt(&m)), m);
+    }
+
+    #[test]
+    fn two_party_commutativity() {
+        let mut r = rng();
+        let a = CommutativeCipher::generate(&mut r);
+        let b = CommutativeCipher::generate(&mut r);
+        let m = a.hash_to_group(b"libc6 2.19");
+        assert_eq!(b.encrypt(&a.encrypt(&m)), a.encrypt(&b.encrypt(&m)));
+    }
+
+    #[test]
+    fn three_party_any_order() {
+        let mut r = rng();
+        let parties: Vec<_> = (0..3)
+            .map(|_| CommutativeCipher::generate(&mut r))
+            .collect();
+        let m = parties[0].hash_to_group(b"core-router-7");
+        let abc = parties[2].encrypt(&parties[1].encrypt(&parties[0].encrypt(&m)));
+        let cba = parties[0].encrypt(&parties[1].encrypt(&parties[2].encrypt(&m)));
+        let bca = parties[0].encrypt(&parties[2].encrypt(&parties[1].encrypt(&m)));
+        assert_eq!(abc, cba);
+        assert_eq!(abc, bca);
+    }
+
+    #[test]
+    fn layered_decrypt_in_any_order() {
+        let mut r = rng();
+        let a = CommutativeCipher::generate(&mut r);
+        let b = CommutativeCipher::generate(&mut r);
+        let m = a.hash_to_group(b"x");
+        let c2 = b.encrypt(&a.encrypt(&m));
+        // Remove layers in the opposite order they were applied, and also in
+        // the same order; both must recover m.
+        assert_eq!(a.decrypt(&b.decrypt(&c2)), m);
+        assert_eq!(b.decrypt(&a.decrypt(&c2)), m);
+    }
+
+    #[test]
+    fn equal_plaintexts_collide_distinct_do_not() {
+        let mut r = rng();
+        let a = CommutativeCipher::generate(&mut r);
+        let b = CommutativeCipher::generate(&mut r);
+        let m1 = a.hash_to_group(b"switch-1");
+        let m2 = a.hash_to_group(b"switch-2");
+        let e1 = b.encrypt(&a.encrypt(&m1));
+        let e1b = a.encrypt(&b.encrypt(&m1));
+        let e2 = b.encrypt(&a.encrypt(&m2));
+        assert_eq!(e1, e1b, "same element must map to same double ciphertext");
+        assert_ne!(e1, e2, "distinct elements must stay distinct");
+    }
+
+    #[test]
+    fn ciphertext_bytes_fixed_width() {
+        let mut r = rng();
+        let a = CommutativeCipher::generate(&mut r);
+        let m = a.hash_to_group(b"element");
+        let c = a.encrypt(&m);
+        let bytes = a.element_to_bytes(&c);
+        assert_eq!(bytes.len(), CommutativeCipher::ELEMENT_BYTES);
+        assert_eq!(a.element_from_bytes(&bytes), c);
+    }
+
+    #[test]
+    fn small_group_exhaustive_roundtrip() {
+        // p = 1019 (prime): test all residues round-trip.
+        let mut r = rng();
+        let c = CommutativeCipher::with_modulus(BigUint::from_u64(1019), &mut r);
+        for m in 1u64..1019 {
+            let mb = BigUint::from_u64(m);
+            assert_eq!(c.decrypt(&c.encrypt(&mb)), mb, "failed at m={m}");
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! The Paillier additively homomorphic cryptosystem.
+//!
+//! This is the homomorphic building block of the Kissner–Song private
+//! set-operation baseline that the paper compares P-SOP against (§6.3.2,
+//! Figure 8). We use the standard `g = n + 1` variant:
+//!
+//! * `Enc(m; r) = (1 + m·n) · r^n  mod n²`
+//! * `Dec(c)    = L(c^λ mod n²) · λ⁻¹ mod n`, with `L(x) = (x-1)/n`
+//!
+//! Ciphertexts add plaintexts when multiplied, and multiply plaintexts by
+//! constants when exponentiated — exactly what encrypted-polynomial set
+//! intersection needs.
+
+use indaas_bigint::{gen_prime, BigUint, Montgomery};
+use rand::Rng;
+
+/// Paillier public key: the modulus `n` plus cached values for fast ops.
+#[derive(Clone, Debug)]
+pub struct PaillierPublicKey {
+    n: BigUint,
+    n2: BigUint,
+    mont_n2: Montgomery,
+}
+
+/// Paillier keypair (public key + secret `λ`, `λ⁻¹ mod n`).
+#[derive(Clone, Debug)]
+pub struct PaillierKeypair {
+    public: PaillierPublicKey,
+    lambda: BigUint,
+    mu: BigUint,
+}
+
+/// An opaque Paillier ciphertext (an element of `Z*_{n²}`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PaillierCiphertext(pub BigUint);
+
+impl PaillierPublicKey {
+    /// The modulus `n`.
+    pub fn modulus(&self) -> &BigUint {
+        &self.n
+    }
+
+    /// Byte length of a serialized ciphertext (an element mod `n²`).
+    pub fn ciphertext_bytes(&self) -> usize {
+        self.n2.bits().div_ceil(8)
+    }
+
+    /// Encrypts `m` (must be `< n`) with fresh randomness from `rng`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m >= n`.
+    pub fn encrypt(&self, m: &BigUint, rng: &mut impl Rng) -> PaillierCiphertext {
+        assert!(m < &self.n, "plaintext must be below the modulus");
+        // r uniform in [1, n) and coprime to n (w.h.p. for RSA moduli).
+        let r = loop {
+            let r = BigUint::random_below(rng, &self.n);
+            if !r.is_zero() && r.gcd(&self.n).is_one() {
+                break r;
+            }
+        };
+        // (1 + m*n) mod n^2
+        let gm = (&BigUint::one() + &(m * &self.n)).rem(&self.n2);
+        let rn = self.mont_n2.modpow(&r, &self.n);
+        PaillierCiphertext((&gm * &rn).rem(&self.n2))
+    }
+
+    /// Homomorphic addition: `Dec(add(c1, c2)) = Dec(c1) + Dec(c2) mod n`.
+    pub fn add(&self, c1: &PaillierCiphertext, c2: &PaillierCiphertext) -> PaillierCiphertext {
+        PaillierCiphertext((&c1.0 * &c2.0).rem(&self.n2))
+    }
+
+    /// Homomorphic scalar multiplication: `Dec(mul(c, k)) = k·Dec(c) mod n`.
+    pub fn mul_const(&self, c: &PaillierCiphertext, k: &BigUint) -> PaillierCiphertext {
+        PaillierCiphertext(self.mont_n2.modpow(&c.0, k))
+    }
+
+    /// Serializes a ciphertext to fixed-width bytes.
+    pub fn ciphertext_to_bytes(&self, c: &PaillierCiphertext) -> Vec<u8> {
+        c.0.to_bytes_be_padded(self.ciphertext_bytes())
+    }
+}
+
+impl PaillierKeypair {
+    /// Generates a keypair with an `n` of roughly `bits` bits.
+    ///
+    /// `bits = 1024` matches the paper's Figure 8 configuration. Tests use
+    /// smaller sizes; `bits` must be at least 16.
+    pub fn generate(bits: usize, rng: &mut impl Rng) -> Self {
+        assert!(bits >= 16, "modulus too small");
+        let half = bits / 2;
+        loop {
+            let p = gen_prime(rng, half, 16);
+            let q = gen_prime(rng, half, 16);
+            if p == q {
+                continue;
+            }
+            let n = &p * &q;
+            let p1 = &p - &BigUint::one();
+            let q1 = &q - &BigUint::one();
+            // λ = lcm(p-1, q-1)
+            let g = p1.gcd(&q1);
+            let lambda = (&p1 * &q1).divrem(&g).0;
+            let Ok(mu) = lambda.modinv(&n) else {
+                continue; // gcd(λ, n) != 1 is vanishingly rare; retry.
+            };
+            let n2 = &n * &n;
+            let mont_n2 = Montgomery::new(&n2).expect("n² is odd");
+            return PaillierKeypair {
+                public: PaillierPublicKey { n, n2, mont_n2 },
+                lambda,
+                mu,
+            };
+        }
+    }
+
+    /// The public half of the keypair.
+    pub fn public(&self) -> &PaillierPublicKey {
+        &self.public
+    }
+
+    /// Decrypts a ciphertext.
+    pub fn decrypt(&self, c: &PaillierCiphertext) -> BigUint {
+        let pk = &self.public;
+        let x = pk.mont_n2.modpow(&c.0, &self.lambda);
+        // L(x) = (x - 1) / n
+        let l = x
+            .checked_sub(&BigUint::one())
+            .expect("x >= 1 for valid ciphertexts")
+            .divrem(&pk.n)
+            .0;
+        (&l * &self.mu).rem(&pk.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(0x9a11)
+    }
+
+    fn small_keypair(r: &mut rand::rngs::StdRng) -> PaillierKeypair {
+        PaillierKeypair::generate(64, r)
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip() {
+        let mut r = rng();
+        let kp = small_keypair(&mut r);
+        for m in [0u64, 1, 42, 1000, 123456] {
+            let mb = BigUint::from_u64(m);
+            let c = kp.public().encrypt(&mb, &mut r);
+            assert_eq!(kp.decrypt(&c), mb, "roundtrip failed for {m}");
+        }
+    }
+
+    #[test]
+    fn encryption_is_randomized() {
+        let mut r = rng();
+        let kp = small_keypair(&mut r);
+        let m = BigUint::from_u64(7);
+        let c1 = kp.public().encrypt(&m, &mut r);
+        let c2 = kp.public().encrypt(&m, &mut r);
+        assert_ne!(c1, c2, "ciphertexts must be probabilistic");
+        assert_eq!(kp.decrypt(&c1), kp.decrypt(&c2));
+    }
+
+    #[test]
+    fn homomorphic_addition() {
+        let mut r = rng();
+        let kp = small_keypair(&mut r);
+        let a = BigUint::from_u64(1234);
+        let b = BigUint::from_u64(5678);
+        let ca = kp.public().encrypt(&a, &mut r);
+        let cb = kp.public().encrypt(&b, &mut r);
+        let sum = kp.public().add(&ca, &cb);
+        assert_eq!(kp.decrypt(&sum), BigUint::from_u64(6912));
+    }
+
+    #[test]
+    fn homomorphic_scalar_multiplication() {
+        let mut r = rng();
+        let kp = small_keypair(&mut r);
+        let m = BigUint::from_u64(321);
+        let c = kp.public().encrypt(&m, &mut r);
+        let c3 = kp.public().mul_const(&c, &BigUint::from_u64(3));
+        assert_eq!(kp.decrypt(&c3), BigUint::from_u64(963));
+    }
+
+    #[test]
+    fn addition_wraps_modulo_n() {
+        let mut r = rng();
+        let kp = small_keypair(&mut r);
+        let n = kp.public().modulus().clone();
+        let m = &n - &BigUint::one(); // n - 1
+        let c = kp.public().encrypt(&m, &mut r);
+        let c2 = kp
+            .public()
+            .add(&c, &kp.public().encrypt(&BigUint::from_u64(2), &mut r));
+        // (n - 1) + 2 = 1 mod n
+        assert_eq!(kp.decrypt(&c2), BigUint::one());
+    }
+
+    #[test]
+    #[should_panic(expected = "plaintext must be below the modulus")]
+    fn oversized_plaintext_panics() {
+        let mut r = rng();
+        let kp = small_keypair(&mut r);
+        let too_big = kp.public().modulus().clone();
+        let _ = kp.public().encrypt(&too_big, &mut r);
+    }
+
+    #[test]
+    fn ciphertext_serialization_width() {
+        let mut r = rng();
+        let kp = small_keypair(&mut r);
+        let c = kp.public().encrypt(&BigUint::from_u64(5), &mut r);
+        let bytes = kp.public().ciphertext_to_bytes(&c);
+        assert_eq!(bytes.len(), kp.public().ciphertext_bytes());
+    }
+
+    #[test]
+    fn larger_key_roundtrip() {
+        // One medium-size key to exercise multi-limb paths (256-bit n).
+        let mut r = rng();
+        let kp = PaillierKeypair::generate(256, &mut r);
+        let m = BigUint::from_u64(0xdeadbeefcafe);
+        let c = kp.public().encrypt(&m, &mut r);
+        assert_eq!(kp.decrypt(&c), m);
+    }
+}

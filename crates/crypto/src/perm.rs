@@ -1,0 +1,71 @@
+//! Uniform random permutations (Fisher–Yates).
+//!
+//! Each P-SOP party permutes its ciphertext list before forwarding it around
+//! the ring, so successors cannot correlate positions with elements.
+
+use rand::Rng;
+
+/// Shuffles `items` in place with a uniform Fisher–Yates permutation.
+pub fn shuffle<T>(items: &mut [T], rng: &mut impl Rng) {
+    for i in (1..items.len()).rev() {
+        // Uniform j in [0, i] via rejection-free modulo on a 64-bit draw;
+        // the bias for i << 2^64 is negligible (< 2^-40 for any real list).
+        let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+        items.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shuffle_preserves_multiset() {
+        let mut r = rand::rngs::StdRng::seed_from_u64(1);
+        let mut v: Vec<u32> = (0..100).collect();
+        shuffle(&mut v, &mut r);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shuffle_empty_and_single() {
+        let mut r = rand::rngs::StdRng::seed_from_u64(2);
+        let mut empty: Vec<u8> = vec![];
+        shuffle(&mut empty, &mut r);
+        assert!(empty.is_empty());
+        let mut one = vec![42];
+        shuffle(&mut one, &mut r);
+        assert_eq!(one, vec![42]);
+    }
+
+    #[test]
+    fn shuffle_is_not_identity_for_long_lists() {
+        let mut r = rand::rngs::StdRng::seed_from_u64(3);
+        let orig: Vec<u32> = (0..1000).collect();
+        let mut v = orig.clone();
+        shuffle(&mut v, &mut r);
+        assert_ne!(
+            v, orig,
+            "a 1000-element shuffle returning identity is ~impossible"
+        );
+    }
+
+    #[test]
+    fn shuffle_positions_roughly_uniform() {
+        // Track where element 0 lands over many shuffles of a 4-element list.
+        let mut r = rand::rngs::StdRng::seed_from_u64(4);
+        let mut counts = [0u32; 4];
+        for _ in 0..4000 {
+            let mut v = [0u8, 1, 2, 3];
+            shuffle(&mut v, &mut r);
+            let pos = v.iter().position(|&x| x == 0).unwrap();
+            counts[pos] += 1;
+        }
+        for &c in &counts {
+            assert!((800..=1200).contains(&c), "position count {c} out of range");
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Dependency acquisition for INDaaS (§3 of the paper).
+//!
+//! Data sources collect *structural dependency data* — network routes,
+//! hardware inventories and software package closures — through pluggable
+//! dependency acquisition modules (DAMs), normalize it into the common
+//! wire format of Table 1, and store it in a [`DepDb`] for the auditing
+//! agent to query.
+//!
+//! The paper's prototype shells out to NSDMiner, `lshw` and
+//! `apt-rdepends`; this reproduction ships *simulated* collectors
+//! ([`dam::SimCollector`]) that draw from synthetic ground truth (generated
+//! by `indaas-topology`) with a configurable detection miss rate, matching
+//! the ~90% dependency coverage the paper reports.
+//!
+//! # Examples
+//!
+//! ```
+//! use indaas_deps::{parse_records, DepDb};
+//!
+//! let text = r#"
+//!   <src="S1" dst="Internet" route="ToR1,Core1"/>
+//!   <hw="S1" type="CPU" dep="S1-Intel(R)X5550@2.6GHz"/>
+//!   <pgm="Riak1" hw="S1" dep="libc6,libsvn1"/>
+//! "#;
+//! let records = parse_records(text).unwrap();
+//! let db = DepDb::from_records(records);
+//! assert_eq!(db.network_deps("S1").len(), 1);
+//! assert_eq!(db.software_deps("S1")[0].pgm, "Riak1");
+//! ```
+
+pub mod adapters;
+pub mod dam;
+pub mod depdb;
+pub mod failprob;
+pub mod format;
+pub mod record;
+
+pub use dam::{collect_all, DamError, DependencyAcquisitionModule, SimCollector};
+pub use depdb::DepDb;
+pub use failprob::FailureProbModel;
+pub use format::{parse_record, parse_records, FormatError};
+pub use record::{DependencyRecord, HardwareDep, NetworkDep, SoftwareDep};

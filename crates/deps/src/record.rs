@@ -1,0 +1,105 @@
+//! Dependency record types matching Table 1 of the paper.
+
+use serde::{Deserialize, Serialize};
+
+/// A network dependency: a route from `src` to `dst` through intermediate
+/// network devices.
+///
+/// Wire form: `<src="S" dst="D" route="x,y,z"/>`.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct NetworkDep {
+    /// Source host.
+    pub src: String,
+    /// Destination host (often "Internet").
+    pub dst: String,
+    /// Devices along the path, in order.
+    pub route: Vec<String>,
+}
+
+/// A hardware dependency: a physical component of a host.
+///
+/// Wire form: `<hw="H" type="T" dep="x"/>`.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct HardwareDep {
+    /// The host owning the component.
+    pub hw: String,
+    /// Component type: "CPU", "Disk", "RAM", ...
+    pub hw_type: String,
+    /// Component identifier (model or instance id).
+    pub dep: String,
+}
+
+/// A software dependency: a program and the packages it uses.
+///
+/// Wire form: `<pgm="S" hw="H" dep="x,y,z"/>`.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SoftwareDep {
+    /// The software component itself.
+    pub pgm: String,
+    /// The host it runs on.
+    pub hw: String,
+    /// Packages/libraries the program depends on.
+    pub deps: Vec<String>,
+}
+
+/// Any dependency record, tagged by kind.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DependencyRecord {
+    /// Network route record.
+    Network(NetworkDep),
+    /// Hardware component record.
+    Hardware(HardwareDep),
+    /// Software package record.
+    Software(SoftwareDep),
+}
+
+impl DependencyRecord {
+    /// The host this record belongs to (route source, component owner, or
+    /// the host a program runs on).
+    pub fn host(&self) -> &str {
+        match self {
+            DependencyRecord::Network(n) => &n.src,
+            DependencyRecord::Hardware(h) => &h.hw,
+            DependencyRecord::Software(s) => &s.hw,
+        }
+    }
+
+    /// A short kind tag, useful for stats and filtering.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            DependencyRecord::Network(_) => "network",
+            DependencyRecord::Hardware(_) => "hardware",
+            DependencyRecord::Software(_) => "software",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn host_extraction() {
+        let n = DependencyRecord::Network(NetworkDep {
+            src: "S1".into(),
+            dst: "Internet".into(),
+            route: vec!["ToR1".into()],
+        });
+        let h = DependencyRecord::Hardware(HardwareDep {
+            hw: "S2".into(),
+            hw_type: "CPU".into(),
+            dep: "x".into(),
+        });
+        let s = DependencyRecord::Software(SoftwareDep {
+            pgm: "Riak".into(),
+            hw: "S3".into(),
+            deps: vec![],
+        });
+        assert_eq!(n.host(), "S1");
+        assert_eq!(h.host(), "S2");
+        assert_eq!(s.host(), "S3");
+        assert_eq!(n.kind(), "network");
+        assert_eq!(h.kind(), "hardware");
+        assert_eq!(s.kind(), "software");
+    }
+}

@@ -1,0 +1,111 @@
+//! Graphviz DOT export for fault graphs.
+//!
+//! Auditing reports point operators at risk groups; rendering the fault
+//! graph makes the *structure* behind those groups inspectable. Basic
+//! events render as boxes, gates as ellipses labeled with their logic, and
+//! an optional highlight set (e.g., a risk group under discussion) is
+//! filled red.
+
+use std::collections::HashSet;
+
+use crate::graph::{FaultGraph, Gate, NodeId};
+
+/// Renders the graph in Graphviz DOT syntax.
+///
+/// `highlight` marks basic events (by id) to fill — typically the members
+/// of a risk group from an auditing report.
+pub fn to_dot(graph: &FaultGraph, highlight: &[NodeId]) -> String {
+    let marked: HashSet<NodeId> = highlight.iter().copied().collect();
+    let mut out = String::from("digraph fault_graph {\n  rankdir=BT;\n");
+    for (i, node) in graph.nodes().iter().enumerate() {
+        let id = i as NodeId;
+        let label = escape(&node.name);
+        let line = match node.gate {
+            None => {
+                let fill = if marked.contains(&id) {
+                    ", style=filled, fillcolor=\"#ff8888\""
+                } else {
+                    ""
+                };
+                format!("  n{id} [shape=box, label=\"{label}\"{fill}];\n")
+            }
+            Some(gate) => {
+                let logic = match gate {
+                    Gate::Or => "OR".to_string(),
+                    Gate::And => "AND".to_string(),
+                    Gate::KofN(k) => format!("{k}-of-{}", node.children.len()),
+                };
+                let peripheries = if id == graph.top() { 2 } else { 1 };
+                format!(
+                    "  n{id} [shape=ellipse, peripheries={peripheries}, label=\"{label}\\n[{logic}]\"];\n"
+                )
+            }
+        };
+        out.push_str(&line);
+        for &c in &node.children {
+            out.push_str(&format!("  n{c} -> n{id};\n"));
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detail::{component_sets_to_graph, ComponentSet};
+
+    fn sample() -> FaultGraph {
+        component_sets_to_graph(&[
+            ComponentSet::new("E1", ["A1", "A2"]),
+            ComponentSet::new("E2", ["A2", "A3"]),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let g = sample();
+        let dot = to_dot(&g, &[]);
+        assert!(dot.starts_with("digraph fault_graph {"));
+        assert!(dot.ends_with("}\n"));
+        for node in g.nodes() {
+            assert!(dot.contains(&escape(&node.name)), "missing {}", node.name);
+        }
+        // Edge count: one arrow per child link.
+        let edges: usize = g.nodes().iter().map(|n| n.children.len()).sum();
+        assert_eq!(dot.matches(" -> ").count(), edges);
+    }
+
+    #[test]
+    fn highlight_fills_basic_events() {
+        let g = sample();
+        let a2 = g.basic_by_name("A2").unwrap();
+        let dot = to_dot(&g, &[a2]);
+        assert_eq!(dot.matches("fillcolor").count(), 1);
+    }
+
+    #[test]
+    fn top_event_double_circled_and_gates_labeled() {
+        let g = sample();
+        let dot = to_dot(&g, &[]);
+        assert!(dot.contains("peripheries=2"));
+        assert!(dot.contains("[AND]"));
+        assert!(dot.contains("[OR]"));
+    }
+
+    #[test]
+    fn names_are_escaped() {
+        use crate::graph::{FaultGraphBuilder, Gate};
+        let mut b = FaultGraphBuilder::new();
+        let x = b.basic("disk \"fast\"", None);
+        let top = b.gate("t", Gate::Or, vec![x]);
+        let g = b.build(top).unwrap();
+        let dot = to_dot(&g, &[]);
+        assert!(dot.contains("disk \\\"fast\\\""));
+    }
+}

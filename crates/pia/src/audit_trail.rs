@@ -1,0 +1,206 @@
+//! "Trust but leave an audit trail" (§5.2 of the paper).
+//!
+//! Dishonest PIA participants could under-declare their component sets to
+//! appear more independent. The paper's pragmatic countermeasure: each
+//! provider saves and digitally signs the data it fed into the protocol,
+//! and a specially-authorized meta-auditor can later verify the records —
+//! a persistently dishonest participant risks eventually getting caught.
+//!
+//! [`AuditTrail`] implements the record-keeping side: a provider commits
+//! to its (normalized) component set by signing a canonical digest, and
+//! [`AuditTrail::meta_audit`] replays the commitment against data the
+//! meta-auditor obtained (e.g., by subpoena or spot inspection of the
+//! provider's infrastructure).
+
+use indaas_crypto::rsa::{Signature, SigningKey, VerifyingKey};
+use indaas_crypto::sha256;
+
+/// One provider's signed commitment to a protocol input.
+#[derive(Clone, Debug)]
+pub struct SignedRecord {
+    /// Provider name.
+    pub provider: String,
+    /// Protocol run identifier (the agent assigns one per audit).
+    pub run_id: u64,
+    /// Canonical digest of the normalized component set.
+    pub digest: [u8; 32],
+    /// The provider's signature over `run_id ‖ digest`.
+    pub signature: Signature,
+}
+
+/// Errors a meta-audit can surface.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MetaAuditError {
+    /// The signature does not verify — the record itself is forged or
+    /// corrupted.
+    BadSignature,
+    /// The signature verifies but the committed digest does not match the
+    /// data under inspection — the provider fed different data into the
+    /// protocol than it now claims (or than reality shows).
+    DigestMismatch,
+}
+
+impl std::fmt::Display for MetaAuditError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MetaAuditError::BadSignature => write!(f, "signature verification failed"),
+            MetaAuditError::DigestMismatch => {
+                write!(f, "committed digest does not match inspected data")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MetaAuditError {}
+
+/// Audit-trail helper bound to one provider's signing key.
+pub struct AuditTrail {
+    provider: String,
+    key: SigningKey,
+}
+
+impl AuditTrail {
+    /// Creates a trail writer for `provider`.
+    pub fn new(provider: impl Into<String>, key: SigningKey) -> Self {
+        AuditTrail {
+            provider: provider.into(),
+            key,
+        }
+    }
+
+    /// The provider's public verification key (registered with the agent).
+    pub fn verifying_key(&self) -> &VerifyingKey {
+        self.key.verifying_key()
+    }
+
+    /// Commits to the component set used in protocol run `run_id`.
+    ///
+    /// The digest is order-independent: the set is sorted before hashing,
+    /// so equivalent sets commit identically.
+    pub fn commit(&self, run_id: u64, component_set: &[String]) -> SignedRecord {
+        let digest = canonical_digest(component_set);
+        let signature = self.key.sign(&message(run_id, &digest));
+        SignedRecord {
+            provider: self.provider.clone(),
+            run_id,
+            digest,
+            signature,
+        }
+    }
+
+    /// Meta-audit: verifies a record against independently obtained data.
+    ///
+    /// # Errors
+    ///
+    /// [`MetaAuditError::BadSignature`] if the record is forged;
+    /// [`MetaAuditError::DigestMismatch`] if the provider committed to
+    /// different data than inspected.
+    pub fn meta_audit(
+        record: &SignedRecord,
+        key: &VerifyingKey,
+        inspected_set: &[String],
+    ) -> Result<(), MetaAuditError> {
+        if !key.verify(&message(record.run_id, &record.digest), &record.signature) {
+            return Err(MetaAuditError::BadSignature);
+        }
+        if canonical_digest(inspected_set) != record.digest {
+            return Err(MetaAuditError::DigestMismatch);
+        }
+        Ok(())
+    }
+}
+
+/// Order-independent digest of a component set.
+fn canonical_digest(component_set: &[String]) -> [u8; 32] {
+    let mut sorted: Vec<&String> = component_set.iter().collect();
+    sorted.sort();
+    sorted.dedup();
+    let mut buf = Vec::new();
+    for item in sorted {
+        buf.extend_from_slice(&(item.len() as u32).to_be_bytes());
+        buf.extend_from_slice(item.as_bytes());
+    }
+    sha256(&buf)
+}
+
+fn message(run_id: u64, digest: &[u8; 32]) -> Vec<u8> {
+    let mut m = Vec::with_capacity(40);
+    m.extend_from_slice(&run_id.to_be_bytes());
+    m.extend_from_slice(digest);
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn trail(name: &str, seed: u64) -> AuditTrail {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        AuditTrail::new(name, SigningKey::generate(512, &mut rng))
+    }
+
+    fn set(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn honest_provider_passes_meta_audit() {
+        let t = trail("Cloud1", 1);
+        let data = set(&["libc6", "openssl", "router-10.0.0.1"]);
+        let record = t.commit(42, &data);
+        assert_eq!(
+            AuditTrail::meta_audit(&record, t.verifying_key(), &data),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn commitment_is_order_independent() {
+        let t = trail("Cloud1", 1);
+        let record = t.commit(1, &set(&["b", "a", "c"]));
+        assert_eq!(
+            AuditTrail::meta_audit(&record, t.verifying_key(), &set(&["c", "a", "b"])),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn under_declaring_provider_caught() {
+        // The provider fed a subset into the protocol (to look more
+        // independent) but inspection reveals the full set.
+        let t = trail("ShadyCloud", 2);
+        let declared = set(&["libc6"]);
+        let actual = set(&["libc6", "openssl", "erlang-base"]);
+        let record = t.commit(7, &declared);
+        assert_eq!(
+            AuditTrail::meta_audit(&record, t.verifying_key(), &actual),
+            Err(MetaAuditError::DigestMismatch)
+        );
+    }
+
+    #[test]
+    fn forged_record_caught() {
+        let honest = trail("Cloud1", 3);
+        let imposter = trail("Cloud1", 4);
+        let data = set(&["libc6"]);
+        // The imposter signs with the wrong key.
+        let record = imposter.commit(9, &data);
+        assert_eq!(
+            AuditTrail::meta_audit(&record, honest.verifying_key(), &data),
+            Err(MetaAuditError::BadSignature)
+        );
+    }
+
+    #[test]
+    fn tampered_digest_caught() {
+        let t = trail("Cloud1", 5);
+        let data = set(&["libc6"]);
+        let mut record = t.commit(11, &data);
+        record.digest[0] ^= 1;
+        assert_eq!(
+            AuditTrail::meta_audit(&record, t.verifying_key(), &data),
+            Err(MetaAuditError::BadSignature)
+        );
+    }
+}

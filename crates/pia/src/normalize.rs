@@ -1,0 +1,140 @@
+//! Component normalization (§4.2.3).
+//!
+//! The same third-party component must map to the same identifier at every
+//! cloud provider, or private set intersection would systematically
+//! under-count shared dependencies. The paper normalizes two component
+//! classes: third-party routing elements (identified by their public IP
+//! addresses) and third-party software packages (identified by canonical
+//! name plus version).
+
+/// Normalizes one raw component identifier.
+///
+/// Rules, in order:
+///
+/// 1. a leading provider scope (`"Cloud2:..."`) is stripped — provider-local
+///   qualifiers must not make shared components look distinct;
+/// 2. IPv4 addresses (optionally with a port) are kept verbatim minus the
+///    port — the address *is* the canonical router identity;
+/// 3. everything else (package names, device names) is lowercased and
+///    internal whitespace is collapsed to single dashes, so
+///    `"OpenSSL 1.0.1f"` and `"openssl-1.0.1f"` agree.
+pub fn normalize_component(raw: &str) -> String {
+    let s = raw.trim();
+    // Strip a provider scope like "Cloud3:" (single colon-separated prefix
+    // with no dots, to avoid eating IPv4:port forms).
+    let s = match s.split_once(':') {
+        Some((prefix, rest))
+            if !prefix.contains('.')
+                && !prefix.is_empty()
+                && !rest.is_empty()
+                && !prefix.chars().all(|c| c.is_ascii_digit()) =>
+        {
+            rest
+        }
+        _ => s,
+    };
+    let s = s.trim();
+    if let Some(ip) = as_ipv4(s) {
+        return ip;
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut last_dash = false;
+    for c in s.chars() {
+        if c.is_whitespace() {
+            if !last_dash && !out.is_empty() {
+                out.push('-');
+                last_dash = true;
+            }
+        } else {
+            out.push(c.to_ascii_lowercase());
+            last_dash = false;
+        }
+    }
+    while out.ends_with('-') {
+        out.pop();
+    }
+    out
+}
+
+/// Parses `a.b.c.d` or `a.b.c.d:port`, returning the canonical address.
+fn as_ipv4(s: &str) -> Option<String> {
+    let addr = s.split_once(':').map_or(s, |(a, p)| {
+        if p.bytes().all(|b| b.is_ascii_digit()) && !p.is_empty() {
+            a
+        } else {
+            s
+        }
+    });
+    let octets: Vec<&str> = addr.split('.').collect();
+    if octets.len() != 4 {
+        return None;
+    }
+    for o in &octets {
+        if o.is_empty() || o.len() > 3 || !o.bytes().all(|b| b.is_ascii_digit()) {
+            return None;
+        }
+        if o.parse::<u32>().ok()? > 255 {
+            return None;
+        }
+    }
+    Some(addr.to_string())
+}
+
+/// Normalizes a whole component set, deduplicating post-normalization.
+pub fn normalize_set<'a>(raw: impl IntoIterator<Item = &'a str>) -> Vec<String> {
+    let mut out: Vec<String> = raw.into_iter().map(normalize_component).collect();
+    out.sort();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packages_lowercased_and_dashed() {
+        assert_eq!(normalize_component("OpenSSL 1.0.1f"), "openssl-1.0.1f");
+        assert_eq!(normalize_component("libc6-2.19"), "libc6-2.19");
+        assert_eq!(
+            normalize_component("  Erlang  Base 17.3 "),
+            "erlang-base-17.3"
+        );
+    }
+
+    #[test]
+    fn ipv4_kept_verbatim() {
+        assert_eq!(normalize_component("192.168.1.254"), "192.168.1.254");
+        assert_eq!(normalize_component("8.8.8.8:443"), "8.8.8.8");
+    }
+
+    #[test]
+    fn non_ips_are_not_mistaken() {
+        assert_eq!(normalize_component("1.2.3"), "1.2.3");
+        assert_eq!(normalize_component("999.1.1.1"), "999.1.1.1");
+        assert_eq!(normalize_component("a.b.c.d"), "a.b.c.d");
+    }
+
+    #[test]
+    fn provider_scope_stripped() {
+        assert_eq!(normalize_component("Cloud2:libssl1.0.0"), "libssl1.0.0");
+        assert_eq!(
+            normalize_component("Cloud1:10.0.0.1"),
+            "10.0.0.1",
+            "scoped router IP must normalize to the bare IP"
+        );
+    }
+
+    #[test]
+    fn equal_components_collide_across_providers() {
+        let a = normalize_component("Cloud1:OpenSSL 1.0.1f");
+        let b = normalize_component("cloud2:openssl-1.0.1f");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn normalize_set_dedups() {
+        let set = normalize_set(["Libc6-2.19", "libc6-2.19", "zlib1g"]);
+        assert_eq!(set, vec!["libc6-2.19".to_string(), "zlib1g".to_string()]);
+    }
+}

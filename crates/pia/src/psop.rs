@@ -1,0 +1,270 @@
+//! P-SOP: private set-intersection cardinality over commutative encryption
+//! (Vaidya & Clifton [58]; §4.2.2 and §4.2.4 of the paper).
+//!
+//! The k providers form a logical ring. Each provider:
+//!
+//! 1. disambiguates duplicates (`e‖1 … e‖t`), hashes every element into the
+//!    shared group, encrypts with its own Pohlig–Hellman key, permutes, and
+//!    sends the list to its ring successor;
+//! 2. on receiving a list, adds its own encryption layer, permutes, and
+//!    forwards — until every list carries all k layers;
+//! 3. the fully-encrypted lists are sent to the auditing agent, who counts
+//!    equal ciphertexts: equal plaintexts produce equal k-layer ciphertexts
+//!    (commutativity), so the agent learns `|∩ᵢ Sᵢ|` and `|∪ᵢ Sᵢ|` and
+//!    *nothing about the elements themselves*.
+//!
+//! The protocol runs on [`indaas_simnet::SimNetwork`]; Figure 8's bandwidth
+//! numbers come straight from the network's byte counters.
+
+use std::collections::HashMap;
+
+use indaas_bigint::BigUint;
+use indaas_crypto::{shuffle, CommutativeCipher};
+use indaas_simnet::{SimNetwork, TrafficStats};
+use rand::SeedableRng;
+
+/// Configuration for a P-SOP run.
+#[derive(Clone, Copy, Debug)]
+pub struct PsopConfig {
+    /// RNG seed for key generation and permutations.
+    pub seed: u64,
+    /// Treat inputs as multisets, applying the `e‖i` disambiguation.
+    pub multiset: bool,
+}
+
+impl Default for PsopConfig {
+    fn default() -> Self {
+        PsopConfig {
+            seed: 0x50_50,
+            multiset: true,
+        }
+    }
+}
+
+/// Result of a P-SOP run.
+#[derive(Clone, Debug)]
+pub struct PsopOutcome {
+    /// `|S₀ ∩ … ∩ S_{k−1}|` — elements present at every provider.
+    pub intersection: usize,
+    /// `|S₀ ∪ … ∪ S_{k−1}|` — distinct elements overall.
+    pub union: usize,
+    /// `intersection / union` (0 when the union is empty).
+    pub jaccard: f64,
+    /// Per-party traffic as measured on the simulated network.
+    pub traffic: TrafficStats,
+}
+
+/// Runs P-SOP across `datasets` (one per provider; party `i` on the ring).
+///
+/// The network must have `k + 1` parties: `0..k` are providers, party `k`
+/// is the auditing agent receiving the final lists.
+///
+/// # Panics
+///
+/// Panics if fewer than two datasets are supplied or the network is not
+/// sized `k + 1`.
+pub fn run_psop(
+    datasets: &[Vec<String>],
+    config: &PsopConfig,
+    net: &mut SimNetwork,
+) -> PsopOutcome {
+    let k = datasets.len();
+    assert!(k >= 2, "P-SOP needs at least two providers");
+    assert_eq!(
+        net.parties(),
+        k + 1,
+        "network must host k providers + agent"
+    );
+    let agent = k;
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
+    let ciphers: Vec<CommutativeCipher> = (0..k)
+        .map(|_| CommutativeCipher::generate(&mut rng))
+        .collect();
+
+    // Round 0: every party hashes + encrypts + permutes its own list and
+    // sends it to its successor.
+    for (i, data) in datasets.iter().enumerate() {
+        let prepared = prepare(data, config.multiset);
+        let mut cts: Vec<BigUint> = prepared
+            .iter()
+            .map(|e| ciphers[i].encrypt(&ciphers[i].hash_to_group(e.as_bytes())))
+            .collect();
+        shuffle(&mut cts, &mut rng);
+        net.send(i, (i + 1) % k, encode(&ciphers[i], &cts));
+    }
+
+    // Rounds 1..k-1: each party re-encrypts what it receives and forwards.
+    for _round in 1..k {
+        for i in 0..k {
+            let msg = net.recv_expect(i);
+            let mut cts = decode(&ciphers[i], &msg.payload);
+            for c in &mut cts {
+                *c = ciphers[i].encrypt(c);
+            }
+            shuffle(&mut cts, &mut rng);
+            net.send(i, (i + 1) % k, encode(&ciphers[i], &cts));
+        }
+    }
+
+    // Final hop: each party receives its own fully-encrypted list back and
+    // shares it with the auditing agent.
+    for i in 0..k {
+        let msg = net.recv_expect(i);
+        net.send(i, agent, msg.payload);
+    }
+
+    // The agent counts common and distinct ciphertexts.
+    let mut counts: HashMap<Vec<u8>, usize> = HashMap::new();
+    for _ in 0..k {
+        let msg = net.recv_expect(agent);
+        for chunk in msg.payload.chunks(CommutativeCipher::ELEMENT_BYTES) {
+            *counts.entry(chunk.to_vec()).or_insert(0) += 1;
+        }
+    }
+    let union = counts.len();
+    let intersection = counts.values().filter(|&&c| c == k).count();
+    PsopOutcome {
+        intersection,
+        union,
+        jaccard: if union == 0 {
+            0.0
+        } else {
+            intersection as f64 / union as f64
+        },
+        traffic: net.stats().clone(),
+    }
+}
+
+/// Duplicate disambiguation: element `e` occurring `t` times becomes
+/// `e‖1 … e‖t` (sets pass through unchanged apart from the `‖1` tag).
+fn prepare(data: &[String], multiset: bool) -> Vec<String> {
+    if !multiset {
+        return data.to_vec();
+    }
+    let mut seen: HashMap<&str, usize> = HashMap::new();
+    data.iter()
+        .map(|e| {
+            let n = seen.entry(e.as_str()).or_insert(0);
+            *n += 1;
+            format!("{e}\u{2016}{n}")
+        })
+        .collect()
+}
+
+fn encode(cipher: &CommutativeCipher, cts: &[BigUint]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(cts.len() * CommutativeCipher::ELEMENT_BYTES);
+    for c in cts {
+        out.extend_from_slice(&cipher.element_to_bytes(c));
+    }
+    out
+}
+
+fn decode(cipher: &CommutativeCipher, bytes: &[u8]) -> Vec<BigUint> {
+    bytes
+        .chunks(CommutativeCipher::ELEMENT_BYTES)
+        .map(|c| cipher.element_from_bytes(c))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn run(datasets: &[Vec<String>]) -> PsopOutcome {
+        let mut net = SimNetwork::new(datasets.len() + 1);
+        run_psop(datasets, &PsopConfig::default(), &mut net)
+    }
+
+    #[test]
+    fn two_party_overlap() {
+        let out = run(&[strings(&["a", "b", "c"]), strings(&["b", "c", "d"])]);
+        assert_eq!(out.intersection, 2);
+        assert_eq!(out.union, 4);
+        assert!((out.jaccard - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn three_party_shared_core() {
+        let out = run(&[
+            strings(&["x", "a"]),
+            strings(&["x", "b"]),
+            strings(&["x", "c"]),
+        ]);
+        assert_eq!(out.intersection, 1);
+        assert_eq!(out.union, 4);
+    }
+
+    #[test]
+    fn disjoint_sets() {
+        let out = run(&[strings(&["a"]), strings(&["b"])]);
+        assert_eq!(out.intersection, 0);
+        assert_eq!(out.union, 2);
+        assert_eq!(out.jaccard, 0.0);
+    }
+
+    #[test]
+    fn identical_sets() {
+        let s = strings(&["p", "q", "r"]);
+        let out = run(&[s.clone(), s]);
+        assert_eq!(out.intersection, 3);
+        assert_eq!(out.union, 3);
+        assert_eq!(out.jaccard, 1.0);
+    }
+
+    #[test]
+    fn matches_exact_jaccard() {
+        use crate::jaccard::jaccard_exact;
+        use std::collections::BTreeSet;
+        let a = strings(&["libc6", "openssl", "zlib", "erlang"]);
+        let b = strings(&["libc6", "openssl", "boost", "pcre"]);
+        let c = strings(&["libc6", "jemalloc", "openssl"]);
+        let exact = {
+            let sets: Vec<BTreeSet<String>> = [&a, &b, &c]
+                .iter()
+                .map(|v| v.iter().cloned().collect())
+                .collect();
+            jaccard_exact(&sets)
+        };
+        let out = run(&[a, b, c]);
+        assert!((out.jaccard - exact).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multiset_disambiguation_counts_duplicates() {
+        // a appears twice on both sides: both copies intersect.
+        let out = run(&[strings(&["a", "a", "b"]), strings(&["a", "a", "c"])]);
+        assert_eq!(out.intersection, 2);
+        assert_eq!(out.union, 4); // a‖1, a‖2, b‖1, c‖1.
+    }
+
+    #[test]
+    fn traffic_shape_linear_in_elements() {
+        let small = run(&[strings(&["a", "b"]), strings(&["c", "d"])]);
+        let big_a: Vec<String> = (0..20).map(|i| format!("a{i}")).collect();
+        let big_b: Vec<String> = (0..20).map(|i| format!("b{i}")).collect();
+        let big = run(&[big_a, big_b]);
+        // 10× the elements → 10× the traffic (fixed-width ciphertexts).
+        assert_eq!(big.traffic.total_bytes(), 10 * small.traffic.total_bytes());
+    }
+
+    #[test]
+    fn per_provider_traffic_accounted() {
+        let out = run(&[strings(&["a", "b", "c"]), strings(&["d", "e", "f"])]);
+        // Each provider sends its 3-element list twice (ring + agent) plus
+        // forwards the peer's list once: 9 ciphertexts of 128 bytes.
+        assert_eq!(out.traffic.sent_bytes(0), 9 * 128);
+        assert_eq!(out.traffic.sent_bytes(1), 9 * 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two providers")]
+    fn single_provider_rejected() {
+        let mut net = SimNetwork::new(2);
+        let _ = run_psop(&[strings(&["a"])], &PsopConfig::default(), &mut net);
+    }
+}

@@ -1,0 +1,145 @@
+//! Component importance measures.
+//!
+//! The paper ranks *risk groups* by relative importance `Pr(C)/Pr(T)`
+//! (§4.1.3). Classic fault-tree analysis also ranks individual
+//! *components*, which tells an operator where hardening buys the most.
+//! Both standard measures are computed exactly from the BDD:
+//!
+//! * **Birnbaum importance** `I_B(i) = Pr(T | i failed) − Pr(T | i up)` —
+//!   how much component `i`'s state moves the outage probability,
+//! * **Fussell–Vesely importance**
+//!   `I_FV(i) = 1 − Pr(T | p_i = 0) / Pr(T)` — the fraction of outage
+//!   probability flowing through cut sets that contain `i`.
+
+use std::collections::HashMap;
+
+use indaas_graph::{FaultGraph, NodeId};
+
+use crate::bdd::Bdd;
+
+/// One component's importance scores.
+#[derive(Clone, Debug)]
+pub struct ComponentImportance {
+    /// The basic event.
+    pub component: NodeId,
+    /// Component name.
+    pub name: String,
+    /// Birnbaum importance.
+    pub birnbaum: f64,
+    /// Fussell–Vesely importance.
+    pub fussell_vesely: f64,
+}
+
+/// Computes both importance measures for every basic event, sorted by
+/// descending Birnbaum importance (ties by name).
+///
+/// `default_prob` fills in for unweighted basic events, as everywhere in
+/// this crate.
+pub fn component_importance(
+    bdd: &Bdd,
+    graph: &FaultGraph,
+    default_prob: f64,
+) -> Vec<ComponentImportance> {
+    let pr_top = bdd.top_probability(graph, default_prob);
+    let mut out: Vec<ComponentImportance> = graph
+        .basic_ids()
+        .into_iter()
+        .map(|id| {
+            let mut force = HashMap::new();
+            force.insert(id, 1.0);
+            let with = bdd.top_probability_with(graph, default_prob, &force);
+            force.insert(id, 0.0);
+            let without = bdd.top_probability_with(graph, default_prob, &force);
+            ComponentImportance {
+                component: id,
+                name: graph.node(id).name.clone(),
+                birnbaum: with - without,
+                fussell_vesely: if pr_top > 0.0 {
+                    1.0 - without / pr_top
+                } else {
+                    0.0
+                },
+            }
+        })
+        .collect();
+    out.sort_by(|a, b| {
+        b.birnbaum
+            .partial_cmp(&a.birnbaum)
+            .expect("finite importances")
+            .then_with(|| a.name.cmp(&b.name))
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use indaas_graph::detail::{fault_sets_to_graph, FaultSet};
+
+    /// Figure 4(b): E1 = {A1: 0.1, A2: 0.2}, E2 = {A2: 0.2, A3: 0.3}.
+    fn fig4b() -> (Bdd, FaultGraph) {
+        let graph = fault_sets_to_graph(&[
+            FaultSet::new("E1", [("A1", 0.1), ("A2", 0.2)]),
+            FaultSet::new("E2", [("A2", 0.2), ("A3", 0.3)]),
+        ])
+        .unwrap();
+        let bdd = Bdd::compile(&graph, 1 << 20);
+        (bdd, graph)
+    }
+
+    #[test]
+    fn shared_component_dominates() {
+        let (bdd, graph) = fig4b();
+        let imp = component_importance(&bdd, &graph, 0.0);
+        // A2 is the shared single point of failure: top on both measures.
+        assert_eq!(imp[0].name, "A2 fails");
+        assert!(imp[0].birnbaum > imp[1].birnbaum);
+        for c in &imp {
+            assert!((0.0..=1.0 + 1e-12).contains(&c.birnbaum), "{c:?}");
+            assert!((0.0..=1.0 + 1e-12).contains(&c.fussell_vesely), "{c:?}");
+        }
+    }
+
+    #[test]
+    fn fig4b_birnbaum_analytic() {
+        // Pr(T) = p2 + p1·p3 − p1·p2·p3.
+        // ∂/∂p2 = 1 − p1·p3 = 1 − 0.03 = 0.97.
+        let (bdd, graph) = fig4b();
+        let imp = component_importance(&bdd, &graph, 0.0);
+        let a2 = imp.iter().find(|c| c.name == "A2 fails").unwrap();
+        assert!((a2.birnbaum - 0.97).abs() < 1e-12, "got {}", a2.birnbaum);
+        // ∂/∂p1 = p3 − p2·p3 = 0.3·0.8 = 0.24.
+        let a1 = imp.iter().find(|c| c.name == "A1 fails").unwrap();
+        assert!((a1.birnbaum - 0.24).abs() < 1e-12, "got {}", a1.birnbaum);
+    }
+
+    #[test]
+    fn fussell_vesely_of_shared_component() {
+        // FV(A2) = 1 − Pr(T | p2 = 0)/Pr(T) = 1 − 0.03/0.224.
+        let (bdd, graph) = fig4b();
+        let imp = component_importance(&bdd, &graph, 0.0);
+        let a2 = imp.iter().find(|c| c.name == "A2 fails").unwrap();
+        let expected = 1.0 - 0.03 / 0.224;
+        assert!((a2.fussell_vesely - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn irrelevant_component_scores_zero() {
+        // A component whose failure can never reach the top event.
+        use indaas_graph::{FaultGraphBuilder, Gate};
+        let mut b = FaultGraphBuilder::new();
+        let x = b.basic("x", Some(0.5));
+        let y = b.basic("y", Some(0.5));
+        let live = b.gate("live", Gate::Or, vec![x]);
+        let dead = b.gate("dead", Gate::And, vec![y, x]);
+        let top = b.gate("top", Gate::Or, vec![live, dead]);
+        let graph = b.build(top).unwrap();
+        let bdd = Bdd::compile(&graph, 1 << 20);
+        let imp = component_importance(&bdd, &graph, 0.0);
+        // y only matters through "dead", which is subsumed by "live" (x
+        // alone fails the top): Birnbaum of y must be 0.
+        let yv = imp.iter().find(|c| c.name == "y").unwrap();
+        assert!(yv.birnbaum.abs() < 1e-12);
+        assert!(yv.fussell_vesely.abs() < 1e-12);
+    }
+}

@@ -1,0 +1,356 @@
+//! Risk groups and minimized families of risk groups.
+//!
+//! A risk group (RG) is a set of basic failure events whose simultaneous
+//! occurrence fails the top event (§4.1.2). A *minimal* RG stays an RG
+//! under no proper subset. [`RgFamily`] maintains a subsumption-minimized
+//! collection: inserting a superset of an existing RG is a no-op, and
+//! inserting a subset evicts the supersets.
+
+use indaas_graph::{FaultGraph, NodeId};
+
+/// One risk group: a sorted, deduplicated set of basic-event node ids.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RiskGroup {
+    ids: Box<[NodeId]>,
+}
+
+impl RiskGroup {
+    /// Builds a risk group from event ids (sorted and deduplicated).
+    pub fn new(mut ids: Vec<NodeId>) -> Self {
+        ids.sort_unstable();
+        ids.dedup();
+        RiskGroup {
+            ids: ids.into_boxed_slice(),
+        }
+    }
+
+    /// The member event ids, sorted ascending.
+    pub fn ids(&self) -> &[NodeId] {
+        &self.ids
+    }
+
+    /// Number of member events.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True for the (degenerate) empty group.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// True if `self ⊆ other` (sorted-merge subset test).
+    pub fn is_subset_of(&self, other: &RiskGroup) -> bool {
+        if self.ids.len() > other.ids.len() {
+            return false;
+        }
+        let mut oi = 0;
+        'outer: for &x in self.ids.iter() {
+            while oi < other.ids.len() {
+                match other.ids[oi].cmp(&x) {
+                    std::cmp::Ordering::Less => oi += 1,
+                    std::cmp::Ordering::Equal => {
+                        oi += 1;
+                        continue 'outer;
+                    }
+                    std::cmp::Ordering::Greater => return false,
+                }
+            }
+            return false;
+        }
+        true
+    }
+
+    /// Union of two risk groups (used by AND-gate cartesian products).
+    pub fn union(&self, other: &RiskGroup) -> RiskGroup {
+        let mut out = Vec::with_capacity(self.ids.len() + other.ids.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.ids.len() && j < other.ids.len() {
+            match self.ids[i].cmp(&other.ids[j]) {
+                std::cmp::Ordering::Less => {
+                    out.push(self.ids[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(other.ids[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push(self.ids[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&self.ids[i..]);
+        out.extend_from_slice(&other.ids[j..]);
+        RiskGroup {
+            ids: out.into_boxed_slice(),
+        }
+    }
+
+    /// A 64-bit Bloom-style signature: bit `id % 64` set for every member.
+    /// If `sig(a) & !sig(b) != 0` then `a ⊄ b`, a cheap pre-filter for
+    /// subsumption checks.
+    pub fn signature(&self) -> u64 {
+        self.ids.iter().fold(0u64, |acc, &id| acc | 1 << (id % 64))
+    }
+
+    /// Resolves member ids to component names.
+    pub fn names(&self, graph: &FaultGraph) -> Vec<String> {
+        self.ids
+            .iter()
+            .map(|&id| graph.node(id).name.clone())
+            .collect()
+    }
+}
+
+/// A subsumption-minimized family of risk groups.
+///
+/// Maintains an inverted index from member element to group positions: a
+/// subset (or superset) of an incoming group must share every (or some)
+/// member with it, so subsumption candidates are found by bucket lookup
+/// rather than scanning the whole family — the difference between hours
+/// and seconds on the paper's topology-scale cut-set computations.
+#[derive(Clone, Debug, Default)]
+pub struct RgFamily {
+    groups: Vec<RiskGroup>,
+    sigs: Vec<u64>,
+    by_element: std::collections::HashMap<NodeId, Vec<usize>>,
+}
+
+impl RgFamily {
+    /// An empty family.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a family from raw groups, minimizing as it goes.
+    pub fn from_groups(groups: impl IntoIterator<Item = RiskGroup>) -> Self {
+        let mut fam = Self::new();
+        for g in groups {
+            fam.insert(g);
+        }
+        fam
+    }
+
+    /// The minimized groups (unspecified order).
+    pub fn groups(&self) -> &[RiskGroup] {
+        &self.groups
+    }
+
+    /// Number of groups.
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// True if no groups are present.
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// Inserts `g`, keeping the family minimal. Returns true if `g` was
+    /// retained (i.e., no existing group subsumes it).
+    pub fn insert(&mut self, g: RiskGroup) -> bool {
+        if g.is_empty() {
+            // The empty group subsumes everything; keep only it.
+            self.groups.clear();
+            self.sigs.clear();
+            self.by_element.clear();
+            self.sigs.push(0);
+            self.groups.push(g);
+            return true;
+        }
+        let gsig = g.signature();
+        // Any subset or superset of g shares at least one member with g, so
+        // it lives in some bucket of g's elements. Collect candidates once.
+        let mut candidates: Vec<usize> = g
+            .ids()
+            .iter()
+            .flat_map(|id| self.by_element.get(id).into_iter().flatten().copied())
+            .collect();
+        candidates.sort_unstable();
+        candidates.dedup();
+
+        // Reject if an existing candidate is a subset of g (pre-filtered by
+        // signature: existing ⊆ g requires sig(existing) ⊆ sig(g)).
+        for &i in &candidates {
+            if self.groups[i].len() <= g.len()
+                && self.sigs[i] & !gsig == 0
+                && self.groups[i].is_subset_of(&g)
+            {
+                return false;
+            }
+        }
+        // Evict candidates that g subsumes (largest index first, so
+        // swap_remove never disturbs a pending index).
+        for &i in candidates.iter().rev() {
+            if self.groups[i].len() >= g.len()
+                && gsig & !self.sigs[i] == 0
+                && g.is_subset_of(&self.groups[i])
+            {
+                self.remove_at(i);
+            }
+        }
+        let idx = self.groups.len();
+        for &id in g.ids() {
+            self.by_element.entry(id).or_default().push(idx);
+        }
+        self.sigs.push(gsig);
+        self.groups.push(g);
+        true
+    }
+
+    /// Removes the group at `i` via swap_remove, fixing the inverted index
+    /// of the group that moved into its slot.
+    fn remove_at(&mut self, i: usize) {
+        let removed = self.groups.swap_remove(i);
+        self.sigs.swap_remove(i);
+        for &id in removed.ids() {
+            if let Some(bucket) = self.by_element.get_mut(&id) {
+                bucket.retain(|&x| x != i);
+            }
+        }
+        // The group formerly at the end (if any) now lives at index i.
+        let old_last = self.groups.len();
+        if i < old_last {
+            for &id in self.groups[i].ids() {
+                if let Some(bucket) = self.by_element.get_mut(&id) {
+                    for x in bucket.iter_mut() {
+                        if *x == old_last {
+                            *x = i;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Merges another family in.
+    pub fn merge(&mut self, other: RgFamily) {
+        for g in other.groups {
+            self.insert(g);
+        }
+    }
+
+    /// Whether the family contains exactly this group.
+    pub fn contains(&self, g: &RiskGroup) -> bool {
+        self.groups.iter().any(|x| x == g)
+    }
+
+    /// Groups resolved to sorted component-name lists (sorted family order:
+    /// by size then names), convenient for assertions and reports.
+    pub fn to_named(&self, graph: &FaultGraph) -> Vec<Vec<String>> {
+        let mut named: Vec<Vec<String>> = self.groups.iter().map(|g| g.names(graph)).collect();
+        named.sort_by(|a, b| a.len().cmp(&b.len()).then_with(|| a.cmp(b)));
+        named
+    }
+
+    /// Smallest group size, if any groups exist.
+    pub fn min_size(&self) -> Option<usize> {
+        self.groups.iter().map(RiskGroup::len).min()
+    }
+
+    /// Drops groups larger than `max_order`.
+    pub fn truncate_order(&mut self, max_order: usize) {
+        let mut i = 0;
+        while i < self.groups.len() {
+            if self.groups[i].len() > max_order {
+                self.remove_at(i);
+            } else {
+                i += 1;
+            }
+        }
+    }
+}
+
+impl FromIterator<RiskGroup> for RgFamily {
+    fn from_iter<T: IntoIterator<Item = RiskGroup>>(iter: T) -> Self {
+        Self::from_groups(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rg(ids: &[NodeId]) -> RiskGroup {
+        RiskGroup::new(ids.to_vec())
+    }
+
+    #[test]
+    fn new_sorts_and_dedups() {
+        let g = rg(&[3, 1, 2, 1]);
+        assert_eq!(g.ids(), &[1, 2, 3]);
+        assert_eq!(g.len(), 3);
+    }
+
+    #[test]
+    fn subset_tests() {
+        assert!(rg(&[2]).is_subset_of(&rg(&[1, 2, 3])));
+        assert!(rg(&[1, 3]).is_subset_of(&rg(&[1, 2, 3])));
+        assert!(!rg(&[1, 4]).is_subset_of(&rg(&[1, 2, 3])));
+        assert!(rg(&[]).is_subset_of(&rg(&[1])));
+        assert!(!rg(&[1, 2, 3]).is_subset_of(&rg(&[1, 2])));
+    }
+
+    #[test]
+    fn union_merges_sorted() {
+        assert_eq!(rg(&[1, 3]).union(&rg(&[2, 3, 5])).ids(), &[1, 2, 3, 5]);
+    }
+
+    #[test]
+    fn family_rejects_supersets() {
+        let mut fam = RgFamily::new();
+        assert!(fam.insert(rg(&[2])));
+        assert!(
+            !fam.insert(rg(&[1, 2])),
+            "superset of {{2}} must be rejected"
+        );
+        assert_eq!(fam.len(), 1);
+    }
+
+    #[test]
+    fn family_evicts_supersets_on_smaller_insert() {
+        let mut fam = RgFamily::new();
+        fam.insert(rg(&[1, 2]));
+        fam.insert(rg(&[2, 3]));
+        assert!(fam.insert(rg(&[2])));
+        assert_eq!(fam.len(), 1);
+        assert!(fam.contains(&rg(&[2])));
+    }
+
+    #[test]
+    fn family_keeps_incomparable_groups() {
+        let mut fam = RgFamily::new();
+        fam.insert(rg(&[1, 3]));
+        fam.insert(rg(&[2]));
+        assert_eq!(fam.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_insert_rejected() {
+        let mut fam = RgFamily::new();
+        assert!(fam.insert(rg(&[1, 2])));
+        assert!(!fam.insert(rg(&[1, 2])));
+        assert_eq!(fam.len(), 1);
+    }
+
+    #[test]
+    fn truncate_order_drops_large() {
+        let mut fam = RgFamily::from_groups([rg(&[1]), rg(&[2, 3]), rg(&[4, 5, 6])]);
+        fam.truncate_order(2);
+        assert_eq!(fam.len(), 2);
+        assert_eq!(fam.min_size(), Some(1));
+    }
+
+    #[test]
+    fn signature_prefilter_is_sound() {
+        // If is_subset_of holds, the signature relation must hold too.
+        let a = rg(&[5, 70]); // 70 % 64 == 6
+        let b = rg(&[5, 64 + 6, 9]);
+        assert!(
+            a.is_subset_of(&b) == ((a.signature() & !b.signature()) == 0 && a.is_subset_of(&b))
+        );
+    }
+}

@@ -1,0 +1,548 @@
+//! The failure sampling risk-group algorithm (§4.1.2).
+//!
+//! Each sampling round flips a coin per basic event, evaluates the fault
+//! graph bottom-up, and — if the top event failed — records the failed set
+//! as a risk group. Two refinements over the paper's plain description:
+//!
+//! * each witness is *greedily minimized* (members are dropped one at a
+//!   time while the top event keeps failing), so every reported group is a
+//!   genuine minimal RG and the "% of minimal RGs detected" metric of
+//!   Figure 7 is directly measurable;
+//! * rounds can be spread across threads, each with an independent seeded
+//!   RNG, merging the (deduplicated) findings at the end.
+//!
+//! The algorithm stays linear per round but is non-deterministic and may
+//! miss RGs; Figure 7's experiments quantify that accuracy/time trade-off.
+
+use indaas_graph::{FaultGraph, NodeId};
+use rand::{Rng, SeedableRng};
+
+use crate::riskgroup::{RgFamily, RiskGroup};
+
+/// Configuration for failure sampling.
+#[derive(Clone, Copy, Debug)]
+pub struct SamplingConfig {
+    /// Number of sampling rounds (the paper sweeps 10³–10⁷).
+    pub rounds: u64,
+    /// Per-event failure probability for the coin flip. The paper flips
+    /// fair coins; lower values bias sampling toward small risk groups.
+    pub fail_prob: f64,
+    /// RNG seed (rounds are reproducible given the seed and thread count).
+    pub seed: u64,
+    /// Worker threads (1 = fully deterministic single-threaded run).
+    pub threads: usize,
+    /// Greedily minimize each failing witness into a minimal RG.
+    pub minimize: bool,
+    /// Weight coin flips by each basic event's failure probability instead
+    /// of the uniform `fail_prob` (events without a probability fall back
+    /// to `fail_prob`). Biases rounds toward *likely* risk groups — the
+    /// importance-sampling refinement in the spirit of the SAT-counting
+    /// methods the paper cites [67].
+    pub weighted: bool,
+}
+
+impl Default for SamplingConfig {
+    fn default() -> Self {
+        SamplingConfig {
+            rounds: 10_000,
+            fail_prob: 0.5,
+            seed: 0,
+            threads: 1,
+            minimize: true,
+            weighted: false,
+        }
+    }
+}
+
+impl SamplingConfig {
+    /// Convenience constructor for the common case.
+    pub fn with_rounds(rounds: u64) -> Self {
+        SamplingConfig {
+            rounds,
+            ..Self::default()
+        }
+    }
+}
+
+/// Runs failure sampling and returns the (deduplicated, minimized) family
+/// of risk groups discovered.
+///
+/// # Panics
+///
+/// Panics if `fail_prob` is outside `(0, 1)` or `threads` is zero.
+pub fn failure_sampling(graph: &FaultGraph, config: &SamplingConfig) -> RgFamily {
+    assert!(
+        config.fail_prob > 0.0 && config.fail_prob < 1.0,
+        "fail_prob must be in (0, 1)"
+    );
+    assert!(config.threads >= 1, "need at least one thread");
+
+    if config.threads == 1 {
+        return sample_worker(graph, config.rounds, config.seed, config);
+    }
+    let per = config.rounds / config.threads as u64;
+    let extra = config.rounds % config.threads as u64;
+    let mut out = RgFamily::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..config.threads {
+            let rounds = per + u64::from((t as u64) < extra);
+            let seed = config
+                .seed
+                .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(t as u64 + 1));
+            handles.push(scope.spawn(move || sample_worker(graph, rounds, seed, config)));
+        }
+        for h in handles {
+            out.merge(h.join().expect("sampling worker panicked"));
+        }
+    });
+    out
+}
+
+fn sample_worker(graph: &FaultGraph, rounds: u64, seed: u64, config: &SamplingConfig) -> RgFamily {
+    if config.minimize {
+        sample_worker_lazy(graph, rounds, seed, config)
+    } else {
+        sample_worker_dense(graph, rounds, seed, config)
+    }
+}
+
+/// The paper's plain algorithm: full per-round assignment and bottom-up
+/// evaluation; failing rounds report the entire failed set as an RG.
+fn sample_worker_dense(
+    graph: &FaultGraph,
+    rounds: u64,
+    seed: u64,
+    config: &SamplingConfig,
+) -> RgFamily {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let plan = graph.eval_plan();
+    let basic = graph.basic_ids();
+    let n = graph.len();
+    let mut assignment = vec![false; n];
+    let mut state = vec![false; n];
+    let mut fam = RgFamily::new();
+    let thresholds = per_basic_thresholds(graph, config);
+
+    for _ in 0..rounds {
+        assignment.iter_mut().for_each(|b| *b = false);
+        let mut failed: Vec<NodeId> = Vec::new();
+        for &id in &basic {
+            if rng.next_u64() <= thresholds[id as usize] {
+                assignment[id as usize] = true;
+                failed.push(id);
+            }
+        }
+        if failed.is_empty() {
+            continue;
+        }
+        plan.evaluate_into(graph, &assignment, &mut state);
+        if state[graph.top() as usize] {
+            fam.insert(RiskGroup::new(failed));
+        }
+    }
+    fam
+}
+
+/// The minimizing variant, built on a lazy short-circuit evaluator: coin
+/// flips are drawn on demand for the basics the evaluation actually
+/// touches, gates short-circuit (an AND over hundreds of redundant paths
+/// stops at the first healthy one), and each failing round is shrunk to a
+/// genuine minimal RG. On the paper's topology-C-scale graphs this is two
+/// orders of magnitude faster per round than dense evaluation.
+fn sample_worker_lazy(
+    graph: &FaultGraph,
+    rounds: u64,
+    seed: u64,
+    config: &SamplingConfig,
+) -> RgFamily {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut eval = LazyEval::new(graph);
+    let mut fam = RgFamily::new();
+    let thresholds = per_basic_thresholds(graph, config);
+    let mut kept_mask = vec![false; graph.len()];
+
+    for _ in 0..rounds {
+        // Random round: basics fail by coin flip, drawn lazily.
+        eval.next_round();
+        if !eval.value(
+            graph.top(),
+            &mut |id, rng: &mut rand::rngs::StdRng| rng.next_u64() <= thresholds[id as usize],
+            &mut rng,
+        ) {
+            continue;
+        }
+        // Extract a small failing witness by descending through failing
+        // gates (random failing children for OR/k-of-n gates — different
+        // rounds minimize toward *different* minimal RGs).
+        let witness = eval.extract_witness(&mut rng);
+
+        // Greedy shrink against the sparse assignment "exactly `kept`".
+        let mut kept = witness;
+        for i in (1..kept.len()).rev() {
+            let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+            kept.swap(i, j);
+        }
+        for &id in &kept {
+            kept_mask[id as usize] = true;
+        }
+        let mut i = 0;
+        while i < kept.len() {
+            let id = kept[i];
+            kept_mask[id as usize] = false;
+            eval.next_round();
+            let still_fails = eval.value(
+                graph.top(),
+                &mut |b, _: &mut rand::rngs::StdRng| kept_mask[b as usize],
+                &mut rng,
+            );
+            if still_fails {
+                kept.swap_remove(i);
+            } else {
+                kept_mask[id as usize] = true;
+                i += 1;
+            }
+        }
+        for &id in &kept {
+            kept_mask[id as usize] = false;
+        }
+        fam.insert(RiskGroup::new(kept));
+    }
+    fam
+}
+
+/// Per-basic-event coin-flip thresholds: uniform `fail_prob`, or the
+/// node's own probability in weighted mode.
+fn per_basic_thresholds(graph: &FaultGraph, config: &SamplingConfig) -> Vec<u64> {
+    let uniform = (config.fail_prob * u64::MAX as f64) as u64;
+    graph
+        .nodes()
+        .iter()
+        .map(|node| {
+            if config.weighted {
+                match node.prob {
+                    Some(p) => (p * u64::MAX as f64) as u64,
+                    None => uniform,
+                }
+            } else {
+                uniform
+            }
+        })
+        .collect()
+}
+
+/// A stamped, memoizing, short-circuiting fault-graph evaluator.
+///
+/// `next_round` invalidates all memoized values in O(1); `value` computes a
+/// node's failure state on demand, querying basic events through a caller
+/// closure (a lazy coin flip, or membership in a candidate set).
+struct LazyEval<'g> {
+    graph: &'g FaultGraph,
+    stamp: Vec<u32>,
+    val: Vec<bool>,
+    cur: u32,
+}
+
+impl<'g> LazyEval<'g> {
+    fn new(graph: &'g FaultGraph) -> Self {
+        LazyEval {
+            graph,
+            stamp: vec![0; graph.len()],
+            val: vec![false; graph.len()],
+            cur: 0,
+        }
+    }
+
+    fn next_round(&mut self) {
+        if self.cur == u32::MAX {
+            self.stamp.iter_mut().for_each(|s| *s = 0);
+            self.cur = 0;
+        }
+        self.cur += 1;
+    }
+
+    fn value<R: Rng>(
+        &mut self,
+        id: NodeId,
+        basic_value: &mut impl FnMut(NodeId, &mut R) -> bool,
+        rng: &mut R,
+    ) -> bool {
+        let idx = id as usize;
+        if self.stamp[idx] == self.cur {
+            return self.val[idx];
+        }
+        let node = self.graph.node(id);
+        let v = match node.gate {
+            None => basic_value(id, rng),
+            Some(gate) => {
+                let total = node.children.len();
+                let need = gate.threshold(total);
+                let mut fails = 0usize;
+                let mut healthy = 0usize;
+                let mut result = false;
+                // For gates that conclude before seeing every child
+                // (OR / k-of-n), iterate in a lazily shuffled order:
+                // short-circuiting in a fixed order would always conclude
+                // from the *same* failing children, and the witness
+                // extraction (which only follows memoized failures) would
+                // keep rediscovering the same risk groups. AND gates need
+                // every child to fail, so their order cannot bias anything
+                // and they skip the shuffle.
+                if need == total {
+                    for &c in &node.children {
+                        if self.value(c, basic_value, rng) {
+                            fails += 1;
+                        } else {
+                            break; // One healthy child suffices for AND.
+                        }
+                    }
+                    result = fails == total;
+                } else if need == 1 && total > 64 {
+                    // Large OR: probe random children (uniform over failing
+                    // children, no copy of the child list); fall back to a
+                    // full scan, which is mandatory anyway to conclude
+                    // "healthy".
+                    for _ in 0..16 {
+                        let c = node.children[(rng.next_u64() % total as u64) as usize];
+                        if self.value(c, basic_value, rng) {
+                            result = true;
+                            break;
+                        }
+                    }
+                    if !result {
+                        for &c in &node.children {
+                            if self.value(c, basic_value, rng) {
+                                result = true;
+                                break;
+                            }
+                        }
+                    }
+                } else {
+                    let mut order = node.children.clone();
+                    for i in 0..total {
+                        let j = i + (rng.next_u64() % (total - i) as u64) as usize;
+                        order.swap(i, j);
+                        if self.value(order[i], basic_value, rng) {
+                            fails += 1;
+                            if fails >= need {
+                                result = true;
+                                break;
+                            }
+                        } else {
+                            healthy += 1;
+                            // Not enough children left to reach the
+                            // threshold.
+                            if healthy > total - need {
+                                break;
+                            }
+                        }
+                    }
+                }
+                result
+            }
+        };
+        self.stamp[idx] = self.cur;
+        self.val[idx] = v;
+        v
+    }
+
+    /// Descends from the (failing) top event, collecting a small basic-event
+    /// set that suffices to fail it: all failing children of AND gates, one
+    /// random failing child per OR gate, a random threshold-subset for
+    /// k-of-n. Only memoized-failing children are followed; children never
+    /// touched by the lazy evaluation this round are treated as healthy
+    /// (sound: untouched children were not needed to conclude failure).
+    fn extract_witness<R: Rng>(&mut self, rng: &mut R) -> Vec<NodeId> {
+        let mut visited = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        let mut stack = vec![self.graph.top()];
+        while let Some(id) = stack.pop() {
+            if !visited.insert(id) {
+                continue;
+            }
+            let node = self.graph.node(id);
+            match node.gate {
+                None => out.push(id),
+                Some(gate) => {
+                    let failing: Vec<NodeId> = node
+                        .children
+                        .iter()
+                        .copied()
+                        .filter(|&c| self.stamp[c as usize] == self.cur && self.val[c as usize])
+                        .collect();
+                    let need = gate.threshold(node.children.len()).min(failing.len());
+                    if need >= failing.len() {
+                        stack.extend_from_slice(&failing);
+                    } else {
+                        let mut picks = failing;
+                        for i in 0..need {
+                            let j = i + (rng.next_u64() % (picks.len() - i) as u64) as usize;
+                            picks.swap(i, j);
+                        }
+                        stack.extend_from_slice(&picks[..need]);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::minimal::{minimal_risk_groups, MinimalConfig};
+    use indaas_graph::detail::{component_sets_to_graph, ComponentSet};
+
+    fn fig4a_graph() -> FaultGraph {
+        component_sets_to_graph(&[
+            ComponentSet::new("E1", ["A1", "A2"]),
+            ComponentSet::new("E2", ["A2", "A3"]),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn sampling_finds_all_rgs_of_small_graph() {
+        let graph = fig4a_graph();
+        let fam = failure_sampling(&graph, &SamplingConfig::with_rounds(2000));
+        let exact = minimal_risk_groups(&graph, &MinimalConfig::default());
+        assert_eq!(fam.to_named(&graph), exact.to_named(&graph));
+    }
+
+    #[test]
+    fn minimized_witnesses_are_minimal() {
+        let graph = fig4a_graph();
+        let fam = failure_sampling(&graph, &SamplingConfig::with_rounds(500));
+        for g in fam.groups() {
+            let mut assignment = vec![false; graph.len()];
+            for &id in g.ids() {
+                assignment[id as usize] = true;
+            }
+            assert!(graph.evaluate(&assignment));
+            for &drop in g.ids() {
+                let mut a = assignment.clone();
+                a[drop as usize] = false;
+                assert!(!graph.evaluate(&a), "sampled RG not minimal: {:?}", g);
+            }
+        }
+    }
+
+    #[test]
+    fn unminimized_witnesses_may_be_larger_but_still_fail_top() {
+        let graph = fig4a_graph();
+        let config = SamplingConfig {
+            rounds: 500,
+            minimize: false,
+            ..SamplingConfig::default()
+        };
+        let fam = failure_sampling(&graph, &config);
+        for g in fam.groups() {
+            let mut assignment = vec![false; graph.len()];
+            for &id in g.ids() {
+                assignment[id as usize] = true;
+            }
+            assert!(graph.evaluate(&assignment));
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let graph = fig4a_graph();
+        let config = SamplingConfig {
+            rounds: 300,
+            seed: 99,
+            ..SamplingConfig::default()
+        };
+        let a = failure_sampling(&graph, &config);
+        let b = failure_sampling(&graph, &config);
+        assert_eq!(a.to_named(&graph), b.to_named(&graph));
+    }
+
+    #[test]
+    fn multithreaded_matches_exact_on_small_graph() {
+        let graph = fig4a_graph();
+        let config = SamplingConfig {
+            rounds: 4000,
+            threads: 4,
+            ..SamplingConfig::default()
+        };
+        let fam = failure_sampling(&graph, &config);
+        let exact = minimal_risk_groups(&graph, &MinimalConfig::default());
+        assert_eq!(fam.to_named(&graph), exact.to_named(&graph));
+    }
+
+    #[test]
+    fn low_fail_prob_biases_toward_small_groups() {
+        // With p = 0.05 and few rounds, the singleton {A2} should still be
+        // found (it dominates the failure probability).
+        let graph = fig4a_graph();
+        let config = SamplingConfig {
+            rounds: 3000,
+            fail_prob: 0.05,
+            ..SamplingConfig::default()
+        };
+        let fam = failure_sampling(&graph, &config);
+        assert!(fam.to_named(&graph).contains(&vec!["A2".to_string()]));
+    }
+
+    #[test]
+    fn weighted_sampling_biases_toward_probable_groups() {
+        // Shared component "hot" has probability 0.5, everything else
+        // 0.001: weighted sampling should find {hot} within few rounds.
+        use indaas_graph::detail::{fault_sets_to_graph, FaultSet};
+        let graph = fault_sets_to_graph(&[
+            FaultSet::new("E1", [("hot", 0.5), ("a", 0.001)]),
+            FaultSet::new("E2", [("hot", 0.5), ("b", 0.001)]),
+        ])
+        .unwrap();
+        let config = SamplingConfig {
+            rounds: 200,
+            weighted: true,
+            fail_prob: 0.001,
+            ..SamplingConfig::default()
+        };
+        let fam = failure_sampling(&graph, &config);
+        assert!(fam
+            .to_named(&graph)
+            .contains(&vec!["hot fails".to_string()]));
+    }
+
+    #[test]
+    fn weighted_sampling_still_sound() {
+        use crate::minimal::{minimal_risk_groups, MinimalConfig};
+        use indaas_graph::detail::{fault_sets_to_graph, FaultSet};
+        let graph = fault_sets_to_graph(&[
+            FaultSet::new("E1", [("x", 0.3), ("y", 0.4)]),
+            FaultSet::new("E2", [("y", 0.4), ("z", 0.2)]),
+        ])
+        .unwrap();
+        let exact: std::collections::HashSet<_> =
+            minimal_risk_groups(&graph, &MinimalConfig::default())
+                .to_named(&graph)
+                .into_iter()
+                .collect();
+        let fam = failure_sampling(
+            &graph,
+            &SamplingConfig {
+                rounds: 2000,
+                weighted: true,
+                ..SamplingConfig::default()
+            },
+        );
+        for g in fam.to_named(&graph) {
+            assert!(exact.contains(&g), "weighted sample {g:?} not minimal");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "fail_prob")]
+    fn bad_fail_prob_rejected() {
+        let graph = fig4a_graph();
+        let config = SamplingConfig {
+            fail_prob: 0.0,
+            ..SamplingConfig::default()
+        };
+        let _ = failure_sampling(&graph, &config);
+    }
+}

@@ -1,0 +1,211 @@
+//! Four cloud providers with distinct key-value stores, for the private
+//! multi-cloud software audit (§6.2.3, Figure 6c, Table 2).
+//!
+//! Cloud1 runs Riak, Cloud2 MongoDB, Cloud3 Redis, Cloud4 CouchDB. Each
+//! provider's component set is the package dependency closure of its store
+//! (what `apt-rdepends` would report on a Debian-era host), plus a few
+//! provider-local infrastructure components that never overlap. The package
+//! lists are synthesized but follow the real stacks' shapes: the two Erlang
+//! stores share the Erlang runtime; everything shares the C library family;
+//! MongoDB drags in Boost; Redis is tiny.
+
+use indaas_deps::{DependencyRecord, SoftwareDep};
+
+/// The store each cloud runs, in cloud order (Cloud1..Cloud4).
+pub const STORES: [&str; 4] = ["Riak", "MongoDB", "Redis", "CouchDB"];
+
+/// One cloud provider's software stack.
+#[derive(Clone, Debug)]
+pub struct CloudStack {
+    /// Provider name ("Cloud1"...).
+    pub name: String,
+    /// Store program name.
+    pub store: String,
+    /// Package dependency closure of the store.
+    pub packages: Vec<String>,
+}
+
+/// Common packages every Linux store pulls in.
+fn base_packages() -> Vec<&'static str> {
+    vec![
+        "libc6-2.19",
+        "libgcc1-4.9",
+        "zlib1g-1.2.8",
+        "multiarch-support",
+        "gcc-4.9-base",
+    ]
+}
+
+/// The Erlang runtime closure shared by Riak and CouchDB.
+fn erlang_packages() -> Vec<&'static str> {
+    vec![
+        "erlang-base-17.3",
+        "erlang-crypto-17.3",
+        "erlang-syntax-tools-17.3",
+        "erlang-asn1-17.3",
+        "erlang-public-key-17.3",
+        "erlang-ssl-17.3",
+        "libtinfo5-5.9",
+        "libncurses5-5.9",
+        "libsctp1-1.0.16",
+    ]
+}
+
+/// Builds the package closure for one store.
+pub fn packages_for(store: &str) -> Vec<String> {
+    let mut pkgs: Vec<&str> = base_packages();
+    match store {
+        "Riak" => {
+            pkgs.extend(erlang_packages());
+            pkgs.extend([
+                "libssl1.0.0-1.0.1f",
+                "libstdc++6-4.9",
+                "libsvn1-1.8.10",
+                "libserf-1-1.3.7",
+                "libsasl2-2-2.1.26",
+                "libapr1-1.5.1",
+                "libaprutil1-1.5.4",
+                "riak-2.0.2",
+            ]);
+        }
+        "MongoDB" => {
+            pkgs.extend([
+                "libssl1.0.0-1.0.1f",
+                "libstdc++6-4.9",
+                "libboost-filesystem1.55",
+                "libboost-program-options1.55",
+                "libboost-system1.55",
+                "libboost-thread1.55",
+                "libpcre3-8.35",
+                "libpcap0.8-1.6.2",
+                "libsnappy1-1.1.2",
+                "libyaml-cpp0.5-0.5.1",
+                "libgoogle-perftools4-2.2.1",
+                "libunwind8-1.1",
+                "mongodb-server-2.6.5",
+            ]);
+        }
+        "Redis" => {
+            pkgs.extend(["libjemalloc1-3.6.0", "redis-server-2.8.17"]);
+        }
+        "CouchDB" => {
+            pkgs.extend(erlang_packages());
+            pkgs.extend([
+                "libssl1.0.0-1.0.1f",
+                "libicu52-52.1",
+                "libmozjs185-1.0-1.8.5",
+                "libcurl3-7.38.0",
+                "libnspr4-4.10.7",
+                "librtmp1-2.4",
+                "libidn11-1.29",
+                "couchdb-1.6.1",
+            ]);
+        }
+        other => panic!("unknown store {other:?}"),
+    }
+    pkgs.into_iter().map(String::from).collect()
+}
+
+/// Builds all four cloud stacks of the case study.
+pub fn cloud_stacks() -> Vec<CloudStack> {
+    STORES
+        .iter()
+        .enumerate()
+        .map(|(i, &store)| CloudStack {
+            name: format!("Cloud{}", i + 1),
+            store: store.to_string(),
+            packages: packages_for(store),
+        })
+        .collect()
+}
+
+/// Ground-truth software dependency records for all four clouds: each
+/// cloud's store program runs on a host named after the cloud and depends
+/// on its package closure.
+pub fn cloud_software_records() -> Vec<DependencyRecord> {
+    cloud_stacks()
+        .into_iter()
+        .map(|stack| {
+            DependencyRecord::Software(SoftwareDep {
+                pgm: stack.store,
+                hw: format!("{}-host", stack.name),
+                deps: stack.packages,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn set(store: &str) -> BTreeSet<String> {
+        packages_for(store).into_iter().collect()
+    }
+
+    #[test]
+    fn four_stacks_generated() {
+        let stacks = cloud_stacks();
+        assert_eq!(stacks.len(), 4);
+        assert_eq!(stacks[0].name, "Cloud1");
+        assert_eq!(stacks[0].store, "Riak");
+        assert_eq!(stacks[3].store, "CouchDB");
+    }
+
+    #[test]
+    fn packages_are_unique_per_store() {
+        for store in STORES {
+            let pkgs = packages_for(store);
+            let uniq: BTreeSet<_> = pkgs.iter().collect();
+            assert_eq!(uniq.len(), pkgs.len(), "{store} has duplicate packages");
+        }
+    }
+
+    #[test]
+    fn erlang_stores_share_runtime() {
+        let riak = set("Riak");
+        let couch = set("CouchDB");
+        let shared: Vec<_> = riak.intersection(&couch).collect();
+        assert!(
+            shared.iter().any(|p| p.starts_with("erlang-base")),
+            "Riak and CouchDB must share the Erlang runtime"
+        );
+        // Their overlap must exceed what either shares with Redis.
+        let redis = set("Redis");
+        assert!(shared.len() > riak.intersection(&redis).count());
+    }
+
+    #[test]
+    fn everything_shares_libc() {
+        for store in STORES {
+            assert!(
+                set(store).iter().any(|p| p.starts_with("libc6")),
+                "{store} must depend on libc"
+            );
+        }
+    }
+
+    #[test]
+    fn redis_is_the_smallest_stack() {
+        let redis_len = set("Redis").len();
+        for store in ["Riak", "MongoDB", "CouchDB"] {
+            assert!(set(store).len() > redis_len, "{store} should exceed Redis");
+        }
+    }
+
+    #[test]
+    fn records_shape() {
+        let records = cloud_software_records();
+        assert_eq!(records.len(), 4);
+        for r in &records {
+            assert_eq!(r.kind(), "software");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown store")]
+    fn unknown_store_panics() {
+        let _ = packages_for("LevelDB");
+    }
+}

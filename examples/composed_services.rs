@@ -1,0 +1,78 @@
+//! Aggregate dependency graphs across services (§4.1.1, TR-1479) — the
+//! Amazon EBS scenario from the paper's introduction.
+//!
+//! An application runs "redundantly" on two EC2 instances; each instance
+//! depends on the EBS storage service and the ELB load-balancing service.
+//! Unbeknownst to the application's operator, both availability zones'
+//! EBS deployments route control traffic through one EBS control-plane
+//! server — the single common dependency that took down US-East in the
+//! documented 2012 event [4]. Composing the per-service fault graphs makes
+//! the hidden dependency visible *before* the outage.
+//!
+//! Run with: `cargo run --example composed_services`
+
+use indaas::graph::detail::{component_sets_to_graph, ComponentSet};
+use indaas::graph::{compose, to_dot, Gate};
+use indaas::sia::{minimal_risk_groups, DeploymentAudit, MinimalConfig};
+
+fn main() {
+    // Per-service dependency graphs, as each provider team would model
+    // them. EBS in both zones shares the control-plane server.
+    let ebs_zone_a = component_sets_to_graph(&[ComponentSet::new(
+        "EBS-zone-a",
+        ["ebs-vol-server-a1", "ebs-control-plane", "zone-a-power"],
+    )])
+    .expect("service graph builds");
+    let ebs_zone_b = component_sets_to_graph(&[ComponentSet::new(
+        "EBS-zone-b",
+        ["ebs-vol-server-b1", "ebs-control-plane", "zone-b-power"],
+    )])
+    .expect("service graph builds");
+    let elb_zone_a = component_sets_to_graph(&[ComponentSet::new(
+        "ELB-zone-a",
+        ["elb-node-a", "zone-a-power"],
+    )])
+    .expect("service graph builds");
+    let elb_zone_b = component_sets_to_graph(&[ComponentSet::new(
+        "ELB-zone-b",
+        ["elb-node-b", "zone-b-power"],
+    )])
+    .expect("service graph builds");
+
+    // Each EC2 instance needs BOTH its zone's EBS and ELB (OR composition:
+    // either service failing fails the instance).
+    let instance_a = compose("EC2-instance-a", Gate::Or, &[&ebs_zone_a, &elb_zone_a])
+        .expect("composition succeeds");
+    let instance_b = compose("EC2-instance-b", Gate::Or, &[&ebs_zone_b, &elb_zone_b])
+        .expect("composition succeeds");
+
+    // The application replicates across the two instances (AND: both must
+    // fail for an outage).
+    let app = compose("application", Gate::And, &[&instance_a, &instance_b])
+        .expect("composition succeeds");
+
+    let rgs = minimal_risk_groups(&app, &MinimalConfig::default());
+    let audit = DeploymentAudit::size_based("application", &rgs, &app, 2, None);
+    println!("minimal risk groups of the composed application:");
+    for rg in &audit.ranked_rgs {
+        println!("  {{{}}}", rg.events.join(" & "));
+    }
+    println!("{} unexpected risk group(s)", audit.unexpected_rgs);
+
+    // The audit must surface the shared EBS control plane as a size-1 RG.
+    assert_eq!(
+        audit.ranked_rgs[0].events,
+        vec!["ebs-control-plane".to_string()]
+    );
+    assert_eq!(audit.unexpected_rgs, 1);
+    println!("\nthe hidden cross-zone dependency is 'ebs-control-plane' — exactly");
+    println!("the kind of common dependency behind the 2012 US-East EBS event");
+
+    // Export the composed graph for inspection.
+    let shared = app
+        .basic_by_name("ebs-control-plane")
+        .expect("component exists");
+    let dot = to_dot(&app, &[shared]);
+    println!("\nGraphviz DOT of the composed fault graph (shared RG highlighted):\n");
+    println!("{dot}");
+}

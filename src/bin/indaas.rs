@@ -1,0 +1,237 @@
+//! `indaas` — command-line independence auditing.
+//!
+//! ```text
+//! indaas sia --records deps.txt --deploy "pair-a=S1,S2" --deploy "pair-b=S1,S3"
+//! indaas sia --records deps.txt --deploy "svc=S1,S2" --algorithm sampling --rounds 100000
+//! indaas pia --set Cloud1=c1.txt --set Cloud2=c2.txt --set Cloud3=c3.txt --way 2
+//! indaas dot --records deps.txt --servers S1,S2 > graph.dot
+//! ```
+//!
+//! `--records` files hold Table-1 records (`<src="S1" .../>`, one per
+//! line); `--set` files hold one component per line. `--json` switches any
+//! subcommand to machine-readable output.
+
+use std::process::ExitCode;
+
+use indaas::core::{AuditSpec, AuditingAgent, CandidateDeployment, RankingMetric, RgAlgorithm};
+use indaas::deps::{parse_records, DepDb, FailureProbModel};
+use indaas::graph::to_dot;
+use indaas::pia::normalize::normalize_set;
+use indaas::pia::report::render_ranking;
+use indaas::pia::{rank_deployments, PsopConfig};
+use indaas::sia::{build_fault_graph, BuildSpec};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("sia") => cmd_sia(&args[1..]),
+        Some("pia") => cmd_pia(&args[1..]),
+        Some("dot") => cmd_dot(&args[1..]),
+        Some("help") | Some("--help") | None => {
+            eprint!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Some(other) => Err(format!("unknown subcommand {other:?}\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+indaas — audit the independence of redundant deployments (INDaaS, OSDI'14)
+
+USAGE:
+  indaas sia --records FILE --deploy NAME=S1,S2[,...] [--deploy ...]
+             [--algorithm minimal|sampling] [--rounds N] [--max-order K]
+             [--metric size|probability] [--default-prob P]
+             [--only network,hardware,software] [--json]
+  indaas pia --set NAME=FILE [--set ...] [--way N] [--minhash M] [--json]
+  indaas dot --records FILE --servers S1,S2[,...]
+
+FILES:
+  --records  Table-1 dependency records, one per line
+  --set      one component identifier per line (normalized automatically)
+";
+
+/// Simple flag cursor over argv.
+struct Flags<'a> {
+    args: &'a [String],
+}
+
+impl<'a> Flags<'a> {
+    fn values(&self, flag: &str) -> Vec<&'a str> {
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < self.args.len() {
+            if self.args[i] == flag {
+                if let Some(v) = self.args.get(i + 1) {
+                    out.push(v.as_str());
+                    i += 1;
+                }
+            }
+            i += 1;
+        }
+        out
+    }
+
+    fn value(&self, flag: &str) -> Option<&'a str> {
+        self.values(flag).into_iter().next()
+    }
+
+    fn has(&self, flag: &str) -> bool {
+        self.args.iter().any(|a| a == flag)
+    }
+}
+
+fn load_db(flags: &Flags) -> Result<DepDb, String> {
+    let path = flags.value("--records").ok_or("missing --records FILE")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let records = parse_records(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+    Ok(DepDb::from_records(records))
+}
+
+fn cmd_sia(args: &[String]) -> Result<(), String> {
+    let flags = Flags { args };
+    let db = load_db(&flags)?;
+    let mut candidates = Vec::new();
+    for spec in flags.values("--deploy") {
+        let (name, servers) = spec
+            .split_once('=')
+            .ok_or_else(|| format!("--deploy wants NAME=S1,S2 (got {spec:?})"))?;
+        let servers: Vec<String> = servers
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(String::from)
+            .collect();
+        if servers.len() < 2 {
+            return Err(format!("deployment {name:?} needs at least two servers"));
+        }
+        candidates.push(CandidateDeployment::replicated(name, servers));
+    }
+    if candidates.is_empty() {
+        return Err("at least one --deploy required".into());
+    }
+
+    let algorithm = match flags.value("--algorithm").unwrap_or("minimal") {
+        "minimal" => RgAlgorithm::Minimal {
+            max_order: flags
+                .value("--max-order")
+                .map(|v| v.parse().map_err(|e| format!("--max-order: {e}")))
+                .transpose()?,
+        },
+        "sampling" => RgAlgorithm::Sampling {
+            rounds: flags
+                .value("--rounds")
+                .unwrap_or("100000")
+                .parse()
+                .map_err(|e| format!("--rounds: {e}"))?,
+            fail_prob: 0.5,
+            seed: 2014,
+            threads: 1,
+        },
+        other => return Err(format!("unknown algorithm {other:?}")),
+    };
+    let metric = match flags.value("--metric").unwrap_or("size") {
+        "size" => RankingMetric::Size,
+        "probability" | "prob" => RankingMetric::Probability {
+            default_prob: flags
+                .value("--default-prob")
+                .unwrap_or("0.05")
+                .parse()
+                .map_err(|e| format!("--default-prob: {e}"))?,
+        },
+        other => return Err(format!("unknown metric {other:?}")),
+    };
+    let only = flags.value("--only").unwrap_or("network,hardware,software");
+    let spec = AuditSpec {
+        candidates,
+        network: only.contains("network"),
+        hardware: only.contains("hardware"),
+        software: only.contains("software"),
+        algorithm,
+        prob_model: matches!(metric, RankingMetric::Probability { .. })
+            .then(FailureProbModel::gill_defaults),
+        metric,
+        top_n: None,
+    };
+
+    let agent = AuditingAgent::new(db);
+    let report = agent.audit_sia(&spec).map_err(|e| e.to_string())?;
+    if flags.has("--json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?
+        );
+    } else {
+        print!("{}", report.render());
+    }
+    Ok(())
+}
+
+fn cmd_pia(args: &[String]) -> Result<(), String> {
+    let flags = Flags { args };
+    let mut providers = Vec::new();
+    for spec in flags.values("--set") {
+        let (name, path) = spec
+            .split_once('=')
+            .ok_or_else(|| format!("--set wants NAME=FILE (got {spec:?})"))?;
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        let raw: Vec<&str> = text
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .collect();
+        if raw.is_empty() {
+            return Err(format!("{path}: empty component set"));
+        }
+        providers.push((name.to_string(), normalize_set(raw)));
+    }
+    if providers.len() < 2 {
+        return Err("at least two --set providers required".into());
+    }
+    let way: usize = flags
+        .value("--way")
+        .unwrap_or("2")
+        .parse()
+        .map_err(|e| format!("--way: {e}"))?;
+    if way < 2 || way > providers.len() {
+        return Err("--way must be between 2 and the number of providers".into());
+    }
+    let minhash = flags
+        .value("--minhash")
+        .map(|v| v.parse().map_err(|e| format!("--minhash: {e}")))
+        .transpose()?;
+    let rankings = rank_deployments(&providers, way, minhash, &PsopConfig::default());
+    if flags.has("--json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&rankings).map_err(|e| e.to_string())?
+        );
+    } else {
+        print!("{}", render_ranking(way, &rankings));
+    }
+    Ok(())
+}
+
+fn cmd_dot(args: &[String]) -> Result<(), String> {
+    let flags = Flags { args };
+    let db = load_db(&flags)?;
+    let servers: Vec<String> = flags
+        .value("--servers")
+        .ok_or("missing --servers S1,S2")?
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(String::from)
+        .collect();
+    let graph = build_fault_graph(&db, &BuildSpec::all("deployment", servers))
+        .map_err(|e| e.to_string())?;
+    print!("{}", to_dot(&graph, &[]));
+    Ok(())
+}

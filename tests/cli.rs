@@ -1,0 +1,136 @@
+//! Integration tests for the `indaas` command-line tool.
+
+use std::io::Write;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_indaas"))
+}
+
+fn write_temp(name: &str, content: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("indaas-cli-test-{name}-{}", std::process::id()));
+    let mut f = std::fs::File::create(&path).expect("temp file");
+    f.write_all(content.as_bytes()).expect("write temp file");
+    path
+}
+
+const RECORDS: &str = r#"
+    <src="S1" dst="Internet" route="tor1,core1"/>
+    <src="S2" dst="Internet" route="tor1,core2"/>
+    <src="S3" dst="Internet" route="tor2,core2"/>
+"#;
+
+#[test]
+fn sia_text_report_ranks_deployments() {
+    let records = write_temp("records-sia", RECORDS);
+    let out = bin()
+        .args([
+            "sia",
+            "--records",
+            records.to_str().unwrap(),
+            "--deploy",
+            "same-rack=S1,S2",
+            "--deploy",
+            "cross-rack=S1,S3",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("cross-rack"));
+    assert!(text.contains("unexpected RGs=1"), "same-rack shares tor1");
+    // cross-rack must rank first.
+    let cross = text.find("cross-rack").unwrap();
+    let same = text.find("same-rack").unwrap();
+    assert!(cross < same);
+}
+
+#[test]
+fn sia_json_report_parses() {
+    let records = write_temp("records-json", RECORDS);
+    let out = bin()
+        .args([
+            "sia",
+            "--records",
+            records.to_str().unwrap(),
+            "--deploy",
+            "pair=S1,S2",
+            "--json",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let v: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid JSON");
+    assert_eq!(v["deployments"][0]["name"], "pair");
+}
+
+#[test]
+fn pia_ranks_component_sets() {
+    let a = write_temp("set-a", "libc6\nopenssl\nerlang\n");
+    let b = write_temp("set-b", "libc6\nopenssl\nboost\n");
+    let c = write_temp("set-c", "musl\nluajit\n");
+    let out = bin()
+        .args([
+            "pia",
+            "--set",
+            &format!("A={}", a.display()),
+            "--set",
+            &format!("B={}", b.display()),
+            "--set",
+            &format!("C={}", c.display()),
+            "--way",
+            "2",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    // A & B share 2 of 4; pairs with C are disjoint → A & B ranks last.
+    let last_line = text
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .last()
+        .unwrap();
+    assert!(last_line.contains("A & B"), "got: {last_line}");
+}
+
+#[test]
+fn dot_emits_graphviz() {
+    let records = write_temp("records-dot", RECORDS);
+    let out = bin()
+        .args([
+            "dot",
+            "--records",
+            records.to_str().unwrap(),
+            "--servers",
+            "S1,S2",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.starts_with("digraph fault_graph"));
+    assert!(text.contains("tor1"));
+}
+
+#[test]
+fn bad_usage_fails_with_message() {
+    let out = bin().arg("sia").output().expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--records"));
+
+    let out = bin().arg("frobnicate").output().expect("binary runs");
+    assert!(!out.status.success());
+
+    let out = bin().arg("--help").output().expect("binary runs");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"));
+}

@@ -1,0 +1,110 @@
+//! End-to-end private independence auditing: provider component sets →
+//! normalization → (MinHash) → P-SOP → Jaccard ranking, across crates.
+
+use std::collections::BTreeSet;
+
+use indaas::deps::DepDb;
+use indaas::pia::jaccard::jaccard_exact;
+use indaas::pia::normalize::normalize_set;
+use indaas::pia::{minhash_signature, rank_deployments, run_psop, PsopConfig};
+use indaas::simnet::SimNetwork;
+use indaas::topology::clouds::{cloud_software_records, cloud_stacks};
+
+/// P-SOP over the four case-study clouds yields exactly the plaintext
+/// Jaccard similarities — privacy costs no accuracy at this level.
+#[test]
+fn psop_matches_plaintext_jaccard_on_cloud_stacks() {
+    let stacks = cloud_stacks();
+    for pair in [(0usize, 1usize), (1, 2), (0, 3)] {
+        let a = normalize_set(stacks[pair.0].packages.iter().map(String::as_str));
+        let b = normalize_set(stacks[pair.1].packages.iter().map(String::as_str));
+        let exact = {
+            let sa: BTreeSet<String> = a.iter().cloned().collect();
+            let sb: BTreeSet<String> = b.iter().cloned().collect();
+            jaccard_exact(&[sa, sb])
+        };
+        let mut net = SimNetwork::new(3);
+        let out = run_psop(&[a, b], &PsopConfig::default(), &mut net);
+        assert!(
+            (out.jaccard - exact).abs() < 1e-12,
+            "pair {pair:?}: psop={} exact={exact}",
+            out.jaccard
+        );
+    }
+}
+
+/// The full Table 2 pipeline: all 2-way and 3-way rankings are complete,
+/// ascending, and identify the Erlang-sharing pair as least independent.
+#[test]
+fn table2_rankings_complete_and_ordered() {
+    let providers: Vec<(String, Vec<String>)> = cloud_stacks()
+        .into_iter()
+        .map(|s| (s.name, normalize_set(s.packages.iter().map(String::as_str))))
+        .collect();
+    let two = rank_deployments(&providers, 2, None, &PsopConfig::default());
+    let three = rank_deployments(&providers, 3, None, &PsopConfig::default());
+    assert_eq!(two.len(), 6);
+    assert_eq!(three.len(), 4);
+    for w in two.windows(2) {
+        assert!(w[0].jaccard <= w[1].jaccard);
+    }
+    assert_eq!(two[5].providers, vec!["Cloud1", "Cloud4"]); // Riak + CouchDB.
+    assert_eq!(three[0].providers, vec!["Cloud2", "Cloud3", "Cloud4"]);
+}
+
+/// MinHash-compressed PIA approximates the exact ranking within the
+/// O(1/sqrt(m)) error bound and keeps the worst pair last.
+#[test]
+fn minhash_pia_tracks_exact() {
+    let providers: Vec<(String, Vec<String>)> = cloud_stacks()
+        .into_iter()
+        .map(|s| (s.name, normalize_set(s.packages.iter().map(String::as_str))))
+        .collect();
+    let exact = rank_deployments(&providers, 2, None, &PsopConfig::default());
+    let approx = rank_deployments(&providers, 2, Some(512), &PsopConfig::default());
+    assert_eq!(
+        approx.last().unwrap().providers,
+        exact.last().unwrap().providers
+    );
+    // Values within the estimator's error budget.
+    for r in &approx {
+        let e = exact.iter().find(|x| x.providers == r.providers).unwrap();
+        assert!(
+            (r.jaccard - e.jaccard).abs() < 0.15,
+            "{:?}: approx {} vs exact {}",
+            r.providers,
+            r.jaccard,
+            e.jaccard
+        );
+    }
+}
+
+/// The DepDB component-set extraction feeds PIA directly: records in,
+/// similarity out.
+#[test]
+fn depdb_component_sets_feed_psop() {
+    let db = DepDb::from_records(cloud_software_records());
+    let hosts: Vec<String> = db.hosts().into_iter().collect();
+    assert_eq!(hosts.len(), 4);
+    let sets: Vec<Vec<String>> = hosts
+        .iter()
+        .map(|h| db.component_set_of(h).into_iter().collect())
+        .collect();
+    let mut net = SimNetwork::new(3);
+    let out = run_psop(
+        &[sets[0].clone(), sets[1].clone()],
+        &PsopConfig::default(),
+        &mut net,
+    );
+    assert!(out.union > 0);
+    assert!(out.intersection > 0, "all stacks share base packages");
+}
+
+/// Signatures are deterministic: two providers computing MinHash
+/// independently over equal sets produce identical signatures (the
+/// protocol depends on this).
+#[test]
+fn minhash_deterministic_across_parties() {
+    let set = normalize_set(["libc6-2.19", "openssl-1.0.1f", "zlib1g-1.2.8"]);
+    assert_eq!(minhash_signature(&set, 64), minhash_signature(&set, 64));
+}

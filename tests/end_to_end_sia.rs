@@ -1,0 +1,159 @@
+//! End-to-end structural independence auditing: dependency records →
+//! DepDB → fault graph → risk groups → ranked report, across crates.
+
+use indaas::core::{AuditSpec, AuditingAgent, CandidateDeployment, RankingMetric, RgAlgorithm};
+use indaas::deps::DependencyAcquisitionModule;
+use indaas::deps::{parse_records, DepDb, FailureProbModel, SimCollector};
+use indaas::topology::{BensonDatacenter, IaasLab};
+
+/// The §6.2.2 case study end to end: the audit must surface the co-located
+/// VMs' shared host as the top risk group, and the re-deployment must
+/// eliminate all unexpected risk groups.
+#[test]
+fn iaas_case_study_end_to_end() {
+    let lab = IaasLab::new(42);
+    let agent = AuditingAgent::new(DepDb::from_records(lab.records()));
+    let spec = AuditSpec {
+        software: false,
+        ..AuditSpec::sia_size_based(vec![CandidateDeployment::replicated(
+            "riak",
+            [lab.vm_name(7), lab.vm_name(8)],
+        )])
+    };
+    let report = agent.audit_sia(&spec).unwrap();
+    let audit = &report.deployments[0];
+    assert_eq!(audit.ranked_rgs[0].events, vec!["Server2".to_string()]);
+    assert!(audit.unexpected_rgs > 0);
+
+    // Re-deploy on distinct servers, as the report suggests.
+    let fixed = IaasLab::with_placement(vec![1, 1, 1, 1, 1, 1, 1, 2]);
+    let agent = AuditingAgent::new(DepDb::from_records(fixed.records()));
+    let spec = AuditSpec {
+        software: false,
+        ..AuditSpec::sia_size_based(vec![CandidateDeployment::replicated(
+            "riak-fixed",
+            [fixed.vm_name(7), fixed.vm_name(8)],
+        )])
+    };
+    let report = agent.audit_sia(&spec).unwrap();
+    assert_eq!(report.deployments[0].unexpected_rgs, 0);
+}
+
+/// The §6.2.1 case study end to end with both RG algorithms: minimal and
+/// sampling must agree on which deployments have unexpected RGs.
+#[test]
+fn network_case_study_algorithms_agree() {
+    let dc = BensonDatacenter::new();
+    let agent = AuditingAgent::new(DepDb::from_records(dc.network_records()));
+    // A clean cross-group pair and a dirty same-group pair.
+    let candidates = vec![
+        CandidateDeployment::replicated("same-agg", [dc.server_name(1), dc.server_name(2)]),
+        CandidateDeployment::replicated("cross-agg", [dc.server_name(1), dc.server_name(20)]),
+    ];
+    let minimal = agent
+        .audit_sia(&AuditSpec::sia_size_based(candidates.clone()))
+        .unwrap();
+    let sampling = agent
+        .audit_sia(&AuditSpec {
+            algorithm: RgAlgorithm::Sampling {
+                rounds: 20_000,
+                fail_prob: 0.5,
+                seed: 1,
+                threads: 2,
+            },
+            ..AuditSpec::sia_size_based(candidates)
+        })
+        .unwrap();
+    for report in [&minimal, &sampling] {
+        assert_eq!(report.best().unwrap().name, "cross-agg");
+        assert_eq!(report.best().unwrap().unexpected_rgs, 0);
+        let dirty = report
+            .deployments
+            .iter()
+            .find(|d| d.name == "same-agg")
+            .unwrap();
+        assert_eq!(
+            dirty.unexpected_rgs, 1,
+            "shared b1 must be an unexpected RG"
+        );
+    }
+}
+
+/// Lossy collectors (the paper's ~90% detection) still surface the shared
+/// dependency as long as at least one route mentioning it is detected.
+#[test]
+fn audit_through_lossy_collector() {
+    let dc = BensonDatacenter::new();
+    let mut collector = SimCollector::new("nsdminer", dc.network_records(), 0.1, 99);
+    let mut records = Vec::new();
+    for host in collector.hosts() {
+        records.extend(collector.collect(&host).unwrap());
+    }
+    let full = dc.network_records().len();
+    assert!(
+        records.len() < full,
+        "the lossy collector must miss something"
+    );
+    assert!(records.len() > full * 8 / 10, "~90% coverage expected");
+
+    let agent = AuditingAgent::new(DepDb::from_records(records));
+    // Both racks are in the b1 group: {b1} should still be found if both
+    // servers kept at least one route.
+    let spec = AuditSpec::sia_size_based(vec![CandidateDeployment::replicated(
+        "same-agg",
+        [dc.server_name(3), dc.server_name(4)],
+    )]);
+    let report = agent.audit_sia(&spec).unwrap();
+    let audit = &report.deployments[0];
+    assert!(
+        audit
+            .ranked_rgs
+            .iter()
+            .any(|rg| rg.events == vec!["b1".to_string()]),
+        "the shared aggregation router must survive 10% collection loss"
+    );
+}
+
+/// Probability-ranked audit over the Figure 3 running example: Pr(outage)
+/// must match the analytic value for the dominating singleton RGs.
+#[test]
+fn probability_audit_matches_analytic() {
+    let db = DepDb::from_records(
+        parse_records(
+            r#"
+            <src="S1" dst="Internet" route="tor1"/>
+            <src="S2" dst="Internet" route="tor1"/>
+        "#,
+        )
+        .unwrap(),
+    );
+    let agent = AuditingAgent::new(db);
+    let spec = AuditSpec {
+        metric: RankingMetric::Probability { default_prob: 0.25 },
+        prob_model: Some(FailureProbModel::new(0.25)),
+        ..AuditSpec::sia_size_based(vec![CandidateDeployment::replicated("pair", ["S1", "S2"])])
+    };
+    let report = agent.audit_sia(&spec).unwrap();
+    let audit = &report.deployments[0];
+    // Only RG is {tor1} with probability 0.25 → Pr(T) = 0.25.
+    let pr = audit.failure_probability.unwrap();
+    assert!((pr - 0.25).abs() < 1e-12, "Pr(T) = {pr}");
+    assert_eq!(audit.ranked_rgs.len(), 1);
+    assert!((audit.ranked_rgs[0].importance.unwrap() - 1.0).abs() < 1e-12);
+}
+
+/// Reports serialize to JSON and back — the agent-to-client wire format.
+#[test]
+fn report_json_roundtrip() {
+    let lab = IaasLab::new(7);
+    let agent = AuditingAgent::new(DepDb::from_records(lab.records()));
+    let spec = AuditSpec::sia_size_based(vec![CandidateDeployment::replicated(
+        "riak",
+        [lab.vm_name(7), lab.vm_name(8)],
+    )]);
+    let report = agent.audit_sia(&spec).unwrap();
+    let json = serde_json::to_string(&report).unwrap();
+    let back: indaas::sia::AuditReport = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.deployments.len(), report.deployments.len());
+    assert_eq!(back.best().unwrap().name, report.best().unwrap().name);
+}

@@ -1,0 +1,135 @@
+//! Cross-crate property-based tests on the core auditing invariants.
+
+use indaas::graph::detail::{component_sets_to_graph, ComponentSet};
+use indaas::graph::{FaultGraphBuilder, Gate};
+use indaas::sia::{
+    failure_sampling, minimal_risk_groups, MinimalConfig, RgFamily, RiskGroup, SamplingConfig,
+};
+use proptest::prelude::*;
+
+/// Strategy: 2–4 component sets over a small shared universe, every set
+/// non-empty.
+fn component_sets() -> impl Strategy<Value = Vec<ComponentSet>> {
+    proptest::collection::vec(proptest::collection::btree_set(0u8..12, 1..6), 2..5usize).prop_map(
+        |sets| {
+            sets.into_iter()
+                .enumerate()
+                .map(|(i, comps)| {
+                    ComponentSet::new(format!("E{i}"), comps.into_iter().map(|c| format!("c{c}")))
+                })
+                .collect()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every minimal RG fails the top event, and removing any member
+    /// un-fails it (definition of minimality, §4.1.2).
+    #[test]
+    fn minimal_rgs_are_cut_sets_and_minimal(sets in component_sets()) {
+        let graph = component_sets_to_graph(&sets).unwrap();
+        let rgs = minimal_risk_groups(&graph, &MinimalConfig::default());
+        prop_assert!(!rgs.is_empty(), "a finite graph always has cut sets");
+        for g in rgs.groups() {
+            let mut assignment = vec![false; graph.len()];
+            for &id in g.ids() {
+                assignment[id as usize] = true;
+            }
+            prop_assert!(graph.evaluate(&assignment));
+            for &drop in g.ids() {
+                let mut a = assignment.clone();
+                a[drop as usize] = false;
+                prop_assert!(!graph.evaluate(&a));
+            }
+        }
+    }
+
+    /// The minimal RG family matches brute-force enumeration over all
+    /// basic-event assignments.
+    #[test]
+    fn minimal_rgs_match_bruteforce(sets in component_sets()) {
+        let graph = component_sets_to_graph(&sets).unwrap();
+        let basic = graph.basic_ids();
+        prop_assume!(basic.len() <= 12);
+        let mut brute = RgFamily::new();
+        for mask in 1u32..(1 << basic.len()) {
+            let mut assignment = vec![false; graph.len()];
+            for (bit, &id) in basic.iter().enumerate() {
+                assignment[id as usize] = mask >> bit & 1 == 1;
+            }
+            if graph.evaluate(&assignment) {
+                brute.insert(RiskGroup::new(
+                    basic
+                        .iter()
+                        .enumerate()
+                        .filter(|&(bit, _)| mask >> bit & 1 == 1)
+                        .map(|(_, &id)| id)
+                        .collect(),
+                ));
+            }
+        }
+        let algo = minimal_risk_groups(&graph, &MinimalConfig::default());
+        prop_assert_eq!(algo.to_named(&graph), brute.to_named(&graph));
+    }
+
+    /// Failure sampling only ever reports genuine minimal RGs, and every
+    /// one it reports is in the exact family.
+    #[test]
+    fn sampling_is_sound(sets in component_sets(), seed in 0u64..1000) {
+        let graph = component_sets_to_graph(&sets).unwrap();
+        let exact = minimal_risk_groups(&graph, &MinimalConfig::default());
+        let sampled = failure_sampling(&graph, &SamplingConfig {
+            rounds: 300,
+            fail_prob: 0.5,
+            seed,
+            threads: 1,
+            minimize: true,
+            weighted: false,
+        });
+        let exact_named: std::collections::HashSet<_> =
+            exact.to_named(&graph).into_iter().collect();
+        for g in sampled.to_named(&graph) {
+            prop_assert!(exact_named.contains(&g), "sampled {g:?} not minimal");
+        }
+    }
+
+    /// Subsumption minimization: no family member is a subset of another.
+    #[test]
+    fn family_is_antichain(groups in proptest::collection::vec(
+        proptest::collection::btree_set(0u32..16, 1..5), 1..30)) {
+        let fam: RgFamily = groups
+            .into_iter()
+            .map(|g| RiskGroup::new(g.into_iter().collect()))
+            .collect();
+        let items = fam.groups();
+        for (i, a) in items.iter().enumerate() {
+            for (j, b) in items.iter().enumerate() {
+                if i != j {
+                    prop_assert!(!a.is_subset_of(b), "{a:?} ⊆ {b:?}");
+                }
+            }
+        }
+    }
+
+    /// k-of-n gates: the top event fails exactly when at least k replica
+    /// subtrees fail.
+    #[test]
+    fn kofn_threshold_semantics(n in 2usize..7, k in 1usize..7, mask in 0u32..128) {
+        prop_assume!(k <= n);
+        let mut b = FaultGraphBuilder::new();
+        let basics: Vec<_> = (0..n).map(|i| b.basic(format!("r{i}"), None)).collect();
+        let top = b.gate("svc", Gate::KofN(k as u32), basics.clone());
+        let graph = b.build(top).unwrap();
+        let mut assignment = vec![false; graph.len()];
+        let mut failed = 0;
+        for (i, &id) in basics.iter().enumerate() {
+            if mask >> i & 1 == 1 {
+                assignment[id as usize] = true;
+                failed += 1;
+            }
+        }
+        prop_assert_eq!(graph.evaluate(&assignment), failed >= k);
+    }
+}
