@@ -2,10 +2,11 @@
 //! data (Steps 2–6 of the workflow in §2).
 
 use indaas_deps::{collect_all, DamError, DepDb, DependencyAcquisitionModule};
-use indaas_pia::{rank_deployments, PiaRanking, PsopConfig};
+use indaas_graph::{CancelToken, Cancelled};
+use indaas_pia::{rank_deployments_cancellable, PiaRanking, PsopConfig};
 use indaas_sia::{
-    build_fault_graph, failure_sampling, minimal_risk_groups, AuditReport, Bdd, BuildError,
-    BuildSpec, DeploymentAudit, MinimalConfig, SamplingConfig,
+    build_fault_graph, failure_sampling_cancellable, minimal_risk_groups_cancellable, AuditReport,
+    Bdd, BuildError, BuildSpec, DeploymentAudit, MinimalConfig, SamplingConfig,
 };
 
 use crate::spec::{AuditSpec, RankingMetric, RgAlgorithm};
@@ -19,6 +20,8 @@ pub enum AuditError {
     Build(String, BuildError),
     /// Dependency acquisition failed.
     Acquisition(DamError),
+    /// The job was cancelled or overran its deadline.
+    Cancelled(Cancelled),
 }
 
 impl std::fmt::Display for AuditError {
@@ -27,6 +30,7 @@ impl std::fmt::Display for AuditError {
             AuditError::NoCandidates => write!(f, "no candidate deployments specified"),
             AuditError::Build(name, e) => write!(f, "building {name:?} failed: {e}"),
             AuditError::Acquisition(e) => write!(f, "dependency acquisition failed: {e}"),
+            AuditError::Cancelled(c) => write!(f, "{c}"),
         }
     }
 }
@@ -45,14 +49,24 @@ pub struct WhatIfOutcome {
 }
 
 /// The auditing agent: owns the dependency database and runs audits.
+///
+/// The database is held behind an [`Arc`](std::sync::Arc), so agents are
+/// cheap to clone and cheap to construct over a shared snapshot — the
+/// `indaas-service` daemon builds one agent per audit job from the
+/// epoch snapshot current at admission time.
 #[derive(Clone, Debug)]
 pub struct AuditingAgent {
-    db: DepDb,
+    db: std::sync::Arc<DepDb>,
 }
 
 impl AuditingAgent {
     /// Creates an agent over an existing dependency database.
     pub fn new(db: DepDb) -> Self {
+        Self::from_shared(std::sync::Arc::new(db))
+    }
+
+    /// Creates an agent over a shared snapshot without copying it.
+    pub fn from_shared(db: std::sync::Arc<DepDb>) -> Self {
         AuditingAgent { db }
     }
 
@@ -83,6 +97,22 @@ impl AuditingAgent {
     /// Returns an [`AuditError`] if the spec is empty or any deployment's
     /// fault graph cannot be built.
     pub fn audit_sia(&self, spec: &AuditSpec) -> Result<AuditReport, AuditError> {
+        self.audit_sia_cancellable(spec, &CancelToken::default())
+    }
+
+    /// [`AuditingAgent::audit_sia`] with cooperative cancellation — the
+    /// entry point the `indaas-service` scheduler uses to enforce per-job
+    /// deadlines. The token is threaded into every risk-group engine.
+    ///
+    /// # Errors
+    ///
+    /// As [`AuditingAgent::audit_sia`], plus [`AuditError::Cancelled`]
+    /// when the token trips.
+    pub fn audit_sia_cancellable(
+        &self,
+        spec: &AuditSpec,
+        token: &CancelToken,
+    ) -> Result<AuditReport, AuditError> {
         if spec.candidates.is_empty() {
             return Err(AuditError::NoCandidates);
         }
@@ -108,7 +138,8 @@ impl AuditingAgent {
                         max_order,
                         ..MinimalConfig::default()
                     };
-                    minimal_risk_groups(&graph, &config)
+                    minimal_risk_groups_cancellable(&graph, &config, token)
+                        .map_err(AuditError::Cancelled)?
                 }
                 RgAlgorithm::Sampling {
                     rounds,
@@ -124,10 +155,12 @@ impl AuditingAgent {
                         minimize: true,
                         weighted: false,
                     };
-                    failure_sampling(&graph, &config)
+                    failure_sampling_cancellable(&graph, &config, token)
+                        .map_err(AuditError::Cancelled)?
                 }
                 RgAlgorithm::Bdd { max_nodes } => {
-                    let bdd = Bdd::compile(&graph, max_nodes);
+                    let bdd = Bdd::compile_cancellable(&graph, max_nodes, token)
+                        .map_err(AuditError::Cancelled)?;
                     let family = bdd.minimal_cut_sets();
                     exact_pr = Some(bdd);
                     family
@@ -219,7 +252,24 @@ impl AuditingAgent {
         way: usize,
         minhash: Option<usize>,
     ) -> Vec<PiaRanking> {
-        rank_deployments(providers, way, minhash, &PsopConfig::default())
+        self.audit_pia_cancellable(providers, way, minhash, &CancelToken::default())
+            .expect("default token never cancels")
+    }
+
+    /// [`AuditingAgent::audit_pia`] with cooperative cancellation between
+    /// provider-combination P-SOP runs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Cancelled`] if the token trips.
+    pub fn audit_pia_cancellable(
+        &self,
+        providers: &[(String, Vec<String>)],
+        way: usize,
+        minhash: Option<usize>,
+        token: &CancelToken,
+    ) -> Result<Vec<PiaRanking>, Cancelled> {
+        rank_deployments_cancellable(providers, way, minhash, &PsopConfig::default(), token)
     }
 }
 

@@ -38,4 +38,5 @@ pub mod agent;
 pub mod spec;
 
 pub use agent::{AuditError, AuditingAgent, WhatIfOutcome};
+pub use indaas_graph::{CancelToken, Cancelled};
 pub use spec::{AuditSpec, CandidateDeployment, RankingMetric, RgAlgorithm};

@@ -65,9 +65,10 @@ impl Default for RgAlgorithm {
 }
 
 /// How risk groups are ranked and deployments scored (§4.1.3, §4.1.4).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, Serialize, Deserialize, Default)]
 pub enum RankingMetric {
     /// Rank by RG size; score = Σ sizes (higher = more independent).
+    #[default]
     Size,
     /// Rank by relative importance using failure probabilities; score =
     /// Σ importances (lower = more independent).
@@ -75,12 +76,6 @@ pub enum RankingMetric {
         /// Probability assumed for components the model does not cover.
         default_prob: f64,
     },
-}
-
-impl Default for RankingMetric {
-    fn default() -> Self {
-        RankingMetric::Size
-    }
 }
 
 /// A full SIA audit specification.

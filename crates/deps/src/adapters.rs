@@ -136,12 +136,7 @@ pub fn parse_apt_rdepends(host: &str, raw: &str) -> Result<Vec<DependencyRecord>
         }
         if let Some(rest) = line.trim_start().strip_prefix("Depends:") {
             // Strip version constraints like "(>= 2.15)".
-            let name = rest
-                .trim()
-                .split_whitespace()
-                .next()
-                .unwrap_or("")
-                .to_string();
+            let name = rest.split_whitespace().next().unwrap_or("").to_string();
             if !name.is_empty() && !deps.contains(&name) {
                 deps.push(name);
             }

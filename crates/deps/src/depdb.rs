@@ -71,6 +71,39 @@ impl DepDb {
         inserted
     }
 
+    /// Removes one record (exact match). Returns whether it was present.
+    ///
+    /// Supports *update* flows: an acquisition module that re-measures a
+    /// changed route removes the stale record and inserts the new one.
+    pub fn remove(&mut self, record: &DependencyRecord) -> bool {
+        fn drop_from<T: PartialEq>(
+            map: &mut HashMap<String, Vec<T>>,
+            key: &str,
+            needle: &T,
+        ) -> bool {
+            let Some(v) = map.get_mut(key) else {
+                return false;
+            };
+            let Some(pos) = v.iter().position(|x| x == needle) else {
+                return false;
+            };
+            v.remove(pos);
+            if v.is_empty() {
+                map.remove(key);
+            }
+            true
+        }
+        let removed = match record {
+            DependencyRecord::Network(n) => drop_from(&mut self.network, &n.src, n),
+            DependencyRecord::Hardware(h) => drop_from(&mut self.hardware, &h.hw, h),
+            DependencyRecord::Software(s) => drop_from(&mut self.software, &s.hw, s),
+        };
+        if removed {
+            self.record_count -= 1;
+        }
+        removed
+    }
+
     /// Network routes originating at `host`.
     pub fn network_deps(&self, host: &str) -> &[NetworkDep] {
         self.network.get(host).map_or(&[], Vec::as_slice)

@@ -34,9 +34,11 @@ pub mod depdb;
 pub mod failprob;
 pub mod format;
 pub mod record;
+pub mod versioned;
 
 pub use dam::{collect_all, DamError, DependencyAcquisitionModule, SimCollector};
 pub use depdb::DepDb;
 pub use failprob::FailureProbModel;
 pub use format::{parse_record, parse_records, FormatError};
 pub use record::{DependencyRecord, HardwareDep, NetworkDep, SoftwareDep};
+pub use versioned::{Epoch, IngestReport, VersionedDepDb};

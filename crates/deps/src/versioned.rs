@@ -1,0 +1,274 @@
+//! Versioned dependency database for continuous auditing.
+//!
+//! The paper frames INDaaS as a *service* clouds query before deploying
+//! redundancy; follow-up industrial work (AID, arXiv:2109.04893) stresses
+//! that dependency data changes continuously. [`VersionedDepDb`] wraps
+//! [`DepDb`] with a monotonically increasing **epoch** that advances
+//! exactly when the stored record set changes, so downstream consumers
+//! (the `indaas-service` audit-result cache in particular) can key work
+//! off `(epoch, spec)` and invalidate it precisely when an ingest
+//! actually changed something.
+//!
+//! Ingestion is *incremental*: batches of Table-1 records merge into the
+//! live database record by record — no full re-parse, no rebuild — and
+//! duplicate reports from periodically re-running collectors are
+//! deduplicated without an epoch bump.
+
+use crate::depdb::DepDb;
+use crate::format::{parse_records, FormatError};
+use crate::record::DependencyRecord;
+
+/// Monotonic database version. Epoch 0 is the empty database.
+pub type Epoch = u64;
+
+/// What one ingest/retract batch did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IngestReport {
+    /// Records newly inserted (or removed, for retractions).
+    pub changed: usize,
+    /// Records ignored: duplicate inserts or absent removals.
+    pub ignored: usize,
+    /// The database epoch after the batch.
+    pub epoch: Epoch,
+}
+
+/// A [`DepDb`] with an epoch that tracks every effective mutation.
+#[derive(Clone, Debug, Default)]
+pub struct VersionedDepDb {
+    db: DepDb,
+    epoch: Epoch,
+}
+
+impl VersionedDepDb {
+    /// An empty database at epoch 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wraps an existing database; a non-empty seed starts at epoch 1.
+    pub fn from_db(db: DepDb) -> Self {
+        let epoch = u64::from(!db.is_empty());
+        VersionedDepDb { db, epoch }
+    }
+
+    /// The current epoch.
+    pub fn epoch(&self) -> Epoch {
+        self.epoch
+    }
+
+    /// Read access to the underlying database.
+    pub fn db(&self) -> &DepDb {
+        &self.db
+    }
+
+    /// Consumes the wrapper, yielding the database.
+    pub fn into_db(self) -> DepDb {
+        self.db
+    }
+
+    /// Ingests a record batch incrementally. The epoch advances by one
+    /// if — and only if — at least one record was new; a batch of pure
+    /// duplicates leaves the epoch (and therefore every cached audit
+    /// keyed on it) untouched.
+    pub fn ingest(&mut self, records: impl IntoIterator<Item = DependencyRecord>) -> IngestReport {
+        let mut report = IngestReport::default();
+        for r in records {
+            if self.db.insert(r) {
+                report.changed += 1;
+            } else {
+                report.ignored += 1;
+            }
+        }
+        if report.changed > 0 {
+            self.epoch += 1;
+        }
+        report.epoch = self.epoch;
+        report
+    }
+
+    /// Parses Table-1 text and ingests it as one batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse error without touching the database or epoch —
+    /// a malformed batch is rejected atomically.
+    pub fn ingest_text(&mut self, text: &str) -> Result<IngestReport, FormatError> {
+        let records = parse_records(text)?;
+        Ok(self.ingest(records))
+    }
+
+    /// Retracts records (exact match), e.g. when a collector observes a
+    /// dependency disappear or re-measures a changed route. Bumps the
+    /// epoch once if anything was actually removed.
+    pub fn retract(&mut self, records: &[DependencyRecord]) -> IngestReport {
+        let mut report = IngestReport::default();
+        for r in records {
+            if self.db.remove(r) {
+                report.changed += 1;
+            } else {
+                report.ignored += 1;
+            }
+        }
+        if report.changed > 0 {
+            self.epoch += 1;
+        }
+        report.epoch = self.epoch;
+        report
+    }
+
+    /// Atomic update: retract `stale` and ingest `fresh` with a single
+    /// epoch bump (if the batch changed anything *net*). This is the
+    /// "record update" path of a re-measuring acquisition module.
+    ///
+    /// A removal cancelled out by re-inserting the identical record
+    /// counts as ignored, not changed — a collector re-measuring an
+    /// unchanged route must not bump the epoch (and so must not
+    /// invalidate caches or trigger snapshot rebuilds downstream).
+    pub fn update(
+        &mut self,
+        stale: &[DependencyRecord],
+        fresh: impl IntoIterator<Item = DependencyRecord>,
+    ) -> IngestReport {
+        let mut report = IngestReport::default();
+        let mut removed: Vec<DependencyRecord> = Vec::new();
+        for r in stale {
+            if self.db.remove(r) {
+                removed.push(r.clone());
+            } else {
+                report.ignored += 1;
+            }
+        }
+        for r in fresh {
+            if self.db.insert(r.clone()) {
+                if let Some(pos) = removed.iter().position(|x| *x == r) {
+                    // Net no-op: removed then re-inserted identically.
+                    removed.remove(pos);
+                    report.ignored += 2;
+                } else {
+                    report.changed += 1;
+                }
+            } else {
+                report.ignored += 1;
+            }
+        }
+        // Removals that no insert cancelled out are real changes.
+        report.changed += removed.len();
+        if report.changed > 0 {
+            self.epoch += 1;
+        }
+        report.epoch = self.epoch;
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(line: &str) -> DependencyRecord {
+        crate::format::parse_record(line).unwrap()
+    }
+
+    #[test]
+    fn empty_db_is_epoch_zero() {
+        let v = VersionedDepDb::new();
+        assert_eq!(v.epoch(), 0);
+        assert!(v.db().is_empty());
+    }
+
+    #[test]
+    fn seeded_db_is_epoch_one() {
+        let mut v = VersionedDepDb::new();
+        v.ingest([rec(r#"<hw="S1" type="CPU" dep="cpu-a"/>"#)]);
+        let v2 = VersionedDepDb::from_db(v.into_db());
+        assert_eq!(v2.epoch(), 1);
+        assert_eq!(VersionedDepDb::from_db(DepDb::new()).epoch(), 0);
+    }
+
+    #[test]
+    fn ingest_bumps_epoch_once_per_batch() {
+        let mut v = VersionedDepDb::new();
+        let r = v.ingest([
+            rec(r#"<src="S1" dst="Internet" route="tor1,core1"/>"#),
+            rec(r#"<hw="S1" type="CPU" dep="cpu-a"/>"#),
+        ]);
+        assert_eq!((r.changed, r.ignored, r.epoch), (2, 0, 1));
+        assert_eq!(v.epoch(), 1);
+    }
+
+    #[test]
+    fn duplicate_batch_leaves_epoch_untouched() {
+        let mut v = VersionedDepDb::new();
+        let line = r#"<hw="S1" type="CPU" dep="cpu-a"/>"#;
+        v.ingest([rec(line)]);
+        let r = v.ingest([rec(line)]);
+        assert_eq!((r.changed, r.ignored, r.epoch), (0, 1, 1));
+        assert_eq!(v.epoch(), 1);
+    }
+
+    #[test]
+    fn ingest_text_parses_and_merges() {
+        let mut v = VersionedDepDb::new();
+        let r = v
+            .ingest_text(
+                r#"
+                <src="S1" dst="Internet" route="tor1,core1"/>
+                <pgm="Riak1" hw="S1" dep="libc6"/>
+            "#,
+            )
+            .unwrap();
+        assert_eq!(r.changed, 2);
+        assert_eq!(v.db().network_deps("S1").len(), 1);
+        assert_eq!(v.db().software_deps("S1").len(), 1);
+    }
+
+    #[test]
+    fn malformed_text_is_rejected_atomically() {
+        let mut v = VersionedDepDb::new();
+        v.ingest_text(r#"<hw="S1" type="CPU" dep="cpu-a"/>"#)
+            .unwrap();
+        let before = v.epoch();
+        assert!(v.ingest_text("<garbage>").is_err());
+        assert_eq!(v.epoch(), before);
+        assert_eq!(v.db().len(), 1);
+    }
+
+    #[test]
+    fn retract_removes_and_bumps() {
+        let mut v = VersionedDepDb::new();
+        let line = r#"<src="S1" dst="Internet" route="tor1,core1"/>"#;
+        v.ingest([rec(line)]);
+        let r = v.retract(&[rec(line)]);
+        assert_eq!((r.changed, r.epoch), (1, 2));
+        assert!(v.db().is_empty());
+        // Retracting again is a no-op.
+        let r = v.retract(&[rec(line)]);
+        assert_eq!((r.changed, r.ignored, r.epoch), (0, 1, 2));
+    }
+
+    #[test]
+    fn noop_update_keeps_epoch() {
+        let mut v = VersionedDepDb::new();
+        let r = rec(r#"<src="S1" dst="Internet" route="tor1,core1"/>"#);
+        v.ingest([r.clone()]);
+        assert_eq!(v.epoch(), 1);
+        // Re-measuring an unchanged route: remove + identical re-insert.
+        let report = v.update(std::slice::from_ref(&r), [r.clone()]);
+        assert_eq!((report.changed, report.ignored, report.epoch), (0, 2, 1));
+        assert_eq!(v.epoch(), 1, "net no-op must not bump the epoch");
+        assert_eq!(v.db().len(), 1);
+    }
+
+    #[test]
+    fn update_is_one_epoch_bump() {
+        let mut v = VersionedDepDb::new();
+        let stale = rec(r#"<src="S1" dst="Internet" route="tor1,core1"/>"#);
+        v.ingest([stale.clone()]);
+        assert_eq!(v.epoch(), 1);
+        let fresh = rec(r#"<src="S1" dst="Internet" route="tor1,core9"/>"#);
+        let r = v.update(&[stale], [fresh]);
+        assert_eq!((r.changed, r.epoch), (2, 2));
+        assert_eq!(v.db().network_deps("S1").len(), 1);
+        assert_eq!(v.db().network_deps("S1")[0].route, vec!["tor1", "core9"]);
+    }
+}

@@ -308,7 +308,7 @@ mod tests {
         let g = component_sets_to_graph(&fig4a_sets()).unwrap();
         let fs = g.to_fault_sets(0.07);
         for set in &fs {
-            for (&ref _name, &p) in &set.events {
+            for &p in set.events.values() {
                 assert_eq!(p, 0.07);
             }
         }

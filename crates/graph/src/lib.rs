@@ -37,11 +37,13 @@
 //! assert!(!g.evaluate_named(&["A1"]).unwrap());
 //! ```
 
+pub mod cancel;
 pub mod compose;
 pub mod detail;
 pub mod dot;
 mod graph;
 
+pub use cancel::{CancelToken, Cancelled};
 pub use compose::compose;
 pub use detail::{ComponentSet, FaultSet};
 pub use dot::to_dot;

@@ -99,10 +99,10 @@ pub fn run_ks(datasets: &[Vec<String>], config: &KsConfig, net: &mut SimNetwork)
     // Provider 0's survivors, starting with its whole set.
     let mut survivors: Vec<u64> = hashed[0].clone();
 
-    for j in 1..k {
+    for (j, hashed_j) in hashed.iter().enumerate().take(k).skip(1) {
         // Provider j builds per-bucket encrypted polynomials and sends the
         // coefficient table to provider 0.
-        let polys = build_bucket_polynomials(&hashed[j], buckets, pk.modulus());
+        let polys = build_bucket_polynomials(hashed_j, buckets, pk.modulus());
         let mut table: Vec<Vec<PaillierCiphertext>> = Vec::with_capacity(buckets);
         let mut wire = Vec::new();
         for coeffs in &polys {

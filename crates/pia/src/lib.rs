@@ -33,5 +33,5 @@ pub use ks::{run_ks, KsConfig, KsOutcome};
 pub use minhash::{estimate_jaccard, minhash_signature};
 pub use normalize::normalize_component;
 pub use psop::{run_psop, PsopConfig, PsopOutcome};
-pub use report::{rank_deployments, PiaRanking};
+pub use report::{rank_deployments, rank_deployments_cancellable, PiaRanking};
 pub use smpc::{run_smpc, SmpcConfig, SmpcOutcome};

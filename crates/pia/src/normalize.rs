@@ -12,7 +12,7 @@
 /// Rules, in order:
 ///
 /// 1. a leading provider scope (`"Cloud2:..."`) is stripped — provider-local
-///   qualifiers must not make shared components look distinct;
+///    qualifiers must not make shared components look distinct;
 /// 2. IPv4 addresses (optionally with a port) are kept verbatim minus the
 ///    port — the address *is* the canonical router identity;
 /// 3. everything else (package names, device names) is lowercased and

@@ -96,14 +96,14 @@ pub fn run_psop(
 
     // Rounds 1..k-1: each party re-encrypts what it receives and forwards.
     for _round in 1..k {
-        for i in 0..k {
+        for (i, cipher) in ciphers.iter().enumerate() {
             let msg = net.recv_expect(i);
-            let mut cts = decode(&ciphers[i], &msg.payload);
+            let mut cts = decode(cipher, &msg.payload);
             for c in &mut cts {
-                *c = ciphers[i].encrypt(c);
+                *c = cipher.encrypt(c);
             }
             shuffle(&mut cts, &mut rng);
-            net.send(i, (i + 1) % k, encode(&ciphers[i], &cts));
+            net.send(i, (i + 1) % k, encode(cipher, &cts));
         }
     }
 

@@ -1,6 +1,7 @@
 //! PIA auditing reports (§4.2.5): ranking candidate redundancy deployments
 //! by Jaccard similarity, as in Table 2 of the paper.
 
+use indaas_graph::{CancelToken, Cancelled};
 use indaas_simnet::SimNetwork;
 use serde::{Deserialize, Serialize};
 
@@ -33,6 +34,28 @@ pub fn rank_deployments(
     minhash: Option<usize>,
     config: &PsopConfig,
 ) -> Vec<PiaRanking> {
+    rank_deployments_cancellable(providers, way, minhash, config, &CancelToken::default())
+        .expect("default token never cancels")
+}
+
+/// [`rank_deployments`] with cooperative cancellation, polled before each
+/// provider combination's P-SOP run (the protocol itself is the unit of
+/// work — combinations dominate the cost at scale).
+///
+/// # Errors
+///
+/// Returns [`Cancelled`] if the token trips between combinations.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`rank_deployments`].
+pub fn rank_deployments_cancellable(
+    providers: &[(String, Vec<String>)],
+    way: usize,
+    minhash: Option<usize>,
+    config: &PsopConfig,
+    token: &CancelToken,
+) -> Result<Vec<PiaRanking>, Cancelled> {
     assert!(
         way >= 2,
         "redundancy deployments span at least two providers"
@@ -40,6 +63,7 @@ pub fn rank_deployments(
     assert!(providers.len() >= way, "not enough providers");
     let mut rankings = Vec::new();
     for combo in combinations(providers.len(), way) {
+        token.check()?;
         let datasets: Vec<Vec<String>> = combo
             .iter()
             .map(|&i| match minhash {
@@ -65,7 +89,7 @@ pub fn rank_deployments(
             .expect("finite similarities")
             .then_with(|| a.providers.cmp(&b.providers))
     });
-    rankings
+    Ok(rankings)
 }
 
 /// Renders a Table-2-style ranking.

@@ -231,7 +231,7 @@ fn random_lanes(words: usize, rng: &mut impl Rng) -> Lanes {
 }
 
 fn mask_tail(lanes_vec: &mut Lanes, lanes: usize) {
-    if lanes % 64 != 0 {
+    if !lanes.is_multiple_of(64) {
         if let Some(last) = lanes_vec.last_mut() {
             *last &= (1u64 << (lanes % 64)) - 1;
         }

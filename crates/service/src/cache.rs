@@ -1,0 +1,233 @@
+//! Content-hash audit-result cache.
+//!
+//! Audits are pure functions of `(DepDb epoch, audit spec)`: the epoch
+//! pins the dependency data and the spec pins everything else. The cache
+//! therefore keys entries by an FNV-1a content hash of the spec's
+//! *canonical JSON* (the vendored serde's objects are key-sorted, so
+//! serialization is deterministic) concatenated with the epoch, and an
+//! ingest that bumps the epoch makes every older entry unreachable —
+//! [`AuditCache::purge_stale`] reclaims them eagerly.
+//!
+//! Repeated or overlapping queries — a dashboard polling the same
+//! deployment comparison, many tenants auditing a popular rack pair —
+//! hit the cache instead of recomputing BDDs or sampling rounds.
+
+use std::collections::{HashMap, VecDeque};
+
+use serde::Serialize;
+
+/// 64-bit FNV-1a.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Content key of an audit job: the FNV-1a hash indexes the map, and
+/// the full canonical form rides along so lookups can reject hash
+/// collisions — FNV is not collision-resistant and specs are fully
+/// request-controlled, so a bare 64-bit key could be made to alias
+/// another tenant's entry and silently serve the wrong report.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JobKey {
+    hash: u64,
+    canonical: String,
+}
+
+/// Builds the content key: epoch ‖ kind tag ‖ canonical spec JSON.
+///
+/// The `kind` tag keeps SIA and PIA jobs with coincidentally identical
+/// JSON from colliding.
+pub fn job_key<T: Serialize>(epoch: u64, kind: &str, spec: &T) -> JobKey {
+    let spec_json = serde_json::to_string(spec).expect("specs always serialize");
+    let canonical = format!("{epoch}\u{1f}{kind}\u{1f}{spec_json}");
+    JobKey {
+        hash: fnv1a(canonical.as_bytes()),
+        canonical,
+    }
+}
+
+struct Entry<V> {
+    value: V,
+    epoch: u64,
+    /// Full canonical key, compared on lookup to reject hash collisions.
+    canonical: String,
+    /// Insertion sequence number, used for FIFO eviction at capacity.
+    seq: u64,
+}
+
+/// Bounded map from job key to cached audit result.
+pub struct AuditCache<V> {
+    entries: HashMap<u64, Entry<V>>,
+    /// `(key, seq)` in insertion order; stale pairs (overwritten or
+    /// purged entries) are skipped lazily at eviction time, keeping
+    /// eviction amortized O(1) instead of scanning the map.
+    order: VecDeque<(u64, u64)>,
+    capacity: usize,
+    next_seq: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl<V: Clone> AuditCache<V> {
+    /// A cache holding at most `capacity` results (0 disables caching).
+    pub fn new(capacity: usize) -> Self {
+        AuditCache {
+            entries: HashMap::new(),
+            order: VecDeque::new(),
+            capacity,
+            next_seq: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Looks up a result, counting the hit or miss. A hash collision
+    /// (same hash, different canonical key) counts as a miss.
+    pub fn get(&mut self, key: &JobKey) -> Option<V> {
+        match self.entries.get(&key.hash) {
+            Some(e) if e.canonical == key.canonical => {
+                self.hits += 1;
+                Some(e.value.clone())
+            }
+            _ => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores a result computed at `epoch`. At capacity, the oldest
+    /// entry is evicted first.
+    pub fn insert(&mut self, key: JobKey, epoch: u64, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(&key.hash) {
+            // Pop queue pairs until one still names a live entry.
+            while let Some((k, seq)) = self.order.pop_front() {
+                if self.entries.get(&k).is_some_and(|e| e.seq == seq) {
+                    self.entries.remove(&k);
+                    break;
+                }
+            }
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.order.push_back((key.hash, seq));
+        self.entries.insert(
+            key.hash,
+            Entry {
+                value,
+                epoch,
+                canonical: key.canonical,
+                seq,
+            },
+        );
+        // Keep the lazy queue from outgrowing the map unboundedly when
+        // the same keys are overwritten repeatedly.
+        if self.order.len() > self.capacity.saturating_mul(2).max(64) {
+            let entries = &self.entries;
+            self.order
+                .retain(|(k, seq)| entries.get(k).is_some_and(|e| e.seq == *seq));
+        }
+    }
+
+    /// Drops every entry computed before `current_epoch`. Keys embed the
+    /// epoch, so stale entries can never be *hit* — this reclaims their
+    /// memory as soon as an ingest invalidates them.
+    pub fn purge_stale(&mut self, current_epoch: u64) {
+        self.entries.retain(|_, e| e.epoch >= current_epoch);
+    }
+
+    /// Live entry count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// `(hits, misses)` since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(n: u64) -> JobKey {
+        job_key(1, "test", &n)
+    }
+
+    #[test]
+    fn job_key_is_deterministic_and_epoch_sensitive() {
+        let spec = vec!["a".to_string(), "b".to_string()];
+        assert_eq!(job_key(1, "sia", &spec), job_key(1, "sia", &spec));
+        assert_ne!(job_key(1, "sia", &spec), job_key(2, "sia", &spec));
+        assert_ne!(job_key(1, "sia", &spec), job_key(1, "pia", &spec));
+        let other = vec!["a".to_string(), "c".to_string()];
+        assert_ne!(job_key(1, "sia", &spec), job_key(1, "sia", &other));
+    }
+
+    #[test]
+    fn hit_and_miss_accounting() {
+        let mut c: AuditCache<u32> = AuditCache::new(4);
+        assert_eq!(c.get(&key(7)), None);
+        c.insert(key(7), 1, 42);
+        assert_eq!(c.get(&key(7)), Some(42));
+        assert_eq!(c.stats(), (1, 1));
+    }
+
+    #[test]
+    fn hash_collision_is_a_miss_not_a_wrong_hit() {
+        let mut c: AuditCache<u32> = AuditCache::new(4);
+        // Forge a key whose hash aliases key(7) but whose canonical
+        // form differs — must NOT be served key(7)'s value.
+        let honest = key(7);
+        let forged = JobKey {
+            hash: honest.hash,
+            canonical: "something else entirely".to_string(),
+        };
+        c.insert(honest.clone(), 1, 42);
+        assert_eq!(c.get(&forged), None, "collision must miss");
+        assert_eq!(c.get(&honest), Some(42));
+    }
+
+    #[test]
+    fn capacity_evicts_oldest_first() {
+        let mut c: AuditCache<u32> = AuditCache::new(2);
+        c.insert(key(1), 1, 10);
+        c.insert(key(2), 1, 20);
+        c.insert(key(3), 1, 30);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(&key(1)), None, "oldest entry evicted");
+        assert_eq!(c.get(&key(2)), Some(20));
+        assert_eq!(c.get(&key(3)), Some(30));
+    }
+
+    #[test]
+    fn purge_stale_drops_older_epochs() {
+        let mut c: AuditCache<u32> = AuditCache::new(8);
+        c.insert(key(1), 1, 10);
+        c.insert(key(2), 2, 20);
+        c.purge_stale(2);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(&key(2)), Some(20));
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c: AuditCache<u32> = AuditCache::new(0);
+        c.insert(key(1), 1, 10);
+        assert!(c.is_empty());
+        assert_eq!(c.get(&key(1)), None);
+    }
+}

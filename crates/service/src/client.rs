@@ -1,0 +1,285 @@
+//! Blocking NDJSON client for the auditing daemon.
+//!
+//! One TCP connection, one request/response pair per call — requests can
+//! be issued back to back on the same connection (the daemon answers in
+//! order). Used by the `indaas` CLI and the end-to-end tests.
+
+use std::io::{BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use indaas_core::AuditSpec;
+use indaas_pia::PiaRanking;
+use indaas_sia::AuditReport;
+
+use crate::proto::{decode_line, encode_line, read_bounded_line, LineRead, Request, Response};
+
+/// Largest accepted response line (reports scale with candidates and
+/// `top_n`, but not unboundedly; this caps client memory against a
+/// misbehaving server).
+const MAX_RESPONSE_LINE: u64 = 256 * 1024 * 1024;
+
+/// Client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket trouble.
+    Io(std::io::Error),
+    /// The server sent something unparseable or out of protocol.
+    Protocol(String),
+    /// The server answered with `Error { message }`.
+    Remote(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection error: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ClientError::Remote(m) => write!(f, "server error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A typed SIA answer.
+#[derive(Clone, Debug)]
+pub struct SiaAnswer {
+    /// Epoch the audit ran against.
+    pub epoch: u64,
+    /// Whether the daemon served it from cache.
+    pub cached: bool,
+    /// Server-side production time in microseconds.
+    pub elapsed_us: u64,
+    /// The report.
+    pub report: AuditReport,
+}
+
+/// A typed PIA answer.
+#[derive(Clone, Debug)]
+pub struct PiaAnswer {
+    /// Epoch stamped on the answer.
+    pub epoch: u64,
+    /// Whether the daemon served it from cache.
+    pub cached: bool,
+    /// Server-side production time in microseconds.
+    pub elapsed_us: u64,
+    /// Candidate deployments, most independent first.
+    pub rankings: Vec<PiaRanking>,
+}
+
+/// An ingest/retract acknowledgement.
+#[derive(Clone, Copy, Debug)]
+pub struct IngestAnswer {
+    /// Records that changed the database.
+    pub changed: usize,
+    /// Duplicates/absent records ignored.
+    pub ignored: usize,
+    /// Epoch after the batch.
+    pub epoch: u64,
+}
+
+/// Blocking daemon client.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running daemon.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sends one request and reads one response.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, unparseable responses, or a closed connection.
+    pub fn request(&mut self, request: &Request) -> Result<Response, ClientError> {
+        let mut line = encode_line(request);
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.flush()?;
+        let mut answer = String::new();
+        match read_bounded_line(&mut self.reader, &mut answer, MAX_RESPONSE_LINE)? {
+            LineRead::Line => {}
+            LineRead::Eof => {
+                return Err(ClientError::Protocol("server closed connection".into()));
+            }
+            LineRead::Oversized => {
+                return Err(ClientError::Protocol("oversized response line".into()));
+            }
+        }
+        decode_line(answer.trim()).map_err(|e| ClientError::Protocol(e.to_string()))
+    }
+
+    /// Round-trips a ping.
+    ///
+    /// # Errors
+    ///
+    /// Fails unless the server answers `Pong`.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.request(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(unexpected("Pong", &other)),
+        }
+    }
+
+    /// Streams Table-1 record text into the daemon.
+    ///
+    /// # Errors
+    ///
+    /// Remote parse failures surface as [`ClientError::Remote`].
+    pub fn ingest(&mut self, records: &str) -> Result<IngestAnswer, ClientError> {
+        let response = self.request(&Request::Ingest {
+            records: records.to_string(),
+        })?;
+        match response {
+            Response::Ingested {
+                changed,
+                ignored,
+                epoch,
+            } => Ok(IngestAnswer {
+                changed,
+                ignored,
+                epoch,
+            }),
+            other => Err(unexpected("Ingested", &other)),
+        }
+    }
+
+    /// Retracts previously ingested records.
+    ///
+    /// # Errors
+    ///
+    /// Remote parse failures surface as [`ClientError::Remote`].
+    pub fn retract(&mut self, records: &str) -> Result<IngestAnswer, ClientError> {
+        let response = self.request(&Request::Retract {
+            records: records.to_string(),
+        })?;
+        match response {
+            Response::Ingested {
+                changed,
+                ignored,
+                epoch,
+            } => Ok(IngestAnswer {
+                changed,
+                ignored,
+                epoch,
+            }),
+            other => Err(unexpected("Ingested", &other)),
+        }
+    }
+
+    /// Runs (or fetches from cache) a structural independence audit.
+    ///
+    /// # Errors
+    ///
+    /// Audit failures, deadline overruns and shed load surface as
+    /// [`ClientError::Remote`].
+    pub fn audit_sia(
+        &mut self,
+        spec: &AuditSpec,
+        timeout_ms: Option<u64>,
+    ) -> Result<SiaAnswer, ClientError> {
+        let response = self.request(&Request::AuditSia {
+            spec: spec.clone(),
+            timeout_ms,
+        })?;
+        match response {
+            Response::Sia {
+                epoch,
+                cached,
+                elapsed_us,
+                report,
+            } => Ok(SiaAnswer {
+                epoch,
+                cached,
+                elapsed_us,
+                report,
+            }),
+            other => Err(unexpected("Sia", &other)),
+        }
+    }
+
+    /// Runs (or fetches from cache) a private independence audit.
+    ///
+    /// # Errors
+    ///
+    /// Audit failures, deadline overruns and shed load surface as
+    /// [`ClientError::Remote`].
+    pub fn audit_pia(
+        &mut self,
+        providers: Vec<(String, Vec<String>)>,
+        way: usize,
+        minhash: Option<usize>,
+        timeout_ms: Option<u64>,
+    ) -> Result<PiaAnswer, ClientError> {
+        let response = self.request(&Request::AuditPia {
+            providers,
+            way,
+            minhash,
+            timeout_ms,
+        })?;
+        match response {
+            Response::Pia {
+                epoch,
+                cached,
+                elapsed_us,
+                rankings,
+            } => Ok(PiaAnswer {
+                epoch,
+                cached,
+                elapsed_us,
+                rankings,
+            }),
+            other => Err(unexpected("Pia", &other)),
+        }
+    }
+
+    /// Fetches service counters.
+    ///
+    /// # Errors
+    ///
+    /// Fails unless the server answers `Status`.
+    pub fn status(&mut self) -> Result<Response, ClientError> {
+        match self.request(&Request::Status)? {
+            s @ Response::Status { .. } => Ok(s),
+            other => Err(unexpected("Status", &other)),
+        }
+    }
+
+    /// Asks the daemon to exit its serve loop.
+    ///
+    /// # Errors
+    ///
+    /// Fails unless the server acknowledges with `ShuttingDown`.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.request(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            other => Err(unexpected("ShuttingDown", &other)),
+        }
+    }
+}
+
+fn unexpected(wanted: &str, got: &Response) -> ClientError {
+    match got {
+        Response::Error { message } => ClientError::Remote(message.clone()),
+        other => ClientError::Protocol(format!("expected {wanted}, got {other:?}")),
+    }
+}

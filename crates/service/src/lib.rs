@@ -1,0 +1,71 @@
+//! INDaaS as a *service*: the continuous auditing daemon.
+//!
+//! The paper positions INDaaS as a service clouds query before deploying
+//! redundancy; the one-shot CLI rebuilds the full fault graph from
+//! scratch on every invocation. This crate turns the reproduction into a
+//! long-running daemon:
+//!
+//! * **incremental ingestion** — Table-1 records stream into a
+//!   [`indaas_deps::VersionedDepDb`]; each effective batch bumps a
+//!   monotonic *epoch*, duplicates are absorbed silently;
+//! * **concurrent scheduling** — SIA and PIA audit jobs run on a fixed
+//!   worker pool behind a bounded queue with per-job deadlines
+//!   ([`scheduler`]), enforced through the cancellable audit entry
+//!   points in `indaas-core`/`indaas-sia`/`indaas-pia`;
+//! * **content-hash caching** — results are cached by a hash of
+//!   `(epoch, audit spec)` ([`cache`]), so repeated or overlapping
+//!   queries skip BDD compilation and sampling entirely, and an ingest
+//!   that changes the database precisely invalidates what it must;
+//! * **a line-delimited JSON protocol over TCP** ([`proto`]) plus a
+//!   blocking [`Client`] used by the `indaas serve`/`indaas ping` CLI
+//!   and the end-to-end tests.
+//!
+//! # Example
+//!
+//! ```
+//! use indaas_core::{AuditSpec, CandidateDeployment};
+//! use indaas_service::{Client, ServeConfig, Server};
+//!
+//! let server = Server::bind(ServeConfig {
+//!     addr: "127.0.0.1:0".into(),
+//!     ..ServeConfig::default()
+//! })
+//! .unwrap();
+//! let addr = server.local_addr();
+//! let daemon = std::thread::spawn(move || server.run());
+//!
+//! let mut client = Client::connect(addr).unwrap();
+//! client
+//!     .ingest(
+//!         r#"
+//!         <src="S1" dst="Internet" route="tor1,core1"/>
+//!         <src="S2" dst="Internet" route="tor1,core2"/>
+//!         <src="S3" dst="Internet" route="tor2,core2"/>
+//!     "#,
+//!     )
+//!     .unwrap();
+//! let spec = AuditSpec::sia_size_based(vec![
+//!     CandidateDeployment::replicated("S1+S2", ["S1", "S2"]),
+//!     CandidateDeployment::replicated("S1+S3", ["S1", "S3"]),
+//! ]);
+//! let first = client.audit_sia(&spec, None).unwrap();
+//! assert!(!first.cached);
+//! let second = client.audit_sia(&spec, None).unwrap();
+//! assert!(second.cached, "same epoch + same spec = cache hit");
+//! assert_eq!(second.report.best().unwrap().name, "S1+S3");
+//!
+//! client.shutdown().unwrap();
+//! daemon.join().unwrap().unwrap();
+//! ```
+
+pub mod cache;
+pub mod client;
+pub mod proto;
+pub mod scheduler;
+pub mod server;
+
+pub use cache::{job_key, AuditCache};
+pub use client::{Client, ClientError, IngestAnswer, PiaAnswer, SiaAnswer};
+pub use proto::{Request, Response};
+pub use scheduler::{Scheduler, SubmitError};
+pub use server::{ServeConfig, Server};

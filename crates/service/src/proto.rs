@@ -1,0 +1,260 @@
+//! The daemon's wire protocol: line-delimited JSON over TCP.
+//!
+//! Every request is one JSON value on one line; the daemon answers with
+//! exactly one JSON response line. Enum values use serde's default
+//! externally-tagged form, so a unit variant is a bare string and a
+//! payload variant is a single-key object:
+//!
+//! ```text
+//! → "Ping"
+//! ← "Pong"
+//! → {"Ingest": {"records": "<src=\"S1\" dst=\"Internet\" route=\"tor1\"/>"}}
+//! ← {"Ingested": {"changed": 1, "ignored": 0, "epoch": 1}}
+//! → {"AuditSia": {"spec": {...}, "timeout_ms": 5000}}
+//! ← {"Sia": {"epoch": 1, "cached": false, "elapsed_us": 812, "report": {...}}}
+//! ```
+//!
+//! Responses to failed requests are `{"Error": {"message": "..."}}`; the
+//! connection stays open, so one client can pipeline many requests.
+
+use indaas_core::AuditSpec;
+use indaas_pia::PiaRanking;
+use indaas_sia::AuditReport;
+use serde::{Deserialize, Serialize};
+
+/// A client request, one per line.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Stream a batch of Table-1 records into the versioned DepDB.
+    Ingest {
+        /// Table-1 record text (any number of lines).
+        records: String,
+    },
+    /// Retract previously ingested records (exact match).
+    Retract {
+        /// Table-1 record text naming the records to remove.
+        records: String,
+    },
+    /// Run (or serve from cache) a structural independence audit.
+    AuditSia {
+        /// The audit specification.
+        spec: AuditSpec,
+        /// Per-job deadline in milliseconds (`null` = server default).
+        timeout_ms: Option<u64>,
+    },
+    /// Run (or serve from cache) a private independence audit over
+    /// explicit provider component sets.
+    AuditPia {
+        /// `(provider name, component set)` pairs.
+        providers: Vec<(String, Vec<String>)>,
+        /// Deployment width (how many providers per candidate).
+        way: usize,
+        /// MinHash signature size (`null` = exact P-SOP).
+        minhash: Option<usize>,
+        /// Per-job deadline in milliseconds (`null` = server default).
+        timeout_ms: Option<u64>,
+    },
+    /// Service counters and database state.
+    Status,
+    /// Stop accepting connections and exit the serve loop.
+    Shutdown,
+}
+
+/// The daemon's answer, one per request line.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum Response {
+    /// Answer to [`Request::Ping`].
+    Pong,
+    /// Answer to [`Request::Ingest`] / [`Request::Retract`].
+    Ingested {
+        /// Records that changed the database.
+        changed: usize,
+        /// Duplicate/absent records ignored.
+        ignored: usize,
+        /// Database epoch after the batch.
+        epoch: u64,
+    },
+    /// Answer to [`Request::AuditSia`].
+    Sia {
+        /// Epoch the audit ran against.
+        epoch: u64,
+        /// True if served from the audit-result cache.
+        cached: bool,
+        /// Server-side time to produce the result, in microseconds
+        /// (compute time on a miss, lookup time on a hit).
+        elapsed_us: u64,
+        /// The audit report.
+        report: AuditReport,
+    },
+    /// Answer to [`Request::AuditPia`].
+    Pia {
+        /// Epoch the audit ran against (PIA provider sets are
+        /// request-supplied, but the epoch still stamps the answer).
+        epoch: u64,
+        /// True if served from the audit-result cache.
+        cached: bool,
+        /// Server-side time to produce the result, in microseconds.
+        elapsed_us: u64,
+        /// Candidate deployments, most independent first.
+        rankings: Vec<PiaRanking>,
+    },
+    /// Answer to [`Request::Status`].
+    Status {
+        /// Current database epoch.
+        epoch: u64,
+        /// Distinct dependency records stored.
+        records: usize,
+        /// Hosts with at least one record.
+        hosts: usize,
+        /// Audit jobs currently queued (admitted, not yet running).
+        jobs_queued: usize,
+        /// Audit jobs currently executing on workers.
+        jobs_running: usize,
+        /// Live audit-result cache entries.
+        cache_entries: usize,
+        /// Cache hits since startup.
+        cache_hits: u64,
+        /// Cache misses since startup.
+        cache_misses: u64,
+        /// Milliseconds since the daemon started.
+        uptime_ms: u64,
+    },
+    /// Answer to [`Request::Shutdown`].
+    ShuttingDown,
+    /// Any failure: parse errors, audit errors, deadline overruns,
+    /// queue overload.
+    Error {
+        /// Human-readable cause.
+        message: String,
+    },
+}
+
+impl Response {
+    /// Convenience constructor for error responses.
+    pub fn error(message: impl Into<String>) -> Self {
+        Response::Error {
+            message: message.into(),
+        }
+    }
+}
+
+/// Encodes a protocol value as one wire line (no trailing newline).
+pub fn encode_line<T: Serialize>(value: &T) -> String {
+    serde_json::to_string(value).expect("protocol types always serialize")
+}
+
+/// Decodes one wire line.
+///
+/// # Errors
+///
+/// Returns the underlying JSON error for malformed input.
+pub fn decode_line<T: serde::Deserialize>(line: &str) -> Result<T, serde_json::Error> {
+    serde_json::from_str(line)
+}
+
+/// Outcome of [`read_bounded_line`].
+pub enum LineRead {
+    /// A complete line (terminator stripped is up to the caller).
+    Line,
+    /// Clean end of stream before any byte of a new line.
+    Eof,
+    /// The peer sent `limit` bytes with no newline; the stream can no
+    /// longer be resynchronized and should be dropped.
+    Oversized,
+}
+
+/// Reads one `\n`-terminated line into `buf` without letting the
+/// buffer outgrow `limit` bytes — the shared guard both daemon and
+/// client use against unbounded peer input.
+///
+/// # Errors
+///
+/// Propagates transport errors (including invalid UTF-8) from the
+/// underlying reader.
+pub fn read_bounded_line(
+    reader: &mut impl std::io::BufRead,
+    buf: &mut String,
+    limit: u64,
+) -> std::io::Result<LineRead> {
+    use std::io::BufRead as _;
+    buf.clear();
+    let n = std::io::Read::take(reader, limit).read_line(buf)?;
+    if n == 0 {
+        return Ok(LineRead::Eof);
+    }
+    if buf.len() as u64 >= limit && !buf.ends_with('\n') {
+        return Ok(LineRead::Oversized);
+    }
+    Ok(LineRead::Line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use indaas_core::CandidateDeployment;
+
+    #[test]
+    fn unit_variants_are_bare_strings() {
+        assert_eq!(encode_line(&Request::Ping), "\"Ping\"");
+        let back: Request = decode_line("\"Ping\"").unwrap();
+        assert!(matches!(back, Request::Ping));
+    }
+
+    #[test]
+    fn audit_request_roundtrips() {
+        let req = Request::AuditSia {
+            spec: AuditSpec::sia_size_based(vec![CandidateDeployment::replicated(
+                "pair",
+                ["S1", "S2"],
+            )]),
+            timeout_ms: Some(2500),
+        };
+        let line = encode_line(&req);
+        assert!(!line.contains('\n'), "wire format is single-line");
+        let back: Request = decode_line(&line).unwrap();
+        match back {
+            Request::AuditSia { spec, timeout_ms } => {
+                assert_eq!(spec.candidates[0].name, "pair");
+                assert_eq!(timeout_ms, Some(2500));
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn omitted_option_fields_parse_as_none() {
+        let back: Request =
+            decode_line(r#"{"AuditPia": {"providers": [["A", ["x"]], ["B", ["y"]]], "way": 2}}"#)
+                .unwrap();
+        match back {
+            Request::AuditPia {
+                providers,
+                way,
+                minhash,
+                timeout_ms,
+            } => {
+                assert_eq!(providers.len(), 2);
+                assert_eq!(way, 2);
+                assert_eq!(minhash, None);
+                assert_eq!(timeout_ms, None);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_lines_error() {
+        assert!(decode_line::<Request>("not json").is_err());
+        assert!(decode_line::<Request>("\"NoSuchVariant\"").is_err());
+        assert!(decode_line::<Request>(r#"{"AuditSia": {}}"#).is_err());
+    }
+
+    #[test]
+    fn error_response_roundtrips() {
+        let line = encode_line(&Response::error("boom"));
+        let back: Response = decode_line(&line).unwrap();
+        assert!(matches!(back, Response::Error { message } if message == "boom"));
+    }
+}

@@ -1,0 +1,485 @@
+//! The continuous auditing daemon.
+//!
+//! One accept loop, one lightweight thread per client connection, and a
+//! fixed [`Scheduler`] pool doing the actual audit work. Connection
+//! threads never compute: they parse requests, consult the audit-result
+//! cache, and otherwise enqueue a job and wait for its result, so a slow
+//! audit can never starve protocol handling.
+//!
+//! Data flow for an `AuditSia` request:
+//!
+//! 1. read-lock the versioned DepDB, pin `(epoch, Arc<DepDb> snapshot)`;
+//! 2. content-hash `(epoch, spec)` → cache hit ⇒ answer immediately with
+//!    `cached: true`;
+//! 3. miss ⇒ submit a job carrying the snapshot and a deadline-armed
+//!    [`CancelToken`]; the worker runs the cancellable audit entry point
+//!    and sends the result back over a channel;
+//! 4. insert the report into the cache keyed by the *pinned* epoch (a
+//!    concurrent ingest bumps the epoch, so the entry is already stale
+//!    and unreachable — and purged on the next ingest).
+
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex, RwLock};
+use std::time::{Duration, Instant};
+
+use indaas_core::{AuditSpec, AuditingAgent, CancelToken};
+use indaas_deps::{DepDb, VersionedDepDb};
+use indaas_pia::{rank_deployments_cancellable, PiaRanking, PsopConfig};
+use indaas_sia::AuditReport;
+
+use crate::cache::{job_key, AuditCache};
+use crate::proto::{decode_line, encode_line, read_bounded_line, LineRead, Request, Response};
+use crate::scheduler::Scheduler;
+
+/// Daemon tuning knobs.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Listen address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Audit worker threads.
+    pub workers: usize,
+    /// Bounded job-queue capacity (admission control).
+    pub queue_capacity: usize,
+    /// Audit-result cache capacity, in entries.
+    pub cache_capacity: usize,
+    /// Deadline applied to jobs whose request carries no `timeout_ms`.
+    pub default_deadline: Duration,
+    /// Hard ceiling on client-supplied `timeout_ms` — a request cannot
+    /// arm a longer deadline than this (admission control would be
+    /// defeated by `timeout_ms: u64::MAX`).
+    pub max_deadline: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:4914".to_string(),
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get().saturating_sub(1).clamp(1, 8))
+                .unwrap_or(2),
+            queue_capacity: 256,
+            cache_capacity: 4096,
+            default_deadline: Duration::from_secs(30),
+            max_deadline: Duration::from_secs(300),
+        }
+    }
+}
+
+/// The dependency database plus the epoch-pinned snapshot audits read.
+struct DbState {
+    versioned: VersionedDepDb,
+    /// Immutable snapshot of `versioned`'s database, rebuilt on every
+    /// effective ingest. Audit jobs clone the `Arc`, never the data.
+    snapshot: Arc<DepDb>,
+}
+
+struct ServiceState {
+    config: ServeConfig,
+    db: RwLock<DbState>,
+    sia_cache: Mutex<AuditCache<AuditReport>>,
+    pia_cache: Mutex<AuditCache<Vec<PiaRanking>>>,
+    scheduler: Scheduler,
+    started: Instant,
+    shutting_down: AtomicBool,
+    local_addr: SocketAddr,
+}
+
+/// A bound (but not yet serving) daemon.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServiceState>,
+}
+
+impl Server {
+    /// Binds the listener and spawns the worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket bind failures.
+    pub fn bind(config: ServeConfig) -> std::io::Result<Self> {
+        Self::bind_with_db(config, VersionedDepDb::new())
+    }
+
+    /// [`Server::bind`] with a pre-loaded dependency database.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket bind failures.
+    pub fn bind_with_db(config: ServeConfig, db: VersionedDepDb) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let snapshot = Arc::new(db.db().clone());
+        let state = Arc::new(ServiceState {
+            scheduler: Scheduler::new(config.workers, config.queue_capacity),
+            sia_cache: Mutex::new(AuditCache::new(config.cache_capacity)),
+            pia_cache: Mutex::new(AuditCache::new(config.cache_capacity)),
+            db: RwLock::new(DbState {
+                versioned: db,
+                snapshot,
+            }),
+            started: Instant::now(),
+            shutting_down: AtomicBool::new(false),
+            local_addr,
+            config,
+        });
+        Ok(Server { listener, state })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.state.local_addr
+    }
+
+    /// Serves until a `Shutdown` request arrives. Each connection gets
+    /// its own thread; audits run on the shared worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept-loop I/O failures.
+    pub fn run(self) -> std::io::Result<()> {
+        for stream in self.listener.incoming() {
+            if self.state.shutting_down.load(Ordering::Acquire) {
+                break;
+            }
+            let stream = stream?;
+            let state = Arc::clone(&self.state);
+            // Detached on purpose: a handler blocked in `read_line` only
+            // unblocks when its client hangs up, so joining here would
+            // let one idle connection stall shutdown indefinitely. The
+            // worker pool itself joins via `Scheduler::drop` once the
+            // last connection releases the shared state.
+            std::thread::spawn(move || handle_connection(stream, &state));
+        }
+        self.state.scheduler.shutdown();
+        Ok(())
+    }
+}
+
+/// Largest accepted request line. Ingest batches are the big consumer;
+/// 16 MiB comfortably holds millions of Table-1 records per line while
+/// bounding per-connection memory.
+pub const MAX_REQUEST_LINE: u64 = 16 * 1024 * 1024;
+
+fn handle_connection(stream: TcpStream, state: &ServiceState) {
+    let Ok(peer_writer) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = peer_writer;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        match read_bounded_line(&mut reader, &mut line, MAX_REQUEST_LINE) {
+            Ok(LineRead::Line) => {}
+            Ok(LineRead::Eof) | Err(_) => return, // EOF or broken pipe
+            Ok(LineRead::Oversized) => {
+                let mut out = encode_line(&Response::error(format!(
+                    "request line exceeds {MAX_REQUEST_LINE} bytes"
+                )));
+                out.push('\n');
+                let _ = writer.write_all(out.as_bytes());
+                return; // cannot resync mid-line; drop the connection
+            }
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, shutdown) = match decode_line::<Request>(line.trim()) {
+            Ok(request) => handle_request(request, state),
+            Err(e) => (Response::error(format!("malformed request: {e}")), false),
+        };
+        let mut out = encode_line(&response);
+        out.push('\n');
+        if writer.write_all(out.as_bytes()).is_err() || writer.flush().is_err() {
+            return;
+        }
+        if shutdown {
+            initiate_shutdown(state);
+            return;
+        }
+    }
+}
+
+/// Flags shutdown and pokes the accept loop awake with a throwaway
+/// connection so `run` observes the flag.
+fn initiate_shutdown(state: &ServiceState) {
+    state.shutting_down.store(true, Ordering::Release);
+    let _ = TcpStream::connect(state.local_addr);
+}
+
+fn handle_request(request: Request, state: &ServiceState) -> (Response, bool) {
+    match request {
+        Request::Ping => (Response::Pong, false),
+        Request::Ingest { records } => (ingest(state, &records, Mutation::Ingest), false),
+        Request::Retract { records } => (ingest(state, &records, Mutation::Retract), false),
+        Request::AuditSia { spec, timeout_ms } => (audit_sia(state, spec, timeout_ms), false),
+        Request::AuditPia {
+            providers,
+            way,
+            minhash,
+            timeout_ms,
+        } => (audit_pia(state, providers, way, minhash, timeout_ms), false),
+        Request::Status => (status(state), false),
+        Request::Shutdown => (Response::ShuttingDown, true),
+    }
+}
+
+enum Mutation {
+    Ingest,
+    Retract,
+}
+
+fn ingest(state: &ServiceState, records: &str, mutation: Mutation) -> Response {
+    let mut db = state.db.write().expect("db lock poisoned");
+    let report = match mutation {
+        Mutation::Ingest => match db.versioned.ingest_text(records) {
+            Ok(r) => r,
+            Err(e) => return Response::error(format!("bad records: {e}")),
+        },
+        Mutation::Retract => {
+            let parsed = match indaas_deps::parse_records(records) {
+                Ok(p) => p,
+                Err(e) => return Response::error(format!("bad records: {e}")),
+            };
+            db.versioned.retract(&parsed)
+        }
+    };
+    if report.changed > 0 {
+        // New epoch: refresh the audit snapshot and drop every cache
+        // entry the bump just invalidated.
+        db.snapshot = Arc::new(db.versioned.db().clone());
+        let epoch = db.versioned.epoch();
+        state
+            .sia_cache
+            .lock()
+            .expect("cache lock poisoned")
+            .purge_stale(epoch);
+        // The PIA cache is NOT purged: PIA results are a pure function
+        // of the request's provider sets, never of the DepDB.
+    }
+    Response::Ingested {
+        changed: report.changed,
+        ignored: report.ignored,
+        epoch: report.epoch,
+    }
+}
+
+/// Rejects request-controlled algorithm parameters that would panic an
+/// engine or defeat the scheduler's admission control (e.g. a spec
+/// asking one pooled job to spawn thousands of sampling threads).
+fn validate_spec(spec: &AuditSpec) -> Result<(), String> {
+    const MAX_SAMPLING_THREADS: usize = 8;
+    match spec.algorithm {
+        indaas_core::RgAlgorithm::Sampling {
+            threads, fail_prob, ..
+        } => {
+            if threads == 0 || threads > MAX_SAMPLING_THREADS {
+                return Err(format!(
+                    "sampling threads must be in 1..={MAX_SAMPLING_THREADS} (got {threads})"
+                ));
+            }
+            if !(fail_prob > 0.0 && fail_prob < 1.0) {
+                return Err(format!("fail_prob must be in (0, 1) (got {fail_prob})"));
+            }
+        }
+        indaas_core::RgAlgorithm::Bdd { max_nodes } => {
+            // The node budget bounds one job's memory; uncapped it lets
+            // a single request grow allocations past any deadline's
+            // reach (the token is only polled between graph nodes).
+            const MAX_BDD_NODES: usize = 1 << 24;
+            if !(2..=MAX_BDD_NODES).contains(&max_nodes) {
+                return Err(format!(
+                    "bdd max_nodes must be in 2..={MAX_BDD_NODES} (got {max_nodes})"
+                ));
+            }
+        }
+        indaas_core::RgAlgorithm::Minimal { .. } => {}
+    }
+    Ok(())
+}
+
+fn audit_sia(state: &ServiceState, spec: AuditSpec, timeout_ms: Option<u64>) -> Response {
+    if let Err(e) = validate_spec(&spec) {
+        return Response::error(format!("invalid spec: {e}"));
+    }
+    let started = Instant::now();
+    let (epoch, snapshot) = {
+        let db = state.db.read().expect("db lock poisoned");
+        (db.versioned.epoch(), Arc::clone(&db.snapshot))
+    };
+    let key = job_key(epoch, "sia", &spec);
+    if let Some(report) = state
+        .sia_cache
+        .lock()
+        .expect("cache lock poisoned")
+        .get(&key)
+    {
+        return Response::Sia {
+            epoch,
+            cached: true,
+            elapsed_us: started.elapsed().as_micros() as u64,
+            report,
+        };
+    }
+
+    let deadline = job_deadline(&state.config, timeout_ms);
+    let (tx, rx) = mpsc::channel();
+    let submitted = state.scheduler.submit(Some(deadline), move |token| {
+        let agent = AuditingAgent::from_shared(snapshot);
+        let _ = tx.send(agent.audit_sia_cancellable(&spec, token));
+    });
+    let token = match submitted {
+        Ok(token) => token,
+        Err(e) => return Response::error(e.to_string()),
+    };
+    match wait_for_result(&rx, deadline, &token) {
+        Ok(Ok(report)) => {
+            state
+                .sia_cache
+                .lock()
+                .expect("cache lock poisoned")
+                .insert(key, epoch, report.clone());
+            Response::Sia {
+                epoch,
+                cached: false,
+                elapsed_us: started.elapsed().as_micros() as u64,
+                report,
+            }
+        }
+        Ok(Err(e)) => Response::error(format!("audit failed: {e}")),
+        Err(timeout) => Response::error(timeout),
+    }
+}
+
+fn audit_pia(
+    state: &ServiceState,
+    providers: Vec<(String, Vec<String>)>,
+    way: usize,
+    minhash: Option<usize>,
+    timeout_ms: Option<u64>,
+) -> Response {
+    if way < 2 || providers.len() < way {
+        return Response::error("need way >= 2 and at least `way` providers");
+    }
+    if providers.iter().any(|(_, set)| set.is_empty()) {
+        return Response::error("provider component sets must be non-empty");
+    }
+    let started = Instant::now();
+    let epoch = state.db.read().expect("db lock poisoned").versioned.epoch();
+    // PIA reads nothing from the DepDB — its inputs travel entirely in
+    // the request — so the cache key deliberately omits the epoch and
+    // entries survive ingests (the response still stamps the epoch).
+    let key = job_key(0, "pia", &(&providers, way, minhash));
+    if let Some(rankings) = state
+        .pia_cache
+        .lock()
+        .expect("cache lock poisoned")
+        .get(&key)
+    {
+        return Response::Pia {
+            epoch,
+            cached: true,
+            elapsed_us: started.elapsed().as_micros() as u64,
+            rankings,
+        };
+    }
+
+    let deadline = job_deadline(&state.config, timeout_ms);
+    let (tx, rx) = mpsc::channel();
+    let submitted = state.scheduler.submit(Some(deadline), move |token| {
+        let _ = tx.send(rank_deployments_cancellable(
+            &providers,
+            way,
+            minhash,
+            &PsopConfig::default(),
+            token,
+        ));
+    });
+    let token = match submitted {
+        Ok(token) => token,
+        Err(e) => return Response::error(e.to_string()),
+    };
+    match wait_for_result(&rx, deadline, &token) {
+        Ok(Ok(rankings)) => {
+            state.pia_cache.lock().expect("cache lock poisoned").insert(
+                key,
+                0, // epoch-independent; see the key above
+                rankings.clone(),
+            );
+            Response::Pia {
+                epoch,
+                cached: false,
+                elapsed_us: started.elapsed().as_micros() as u64,
+                rankings,
+            }
+        }
+        Ok(Err(e)) => Response::error(format!("audit failed: {e}")),
+        Err(timeout) => Response::error(timeout),
+    }
+}
+
+/// Resolves the effective job deadline: the client's request, clamped
+/// to the configured ceiling.
+fn job_deadline(config: &ServeConfig, timeout_ms: Option<u64>) -> Duration {
+    timeout_ms
+        .map(Duration::from_millis)
+        .unwrap_or(config.default_deadline)
+        .min(config.max_deadline)
+}
+
+/// Waits for a job result, granting a small grace period past the
+/// deadline (the job polls its token and reports `Cancelled` itself; the
+/// hard timeout here only guards against a wedged worker).
+fn wait_for_result<T>(
+    rx: &mpsc::Receiver<T>,
+    deadline: Duration,
+    token: &CancelToken,
+) -> Result<T, String> {
+    let grace = deadline + Duration::from_secs(2);
+    match rx.recv_timeout(grace) {
+        Ok(result) => Ok(result),
+        Err(mpsc::RecvTimeoutError::Disconnected) => {
+            // The job dropped its sender without sending: it panicked
+            // (the scheduler caught it and the worker survived).
+            Err("audit job crashed; see server log".to_string())
+        }
+        Err(mpsc::RecvTimeoutError::Timeout) => {
+            token.cancel();
+            Err("audit timed out".to_string())
+        }
+    }
+}
+
+fn status(state: &ServiceState) -> Response {
+    let (epoch, records, hosts) = {
+        let db = state.db.read().expect("db lock poisoned");
+        (
+            db.versioned.epoch(),
+            db.versioned.db().len(),
+            db.versioned.db().hosts().len(),
+        )
+    };
+    let (sia_hits, sia_misses, sia_len) = {
+        let cache = state.sia_cache.lock().expect("cache lock poisoned");
+        let (h, m) = cache.stats();
+        (h, m, cache.len())
+    };
+    let (pia_hits, pia_misses, pia_len) = {
+        let cache = state.pia_cache.lock().expect("cache lock poisoned");
+        let (h, m) = cache.stats();
+        (h, m, cache.len())
+    };
+    let cache_entries = sia_len + pia_len;
+    Response::Status {
+        epoch,
+        records,
+        hosts,
+        jobs_queued: state.scheduler.queued(),
+        jobs_running: state.scheduler.running(),
+        cache_entries,
+        cache_hits: sia_hits + pia_hits,
+        cache_misses: sia_misses + pia_misses,
+        uptime_ms: state.started.elapsed().as_millis() as u64,
+    }
+}

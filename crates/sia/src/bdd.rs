@@ -17,7 +17,7 @@
 
 use std::collections::HashMap;
 
-use indaas_graph::{FaultGraph, Gate, NodeId};
+use indaas_graph::{CancelToken, Cancelled, FaultGraph, Gate, NodeId};
 
 use crate::riskgroup::{RgFamily, RiskGroup};
 
@@ -50,6 +50,26 @@ impl Bdd {
     /// Panics if the BDD grows beyond `max_nodes` — pick a different
     /// engine for graphs with adversarial structure.
     pub fn compile(graph: &FaultGraph, max_nodes: usize) -> Self {
+        Self::compile_cancellable(graph, max_nodes, &CancelToken::default())
+            .expect("default token never cancels")
+    }
+
+    /// [`Bdd::compile`] with cooperative cancellation, polled once per
+    /// fault-graph node (each node may allocate many BDD nodes, but the
+    /// `max_nodes` cap bounds the work between polls).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Cancelled`] if the token trips mid-compilation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the BDD grows beyond `max_nodes`.
+    pub fn compile_cancellable(
+        graph: &FaultGraph,
+        max_nodes: usize,
+        token: &CancelToken,
+    ) -> Result<Self, Cancelled> {
         let var_to_basic = graph.basic_ids();
         let basic_to_var: HashMap<NodeId, u32> = var_to_basic
             .iter()
@@ -68,6 +88,7 @@ impl Bdd {
         let order = graph.topo_order().expect("validated graphs are acyclic");
         let mut funcs: Vec<BddId> = vec![FALSE; graph.len()];
         for id in order {
+            token.check()?;
             let node = graph.node(id);
             let f = match node.gate {
                 None => {
@@ -97,7 +118,7 @@ impl Bdd {
             funcs[id as usize] = f;
         }
         bdd.root = funcs[graph.top() as usize];
-        bdd
+        Ok(bdd)
     }
 
     /// Number of live BDD nodes (including terminals).

@@ -17,7 +17,7 @@
 //! * `max_family` — a hard cap on intermediate family sizes; exceeding it
 //!   aborts with the partial family flagged as truncated.
 
-use indaas_graph::{FaultGraph, Gate, NodeId};
+use indaas_graph::{CancelToken, Cancelled, FaultGraph, Gate, NodeId};
 
 use crate::riskgroup::{RgFamily, RiskGroup};
 
@@ -59,6 +59,26 @@ impl MinimalConfig {
 /// Panics if an intermediate family exceeds `config.max_family` — raise the
 /// cap or set a `max_order` for graphs that large.
 pub fn minimal_risk_groups(graph: &FaultGraph, config: &MinimalConfig) -> RgFamily {
+    minimal_risk_groups_cancellable(graph, config, &CancelToken::default())
+        .expect("default token never cancels")
+}
+
+/// [`minimal_risk_groups`] with cooperative cancellation: the token is
+/// polled once per graph node and once per product row, so jobs stop
+/// within a bounded amount of work of a cancel/deadline.
+///
+/// # Errors
+///
+/// Returns [`Cancelled`] if the token trips mid-computation.
+///
+/// # Panics
+///
+/// Panics if an intermediate family exceeds `config.max_family`.
+pub fn minimal_risk_groups_cancellable(
+    graph: &FaultGraph,
+    config: &MinimalConfig,
+    token: &CancelToken,
+) -> Result<RgFamily, Cancelled> {
     let order = graph.topo_order().expect("validated graphs are acyclic");
     let mut families: Vec<Option<RgFamily>> = (0..graph.len()).map(|_| None).collect();
     // Count remaining uses so child families can be dropped early (keeps
@@ -72,6 +92,7 @@ pub fn minimal_risk_groups(graph: &FaultGraph, config: &MinimalConfig) -> RgFami
     remaining_uses[graph.top() as usize] += 1;
 
     for id in order {
+        token.check()?;
         let node = graph.node(id);
         let fam = match node.gate {
             None => RgFamily::from_groups([RiskGroup::new(vec![id])]),
@@ -90,7 +111,7 @@ pub fn minimal_risk_groups(graph: &FaultGraph, config: &MinimalConfig) -> RgFami
                     .iter()
                     .map(|&c| take_child(&mut families, &mut remaining_uses, c))
                     .collect();
-                product_all(children, config, &node.name)
+                product_all(children, config, &node.name, token)?
             }
             Some(Gate::KofN(k)) => {
                 let children: Vec<RgFamily> = node
@@ -102,7 +123,7 @@ pub fn minimal_risk_groups(graph: &FaultGraph, config: &MinimalConfig) -> RgFami
                 for combo in combinations(children.len(), k as usize) {
                     let subset: Vec<RgFamily> =
                         combo.iter().map(|&i| children[i].clone()).collect();
-                    fam.merge(product_all(subset, config, &node.name));
+                    fam.merge(product_all(subset, config, &node.name, token)?);
                     check_budget(&fam, config, &node.name);
                 }
                 fam
@@ -110,9 +131,9 @@ pub fn minimal_risk_groups(graph: &FaultGraph, config: &MinimalConfig) -> RgFami
         };
         families[id as usize] = Some(fam);
     }
-    families[graph.top() as usize]
+    Ok(families[graph.top() as usize]
         .take()
-        .expect("top family computed")
+        .expect("top family computed"))
 }
 
 /// Fetches a child family, cloning only if it is still needed later.
@@ -133,7 +154,12 @@ fn take_child(
 /// Cartesian product of families (AND semantics), pairwise with
 /// minimization and truncation after every merge. Smallest families first
 /// keeps intermediate results small.
-fn product_all(mut children: Vec<RgFamily>, config: &MinimalConfig, at: &str) -> RgFamily {
+fn product_all(
+    mut children: Vec<RgFamily>,
+    config: &MinimalConfig,
+    at: &str,
+    token: &CancelToken,
+) -> Result<RgFamily, Cancelled> {
     children.sort_by_key(RgFamily::len);
     let mut iter = children.into_iter();
     let mut acc = iter.next().unwrap_or_default();
@@ -143,6 +169,7 @@ fn product_all(mut children: Vec<RgFamily>, config: &MinimalConfig, at: &str) ->
     for next in iter {
         let mut out = RgFamily::new();
         for a in acc.groups() {
+            token.check()?;
             for b in next.groups() {
                 let u = a.union(b);
                 if config.max_order.is_some_and(|k| u.len() > k) {
@@ -154,7 +181,7 @@ fn product_all(mut children: Vec<RgFamily>, config: &MinimalConfig, at: &str) ->
         }
         acc = out;
     }
-    acc
+    Ok(acc)
 }
 
 fn check_budget(fam: &RgFamily, config: &MinimalConfig, at: &str) {

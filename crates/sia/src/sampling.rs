@@ -14,7 +14,7 @@
 //! The algorithm stays linear per round but is non-deterministic and may
 //! miss RGs; Figure 7's experiments quantify that accuracy/time trade-off.
 
-use indaas_graph::{FaultGraph, NodeId};
+use indaas_graph::{CancelToken, Cancelled, FaultGraph, NodeId};
 use rand::{Rng, SeedableRng};
 
 use crate::riskgroup::{RgFamily, RiskGroup};
@@ -71,6 +71,26 @@ impl SamplingConfig {
 ///
 /// Panics if `fail_prob` is outside `(0, 1)` or `threads` is zero.
 pub fn failure_sampling(graph: &FaultGraph, config: &SamplingConfig) -> RgFamily {
+    failure_sampling_cancellable(graph, config, &CancelToken::default())
+        .expect("default token never cancels")
+}
+
+/// [`failure_sampling`] with cooperative cancellation: every worker polls
+/// the token once per [`CANCEL_POLL_ROUNDS`] rounds, so multi-threaded
+/// jobs unwind promptly on cancel or deadline.
+///
+/// # Errors
+///
+/// Returns [`Cancelled`] if the token trips mid-run.
+///
+/// # Panics
+///
+/// Panics if `fail_prob` is outside `(0, 1)` or `threads` is zero.
+pub fn failure_sampling_cancellable(
+    graph: &FaultGraph,
+    config: &SamplingConfig,
+    token: &CancelToken,
+) -> Result<RgFamily, Cancelled> {
     assert!(
         config.fail_prob > 0.0 && config.fail_prob < 1.0,
         "fail_prob must be in (0, 1)"
@@ -78,11 +98,12 @@ pub fn failure_sampling(graph: &FaultGraph, config: &SamplingConfig) -> RgFamily
     assert!(config.threads >= 1, "need at least one thread");
 
     if config.threads == 1 {
-        return sample_worker(graph, config.rounds, config.seed, config);
+        return sample_worker(graph, config.rounds, config.seed, config, token);
     }
     let per = config.rounds / config.threads as u64;
     let extra = config.rounds % config.threads as u64;
     let mut out = RgFamily::new();
+    let mut cancelled = None;
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for t in 0..config.threads {
@@ -90,20 +111,35 @@ pub fn failure_sampling(graph: &FaultGraph, config: &SamplingConfig) -> RgFamily
             let seed = config
                 .seed
                 .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(t as u64 + 1));
-            handles.push(scope.spawn(move || sample_worker(graph, rounds, seed, config)));
+            handles.push(scope.spawn(move || sample_worker(graph, rounds, seed, config, token)));
         }
         for h in handles {
-            out.merge(h.join().expect("sampling worker panicked"));
+            match h.join().expect("sampling worker panicked") {
+                Ok(fam) => out.merge(fam),
+                Err(c) => cancelled = Some(c),
+            }
         }
     });
-    out
+    match cancelled {
+        Some(c) => Err(c),
+        None => Ok(out),
+    }
 }
 
-fn sample_worker(graph: &FaultGraph, rounds: u64, seed: u64, config: &SamplingConfig) -> RgFamily {
+/// How many sampling rounds run between cancellation polls.
+pub const CANCEL_POLL_ROUNDS: u64 = 128;
+
+fn sample_worker(
+    graph: &FaultGraph,
+    rounds: u64,
+    seed: u64,
+    config: &SamplingConfig,
+    token: &CancelToken,
+) -> Result<RgFamily, Cancelled> {
     if config.minimize {
-        sample_worker_lazy(graph, rounds, seed, config)
+        sample_worker_lazy(graph, rounds, seed, config, token)
     } else {
-        sample_worker_dense(graph, rounds, seed, config)
+        sample_worker_dense(graph, rounds, seed, config, token)
     }
 }
 
@@ -114,7 +150,8 @@ fn sample_worker_dense(
     rounds: u64,
     seed: u64,
     config: &SamplingConfig,
-) -> RgFamily {
+    token: &CancelToken,
+) -> Result<RgFamily, Cancelled> {
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let plan = graph.eval_plan();
     let basic = graph.basic_ids();
@@ -124,7 +161,10 @@ fn sample_worker_dense(
     let mut fam = RgFamily::new();
     let thresholds = per_basic_thresholds(graph, config);
 
-    for _ in 0..rounds {
+    for round in 0..rounds {
+        if round % CANCEL_POLL_ROUNDS == 0 {
+            token.check()?;
+        }
         assignment.iter_mut().for_each(|b| *b = false);
         let mut failed: Vec<NodeId> = Vec::new();
         for &id in &basic {
@@ -141,7 +181,7 @@ fn sample_worker_dense(
             fam.insert(RiskGroup::new(failed));
         }
     }
-    fam
+    Ok(fam)
 }
 
 /// The minimizing variant, built on a lazy short-circuit evaluator: coin
@@ -155,14 +195,18 @@ fn sample_worker_lazy(
     rounds: u64,
     seed: u64,
     config: &SamplingConfig,
-) -> RgFamily {
+    token: &CancelToken,
+) -> Result<RgFamily, Cancelled> {
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let mut eval = LazyEval::new(graph);
     let mut fam = RgFamily::new();
     let thresholds = per_basic_thresholds(graph, config);
     let mut kept_mask = vec![false; graph.len()];
 
-    for _ in 0..rounds {
+    for round in 0..rounds {
+        if round % CANCEL_POLL_ROUNDS == 0 {
+            token.check()?;
+        }
         // Random round: basics fail by coin flip, drawn lazily.
         eval.next_round();
         if !eval.value(
@@ -208,7 +252,7 @@ fn sample_worker_lazy(
         }
         fam.insert(RiskGroup::new(kept));
     }
-    fam
+    Ok(fam)
 }
 
 /// Per-basic-event coin-flip thresholds: uniform `fail_prob`, or the

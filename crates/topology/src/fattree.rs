@@ -64,7 +64,7 @@ impl FatTree {
     /// Panics if `ports` is odd or below 4.
     pub fn new(config: FatTreeConfig) -> Self {
         assert!(
-            config.ports >= 4 && config.ports % 2 == 0,
+            config.ports >= 4 && config.ports.is_multiple_of(2),
             "fat tree needs an even port count >= 4"
         );
         FatTree { config }

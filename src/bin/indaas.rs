@@ -14,11 +14,12 @@
 use std::process::ExitCode;
 
 use indaas::core::{AuditSpec, AuditingAgent, CandidateDeployment, RankingMetric, RgAlgorithm};
-use indaas::deps::{parse_records, DepDb, FailureProbModel};
+use indaas::deps::{parse_records, DepDb, FailureProbModel, VersionedDepDb};
 use indaas::graph::to_dot;
 use indaas::pia::normalize::normalize_set;
 use indaas::pia::report::render_ranking;
 use indaas::pia::{rank_deployments, PsopConfig};
+use indaas::service::{Client, ServeConfig, Server};
 use indaas::sia::{build_fault_graph, BuildSpec};
 
 fn main() -> ExitCode {
@@ -27,6 +28,8 @@ fn main() -> ExitCode {
         Some("sia") => cmd_sia(&args[1..]),
         Some("pia") => cmd_pia(&args[1..]),
         Some("dot") => cmd_dot(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("ping") => cmd_ping(&args[1..]),
         Some("help") | Some("--help") | None => {
             eprint!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -52,10 +55,35 @@ USAGE:
              [--only network,hardware,software] [--json]
   indaas pia --set NAME=FILE [--set ...] [--way N] [--minhash M] [--json]
   indaas dot --records FILE --servers S1,S2[,...]
+  indaas serve [--listen ADDR] [--workers N] [--queue N] [--cache N]
+               [--deadline-ms MS] [--records FILE]
+  indaas ping [--addr ADDR]
 
 FILES:
   --records  Table-1 dependency records, one per line
   --set      one component identifier per line (normalized automatically)
+";
+
+const SERVE_USAGE: &str = "\
+indaas serve — run the continuous auditing daemon
+
+USAGE:
+  indaas serve [--listen ADDR] [--workers N] [--queue N] [--cache N]
+               [--deadline-ms MS] [--records FILE]
+
+OPTIONS:
+  --listen ADDR     listen address (default 127.0.0.1:4914; port 0 = ephemeral)
+  --workers N       audit worker threads (default: cores - 1, capped at 8)
+  --queue N         bounded job-queue capacity (default 256)
+  --cache N         audit-result cache entries (default 4096)
+  --deadline-ms MS  default per-job deadline (default 30000)
+  --records FILE    pre-load Table-1 records before serving
+
+PROTOCOL (line-delimited JSON over TCP):
+  -> \"Ping\"                                    <- \"Pong\"
+  -> {\"Ingest\": {\"records\": \"<src=...>\"}}  <- {\"Ingested\": {\"changed\": 1, \"ignored\": 0, \"epoch\": 1}}
+  -> {\"AuditSia\": {\"spec\": {...}}}           <- {\"Sia\": {\"epoch\": 1, \"cached\": false, ...}}
+  -> \"Status\" | \"Shutdown\"
 ";
 
 /// Simple flag cursor over argv.
@@ -216,6 +244,52 @@ fn cmd_pia(args: &[String]) -> Result<(), String> {
     } else {
         print!("{}", render_ranking(way, &rankings));
     }
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let flags = Flags { args };
+    if flags.has("--help") || flags.has("-h") {
+        eprint!("{SERVE_USAGE}");
+        return Ok(());
+    }
+    let mut config = ServeConfig::default();
+    if let Some(addr) = flags.value("--listen") {
+        config.addr = addr.to_string();
+    }
+    if let Some(v) = flags.value("--workers") {
+        config.workers = v.parse().map_err(|e| format!("--workers: {e}"))?;
+        if config.workers == 0 {
+            return Err("--workers must be at least 1".into());
+        }
+    }
+    if let Some(v) = flags.value("--queue") {
+        config.queue_capacity = v.parse().map_err(|e| format!("--queue: {e}"))?;
+    }
+    if let Some(v) = flags.value("--cache") {
+        config.cache_capacity = v.parse().map_err(|e| format!("--cache: {e}"))?;
+    }
+    if let Some(v) = flags.value("--deadline-ms") {
+        let ms: u64 = v.parse().map_err(|e| format!("--deadline-ms: {e}"))?;
+        config.default_deadline = std::time::Duration::from_millis(ms);
+    }
+    let db = match flags.value("--records") {
+        Some(path) => {
+            VersionedDepDb::from_db(DepDb::load(path).map_err(|e| format!("loading {path}: {e}"))?)
+        }
+        None => VersionedDepDb::new(),
+    };
+    let server = Server::bind_with_db(config, db).map_err(|e| format!("bind: {e}"))?;
+    eprintln!("indaas daemon listening on {}", server.local_addr());
+    server.run().map_err(|e| format!("serve: {e}"))
+}
+
+fn cmd_ping(args: &[String]) -> Result<(), String> {
+    let flags = Flags { args };
+    let addr = flags.value("--addr").unwrap_or("127.0.0.1:4914");
+    let mut client = Client::connect(addr).map_err(|e| format!("connecting {addr}: {e}"))?;
+    client.ping().map_err(|e| e.to_string())?;
+    println!("pong from {addr}");
     Ok(())
 }
 

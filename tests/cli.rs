@@ -94,11 +94,7 @@ fn pia_ranks_component_sets() {
     );
     let text = String::from_utf8_lossy(&out.stdout);
     // A & B share 2 of 4; pairs with C are disjoint → A & B ranks last.
-    let last_line = text
-        .lines()
-        .filter(|l| !l.trim().is_empty())
-        .last()
-        .unwrap();
+    let last_line = text.lines().rfind(|l| !l.trim().is_empty()).unwrap();
     assert!(last_line.contains("A & B"), "got: {last_line}");
 }
 
@@ -133,4 +129,94 @@ fn bad_usage_fails_with_message() {
     let out = bin().arg("--help").output().expect("binary runs");
     assert!(out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"));
+}
+
+#[test]
+fn serve_help_documents_daemon_and_protocol() {
+    let out = bin()
+        .args(["serve", "--help"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stderr);
+    assert!(text.contains("--listen"), "got: {text}");
+    assert!(text.contains("--workers"), "got: {text}");
+    assert!(text.contains("PROTOCOL"), "got: {text}");
+    // The top-level help advertises the subcommand too.
+    let out = bin().arg("--help").output().expect("binary runs");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("serve"));
+}
+
+#[test]
+fn serve_rejects_bad_flags_and_missing_records() {
+    let out = bin()
+        .args(["serve", "--workers", "not-a-number"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--workers"));
+
+    let out = bin()
+        .args(["serve", "--workers", "0"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--workers"));
+
+    let out = bin()
+        .args(["serve", "--records", "/no/such/file"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("/no/such/file"));
+}
+
+#[test]
+fn serve_answers_ping_and_malformed_requests_over_tcp() {
+    use std::io::{BufRead, BufReader, Write};
+
+    // Spawn the daemon on an ephemeral port; it prints the bound address
+    // on stderr ("indaas daemon listening on 127.0.0.1:PORT").
+    let mut child = bin()
+        .args(["serve", "--listen", "127.0.0.1:0"])
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("daemon starts");
+    let stderr = child.stderr.take().expect("stderr piped");
+    let mut banner = String::new();
+    BufReader::new(stderr)
+        .read_line(&mut banner)
+        .expect("read banner");
+    let addr = banner
+        .trim()
+        .rsplit(' ')
+        .next()
+        .expect("address in banner")
+        .to_string();
+
+    let stream = std::net::TcpStream::connect(&addr).expect("connect");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+
+    // Malformed request → Error response, connection survives.
+    writer.write_all(b"{oops\n").expect("write");
+    reader.read_line(&mut line).expect("read");
+    assert!(
+        line.contains("Error") && line.contains("malformed request"),
+        "got: {line}"
+    );
+
+    line.clear();
+    writer.write_all(b"\"Ping\"\n").expect("write");
+    reader.read_line(&mut line).expect("read");
+    assert_eq!(line.trim(), "\"Pong\"");
+
+    line.clear();
+    writer.write_all(b"\"Shutdown\"\n").expect("write");
+    reader.read_line(&mut line).expect("read");
+    assert_eq!(line.trim(), "\"ShuttingDown\"");
+
+    let status = child.wait().expect("daemon exits");
+    assert!(status.success());
 }

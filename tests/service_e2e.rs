@@ -1,0 +1,412 @@
+//! End-to-end tests for the continuous auditing daemon: a real TCP
+//! server on an ephemeral port, streamed ingestion, concurrent audits,
+//! cache hits/invalidation, deadlines and protocol error paths.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+
+use indaas::core::{AuditSpec, CandidateDeployment, RgAlgorithm};
+use indaas::service::{Client, Request, Response, ServeConfig, Server};
+
+const RECORDS: &str = r#"
+    <src="S1" dst="Internet" route="tor1,core1"/>
+    <src="S1" dst="Internet" route="tor1,core2"/>
+    <src="S2" dst="Internet" route="tor1,core1"/>
+    <src="S2" dst="Internet" route="tor1,core2"/>
+    <src="S3" dst="Internet" route="tor2,core1"/>
+    <src="S3" dst="Internet" route="tor2,core2"/>
+    <hw="S1" type="Disk" dep="S1-disk"/>
+    <hw="S2" type="Disk" dep="S2-disk"/>
+    <hw="S3" type="Disk" dep="S3-disk"/>
+"#;
+
+/// Starts a daemon on an ephemeral port; returns its address and the
+/// serve-loop handle (joined after a `Shutdown` request).
+fn start_daemon() -> (
+    std::net::SocketAddr,
+    std::thread::JoinHandle<std::io::Result<()>>,
+) {
+    let server = Server::bind(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        queue_capacity: 16,
+        cache_capacity: 64,
+        ..ServeConfig::default()
+    })
+    .expect("bind ephemeral port");
+    let addr = server.local_addr();
+    let handle = std::thread::spawn(move || server.run());
+    (addr, handle)
+}
+
+fn audit_spec() -> AuditSpec {
+    AuditSpec::sia_size_based(vec![
+        CandidateDeployment::replicated("S1+S2", ["S1", "S2"]),
+        CandidateDeployment::replicated("S1+S3", ["S1", "S3"]),
+    ])
+}
+
+#[test]
+fn ingest_audit_cache_and_invalidation() {
+    let (addr, daemon) = start_daemon();
+    let mut client = Client::connect(addr).expect("connect");
+
+    // Stream records in; epoch moves 0 -> 1.
+    let ack = client.ingest(RECORDS).expect("ingest");
+    assert_eq!(ack.changed, 9);
+    assert_eq!(ack.epoch, 1);
+
+    // Re-ingesting the same batch is deduplicated and does NOT bump the
+    // epoch (periodic collectors re-report constantly).
+    let dup = client.ingest(RECORDS).expect("re-ingest");
+    assert_eq!(dup.changed, 0);
+    assert_eq!(dup.ignored, 9);
+    assert_eq!(dup.epoch, 1);
+
+    // First audit: computed fresh.
+    let spec = audit_spec();
+    let t_first = Instant::now();
+    let first = client.audit_sia(&spec, None).expect("first audit");
+    let first_wall = t_first.elapsed();
+    assert!(!first.cached);
+    assert_eq!(first.epoch, 1);
+    assert_eq!(first.report.best().unwrap().name, "S1+S3");
+
+    // Second audit, same spec, same epoch: a cache hit, and measurably
+    // faster on both the server's own clock and the client wall clock.
+    let t_second = Instant::now();
+    let second = client.audit_sia(&spec, None).expect("second audit");
+    let second_wall = t_second.elapsed();
+    assert!(second.cached, "repeat audit at unchanged epoch must hit");
+    assert_eq!(second.epoch, 1);
+    assert_eq!(
+        second.report.best().unwrap().name,
+        first.report.best().unwrap().name
+    );
+    assert!(
+        second.elapsed_us < first.elapsed_us,
+        "hit ({}us) must be faster than compute ({}us)",
+        second.elapsed_us,
+        first.elapsed_us
+    );
+    assert!(
+        second_wall < first_wall,
+        "hit ({second_wall:?}) must beat compute ({first_wall:?}) end to end"
+    );
+
+    // An *update* — S3 moves behind S1's ToR — bumps the epoch and
+    // invalidates the cached result: the same spec recomputes and the
+    // ranking flips (S1+S3 now shares tor1 too, and more).
+    let ack = client
+        .ingest(r#"<src="S3" dst="Internet" route="tor1,core1"/>"#)
+        .expect("update ingest");
+    assert_eq!(ack.epoch, 2);
+    let third = client.audit_sia(&spec, None).expect("post-update audit");
+    assert!(!third.cached, "epoch bump must invalidate the cache");
+    assert_eq!(third.epoch, 2);
+
+    // Cache works at the new epoch too.
+    let fourth = client.audit_sia(&spec, None).expect("post-update repeat");
+    assert!(fourth.cached);
+
+    client.shutdown().expect("shutdown");
+    daemon.join().unwrap().expect("serve loop");
+}
+
+#[test]
+fn concurrent_sia_and_pia_clients() {
+    let (addr, daemon) = start_daemon();
+    let mut seed = Client::connect(addr).expect("connect");
+    seed.ingest(RECORDS).expect("ingest");
+
+    let mut handles = Vec::new();
+    // Four concurrent SIA clients with distinct specs (distinct cache
+    // keys), interleaved with four PIA clients.
+    for i in 0..4u64 {
+        handles.push(std::thread::spawn(move || {
+            let mut c = Client::connect(addr).expect("connect");
+            let spec = AuditSpec {
+                algorithm: RgAlgorithm::Sampling {
+                    rounds: 2000 + i, // distinct spec → distinct content hash
+                    fail_prob: 0.5,
+                    seed: i,
+                    threads: 1,
+                },
+                ..audit_spec()
+            };
+            let answer = c.audit_sia(&spec, Some(20_000)).expect("sia");
+            assert_eq!(answer.report.best().unwrap().name, "S1+S3");
+        }));
+        handles.push(std::thread::spawn(move || {
+            let mut c = Client::connect(addr).expect("connect");
+            let providers = vec![
+                ("A".to_string(), vec!["x".into(), format!("a{i}")]),
+                ("B".to_string(), vec!["x".into(), format!("b{i}")]),
+                ("C".to_string(), vec![format!("q{i}"), format!("r{i}")]),
+            ];
+            let answer = c.audit_pia(providers, 2, None, Some(20_000)).expect("pia");
+            assert_eq!(answer.rankings.len(), 3);
+            // A&B share "x": the disjoint pairs rank before them.
+            assert_eq!(answer.rankings[2].providers, vec!["A", "B"]);
+        }));
+    }
+    for h in handles {
+        h.join().expect("client thread");
+    }
+
+    let mut admin = Client::connect(addr).expect("connect");
+    admin.shutdown().expect("shutdown");
+    daemon.join().unwrap().expect("serve loop");
+}
+
+#[test]
+fn pia_cache_hits_on_repeat() {
+    let (addr, daemon) = start_daemon();
+    let mut client = Client::connect(addr).expect("connect");
+    let providers = vec![
+        ("A".to_string(), vec!["x".to_string(), "y".to_string()]),
+        ("B".to_string(), vec!["x".to_string(), "z".to_string()]),
+    ];
+    let first = client
+        .audit_pia(providers.clone(), 2, None, None)
+        .expect("first pia");
+    assert!(!first.cached);
+    let second = client
+        .audit_pia(providers, 2, None, None)
+        .expect("second pia");
+    assert!(second.cached);
+    assert_eq!(second.rankings[0].jaccard, first.rankings[0].jaccard);
+    client.shutdown().expect("shutdown");
+    daemon.join().unwrap().expect("serve loop");
+}
+
+#[test]
+fn malformed_and_failing_requests_keep_connection_alive() {
+    let (addr, daemon) = start_daemon();
+
+    // Raw socket: send garbage, then a valid ping on the same connection.
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+    writer.write_all(b"this is not json\n").expect("write");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read");
+    assert!(
+        line.contains("Error") && line.contains("malformed request"),
+        "got: {line}"
+    );
+    line.clear();
+    writer.write_all(b"\"Ping\"\n").expect("write");
+    reader.read_line(&mut line).expect("read");
+    assert_eq!(line.trim(), "\"Pong\"");
+
+    // Unknown variants and structurally wrong payloads error politely.
+    line.clear();
+    writer.write_all(b"\"Detonate\"\n").expect("write");
+    reader.read_line(&mut line).expect("read");
+    assert!(line.contains("Error"), "got: {line}");
+    line.clear();
+    writer
+        .write_all(b"{\"AuditSia\": {\"spec\": 42}}\n")
+        .expect("write");
+    reader.read_line(&mut line).expect("read");
+    assert!(line.contains("Error"), "got: {line}");
+
+    // Typed client: an audit against an empty DepDB is a remote error
+    // (unknown servers), not a hang or disconnect.
+    let mut client = Client::connect(addr).expect("connect");
+    let err = client.audit_sia(&audit_spec(), None).unwrap_err();
+    assert!(err.to_string().contains("audit failed"), "got: {err}");
+    client.ping().expect("connection still usable");
+
+    client.shutdown().expect("shutdown");
+    daemon.join().unwrap().expect("serve loop");
+}
+
+#[test]
+fn deadline_zero_cancels_audit() {
+    let (addr, daemon) = start_daemon();
+    let mut client = Client::connect(addr).expect("connect");
+    client.ingest(RECORDS).expect("ingest");
+    // A zero-millisecond deadline expires while the job is queued; the
+    // cancellable audit path reports it as an error, not a result.
+    let err = client.audit_sia(&audit_spec(), Some(0)).unwrap_err();
+    assert!(
+        err.to_string().contains("cancel") || err.to_string().contains("deadline"),
+        "got: {err}"
+    );
+    client.shutdown().expect("shutdown");
+    daemon.join().unwrap().expect("serve loop");
+}
+
+#[test]
+fn hostile_specs_are_rejected_or_survived() {
+    let (addr, daemon) = start_daemon();
+    let mut client = Client::connect(addr).expect("connect");
+    client.ingest(RECORDS).expect("ingest");
+
+    // Request-controlled thread counts must not defeat the pool.
+    let flood = AuditSpec {
+        algorithm: RgAlgorithm::Sampling {
+            rounds: 1000,
+            fail_prob: 0.5,
+            seed: 1,
+            threads: 100_000,
+        },
+        ..audit_spec()
+    };
+    let err = client.audit_sia(&flood, None).unwrap_err();
+    assert!(err.to_string().contains("invalid spec"), "got: {err}");
+
+    let bad_prob = AuditSpec {
+        algorithm: RgAlgorithm::Sampling {
+            rounds: 1000,
+            fail_prob: 2.0,
+            seed: 1,
+            threads: 1,
+        },
+        ..audit_spec()
+    };
+    let err = client.audit_sia(&bad_prob, None).unwrap_err();
+    assert!(err.to_string().contains("fail_prob"), "got: {err}");
+
+    // An uncapped BDD node budget must be rejected up front.
+    let huge_bdd = AuditSpec {
+        algorithm: RgAlgorithm::Bdd {
+            max_nodes: usize::MAX,
+        },
+        ..audit_spec()
+    };
+    let err = client.audit_sia(&huge_bdd, None).unwrap_err();
+    assert!(err.to_string().contains("max_nodes"), "got: {err}");
+
+    // A BDD budget small enough to trip the engine's internal assert
+    // panics the job — the worker must survive and report it.
+    let tiny_bdd = AuditSpec {
+        algorithm: RgAlgorithm::Bdd { max_nodes: 2 },
+        ..audit_spec()
+    };
+    let err = client.audit_sia(&tiny_bdd, None).unwrap_err();
+    assert!(err.to_string().contains("crashed"), "got: {err}");
+
+    // The pool is still alive: a normal audit completes afterwards.
+    let ok = client.audit_sia(&audit_spec(), None).expect("pool alive");
+    assert_eq!(ok.report.best().unwrap().name, "S1+S3");
+
+    client.shutdown().expect("shutdown");
+    daemon.join().unwrap().expect("serve loop");
+}
+
+#[test]
+fn pia_cache_survives_ingest_epochs() {
+    let (addr, daemon) = start_daemon();
+    let mut client = Client::connect(addr).expect("connect");
+    let providers = vec![
+        ("A".to_string(), vec!["x".to_string(), "y".to_string()]),
+        ("B".to_string(), vec!["x".to_string(), "z".to_string()]),
+    ];
+    let first = client
+        .audit_pia(providers.clone(), 2, None, None)
+        .expect("first pia");
+    assert!(!first.cached);
+    // PIA inputs travel in the request; an ingest (epoch bump) must NOT
+    // invalidate the PIA cache.
+    client.ingest(RECORDS).expect("ingest");
+    let second = client.audit_pia(providers, 2, None, None).expect("second");
+    assert!(second.cached, "PIA cache must survive DepDB epochs");
+    client.shutdown().expect("shutdown");
+    daemon.join().unwrap().expect("serve loop");
+}
+
+#[test]
+fn oversized_request_line_is_rejected() {
+    let (addr, daemon) = start_daemon();
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+    // One newline-free line just past the cap: the daemon must answer
+    // with an error and drop the connection instead of buffering it.
+    let chunk = vec![b'x'; 1 << 20];
+    for _ in 0..17 {
+        if writer.write_all(&chunk).is_err() {
+            break; // server already hung up — also acceptable
+        }
+    }
+    let mut line = String::new();
+    let n = reader.read_line(&mut line).unwrap_or(0);
+    if n > 0 {
+        assert!(
+            line.contains("Error") && line.contains("exceeds"),
+            "got: {line}"
+        );
+    }
+    // Daemon must still be healthy for other clients.
+    let mut client = Client::connect(addr).expect("connect");
+    client.ping().expect("daemon alive after oversized line");
+    client.shutdown().expect("shutdown");
+    daemon.join().unwrap().expect("serve loop");
+}
+
+#[test]
+fn huge_timeout_is_clamped_not_wedging() {
+    let (addr, daemon) = start_daemon();
+    let mut client = Client::connect(addr).expect("connect");
+    client.ingest(RECORDS).expect("ingest");
+    // u64::MAX ms must not disarm the deadline; the audit is tiny and
+    // completes, proving the clamped token still works.
+    let answer = client
+        .audit_sia(&audit_spec(), Some(u64::MAX))
+        .expect("clamped audit completes");
+    assert_eq!(answer.report.best().unwrap().name, "S1+S3");
+    client.shutdown().expect("shutdown");
+    daemon.join().unwrap().expect("serve loop");
+}
+
+#[test]
+fn status_reports_counters() {
+    let (addr, daemon) = start_daemon();
+    let mut client = Client::connect(addr).expect("connect");
+    client.ingest(RECORDS).expect("ingest");
+    let spec = audit_spec();
+    client.audit_sia(&spec, None).expect("miss");
+    client.audit_sia(&spec, None).expect("hit");
+    match client.status().expect("status") {
+        Response::Status {
+            epoch,
+            records,
+            hosts,
+            cache_entries,
+            cache_hits,
+            cache_misses,
+            ..
+        } => {
+            assert_eq!(epoch, 1);
+            assert_eq!(records, 9);
+            assert_eq!(hosts, 3);
+            assert_eq!(cache_entries, 1);
+            assert_eq!(cache_hits, 1);
+            assert_eq!(cache_misses, 1);
+        }
+        other => panic!("expected Status, got {other:?}"),
+    }
+    client.shutdown().expect("shutdown");
+    daemon.join().unwrap().expect("serve loop");
+}
+
+#[test]
+fn raw_protocol_shutdown_round_trip() {
+    let (addr, daemon) = start_daemon();
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+    let request = indaas::service::proto::encode_line(&Request::Shutdown);
+    writer
+        .write_all(format!("{request}\n").as_bytes())
+        .expect("write");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read");
+    let response: Response = indaas::service::proto::decode_line(line.trim()).expect("decode");
+    assert!(matches!(response, Response::ShuttingDown));
+    daemon.join().unwrap().expect("serve loop");
+}

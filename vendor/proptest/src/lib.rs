@@ -1,0 +1,482 @@
+//! Offline stand-in for `proptest`.
+//!
+//! crates.io is unreachable in the build environment, so this shim
+//! implements the generation half of proptest that the INDaaS test
+//! suites use: [`Strategy`] with `prop_map`/`prop_filter`, integer-range
+//! and collection strategies, [`any`], and the [`proptest!`] /
+//! `prop_assert*` macros. Failing cases are reported with their
+//! generated seed; there is **no shrinking** — failures print the
+//! assertion message and the case number instead.
+
+use std::ops::Range;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Per-test configuration (`#![proptest_config(...)]`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// How many accepted cases each test must run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` accepted cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is not counted.
+    Reject,
+    /// A `prop_assert*!` failed.
+    Fail(String),
+}
+
+/// Value generator. Unlike real proptest there is no value tree: a
+/// strategy directly produces one value per call.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keeps only values satisfying `pred`; panics (naming `reason`)
+    /// if no candidate passes after many attempts.
+    fn prop_filter<F>(self, reason: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            reason,
+            pred,
+        }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    reason: &'static str,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut StdRng) -> S::Value {
+        for _ in 0..10_000 {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter {:?}: no candidate accepted", self.reason);
+    }
+}
+
+/// Always produces a clone of the given value.
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(rng.gen_below(span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                self.start.wrapping_add(rng.gen_below(span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_signed_range_strategy!(i8, i16, i32, i64, isize);
+
+/// Types with a canonical "anything" strategy.
+pub trait Arbitrary: Sized {
+    /// The strategy type returned by [`any`].
+    type Strategy: Strategy<Value = Self>;
+    /// The full-domain strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Full-domain strategy for `T` (`any::<u64>()` style).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Strategy producing any value of an unsigned integer type.
+pub struct AnyInt<T>(std::marker::PhantomData<T>);
+
+macro_rules! impl_any_uint {
+    ($($t:ty),*) => {$(
+        impl Strategy for AnyInt<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = AnyInt<$t>;
+            fn arbitrary() -> Self::Strategy {
+                AnyInt(std::marker::PhantomData)
+            }
+        }
+    )*};
+}
+
+impl_any_uint!(u8, u16, u32, u64, usize);
+
+/// Strategy for `bool` (fair coin).
+pub struct AnyBool;
+
+impl Strategy for AnyBool {
+    type Value = bool;
+    fn generate(&self, rng: &mut StdRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyBool;
+    fn arbitrary() -> Self::Strategy {
+        AnyBool
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use std::collections::BTreeSet;
+    use std::ops::Range;
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    use super::Strategy;
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len =
+                self.size.start + rng.gen_below((self.size.end - self.size.start) as u64) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>` with size drawn from `size`
+    /// (best effort when the element universe is small).
+    pub fn btree_set<S: Strategy>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size }
+    }
+
+    /// See [`btree_set`].
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> BTreeSet<S::Value> {
+            let want =
+                self.size.start + rng.gen_below((self.size.end - self.size.start) as u64) as usize;
+            let mut set = BTreeSet::new();
+            // Bounded attempts: a small universe may not contain `want`
+            // distinct values.
+            for _ in 0..want.saturating_mul(20).max(32) {
+                if set.len() >= want {
+                    break;
+                }
+                set.insert(self.element.generate(rng));
+            }
+            set
+        }
+    }
+}
+
+pub mod test_runner {
+    //! The driver the [`crate::proptest!`] macro expands to.
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    use super::{ProptestConfig, TestCaseError};
+
+    /// Runs `case` until `config.cases` accepted executions.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the first failing case or when `prop_assume!` rejects
+    /// too often.
+    pub fn run(
+        test_name: &str,
+        config: &ProptestConfig,
+        mut case: impl FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+    ) {
+        // Deterministic per-test seed: hash of the test name.
+        let mut seed = 0xcbf2_9ce4_8422_2325u64;
+        for b in test_name.bytes() {
+            seed ^= b as u64;
+            seed = seed.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut accepted = 0u32;
+        let mut rejected = 0u32;
+        while accepted < config.cases {
+            match case(&mut rng) {
+                Ok(()) => accepted += 1,
+                Err(TestCaseError::Reject) => {
+                    rejected += 1;
+                    if rejected > config.cases.saturating_mul(64).max(1024) {
+                        panic!(
+                            "{test_name}: prop_assume! rejected {rejected} cases \
+                             (accepted only {accepted}/{})",
+                            config.cases
+                        );
+                    }
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!("{test_name}: case {} failed: {msg}", accepted + 1);
+                }
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude::*`.
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Defines property tests: `fn name(pattern in strategy, ...) { body }`.
+#[macro_export]
+macro_rules! proptest {
+    (
+        $(#![proptest_config($config:expr)])?
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        // One helper per invocation (use `proptest!` at most once per
+        // module): the config directive cannot be expanded inside the
+        // per-test repetition.
+        #[allow(unused_mut, unused_assignments, dead_code)]
+        fn __proptest_config() -> $crate::ProptestConfig {
+            let mut config = $crate::ProptestConfig::default();
+            $(config = $config;)?
+            config
+        }
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::test_runner::run(
+                    stringify!($name),
+                    &__proptest_config(),
+                    |__proptest_rng| {
+                        $(
+                            let $pat = $crate::Strategy::generate(&($strat), __proptest_rng);
+                        )+
+                        $body
+                        Ok(())
+                    },
+                );
+            }
+        )*
+    };
+}
+
+/// Rejects the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Asserts `cond`, failing the case (not panicking in place) otherwise.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                format!("[{}:{}] {}", file!(), line!(), format!($($fmt)*)),
+            ));
+        }
+    };
+}
+
+/// Asserts two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {
+        match (&$left, &$right) {
+            (left, right) => {
+                $crate::prop_assert!(
+                    *left == *right,
+                    "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    left,
+                    right
+                );
+            }
+        }
+    };
+}
+
+/// Asserts two expressions are not equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {
+        match (&$left, &$right) {
+            (left, right) => {
+                $crate::prop_assert!(
+                    *left != *right,
+                    "assertion failed: {} != {} (both {:?})",
+                    stringify!($left),
+                    stringify!($right),
+                    left
+                );
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..17, y in -5i64..5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-5..5).contains(&y));
+        }
+
+        #[test]
+        fn vec_respects_size(v in crate::collection::vec(0u8..10, 2..6usize)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&e| e < 10));
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0u64..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn map_and_filter_compose(x in (0u32..50).prop_map(|v| v * 2)
+            .prop_filter("nonzero", |v| *v != 0)) {
+            prop_assert!(x % 2 == 0 && x != 0);
+            prop_assert_ne!(x, 1);
+        }
+    }
+
+    mod failing {
+        // No `#[test]` on the inner fn: it is invoked manually below.
+        proptest! {
+            fn always_fails(x in 0u8..2) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+
+        #[test]
+        #[should_panic(expected = "case")]
+        fn failing_property_panics() {
+            always_fails();
+        }
+    }
+}

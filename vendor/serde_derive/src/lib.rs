@@ -1,0 +1,423 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! crates.io is unreachable in the build environment, so this crate
+//! re-implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` with
+//! no dependency on `syn`/`quote`: the type definition is parsed
+//! directly from the [`proc_macro::TokenStream`] and the impl is emitted
+//! as source text.
+//!
+//! Supported shapes (everything the INDaaS workspace derives on):
+//!
+//! * structs with named fields, tuple/newtype structs, unit structs;
+//! * enums with unit, newtype, tuple and struct variants
+//!   (serde's default externally-tagged representation).
+//!
+//! Generics and `#[serde(...)]` attributes are intentionally out of
+//! scope and produce a compile error naming the limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What we learned about the deriving type.
+enum Shape {
+    /// `struct S;`
+    UnitStruct,
+    /// `struct S(T, ...)` with the arity.
+    TupleStruct(usize),
+    /// `struct S { fields }`
+    NamedStruct(Vec<String>),
+    /// `enum E { variants }`
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Parsed {
+    name: String,
+    shape: Shape,
+}
+
+/// Skips attributes (`#[...]`, including expanded doc comments) and
+/// visibility modifiers at the cursor.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#` then `[...]`.
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Parses the comma-separated named fields of a brace group, returning
+/// the field names in declaration order.
+fn parse_named_fields(group: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = group.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(&tokens, i);
+        let Some(TokenTree::Ident(name)) = tokens.get(i) else {
+            break;
+        };
+        fields.push(name.to_string());
+        i += 1;
+        // Skip `: Type` up to the next top-level comma. Parens/brackets
+        // are single Group tokens; only `<`/`>` need depth tracking.
+        let mut angle = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Counts the comma-separated elements of a paren group (tuple fields).
+fn count_tuple_fields(group: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = group.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle = 0i32;
+    let mut saw_token_since_comma = false;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                count += 1;
+                saw_token_since_comma = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_token_since_comma = true;
+    }
+    if !saw_token_since_comma {
+        count -= 1; // trailing comma
+    }
+    count
+}
+
+fn parse_variants(group: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = group.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(&tokens, i);
+        let Some(TokenTree::Ident(name)) = tokens.get(i) else {
+            break;
+        };
+        let name = name.to_string();
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Named(parse_named_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip a possible discriminant (`= expr`) and the separating comma.
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Result<Parsed, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum, found {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde shim: generic type {name} is not supported by the vendored derive"
+            ));
+        }
+    }
+    let shape = match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            other => return Err(format!("unsupported struct body: {other:?}")),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => return Err(format!("unsupported enum body: {other:?}")),
+        },
+        other => return Err(format!("cannot derive for {other}")),
+    };
+    Ok(Parsed { name, shape })
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// Serialize
+// ---------------------------------------------------------------------------
+
+/// Derives `serde::Serialize` (vendored shim).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse_input(input) {
+        Ok(p) => p,
+        Err(e) => return compile_error(&e),
+    };
+    let name = &parsed.name;
+    let body = match &parsed.shape {
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::TupleStruct(1) => "::serde::Serialize::to_json(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_json(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::NamedStruct(fields) => {
+            let mut s = String::from("{ let mut m = ::serde::Map::new();\n");
+            for f in fields {
+                s.push_str(&format!(
+                    "m.insert(String::from({f:?}), ::serde::Serialize::to_json(&self.{f}));\n"
+                ));
+            }
+            s.push_str("::serde::Value::Object(m) }");
+            s
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        arms.push_str(&format!(
+                            "{name}::{vn} => ::serde::Value::String(String::from({vn:?})),\n"
+                        ));
+                    }
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let payload = if *n == 1 {
+                            "::serde::Serialize::to_json(f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_json({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({binds}) => {{ let mut m = ::serde::Map::new(); \
+                             m.insert(String::from({vn:?}), {payload}); \
+                             ::serde::Value::Object(m) }}\n",
+                            binds = binds.join(", "),
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let binds = fields.join(", ");
+                        let mut inner = String::from("let mut inner = ::serde::Map::new();\n");
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "inner.insert(String::from({f:?}), ::serde::Serialize::to_json({f}));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => {{ {inner} \
+                             let mut m = ::serde::Map::new(); \
+                             m.insert(String::from({vn:?}), ::serde::Value::Object(inner)); \
+                             ::serde::Value::Object(m) }}\n",
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_json(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize
+// ---------------------------------------------------------------------------
+
+/// Derives `serde::Deserialize` (vendored shim).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse_input(input) {
+        Ok(p) => p,
+        Err(e) => return compile_error(&e),
+    };
+    let name = &parsed.name;
+    let body = match &parsed.shape {
+        Shape::UnitStruct => format!(
+            "match value {{ ::serde::Value::Null => Ok({name}), \
+             other => Err(::serde::Error::expected(\"null ({name})\", other)) }}"
+        ),
+        Shape::TupleStruct(1) => format!(
+            "Ok({name}(::serde::Deserialize::from_json(value)\
+             .map_err(|e| e.context({name:?}))?))"
+        ),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_json(&items[{i}])?"))
+                .collect();
+            format!(
+                "match value {{ ::serde::Value::Array(items) if items.len() == {n} => \
+                 Ok({name}({items})), \
+                 other => Err(::serde::Error::expected(\"array of length {n} ({name})\", other)) }}",
+                items = items.join(", "),
+            )
+        }
+        Shape::NamedStruct(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                inits.push_str(&format!(
+                    "{f}: ::serde::Deserialize::from_json(value.get({f:?}))\
+                     .map_err(|e| e.context(\"{name}.{f}\"))?,\n"
+                ));
+            }
+            format!(
+                "match value {{ ::serde::Value::Object(_) => Ok({name} {{ {inits} }}), \
+                 other => Err(::serde::Error::expected(\"object ({name})\", other)) }}"
+            )
+        }
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push_str(&format!("{vn:?} => Ok({name}::{vn}),\n"));
+                        // Tolerate {"Variant": null} for unit variants too.
+                        tagged_arms
+                            .push_str(&format!("{vn:?} if inner.is_null() => Ok({name}::{vn}),\n"));
+                    }
+                    VariantKind::Tuple(1) => {
+                        tagged_arms.push_str(&format!(
+                            "{vn:?} => Ok({name}::{vn}(::serde::Deserialize::from_json(inner)\
+                             .map_err(|e| e.context(\"{name}::{vn}\"))?)),\n"
+                        ));
+                    }
+                    VariantKind::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_json(&items[{i}])?"))
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "{vn:?} => match inner {{ \
+                             ::serde::Value::Array(items) if items.len() == {n} => \
+                             Ok({name}::{vn}({items})), \
+                             other => Err(::serde::Error::expected(\
+                             \"array of length {n} ({name}::{vn})\", other)) }},\n",
+                            items = items.join(", "),
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            inits.push_str(&format!(
+                                "{f}: ::serde::Deserialize::from_json(inner.get({f:?}))\
+                                 .map_err(|e| e.context(\"{name}::{vn}.{f}\"))?,\n"
+                            ));
+                        }
+                        tagged_arms.push_str(&format!(
+                            "{vn:?} => match inner {{ \
+                             ::serde::Value::Object(_) => Ok({name}::{vn} {{ {inits} }}), \
+                             other => Err(::serde::Error::expected(\
+                             \"object ({name}::{vn})\", other)) }},\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match value {{\n\
+                 ::serde::Value::String(s) => match s.as_str() {{\n\
+                 {unit_arms}\
+                 other => Err(::serde::Error::custom(\
+                 format!(\"unknown variant {{other:?}} for {name}\"))),\n\
+                 }},\n\
+                 ::serde::Value::Object(m) if m.len() == 1 => {{\n\
+                 let (tag, inner) = m.iter().next().unwrap();\n\
+                 match tag.as_str() {{\n\
+                 {tagged_arms}\
+                 other => Err(::serde::Error::custom(\
+                 format!(\"unknown variant {{other:?}} for {name}\"))),\n\
+                 }}\n\
+                 }},\n\
+                 other => Err(::serde::Error::expected(\"enum {name}\", other)),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_json(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         {body}\n\
+         }}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}
