@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use indaas_bench::synthetic_datasets;
-use indaas_pia::{run_ks, run_psop, KsConfig, PsopConfig};
+use indaas_pia::{run_ks, run_psop, KsConfig, PsopConfig, PsopParty};
 use indaas_simnet::SimNetwork;
 
 fn bench_psop(c: &mut Criterion) {
@@ -54,5 +54,28 @@ fn bench_ks(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_psop, bench_ks);
+/// The federated hot path: one daemon's cryptographic work per session —
+/// encrypt-and-permute its own list, then one re-encryption relay. What a
+/// provider pays per ring round, independent of the wire.
+fn bench_psop_party_steps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8/psop_party");
+    group.sample_size(10);
+    for n in [100usize, 400] {
+        let datasets = synthetic_datasets(2, n, 0.3);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}")),
+            &datasets,
+            |b, d| {
+                b.iter(|| {
+                    let mut party = PsopParty::new(0, 2, &PsopConfig::default());
+                    let own = party.initial_payload(&d[0], true);
+                    party.relay(&own)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_psop, bench_ks, bench_psop_party_steps);
 criterion_main!(benches);

@@ -1,0 +1,243 @@
+//! The auditing agent of a federated P-SOP run.
+//!
+//! The coordinator plays party `k`: it instructs each provider daemon to
+//! run its ring rounds (`FederateStart`), collects the fully-encrypted
+//! lists (`FederateDone`), counts equal ciphertexts, and reassembles the
+//! per-party traffic accounting — the same numbers a single-process
+//! [`indaas_simnet::SimNetwork`] run of the identical topology reports,
+//! which is exactly how the e2e suite cross-checks Figure 8.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::time::Duration;
+
+use indaas_pia::{
+    count_final_lists, outcome_from_counts, PsopConfig, PsopOutcome, CIPHERTEXT_BYTES,
+};
+use indaas_service::proto::{decode_payload, Request, Response};
+use indaas_service::Client;
+use indaas_simnet::TrafficStats;
+
+use crate::error::FederationError;
+
+/// What one daemon reported back for its party.
+#[derive(Clone, Debug)]
+struct PartyReport {
+    payload: Vec<u8>,
+    sent_bytes: u64,
+    recv_bytes: u64,
+    sent_msgs: u64,
+}
+
+/// Outcome of a federated private overlap audit.
+#[derive(Clone, Debug)]
+pub struct FederatedOutcome {
+    /// Session id the parties ran under.
+    pub session: u64,
+    /// The P-SOP result with reassembled per-party traffic (parties
+    /// `0..k` are the daemons in peer order, party `k` the coordinator).
+    pub psop: PsopOutcome,
+}
+
+/// Drives the round structure of a multi-daemon P-SOP exchange.
+pub struct FederationCoordinator {
+    peers: Vec<String>,
+    config: PsopConfig,
+    round_timeout: Duration,
+}
+
+impl FederationCoordinator {
+    /// A coordinator over `peers` (ring order; at least two), with the
+    /// default P-SOP configuration and a 10-second round deadline.
+    pub fn new(peers: impl IntoIterator<Item = String>) -> Self {
+        FederationCoordinator {
+            peers: peers.into_iter().collect(),
+            config: PsopConfig::default(),
+            round_timeout: Duration::from_secs(10),
+        }
+    }
+
+    /// Overrides the P-SOP configuration (seed, multiset handling).
+    #[must_use]
+    pub fn with_config(mut self, config: PsopConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Overrides the per-round deadline sent to every daemon.
+    #[must_use]
+    pub fn with_round_timeout(mut self, timeout: Duration) -> Self {
+        self.round_timeout = timeout;
+        self
+    }
+
+    /// The configured ring, in order.
+    pub fn peers(&self) -> &[String] {
+        &self.peers
+    }
+
+    /// Runs the audit: one `FederateStart` per daemon (concurrently —
+    /// the ring cannot make progress unless every party is live), then
+    /// the agent counting step over the returned lists.
+    ///
+    /// # Errors
+    ///
+    /// Configuration errors (fewer than two peers, duplicate addresses),
+    /// connection failures, and any party's remote failure — the first
+    /// error in ring order wins.
+    pub fn run(&self) -> Result<FederatedOutcome, FederationError> {
+        let k = self.peers.len();
+        if k < 2 {
+            return Err(FederationError::Config(
+                "federated P-SOP needs at least two provider daemons".to_string(),
+            ));
+        }
+        for (i, p) in self.peers.iter().enumerate() {
+            if self.peers[..i].contains(p) {
+                return Err(FederationError::Config(format!(
+                    "peer {p} appears twice in the ring; a daemon cannot play two parties"
+                )));
+            }
+        }
+        let session = self.session_id();
+
+        // Every daemon must be driving its rounds at once: party 0's
+        // round-1 input only exists after party k-1 sent its round-0
+        // list. One thread per daemon keeps the blocking client simple.
+        let reports: Vec<Result<PartyReport, FederationError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..k)
+                .map(|i| {
+                    let peer = self.peers[i].clone();
+                    let successor = self.peers[(i + 1) % k].clone();
+                    scope.spawn(move || self.run_party(session, i, &peer, &successor))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("party thread panicked"))
+                .collect()
+        });
+        let mut parties = Vec::with_capacity(k);
+        for report in reports {
+            parties.push(report?);
+        }
+
+        let (intersection, union) =
+            count_final_lists(parties.iter().map(|p| p.payload.as_slice()), k);
+        // Reassemble the (k+1)-party traffic matrix from each daemon's
+        // own accounting; the coordinator (party k) sends nothing and
+        // receives every final list.
+        let mut sent: Vec<u64> = parties.iter().map(|p| p.sent_bytes).collect();
+        let mut received: Vec<u64> = parties.iter().map(|p| p.recv_bytes).collect();
+        sent.push(0);
+        received.push(parties.iter().map(|p| p.payload.len() as u64).sum());
+        let messages = parties.iter().map(|p| p.sent_msgs).sum();
+        let traffic = TrafficStats::from_parts(sent, received, messages);
+        Ok(FederatedOutcome {
+            session,
+            psop: outcome_from_counts(intersection, union, traffic),
+        })
+    }
+
+    fn run_party(
+        &self,
+        session: u64,
+        index: usize,
+        peer: &str,
+        successor: &str,
+    ) -> Result<PartyReport, FederationError> {
+        let mut client = Client::connect(peer)?;
+        // A generous socket deadline so a wedged daemon fails the audit
+        // instead of hanging the coordinator forever; the per-round
+        // deadlines inside the daemons are the precise control.
+        client.set_read_timeout(Some(self.round_timeout * (self.peers.len() as u32 + 4)))?;
+        let response = client
+            .request(&Request::FederateStart {
+                session,
+                index: index as u32,
+                parties: self.peers.len() as u32,
+                successor: successor.to_string(),
+                seed: self.config.seed,
+                multiset: self.config.multiset,
+                round_timeout_ms: Some(self.round_timeout.as_millis() as u64),
+            })
+            .map_err(|e| FederationError::Protocol(format!("party {index} ({peer}): {e}")))?;
+        match response {
+            Response::FederateDone {
+                session: echoed,
+                payload,
+                sent_bytes,
+                recv_bytes,
+                sent_msgs,
+                recv_msgs: _,
+            } => {
+                if echoed != session {
+                    return Err(FederationError::Protocol(format!(
+                        "party {index} answered for session {echoed}, expected {session}"
+                    )));
+                }
+                let payload = decode_payload(&payload)
+                    .map_err(|e| FederationError::Protocol(format!("party {index}: {e}")))?;
+                // A truncated list would make `count_final_lists` treat
+                // the tail as a distinct ciphertext and silently inflate
+                // the union — reject anything that is not whole elements.
+                if !payload.len().is_multiple_of(CIPHERTEXT_BYTES) {
+                    return Err(FederationError::Protocol(format!(
+                        "party {index} returned {} bytes, not a multiple of the \
+                         {CIPHERTEXT_BYTES}-byte ciphertext width",
+                        payload.len()
+                    )));
+                }
+                Ok(PartyReport {
+                    payload,
+                    sent_bytes,
+                    recv_bytes,
+                    sent_msgs,
+                })
+            }
+            Response::Error { message } => Err(FederationError::Remote(format!(
+                "party {index} ({peer}): {message}"
+            ))),
+            other => Err(FederationError::Protocol(format!(
+                "party {index} ({peer}) answered {other:?}"
+            ))),
+        }
+    }
+
+    /// Derives a session id from the ring, the configuration and the
+    /// current time — unique enough that retries and concurrent audits
+    /// on the same daemons do not collide.
+    fn session_id(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        self.peers.hash(&mut h);
+        self.config.seed.hash(&mut h);
+        if let Ok(elapsed) = std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH) {
+            elapsed.as_nanos().hash(&mut h);
+        }
+        h.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn too_few_peers_rejected() {
+        let c = FederationCoordinator::new(["127.0.0.1:1".to_string()]);
+        assert!(matches!(c.run(), Err(FederationError::Config(_))));
+    }
+
+    #[test]
+    fn duplicate_peers_rejected() {
+        let c = FederationCoordinator::new(["127.0.0.1:1".to_string(), "127.0.0.1:1".to_string()]);
+        let err = c.run().unwrap_err();
+        assert!(err.to_string().contains("twice"));
+    }
+
+    #[test]
+    fn session_ids_differ_across_runs() {
+        let c = FederationCoordinator::new(["a:1".to_string(), "b:2".to_string()]);
+        assert_ne!(c.session_id(), c.session_id());
+    }
+}

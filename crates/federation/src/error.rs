@@ -1,0 +1,45 @@
+//! Federation failure taxonomy.
+
+use indaas_simnet::TransportError;
+
+/// Why a federated operation failed.
+#[derive(Debug)]
+pub enum FederationError {
+    /// Socket trouble dialing or talking to a daemon.
+    Io(std::io::Error),
+    /// The wire carried something out of protocol (bad handshake answer,
+    /// unparseable line, frame for the wrong session).
+    Protocol(String),
+    /// A daemon answered with an `Error { message }`.
+    Remote(String),
+    /// A protocol round failed in transit (peer loss, round deadline).
+    Transport(TransportError),
+    /// The request itself is invalid (too few peers, self-peering).
+    Config(String),
+}
+
+impl std::fmt::Display for FederationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FederationError::Io(e) => write!(f, "connection error: {e}"),
+            FederationError::Protocol(m) => write!(f, "protocol error: {m}"),
+            FederationError::Remote(m) => write!(f, "remote error: {m}"),
+            FederationError::Transport(e) => write!(f, "{e}"),
+            FederationError::Config(m) => write!(f, "configuration error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for FederationError {}
+
+impl From<std::io::Error> for FederationError {
+    fn from(e: std::io::Error) -> Self {
+        FederationError::Io(e)
+    }
+}
+
+impl From<TransportError> for FederationError {
+    fn from(e: TransportError) -> Self {
+        FederationError::Transport(e)
+    }
+}

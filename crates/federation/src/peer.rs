@@ -1,0 +1,307 @@
+//! Outbound peer sessions and the one-party TCP transport view.
+//!
+//! [`PeerConn`] dials a fellow daemon's listener, performs the
+//! `FederateHello`/`FederateWelcome` version negotiation, and then writes
+//! `FederateData` frames. [`TcpRoundTransport`] wraps one such connection
+//! plus the local session mailbox into a [`Transport`] hosting exactly
+//! one party — the view `indaas_pia::run_psop_party` executes against.
+
+use std::io::{BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use indaas_graph::CancelToken;
+use indaas_service::proto::{
+    decode_line, encode_line, encode_payload, read_bounded_line, LineRead, Request, Response,
+    FEDERATION_PROTOCOL_VERSION, MAX_FEDERATE_PAYLOAD_BYTES, MIN_FEDERATION_PROTOCOL_VERSION,
+};
+use indaas_simnet::{Message, PartyId, TrafficStats, Transport, TransportError};
+
+use crate::error::FederationError;
+use crate::session::SessionMailbox;
+
+/// Largest accepted handshake answer line — a `FederateWelcome` is tiny,
+/// so peers get a much tighter bound than audit clients.
+const MAX_WELCOME_LINE: u64 = 4 * 1024;
+
+/// An established (handshaken) outbound peer session.
+pub struct PeerConn {
+    writer: TcpStream,
+    /// Negotiated protocol version.
+    pub version: u32,
+    /// The peer's self-reported node name.
+    pub peer_node: String,
+}
+
+impl PeerConn {
+    /// Dials `addr`, announces `own_node`, and negotiates the protocol
+    /// version.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, a handshake rejection (the peer's `Error` answer —
+    /// e.g. a detected self-connection), an unsupported version, or a
+    /// peer that answers out of protocol.
+    pub fn dial(addr: &str, own_node: &str, timeout: Duration) -> Result<Self, FederationError> {
+        // `TcpStream::connect` has no deadline of its own — a blackholed
+        // successor would wedge the party thread for the OS connect
+        // timeout (minutes), far past every protocol deadline.
+        let stream = connect_with_timeout(addr, timeout)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        let mut reader = BufReader::new(stream);
+        let mut conn = PeerConn {
+            writer,
+            version: FEDERATION_PROTOCOL_VERSION,
+            peer_node: String::new(),
+        };
+        conn.write_line(&encode_line(&Request::FederateHello {
+            version: FEDERATION_PROTOCOL_VERSION,
+            node: own_node.to_string(),
+        }))?;
+        let mut line = String::new();
+        match read_bounded_line(&mut reader, &mut line, MAX_WELCOME_LINE)? {
+            LineRead::Line => {}
+            LineRead::Eof => {
+                return Err(FederationError::Protocol(format!(
+                    "peer {addr} closed the connection during the handshake"
+                )));
+            }
+            LineRead::Oversized => {
+                return Err(FederationError::Protocol(format!(
+                    "peer {addr} handshake answer exceeds {MAX_WELCOME_LINE} bytes"
+                )));
+            }
+        }
+        match decode_line::<Response>(line.trim()) {
+            Ok(Response::FederateWelcome { version, node }) => {
+                if !(MIN_FEDERATION_PROTOCOL_VERSION..=FEDERATION_PROTOCOL_VERSION)
+                    .contains(&version)
+                {
+                    return Err(FederationError::Protocol(format!(
+                        "peer {addr} negotiated unsupported protocol version {version}"
+                    )));
+                }
+                if node == own_node {
+                    return Err(FederationError::Config(format!(
+                        "peer {addr} is this daemon itself (node {node:?}); refusing self-peering"
+                    )));
+                }
+                conn.version = version;
+                conn.peer_node = node;
+                Ok(conn)
+            }
+            Ok(Response::Error { message }) => Err(FederationError::Remote(message)),
+            Ok(other) => Err(FederationError::Protocol(format!(
+                "peer {addr} answered the handshake with {other:?}"
+            ))),
+            Err(e) => Err(FederationError::Protocol(format!(
+                "peer {addr} handshake unparseable: {e}"
+            ))),
+        }
+    }
+
+    /// Ships one round frame.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket failures; rejects payloads beyond the protocol
+    /// bound before they touch the wire.
+    pub fn send_frame(
+        &mut self,
+        session: u64,
+        round: u32,
+        from: u32,
+        payload: &[u8],
+    ) -> Result<(), FederationError> {
+        if payload.len() > MAX_FEDERATE_PAYLOAD_BYTES {
+            return Err(FederationError::Protocol(format!(
+                "frame payload {} exceeds {MAX_FEDERATE_PAYLOAD_BYTES} bytes",
+                payload.len()
+            )));
+        }
+        self.write_line(&encode_line(&Request::FederateData {
+            session,
+            round,
+            from,
+            payload: encode_payload(payload),
+        }))
+    }
+
+    fn write_line(&mut self, line: &str) -> Result<(), FederationError> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        Ok(())
+    }
+}
+
+/// Resolves `addr` and tries each candidate with `timeout`, returning
+/// the first stream that connects.
+fn connect_with_timeout(addr: &str, timeout: Duration) -> Result<TcpStream, FederationError> {
+    use std::net::ToSocketAddrs;
+    let mut last_err: Option<std::io::Error> = None;
+    for candidate in addr.to_socket_addrs()? {
+        match TcpStream::connect_timeout(&candidate, timeout) {
+            Ok(stream) => return Ok(stream),
+            Err(e) => last_err = Some(e),
+        }
+    }
+    Err(last_err
+        .map(FederationError::Io)
+        .unwrap_or_else(|| FederationError::Config(format!("{addr} resolves to no address"))))
+}
+
+/// One party's [`Transport`] view of a federated session: sends to the
+/// ring successor travel the outbound [`PeerConn`]; sends to the agent
+/// (party `k`) are stashed for the coordinator's `FederateDone` answer;
+/// receives pop the daemon's session mailbox under per-round deadlines.
+pub struct TcpRoundTransport {
+    local: PartyId,
+    /// Provider count `k`; the transport addresses `k + 1` parties.
+    providers: usize,
+    session: u64,
+    successor: PeerConn,
+    mailbox: Arc<SessionMailbox>,
+    token: CancelToken,
+    round_timeout: Duration,
+    stats: TrafficStats,
+    /// Ring-send ordinal stamped on outgoing frames.
+    send_round: u32,
+    /// Next expected incoming frame round.
+    recv_round: u32,
+    /// Messages this party sent / received (protocol hops, agent included).
+    counters: HopCounters,
+    final_payload: Option<Vec<u8>>,
+}
+
+/// Message-count counters mirroring what `FederateDone` reports.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct HopCounters {
+    /// Protocol messages sent (ring frames + the agent hop).
+    pub sent_msgs: u64,
+    /// Protocol messages received.
+    pub recv_msgs: u64,
+}
+
+impl TcpRoundTransport {
+    /// Builds the one-party view for ring position `local` of
+    /// `providers` parties.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `local` is not a provider index.
+    pub fn new(
+        local: PartyId,
+        providers: usize,
+        session: u64,
+        successor: PeerConn,
+        mailbox: Arc<SessionMailbox>,
+        token: CancelToken,
+        round_timeout: Duration,
+    ) -> Self {
+        assert!(local < providers, "local party must be a provider");
+        TcpRoundTransport {
+            local,
+            providers,
+            session,
+            successor,
+            mailbox,
+            token,
+            round_timeout,
+            stats: TrafficStats::new(providers + 1),
+            send_round: 0,
+            recv_round: 0,
+            counters: HopCounters::default(),
+            final_payload: None,
+        }
+    }
+
+    /// Ring predecessor — the only party frames may legitimately carry
+    /// as `from`.
+    fn predecessor(&self) -> PartyId {
+        (self.local + self.providers - 1) % self.providers
+    }
+
+    /// The agent party id (`k`).
+    fn agent(&self) -> PartyId {
+        self.providers
+    }
+
+    /// The stashed agent payload, once the final hop ran.
+    pub fn into_completion(self) -> Option<(Vec<u8>, TrafficStats, HopCounters)> {
+        self.final_payload.map(|p| (p, self.stats, self.counters))
+    }
+}
+
+impl Transport for TcpRoundTransport {
+    fn parties(&self) -> usize {
+        self.providers + 1
+    }
+
+    fn send(&mut self, from: PartyId, to: PartyId, payload: Vec<u8>) -> Result<(), TransportError> {
+        if from != self.local {
+            return Err(TransportError::Protocol(format!(
+                "one-party transport cannot send as party {from} (local is {})",
+                self.local
+            )));
+        }
+        let bytes = payload.len() as u64;
+        if to == self.agent() {
+            self.stats.record(from, to, bytes);
+            self.counters.sent_msgs += 1;
+            self.final_payload = Some(payload);
+            return Ok(());
+        }
+        if to != (self.local + 1) % self.providers {
+            return Err(TransportError::Protocol(format!(
+                "party {from} may only send to its ring successor or the agent, not {to}"
+            )));
+        }
+        self.successor
+            .send_frame(self.session, self.send_round, from as u32, &payload)
+            .map_err(|e| TransportError::Closed(e.to_string()))?;
+        self.send_round += 1;
+        self.stats.record(from, to, bytes);
+        self.counters.sent_msgs += 1;
+        Ok(())
+    }
+
+    fn recv(&mut self, to: PartyId) -> Result<Message, TransportError> {
+        if to != self.local {
+            return Err(TransportError::Protocol(format!(
+                "one-party transport cannot receive for party {to} (local is {})",
+                self.local
+            )));
+        }
+        let frame = self.mailbox.pop(&self.token, self.round_timeout)?;
+        if frame.from as usize != self.predecessor() {
+            return Err(TransportError::Protocol(format!(
+                "frame from party {} but only the ring predecessor {} may send here",
+                frame.from,
+                self.predecessor()
+            )));
+        }
+        if frame.round != self.recv_round {
+            return Err(TransportError::Protocol(format!(
+                "frame round {} arrived where round {} was expected",
+                frame.round, self.recv_round
+            )));
+        }
+        self.recv_round += 1;
+        self.stats
+            .record(frame.from as usize, to, frame.payload.len() as u64);
+        self.counters.recv_msgs += 1;
+        Ok(Message {
+            from: frame.from as usize,
+            to,
+            payload: frame.payload,
+        })
+    }
+
+    fn stats(&self) -> &TrafficStats {
+        &self.stats
+    }
+}

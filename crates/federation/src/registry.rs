@@ -1,0 +1,103 @@
+//! The peer registry: which fellow daemons this node will exchange
+//! protocol rounds with.
+//!
+//! An empty registry is *open* (any successor named by a coordinator is
+//! dialed — the convenient single-operator default); a non-empty registry
+//! is an allow-list (`serve --peer` flags), so a compromised coordinator
+//! cannot point a daemon's encrypted lists at an address the operator
+//! never sanctioned.
+
+use std::net::ToSocketAddrs;
+
+/// Known federation peers.
+#[derive(Clone, Debug, Default)]
+pub struct PeerRegistry {
+    peers: Vec<String>,
+}
+
+impl PeerRegistry {
+    /// An open registry (no allow-list).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A registry pre-populated from `serve --peer` style flags.
+    pub fn with_peers(peers: impl IntoIterator<Item = String>) -> Self {
+        let mut r = Self::new();
+        for p in peers {
+            r.add(p);
+        }
+        r
+    }
+
+    /// Registers a peer address (duplicates are absorbed).
+    pub fn add(&mut self, addr: impl Into<String>) {
+        let addr = addr.into();
+        if !self.peers.contains(&addr) {
+            self.peers.push(addr);
+        }
+    }
+
+    /// Registered addresses, in registration order.
+    pub fn peers(&self) -> &[String] {
+        &self.peers
+    }
+
+    /// True when no allow-list is configured (any peer accepted).
+    pub fn is_open(&self) -> bool {
+        self.peers.is_empty()
+    }
+
+    /// Whether `addr` may be dialed: either the registry is open, or the
+    /// address matches a registered peer textually or by resolved
+    /// socket address (so `localhost:4914` and `127.0.0.1:4914` agree).
+    pub fn allows(&self, addr: &str) -> bool {
+        if self.is_open() || self.peers.iter().any(|p| p == addr) {
+            return true;
+        }
+        let Ok(candidates) = addr.to_socket_addrs() else {
+            return false;
+        };
+        let candidates: Vec<_> = candidates.collect();
+        self.peers.iter().any(|p| {
+            p.to_socket_addrs()
+                .map(|mut resolved| resolved.any(|r| candidates.contains(&r)))
+                .unwrap_or(false)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_registry_allows_anyone() {
+        let r = PeerRegistry::new();
+        assert!(r.is_open());
+        assert!(r.allows("10.0.0.1:9999"));
+    }
+
+    #[test]
+    fn allow_list_restricts() {
+        let r = PeerRegistry::with_peers(["127.0.0.1:4914".to_string()]);
+        assert!(!r.is_open());
+        assert!(r.allows("127.0.0.1:4914"));
+        assert!(!r.allows("127.0.0.1:4915"));
+    }
+
+    #[test]
+    fn textual_and_resolved_matches_agree() {
+        let r = PeerRegistry::with_peers(["localhost:4914".to_string()]);
+        assert!(r.allows("localhost:4914"), "textual match");
+        assert!(r.allows("127.0.0.1:4914"), "resolved match");
+    }
+
+    #[test]
+    fn duplicates_absorbed() {
+        let mut r = PeerRegistry::new();
+        r.add("a:1");
+        r.add("a:1");
+        assert_eq!(r.peers().len(), 1);
+    }
+}

@@ -13,14 +13,21 @@
 //!    (commutativity), so the agent learns `|∩ᵢ Sᵢ|` and `|∪ᵢ Sᵢ|` and
 //!    *nothing about the elements themselves*.
 //!
-//! The protocol runs on [`indaas_simnet::SimNetwork`]; Figure 8's bandwidth
-//! numbers come straight from the network's byte counters.
+//! The protocol is factored into a per-party state machine ([`PsopParty`])
+//! driven over any [`Transport`]: [`run_psop`] plays every party on the
+//! in-process [`SimNetwork`] (Figure 8's bandwidth numbers come straight
+//! from its byte counters), while [`run_psop_party`] executes exactly one
+//! party's rounds — the entry point a federated daemon calls with its
+//! one-party TCP transport view (`indaas-federation`). Both paths share
+//! the same cryptographic steps and per-party RNG streams, so a federated
+//! run and a simulated run of the same topology produce identical results
+//! *and* identical per-party traffic.
 
 use std::collections::HashMap;
 
 use indaas_bigint::BigUint;
 use indaas_crypto::{shuffle, CommutativeCipher};
-use indaas_simnet::{SimNetwork, TrafficStats};
+use indaas_simnet::{SimNetwork, TrafficStats, Transport, TransportError};
 use rand::SeedableRng;
 
 /// Configuration for a P-SOP run.
@@ -41,6 +48,11 @@ impl Default for PsopConfig {
     }
 }
 
+/// Width of one P-SOP ciphertext on the wire — every protocol payload
+/// is a whole number of these (consumers validating peer input check
+/// against this instead of reaching into the crypto crate).
+pub const CIPHERTEXT_BYTES: usize = CommutativeCipher::ELEMENT_BYTES;
+
 /// Result of a P-SOP run.
 #[derive(Clone, Debug)]
 pub struct PsopOutcome {
@@ -50,11 +62,125 @@ pub struct PsopOutcome {
     pub union: usize,
     /// `intersection / union` (0 when the union is empty).
     pub jaccard: f64,
-    /// Per-party traffic as measured on the simulated network.
+    /// Per-party traffic as measured on the transport.
     pub traffic: TrafficStats,
 }
 
-/// Runs P-SOP across `datasets` (one per provider; party `i` on the ring).
+/// One provider's protocol state: its Pohlig–Hellman key and its private
+/// permutation RNG stream.
+///
+/// The RNG is derived from `(config.seed, party index)` so a party's
+/// stream depends on nothing another party does — the property that lets
+/// k independent daemons each reconstruct *their own* state without any
+/// shared-RNG coordination, while a single-process driver instantiating
+/// all k parties stays bit-identical to the distributed run.
+pub struct PsopParty {
+    index: usize,
+    parties: usize,
+    cipher: CommutativeCipher,
+    rng: rand::rngs::StdRng,
+}
+
+impl PsopParty {
+    /// Initializes party `index` of `parties` providers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parties < 2` or `index` is out of range.
+    pub fn new(index: usize, parties: usize, config: &PsopConfig) -> Self {
+        assert!(parties >= 2, "P-SOP needs at least two providers");
+        assert!(index < parties, "party index out of range");
+        // Weyl-sequence derivation keeps per-party streams disjoint for
+        // any base seed.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(
+            config
+                .seed
+                .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(index as u64 + 1)),
+        );
+        let cipher = CommutativeCipher::generate(&mut rng);
+        PsopParty {
+            index,
+            parties,
+            cipher,
+            rng,
+        }
+    }
+
+    /// This party's ring position.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Ring successor (the party this one forwards lists to).
+    pub fn successor(&self) -> usize {
+        (self.index + 1) % self.parties
+    }
+
+    /// Round 0: hash + encrypt + permute this party's own dataset into the
+    /// wire payload for its ring successor.
+    pub fn initial_payload(&mut self, data: &[String], multiset: bool) -> Vec<u8> {
+        let prepared = prepare(data, multiset);
+        let mut cts: Vec<BigUint> = prepared
+            .iter()
+            .map(|e| {
+                self.cipher
+                    .encrypt(&self.cipher.hash_to_group(e.as_bytes()))
+            })
+            .collect();
+        shuffle(&mut cts, &mut self.rng);
+        encode(&self.cipher, &cts)
+    }
+
+    /// Rounds 1..k−1: add this party's encryption layer to a circulating
+    /// list and permute, producing the payload to forward.
+    pub fn relay(&mut self, payload: &[u8]) -> Vec<u8> {
+        let mut cts = decode(&self.cipher, payload);
+        for c in &mut cts {
+            *c = self.cipher.encrypt(c);
+        }
+        shuffle(&mut cts, &mut self.rng);
+        encode(&self.cipher, &cts)
+    }
+}
+
+/// The auditing agent's counting step: given every party's fully-encrypted
+/// list, counts distinct ciphertexts (union) and ciphertexts appearing in
+/// all `k` lists (intersection).
+pub fn count_final_lists<'a>(
+    payloads: impl IntoIterator<Item = &'a [u8]>,
+    k: usize,
+) -> (usize, usize) {
+    let mut counts: HashMap<&[u8], usize> = HashMap::new();
+    for payload in payloads {
+        for chunk in payload.chunks(CommutativeCipher::ELEMENT_BYTES) {
+            *counts.entry(chunk).or_insert(0) += 1;
+        }
+    }
+    let union = counts.len();
+    let intersection = counts.values().filter(|&&c| c == k).count();
+    (intersection, union)
+}
+
+/// Builds a [`PsopOutcome`] from agent-side counts and transport stats.
+pub fn outcome_from_counts(
+    intersection: usize,
+    union: usize,
+    traffic: TrafficStats,
+) -> PsopOutcome {
+    PsopOutcome {
+        intersection,
+        union,
+        jaccard: if union == 0 {
+            0.0
+        } else {
+            intersection as f64 / union as f64
+        },
+        traffic,
+    }
+}
+
+/// Runs P-SOP across `datasets` (one per provider; party `i` on the ring)
+/// on the in-process simulated network.
 ///
 /// The network must have `k + 1` parties: `0..k` are providers, party `k`
 /// is the auditing agent receiving the final lists.
@@ -68,6 +194,27 @@ pub fn run_psop(
     config: &PsopConfig,
     net: &mut SimNetwork,
 ) -> PsopOutcome {
+    run_psop_transport(datasets, config, net).expect("in-process transport cannot fail")
+}
+
+/// [`run_psop`] over any [`Transport`] hosting all `k + 1` parties: the
+/// caller's loop plays every provider and the agent, which is exactly the
+/// shape of the simulated single-process run.
+///
+/// # Errors
+///
+/// Propagates transport failures (impossible on [`SimNetwork`] with a
+/// correctly-sized network).
+///
+/// # Panics
+///
+/// Panics if fewer than two datasets are supplied or the transport is not
+/// sized `k + 1`.
+pub fn run_psop_transport<T: Transport>(
+    datasets: &[Vec<String>],
+    config: &PsopConfig,
+    net: &mut T,
+) -> Result<PsopOutcome, TransportError> {
     let k = datasets.len();
     assert!(k >= 2, "P-SOP needs at least two providers");
     assert_eq!(
@@ -77,63 +224,82 @@ pub fn run_psop(
     );
     let agent = k;
 
-    let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
-    let ciphers: Vec<CommutativeCipher> = (0..k)
-        .map(|_| CommutativeCipher::generate(&mut rng))
-        .collect();
+    let mut parties: Vec<PsopParty> = (0..k).map(|i| PsopParty::new(i, k, config)).collect();
 
-    // Round 0: every party hashes + encrypts + permutes its own list and
-    // sends it to its successor.
+    // Round 0: every party encrypts + permutes its own list and sends it
+    // to its successor.
     for (i, data) in datasets.iter().enumerate() {
-        let prepared = prepare(data, config.multiset);
-        let mut cts: Vec<BigUint> = prepared
-            .iter()
-            .map(|e| ciphers[i].encrypt(&ciphers[i].hash_to_group(e.as_bytes())))
-            .collect();
-        shuffle(&mut cts, &mut rng);
-        net.send(i, (i + 1) % k, encode(&ciphers[i], &cts));
+        let payload = parties[i].initial_payload(data, config.multiset);
+        net.send(i, parties[i].successor(), payload)?;
     }
 
     // Rounds 1..k-1: each party re-encrypts what it receives and forwards.
     for _round in 1..k {
-        for (i, cipher) in ciphers.iter().enumerate() {
-            let msg = net.recv_expect(i);
-            let mut cts = decode(cipher, &msg.payload);
-            for c in &mut cts {
-                *c = cipher.encrypt(c);
-            }
-            shuffle(&mut cts, &mut rng);
-            net.send(i, (i + 1) % k, encode(cipher, &cts));
+        for (i, party) in parties.iter_mut().enumerate() {
+            let msg = net.recv(i)?;
+            let payload = party.relay(&msg.payload);
+            net.send(i, party.successor(), payload)?;
         }
     }
 
     // Final hop: each party receives its own fully-encrypted list back and
     // shares it with the auditing agent.
     for i in 0..k {
-        let msg = net.recv_expect(i);
-        net.send(i, agent, msg.payload);
+        let msg = net.recv(i)?;
+        net.send(i, agent, msg.payload)?;
     }
 
     // The agent counts common and distinct ciphertexts.
-    let mut counts: HashMap<Vec<u8>, usize> = HashMap::new();
+    let mut finals: Vec<Vec<u8>> = Vec::with_capacity(k);
     for _ in 0..k {
-        let msg = net.recv_expect(agent);
-        for chunk in msg.payload.chunks(CommutativeCipher::ELEMENT_BYTES) {
-            *counts.entry(chunk.to_vec()).or_insert(0) += 1;
-        }
+        finals.push(net.recv(agent)?.payload);
     }
-    let union = counts.len();
-    let intersection = counts.values().filter(|&&c| c == k).count();
-    PsopOutcome {
+    let (intersection, union) = count_final_lists(finals.iter().map(Vec::as_slice), k);
+    Ok(outcome_from_counts(
         intersection,
         union,
-        jaccard: if union == 0 {
-            0.0
-        } else {
-            intersection as f64 / union as f64
-        },
-        traffic: net.stats().clone(),
+        net.stats().clone(),
+    ))
+}
+
+/// Executes exactly one party's rounds of P-SOP on a transport that hosts
+/// (at least locally) parties `0..k+1` — the federated entry point.
+///
+/// `net` is typically a one-party view: `send` is only valid from `index`
+/// and `recv` only for it. The sequence is the projection of
+/// [`run_psop_transport`] onto party `index`:
+///
+/// 1. send the encrypted own list to the ring successor,
+/// 2. for each of the k−1 relay rounds: receive, add a layer, forward,
+/// 3. receive the own fully-encrypted list back and hand it to the agent
+///    (party `k`).
+///
+/// # Errors
+///
+/// Propagates transport failures (peer loss, round deadline expiry).
+///
+/// # Panics
+///
+/// Panics if `index` is out of range or `parties < 2`.
+pub fn run_psop_party<T: Transport>(
+    data: &[String],
+    config: &PsopConfig,
+    index: usize,
+    parties: usize,
+    net: &mut T,
+) -> Result<(), TransportError> {
+    let mut party = PsopParty::new(index, parties, config);
+    let agent = parties;
+    let payload = party.initial_payload(data, config.multiset);
+    net.send(index, party.successor(), payload)?;
+    for _round in 1..parties {
+        let msg = net.recv(index)?;
+        let payload = party.relay(&msg.payload);
+        net.send(index, party.successor(), payload)?;
     }
+    let msg = net.recv(index)?;
+    net.send(index, agent, msg.payload)?;
+    Ok(())
 }
 
 /// Duplicate disambiguation: element `e` occurring `t` times becomes
@@ -266,5 +432,72 @@ mod tests {
     fn single_provider_rejected() {
         let mut net = SimNetwork::new(2);
         let _ = run_psop(&[strings(&["a"])], &PsopConfig::default(), &mut net);
+    }
+
+    /// Each party's rounds, executed independently through
+    /// [`run_psop_party`] over a shared SimNetwork, must reproduce the
+    /// all-parties driver exactly — the invariant the federated daemons
+    /// rely on.
+    #[test]
+    fn per_party_driver_matches_global_driver() {
+        let datasets = [
+            strings(&["libc", "ssl", "riak"]),
+            strings(&["libc", "boost"]),
+            strings(&["libc", "ssl", "redis", "zlib"]),
+        ];
+        let config = PsopConfig::default();
+        let global = {
+            let mut net = SimNetwork::new(4);
+            run_psop(&datasets, &config, &mut net)
+        };
+
+        // Drive the same protocol party-by-party, interleaved by round so
+        // every recv finds its message pending (the simulated network is
+        // non-blocking). Interleaving: all round-0 sends, then relays, etc.
+        let k = datasets.len();
+        let mut net = SimNetwork::new(k + 1);
+        let mut parties: Vec<PsopParty> = (0..k).map(|i| PsopParty::new(i, k, &config)).collect();
+        for (i, p) in parties.iter_mut().enumerate() {
+            let payload = p.initial_payload(&datasets[i], config.multiset);
+            let to = p.successor();
+            Transport::send(&mut net, i, to, payload).unwrap();
+        }
+        for _round in 1..k {
+            for (i, p) in parties.iter_mut().enumerate() {
+                let msg = Transport::recv(&mut net, i).unwrap();
+                let to = p.successor();
+                let payload = p.relay(&msg.payload);
+                Transport::send(&mut net, i, to, payload).unwrap();
+            }
+        }
+        for i in 0..k {
+            let msg = Transport::recv(&mut net, i).unwrap();
+            Transport::send(&mut net, i, k, msg.payload).unwrap();
+        }
+        let finals: Vec<Vec<u8>> = (0..k)
+            .map(|_| Transport::recv(&mut net, k).unwrap().payload)
+            .collect();
+        let (intersection, union) = count_final_lists(finals.iter().map(Vec::as_slice), k);
+
+        assert_eq!(intersection, global.intersection);
+        assert_eq!(union, global.union);
+        for i in 0..k {
+            assert_eq!(
+                net.stats().sent_bytes(i),
+                global.traffic.sent_bytes(i),
+                "party {i} sent bytes diverge"
+            );
+            assert_eq!(net.stats().recv_bytes(i), global.traffic.recv_bytes(i));
+        }
+        assert_eq!(net.stats().message_count(), global.traffic.message_count());
+    }
+
+    #[test]
+    fn count_final_lists_counts_chunks() {
+        // Two 128-byte "ciphertexts", one shared.
+        let a: Vec<u8> = [vec![1u8; 128], vec![2u8; 128]].concat();
+        let b: Vec<u8> = [vec![1u8; 128], vec![3u8; 128]].concat();
+        let (inter, union) = count_final_lists([a.as_slice(), b.as_slice()], 2);
+        assert_eq!((inter, union), (1, 3));
     }
 }

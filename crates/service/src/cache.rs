@@ -55,15 +55,18 @@ struct Entry<V> {
     epoch: u64,
     /// Full canonical key, compared on lookup to reject hash collisions.
     canonical: String,
-    /// Insertion sequence number, used for FIFO eviction at capacity.
+    /// Last-touch sequence number: bumped on insert *and* on every hit,
+    /// making eviction least-recently-*used*, not first-in-first-out.
     seq: u64,
 }
 
-/// Bounded map from job key to cached audit result.
+/// Bounded map from job key to cached audit result, evicting the least
+/// recently used entry at capacity — hot specs (dashboards polling the
+/// same deployment comparison) survive cold sweeps of one-off queries.
 pub struct AuditCache<V> {
     entries: HashMap<u64, Entry<V>>,
-    /// `(key, seq)` in insertion order; stale pairs (overwritten or
-    /// purged entries) are skipped lazily at eviction time, keeping
+    /// `(key, seq)` in touch order; stale pairs (re-touched, overwritten
+    /// or purged entries) are skipped lazily at eviction time, keeping
     /// eviction amortized O(1) instead of scanning the map.
     order: VecDeque<(u64, u64)>,
     capacity: usize,
@@ -85,13 +88,19 @@ impl<V: Clone> AuditCache<V> {
         }
     }
 
-    /// Looks up a result, counting the hit or miss. A hash collision
-    /// (same hash, different canonical key) counts as a miss.
+    /// Looks up a result, counting the hit or miss and refreshing the
+    /// entry's recency on a hit (LRU promotion). A hash collision (same
+    /// hash, different canonical key) counts as a miss.
     pub fn get(&mut self, key: &JobKey) -> Option<V> {
-        match self.entries.get(&key.hash) {
+        match self.entries.get_mut(&key.hash) {
             Some(e) if e.canonical == key.canonical => {
                 self.hits += 1;
-                Some(e.value.clone())
+                e.seq = self.next_seq;
+                self.order.push_back((key.hash, self.next_seq));
+                self.next_seq += 1;
+                let value = e.value.clone();
+                self.compact_order();
+                Some(value)
             }
             _ => {
                 self.misses += 1;
@@ -100,8 +109,18 @@ impl<V: Clone> AuditCache<V> {
         }
     }
 
-    /// Stores a result computed at `epoch`. At capacity, the oldest
-    /// entry is evicted first.
+    /// Keeps the lazy recency queue from outgrowing the map unboundedly
+    /// when the same keys are re-touched repeatedly (hits push too).
+    fn compact_order(&mut self) {
+        if self.order.len() > self.capacity.saturating_mul(2).max(64) {
+            let entries = &self.entries;
+            self.order
+                .retain(|(k, seq)| entries.get(k).is_some_and(|e| e.seq == *seq));
+        }
+    }
+
+    /// Stores a result computed at `epoch`. At capacity, the least
+    /// recently used entry is evicted first.
     pub fn insert(&mut self, key: JobKey, epoch: u64, value: V) {
         if self.capacity == 0 {
             return;
@@ -127,13 +146,7 @@ impl<V: Clone> AuditCache<V> {
                 seq,
             },
         );
-        // Keep the lazy queue from outgrowing the map unboundedly when
-        // the same keys are overwritten repeatedly.
-        if self.order.len() > self.capacity.saturating_mul(2).max(64) {
-            let entries = &self.entries;
-            self.order
-                .retain(|(k, seq)| entries.get(k).is_some_and(|e| e.seq == *seq));
-        }
+        self.compact_order();
     }
 
     /// Drops every entry computed before `current_epoch`. Keys embed the
@@ -202,15 +215,41 @@ mod tests {
     }
 
     #[test]
-    fn capacity_evicts_oldest_first() {
+    fn capacity_evicts_least_recently_used() {
+        let mut c: AuditCache<u32> = AuditCache::new(2);
+        c.insert(key(1), 1, 10);
+        c.insert(key(2), 1, 20);
+        // Touch key(1): key(2) is now the LRU entry.
+        assert_eq!(c.get(&key(1)), Some(10));
+        c.insert(key(3), 1, 30);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(&key(2)), None, "LRU entry evicted");
+        assert_eq!(c.get(&key(1)), Some(10), "hot entry survives");
+        assert_eq!(c.get(&key(3)), Some(30));
+    }
+
+    #[test]
+    fn untouched_entries_evict_in_insertion_order() {
         let mut c: AuditCache<u32> = AuditCache::new(2);
         c.insert(key(1), 1, 10);
         c.insert(key(2), 1, 20);
         c.insert(key(3), 1, 30);
-        assert_eq!(c.len(), 2);
-        assert_eq!(c.get(&key(1)), None, "oldest entry evicted");
+        assert_eq!(c.get(&key(1)), None, "no hits => LRU degenerates to FIFO");
         assert_eq!(c.get(&key(2)), Some(20));
-        assert_eq!(c.get(&key(3)), Some(30));
+    }
+
+    #[test]
+    fn repeated_hits_do_not_bloat_the_recency_queue() {
+        let mut c: AuditCache<u32> = AuditCache::new(2);
+        c.insert(key(1), 1, 10);
+        for _ in 0..10_000 {
+            assert_eq!(c.get(&key(1)), Some(10));
+        }
+        assert!(
+            c.order.len() <= 128,
+            "lazy queue must stay bounded, got {}",
+            c.order.len()
+        );
     }
 
     #[test]

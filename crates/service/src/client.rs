@@ -105,6 +105,20 @@ impl Client {
         })
     }
 
+    /// Caps how long any single response read may block (`None` blocks
+    /// forever, the default). A federation coordinator sets this so one
+    /// wedged daemon fails the audit instead of hanging it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket-option failure.
+    pub fn set_read_timeout(
+        &mut self,
+        timeout: Option<std::time::Duration>,
+    ) -> std::io::Result<()> {
+        self.reader.get_ref().set_read_timeout(timeout)
+    }
+
     /// Sends one request and reads one response.
     ///
     /// # Errors

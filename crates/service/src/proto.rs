@@ -22,6 +22,27 @@ use indaas_pia::PiaRanking;
 use indaas_sia::AuditReport;
 use serde::{Deserialize, Serialize};
 
+/// Federation wire-protocol version this daemon speaks.
+///
+/// A peer handshake ([`Request::FederateHello`]) offers the dialer's
+/// version; the listener answers with `min(offered, own)` in
+/// [`Response::FederateWelcome`] and rejects anything below
+/// [`MIN_FEDERATION_PROTOCOL_VERSION`].
+pub const FEDERATION_PROTOCOL_VERSION: u32 = 1;
+
+/// Oldest federation protocol version still accepted.
+pub const MIN_FEDERATION_PROTOCOL_VERSION: u32 = 1;
+
+/// Hard ceiling on one decoded federation round payload. Hex encoding
+/// doubles it on the wire, which must still fit a bounded request line
+/// with JSON framing to spare (P-SOP ciphertexts are 128 bytes each, so
+/// this admits 32k components per provider list).
+pub const MAX_FEDERATE_PAYLOAD_BYTES: usize = 4 * 1024 * 1024;
+
+/// Longest accepted peer node name in a federation handshake — peer
+/// input, so bounded like everything else a peer controls.
+pub const MAX_NODE_NAME_BYTES: usize = 256;
+
 /// A client request, one per line.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub enum Request {
@@ -60,6 +81,51 @@ pub enum Request {
     Status,
     /// Stop accepting connections and exit the serve loop.
     Shutdown,
+    /// First line of a daemon-to-daemon peer session: protocol-version
+    /// negotiation plus the dialer's node identity. After the
+    /// [`Response::FederateWelcome`] answer the connection switches to
+    /// *frame mode* and carries only [`Request::FederateData`] lines.
+    FederateHello {
+        /// Federation protocol version the dialer speaks.
+        version: u32,
+        /// The dialer's node name (its listen address by default) —
+        /// used to reject self-connections.
+        node: String,
+    },
+    /// One federation round frame, valid only inside a peer session.
+    FederateData {
+        /// Federation session id (shared by all parties of one audit).
+        session: u64,
+        /// The sender's ring-send ordinal within the session (0-based);
+        /// the receiver's r-th receive must carry round `r`.
+        round: u32,
+        /// Ring index of the sending party.
+        from: u32,
+        /// Hex-encoded ciphertext-list payload (bounded by
+        /// [`MAX_FEDERATE_PAYLOAD_BYTES`] once decoded).
+        payload: String,
+    },
+    /// Coordinator instruction: run this daemon's party of a federated
+    /// P-SOP audit. The daemon derives its private component set from its
+    /// own dependency database, executes its ring rounds against the named
+    /// successor, and answers [`Response::FederateDone`] with the
+    /// fully-encrypted list destined for the auditing agent.
+    FederateStart {
+        /// Federation session id.
+        session: u64,
+        /// This daemon's ring index.
+        index: u32,
+        /// Number of provider parties on the ring.
+        parties: u32,
+        /// Address of the ring successor daemon.
+        successor: String,
+        /// P-SOP seed (all parties must agree).
+        seed: u64,
+        /// Multiset disambiguation flag (all parties must agree).
+        multiset: bool,
+        /// Per-round deadline in milliseconds (`null` = server default).
+        round_timeout_ms: Option<u64>,
+    },
 }
 
 /// The daemon's answer, one per request line.
@@ -118,11 +184,38 @@ pub enum Response {
         cache_hits: u64,
         /// Cache misses since startup.
         cache_misses: u64,
+        /// `cache_hits / (cache_hits + cache_misses)`, 0 before the
+        /// first lookup.
+        hit_ratio: f64,
         /// Milliseconds since the daemon started.
         uptime_ms: u64,
     },
     /// Answer to [`Request::Shutdown`].
     ShuttingDown,
+    /// Answer to [`Request::FederateHello`]: the negotiated protocol
+    /// version and the listener's node identity.
+    FederateWelcome {
+        /// Negotiated version: `min(offered, supported)`.
+        version: u32,
+        /// The listener's node name.
+        node: String,
+    },
+    /// Answer to [`Request::FederateStart`], sent once this daemon's
+    /// party finished all its ring rounds.
+    FederateDone {
+        /// Echo of the session id.
+        session: u64,
+        /// Hex-encoded fully-encrypted list for the auditing agent.
+        payload: String,
+        /// Protocol payload bytes this party sent (ring + agent hop).
+        sent_bytes: u64,
+        /// Protocol payload bytes this party received.
+        recv_bytes: u64,
+        /// Protocol messages this party sent (ring + agent hop).
+        sent_msgs: u64,
+        /// Protocol messages this party received.
+        recv_msgs: u64,
+    },
     /// Any failure: parse errors, audit errors, deadline overruns,
     /// queue overload.
     Error {
@@ -152,6 +245,49 @@ pub fn encode_line<T: Serialize>(value: &T) -> String {
 /// Returns the underlying JSON error for malformed input.
 pub fn decode_line<T: serde::Deserialize>(line: &str) -> Result<T, serde_json::Error> {
     serde_json::from_str(line)
+}
+
+/// Hex-encodes a federation payload for the wire (lowercase, no prefix).
+pub fn encode_payload(bytes: &[u8]) -> String {
+    const DIGITS: &[u8; 16] = b"0123456789abcdef";
+    let mut out = Vec::with_capacity(bytes.len() * 2);
+    for &b in bytes {
+        out.push(DIGITS[usize::from(b >> 4)]);
+        out.push(DIGITS[usize::from(b & 0x0f)]);
+    }
+    String::from_utf8(out).expect("hex digits are ASCII")
+}
+
+/// Decodes a hex federation payload, enforcing
+/// [`MAX_FEDERATE_PAYLOAD_BYTES`].
+///
+/// # Errors
+///
+/// Returns a human-readable message for odd-length input, non-hex
+/// characters, or an oversized payload.
+pub fn decode_payload(hex: &str) -> Result<Vec<u8>, String> {
+    if !hex.len().is_multiple_of(2) {
+        return Err("hex payload has odd length".to_string());
+    }
+    if hex.len() / 2 > MAX_FEDERATE_PAYLOAD_BYTES {
+        return Err(format!(
+            "payload exceeds {MAX_FEDERATE_PAYLOAD_BYTES} bytes"
+        ));
+    }
+    let digit = |c: u8| -> Result<u8, String> {
+        match c {
+            b'0'..=b'9' => Ok(c - b'0'),
+            b'a'..=b'f' => Ok(c - b'a' + 10),
+            b'A'..=b'F' => Ok(c - b'A' + 10),
+            _ => Err(format!("invalid hex character {:?}", c as char)),
+        }
+    };
+    let raw = hex.as_bytes();
+    let mut out = Vec::with_capacity(raw.len() / 2);
+    for pair in raw.chunks(2) {
+        out.push(digit(pair[0])? << 4 | digit(pair[1])?);
+    }
+    Ok(out)
 }
 
 /// Outcome of [`read_bounded_line`].
@@ -256,5 +392,73 @@ mod tests {
         let line = encode_line(&Response::error("boom"));
         let back: Response = decode_line(&line).unwrap();
         assert!(matches!(back, Response::Error { message } if message == "boom"));
+    }
+
+    #[test]
+    fn federate_messages_roundtrip() {
+        let hello = Request::FederateHello {
+            version: FEDERATION_PROTOCOL_VERSION,
+            node: "127.0.0.1:4914".into(),
+        };
+        let back: Request = decode_line(&encode_line(&hello)).unwrap();
+        assert!(matches!(
+            back,
+            Request::FederateHello { version, node }
+                if version == FEDERATION_PROTOCOL_VERSION && node == "127.0.0.1:4914"
+        ));
+
+        let frame = Request::FederateData {
+            session: 42,
+            round: 1,
+            from: 2,
+            payload: encode_payload(&[0xde, 0xad, 0xbe, 0xef]),
+        };
+        match decode_line::<Request>(&encode_line(&frame)).unwrap() {
+            Request::FederateData {
+                session,
+                round,
+                from,
+                payload,
+            } => {
+                assert_eq!((session, round, from), (42, 1, 2));
+                assert_eq!(
+                    decode_payload(&payload).unwrap(),
+                    vec![0xde, 0xad, 0xbe, 0xef]
+                );
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+
+        let done = Response::FederateDone {
+            session: 42,
+            payload: encode_payload(&[1, 2, 3]),
+            sent_bytes: 384,
+            recv_bytes: 256,
+            sent_msgs: 3,
+            recv_msgs: 2,
+        };
+        assert!(matches!(
+            decode_line::<Response>(&encode_line(&done)).unwrap(),
+            Response::FederateDone {
+                sent_bytes: 384,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn payload_hex_is_validated_and_bounded() {
+        assert_eq!(decode_payload("").unwrap(), Vec::<u8>::new());
+        assert_eq!(decode_payload("00ff10").unwrap(), vec![0, 255, 16]);
+        assert!(decode_payload("abc").unwrap_err().contains("odd length"));
+        assert!(decode_payload("zz").unwrap_err().contains("invalid hex"));
+        let oversized = "00".repeat(MAX_FEDERATE_PAYLOAD_BYTES + 1);
+        assert!(decode_payload(&oversized).unwrap_err().contains("exceeds"));
+    }
+
+    #[test]
+    fn payload_roundtrip_is_identity() {
+        let bytes: Vec<u8> = (0..=255).collect();
+        assert_eq!(decode_payload(&encode_payload(&bytes)).unwrap(), bytes);
     }
 }

@@ -25,12 +25,15 @@ use std::sync::{mpsc, Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 use indaas_core::{AuditSpec, AuditingAgent, CancelToken};
-use indaas_deps::{DepDb, VersionedDepDb};
+use indaas_deps::{DepDb, DependencyAcquisitionModule, DependencyRecord, VersionedDepDb};
 use indaas_pia::{rank_deployments_cancellable, PiaRanking, PsopConfig};
 use indaas_sia::AuditReport;
 
 use crate::cache::{job_key, AuditCache};
-use crate::proto::{decode_line, encode_line, read_bounded_line, LineRead, Request, Response};
+use crate::proto::{
+    decode_line, decode_payload, encode_line, encode_payload, read_bounded_line, LineRead, Request,
+    Response, MAX_NODE_NAME_BYTES,
+};
 use crate::scheduler::Scheduler;
 
 /// Daemon tuning knobs.
@@ -50,6 +53,12 @@ pub struct ServeConfig {
     /// arm a longer deadline than this (admission control would be
     /// defeated by `timeout_ms: u64::MAX`).
     pub max_deadline: Duration,
+    /// Default per-round deadline for federated protocol rounds (a
+    /// `FederateStart` may shorten it, clamped here at the top).
+    pub round_timeout: Duration,
+    /// Re-run the registered dependency collectors this often, ingesting
+    /// whatever they report (`None` disables the timer).
+    pub collect_interval: Option<Duration>,
 }
 
 impl Default for ServeConfig {
@@ -63,8 +72,96 @@ impl Default for ServeConfig {
             cache_capacity: 4096,
             default_deadline: Duration::from_secs(30),
             max_deadline: Duration::from_secs(300),
+            round_timeout: Duration::from_secs(10),
+            collect_interval: None,
         }
     }
+}
+
+/// Context a [`FederationEngine`] receives when asked to run a party:
+/// the epoch-pinned database snapshot its component set derives from,
+/// plus enough daemon identity to refuse self-peering.
+pub struct FederationCtx {
+    /// Immutable snapshot of the dependency database.
+    pub snapshot: Arc<DepDb>,
+    /// The daemon's bound listen address.
+    pub local_addr: SocketAddr,
+    /// Default per-round deadline from [`ServeConfig::round_timeout`].
+    pub round_timeout: Duration,
+}
+
+/// A parsed `FederateStart` instruction.
+#[derive(Clone, Debug)]
+pub struct PartyInstruction {
+    /// Federation session id.
+    pub session: u64,
+    /// This daemon's ring index.
+    pub index: u32,
+    /// Number of provider parties.
+    pub parties: u32,
+    /// Ring successor address.
+    pub successor: String,
+    /// P-SOP seed.
+    pub seed: u64,
+    /// Multiset disambiguation flag.
+    pub multiset: bool,
+    /// Requested per-round deadline (clamped to the server default).
+    pub round_timeout_ms: Option<u64>,
+}
+
+/// What a completed party hands back for the `FederateDone` response.
+#[derive(Clone, Debug)]
+pub struct PartyCompletion {
+    /// Fully-encrypted list for the auditing agent.
+    pub payload: Vec<u8>,
+    /// Protocol payload bytes sent (ring + agent hop).
+    pub sent_bytes: u64,
+    /// Protocol payload bytes received.
+    pub recv_bytes: u64,
+    /// Protocol messages sent.
+    pub sent_msgs: u64,
+    /// Protocol messages received.
+    pub recv_msgs: u64,
+}
+
+/// The extension point federated auditing plugs into the daemon.
+///
+/// The server owns the listener, connection threads and the NDJSON
+/// protocol; the engine owns everything federation-specific — handshake
+/// policy, session mailboxes, peer dialing, and the per-party protocol
+/// rounds. `indaas-federation` provides the production implementation;
+/// a daemon without an engine rejects every `Federate*` request with a
+/// clear error.
+pub trait FederationEngine: Send + Sync {
+    /// Negotiates a peer handshake. Returns `(negotiated version, own
+    /// node name)` or a rejection message (version too old,
+    /// self-connection, unknown peer).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable rejection; the server answers with it and drops
+    /// the connection.
+    fn handshake(&self, offered: u32, peer_node: &str) -> Result<(u32, String), String>;
+
+    /// Routes one peer round frame to its session.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable rejection (bad indices, dead session); the
+    /// server reports it and drops the peer connection.
+    fn deliver(&self, session: u64, round: u32, from: u32, payload: Vec<u8>) -> Result<(), String>;
+
+    /// Runs this daemon's party of a federated audit, blocking until the
+    /// rounds complete or a deadline expires.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable failure sent back to the coordinator.
+    fn run_party(
+        &self,
+        instruction: PartyInstruction,
+        ctx: FederationCtx,
+    ) -> Result<PartyCompletion, String>;
 }
 
 /// The dependency database plus the epoch-pinned snapshot audits read.
@@ -84,6 +181,8 @@ struct ServiceState {
     started: Instant,
     shutting_down: AtomicBool,
     local_addr: SocketAddr,
+    federation: Mutex<Option<Arc<dyn FederationEngine>>>,
+    collectors: Mutex<Vec<Box<dyn DependencyAcquisitionModule + Send>>>,
 }
 
 /// A bound (but not yet serving) daemon.
@@ -123,6 +222,8 @@ impl Server {
             shutting_down: AtomicBool::new(false),
             local_addr,
             config,
+            federation: Mutex::new(None),
+            collectors: Mutex::new(Vec::new()),
         });
         Ok(Server { listener, state })
     }
@@ -132,6 +233,28 @@ impl Server {
         self.state.local_addr
     }
 
+    /// Installs the federation engine answering `Federate*` requests.
+    /// Without one, every federation request gets a clear protocol error.
+    pub fn set_federation(&self, engine: Arc<dyn FederationEngine>) {
+        *self
+            .state
+            .federation
+            .lock()
+            .expect("federation lock poisoned") = Some(engine);
+    }
+
+    /// Registers a dependency collector the daemon re-runs on the
+    /// [`ServeConfig::collect_interval`] timer, streaming whatever it
+    /// reports through the normal ingest path (epoch bumps, snapshot
+    /// refresh and cache invalidation included).
+    pub fn add_collector(&self, collector: Box<dyn DependencyAcquisitionModule + Send>) {
+        self.state
+            .collectors
+            .lock()
+            .expect("collectors lock poisoned")
+            .push(collector);
+    }
+
     /// Serves until a `Shutdown` request arrives. Each connection gets
     /// its own thread; audits run on the shared worker pool.
     ///
@@ -139,6 +262,12 @@ impl Server {
     ///
     /// Propagates accept-loop I/O failures.
     pub fn run(self) -> std::io::Result<()> {
+        if let Some(interval) = self.state.config.collect_interval {
+            let state = Arc::clone(&self.state);
+            // Detached like connection threads: it observes the shutdown
+            // flag within one interval and exits on its own.
+            std::thread::spawn(move || collector_loop(&state, interval));
+        }
         for stream in self.listener.incoming() {
             if self.state.shutting_down.load(Ordering::Acquire) {
                 break;
@@ -185,17 +314,134 @@ fn handle_connection(stream: TcpStream, state: &ServiceState) {
         if line.trim().is_empty() {
             continue;
         }
-        let (response, shutdown) = match decode_line::<Request>(line.trim()) {
-            Ok(request) => handle_request(request, state),
-            Err(e) => (Response::error(format!("malformed request: {e}")), false),
+        let request = match decode_line::<Request>(line.trim()) {
+            Ok(request) => request,
+            Err(e) => {
+                if write_response(
+                    &mut writer,
+                    &Response::error(format!("malformed request: {e}")),
+                )
+                .is_err()
+                {
+                    return;
+                }
+                continue;
+            }
         };
-        let mut out = encode_line(&response);
-        out.push('\n');
-        if writer.write_all(out.as_bytes()).is_err() || writer.flush().is_err() {
+        // A peer handshake re-tags this connection: answer the welcome,
+        // then hand the read side to the frame loop for the rest of the
+        // connection's life (audits and federation share one listener).
+        if let Request::FederateHello { version, node } = request {
+            let response = federate_hello(state, version, &node);
+            let accepted = matches!(response, Response::FederateWelcome { .. });
+            if write_response(&mut writer, &response).is_err() || !accepted {
+                return;
+            }
+            peer_session_loop(&mut reader, &mut writer, state);
+            return;
+        }
+        let (response, shutdown) = handle_request(request, state);
+        if write_response(&mut writer, &response).is_err() {
             return;
         }
         if shutdown {
             initiate_shutdown(state);
+            return;
+        }
+    }
+}
+
+fn write_response(writer: &mut TcpStream, response: &Response) -> std::io::Result<()> {
+    let mut out = encode_line(response);
+    out.push('\n');
+    writer.write_all(out.as_bytes())?;
+    writer.flush()
+}
+
+fn federation_engine(state: &ServiceState) -> Option<Arc<dyn FederationEngine>> {
+    state
+        .federation
+        .lock()
+        .expect("federation lock poisoned")
+        .clone()
+}
+
+fn federate_hello(state: &ServiceState, version: u32, node: &str) -> Response {
+    if node.len() > MAX_NODE_NAME_BYTES {
+        return Response::error(format!(
+            "peer node name exceeds {MAX_NODE_NAME_BYTES} bytes"
+        ));
+    }
+    let Some(engine) = federation_engine(state) else {
+        return Response::error("federation not enabled on this daemon");
+    };
+    match engine.handshake(version, node) {
+        Ok((version, node)) => Response::FederateWelcome { version, node },
+        Err(e) => Response::error(format!("handshake rejected: {e}")),
+    }
+}
+
+/// Frame mode: after a successful handshake the connection carries only
+/// `FederateData` lines, bounded exactly like request lines. Frames get
+/// no per-line acknowledgement; any protocol violation is answered with
+/// one `Error` line and the connection is dropped.
+fn peer_session_loop(
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut TcpStream,
+    state: &ServiceState,
+) {
+    let mut line = String::new();
+    loop {
+        match read_bounded_line(reader, &mut line, MAX_REQUEST_LINE) {
+            Ok(LineRead::Line) => {}
+            Ok(LineRead::Eof) | Err(_) => return,
+            Ok(LineRead::Oversized) => {
+                let _ = write_response(
+                    writer,
+                    &Response::error(format!("peer frame exceeds {MAX_REQUEST_LINE} bytes")),
+                );
+                return;
+            }
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fail = |writer: &mut TcpStream, message: String| {
+            let _ = write_response(writer, &Response::error(message));
+        };
+        let frame = match decode_line::<Request>(line.trim()) {
+            Ok(Request::FederateData {
+                session,
+                round,
+                from,
+                payload,
+            }) => (session, round, from, payload),
+            Ok(other) => {
+                fail(
+                    writer,
+                    format!("peer sessions carry only FederateData frames, got {other:?}"),
+                );
+                return;
+            }
+            Err(e) => {
+                fail(writer, format!("malformed peer frame: {e}"));
+                return;
+            }
+        };
+        let (session, round, from, payload_hex) = frame;
+        let payload = match decode_payload(&payload_hex) {
+            Ok(p) => p,
+            Err(e) => {
+                fail(writer, format!("bad frame payload: {e}"));
+                return;
+            }
+        };
+        let Some(engine) = federation_engine(state) else {
+            fail(writer, "federation not enabled on this daemon".to_string());
+            return;
+        };
+        if let Err(e) = engine.deliver(session, round, from, payload) {
+            fail(writer, format!("frame rejected: {e}"));
             return;
         }
     }
@@ -222,6 +468,69 @@ fn handle_request(request: Request, state: &ServiceState) -> (Response, bool) {
         } => (audit_pia(state, providers, way, minhash, timeout_ms), false),
         Request::Status => (status(state), false),
         Request::Shutdown => (Response::ShuttingDown, true),
+        // Unreachable in practice: `handle_connection` intercepts every
+        // hello before dispatching here (it re-tags the connection). The
+        // arm only keeps the match exhaustive.
+        Request::FederateHello { .. } => (
+            Response::error("FederateHello must be the first line of a peer session"),
+            false,
+        ),
+        Request::FederateData { .. } => (
+            Response::error(
+                "FederateData is only valid inside a peer session (send FederateHello first)",
+            ),
+            false,
+        ),
+        Request::FederateStart {
+            session,
+            index,
+            parties,
+            successor,
+            seed,
+            multiset,
+            round_timeout_ms,
+        } => (
+            federate_start(
+                state,
+                PartyInstruction {
+                    session,
+                    index,
+                    parties,
+                    successor,
+                    seed,
+                    multiset,
+                    round_timeout_ms,
+                },
+            ),
+            false,
+        ),
+    }
+}
+
+fn federate_start(state: &ServiceState, instruction: PartyInstruction) -> Response {
+    let Some(engine) = federation_engine(state) else {
+        return Response::error("federation not enabled on this daemon");
+    };
+    let snapshot = {
+        let db = state.db.read().expect("db lock poisoned");
+        Arc::clone(&db.snapshot)
+    };
+    let ctx = FederationCtx {
+        snapshot,
+        local_addr: state.local_addr,
+        round_timeout: state.config.round_timeout,
+    };
+    let session = instruction.session;
+    match engine.run_party(instruction, ctx) {
+        Ok(done) => Response::FederateDone {
+            session,
+            payload: encode_payload(&done.payload),
+            sent_bytes: done.sent_bytes,
+            recv_bytes: done.recv_bytes,
+            sent_msgs: done.sent_msgs,
+            recv_msgs: done.recv_msgs,
+        },
+        Err(e) => Response::error(format!("federated audit failed: {e}")),
     }
 }
 
@@ -231,19 +540,31 @@ enum Mutation {
 }
 
 fn ingest(state: &ServiceState, records: &str, mutation: Mutation) -> Response {
+    let parsed = match indaas_deps::parse_records(records) {
+        Ok(p) => p,
+        Err(e) => return Response::error(format!("bad records: {e}")),
+    };
+    let report = apply_mutation(state, parsed, &mutation);
+    Response::Ingested {
+        changed: report.changed,
+        ignored: report.ignored,
+        epoch: report.epoch,
+    }
+}
+
+/// The single write path into the versioned database: every mutation —
+/// protocol ingest/retract or a timer-driven collector batch — lands
+/// here, so epoch bumps, snapshot refreshes and cache invalidation can
+/// never diverge between entry points.
+fn apply_mutation(
+    state: &ServiceState,
+    records: Vec<DependencyRecord>,
+    mutation: &Mutation,
+) -> indaas_deps::IngestReport {
     let mut db = state.db.write().expect("db lock poisoned");
     let report = match mutation {
-        Mutation::Ingest => match db.versioned.ingest_text(records) {
-            Ok(r) => r,
-            Err(e) => return Response::error(format!("bad records: {e}")),
-        },
-        Mutation::Retract => {
-            let parsed = match indaas_deps::parse_records(records) {
-                Ok(p) => p,
-                Err(e) => return Response::error(format!("bad records: {e}")),
-            };
-            db.versioned.retract(&parsed)
-        }
+        Mutation::Ingest => db.versioned.ingest(records),
+        Mutation::Retract => db.versioned.retract(&records),
     };
     if report.changed > 0 {
         // New epoch: refresh the audit snapshot and drop every cache
@@ -258,10 +579,44 @@ fn ingest(state: &ServiceState, records: &str, mutation: Mutation) -> Response {
         // The PIA cache is NOT purged: PIA results are a pure function
         // of the request's provider sets, never of the DepDB.
     }
-    Response::Ingested {
-        changed: report.changed,
-        ignored: report.ignored,
-        epoch: report.epoch,
+    report
+}
+
+/// The streaming-ingest timer: re-runs every registered collector each
+/// `interval`, pushing whatever they report through [`apply_mutation`].
+/// A re-measured but unchanged world is a pure-duplicate batch — no
+/// epoch bump, no snapshot rebuild, no cache invalidation.
+fn collector_loop(state: &ServiceState, interval: Duration) {
+    // Sleep in small slices so shutdown is observed promptly even under
+    // multi-second intervals.
+    let slice = interval.min(Duration::from_millis(100));
+    let mut next = Instant::now() + interval;
+    loop {
+        if state.shutting_down.load(Ordering::Acquire) {
+            return;
+        }
+        if Instant::now() < next {
+            std::thread::sleep(slice);
+            continue;
+        }
+        next = Instant::now() + interval;
+        let mut collected: Vec<DependencyRecord> = Vec::new();
+        {
+            let mut collectors = state.collectors.lock().expect("collectors lock poisoned");
+            for c in collectors.iter_mut() {
+                for host in c.hosts() {
+                    match c.collect(&host) {
+                        Ok(records) => collected.extend(records),
+                        Err(e) => {
+                            eprintln!("indaas-service: collector {} failed: {e}", c.name());
+                        }
+                    }
+                }
+            }
+        }
+        if !collected.is_empty() {
+            apply_mutation(state, collected, &Mutation::Ingest);
+        }
     }
 }
 
@@ -471,6 +826,9 @@ fn status(state: &ServiceState) -> Response {
         (h, m, cache.len())
     };
     let cache_entries = sia_len + pia_len;
+    let cache_hits = sia_hits + pia_hits;
+    let cache_misses = sia_misses + pia_misses;
+    let lookups = cache_hits + cache_misses;
     Response::Status {
         epoch,
         records,
@@ -478,8 +836,13 @@ fn status(state: &ServiceState) -> Response {
         jobs_queued: state.scheduler.queued(),
         jobs_running: state.scheduler.running(),
         cache_entries,
-        cache_hits: sia_hits + pia_hits,
-        cache_misses: sia_misses + pia_misses,
+        cache_hits,
+        cache_misses,
+        hit_ratio: if lookups == 0 {
+            0.0
+        } else {
+            cache_hits as f64 / lookups as f64
+        },
         uptime_ms: state.started.elapsed().as_millis() as u64,
     }
 }

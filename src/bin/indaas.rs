@@ -14,7 +14,8 @@
 use std::process::ExitCode;
 
 use indaas::core::{AuditSpec, AuditingAgent, CandidateDeployment, RankingMetric, RgAlgorithm};
-use indaas::deps::{parse_records, DepDb, FailureProbModel, VersionedDepDb};
+use indaas::deps::{parse_records, DepDb, FailureProbModel, SimCollector, VersionedDepDb};
+use indaas::federation::{Federation, FederationCoordinator, PeerRegistry};
 use indaas::graph::to_dot;
 use indaas::pia::normalize::normalize_set;
 use indaas::pia::report::render_ranking;
@@ -29,6 +30,7 @@ fn main() -> ExitCode {
         Some("pia") => cmd_pia(&args[1..]),
         Some("dot") => cmd_dot(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("federate") => cmd_federate(&args[1..]),
         Some("ping") => cmd_ping(&args[1..]),
         Some("help") | Some("--help") | None => {
             eprint!("{USAGE}");
@@ -56,7 +58,10 @@ USAGE:
   indaas pia --set NAME=FILE [--set ...] [--way N] [--minhash M] [--json]
   indaas dot --records FILE --servers S1,S2[,...]
   indaas serve [--listen ADDR] [--workers N] [--queue N] [--cache N]
-               [--deadline-ms MS] [--records FILE]
+               [--deadline-ms MS] [--records FILE] [--peer ADDR ...]
+               [--collect-interval MS] [--collect-truth FILE]
+  indaas federate --peer ADDR --peer ADDR [--peer ...] [--seed N]
+                  [--round-timeout-ms MS] [--json]
   indaas ping [--addr ADDR]
 
 FILES:
@@ -69,21 +74,52 @@ indaas serve — run the continuous auditing daemon
 
 USAGE:
   indaas serve [--listen ADDR] [--workers N] [--queue N] [--cache N]
-               [--deadline-ms MS] [--records FILE]
+               [--deadline-ms MS] [--records FILE] [--peer ADDR ...]
+               [--node NAME] [--round-timeout-ms MS]
+               [--collect-interval MS] [--collect-truth FILE]
+               [--collect-miss-rate R]
 
 OPTIONS:
-  --listen ADDR     listen address (default 127.0.0.1:4914; port 0 = ephemeral)
-  --workers N       audit worker threads (default: cores - 1, capped at 8)
-  --queue N         bounded job-queue capacity (default 256)
-  --cache N         audit-result cache entries (default 4096)
-  --deadline-ms MS  default per-job deadline (default 30000)
-  --records FILE    pre-load Table-1 records before serving
+  --listen ADDR          listen address (default 127.0.0.1:4914; port 0 = ephemeral)
+  --workers N            audit worker threads (default: cores - 1, capped at 8)
+  --queue N              bounded job-queue capacity (default 256)
+  --cache N              audit-result cache entries (default 4096)
+  --deadline-ms MS       default per-job deadline (default 30000)
+  --records FILE         pre-load Table-1 records before serving
+  --peer ADDR            federation peer allow-list entry (repeatable;
+                         no --peer = accept any peer)
+  --node NAME            node name announced in peer handshakes
+                         (default: the bound listen address)
+  --round-timeout-ms MS  per-round federation deadline ceiling (default 10000)
+  --collect-interval MS  re-run registered collectors this often
+  --collect-truth FILE   Table-1 ground truth for a simulated collector
+  --collect-miss-rate R  simulated collector miss rate in [0, 1) (default 0)
 
 PROTOCOL (line-delimited JSON over TCP):
   -> \"Ping\"                                    <- \"Pong\"
   -> {\"Ingest\": {\"records\": \"<src=...>\"}}  <- {\"Ingested\": {\"changed\": 1, \"ignored\": 0, \"epoch\": 1}}
   -> {\"AuditSia\": {\"spec\": {...}}}           <- {\"Sia\": {\"epoch\": 1, \"cached\": false, ...}}
+  -> {\"FederateHello\": {...}}                  <- {\"FederateWelcome\": {...}}  (peer sessions)
   -> \"Status\" | \"Shutdown\"
+";
+
+const FEDERATE_USAGE: &str = "\
+indaas federate — run a private overlap audit across running daemons
+
+Each --peer daemon plays one P-SOP ring party using the component set in
+its own dependency database; this coordinator plays the auditing agent
+and learns only the intersection/union cardinalities plus per-party
+traffic — never any provider's components.
+
+USAGE:
+  indaas federate --peer ADDR --peer ADDR [--peer ...] [--seed N]
+                  [--round-timeout-ms MS] [--json]
+
+OPTIONS:
+  --peer ADDR            a provider daemon, in ring order (at least two)
+  --seed N               P-SOP seed shared by all parties (default 20560)
+  --round-timeout-ms MS  per-round deadline sent to every daemon (default 10000)
+  --json                 machine-readable output
 ";
 
 /// Simple flag cursor over argv.
@@ -273,6 +309,17 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         let ms: u64 = v.parse().map_err(|e| format!("--deadline-ms: {e}"))?;
         config.default_deadline = std::time::Duration::from_millis(ms);
     }
+    if let Some(v) = flags.value("--round-timeout-ms") {
+        let ms: u64 = v.parse().map_err(|e| format!("--round-timeout-ms: {e}"))?;
+        config.round_timeout = std::time::Duration::from_millis(ms);
+    }
+    if let Some(v) = flags.value("--collect-interval") {
+        let ms: u64 = v.parse().map_err(|e| format!("--collect-interval: {e}"))?;
+        if ms == 0 {
+            return Err("--collect-interval must be at least 1 ms".into());
+        }
+        config.collect_interval = Some(std::time::Duration::from_millis(ms));
+    }
     let db = match flags.value("--records") {
         Some(path) => {
             VersionedDepDb::from_db(DepDb::load(path).map_err(|e| format!("loading {path}: {e}"))?)
@@ -280,8 +327,124 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         None => VersionedDepDb::new(),
     };
     let server = Server::bind_with_db(config, db).map_err(|e| format!("bind: {e}"))?;
+
+    // Federation is always on: the engine announces the bound address
+    // (or --node) and enforces the --peer allow-list, if any.
+    let node = flags
+        .value("--node")
+        .map(String::from)
+        .unwrap_or_else(|| server.local_addr().to_string());
+    let registry = PeerRegistry::with_peers(flags.values("--peer").iter().map(|s| s.to_string()));
+    server.set_federation(std::sync::Arc::new(Federation::with_registry(
+        node, registry,
+    )));
+
+    // A --collect-truth file arms a simulated collector; the timer in
+    // the daemon re-runs it every --collect-interval.
+    if let Some(path) = flags.value("--collect-truth") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        let truth = parse_records(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+        let miss_rate: f64 = flags
+            .value("--collect-miss-rate")
+            .unwrap_or("0.0")
+            .parse()
+            .map_err(|e| format!("--collect-miss-rate: {e}"))?;
+        if !(0.0..1.0).contains(&miss_rate) {
+            return Err("--collect-miss-rate must be in [0, 1)".into());
+        }
+        server.add_collector(Box::new(SimCollector::new("sim", truth, miss_rate, 2014)));
+    }
+
     eprintln!("indaas daemon listening on {}", server.local_addr());
     server.run().map_err(|e| format!("serve: {e}"))
+}
+
+fn cmd_federate(args: &[String]) -> Result<(), String> {
+    let flags = Flags { args };
+    if flags.has("--help") || flags.has("-h") {
+        eprint!("{FEDERATE_USAGE}");
+        return Ok(());
+    }
+    let peers: Vec<String> = flags
+        .values("--peer")
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    if peers.len() < 2 {
+        return Err("at least two --peer daemons required".into());
+    }
+    let mut config = PsopConfig::default();
+    if let Some(v) = flags.value("--seed") {
+        config.seed = v.parse().map_err(|e| format!("--seed: {e}"))?;
+    }
+    let mut coordinator = FederationCoordinator::new(peers.clone()).with_config(config);
+    if let Some(v) = flags.value("--round-timeout-ms") {
+        let ms: u64 = v.parse().map_err(|e| format!("--round-timeout-ms: {e}"))?;
+        coordinator = coordinator.with_round_timeout(std::time::Duration::from_millis(ms));
+    }
+    let outcome = coordinator.run().map_err(|e| e.to_string())?;
+    let psop = &outcome.psop;
+    if flags.has("--json") {
+        #[derive(serde::Serialize)]
+        struct PartyJson {
+            party: usize,
+            addr: String,
+            sent_bytes: u64,
+            recv_bytes: u64,
+        }
+        #[derive(serde::Serialize)]
+        struct FederateJson {
+            session: u64,
+            intersection: usize,
+            union: usize,
+            jaccard: f64,
+            total_bytes: u64,
+            messages: u64,
+            parties: Vec<PartyJson>,
+        }
+        let report = FederateJson {
+            session: outcome.session,
+            intersection: psop.intersection,
+            union: psop.union,
+            jaccard: psop.jaccard,
+            total_bytes: psop.traffic.total_bytes(),
+            messages: psop.traffic.message_count(),
+            parties: peers
+                .iter()
+                .enumerate()
+                .map(|(i, p)| PartyJson {
+                    party: i,
+                    addr: p.clone(),
+                    sent_bytes: psop.traffic.sent_bytes(i),
+                    recv_bytes: psop.traffic.recv_bytes(i),
+                })
+                .collect(),
+        };
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?
+        );
+    } else {
+        println!("federated P-SOP session {:#018x}", outcome.session);
+        println!(
+            "  intersection: {}   union: {}   jaccard: {:.4}",
+            psop.intersection, psop.union, psop.jaccard
+        );
+        for (i, p) in peers.iter().enumerate() {
+            println!(
+                "  party {i} ({p}): sent {} B, received {} B",
+                psop.traffic.sent_bytes(i),
+                psop.traffic.recv_bytes(i)
+            );
+        }
+        println!(
+            "  agent: received {} B   total {} B in {} messages",
+            psop.traffic.recv_bytes(peers.len()),
+            psop.traffic.total_bytes(),
+            psop.traffic.message_count()
+        );
+    }
+    Ok(())
 }
 
 fn cmd_ping(args: &[String]) -> Result<(), String> {

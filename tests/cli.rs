@@ -220,3 +220,83 @@ fn serve_answers_ping_and_malformed_requests_over_tcp() {
     let status = child.wait().expect("daemon exits");
     assert!(status.success());
 }
+
+/// The "Federated PIA" quickstart, end to end: three daemons (one per
+/// provider, each pre-loaded with its own records), then `indaas
+/// federate` as the auditing agent.
+#[test]
+fn federate_audits_three_serve_processes() {
+    use std::io::{BufRead, BufReader};
+
+    let provider_records = [
+        r#"<src="A1" dst="Internet" route="tor-shared,coreA"/>
+<pgm="Riak" hw="A1" dep="libc6,openssl,erlang"/>"#,
+        r#"<src="B1" dst="Internet" route="tor-shared,coreB"/>
+<pgm="Mongo" hw="B1" dep="libc6,openssl,boost"/>"#,
+        r#"<src="C1" dst="Internet" route="tor-C,coreC"/>
+<pgm="Redis" hw="C1" dep="libc6,jemalloc"/>"#,
+    ];
+    let mut children = Vec::new();
+    let mut addrs = Vec::new();
+    for (i, records) in provider_records.iter().enumerate() {
+        let path = write_temp(&format!("federate-cli-{i}.txt"), records);
+        let mut child = bin()
+            .args([
+                "serve",
+                "--listen",
+                "127.0.0.1:0",
+                "--records",
+                path.to_str().unwrap(),
+            ])
+            .stderr(std::process::Stdio::piped())
+            .spawn()
+            .expect("daemon starts");
+        let stderr = child.stderr.take().expect("stderr piped");
+        let mut banner = String::new();
+        BufReader::new(stderr)
+            .read_line(&mut banner)
+            .expect("read banner");
+        addrs.push(
+            banner
+                .trim()
+                .rsplit(' ')
+                .next()
+                .expect("address in banner")
+                .to_string(),
+        );
+        children.push(child);
+    }
+
+    let out = bin()
+        .args([
+            "federate", "--peer", &addrs[0], "--peer", &addrs[1], "--peer", &addrs[2], "--json",
+        ])
+        .output()
+        .expect("federate runs");
+    assert!(
+        out.status.success(),
+        "federate failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let v: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid JSON");
+    let num = |val: &serde_json::Value| match val {
+        serde_json::Value::Number(n) => n.as_f64(),
+        other => panic!("expected a number, got {other:?}"),
+    };
+    // libc6 is the only component in all three sets.
+    assert_eq!(num(&v["intersection"]), 1.0);
+    assert!(num(&v["jaccard"]) > 0.0);
+    assert!(num(&v["parties"][0]["sent_bytes"]) > 0.0);
+    assert_eq!(v["parties"][2]["addr"], addrs[2].as_str());
+
+    for (child, addr) in children.iter_mut().zip(&addrs) {
+        use std::io::Write;
+        let stream = std::net::TcpStream::connect(addr).expect("connect");
+        let mut writer = stream.try_clone().expect("clone");
+        let mut reader = BufReader::new(stream);
+        writer.write_all(b"\"Shutdown\"\n").expect("write");
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read");
+        assert!(child.wait().expect("daemon exits").success());
+    }
+}

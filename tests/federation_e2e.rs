@@ -1,0 +1,304 @@
+//! End-to-end federated PIA: three `indaas` daemons (one per provider)
+//! execute the real multi-party P-SOP exchange over TCP, and the outcome
+//! — intersection, union, Jaccard, *and per-party traffic* — must match
+//! the in-process `SimNetwork` run of the identical topology bit for bit.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use indaas::deps::VersionedDepDb;
+use indaas::federation::{provider_component_set, Federation, FederationCoordinator, PeerRegistry};
+use indaas::pia::{run_psop, PsopConfig};
+use indaas::service::proto::{Request, Response, FEDERATION_PROTOCOL_VERSION};
+use indaas::service::{Client, ServeConfig, Server};
+use indaas::simnet::SimNetwork;
+
+/// Table-1 record sets for three providers with a shared core (libc6,
+/// openssl, tor-shared) and distinct tails.
+const PROVIDER_RECORDS: [&str; 3] = [
+    r#"
+        <src="A1" dst="Internet" route="ToR-shared,CoreA"/>
+        <hw="A1" type="CPU" dep="xeon-a"/>
+        <pgm="Riak" hw="A1" dep="libc6,openssl,erlang"/>
+    "#,
+    r#"
+        <src="B1" dst="Internet" route="ToR-shared,CoreB"/>
+        <hw="B1" type="CPU" dep="xeon-b"/>
+        <pgm="Mongo" hw="B1" dep="libc6,openssl,boost"/>
+    "#,
+    r#"
+        <src="C1" dst="Internet" route="ToR-C,CoreC"/>
+        <hw="C1" type="CPU" dep="xeon-c"/>
+        <pgm="Redis" hw="C1" dep="libc6,jemalloc"/>
+    "#,
+];
+
+struct TestDaemon {
+    addr: String,
+    handle: std::thread::JoinHandle<std::io::Result<()>>,
+}
+
+/// Boots one provider daemon on an ephemeral port with `records`
+/// pre-loaded and federation enabled (`allow` = peer allow-list, empty =
+/// open).
+fn boot_daemon(records: &str, allow: &[String]) -> TestDaemon {
+    let mut db = VersionedDepDb::new();
+    db.ingest_text(records).expect("test records parse");
+    let server = Server::bind_with_db(
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            ..ServeConfig::default()
+        },
+        db,
+    )
+    .expect("bind ephemeral");
+    let addr = server.local_addr().to_string();
+    let registry = PeerRegistry::with_peers(allow.iter().cloned());
+    server.set_federation(Arc::new(Federation::with_registry(addr.clone(), registry)));
+    let handle = std::thread::spawn(move || server.run());
+    TestDaemon { addr, handle }
+}
+
+fn shutdown(daemons: Vec<TestDaemon>) {
+    for d in daemons {
+        let mut c = Client::connect(&d.addr).expect("connect for shutdown");
+        c.shutdown().expect("shutdown ack");
+        d.handle.join().expect("server thread").expect("serve ok");
+    }
+}
+
+#[test]
+fn three_daemon_audit_matches_simnetwork_run() {
+    let daemons: Vec<TestDaemon> = PROVIDER_RECORDS
+        .iter()
+        .map(|r| boot_daemon(r, &[]))
+        .collect();
+    let peers: Vec<String> = daemons.iter().map(|d| d.addr.clone()).collect();
+
+    // The reference run: same component sets, same config, in-process.
+    let datasets: Vec<Vec<String>> = PROVIDER_RECORDS
+        .iter()
+        .map(|r| {
+            let mut db = VersionedDepDb::new();
+            db.ingest_text(r).unwrap();
+            provider_component_set(db.db())
+        })
+        .collect();
+    let mut net = SimNetwork::new(datasets.len() + 1);
+    let expected = run_psop(&datasets, &PsopConfig::default(), &mut net);
+
+    let outcome = FederationCoordinator::new(peers.clone())
+        .run()
+        .expect("federated audit succeeds");
+    let got = &outcome.psop;
+
+    // The audit result is identical...
+    assert_eq!(got.intersection, expected.intersection);
+    assert_eq!(got.union, expected.union);
+    assert!((got.jaccard - expected.jaccard).abs() < 1e-12);
+    // ...and so is every party's traffic accounting (Figure 8's metric):
+    // parties 0..k are the daemons in ring order, party k the agent.
+    for party in 0..=datasets.len() {
+        assert_eq!(
+            got.traffic.sent_bytes(party),
+            expected.traffic.sent_bytes(party),
+            "party {party} sent bytes diverge from the simulated run"
+        );
+        assert_eq!(
+            got.traffic.recv_bytes(party),
+            expected.traffic.recv_bytes(party),
+            "party {party} received bytes diverge from the simulated run"
+        );
+    }
+    assert_eq!(got.traffic.total_bytes(), expected.traffic.total_bytes());
+    assert_eq!(
+        got.traffic.message_count(),
+        expected.traffic.message_count()
+    );
+    assert_eq!(
+        got.traffic.max_sent_bytes(),
+        expected.traffic.max_sent_bytes()
+    );
+
+    // Sanity: the shared core (libc6, openssl is only in two sets —
+    // the 3-way intersection is the components in *all* sets).
+    assert!(got.intersection >= 1, "libc6 is everywhere");
+    assert!(got.union > got.intersection);
+
+    shutdown(daemons);
+}
+
+#[test]
+fn allow_listed_ring_works_and_unlisted_successor_is_refused() {
+    // Boot the ring twice over the same record sets: first with mutual
+    // allow-lists (must work), then point a coordinator at a successor
+    // missing from the daemon's list (must fail fast).
+    let a = boot_daemon(PROVIDER_RECORDS[0], &[]);
+    let b = boot_daemon(PROVIDER_RECORDS[1], &[]);
+    // Daemon C only trusts A and B.
+    let c = boot_daemon(PROVIDER_RECORDS[2], &[a.addr.clone(), b.addr.clone()]);
+
+    let outcome = FederationCoordinator::new([a.addr.clone(), b.addr.clone(), c.addr.clone()])
+        .run()
+        .expect("mutually-listed ring runs");
+    assert!(outcome.psop.union > 0);
+
+    // An outsider daemon C refuses to dial (not on its allow-list).
+    let outsider = boot_daemon(PROVIDER_RECORDS[0], &[]);
+    let err = FederationCoordinator::new([c.addr.clone(), outsider.addr.clone()])
+        .run()
+        .expect_err("C must refuse an unlisted successor");
+    assert!(
+        err.to_string().contains("allow-list"),
+        "unexpected error: {err}"
+    );
+
+    shutdown(vec![a, b, c, outsider]);
+}
+
+#[test]
+fn self_peering_is_rejected_with_a_clear_error() {
+    let daemon = boot_daemon(PROVIDER_RECORDS[0], &[]);
+    let mut client = Client::connect(&daemon.addr).unwrap();
+    let response = client
+        .request(&Request::FederateStart {
+            session: 7,
+            index: 0,
+            parties: 2,
+            successor: daemon.addr.clone(),
+            seed: 1,
+            multiset: true,
+            round_timeout_ms: Some(500),
+        })
+        .unwrap();
+    match response {
+        Response::Error { message } => {
+            assert!(
+                message.contains("own listen address") || message.contains("self"),
+                "unexpected message: {message}"
+            );
+        }
+        other => panic!("expected an error, got {other:?}"),
+    }
+    shutdown(vec![daemon]);
+}
+
+#[test]
+fn handshake_negotiates_version_and_rejects_ancient_peers() {
+    let daemon = boot_daemon(PROVIDER_RECORDS[0], &[]);
+    // A well-behaved (even newer) peer is welcomed at our version.
+    let mut modern = Client::connect(&daemon.addr).unwrap();
+    match modern
+        .request(&Request::FederateHello {
+            version: FEDERATION_PROTOCOL_VERSION + 3,
+            node: "test-harness".into(),
+        })
+        .unwrap()
+    {
+        Response::FederateWelcome { version, node } => {
+            assert_eq!(version, FEDERATION_PROTOCOL_VERSION);
+            assert_eq!(node, daemon.addr);
+        }
+        other => panic!("expected a welcome, got {other:?}"),
+    }
+    // A peer speaking version 0 is turned away.
+    let mut ancient = Client::connect(&daemon.addr).unwrap();
+    match ancient
+        .request(&Request::FederateHello {
+            version: 0,
+            node: "museum-piece".into(),
+        })
+        .unwrap()
+    {
+        Response::Error { message } => assert!(message.contains("version")),
+        other => panic!("expected an error, got {other:?}"),
+    }
+    shutdown(vec![daemon]);
+}
+
+#[test]
+fn frames_outside_a_peer_session_are_rejected() {
+    let daemon = boot_daemon(PROVIDER_RECORDS[0], &[]);
+    let mut client = Client::connect(&daemon.addr).unwrap();
+    match client
+        .request(&Request::FederateData {
+            session: 1,
+            round: 0,
+            from: 0,
+            payload: "00ff".into(),
+        })
+        .unwrap()
+    {
+        Response::Error { message } => {
+            assert!(message.contains("peer session"), "got: {message}");
+        }
+        other => panic!("expected an error, got {other:?}"),
+    }
+    shutdown(vec![daemon]);
+}
+
+#[test]
+fn federation_disabled_daemon_answers_with_a_clear_error() {
+    // No engine installed at all.
+    let server = Server::bind(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = server.local_addr().to_string();
+    let handle = std::thread::spawn(move || server.run());
+    // A rejected handshake drops the connection, so probe each request
+    // on a fresh one.
+    for request in [
+        Request::FederateHello {
+            version: FEDERATION_PROTOCOL_VERSION,
+            node: "n".into(),
+        },
+        Request::FederateStart {
+            session: 1,
+            index: 0,
+            parties: 2,
+            successor: "127.0.0.1:1".into(),
+            seed: 1,
+            multiset: true,
+            round_timeout_ms: None,
+        },
+    ] {
+        let mut client = Client::connect(&addr).unwrap();
+        match client.request(&request).unwrap() {
+            Response::Error { message } => assert!(message.contains("not enabled")),
+            other => panic!("expected an error, got {other:?}"),
+        }
+    }
+    let mut client = Client::connect(&addr).unwrap();
+    client.shutdown().unwrap();
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn empty_database_cannot_federate() {
+    let empty = {
+        let server = Server::bind(ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 1,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let addr = server.local_addr().to_string();
+        server.set_federation(Arc::new(Federation::new(addr.clone())));
+        let handle = std::thread::spawn(move || server.run());
+        TestDaemon { addr, handle }
+    };
+    let full = boot_daemon(PROVIDER_RECORDS[0], &[]);
+    let err = FederationCoordinator::new([empty.addr.clone(), full.addr.clone()])
+        .with_round_timeout(Duration::from_secs(2))
+        .run()
+        .expect_err("an empty provider cannot join the ring");
+    assert!(
+        err.to_string().contains("no components"),
+        "unexpected error: {err}"
+    );
+    shutdown(vec![empty, full]);
+}

@@ -1,5 +1,6 @@
 //! Cross-crate property-based tests on the core auditing invariants.
 
+use indaas::deps::{DependencyRecord, HardwareDep, NetworkDep, SoftwareDep, VersionedDepDb};
 use indaas::graph::detail::{component_sets_to_graph, ComponentSet};
 use indaas::graph::{FaultGraphBuilder, Gate};
 use indaas::sia::{
@@ -22,8 +23,156 @@ fn component_sets() -> impl Strategy<Value = Vec<ComponentSet>> {
     )
 }
 
+/// Decodes a small integer into one of a few dozen distinct dependency
+/// records spanning all three kinds — small enough a random pair of
+/// batches overlaps often, which is where the epoch edge cases live.
+fn decode_record(n: u32) -> DependencyRecord {
+    let host = format!("S{}", (n / 3) % 4);
+    let dep = (n / 12) % 5;
+    match n % 3 {
+        0 => DependencyRecord::Network(NetworkDep {
+            src: host,
+            dst: "Internet".to_string(),
+            route: vec![format!("dev{dep}")],
+        }),
+        1 => DependencyRecord::Hardware(HardwareDep {
+            hw: host,
+            hw_type: "CPU".to_string(),
+            dep: format!("chip{dep}"),
+        }),
+        _ => DependencyRecord::Software(SoftwareDep {
+            pgm: "Svc".to_string(),
+            hw: host,
+            deps: vec![format!("lib{dep}")],
+        }),
+    }
+}
+
+/// Strategy: a batch of up to a dozen (possibly duplicate) records.
+fn record_batch() -> impl Strategy<Value = Vec<DependencyRecord>> {
+    proptest::collection::vec(0u32..60, 1..12usize)
+        .prop_map(|ns| ns.into_iter().map(decode_record).collect())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Retracting records that were never ingested is a complete no-op:
+    /// no epoch bump, no record count change, everything ignored.
+    #[test]
+    fn retract_of_absent_records_never_bumps_epoch(
+        ingest in record_batch(),
+        retract in record_batch(),
+    ) {
+        let mut v = VersionedDepDb::new();
+        v.ingest(ingest.clone());
+        let absent: Vec<DependencyRecord> = retract
+            .into_iter()
+            .filter(|r| !ingest.contains(r))
+            .collect();
+        let epoch_before = v.epoch();
+        let len_before = v.db().len();
+        let report = v.retract(&absent);
+        prop_assert_eq!(report.changed, 0);
+        prop_assert_eq!(report.ignored, absent.len());
+        prop_assert_eq!(v.epoch(), epoch_before);
+        prop_assert_eq!(v.db().len(), len_before);
+    }
+
+    /// An update that retracts and re-ingests the same batch is a net
+    /// no-op: the epoch must not move, whatever duplicates the batch
+    /// contains.
+    #[test]
+    fn self_update_is_epoch_neutral(batch in record_batch()) {
+        let mut v = VersionedDepDb::new();
+        v.ingest(batch.clone());
+        let epoch_before = v.epoch();
+        let len_before = v.db().len();
+        let report = v.update(&batch, batch.clone());
+        prop_assert_eq!(report.changed, 0);
+        prop_assert_eq!(v.epoch(), epoch_before);
+        prop_assert_eq!(v.db().len(), len_before);
+    }
+
+    /// The epoch advances exactly when a batch changes the record set,
+    /// and by exactly one per effective batch.
+    #[test]
+    fn epoch_bumps_iff_batch_changes_something(
+        first in record_batch(),
+        second in record_batch(),
+    ) {
+        let mut v = VersionedDepDb::new();
+        let r1 = v.ingest(first.clone());
+        prop_assert!(r1.changed > 0, "fresh batch into an empty db always changes it");
+        prop_assert_eq!(v.epoch(), 1);
+        let before = v.epoch();
+        let len_before = v.db().len();
+        let r2 = v.ingest(second.clone());
+        let expect_bump = r2.changed > 0;
+        prop_assert_eq!(v.epoch(), before + u64::from(expect_bump));
+        prop_assert_eq!(v.db().len(), len_before + r2.changed);
+        // Re-ingesting everything again is pure duplicates: no bump.
+        let before = v.epoch();
+        let dup = v.ingest(first.into_iter().chain(second));
+        prop_assert_eq!(dup.changed, 0);
+        prop_assert_eq!(v.epoch(), before);
+    }
+
+    /// Ingest then full retract round-trips to an empty database with
+    /// exactly two epoch bumps, and a second retract of the same batch
+    /// is entirely ignored.
+    #[test]
+    fn full_retract_empties_with_one_bump(batch in record_batch()) {
+        let mut v = VersionedDepDb::new();
+        v.ingest(batch.clone());
+        prop_assert_eq!(v.epoch(), 1);
+        let r = v.retract(&batch);
+        prop_assert!(r.changed > 0);
+        prop_assert_eq!(v.epoch(), 2);
+        prop_assert!(v.db().is_empty());
+        let again = v.retract(&batch);
+        prop_assert_eq!(again.changed, 0);
+        prop_assert_eq!(again.ignored, batch.len());
+        prop_assert_eq!(v.epoch(), 2);
+    }
+
+    /// `update` replacing a batch with a disjoint one bumps exactly once
+    /// and lands on exactly the fresh records.
+    #[test]
+    fn disjoint_update_is_one_bump(batch in record_batch()) {
+        let mut v = VersionedDepDb::new();
+        v.ingest(batch.clone());
+        let fresh: Vec<DependencyRecord> = batch
+            .iter()
+            .map(|r| match r {
+                DependencyRecord::Network(n) => {
+                    let mut n = n.clone();
+                    n.route.push("re-measured".to_string());
+                    DependencyRecord::Network(n)
+                }
+                DependencyRecord::Hardware(h) => {
+                    let mut h = h.clone();
+                    h.dep.push_str("-v2");
+                    DependencyRecord::Hardware(h)
+                }
+                DependencyRecord::Software(s) => {
+                    let mut s = s.clone();
+                    s.deps.push("libnew".to_string());
+                    DependencyRecord::Software(s)
+                }
+            })
+            .collect();
+        let before = v.epoch();
+        let report = v.update(&batch, fresh.clone());
+        prop_assert!(report.changed > 0);
+        prop_assert_eq!(v.epoch(), before + 1);
+        for f in &fresh {
+            prop_assert!(!v.db().is_empty());
+            // Every fresh record must be present (retract removed the stale ones).
+            let mut probe = VersionedDepDb::from_db(v.db().clone());
+            prop_assert_eq!(probe.retract(std::slice::from_ref(f)).changed, 1);
+        }
+    }
 
     /// Every minimal RG fails the top event, and removing any member
     /// un-fails it (definition of minimality, §4.1.2).

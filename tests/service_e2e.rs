@@ -379,6 +379,7 @@ fn status_reports_counters() {
             cache_entries,
             cache_hits,
             cache_misses,
+            hit_ratio,
             ..
         } => {
             assert_eq!(epoch, 1);
@@ -387,6 +388,57 @@ fn status_reports_counters() {
             assert_eq!(cache_entries, 1);
             assert_eq!(cache_hits, 1);
             assert_eq!(cache_misses, 1);
+            assert!((hit_ratio - 0.5).abs() < 1e-12, "1 hit / 2 lookups");
+        }
+        other => panic!("expected Status, got {other:?}"),
+    }
+    client.shutdown().expect("shutdown");
+    daemon.join().unwrap().expect("serve loop");
+}
+
+/// The daemon re-measures by itself: a registered collector on the
+/// `collect_interval` timer ingests its records and bumps the epoch with
+/// no client involved; unchanged re-measurements never bump it again.
+#[test]
+fn scheduled_collector_bumps_epoch_by_itself() {
+    use indaas::deps::{parse_records, SimCollector};
+
+    let server = Server::bind(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        collect_interval: Some(std::time::Duration::from_millis(25)),
+        ..ServeConfig::default()
+    })
+    .expect("bind ephemeral port");
+    let truth = parse_records(RECORDS).expect("records parse");
+    server.add_collector(Box::new(SimCollector::perfect("nsdminer-sim", truth)));
+    let addr = server.local_addr();
+    let daemon = std::thread::spawn(move || server.run());
+
+    let mut client = Client::connect(addr).expect("connect");
+    let deadline = Instant::now() + std::time::Duration::from_secs(10);
+    let epoch = loop {
+        match client.status().expect("status") {
+            Response::Status { epoch, records, .. } if epoch > 0 => {
+                assert_eq!(records, 9, "collector must ingest the full truth");
+                break epoch;
+            }
+            _ => {}
+        }
+        assert!(
+            Instant::now() < deadline,
+            "collector never ingested anything"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    };
+    assert_eq!(epoch, 1);
+
+    // Give the timer several more periods: re-measuring an unchanged
+    // world is a pure-duplicate batch and must not bump the epoch.
+    std::thread::sleep(std::time::Duration::from_millis(150));
+    match client.status().expect("status") {
+        Response::Status { epoch, .. } => {
+            assert_eq!(epoch, 1, "duplicate collections must not bump the epoch");
         }
         other => panic!("expected Status, got {other:?}"),
     }
