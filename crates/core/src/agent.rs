@@ -1,7 +1,7 @@
 //! The auditing agent: executes audit specifications against dependency
 //! data (Steps 2–6 of the workflow in §2).
 
-use indaas_deps::{collect_all, DamError, DepDb, DependencyAcquisitionModule};
+use indaas_deps::{collect_all, DamError, DbSnapshot, DepDb, DepView, DependencyAcquisitionModule};
 use indaas_graph::{CancelToken, Cancelled};
 use indaas_pia::{rank_deployments_cancellable, PiaRanking, PsopConfig};
 use indaas_sia::{
@@ -48,15 +48,17 @@ pub struct WhatIfOutcome {
     pub outage: bool,
 }
 
-/// The auditing agent: owns the dependency database and runs audits.
+/// The auditing agent: owns a read-only view of dependency data and runs
+/// audits.
 ///
-/// The database is held behind an [`Arc`](std::sync::Arc), so agents are
-/// cheap to clone and cheap to construct over a shared snapshot — the
-/// `indaas-service` daemon builds one agent per audit job from the
-/// epoch snapshot current at admission time.
+/// The view is held behind an [`Arc`](std::sync::Arc) of a [`DepView`]
+/// trait object, so agents are cheap to clone and agnostic to *how* the
+/// data is stored — a monolithic [`DepDb`], or the multi-`Arc` sharded
+/// [`DbSnapshot`] the `indaas-service` daemon pins per audit job at
+/// admission time.
 #[derive(Clone, Debug)]
 pub struct AuditingAgent {
-    db: std::sync::Arc<DepDb>,
+    db: std::sync::Arc<dyn DepView>,
 }
 
 impl AuditingAgent {
@@ -65,9 +67,21 @@ impl AuditingAgent {
         Self::from_shared(std::sync::Arc::new(db))
     }
 
-    /// Creates an agent over a shared snapshot without copying it.
+    /// Creates an agent over a shared monolithic snapshot without
+    /// copying it.
     pub fn from_shared(db: std::sync::Arc<DepDb>) -> Self {
         AuditingAgent { db }
+    }
+
+    /// Creates an agent over any shared read-only dependency view.
+    pub fn from_view(db: std::sync::Arc<dyn DepView>) -> Self {
+        AuditingAgent { db }
+    }
+
+    /// Creates an agent over an epoch-pinned sharded snapshot — the
+    /// daemon's per-job entry point.
+    pub fn from_snapshot(snapshot: DbSnapshot) -> Self {
+        Self::from_view(std::sync::Arc::new(snapshot))
     }
 
     /// Creates an agent by running every acquisition module against every
@@ -83,9 +97,9 @@ impl AuditingAgent {
         Ok(Self::new(DepDb::from_records(records)))
     }
 
-    /// The dependency database (for inspection and composition).
-    pub fn db(&self) -> &DepDb {
-        &self.db
+    /// The dependency view (for inspection and composition).
+    pub fn db(&self) -> &dyn DepView {
+        &*self.db
     }
 
     /// Runs a structural independence audit: for every candidate
@@ -127,7 +141,7 @@ impl AuditingAgent {
                 software: spec.software,
                 prob_model: spec.prob_model.clone(),
             };
-            let graph = build_fault_graph(&self.db, &build)
+            let graph = build_fault_graph(self.db.as_ref(), &build)
                 .map_err(|e| AuditError::Build(cand.name.clone(), e))?;
             // The BDD engine additionally yields an exact top-event
             // probability; the other engines defer to the ranking module.
@@ -223,7 +237,7 @@ impl AuditingAgent {
                 software: spec.software,
                 prob_model: None,
             };
-            let graph = build_fault_graph(&self.db, &build)
+            let graph = build_fault_graph(self.db.as_ref(), &build)
                 .map_err(|e| AuditError::Build(cand.name.clone(), e))?;
             let relevant: Vec<&str> = failed_components
                 .iter()

@@ -8,6 +8,89 @@ use serde::{Deserialize, Serialize};
 
 use crate::record::{DependencyRecord, HardwareDep, NetworkDep, SoftwareDep};
 
+/// Read-only view of dependency data, as the audit engines consume it.
+///
+/// The engines only ever look dependencies up *by host* — they never
+/// mutate and never assume one contiguous store — so they are written
+/// against this trait instead of [`DepDb`] directly. A monolithic
+/// [`DepDb`] is one implementation; a sharded snapshot
+/// ([`crate::sharded::DbSnapshot`]) composed of many per-shard `Arc`s is
+/// another, which is what lets the auditing daemon refresh only the
+/// shard an ingest touched.
+pub trait DepView: std::fmt::Debug + Send + Sync {
+    /// Network routes originating at `host`.
+    fn network_deps(&self, host: &str) -> &[NetworkDep];
+
+    /// Hardware components of `host`.
+    fn hardware_deps(&self, host: &str) -> &[HardwareDep];
+
+    /// Software records for programs running on `host`.
+    fn software_deps(&self, host: &str) -> &[SoftwareDep];
+
+    /// All hosts with at least one record of any kind.
+    fn hosts(&self) -> BTreeSet<String>;
+
+    /// Total number of distinct records visible through the view.
+    fn record_count(&self) -> usize;
+
+    /// The flat component universe `host` depends on: network devices on
+    /// its routes, hardware component ids, programs and their packages.
+    /// This is the *component-set* the PIA protocol feeds into P-SOP.
+    fn component_set_of(&self, host: &str) -> BTreeSet<String> {
+        let mut set = BTreeSet::new();
+        for n in self.network_deps(host) {
+            for dev in &n.route {
+                set.insert(dev.clone());
+            }
+        }
+        for h in self.hardware_deps(host) {
+            set.insert(h.dep.clone());
+        }
+        for s in self.software_deps(host) {
+            set.insert(s.pgm.clone());
+            for d in &s.deps {
+                set.insert(d.clone());
+            }
+        }
+        set
+    }
+}
+
+/// A borrowed view of one stored record — what [`DepDb::records_iter`]
+/// yields. Records are stored per kind, so a borrowing iterator cannot
+/// hand out `&DependencyRecord`; this ref enum lets full-database passes
+/// (saving, re-sharding, component extraction) walk every record without
+/// first materializing an owned `Vec` of clones.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DepRecordRef<'a> {
+    /// A borrowed network route record.
+    Network(&'a NetworkDep),
+    /// A borrowed hardware component record.
+    Hardware(&'a HardwareDep),
+    /// A borrowed software package record.
+    Software(&'a SoftwareDep),
+}
+
+impl DepRecordRef<'_> {
+    /// The host this record belongs to.
+    pub fn host(&self) -> &str {
+        match self {
+            DepRecordRef::Network(n) => &n.src,
+            DepRecordRef::Hardware(h) => &h.hw,
+            DepRecordRef::Software(s) => &s.hw,
+        }
+    }
+
+    /// Clones into an owned [`DependencyRecord`].
+    pub fn to_owned(self) -> DependencyRecord {
+        match self {
+            DepRecordRef::Network(n) => DependencyRecord::Network(n.clone()),
+            DepRecordRef::Hardware(h) => DependencyRecord::Hardware(h.clone()),
+            DepRecordRef::Software(s) => DependencyRecord::Software(s.clone()),
+        }
+    }
+}
+
 /// In-memory dependency store indexed by host.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct DepDb {
@@ -139,42 +222,33 @@ impl DepDb {
         self.record_count == 0
     }
 
-    /// Flattens back into a record list (order: network, hardware, software,
-    /// each sorted by host) — used by tests and the PIA component-set
-    /// extraction.
+    /// Walks every stored record without copying it (order: network,
+    /// hardware, software, each sorted by host) — the borrowing
+    /// counterpart of [`DepDb::all_records`] for full-database passes
+    /// like [`DepDb::save`] and shard re-routing, which previously
+    /// materialized a full `Vec` of clones on every pass.
+    pub fn records_iter(&self) -> impl Iterator<Item = DepRecordRef<'_>> {
+        fn sorted_keys<T>(map: &HashMap<String, Vec<T>>) -> Vec<&String> {
+            let mut hosts: Vec<_> = map.keys().collect();
+            hosts.sort();
+            hosts
+        }
+        let network = sorted_keys(&self.network)
+            .into_iter()
+            .flat_map(|h| self.network[h].iter().map(DepRecordRef::Network));
+        let hardware = sorted_keys(&self.hardware)
+            .into_iter()
+            .flat_map(|h| self.hardware[h].iter().map(DepRecordRef::Hardware));
+        let software = sorted_keys(&self.software)
+            .into_iter()
+            .flat_map(|h| self.software[h].iter().map(DepRecordRef::Software));
+        network.chain(hardware).chain(software)
+    }
+
+    /// Flattens back into an owned record list, in [`DepDb::records_iter`]
+    /// order — used by tests and callers that need owned records.
     pub fn all_records(&self) -> Vec<DependencyRecord> {
-        let mut out = Vec::with_capacity(self.record_count);
-        let mut hosts: Vec<_> = self.network.keys().collect();
-        hosts.sort();
-        for h in hosts {
-            out.extend(
-                self.network[h]
-                    .iter()
-                    .cloned()
-                    .map(DependencyRecord::Network),
-            );
-        }
-        let mut hosts: Vec<_> = self.hardware.keys().collect();
-        hosts.sort();
-        for h in hosts {
-            out.extend(
-                self.hardware[h]
-                    .iter()
-                    .cloned()
-                    .map(DependencyRecord::Hardware),
-            );
-        }
-        let mut hosts: Vec<_> = self.software.keys().collect();
-        hosts.sort();
-        for h in hosts {
-            out.extend(
-                self.software[h]
-                    .iter()
-                    .cloned()
-                    .map(DependencyRecord::Software),
-            );
-        }
-        out
+        self.records_iter().map(DepRecordRef::to_owned).collect()
     }
 
     /// Saves the database to a Table-1-format text file — the portable,
@@ -186,8 +260,10 @@ impl DepDb {
     /// Propagates I/O failures.
     pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
         let mut text = String::from("# INDaaS DepDB export (Table-1 record format)\n");
-        text.push_str(&crate::format::serialize_records(&self.all_records()));
-        text.push('\n');
+        for rec in self.records_iter() {
+            text.push_str(&crate::format::serialize_record_ref(rec));
+            text.push('\n');
+        }
         std::fs::write(path, text)
     }
 
@@ -224,6 +300,32 @@ impl DepDb {
             }
         }
         set
+    }
+}
+
+impl DepView for DepDb {
+    fn network_deps(&self, host: &str) -> &[NetworkDep] {
+        DepDb::network_deps(self, host)
+    }
+
+    fn hardware_deps(&self, host: &str) -> &[HardwareDep] {
+        DepDb::hardware_deps(self, host)
+    }
+
+    fn software_deps(&self, host: &str) -> &[SoftwareDep] {
+        DepDb::software_deps(self, host)
+    }
+
+    fn hosts(&self) -> BTreeSet<String> {
+        DepDb::hosts(self)
+    }
+
+    fn record_count(&self) -> usize {
+        self.len()
+    }
+
+    fn component_set_of(&self, host: &str) -> BTreeSet<String> {
+        DepDb::component_set_of(self, host)
     }
 }
 
@@ -304,6 +406,18 @@ mod tests {
         assert_eq!(db.all_records().len(), db.len());
         let db2 = DepDb::from_records(db.all_records());
         assert_eq!(db2.len(), db.len());
+    }
+
+    #[test]
+    fn records_iter_matches_all_records_without_cloning() {
+        let db = sample_db();
+        assert_eq!(db.records_iter().count(), db.len());
+        let borrowed: Vec<DependencyRecord> =
+            db.records_iter().map(DepRecordRef::to_owned).collect();
+        assert_eq!(borrowed, db.all_records());
+        for (r, owned) in db.records_iter().zip(&borrowed) {
+            assert_eq!(r.host(), owned.host());
+        }
     }
 
     #[test]

@@ -88,20 +88,32 @@ pub fn parse_records(text: &str) -> Result<Vec<DependencyRecord>, FormatError> {
 
 /// Serializes a record back to its Table-1 line form.
 pub fn serialize_record(rec: &DependencyRecord) -> String {
+    serialize_record_ref(match rec {
+        DependencyRecord::Network(n) => crate::depdb::DepRecordRef::Network(n),
+        DependencyRecord::Hardware(h) => crate::depdb::DepRecordRef::Hardware(h),
+        DependencyRecord::Software(s) => crate::depdb::DepRecordRef::Software(s),
+    })
+}
+
+/// [`serialize_record`] over a borrowed record view — lets full-database
+/// passes ([`crate::DepDb::save`]) stream straight from
+/// [`crate::DepDb::records_iter`] without cloning every record first.
+pub fn serialize_record_ref(rec: crate::depdb::DepRecordRef<'_>) -> String {
+    use crate::depdb::DepRecordRef;
     match rec {
-        DependencyRecord::Network(n) => format!(
+        DepRecordRef::Network(n) => format!(
             "<src=\"{}\" dst=\"{}\" route=\"{}\"/>",
             n.src,
             n.dst,
             n.route.join(",")
         ),
-        DependencyRecord::Hardware(h) => {
+        DepRecordRef::Hardware(h) => {
             format!(
                 "<hw=\"{}\" type=\"{}\" dep=\"{}\"/>",
                 h.hw, h.hw_type, h.dep
             )
         }
-        DependencyRecord::Software(s) => format!(
+        DepRecordRef::Software(s) => format!(
             "<pgm=\"{}\" hw=\"{}\" dep=\"{}\"/>",
             s.pgm,
             s.hw,

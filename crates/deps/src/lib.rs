@@ -34,11 +34,13 @@ pub mod depdb;
 pub mod failprob;
 pub mod format;
 pub mod record;
+pub mod sharded;
 pub mod versioned;
 
 pub use dam::{collect_all, DamError, DependencyAcquisitionModule, SimCollector};
-pub use depdb::DepDb;
+pub use depdb::{DepDb, DepRecordRef, DepView};
 pub use failprob::FailureProbModel;
 pub use format::{parse_record, parse_records, FormatError};
 pub use record::{DependencyRecord, HardwareDep, NetworkDep, SoftwareDep};
+pub use sharded::{shard_index, DbSnapshot, EpochVector, ShardedDepDb, ShardedIngestReport};
 pub use versioned::{Epoch, IngestReport, VersionedDepDb};

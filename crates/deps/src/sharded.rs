@@ -1,0 +1,628 @@
+//! Host-sharded dependency store with per-shard epochs.
+//!
+//! The auditing daemon's hottest write path used to snapshot the *whole*
+//! database (`Arc::new(db.clone())`) on every effective ingest and
+//! invalidate every cached audit on every epoch bump — at millions of
+//! records the copy dominates ingest latency, and one host's update
+//! evicts every tenant's cached report. Cloud dependency data arrives as
+//! high-rate, mostly-local updates (AID, arXiv:2109.04893), so the store
+//! is sharded **by host key**:
+//!
+//! * every record routes to `shard_index(record.host(), N)` — all three
+//!   record kinds key by host, so a host's records always land together;
+//! * each shard is an independent [`VersionedDepDb`] with its own epoch,
+//!   collected into an [`EpochVector`];
+//! * snapshots are copy-on-write: the store keeps one `Arc<DepDb>` per
+//!   shard and re-clones **only the shards a batch actually changed** —
+//!   untouched shards keep sharing their `Arc`, so ingest cost is
+//!   proportional to what changed, not to database size;
+//! * [`DbSnapshot`] composes the per-shard `Arc`s into one read-only
+//!   [`DepView`] the audit engines consume, and can name exactly which
+//!   `(shard, epoch)` pairs a given host set reads — the audit cache
+//!   keys on those pins, so audits over untouched shards stay cached
+//!   across unrelated ingests.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use crate::depdb::{DepDb, DepView};
+use crate::format::{parse_records, FormatError};
+use crate::record::{DependencyRecord, HardwareDep, NetworkDep, SoftwareDep};
+use crate::versioned::{Epoch, VersionedDepDb};
+
+/// Deterministic host → shard routing (FNV-1a over the host key).
+///
+/// Stable across processes and daemon restarts, so cache pins and
+/// status reports mean the same thing on every node with the same
+/// shard count.
+///
+/// # Panics
+///
+/// Panics if `shards` is zero.
+pub fn shard_index(host: &str, shards: usize) -> usize {
+    assert!(shards > 0, "shard count must be at least 1");
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in host.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h % shards as u64) as usize
+}
+
+/// The per-shard epochs of a sharded store at one instant.
+///
+/// Equality is exact: two vectors compare equal iff every shard sits at
+/// the same epoch, which is what lets the audit cache short-circuit a
+/// purge when nothing can be stale.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EpochVector(Vec<Epoch>);
+
+impl EpochVector {
+    /// The epoch of `shard` (0 for out-of-range shards — epoch 0 is the
+    /// empty database).
+    pub fn get(&self, shard: usize) -> Epoch {
+        self.0.get(shard).copied().unwrap_or(0)
+    }
+
+    /// Number of shards covered.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True for the zero-shard vector.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The raw per-shard epochs.
+    pub fn as_slice(&self) -> &[Epoch] {
+        &self.0
+    }
+}
+
+impl From<Vec<Epoch>> for EpochVector {
+    fn from(epochs: Vec<Epoch>) -> Self {
+        EpochVector(epochs)
+    }
+}
+
+/// What one sharded ingest/retract/update batch did.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ShardedIngestReport {
+    /// Records newly inserted (or removed, for retractions).
+    pub changed: usize,
+    /// Records ignored: duplicate inserts or absent removals.
+    pub ignored: usize,
+    /// The store's *global* epoch after the batch — bumps by one per
+    /// effective batch, exactly like the monolithic [`VersionedDepDb`],
+    /// so wire-protocol epoch semantics are unchanged.
+    pub epoch: Epoch,
+    /// Indices of the shards the batch actually changed (sorted). Empty
+    /// for a pure-duplicate batch.
+    pub touched: Vec<usize>,
+}
+
+/// A dependency store sharded by host key, with copy-on-write per-shard
+/// snapshots.
+///
+/// All mutation entry points ([`ShardedDepDb::ingest`],
+/// [`ShardedDepDb::retract`], [`ShardedDepDb::update`]) route records to
+/// their host's shard, apply them shard-locally, and refresh only the
+/// snapshots of shards whose epoch moved.
+#[derive(Clone, Debug)]
+pub struct ShardedDepDb {
+    shards: Vec<VersionedDepDb>,
+    /// One immutable snapshot per shard; re-cloned only when its shard's
+    /// epoch moves, shared (`Arc`) otherwise.
+    snapshots: Vec<Arc<DepDb>>,
+    /// Global batch counter matching [`VersionedDepDb`] semantics.
+    epoch: Epoch,
+}
+
+impl ShardedDepDb {
+    /// An empty store with `shards` shards (clamped to at least 1), all
+    /// at epoch 0.
+    pub fn new(shards: usize) -> Self {
+        let shards = shards.max(1);
+        ShardedDepDb {
+            shards: (0..shards).map(|_| VersionedDepDb::new()).collect(),
+            snapshots: (0..shards).map(|_| Arc::new(DepDb::new())).collect(),
+            epoch: 0,
+        }
+    }
+
+    /// Routes an existing database's records into `shards` shards. A
+    /// non-empty seed starts at global epoch 1 (and every non-empty
+    /// shard at shard epoch 1), matching [`VersionedDepDb::from_db`].
+    pub fn from_db(db: DepDb, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let mut routed: Vec<DepDb> = (0..shards).map(|_| DepDb::new()).collect();
+        for rec in db.records_iter() {
+            routed[shard_index(rec.host(), shards)].insert(rec.to_owned());
+        }
+        let epoch = Epoch::from(!db.is_empty());
+        let shards: Vec<VersionedDepDb> = routed.into_iter().map(VersionedDepDb::from_db).collect();
+        let snapshots = shards.iter().map(|s| Arc::new(s.db().clone())).collect();
+        ShardedDepDb {
+            shards,
+            snapshots,
+            epoch,
+        }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard `host`'s records route to.
+    pub fn shard_of(&self, host: &str) -> usize {
+        shard_index(host, self.shards.len())
+    }
+
+    /// The global epoch: bumps by one per effective batch.
+    pub fn epoch(&self) -> Epoch {
+        self.epoch
+    }
+
+    /// The per-shard epochs.
+    pub fn epochs(&self) -> EpochVector {
+        EpochVector(self.shards.iter().map(VersionedDepDb::epoch).collect())
+    }
+
+    /// Distinct records in shard `shard`.
+    pub fn shard_len(&self, shard: usize) -> usize {
+        self.shards[shard].db().len()
+    }
+
+    /// Total distinct records across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.db().len()).sum()
+    }
+
+    /// True if no shard holds any record.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.db().is_empty())
+    }
+
+    /// A copy-on-write snapshot of the whole store: N `Arc` clones, no
+    /// record is copied. Cheap enough to take per request.
+    pub fn snapshot(&self) -> DbSnapshot {
+        DbSnapshot {
+            shards: self.snapshots.clone(),
+            epochs: self.epochs(),
+        }
+    }
+
+    /// Groups an owned record batch by destination shard, preserving
+    /// order.
+    fn route(
+        &self,
+        records: impl IntoIterator<Item = DependencyRecord>,
+    ) -> Vec<Vec<DependencyRecord>> {
+        let mut routed: Vec<Vec<DependencyRecord>> = vec![Vec::new(); self.shards.len()];
+        for r in records {
+            routed[shard_index(r.host(), self.shards.len())].push(r);
+        }
+        routed
+    }
+
+    /// Groups a borrowed record batch by destination shard — retract and
+    /// update only need references, so routing must not clone a large
+    /// batch on the daemon's write path.
+    fn route_refs<'a>(
+        &self,
+        records: impl IntoIterator<Item = &'a DependencyRecord>,
+    ) -> Vec<Vec<&'a DependencyRecord>> {
+        let mut routed: Vec<Vec<&'a DependencyRecord>> = vec![Vec::new(); self.shards.len()];
+        for r in records {
+            routed[shard_index(r.host(), self.shards.len())].push(r);
+        }
+        routed
+    }
+
+    /// Re-clones the snapshots of exactly the shards in `touched` and
+    /// advances the global epoch if anything changed — the single place
+    /// the copy-on-write invariant is maintained.
+    fn commit(&mut self, report: &mut ShardedIngestReport) {
+        for &s in &report.touched {
+            self.snapshots[s] = Arc::new(self.shards[s].db().clone());
+        }
+        if !report.touched.is_empty() {
+            self.epoch += 1;
+        }
+        report.epoch = self.epoch;
+    }
+
+    /// Ingests a record batch, shard-locally. Only shards that gained a
+    /// record bump their epoch and re-clone their snapshot; a
+    /// pure-duplicate batch touches nothing.
+    pub fn ingest(
+        &mut self,
+        records: impl IntoIterator<Item = DependencyRecord>,
+    ) -> ShardedIngestReport {
+        let mut report = ShardedIngestReport::default();
+        for (s, batch) in self.route(records).into_iter().enumerate() {
+            if batch.is_empty() {
+                continue;
+            }
+            let shard_report = self.shards[s].ingest(batch);
+            report.changed += shard_report.changed;
+            report.ignored += shard_report.ignored;
+            if shard_report.changed > 0 {
+                report.touched.push(s);
+            }
+        }
+        self.commit(&mut report);
+        report
+    }
+
+    /// Parses Table-1 text and ingests it as one batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse error without touching any shard or epoch — a
+    /// malformed batch is rejected atomically.
+    pub fn ingest_text(&mut self, text: &str) -> Result<ShardedIngestReport, FormatError> {
+        let records = parse_records(text)?;
+        Ok(self.ingest(records))
+    }
+
+    /// Retracts records (exact match), shard-locally.
+    pub fn retract(&mut self, records: &[DependencyRecord]) -> ShardedIngestReport {
+        let mut report = ShardedIngestReport::default();
+        for (s, batch) in self.route_refs(records).into_iter().enumerate() {
+            if batch.is_empty() {
+                continue;
+            }
+            let shard_report = self.shards[s].retract_refs(batch);
+            report.changed += shard_report.changed;
+            report.ignored += shard_report.ignored;
+            if shard_report.changed > 0 {
+                report.touched.push(s);
+            }
+        }
+        self.commit(&mut report);
+        report
+    }
+
+    /// Atomic update: retract `stale` and ingest `fresh` with one global
+    /// epoch bump if the batch changed anything net. Each shard applies
+    /// its slice of the update with [`VersionedDepDb::update`] no-op
+    /// semantics, so a collector re-measuring an unchanged world bumps
+    /// nothing anywhere.
+    pub fn update(
+        &mut self,
+        stale: &[DependencyRecord],
+        fresh: impl IntoIterator<Item = DependencyRecord>,
+    ) -> ShardedIngestReport {
+        let stale_routed = self.route_refs(stale);
+        let fresh_routed = self.route(fresh);
+        let mut report = ShardedIngestReport::default();
+        for (s, (stale_s, fresh_s)) in stale_routed.into_iter().zip(fresh_routed).enumerate() {
+            if stale_s.is_empty() && fresh_s.is_empty() {
+                continue;
+            }
+            let shard_report = self.shards[s].update_refs(stale_s, fresh_s);
+            report.changed += shard_report.changed;
+            report.ignored += shard_report.ignored;
+            if shard_report.changed > 0 {
+                report.touched.push(s);
+            }
+        }
+        self.commit(&mut report);
+        report
+    }
+}
+
+impl DepView for ShardedDepDb {
+    fn network_deps(&self, host: &str) -> &[NetworkDep] {
+        self.shards[self.shard_of(host)].db().network_deps(host)
+    }
+
+    fn hardware_deps(&self, host: &str) -> &[HardwareDep] {
+        self.shards[self.shard_of(host)].db().hardware_deps(host)
+    }
+
+    fn software_deps(&self, host: &str) -> &[SoftwareDep] {
+        self.shards[self.shard_of(host)].db().software_deps(host)
+    }
+
+    fn hosts(&self) -> BTreeSet<String> {
+        self.shards.iter().flat_map(|s| s.db().hosts()).collect()
+    }
+
+    fn record_count(&self) -> usize {
+        self.len()
+    }
+
+    fn component_set_of(&self, host: &str) -> BTreeSet<String> {
+        self.shards[self.shard_of(host)].db().component_set_of(host)
+    }
+}
+
+/// An immutable, epoch-pinned view over all shards of a [`ShardedDepDb`]
+/// — what audit jobs read.
+///
+/// Cloning is N pointer bumps. A snapshot is consistent: it pins the
+/// epoch vector current when it was taken, and later ingests can never
+/// mutate the `DepDb`s it references (the store re-clones dirty shards
+/// instead of editing them in place).
+#[derive(Clone, Debug)]
+pub struct DbSnapshot {
+    shards: Vec<Arc<DepDb>>,
+    epochs: EpochVector,
+}
+
+impl DbSnapshot {
+    /// Wraps one monolithic database as a single-shard snapshot — the
+    /// adapter for non-sharded callers (tests, one-shot CLI paths).
+    pub fn single(db: Arc<DepDb>, epoch: Epoch) -> Self {
+        DbSnapshot {
+            shards: vec![db],
+            epochs: EpochVector(vec![epoch]),
+        }
+    }
+
+    /// Number of shards composed.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The epoch vector pinned at snapshot time.
+    pub fn epochs(&self) -> &EpochVector {
+        &self.epochs
+    }
+
+    /// The shard `host` routes to.
+    pub fn shard_of(&self, host: &str) -> usize {
+        shard_index(host, self.shards.len())
+    }
+
+    /// The snapshot of shard `shard`.
+    pub fn shard(&self, shard: usize) -> &Arc<DepDb> {
+        &self.shards[shard]
+    }
+
+    fn shard_for(&self, host: &str) -> &DepDb {
+        &self.shards[self.shard_of(host)]
+    }
+
+    /// The sorted, deduplicated `(shard, epoch)` pairs a query over
+    /// `hosts` reads — the audit cache keys on exactly these pins, so a
+    /// cached audit stays valid across ingests that only touch *other*
+    /// shards.
+    pub fn pins_for_hosts<'a>(
+        &self,
+        hosts: impl IntoIterator<Item = &'a str>,
+    ) -> Vec<(u32, Epoch)> {
+        let mut shards: Vec<usize> = hosts.into_iter().map(|h| self.shard_of(h)).collect();
+        shards.sort_unstable();
+        shards.dedup();
+        shards
+            .into_iter()
+            .map(|s| (s as u32, self.epochs.get(s)))
+            .collect()
+    }
+}
+
+impl DepView for DbSnapshot {
+    fn network_deps(&self, host: &str) -> &[NetworkDep] {
+        self.shard_for(host).network_deps(host)
+    }
+
+    fn hardware_deps(&self, host: &str) -> &[HardwareDep] {
+        self.shard_for(host).hardware_deps(host)
+    }
+
+    fn software_deps(&self, host: &str) -> &[SoftwareDep] {
+        self.shard_for(host).software_deps(host)
+    }
+
+    fn hosts(&self) -> BTreeSet<String> {
+        self.shards.iter().flat_map(|s| s.hosts()).collect()
+    }
+
+    fn record_count(&self) -> usize {
+        self.shards.iter().map(|s| s.len()).sum()
+    }
+
+    fn component_set_of(&self, host: &str) -> BTreeSet<String> {
+        self.shard_for(host).component_set_of(host)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::parse_record;
+
+    fn rec(line: &str) -> DependencyRecord {
+        parse_record(line).unwrap()
+    }
+
+    fn host_record(host: &str, dep: &str) -> DependencyRecord {
+        rec(&format!("<hw=\"{host}\" type=\"CPU\" dep=\"{dep}\"/>"))
+    }
+
+    /// Two hosts guaranteed to live in different shards of an
+    /// `n`-sharded store (panics if `n == 1`).
+    fn split_hosts(n: usize) -> (String, String) {
+        let a = "H0".to_string();
+        for i in 1..10_000 {
+            let b = format!("H{i}");
+            if shard_index(&b, n) != shard_index(&a, n) {
+                return (a, b);
+            }
+        }
+        panic!("no host pair split across {n} shards");
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_in_range() {
+        for n in [1, 2, 8, 64] {
+            for host in ["S1", "S2", "a-very-long-host-name", ""] {
+                let s = shard_index(host, n);
+                assert!(s < n);
+                assert_eq!(s, shard_index(host, n), "routing must be stable");
+            }
+        }
+    }
+
+    #[test]
+    fn ingest_touches_only_the_hosts_shards() {
+        let mut db = ShardedDepDb::new(8);
+        let (a, b) = split_hosts(8);
+        let report = db.ingest([host_record(&a, "cpu-1")]);
+        assert_eq!(report.changed, 1);
+        assert_eq!(report.epoch, 1);
+        assert_eq!(report.touched, vec![db.shard_of(&a)]);
+        let epochs = db.epochs();
+        assert_eq!(epochs.get(db.shard_of(&a)), 1);
+        assert_eq!(epochs.get(db.shard_of(&b)), 0);
+    }
+
+    #[test]
+    fn untouched_shards_share_their_snapshot_arc() {
+        let mut db = ShardedDepDb::new(8);
+        let (a, b) = split_hosts(8);
+        db.ingest([host_record(&a, "cpu-1"), host_record(&b, "cpu-2")]);
+        let before = db.snapshot();
+        // Ingest into b's shard only: a's snapshot Arc must be *shared*,
+        // not re-cloned — that sharing is the whole point of sharding.
+        db.ingest([host_record(&b, "cpu-3")]);
+        let after = db.snapshot();
+        let (sa, sb) = (db.shard_of(&a), db.shard_of(&b));
+        assert!(
+            Arc::ptr_eq(before.shard(sa), after.shard(sa)),
+            "untouched shard must keep sharing its snapshot"
+        );
+        assert!(
+            !Arc::ptr_eq(before.shard(sb), after.shard(sb)),
+            "dirty shard must get a fresh snapshot"
+        );
+    }
+
+    #[test]
+    fn duplicate_batch_refreshes_nothing() {
+        let mut db = ShardedDepDb::new(4);
+        db.ingest([host_record("S1", "cpu-1")]);
+        let before = db.snapshot();
+        let report = db.ingest([host_record("S1", "cpu-1")]);
+        assert_eq!((report.changed, report.ignored), (0, 1));
+        assert!(report.touched.is_empty());
+        assert_eq!(db.epoch(), 1, "duplicate batch must not bump the epoch");
+        let after = db.snapshot();
+        for s in 0..db.num_shards() {
+            assert!(Arc::ptr_eq(before.shard(s), after.shard(s)));
+        }
+    }
+
+    #[test]
+    fn snapshots_are_isolated_from_later_ingests() {
+        let mut db = ShardedDepDb::new(4);
+        db.ingest([host_record("S1", "cpu-1")]);
+        let snap = db.snapshot();
+        let pinned = snap.epochs().clone();
+        db.ingest([host_record("S1", "cpu-2"), host_record("S2", "disk-1")]);
+        assert_eq!(
+            snap.record_count(),
+            1,
+            "snapshot must not see later ingests"
+        );
+        assert_eq!(
+            snap.epochs(),
+            &pinned,
+            "snapshot pins the epoch vector it was taken at"
+        );
+        assert!(db.epochs() != pinned, "the live store moved on");
+        assert_eq!(db.record_count(), 3);
+    }
+
+    #[test]
+    fn sharded_matches_monolithic_semantics() {
+        let records = vec![
+            rec(r#"<src="S1" dst="Internet" route="tor1,core1"/>"#),
+            rec(r#"<src="S2" dst="Internet" route="tor1,core2"/>"#),
+            host_record("S1", "cpu-1"),
+            rec(r#"<pgm="Riak1" hw="S3" dep="libc6,libsvn1"/>"#),
+        ];
+        let mono = DepDb::from_records(records.clone());
+        let mut sharded = ShardedDepDb::new(8);
+        let report = sharded.ingest(records.clone());
+        assert_eq!(report.changed, mono.len());
+        assert_eq!(sharded.len(), mono.len());
+        let snap = sharded.snapshot();
+        assert_eq!(DepView::hosts(&snap), DepDb::hosts(&mono));
+        for host in mono.hosts() {
+            assert_eq!(
+                DepView::component_set_of(&snap, &host),
+                mono.component_set_of(&host)
+            );
+            assert_eq!(
+                DepView::network_deps(&snap, &host),
+                mono.network_deps(&host)
+            );
+        }
+        // Retract parity.
+        let r = sharded.retract(&records);
+        assert_eq!(r.changed, mono.len());
+        assert!(sharded.is_empty());
+    }
+
+    #[test]
+    fn update_bumps_global_epoch_once() {
+        let mut db = ShardedDepDb::new(4);
+        let stale = host_record("S1", "cpu-old");
+        db.ingest([stale.clone(), host_record("S2", "disk-1")]);
+        assert_eq!(db.epoch(), 1);
+        let report = db.update(std::slice::from_ref(&stale), [host_record("S1", "cpu-new")]);
+        assert_eq!(report.changed, 2);
+        assert_eq!(db.epoch(), 2, "one batch = one global bump");
+        // Self-update is a net no-op: no bump anywhere.
+        let again = host_record("S1", "cpu-new");
+        let report = db.update(std::slice::from_ref(&again), [again.clone()]);
+        assert_eq!(report.changed, 0);
+        assert_eq!(db.epoch(), 2);
+    }
+
+    #[test]
+    fn from_db_reroutes_and_seeds_epochs() {
+        let mono = DepDb::from_records(vec![
+            host_record("S1", "cpu-1"),
+            host_record("S2", "cpu-2"),
+            rec(r#"<src="S1" dst="Internet" route="tor1"/>"#),
+        ]);
+        let sharded = ShardedDepDb::from_db(mono.clone(), 8);
+        assert_eq!(sharded.epoch(), 1, "non-empty seed starts at epoch 1");
+        assert_eq!(sharded.len(), mono.len());
+        for host in mono.hosts() {
+            assert_eq!(
+                DepView::component_set_of(&sharded, &host),
+                mono.component_set_of(&host)
+            );
+        }
+        assert_eq!(ShardedDepDb::from_db(DepDb::new(), 4).epoch(), 0);
+    }
+
+    #[test]
+    fn pins_cover_exactly_the_read_shards() {
+        let mut db = ShardedDepDb::new(8);
+        let (a, b) = split_hosts(8);
+        db.ingest([host_record(&a, "cpu-1"), host_record(&b, "cpu-2")]);
+        let snap = db.snapshot();
+        let pins = snap.pins_for_hosts([a.as_str(), b.as_str(), a.as_str()]);
+        let mut expect = vec![(snap.shard_of(&a) as u32, 1), (snap.shard_of(&b) as u32, 1)];
+        expect.sort_unstable();
+        assert_eq!(pins, expect, "pins are sorted and deduplicated");
+    }
+
+    #[test]
+    fn single_snapshot_wraps_a_monolithic_db() {
+        let db = Arc::new(DepDb::from_records(vec![host_record("S1", "cpu-1")]));
+        let snap = DbSnapshot::single(Arc::clone(&db), 3);
+        assert_eq!(snap.num_shards(), 1);
+        assert_eq!(snap.record_count(), 1);
+        assert_eq!(snap.pins_for_hosts(["S1", "S2"]), vec![(0, 3)]);
+    }
+}

@@ -101,6 +101,16 @@ impl VersionedDepDb {
     /// dependency disappear or re-measures a changed route. Bumps the
     /// epoch once if anything was actually removed.
     pub fn retract(&mut self, records: &[DependencyRecord]) -> IngestReport {
+        self.retract_refs(records)
+    }
+
+    /// [`VersionedDepDb::retract`] over any borrowed record sequence —
+    /// lets shard routers hand each shard its slice of a batch without
+    /// cloning the records first.
+    pub fn retract_refs<'a>(
+        &mut self,
+        records: impl IntoIterator<Item = &'a DependencyRecord>,
+    ) -> IngestReport {
         let mut report = IngestReport::default();
         for r in records {
             if self.db.remove(r) {
@@ -127,6 +137,17 @@ impl VersionedDepDb {
     pub fn update(
         &mut self,
         stale: &[DependencyRecord],
+        fresh: impl IntoIterator<Item = DependencyRecord>,
+    ) -> IngestReport {
+        self.update_refs(stale, fresh)
+    }
+
+    /// [`VersionedDepDb::update`] with borrowed stale records — the
+    /// shard-router entry point (fresh records are inserted, so they
+    /// stay owned).
+    pub fn update_refs<'a>(
+        &mut self,
+        stale: impl IntoIterator<Item = &'a DependencyRecord>,
         fresh: impl IntoIterator<Item = DependencyRecord>,
     ) -> IngestReport {
         let mut report = IngestReport::default();

@@ -5,7 +5,7 @@ use std::net::ToSocketAddrs;
 use std::sync::Arc;
 use std::time::Duration;
 
-use indaas_deps::DepDb;
+use indaas_deps::DepView;
 use indaas_graph::CancelToken;
 use indaas_pia::normalize::normalize_set;
 use indaas_pia::{run_psop_party, PsopConfig};
@@ -62,14 +62,15 @@ impl Federation {
     /// package it depends on, normalized exactly like `indaas pia`
     /// normalizes `--set` files so identical third-party components hash
     /// identically at every provider (§4.2.3).
-    pub fn component_set(db: &DepDb) -> Vec<String> {
+    pub fn component_set<D: DepView + ?Sized>(db: &D) -> Vec<String> {
         provider_component_set(db)
     }
 }
 
 /// Free-function form of [`Federation::component_set`], shared with the
-/// coordinator-side cross-checks in tests.
-pub fn provider_component_set(db: &DepDb) -> Vec<String> {
+/// coordinator-side cross-checks in tests. Reads any [`DepView`] — a
+/// monolithic `DepDb` or the daemon's sharded snapshot.
+pub fn provider_component_set<D: DepView + ?Sized>(db: &D) -> Vec<String> {
     let mut raw: Vec<String> = Vec::new();
     for host in db.hosts() {
         for n in db.network_deps(&host) {
@@ -226,7 +227,7 @@ pub fn engine(node: impl Into<String>, peers: PeerRegistry) -> Arc<dyn Federatio
 #[cfg(test)]
 mod tests {
     use super::*;
-    use indaas_deps::parse_records;
+    use indaas_deps::{parse_records, DepDb};
 
     #[test]
     fn handshake_negotiates_and_rejects() {

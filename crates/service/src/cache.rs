@@ -1,12 +1,17 @@
-//! Content-hash audit-result cache.
+//! Content-hash audit-result cache with per-shard epoch pins.
 //!
-//! Audits are pure functions of `(DepDb epoch, audit spec)`: the epoch
-//! pins the dependency data and the spec pins everything else. The cache
-//! therefore keys entries by an FNV-1a content hash of the spec's
-//! *canonical JSON* (the vendored serde's objects are key-sorted, so
-//! serialization is deterministic) concatenated with the epoch, and an
-//! ingest that bumps the epoch makes every older entry unreachable —
-//! [`AuditCache::purge_stale`] reclaims them eagerly.
+//! Audits are pure functions of `(dependency data read, audit spec)`.
+//! The dependency store is sharded with per-shard epochs
+//! ([`indaas_deps::ShardedDepDb`]), and a SIA audit reads only the
+//! shards its candidate hosts route to — so the cache keys entries by an
+//! FNV-1a content hash of the spec's *canonical JSON* (the vendored
+//! serde's objects are key-sorted, so serialization is deterministic)
+//! concatenated with the `(shard, epoch)` pins of exactly the shards the
+//! spec reads. An ingest that bumps *other* shards' epochs leaves those
+//! keys — and therefore those cached reports — perfectly hot; only an
+//! ingest touching a read shard makes an entry unreachable, and
+//! [`AuditCache::purge_stale`] reclaims such entries eagerly (and
+//! short-circuits entirely when the epoch vector hasn't moved).
 //!
 //! Repeated or overlapping queries — a dashboard polling the same
 //! deployment comparison, many tenants auditing a popular rack pair —
@@ -14,6 +19,7 @@
 
 use std::collections::{HashMap, VecDeque};
 
+use indaas_deps::{Epoch, EpochVector};
 use serde::Serialize;
 
 /// 64-bit FNV-1a.
@@ -26,6 +32,12 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
+/// The `(shard, epoch)` pairs an audit read — what pins a cache entry to
+/// the data it was computed from. Empty pins mean the result does not
+/// depend on the dependency database at all (PIA inputs travel in the
+/// request) and can never go stale.
+pub type EpochPins = Vec<(u32, Epoch)>;
+
 /// Content key of an audit job: the FNV-1a hash indexes the map, and
 /// the full canonical form rides along so lookups can reject hash
 /// collisions — FNV is not collision-resistant and specs are fully
@@ -37,13 +49,16 @@ pub struct JobKey {
     canonical: String,
 }
 
-/// Builds the content key: epoch ‖ kind tag ‖ canonical spec JSON.
+/// Builds the content key: scope JSON ‖ kind tag ‖ canonical spec JSON.
 ///
-/// The `kind` tag keeps SIA and PIA jobs with coincidentally identical
-/// JSON from colliding.
-pub fn job_key<T: Serialize>(epoch: u64, kind: &str, spec: &T) -> JobKey {
+/// `scope` is whatever pins the result to the data it reads — the
+/// [`EpochPins`] of the shards a SIA spec touches, a bare epoch, or `()`
+/// for data-independent jobs. The `kind` tag keeps SIA and PIA jobs with
+/// coincidentally identical JSON from colliding.
+pub fn job_key<S: Serialize, T: Serialize>(scope: &S, kind: &str, spec: &T) -> JobKey {
+    let scope_json = serde_json::to_string(scope).expect("scopes always serialize");
     let spec_json = serde_json::to_string(spec).expect("specs always serialize");
-    let canonical = format!("{epoch}\u{1f}{kind}\u{1f}{spec_json}");
+    let canonical = format!("{scope_json}\u{1f}{kind}\u{1f}{spec_json}");
     JobKey {
         hash: fnv1a(canonical.as_bytes()),
         canonical,
@@ -52,7 +67,9 @@ pub fn job_key<T: Serialize>(epoch: u64, kind: &str, spec: &T) -> JobKey {
 
 struct Entry<V> {
     value: V,
-    epoch: u64,
+    /// The `(shard, epoch)` pairs the result was computed against;
+    /// compared to the live epoch vector to purge stale entries.
+    pins: EpochPins,
     /// Full canonical key, compared on lookup to reject hash collisions.
     canonical: String,
     /// Last-touch sequence number: bumped on insert *and* on every hit,
@@ -73,6 +90,9 @@ pub struct AuditCache<V> {
     next_seq: u64,
     hits: u64,
     misses: u64,
+    /// The epoch vector of the last purge — an unchanged vector means
+    /// nothing can have gone stale since, so the purge walk is skipped.
+    purged_at: Option<EpochVector>,
 }
 
 impl<V: Clone> AuditCache<V> {
@@ -85,6 +105,7 @@ impl<V: Clone> AuditCache<V> {
             next_seq: 0,
             hits: 0,
             misses: 0,
+            purged_at: None,
         }
     }
 
@@ -119,9 +140,9 @@ impl<V: Clone> AuditCache<V> {
         }
     }
 
-    /// Stores a result computed at `epoch`. At capacity, the least
-    /// recently used entry is evicted first.
-    pub fn insert(&mut self, key: JobKey, epoch: u64, value: V) {
+    /// Stores a result computed against the given epoch pins. At
+    /// capacity, the least recently used entry is evicted first.
+    pub fn insert(&mut self, key: JobKey, pins: EpochPins, value: V) {
         if self.capacity == 0 {
             return;
         }
@@ -141,7 +162,7 @@ impl<V: Clone> AuditCache<V> {
             key.hash,
             Entry {
                 value,
-                epoch,
+                pins,
                 canonical: key.canonical,
                 seq,
             },
@@ -149,11 +170,25 @@ impl<V: Clone> AuditCache<V> {
         self.compact_order();
     }
 
-    /// Drops every entry computed before `current_epoch`. Keys embed the
-    /// epoch, so stale entries can never be *hit* — this reclaims their
-    /// memory as soon as an ingest invalidates them.
-    pub fn purge_stale(&mut self, current_epoch: u64) {
-        self.entries.retain(|_, e| e.epoch >= current_epoch);
+    /// Drops every entry whose pinned shards have moved past the epochs
+    /// it was computed at. Keys embed the pins, so stale entries can
+    /// never be *hit* — this reclaims their memory as soon as an ingest
+    /// invalidates them, and it goes per-shard: an entry pinned only to
+    /// untouched shards survives.
+    ///
+    /// Short-circuits without walking any entry when `current` equals
+    /// the vector of the previous purge — an ingest of pure duplicates
+    /// (or a redundant purge) costs O(shards), not O(entries).
+    pub fn purge_stale(&mut self, current: &EpochVector) {
+        if self.purged_at.as_ref() == Some(current) {
+            return;
+        }
+        self.entries.retain(|_, e| {
+            e.pins
+                .iter()
+                .all(|&(shard, epoch)| current.get(shard as usize) == epoch)
+        });
+        self.purged_at = Some(current.clone());
     }
 
     /// Live entry count.
@@ -177,24 +212,33 @@ mod tests {
     use super::*;
 
     fn key(n: u64) -> JobKey {
-        job_key(1, "test", &n)
+        job_key(&1u64, "test", &n)
+    }
+
+    fn pin(shard: u32, epoch: Epoch) -> EpochPins {
+        vec![(shard, epoch)]
     }
 
     #[test]
-    fn job_key_is_deterministic_and_epoch_sensitive() {
+    fn job_key_is_deterministic_and_scope_sensitive() {
         let spec = vec!["a".to_string(), "b".to_string()];
-        assert_eq!(job_key(1, "sia", &spec), job_key(1, "sia", &spec));
-        assert_ne!(job_key(1, "sia", &spec), job_key(2, "sia", &spec));
-        assert_ne!(job_key(1, "sia", &spec), job_key(1, "pia", &spec));
+        assert_eq!(job_key(&1u64, "sia", &spec), job_key(&1u64, "sia", &spec));
+        assert_ne!(job_key(&1u64, "sia", &spec), job_key(&2u64, "sia", &spec));
+        assert_ne!(job_key(&1u64, "sia", &spec), job_key(&1u64, "pia", &spec));
         let other = vec!["a".to_string(), "c".to_string()];
-        assert_ne!(job_key(1, "sia", &spec), job_key(1, "sia", &other));
+        assert_ne!(job_key(&1u64, "sia", &spec), job_key(&1u64, "sia", &other));
+        // Epoch-pin scopes: same pins hit, a moved shard epoch misses.
+        let pins: EpochPins = vec![(0, 3), (4, 1)];
+        let moved: EpochPins = vec![(0, 3), (4, 2)];
+        assert_eq!(job_key(&pins, "sia", &spec), job_key(&pins, "sia", &spec));
+        assert_ne!(job_key(&pins, "sia", &spec), job_key(&moved, "sia", &spec));
     }
 
     #[test]
     fn hit_and_miss_accounting() {
         let mut c: AuditCache<u32> = AuditCache::new(4);
         assert_eq!(c.get(&key(7)), None);
-        c.insert(key(7), 1, 42);
+        c.insert(key(7), pin(0, 1), 42);
         assert_eq!(c.get(&key(7)), Some(42));
         assert_eq!(c.stats(), (1, 1));
     }
@@ -209,7 +253,7 @@ mod tests {
             hash: honest.hash,
             canonical: "something else entirely".to_string(),
         };
-        c.insert(honest.clone(), 1, 42);
+        c.insert(honest.clone(), pin(0, 1), 42);
         assert_eq!(c.get(&forged), None, "collision must miss");
         assert_eq!(c.get(&honest), Some(42));
     }
@@ -217,11 +261,11 @@ mod tests {
     #[test]
     fn capacity_evicts_least_recently_used() {
         let mut c: AuditCache<u32> = AuditCache::new(2);
-        c.insert(key(1), 1, 10);
-        c.insert(key(2), 1, 20);
+        c.insert(key(1), pin(0, 1), 10);
+        c.insert(key(2), pin(0, 1), 20);
         // Touch key(1): key(2) is now the LRU entry.
         assert_eq!(c.get(&key(1)), Some(10));
-        c.insert(key(3), 1, 30);
+        c.insert(key(3), pin(0, 1), 30);
         assert_eq!(c.len(), 2);
         assert_eq!(c.get(&key(2)), None, "LRU entry evicted");
         assert_eq!(c.get(&key(1)), Some(10), "hot entry survives");
@@ -231,9 +275,9 @@ mod tests {
     #[test]
     fn untouched_entries_evict_in_insertion_order() {
         let mut c: AuditCache<u32> = AuditCache::new(2);
-        c.insert(key(1), 1, 10);
-        c.insert(key(2), 1, 20);
-        c.insert(key(3), 1, 30);
+        c.insert(key(1), pin(0, 1), 10);
+        c.insert(key(2), pin(0, 1), 20);
+        c.insert(key(3), pin(0, 1), 30);
         assert_eq!(c.get(&key(1)), None, "no hits => LRU degenerates to FIFO");
         assert_eq!(c.get(&key(2)), Some(20));
     }
@@ -241,7 +285,7 @@ mod tests {
     #[test]
     fn repeated_hits_do_not_bloat_the_recency_queue() {
         let mut c: AuditCache<u32> = AuditCache::new(2);
-        c.insert(key(1), 1, 10);
+        c.insert(key(1), pin(0, 1), 10);
         for _ in 0..10_000 {
             assert_eq!(c.get(&key(1)), Some(10));
         }
@@ -253,19 +297,43 @@ mod tests {
     }
 
     #[test]
-    fn purge_stale_drops_older_epochs() {
+    fn purge_stale_is_per_shard() {
         let mut c: AuditCache<u32> = AuditCache::new(8);
-        c.insert(key(1), 1, 10);
-        c.insert(key(2), 2, 20);
-        c.purge_stale(2);
-        assert_eq!(c.len(), 1);
-        assert_eq!(c.get(&key(2)), Some(20));
+        c.insert(key(1), pin(0, 1), 10); // pinned to shard 0 @ epoch 1
+        c.insert(key(2), pin(1, 1), 20); // pinned to shard 1 @ epoch 1
+        c.insert(key(3), vec![(0, 1), (1, 1)], 30); // reads both shards
+        c.insert(key(4), vec![], 40); // data-independent: never stale
+                                      // Shard 0 moves to epoch 2; shard 1 stays at 1.
+        c.purge_stale(&EpochVector::from(vec![2, 1]));
+        assert_eq!(c.get(&key(1)), None, "shard-0 entry purged");
+        assert_eq!(c.get(&key(2)), Some(20), "shard-1 entry survives");
+        assert_eq!(c.get(&key(3)), None, "cross-shard entry touching 0 purged");
+        assert_eq!(c.get(&key(4)), Some(40), "pinless entry survives");
+    }
+
+    #[test]
+    fn purge_stale_short_circuits_on_unchanged_epochs() {
+        let mut c: AuditCache<u32> = AuditCache::new(8);
+        let live = EpochVector::from(vec![1, 1]);
+        c.insert(key(1), pin(0, 1), 10);
+        c.purge_stale(&live);
+        assert_eq!(c.len(), 1, "entry at the live epochs survives a purge");
+        // Regression: repeated purges at an unchanged vector must not
+        // evict anything and must not touch the (hits, misses) counters
+        // — a later lookup still hits.
+        let stats_before = c.stats();
+        for _ in 0..100 {
+            c.purge_stale(&live);
+        }
+        assert_eq!(c.stats(), stats_before, "purges never count as lookups");
+        assert_eq!(c.get(&key(1)), Some(10), "entry still hot after purges");
+        assert_eq!(c.stats(), (stats_before.0 + 1, stats_before.1));
     }
 
     #[test]
     fn zero_capacity_disables_caching() {
         let mut c: AuditCache<u32> = AuditCache::new(0);
-        c.insert(key(1), 1, 10);
+        c.insert(key(1), pin(0, 1), 10);
         assert!(c.is_empty());
         assert_eq!(c.get(&key(1)), None);
     }

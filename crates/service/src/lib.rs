@@ -5,17 +5,22 @@
 //! scratch on every invocation. This crate turns the reproduction into a
 //! long-running daemon:
 //!
-//! * **incremental ingestion** — Table-1 records stream into a
-//!   [`indaas_deps::VersionedDepDb`]; each effective batch bumps a
-//!   monotonic *epoch*, duplicates are absorbed silently;
+//! * **incremental sharded ingestion** — Table-1 records stream into a
+//!   host-sharded [`indaas_deps::ShardedDepDb`]; each effective batch
+//!   bumps the global epoch and the epochs of exactly the shards it
+//!   changed, re-cloning only those shards' copy-on-write snapshots
+//!   (ingest cost is proportional to what changed, not to database
+//!   size); duplicates are absorbed silently;
 //! * **concurrent scheduling** — SIA and PIA audit jobs run on a fixed
 //!   worker pool behind a bounded queue with per-job deadlines
 //!   ([`scheduler`]), enforced through the cancellable audit entry
 //!   points in `indaas-core`/`indaas-sia`/`indaas-pia`;
 //! * **content-hash caching** — results are cached by a hash of
-//!   `(epoch, audit spec)` ([`cache`]), so repeated or overlapping
-//!   queries skip BDD compilation and sampling entirely, and an ingest
-//!   that changes the database precisely invalidates what it must;
+//!   `(epoch pins of the shards the spec reads, audit spec)`
+//!   ([`cache`]), so repeated or overlapping queries skip BDD
+//!   compilation and sampling entirely, an ingest invalidates exactly
+//!   the entries pinned to the shards it touched, and audits over
+//!   untouched shards stay cached across unrelated ingests;
 //! * **a line-delimited JSON protocol over TCP** ([`proto`]) plus a
 //!   blocking [`Client`] used by the `indaas serve`/`indaas ping` CLI
 //!   and the end-to-end tests.
@@ -64,7 +69,7 @@ pub mod proto;
 pub mod scheduler;
 pub mod server;
 
-pub use cache::{job_key, AuditCache};
+pub use cache::{job_key, AuditCache, EpochPins};
 pub use client::{Client, ClientError, IngestAnswer, PiaAnswer, SiaAnswer};
 pub use proto::{Request, Response};
 pub use scheduler::{Scheduler, SubmitError};

@@ -12,7 +12,14 @@
 //! ← {"Ingested": {"changed": 1, "ignored": 0, "epoch": 1}}
 //! → {"AuditSia": {"spec": {...}, "timeout_ms": 5000}}
 //! ← {"Sia": {"epoch": 1, "cached": false, "elapsed_us": 812, "report": {...}}}
+//! → "Status"
+//! ← {"Status": {"epoch": 1, "shard_epochs": [0, 1, ...], "shard_records": [0, 1, ...], ...}}
 //! ```
+//!
+//! The dependency store is sharded by host key with per-shard epochs
+//! (`shard_epochs` in `Status`): an ingest bumps only the shards it
+//! changes, and a cached `AuditSia` answer stays valid — `cached: true`
+//! — across ingests that touch no shard its candidate hosts route to.
 //!
 //! Responses to failed requests are `{"Error": {"message": "..."}}`; the
 //! connection stays open, so one client can pipeline many requests.
@@ -168,12 +175,19 @@ pub enum Response {
     },
     /// Answer to [`Request::Status`].
     Status {
-        /// Current database epoch.
+        /// Current global database epoch (one bump per effective batch).
         epoch: u64,
-        /// Distinct dependency records stored.
+        /// Distinct dependency records stored (all shards).
         records: usize,
         /// Hosts with at least one record.
         hosts: usize,
+        /// Per-shard epochs of the host-sharded store, indexed by shard.
+        /// A shard's epoch moves exactly when an ingest/retract changes
+        /// *that shard's* records — cached audits pinned to other shards
+        /// survive the batch.
+        shard_epochs: Vec<u64>,
+        /// Distinct records per shard, indexed like `shard_epochs`.
+        shard_records: Vec<usize>,
         /// Audit jobs currently queued (admitted, not yet running).
         jobs_queued: usize,
         /// Audit jobs currently executing on workers.

@@ -8,15 +8,17 @@
 //!
 //! Data flow for an `AuditSia` request:
 //!
-//! 1. read-lock the versioned DepDB, pin `(epoch, Arc<DepDb> snapshot)`;
-//! 2. content-hash `(epoch, spec)` → cache hit ⇒ answer immediately with
-//!    `cached: true`;
+//! 1. read-lock the sharded DepDB, pin a copy-on-write [`DbSnapshot`]
+//!    (N `Arc` clones — no record is copied);
+//! 2. content-hash `(epoch pins of the shards the spec reads, spec)` →
+//!    cache hit ⇒ answer immediately with `cached: true`;
 //! 3. miss ⇒ submit a job carrying the snapshot and a deadline-armed
 //!    [`CancelToken`]; the worker runs the cancellable audit entry point
 //!    and sends the result back over a channel;
-//! 4. insert the report into the cache keyed by the *pinned* epoch (a
-//!    concurrent ingest bumps the epoch, so the entry is already stale
-//!    and unreachable — and purged on the next ingest).
+//! 4. insert the report into the cache keyed by the *pinned* shard
+//!    epochs (a concurrent ingest bumps a read shard's epoch, so the
+//!    entry is already stale and unreachable — and purged on the next
+//!    ingest; ingests to *other* shards leave it hot).
 
 use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -25,11 +27,14 @@ use std::sync::{mpsc, Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 use indaas_core::{AuditSpec, AuditingAgent, CancelToken};
-use indaas_deps::{DepDb, DependencyAcquisitionModule, DependencyRecord, VersionedDepDb};
+use indaas_deps::{
+    DbSnapshot, DepView, DependencyAcquisitionModule, DependencyRecord, ShardedDepDb,
+    VersionedDepDb,
+};
 use indaas_pia::{rank_deployments_cancellable, PiaRanking, PsopConfig};
 use indaas_sia::AuditReport;
 
-use crate::cache::{job_key, AuditCache};
+use crate::cache::{job_key, AuditCache, EpochPins};
 use crate::proto::{
     decode_line, decode_payload, encode_line, encode_payload, read_bounded_line, LineRead, Request,
     Response, MAX_NODE_NAME_BYTES,
@@ -59,6 +64,12 @@ pub struct ServeConfig {
     /// Re-run the registered dependency collectors this often, ingesting
     /// whatever they report (`None` disables the timer).
     pub collect_interval: Option<Duration>,
+    /// Dependency-store shards (clamped to at least 1). More shards
+    /// make ingest cheaper (only the touched shard's snapshot is
+    /// re-cloned) and cache invalidation narrower (audits pinned to
+    /// untouched shards stay cached); the cost is `shards` `Arc` clones
+    /// per snapshot.
+    pub shards: usize,
 }
 
 impl Default for ServeConfig {
@@ -74,6 +85,7 @@ impl Default for ServeConfig {
             max_deadline: Duration::from_secs(300),
             round_timeout: Duration::from_secs(10),
             collect_interval: None,
+            shards: 8,
         }
     }
 }
@@ -82,8 +94,9 @@ impl Default for ServeConfig {
 /// the epoch-pinned database snapshot its component set derives from,
 /// plus enough daemon identity to refuse self-peering.
 pub struct FederationCtx {
-    /// Immutable snapshot of the dependency database.
-    pub snapshot: Arc<DepDb>,
+    /// Immutable, epoch-pinned snapshot of the sharded dependency
+    /// database (read through [`indaas_deps::DepView`]).
+    pub snapshot: DbSnapshot,
     /// The daemon's bound listen address.
     pub local_addr: SocketAddr,
     /// Default per-round deadline from [`ServeConfig::round_timeout`].
@@ -164,17 +177,13 @@ pub trait FederationEngine: Send + Sync {
     ) -> Result<PartyCompletion, String>;
 }
 
-/// The dependency database plus the epoch-pinned snapshot audits read.
-struct DbState {
-    versioned: VersionedDepDb,
-    /// Immutable snapshot of `versioned`'s database, rebuilt on every
-    /// effective ingest. Audit jobs clone the `Arc`, never the data.
-    snapshot: Arc<DepDb>,
-}
-
 struct ServiceState {
     config: ServeConfig,
-    db: RwLock<DbState>,
+    /// The sharded dependency store. It maintains one copy-on-write
+    /// snapshot `Arc` per shard internally; an effective ingest
+    /// re-clones only the shards it changed, so snapshotting for an
+    /// audit is N pointer bumps regardless of database size.
+    db: RwLock<ShardedDepDb>,
     sia_cache: Mutex<AuditCache<AuditReport>>,
     pia_cache: Mutex<AuditCache<Vec<PiaRanking>>>,
     scheduler: Scheduler,
@@ -209,15 +218,12 @@ impl Server {
     pub fn bind_with_db(config: ServeConfig, db: VersionedDepDb) -> std::io::Result<Self> {
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
-        let snapshot = Arc::new(db.db().clone());
+        let sharded = ShardedDepDb::from_db(db.into_db(), config.shards);
         let state = Arc::new(ServiceState {
             scheduler: Scheduler::new(config.workers, config.queue_capacity),
             sia_cache: Mutex::new(AuditCache::new(config.cache_capacity)),
             pia_cache: Mutex::new(AuditCache::new(config.cache_capacity)),
-            db: RwLock::new(DbState {
-                versioned: db,
-                snapshot,
-            }),
+            db: RwLock::new(sharded),
             started: Instant::now(),
             shutting_down: AtomicBool::new(false),
             local_addr,
@@ -511,10 +517,7 @@ fn federate_start(state: &ServiceState, instruction: PartyInstruction) -> Respon
     let Some(engine) = federation_engine(state) else {
         return Response::error("federation not enabled on this daemon");
     };
-    let snapshot = {
-        let db = state.db.read().expect("db lock poisoned");
-        Arc::clone(&db.snapshot)
-    };
+    let snapshot = state.db.read().expect("db lock poisoned").snapshot();
     let ctx = FederationCtx {
         snapshot,
         local_addr: state.local_addr,
@@ -552,33 +555,35 @@ fn ingest(state: &ServiceState, records: &str, mutation: Mutation) -> Response {
     }
 }
 
-/// The single write path into the versioned database: every mutation —
+/// The single write path into the sharded database: every mutation —
 /// protocol ingest/retract or a timer-driven collector batch — lands
-/// here, so epoch bumps, snapshot refreshes and cache invalidation can
-/// never diverge between entry points.
+/// here, so epoch bumps, per-shard snapshot refreshes and cache
+/// invalidation can never diverge between entry points. The store
+/// itself re-clones only the shards the batch changed; this function
+/// only has to purge what those shards' epoch bumps invalidated.
 fn apply_mutation(
     state: &ServiceState,
     records: Vec<DependencyRecord>,
     mutation: &Mutation,
-) -> indaas_deps::IngestReport {
+) -> indaas_deps::ShardedIngestReport {
     let mut db = state.db.write().expect("db lock poisoned");
     let report = match mutation {
-        Mutation::Ingest => db.versioned.ingest(records),
-        Mutation::Retract => db.versioned.retract(&records),
+        Mutation::Ingest => db.ingest(records),
+        Mutation::Retract => db.retract(&records),
     };
-    if report.changed > 0 {
-        // New epoch: refresh the audit snapshot and drop every cache
-        // entry the bump just invalidated.
-        db.snapshot = Arc::new(db.versioned.db().clone());
-        let epoch = db.versioned.epoch();
-        state
-            .sia_cache
-            .lock()
-            .expect("cache lock poisoned")
-            .purge_stale(epoch);
-        // The PIA cache is NOT purged: PIA results are a pure function
-        // of the request's provider sets, never of the DepDB.
-    }
+    // Per-shard purge: only entries pinned to a shard this batch touched
+    // are dropped; audits over other shards stay cached. Called on every
+    // batch — the cache compares the epoch vector to its last purge and
+    // short-circuits in O(shards) when nothing moved (pure-duplicate
+    // collector re-reports), so no-op batches never walk the entries.
+    let epochs = db.epochs();
+    state
+        .sia_cache
+        .lock()
+        .expect("cache lock poisoned")
+        .purge_stale(&epochs);
+    // The PIA cache is NOT purged: PIA results are a pure function of
+    // the request's provider sets, never of the DepDB.
     report
 }
 
@@ -661,9 +666,17 @@ fn audit_sia(state: &ServiceState, spec: AuditSpec, timeout_ms: Option<u64>) -> 
     let started = Instant::now();
     let (epoch, snapshot) = {
         let db = state.db.read().expect("db lock poisoned");
-        (db.versioned.epoch(), Arc::clone(&db.snapshot))
+        (db.epoch(), db.snapshot())
     };
-    let key = job_key(epoch, "sia", &spec);
+    // The cache key pins exactly the shards this spec's hosts route to:
+    // an ingest touching any *other* shard changes neither the key nor
+    // the entry's validity, so the cached report stays hot.
+    let pins: EpochPins = snapshot.pins_for_hosts(
+        spec.candidates
+            .iter()
+            .flat_map(|c| c.servers.iter().map(String::as_str)),
+    );
+    let key = job_key(&pins, "sia", &spec);
     if let Some(report) = state
         .sia_cache
         .lock()
@@ -681,7 +694,7 @@ fn audit_sia(state: &ServiceState, spec: AuditSpec, timeout_ms: Option<u64>) -> 
     let deadline = job_deadline(&state.config, timeout_ms);
     let (tx, rx) = mpsc::channel();
     let submitted = state.scheduler.submit(Some(deadline), move |token| {
-        let agent = AuditingAgent::from_shared(snapshot);
+        let agent = AuditingAgent::from_snapshot(snapshot);
         let _ = tx.send(agent.audit_sia_cancellable(&spec, token));
     });
     let token = match submitted {
@@ -694,7 +707,7 @@ fn audit_sia(state: &ServiceState, spec: AuditSpec, timeout_ms: Option<u64>) -> 
                 .sia_cache
                 .lock()
                 .expect("cache lock poisoned")
-                .insert(key, epoch, report.clone());
+                .insert(key, pins, report.clone());
             Response::Sia {
                 epoch,
                 cached: false,
@@ -721,11 +734,11 @@ fn audit_pia(
         return Response::error("provider component sets must be non-empty");
     }
     let started = Instant::now();
-    let epoch = state.db.read().expect("db lock poisoned").versioned.epoch();
+    let epoch = state.db.read().expect("db lock poisoned").epoch();
     // PIA reads nothing from the DepDB — its inputs travel entirely in
-    // the request — so the cache key deliberately omits the epoch and
-    // entries survive ingests (the response still stamps the epoch).
-    let key = job_key(0, "pia", &(&providers, way, minhash));
+    // the request — so the cache key deliberately carries no epoch pins
+    // and entries survive ingests (the response still stamps the epoch).
+    let key = job_key(&(), "pia", &(&providers, way, minhash));
     if let Some(rankings) = state
         .pia_cache
         .lock()
@@ -759,7 +772,7 @@ fn audit_pia(
         Ok(Ok(rankings)) => {
             state.pia_cache.lock().expect("cache lock poisoned").insert(
                 key,
-                0, // epoch-independent; see the key above
+                EpochPins::new(), // no pins: epoch-independent, never stale
                 rankings.clone(),
             );
             Response::Pia {
@@ -807,12 +820,15 @@ fn wait_for_result<T>(
 }
 
 fn status(state: &ServiceState) -> Response {
-    let (epoch, records, hosts) = {
+    let (epoch, records, hosts, shard_epochs, shard_records) = {
         let db = state.db.read().expect("db lock poisoned");
+        let shard_records: Vec<usize> = (0..db.num_shards()).map(|s| db.shard_len(s)).collect();
         (
-            db.versioned.epoch(),
-            db.versioned.db().len(),
-            db.versioned.db().hosts().len(),
+            db.epoch(),
+            db.len(),
+            DepView::hosts(&*db).len(),
+            db.epochs().as_slice().to_vec(),
+            shard_records,
         )
     };
     let (sia_hits, sia_misses, sia_len) = {
@@ -833,6 +849,8 @@ fn status(state: &ServiceState) -> Response {
         epoch,
         records,
         hosts,
+        shard_epochs,
+        shard_records,
         jobs_queued: state.scheduler.queued(),
         jobs_running: state.scheduler.running(),
         cache_entries,

@@ -13,7 +13,7 @@
 //! 6. software failure is an OR over programs; each program is an OR over
 //!    the packages it depends on (a failing package fails the program).
 
-use indaas_deps::{DepDb, FailureProbModel};
+use indaas_deps::{DepView, FailureProbModel};
 use indaas_graph::{FaultGraph, FaultGraphBuilder, Gate, GraphError, NodeId};
 
 /// What the auditing client asked for (Step 1 of §2): the deployment's
@@ -95,13 +95,17 @@ impl From<GraphError> for BuildError {
 }
 
 /// Builds the deployment fault graph for `spec` from the dependency data in
-/// `db`.
+/// `db` — any read-only [`DepView`]: a monolithic `DepDb`, a sharded
+/// snapshot, or a trait object over either.
 ///
 /// # Errors
 ///
 /// Returns a [`BuildError`] when the spec is inconsistent or a server has
 /// no data in any requested category.
-pub fn build_fault_graph(db: &DepDb, spec: &BuildSpec) -> Result<FaultGraph, BuildError> {
+pub fn build_fault_graph<D: DepView + ?Sized>(
+    db: &D,
+    spec: &BuildSpec,
+) -> Result<FaultGraph, BuildError> {
     if spec.servers.is_empty() {
         return Err(BuildError::NoServers);
     }
@@ -204,7 +208,7 @@ pub fn build_fault_graph(db: &DepDb, spec: &BuildSpec) -> Result<FaultGraph, Bui
 mod tests {
     use super::*;
     use crate::minimal::{minimal_risk_groups, MinimalConfig};
-    use indaas_deps::parse_records;
+    use indaas_deps::{parse_records, DepDb};
 
     /// The Figure 2/3 sample: two servers behind a shared ToR with
     /// redundant cores, per-server hardware, shared libc6.

@@ -74,8 +74,8 @@ indaas serve — run the continuous auditing daemon
 
 USAGE:
   indaas serve [--listen ADDR] [--workers N] [--queue N] [--cache N]
-               [--deadline-ms MS] [--records FILE] [--peer ADDR ...]
-               [--node NAME] [--round-timeout-ms MS]
+               [--shards N] [--deadline-ms MS] [--records FILE]
+               [--peer ADDR ...] [--node NAME] [--round-timeout-ms MS]
                [--collect-interval MS] [--collect-truth FILE]
                [--collect-miss-rate R]
 
@@ -84,6 +84,10 @@ OPTIONS:
   --workers N            audit worker threads (default: cores - 1, capped at 8)
   --queue N              bounded job-queue capacity (default 256)
   --cache N              audit-result cache entries (default 4096)
+  --shards N             dependency-store shards (default 8); an ingest
+                         re-clones and invalidates only the shards it
+                         touches, so more shards = cheaper ingest and
+                         narrower cache invalidation
   --deadline-ms MS       default per-job deadline (default 30000)
   --records FILE         pre-load Table-1 records before serving
   --peer ADDR            federation peer allow-list entry (repeatable;
@@ -304,6 +308,12 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     }
     if let Some(v) = flags.value("--cache") {
         config.cache_capacity = v.parse().map_err(|e| format!("--cache: {e}"))?;
+    }
+    if let Some(v) = flags.value("--shards") {
+        config.shards = v.parse().map_err(|e| format!("--shards: {e}"))?;
+        if config.shards == 0 {
+            return Err("--shards must be at least 1".into());
+        }
     }
     if let Some(v) = flags.value("--deadline-ms") {
         let ms: u64 = v.parse().map_err(|e| format!("--deadline-ms: {e}"))?;

@@ -1,6 +1,9 @@
 //! Cross-crate property-based tests on the core auditing invariants.
 
-use indaas::deps::{DependencyRecord, HardwareDep, NetworkDep, SoftwareDep, VersionedDepDb};
+use indaas::deps::{
+    shard_index, DepDb, DepView, DependencyRecord, HardwareDep, NetworkDep, ShardedDepDb,
+    SoftwareDep, VersionedDepDb,
+};
 use indaas::graph::detail::{component_sets_to_graph, ComponentSet};
 use indaas::graph::{FaultGraphBuilder, Gate};
 use indaas::sia::{
@@ -172,6 +175,127 @@ proptest! {
             let mut probe = VersionedDepDb::from_db(v.db().clone());
             prop_assert_eq!(probe.retract(std::slice::from_ref(f)).changed, 1);
         }
+    }
+
+    /// Shard routing is deterministic and host-sticky: every record of a
+    /// host lands in `shard_index(host, n)`, so lookups through the
+    /// sharded store and a monolithic database over the same batch are
+    /// indistinguishable, and a batch touches no shard outside its
+    /// hosts' shards.
+    #[test]
+    fn same_host_always_routes_to_the_same_shard(
+        batch in record_batch(),
+        shards in 1usize..12,
+    ) {
+        let mut sharded = ShardedDepDb::new(shards);
+        let report = sharded.ingest(batch.clone());
+        let mono = DepDb::from_records(batch.clone());
+        prop_assert_eq!(sharded.len(), mono.len());
+        let host_shards: std::collections::BTreeSet<usize> = batch
+            .iter()
+            .map(|r| shard_index(r.host(), shards))
+            .collect();
+        for &s in &report.touched {
+            prop_assert!(host_shards.contains(&s), "shard {s} gained records without a host routed to it");
+        }
+        let snap = sharded.snapshot();
+        for host in mono.hosts() {
+            prop_assert_eq!(shard_index(&host, shards), snap.shard_of(&host));
+            prop_assert_eq!(snap.network_deps(&host), mono.network_deps(&host));
+            prop_assert_eq!(snap.hardware_deps(&host), mono.hardware_deps(&host));
+            prop_assert_eq!(snap.software_deps(&host), mono.software_deps(&host));
+        }
+        // Epochs moved only on touched shards.
+        let epochs = sharded.epochs();
+        for s in 0..shards {
+            let expect = u64::from(report.touched.contains(&s));
+            prop_assert_eq!(epochs.get(s), expect);
+        }
+    }
+
+    /// A duplicate re-ingest plus a retract of never-ingested records is
+    /// a complete no-op shard-wise: every shard epoch stays exactly
+    /// where it started and no snapshot is refreshed.
+    #[test]
+    fn noop_ingest_retract_leaves_every_shard_epoch_in_place(
+        batch in record_batch(),
+        absent in record_batch(),
+        shards in 1usize..12,
+    ) {
+        let mut sharded = ShardedDepDb::new(shards);
+        sharded.ingest(batch.clone());
+        let epochs_before = sharded.epochs();
+        let global_before = sharded.epoch();
+        let dup = sharded.ingest(batch.clone());
+        prop_assert_eq!(dup.changed, 0);
+        prop_assert!(dup.touched.is_empty());
+        let absent: Vec<DependencyRecord> = absent
+            .into_iter()
+            .filter(|r| !batch.contains(r))
+            .collect();
+        let gone = sharded.retract(&absent);
+        prop_assert_eq!(gone.changed, 0);
+        prop_assert!(gone.touched.is_empty());
+        prop_assert_eq!(sharded.epochs(), epochs_before);
+        prop_assert_eq!(sharded.epoch(), global_before);
+    }
+
+    /// Ingest-then-retract round-trips every shard back to its starting
+    /// record set: touched shards bump exactly twice, shards outside the
+    /// batch's hosts never move at all.
+    #[test]
+    fn ingest_retract_roundtrip_restores_every_shard(
+        base in record_batch(),
+        extra in record_batch(),
+        shards in 1usize..12,
+    ) {
+        let mut sharded = ShardedDepDb::new(shards);
+        sharded.ingest(base.clone());
+        let epochs_start = sharded.epochs();
+        let len_start = sharded.len();
+        let fresh: Vec<DependencyRecord> = extra
+            .into_iter()
+            .filter(|r| !base.contains(r))
+            .collect();
+        let added = sharded.ingest(fresh.clone());
+        let removed = sharded.retract(&fresh);
+        prop_assert_eq!(added.changed, removed.changed);
+        prop_assert_eq!(sharded.len(), len_start);
+        let epochs_end = sharded.epochs();
+        for s in 0..shards {
+            if added.touched.contains(&s) {
+                // Round-tripped shard bumps once per direction.
+                prop_assert_eq!(epochs_end.get(s), epochs_start.get(s) + 2);
+            } else {
+                // A shard outside the batch must not move.
+                prop_assert_eq!(epochs_end.get(s), epochs_start.get(s));
+            }
+        }
+    }
+
+    /// Cross-shard audits observe a consistent epoch vector: a snapshot
+    /// pins the live vector at the instant it is taken, its host pins
+    /// agree with that vector for every host, and later ingests never
+    /// leak into it.
+    #[test]
+    fn snapshots_pin_a_consistent_epoch_vector(
+        first in record_batch(),
+        second in record_batch(),
+        shards in 1usize..12,
+    ) {
+        let mut sharded = ShardedDepDb::new(shards);
+        sharded.ingest(first);
+        let snap = sharded.snapshot();
+        prop_assert_eq!(snap.epochs(), &sharded.epochs());
+        let hosts: Vec<String> = DepView::hosts(&snap).into_iter().collect();
+        for (shard, epoch) in snap.pins_for_hosts(hosts.iter().map(String::as_str)) {
+            prop_assert_eq!(epoch, snap.epochs().get(shard as usize));
+        }
+        let pinned = snap.epochs().clone();
+        let pinned_len = snap.record_count();
+        sharded.ingest(second);
+        prop_assert_eq!(snap.epochs(), &pinned);
+        prop_assert_eq!(snap.record_count(), pinned_len);
     }
 
     /// Every minimal RG fails the top event, and removing any member

@@ -446,6 +446,114 @@ fn scheduled_collector_bumps_epoch_by_itself() {
     daemon.join().unwrap().expect("serve loop");
 }
 
+/// The sharded-store invariant at the protocol surface: a cached audit
+/// pinned to shard A's hosts survives an ingest that only touches shard
+/// B (cache hit, shard A's epoch unchanged in `Status`), and is
+/// invalidated by an ingest touching shard A.
+#[test]
+fn cached_audit_survives_other_shard_ingest() {
+    use indaas::deps::shard_index;
+
+    const SHARDS: usize = 8;
+    let server = Server::bind(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        shards: SHARDS,
+        ..ServeConfig::default()
+    })
+    .expect("bind ephemeral port");
+    let addr = server.local_addr();
+    let daemon = std::thread::spawn(move || server.run());
+
+    // Pick audited hosts a1/a2 and a bystander b in a shard neither
+    // audited host routes to — the router is deterministic, so probing
+    // generated names finds one immediately.
+    let a1 = "H0".to_string();
+    let a2 = (1..100)
+        .map(|i| format!("H{i}"))
+        .find(|h| shard_index(h, SHARDS) != shard_index(&a1, SHARDS))
+        .expect("split host");
+    let audited: Vec<usize> = vec![shard_index(&a1, SHARDS), shard_index(&a2, SHARDS)];
+    let b = (1..10_000)
+        .map(|i| format!("B{i}"))
+        .find(|h| !audited.contains(&shard_index(h, SHARDS)))
+        .expect("bystander host");
+
+    let mut client = Client::connect(addr).expect("connect");
+    client
+        .ingest(&format!(
+            r#"
+            <src="{a1}" dst="Internet" route="tor1,core1"/>
+            <src="{a2}" dst="Internet" route="tor2,core2"/>
+            <hw="{a1}" type="Disk" dep="{a1}-disk"/>
+            <hw="{a2}" type="Disk" dep="{a2}-disk"/>
+        "#
+        ))
+        .expect("ingest audited hosts");
+
+    let spec = AuditSpec::sia_size_based(vec![CandidateDeployment::replicated(
+        "pair",
+        [a1.clone(), a2.clone()],
+    )]);
+    let first = client.audit_sia(&spec, None).expect("first audit");
+    assert!(!first.cached);
+
+    let epochs_before = match client.status().expect("status") {
+        Response::Status { shard_epochs, .. } => shard_epochs,
+        other => panic!("expected Status, got {other:?}"),
+    };
+    assert_eq!(epochs_before.len(), SHARDS);
+
+    // Ingest touching only the bystander's shard: global epoch moves,
+    // the audited shards' epochs do not, and the cached report stays hot.
+    let ack = client
+        .ingest(&format!(r#"<hw="{b}" type="CPU" dep="{b}-cpu"/>"#))
+        .expect("bystander ingest");
+    assert_eq!(ack.changed, 1);
+    match client.status().expect("status") {
+        Response::Status {
+            shard_epochs,
+            shard_records,
+            ..
+        } => {
+            for &s in &audited {
+                assert_eq!(
+                    shard_epochs[s], epochs_before[s],
+                    "audited shard {s} must not move on a bystander ingest"
+                );
+            }
+            let sb = shard_index(&b, SHARDS);
+            assert_eq!(shard_epochs[sb], epochs_before[sb] + 1);
+            assert_eq!(shard_records[sb], 1);
+        }
+        other => panic!("expected Status, got {other:?}"),
+    }
+    let second = client.audit_sia(&spec, None).expect("post-bystander audit");
+    assert!(
+        second.cached,
+        "an ingest to an unrelated shard must not evict the cached audit"
+    );
+    assert_eq!(
+        second.report.best().unwrap().name,
+        first.report.best().unwrap().name
+    );
+
+    // An ingest touching an audited shard invalidates precisely.
+    client
+        .ingest(&format!(
+            r#"<src="{a1}" dst="Internet" route="tor1,core9"/>"#
+        ))
+        .expect("audited-shard ingest");
+    let third = client.audit_sia(&spec, None).expect("post-update audit");
+    assert!(
+        !third.cached,
+        "an ingest to a read shard must invalidate the cached audit"
+    );
+
+    client.shutdown().expect("shutdown");
+    daemon.join().unwrap().expect("serve loop");
+}
+
 #[test]
 fn raw_protocol_shutdown_round_trip() {
     let (addr, daemon) = start_daemon();
