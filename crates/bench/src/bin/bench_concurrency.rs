@@ -1,0 +1,428 @@
+//! Concurrency benchmark: per-shard write locks + wait-free snapshot
+//! reads vs the old single-`RwLock` store discipline.
+//!
+//! The daemon used to keep the whole sharded store under one
+//! `RwLock<ShardedDepDb>`: concurrent ingests to *different* shards
+//! serialized on the write lock, and every audit's `snapshot()` call
+//! contended with writers (a steady stream of audit admissions can
+//! starve the write path entirely). The store now locks per shard and
+//! publishes snapshots through atomic pointer swaps, so this benchmark
+//! measures both effects directly:
+//!
+//! * **disjoint-shard ingest throughput** — N writer threads, each
+//!   mutating its own shard (alternating effective ingest/retract so
+//!   the resident size stays fixed), racing M audit-reader threads that
+//!   continuously pin snapshots. The *global* mode wraps the very same
+//!   store in a `RwLock` and takes `write()`/`read()` exactly where the
+//!   old server did; the *sharded* mode calls the store directly.
+//! * **audit-reader p99 latency** — one reader timing every
+//!   snapshot-and-read operation, idle vs with writers hammering
+//!   *other* shards. Per-shard locking must leave the reader
+//!   unaffected; the global write lock must not.
+//!
+//! Emits `BENCH_concurrency.json`. `--smoke` shrinks durations for the
+//! CI gate; full mode is the committed trajectory point. The binary
+//! asserts the acceptance gates itself so a regression fails loudly.
+//!
+//! ```console
+//! $ cargo run --release -p indaas-bench --bin bench_concurrency -- \
+//!       [--smoke] [--out BENCH_concurrency.json] [--shards 8] [--readers 16]
+//! ```
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::RwLock;
+use std::time::{Duration, Instant};
+
+use indaas_deps::{shard_index, DepView, DependencyRecord, HardwareDep, NetworkDep, ShardedDepDb};
+use serde::Serialize;
+
+/// How the benchmark drives the store: through one global `RwLock`
+/// (the old server discipline) or directly (per-shard locks inside).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum LockMode {
+    GlobalRwLock,
+    PerShard,
+}
+
+/// `count` hosts that all route to `shard` of an `shards`-shard store.
+fn hosts_of_shard(shard: usize, shards: usize, count: usize) -> Vec<String> {
+    let mut out = Vec::with_capacity(count);
+    for i in 0.. {
+        let host = format!("srv-{i}");
+        if shard_index(&host, shards) == shard {
+            out.push(host);
+            if out.len() == count {
+                return out;
+            }
+        }
+    }
+    unreachable!("host generator is infinite");
+}
+
+/// A fresh, effective record for `host`. The writer id keeps records
+/// distinct even when two writers share a shard (and therefore a host
+/// pool), as happens with more writers than shards.
+fn fresh_record(host: &str, writer: usize, tag: u64) -> DependencyRecord {
+    DependencyRecord::Hardware(HardwareDep {
+        hw: host.to_string(),
+        hw_type: "CPU".to_string(),
+        dep: format!("{host}-w{writer}-{tag}"),
+    })
+}
+
+/// Seeds every shard with `per_shard` resident records so each
+/// effective write pays a realistic copy-on-write snapshot re-clone.
+fn seed(store: &ShardedDepDb, shards: usize, per_shard: usize) {
+    let mut records = Vec::with_capacity(shards * per_shard);
+    for s in 0..shards {
+        for host in hosts_of_shard(s, shards, per_shard / 4) {
+            records.push(DependencyRecord::Network(NetworkDep {
+                src: host.clone(),
+                dst: "Internet".to_string(),
+                route: vec![format!("tor-{s}"), "core-1".to_string()],
+            }));
+            for c in 0..3 {
+                records.push(DependencyRecord::Hardware(HardwareDep {
+                    hw: host.clone(),
+                    hw_type: "Disk".to_string(),
+                    dep: format!("{host}-disk-{c}"),
+                }));
+            }
+        }
+    }
+    store.ingest(records);
+}
+
+/// One writer's inner loop: alternate an effective single-record ingest
+/// with its retraction, so every op bumps the shard epoch and republishes
+/// the snapshot while the resident size stays fixed. Returns ops done.
+fn write_ops(
+    store: &RwLock<ShardedDepDb>,
+    mode: LockMode,
+    writer: usize,
+    hosts: &[String],
+    stop: &AtomicBool,
+) -> u64 {
+    let mut ops = 0u64;
+    let mut pending: Option<DependencyRecord> = None;
+    while !stop.load(Ordering::Relaxed) {
+        match pending.take() {
+            Some(record) => {
+                let batch = [record];
+                let report = match mode {
+                    LockMode::GlobalRwLock => store.write().expect("store lock").retract(&batch),
+                    LockMode::PerShard => store.read().expect("store lock").retract(&batch),
+                };
+                assert_eq!(report.changed, 1, "bench retracts must be effective");
+            }
+            None => {
+                let record = fresh_record(&hosts[(ops as usize / 2) % hosts.len()], writer, ops);
+                pending = Some(record.clone());
+                let report = match mode {
+                    LockMode::GlobalRwLock => store.write().expect("store lock").ingest([record]),
+                    LockMode::PerShard => store.read().expect("store lock").ingest([record]),
+                };
+                assert_eq!(report.changed, 1, "bench ingests must be effective");
+            }
+        }
+        ops += 1;
+    }
+    ops
+}
+
+/// One audit-admission read: pin a snapshot (the wait-free path in
+/// sharded mode, `read()` + snapshot under the old discipline) and
+/// resolve the pins + component set the audit would read.
+fn read_op(store: &RwLock<ShardedDepDb>, mode: LockMode, host: &str) -> usize {
+    let snapshot = match mode {
+        LockMode::GlobalRwLock => store.read().expect("store lock").snapshot(),
+        LockMode::PerShard => {
+            // The `read()` here is the *benchmark harness'* handle, not
+            // the discipline under test: in per-shard mode writers also
+            // go through `read()`, so this never blocks on anything.
+            store.read().expect("store lock").snapshot()
+        }
+    };
+    let pins = snapshot.pins_for_hosts([host]);
+    pins.len() + snapshot.component_set_of(host).len()
+}
+
+/// Runs `writers` disjoint-shard writer threads plus `readers` audit
+/// readers for `duration`, returning total writer ops/sec.
+fn throughput(
+    store: &RwLock<ShardedDepDb>,
+    mode: LockMode,
+    shards: usize,
+    writers: usize,
+    readers: usize,
+    duration: Duration,
+) -> f64 {
+    let stop = AtomicBool::new(false);
+    let total = AtomicU64::new(0);
+    let pools: Vec<Vec<String>> = (0..writers)
+        .map(|w| hosts_of_shard(w % shards, shards, 8))
+        .collect();
+    let read_hosts: Vec<String> = (0..shards)
+        .map(|s| hosts_of_shard(s, shards, 1).remove(0))
+        .collect();
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for (w, pool) in pools.iter().enumerate() {
+            let (stop, total) = (&stop, &total);
+            scope.spawn(move || {
+                let ops = write_ops(store, mode, w, pool, stop);
+                total.fetch_add(ops, Ordering::Relaxed);
+            });
+        }
+        for r in 0..readers {
+            let stop = &stop;
+            let host = &read_hosts[r % read_hosts.len()];
+            scope.spawn(move || {
+                let mut acc = 0usize;
+                while !stop.load(Ordering::Relaxed) {
+                    acc ^= read_op(store, mode, host);
+                }
+                std::hint::black_box(acc);
+            });
+        }
+        std::thread::sleep(duration);
+        stop.store(true, Ordering::Relaxed);
+    });
+    total.load(Ordering::Relaxed) as f64 / started.elapsed().as_secs_f64()
+}
+
+/// p99 of one reader's per-op latency (µs), with `writers` threads
+/// hammering shards *other than* the reader's.
+fn reader_p99_us(
+    store: &RwLock<ShardedDepDb>,
+    mode: LockMode,
+    shards: usize,
+    writers: usize,
+    duration: Duration,
+) -> f64 {
+    let stop = AtomicBool::new(false);
+    // The reader pins shard 0; writers cycle through shards 1.. —
+    // strictly other-shard traffic (callers guarantee `writers == 0`
+    // when there is no other shard to put them on).
+    assert!(
+        writers == 0 || shards >= 2,
+        "other-shard writers need a second shard"
+    );
+    let read_host = hosts_of_shard(0, shards, 1).remove(0);
+    let pools: Vec<Vec<String>> = (0..writers)
+        .map(|w| hosts_of_shard(1 + w % (shards.max(2) - 1), shards, 8))
+        .collect();
+    let mut samples: Vec<u64> = Vec::new();
+    std::thread::scope(|scope| {
+        for (w, pool) in pools.iter().enumerate() {
+            let stop = &stop;
+            scope.spawn(move || {
+                write_ops(store, mode, w, pool, stop);
+            });
+        }
+        let deadline = Instant::now() + duration;
+        samples.reserve(1 << 20);
+        while Instant::now() < deadline {
+            let t = Instant::now();
+            std::hint::black_box(read_op(store, mode, &read_host));
+            samples.push(t.elapsed().as_nanos() as u64);
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+    samples.sort_unstable();
+    samples[samples.len() * 99 / 100] as f64 / 1e3
+}
+
+#[derive(Serialize)]
+struct ThroughputPoint {
+    writers: usize,
+    global_ops_per_sec: f64,
+    sharded_ops_per_sec: f64,
+    /// `sharded / global` — how much ingest throughput per-shard
+    /// locking buys over the single write lock at this writer count.
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct ReaderLatency {
+    /// p99 of one audit reader's snapshot-and-read op, µs, no writers.
+    global_idle_p99_us: f64,
+    /// Same reader with writers on *other* shards, old discipline: the
+    /// global write lock stalls it.
+    global_loaded_p99_us: f64,
+    /// Wait-free path, idle.
+    sharded_idle_p99_us: f64,
+    /// Wait-free path with other-shard writers: must stay in the same
+    /// band as idle — readers never block on writers.
+    sharded_loaded_p99_us: f64,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    smoke: bool,
+    shards: usize,
+    readers: usize,
+    resident_per_shard: usize,
+    duration_ms: u64,
+    throughput: Vec<ThroughputPoint>,
+    reader_latency: ReaderLatency,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag_value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .map(|v| v.parse::<usize>().unwrap_or_else(|e| panic!("{name}: {e}")))
+    };
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let shards = flag_value("--shards").unwrap_or(8);
+    let readers = flag_value("--readers").unwrap_or(16);
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_concurrency.json".to_string());
+    let duration = Duration::from_millis(if smoke { 400 } else { 2500 });
+    let resident_per_shard = 256;
+
+    let fresh_store = || {
+        let store = ShardedDepDb::new(shards);
+        seed(&store, shards, resident_per_shard);
+        RwLock::new(store)
+    };
+
+    let writer_counts: &[usize] = &[1, 2, 4, 8];
+    let mut throughput_points = Vec::new();
+    for &writers in writer_counts {
+        // A fresh store per cell keeps shard sizes identical across
+        // cells and modes — cells never observe each other's garbage.
+        let store = fresh_store();
+        let global = throughput(
+            &store,
+            LockMode::GlobalRwLock,
+            shards,
+            writers,
+            readers,
+            duration,
+        );
+        let store = fresh_store();
+        let sharded = throughput(
+            &store,
+            LockMode::PerShard,
+            shards,
+            writers,
+            readers,
+            duration,
+        );
+        let speedup = sharded / global;
+        eprintln!(
+            "bench_concurrency: {writers} writers/{readers} readers | \
+             global {global:>9.0} ops/s | sharded {sharded:>9.0} ops/s | speedup {speedup:>5.2}x"
+        );
+        throughput_points.push(ThroughputPoint {
+            writers,
+            global_ops_per_sec: global,
+            sharded_ops_per_sec: sharded,
+            speedup,
+        });
+    }
+
+    // Reader-latency phase: deliberately *lightly* loaded (2 other-shard
+    // writers) so p99 measures the locking discipline, not raw CPU
+    // oversubscription on small CI runners. A 1-shard store has no
+    // "other shard" to load, so its loaded phase degenerates to idle.
+    let latency_writers = 2.min(shards.saturating_sub(1));
+    let store = fresh_store();
+    let global_idle = reader_p99_us(&store, LockMode::GlobalRwLock, shards, 0, duration);
+    let store = fresh_store();
+    let global_loaded = reader_p99_us(
+        &store,
+        LockMode::GlobalRwLock,
+        shards,
+        latency_writers,
+        duration,
+    );
+    let store = fresh_store();
+    let sharded_idle = reader_p99_us(&store, LockMode::PerShard, shards, 0, duration);
+    let store = fresh_store();
+    let sharded_loaded = reader_p99_us(
+        &store,
+        LockMode::PerShard,
+        shards,
+        latency_writers,
+        duration,
+    );
+    eprintln!(
+        "bench_concurrency: reader p99 | global {global_idle:.1} -> {global_loaded:.1} us | \
+         sharded {sharded_idle:.1} -> {sharded_loaded:.1} us"
+    );
+
+    let report = BenchReport {
+        smoke,
+        shards,
+        readers,
+        resident_per_shard,
+        duration_ms: duration.as_millis() as u64,
+        throughput: throughput_points,
+        reader_latency: ReaderLatency {
+            global_idle_p99_us: global_idle,
+            global_loaded_p99_us: global_loaded,
+            sharded_idle_p99_us: sharded_idle,
+            sharded_loaded_p99_us: sharded_loaded,
+        },
+    };
+
+    // Acceptance gates, enforced here so CI fails loudly instead of
+    // uploading a silently-regressed artifact. Full mode demands the
+    // acceptance margin (disjoint-shard ingest ≥ 4x the single-RwLock
+    // baseline at max writers); smoke mode only sanity-checks direction
+    // (short cells on small noisy CI runners leave less headroom). The
+    // gate is about *disjoint-shard* scaling, so it only applies when
+    // every writer can own a shard — an undersharded run (--shards 1
+    // with 8 writers) measures same-shard contention by design and is
+    // reported, not gated.
+    let at_max = report.throughput.last().expect("at least one point");
+    if at_max.writers <= shards {
+        let required = if smoke { 1.1 } else { 4.0 };
+        assert!(
+            at_max.speedup >= required,
+            "per-shard speedup {:.2}x at {} writers below the {required}x gate",
+            at_max.speedup,
+            at_max.writers
+        );
+    } else {
+        eprintln!(
+            "bench_concurrency: {} writers > {shards} shards — disjoint-shard speedup gate skipped",
+            at_max.writers
+        );
+    }
+    // "Unaffected" reader p99: other-shard writers may cost scheduling
+    // noise but never a lock wait — allow a small multiple of idle (or
+    // an absolute floor for sub-microsecond idle readings), and demand
+    // the wait-free path beat the global lock under the same load.
+    let lat = &report.reader_latency;
+    let allowed = (lat.sharded_idle_p99_us * 10.0).max(200.0);
+    assert!(
+        lat.sharded_loaded_p99_us <= allowed,
+        "sharded reader p99 {:.1}us under other-shard writers exceeds {allowed:.1}us \
+         (idle {:.1}us) — readers are no longer wait-free",
+        lat.sharded_loaded_p99_us,
+        lat.sharded_idle_p99_us
+    );
+    // At light load the global reader may also get lucky, so this is a
+    // no-material-regression bound, not a strict win: the wait-free
+    // path must never be left meaningfully behind the lock it replaced.
+    assert!(
+        lat.sharded_loaded_p99_us <= lat.global_loaded_p99_us * 2.0,
+        "wait-free readers ({:.1}us) fell behind the global lock ({:.1}us) under writer load",
+        lat.sharded_loaded_p99_us,
+        lat.global_loaded_p99_us
+    );
+
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out, format!("{json}\n")).expect("write BENCH_concurrency.json");
+    eprintln!("bench_concurrency: wrote {out}");
+}

@@ -82,8 +82,10 @@ fn median_us(mut samples: Vec<f64>) -> f64 {
 
 /// Times `trials` single-record ingests (each touching exactly one
 /// shard) against a resident store, including the copy-on-write
-/// snapshot refresh the daemon performs under its write lock.
-fn time_ingests(store: &mut ShardedDepDb, trials: usize) -> f64 {
+/// snapshot refresh published after every effective batch (since the
+/// per-shard-lock refactor this happens under only the touched shard's
+/// own mutex — there is no store-wide write lock left to hold).
+fn time_ingests(store: &ShardedDepDb, trials: usize) -> f64 {
     let mut lat = Vec::with_capacity(trials);
     for t in 0..trials {
         let rec = fresh_record(&format!("srv-{}", t % 64), t);
@@ -100,7 +102,7 @@ fn time_ingests(store: &mut ShardedDepDb, trials: usize) -> f64 {
 /// Populates an audit cache with one entry per sampled host (pinned to
 /// exactly the shards that host reads), ingests one fresh record, purges
 /// stale entries, and reports the surviving fraction.
-fn cache_survival(store: &mut ShardedDepDb, entries: usize) -> f64 {
+fn cache_survival(store: &ShardedDepDb, entries: usize) -> f64 {
     let mut cache: AuditCache<u64> = AuditCache::new(entries * 2);
     let snapshot = store.snapshot();
     for e in 0..entries {
@@ -163,15 +165,15 @@ fn main() {
         eprintln!("bench_ingest: building {size}-record resident set...");
         let records = resident_records(size);
 
-        let mut mono = ShardedDepDb::new(1);
+        let mono = ShardedDepDb::new(1);
         mono.ingest(records.clone());
-        let mono_us = time_ingests(&mut mono, trials);
-        let mono_survival = cache_survival(&mut mono, cache_entries);
+        let mono_us = time_ingests(&mono, trials);
+        let mono_survival = cache_survival(&mono, cache_entries);
 
-        let mut sharded = ShardedDepDb::new(shards);
+        let sharded = ShardedDepDb::new(shards);
         sharded.ingest(records);
-        let sharded_us = time_ingests(&mut sharded, trials);
-        let sharded_survival = cache_survival(&mut sharded, cache_entries);
+        let sharded_us = time_ingests(&sharded, trials);
+        let sharded_survival = cache_survival(&sharded, cache_entries);
 
         let speedup = mono_us / sharded_us;
         eprintln!(
@@ -223,7 +225,7 @@ fn main() {
     // Exercise the epoch-vector plumbing once end to end so a broken
     // EpochVector comparison fails the smoke run loudly rather than
     // producing a silently-wrong trajectory.
-    let mut probe = ShardedDepDb::new(shards);
+    let probe = ShardedDepDb::new(shards);
     probe.ingest([fresh_record("probe", 0)]);
     let epochs: EpochVector = probe.epochs();
     assert_eq!(epochs, probe.epochs());

@@ -255,6 +255,10 @@ impl DepDb {
     /// human-inspectable interchange every acquisition module already
     /// speaks. A header comment records provenance.
     ///
+    /// The write is crash-safe: contents land in a temp file that is
+    /// renamed into place ([`crate::persist::write_atomic`]), so a
+    /// killed daemon never leaves a torn Table-1 file behind.
+    ///
     /// # Errors
     ///
     /// Propagates I/O failures.
@@ -264,7 +268,7 @@ impl DepDb {
             text.push_str(&crate::format::serialize_record_ref(rec));
             text.push('\n');
         }
-        std::fs::write(path, text)
+        crate::persist::write_atomic(path, &text)
     }
 
     /// Loads a database from a Table-1-format text file.

@@ -33,14 +33,20 @@ pub mod dam;
 pub mod depdb;
 pub mod failprob;
 pub mod format;
+pub mod persist;
 pub mod record;
 pub mod sharded;
+pub mod swap;
 pub mod versioned;
 
 pub use dam::{collect_all, DamError, DependencyAcquisitionModule, SimCollector};
 pub use depdb::{DepDb, DepRecordRef, DepView};
 pub use failprob::FailureProbModel;
 pub use format::{parse_record, parse_records, FormatError};
+pub use persist::{write_atomic, Manifest, MANIFEST_FILE, SEGMENT_FORMAT_VERSION};
 pub use record::{DependencyRecord, HardwareDep, NetworkDep, SoftwareDep};
-pub use sharded::{shard_index, DbSnapshot, EpochVector, ShardedDepDb, ShardedIngestReport};
+pub use sharded::{
+    shard_index, DbSnapshot, EpochVector, ShardCounters, ShardedDepDb, ShardedIngestReport,
+};
+pub use swap::ArcSwapCell;
 pub use versioned::{Epoch, IngestReport, VersionedDepDb};

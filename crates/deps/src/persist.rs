@@ -1,0 +1,587 @@
+//! Segmented, crash-safe persistence for the sharded dependency store.
+//!
+//! A big daemon must restart without re-parsing one monolithic Table-1
+//! file, and a kill mid-save must never leave a torn file behind. The
+//! on-disk layout is one directory per store:
+//!
+//! ```text
+//! db-dir/
+//!   MANIFEST.json    # {"format":1,"shards":8,"records":[...]}
+//!   shard-0000.tbl   # Table-1 records of shard 0
+//!   shard-0001.tbl
+//!   ...
+//! ```
+//!
+//! * **Segments** are plain Table-1 text — the same portable format as
+//!   [`DepDb::save`] — holding exactly the records that route to their
+//!   shard index, so a loader can rebuild per-shard databases without a
+//!   routing pass.
+//! * **Every file is written atomically** ([`write_atomic`]): contents
+//!   go to a temp file in the same directory which is then `rename`d
+//!   into place, so readers (and the next boot) see either the old or
+//!   the new version of each file, never a prefix.
+//! * **Saves are incremental**: [`ShardedDepDb::save_dirty_segments`]
+//!   writes only the shards mutated since the last save (each shard
+//!   cell carries a dirty flag), which is what the daemon runs on
+//!   collector ticks; a full [`ShardedDepDb::save_segments`] happens on
+//!   the first save into an empty directory or a shard-count change.
+//! * **Loads are parallel**: [`ShardedDepDb::load_segments`] parses
+//!   segments on a small worker pool. If the manifest's shard count
+//!   matches the requested one (and every record routes to its segment),
+//!   shards are rebuilt directly; otherwise all records are merged and
+//!   re-routed — which is also the migration path from a different
+//!   `--shards` setting or a hand-edited directory.
+//! * **The legacy monolithic format loads transparently**:
+//!   [`ShardedDepDb::open`] accepts a single Table-1 *file* path too,
+//!   routing its records into shards and migrating in place — the file
+//!   is preserved as `<path>.legacy.bak` and replaced by a segmented
+//!   directory, so the daemon's later saves into the same path just
+//!   work.
+//!
+//! Records land in segment files in [`DepDb::records_iter`] order
+//! (sorted by kind then host), so re-saving an unchanged shard is
+//! byte-identical — diffs of a db-dir show real changes only.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::Ordering;
+use std::sync::Mutex;
+
+use serde::{Deserialize, Serialize};
+
+use crate::depdb::DepDb;
+use crate::format::parse_records;
+use crate::record::DependencyRecord;
+use crate::sharded::{shard_index, ShardedDepDb};
+use crate::versioned::Epoch;
+
+/// On-disk format version written into every manifest.
+pub const SEGMENT_FORMAT_VERSION: u32 = 1;
+
+/// Manifest file name inside a segmented db directory.
+pub const MANIFEST_FILE: &str = "MANIFEST.json";
+
+/// The db directory's table of contents.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Manifest {
+    /// On-disk format version ([`SEGMENT_FORMAT_VERSION`]).
+    pub format: u32,
+    /// Number of shard segment files.
+    pub shards: usize,
+    /// Distinct records per shard at save time. Advisory (a crash
+    /// between a segment write and the manifest write can leave counts
+    /// behind the files); loaders report mismatches but trust the
+    /// segment files, each of which is internally consistent.
+    pub records: Vec<usize>,
+}
+
+/// Segment file name for shard `shard`.
+pub fn segment_file(shard: usize) -> String {
+    format!("shard-{shard:04}.tbl")
+}
+
+/// Writes `contents` to `path` crash-safely: the bytes go to a unique
+/// temp file in the same directory (same filesystem, so the final
+/// `rename` is atomic), and a kill at any point leaves either the old
+/// file or the new one — never a torn prefix.
+///
+/// # Errors
+///
+/// Propagates I/O failures; the temp file is removed on a failed write.
+pub fn write_atomic(path: impl AsRef<Path>, contents: &str) -> io::Result<()> {
+    // Unique per *call*, not just per process: the daemon's collector
+    // tick and its shutdown path can save concurrently, and two writers
+    // interleaving on one shared temp file would rename a torn file
+    // into place — the exact failure this function exists to prevent.
+    static SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let path = path.as_ref();
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?;
+    let tmp_name = format!(
+        ".{}.tmp-{}-{}",
+        file_name.to_string_lossy(),
+        std::process::id(),
+        SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    );
+    let tmp = match dir {
+        Some(d) => d.join(&tmp_name),
+        None => PathBuf::from(&tmp_name),
+    };
+    if let Err(e) = std::fs::write(&tmp, contents) {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e);
+    }
+    if let Err(e) = std::fs::rename(&tmp, path) {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e);
+    }
+    Ok(())
+}
+
+/// Renders one shard's records as a Table-1 segment file body.
+fn segment_text(shard: usize, shards: usize, db: &DepDb) -> String {
+    let mut text = format!("# INDaaS DepDB segment {shard}/{shards} (Table-1 record format)\n");
+    for rec in db.records_iter() {
+        text.push_str(&crate::format::serialize_record_ref(rec));
+        text.push('\n');
+    }
+    text
+}
+
+fn invalid_data(message: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message)
+}
+
+impl ShardedDepDb {
+    /// Saves every shard as a segment file plus the manifest, creating
+    /// `dir` if needed. Each file is written atomically; the manifest
+    /// goes last, so a directory with a manifest always has a complete
+    /// segment set. Clears every shard's dirty flag. Returns the number
+    /// of segment files written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn save_segments(&self, dir: impl AsRef<Path>) -> io::Result<usize> {
+        self.save_segments_inner(dir.as_ref(), false)
+    }
+
+    /// Saves only the shards mutated since the last save (plus any
+    /// segment file missing on disk), then refreshes the manifest if
+    /// anything was written. Falls back to a full [`Self::save_segments`]
+    /// when the directory has no manifest yet or was saved with a
+    /// different shard count. Returns the number of segment files
+    /// written — 0 when nothing changed, making a quiescent daemon's
+    /// persistence tick free.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures. A shard whose write failed keeps its
+    /// dirty flag, so the next tick retries it.
+    pub fn save_dirty_segments(&self, dir: impl AsRef<Path>) -> io::Result<usize> {
+        self.save_segments_inner(dir.as_ref(), true)
+    }
+
+    fn save_segments_inner(&self, dir: &Path, only_dirty: bool) -> io::Result<usize> {
+        // One saver at a time: the daemon's collector tick can race its
+        // shutdown save, and unserialized savers could claim dirty
+        // flags and rename segments in an order that publishes an older
+        // snapshot over a newer one.
+        let _saving = self.persist.lock().expect("persist lock poisoned");
+        std::fs::create_dir_all(dir)?;
+        // Dirty-only mode requires a usable manifest with the same
+        // shard count; anything else — missing, corrupt, unreadable,
+        // different count — degrades to a full save, which rewrites
+        // every segment *and* the manifest. A corrupt manifest must
+        // heal on the next save, not wedge persistence until shutdown
+        // quietly loses acknowledged records.
+        let only_dirty = only_dirty
+            && match read_manifest(dir) {
+                Ok(m) => m.shards == self.num_shards(),
+                Err(_) => false,
+            };
+        let shards = self.num_shards();
+        let mut written = 0usize;
+        let mut records = Vec::with_capacity(shards);
+        for (s, cell) in self.shards.iter().enumerate() {
+            let path = dir.join(segment_file(s));
+            // Claim the dirty flag *before* loading the snapshot: a
+            // mutation landing in between re-sets it and the next save
+            // picks the shard up again — never a lost update.
+            let was_dirty = cell.dirty.swap(false, Ordering::AcqRel);
+            let snap = cell.snap.load();
+            records.push(snap.len());
+            if only_dirty && !was_dirty && path.exists() {
+                continue;
+            }
+            if let Err(e) = write_atomic(&path, &segment_text(s, shards, &snap)) {
+                cell.dirty.store(true, Ordering::Release);
+                return Err(e);
+            }
+            written += 1;
+        }
+        if written > 0 || !dir.join(MANIFEST_FILE).exists() {
+            let manifest = Manifest {
+                format: SEGMENT_FORMAT_VERSION,
+                shards,
+                records,
+            };
+            let json = serde_json::to_string(&manifest)
+                .map_err(|e| io::Error::other(format!("manifest serialization: {e}")))?;
+            write_atomic(dir.join(MANIFEST_FILE), &format!("{json}\n"))?;
+        }
+        Ok(written)
+    }
+
+    /// Loads a segmented db directory into a store with `shards` shards,
+    /// parsing segment files in parallel. A manifest saved with the same
+    /// shard count rebuilds shards directly; any mismatch (different
+    /// count, or a record routed to the wrong segment by a hand edit)
+    /// merges and re-routes every record instead.
+    ///
+    /// # Errors
+    ///
+    /// `NotFound` when the directory or manifest is missing; `InvalidData`
+    /// for unparseable manifests, unsupported format versions, or
+    /// malformed segment records; other I/O errors pass through.
+    pub fn load_segments(dir: impl AsRef<Path>, shards: usize) -> io::Result<ShardedDepDb> {
+        let dir = dir.as_ref();
+        let manifest = read_manifest(dir)?;
+        if manifest.format > SEGMENT_FORMAT_VERSION {
+            return Err(invalid_data(format!(
+                "segment format {} is newer than supported {SEGMENT_FORMAT_VERSION}",
+                manifest.format
+            )));
+        }
+        let segments = load_segment_files(dir, manifest.shards)?;
+        let routed_ok = shards == manifest.shards
+            && segments
+                .iter()
+                .enumerate()
+                .all(|(s, records)| records.iter().all(|r| shard_index(r.host(), shards) == s));
+        let non_empty = segments.iter().any(|records| !records.is_empty());
+        if routed_ok {
+            let routed: Vec<DepDb> = segments.into_iter().map(DepDb::from_records).collect();
+            Ok(ShardedDepDb::from_routed(routed, Epoch::from(non_empty)))
+        } else {
+            // Shard-count migration (or a repaired hand edit): one merge
+            // + re-route pass, exactly like seeding from a monolith.
+            let merged = DepDb::from_records(segments.into_iter().flatten());
+            Ok(ShardedDepDb::from_db(merged, shards))
+        }
+    }
+
+    /// Opens a dependency store from `path`, whatever its format:
+    ///
+    /// * a directory with a manifest — segmented load
+    ///   ([`Self::load_segments`]);
+    /// * a plain file — the legacy monolithic Table-1 format, **migrated
+    ///   in place**: the file is preserved as `<path>.legacy.bak` and
+    ///   replaced by a segmented directory at the same path, so every
+    ///   subsequent save (the daemon saves into this same path) just
+    ///   works;
+    /// * a missing path — an empty store (the directory is created by
+    ///   the first save).
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` for malformed content; `NotFound` only for a
+    /// directory that exists but has no manifest *and* is non-empty
+    /// (refusing to silently shadow unknown data); other I/O errors
+    /// pass through. A failed migration never loses data: the original
+    /// file survives (at its own path or as the `.legacy.bak`).
+    pub fn open(path: impl AsRef<Path>, shards: usize) -> io::Result<ShardedDepDb> {
+        let path = path.as_ref();
+        let backup = legacy_backup_path(path);
+        if !path.exists() {
+            if backup.is_file() {
+                // A crash between a migration's rename and its first
+                // segment write left the records only in the backup:
+                // resume instead of silently booting an empty store.
+                return Self::migrate_legacy(path, &backup, shards);
+            }
+            return Ok(ShardedDepDb::new(shards));
+        }
+        if path.is_dir() {
+            if path.join(MANIFEST_FILE).exists() {
+                return Self::load_segments(path, shards);
+            }
+            if backup.is_file() {
+                // Partially-written migration target (crash before the
+                // manifest landed): the backup is authoritative; redo.
+                return Self::migrate_legacy(path, &backup, shards);
+            }
+            if std::fs::read_dir(path)?.next().is_none() {
+                return Ok(ShardedDepDb::new(shards));
+            }
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!(
+                    "{} has no {MANIFEST_FILE} but is not empty; refusing to treat it as a db dir",
+                    path.display()
+                ),
+            ));
+        }
+        // Legacy monolithic Table-1 file: set it aside as the backup
+        // (atomic rename — the records always exist in full somewhere),
+        // then write the segmented layout where it stood. A crash at
+        // any point is recovered by the resume branches above on the
+        // next open.
+        std::fs::rename(path, &backup)?;
+        Self::migrate_legacy(path, &backup, shards)
+    }
+
+    /// Loads the legacy monolithic `backup` and writes it as a
+    /// segmented directory at `dir` — both the fresh-migration tail and
+    /// the crash-resume path.
+    fn migrate_legacy(dir: &Path, backup: &Path, shards: usize) -> io::Result<ShardedDepDb> {
+        let store = ShardedDepDb::from_db(DepDb::load(backup)?, shards);
+        store.save_segments(dir)?;
+        Ok(store)
+    }
+}
+
+/// `<path>.legacy.bak` — where a migrated monolithic file is preserved.
+fn legacy_backup_path(path: &Path) -> PathBuf {
+    let mut backup = path.as_os_str().to_owned();
+    backup.push(".legacy.bak");
+    PathBuf::from(backup)
+}
+
+fn read_manifest(dir: &Path) -> io::Result<Manifest> {
+    let text = std::fs::read_to_string(dir.join(MANIFEST_FILE))?;
+    let manifest: Manifest = serde_json::from_str(text.trim())
+        .map_err(|e| invalid_data(format!("bad {MANIFEST_FILE}: {e}")))?;
+    if manifest.shards == 0 {
+        return Err(invalid_data(format!(
+            "bad {MANIFEST_FILE}: zero shard count"
+        )));
+    }
+    Ok(manifest)
+}
+
+/// Reads and parses all segment files on a small worker pool (disk and
+/// parse work overlap across segments; restart time is bounded by the
+/// largest shard, not the sum).
+fn load_segment_files(dir: &Path, shards: usize) -> io::Result<Vec<Vec<DependencyRecord>>> {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .clamp(1, 8)
+        .min(shards);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<Vec<DependencyRecord>>>> = Mutex::new(vec![None; shards]);
+    let first_error: Mutex<Option<io::Error>> = Mutex::new(None);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let s = next.fetch_add(1, Ordering::Relaxed);
+                if s >= shards {
+                    return;
+                }
+                let path = dir.join(segment_file(s));
+                let parsed = std::fs::read_to_string(&path).and_then(|text| {
+                    parse_records(&text)
+                        .map_err(|e| invalid_data(format!("{}: {e}", path.display())))
+                });
+                match parsed {
+                    Ok(records) => {
+                        results.lock().expect("segment results poisoned")[s] = Some(records);
+                    }
+                    Err(e) => {
+                        first_error
+                            .lock()
+                            .expect("segment error slot poisoned")
+                            .get_or_insert(e);
+                        return;
+                    }
+                }
+            });
+        }
+    });
+    if let Some(e) = first_error.into_inner().expect("segment error slot") {
+        return Err(e);
+    }
+    results
+        .into_inner()
+        .expect("segment results")
+        .into_iter()
+        .enumerate()
+        .map(|(s, r)| {
+            r.ok_or_else(|| invalid_data(format!("segment {} never parsed", segment_file(s))))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::depdb::DepView;
+    use crate::format::parse_record;
+    use crate::record::DependencyRecord;
+
+    fn rec(line: &str) -> DependencyRecord {
+        parse_record(line).unwrap()
+    }
+
+    fn sample_records(hosts: usize) -> Vec<DependencyRecord> {
+        (0..hosts)
+            .flat_map(|h| {
+                [
+                    rec(&format!("<hw=\"srv-{h}\" type=\"CPU\" dep=\"cpu-{h}\"/>")),
+                    rec(&format!(
+                        "<src=\"srv-{h}\" dst=\"Internet\" route=\"tor-{},core-1\"/>",
+                        h % 3
+                    )),
+                ]
+            })
+            .collect()
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("indaas-persist-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn write_atomic_replaces_and_leaves_no_temp() {
+        let dir = temp_dir("atomic");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("file.txt");
+        write_atomic(&path, "first").unwrap();
+        write_atomic(&path, "second").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "second");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .filter(|n| n.to_string_lossy().contains("tmp"))
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "temp files left behind: {leftovers:?}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn segmented_roundtrip_preserves_records_and_routing() {
+        let dir = temp_dir("roundtrip");
+        let store = ShardedDepDb::new(4);
+        store.ingest(sample_records(13));
+        let written = store.save_segments(&dir).unwrap();
+        assert_eq!(written, 4);
+        let back = ShardedDepDb::load_segments(&dir, 4).unwrap();
+        assert_eq!(back.len(), store.len());
+        for s in 0..4 {
+            assert_eq!(back.shard_len(s), store.shard_len(s), "shard {s} differs");
+        }
+        assert_eq!(back.epoch(), 1, "non-empty load seeds epoch 1");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn dirty_save_writes_only_mutated_shards() {
+        let dir = temp_dir("dirty");
+        let store = ShardedDepDb::new(4);
+        store.ingest(sample_records(13));
+        assert_eq!(store.save_segments(&dir).unwrap(), 4);
+        // Nothing changed: zero segments written.
+        assert_eq!(store.save_dirty_segments(&dir).unwrap(), 0);
+        // One host's shard changes: exactly one segment rewritten.
+        let report = store.ingest([rec("<hw=\"srv-0\" type=\"Disk\" dep=\"disk-new\"/>")]);
+        assert_eq!(report.touched.len(), 1);
+        assert_eq!(store.save_dirty_segments(&dir).unwrap(), 1);
+        let back = ShardedDepDb::load_segments(&dir, 4).unwrap();
+        assert_eq!(back.len(), store.len());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shard_count_change_reroutes_on_load() {
+        let dir = temp_dir("reroute");
+        let store = ShardedDepDb::new(4);
+        store.ingest(sample_records(13));
+        store.save_segments(&dir).unwrap();
+        let wider = ShardedDepDb::load_segments(&dir, 9).unwrap();
+        assert_eq!(wider.num_shards(), 9);
+        assert_eq!(wider.len(), store.len());
+        let (a, b) = (store.snapshot(), wider.snapshot());
+        for host in crate::depdb::DepView::hosts(&a) {
+            assert_eq!(a.component_set_of(&host), b.component_set_of(&host));
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn open_handles_all_three_shapes() {
+        // Missing path: empty store.
+        let missing = temp_dir("open-missing");
+        let empty = ShardedDepDb::open(&missing, 4).unwrap();
+        assert!(empty.is_empty());
+        // Legacy monolithic file: routed into shards and migrated in
+        // place — the file becomes a segmented directory, the original
+        // bytes survive as `<path>.legacy.bak`.
+        let dir = temp_dir("open-legacy");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mono_path = dir.join("deps.tbl");
+        let mono = DepDb::from_records(sample_records(7));
+        mono.save(&mono_path).unwrap();
+        let migrated = ShardedDepDb::open(&mono_path, 4).unwrap();
+        assert_eq!(migrated.len(), mono.len());
+        assert!(mono_path.is_dir(), "file migrates to a segmented dir");
+        assert!(mono_path.join(MANIFEST_FILE).exists());
+        let backup = dir.join("deps.tbl.legacy.bak");
+        assert_eq!(DepDb::load(&backup).unwrap().len(), mono.len());
+        // The migrated path now opens as a segmented directory, and
+        // saves into it succeed (the whole point of migrating).
+        let reopened = ShardedDepDb::open(&mono_path, 4).unwrap();
+        assert_eq!(reopened.len(), mono.len());
+        assert_eq!(reopened.save_dirty_segments(&mono_path).unwrap(), 0);
+        // Non-empty directory without a manifest is refused.
+        let err = ShardedDepDb::open(&dir, 4).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn dirty_save_heals_a_corrupt_manifest() {
+        let dir = temp_dir("healmanifest");
+        let store = ShardedDepDb::new(4);
+        store.ingest(sample_records(13));
+        store.save_segments(&dir).unwrap();
+        // Corrupt the manifest after boot (torn copy, external edit):
+        // the next dirty save must degrade to a full save that rewrites
+        // it, not wedge persistence until shutdown loses data.
+        std::fs::write(dir.join(MANIFEST_FILE), "{torn").unwrap();
+        let written = store.save_dirty_segments(&dir).unwrap();
+        assert_eq!(written, 4, "corrupt manifest forces a full rewrite");
+        let back = ShardedDepDb::load_segments(&dir, 4).unwrap();
+        assert_eq!(back.len(), store.len());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn interrupted_legacy_migration_resumes_from_backup() {
+        let dir = temp_dir("resume");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mono = DepDb::from_records(sample_records(9));
+        let db_path = dir.join("deps.tbl");
+        // Crash shape 1: the rename landed but no segment was written —
+        // only the backup exists.
+        mono.save(dir.join("deps.tbl.legacy.bak")).unwrap();
+        let resumed = ShardedDepDb::open(&db_path, 4).unwrap();
+        assert_eq!(resumed.len(), mono.len(), "resume must reload the backup");
+        assert!(db_path.join(MANIFEST_FILE).exists());
+        // Crash shape 2: a partial segment dir without a manifest plus
+        // the backup — the backup stays authoritative.
+        std::fs::remove_file(db_path.join(MANIFEST_FILE)).unwrap();
+        let resumed = ShardedDepDb::open(&db_path, 4).unwrap();
+        assert_eq!(resumed.len(), mono.len());
+        assert!(db_path.join(MANIFEST_FILE).exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_rejects_future_format_and_bad_manifest() {
+        let dir = temp_dir("badmanifest");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join(MANIFEST_FILE), "not json").unwrap();
+        assert_eq!(
+            ShardedDepDb::load_segments(&dir, 4).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+        std::fs::write(
+            dir.join(MANIFEST_FILE),
+            r#"{"format": 99, "shards": 2, "records": [0, 0]}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            ShardedDepDb::load_segments(&dir, 4).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,40 +1,55 @@
-//! Host-sharded dependency store with per-shard epochs.
+//! Host-sharded dependency store with per-shard locks, per-shard
+//! epochs, and wait-free snapshot publication.
 //!
-//! The auditing daemon's hottest write path used to snapshot the *whole*
-//! database (`Arc::new(db.clone())`) on every effective ingest and
-//! invalidate every cached audit on every epoch bump — at millions of
-//! records the copy dominates ingest latency, and one host's update
-//! evicts every tenant's cached report. Cloud dependency data arrives as
-//! high-rate, mostly-local updates (AID, arXiv:2109.04893), so the store
-//! is sharded **by host key**:
+//! The auditing daemon's write path has evolved in two steps. First the
+//! store was sharded by host key so an ingest re-clones only the shards
+//! it changed (copy-on-write snapshots, cost proportional to what
+//! changed). But every shard still lived under one `RwLock`: ingests to
+//! *different* shards serialized, and every audit's `snapshot()` call
+//! contended with writers. Cloud dependency data arrives as high-rate,
+//! mostly-local updates from many collectors at once (AID,
+//! arXiv:2109.04893), so the store is now **concurrent**:
 //!
 //! * every record routes to `shard_index(record.host(), N)` — all three
 //!   record kinds key by host, so a host's records always land together;
-//! * each shard is an independent [`VersionedDepDb`] with its own epoch,
-//!   collected into an [`EpochVector`];
-//! * snapshots are copy-on-write: the store keeps one `Arc<DepDb>` per
-//!   shard and re-clones **only the shards a batch actually changed** —
-//!   untouched shards keep sharing their `Arc`, so ingest cost is
-//!   proportional to what changed, not to database size;
+//! * each shard is an independent cell: a [`VersionedDepDb`] behind its
+//!   **own write mutex**, whose current `Arc<DepDb>` snapshot is
+//!   published through an [`ArcSwapCell`] (atomic pointer swap);
+//! * mutations pre-route the batch by shard *before* taking any lock,
+//!   then lock **only the touched shards**, in ascending index order so
+//!   multi-shard batches can never deadlock against each other —
+//!   writers contend only when they touch the same shard;
+//! * [`ShardedDepDb::snapshot`] takes **no lock at all**: one wait-free
+//!   `Arc` load per shard, with the [`EpochVector`] assembled from
+//!   per-shard atomics — readers never block, and never observe a shard
+//!   snapshot *newer* than its claimed epoch (each cell publishes data
+//!   before epoch, and snapshots read epoch before data), so a cached
+//!   audit is never pinned to an epoch whose data it did not see;
 //! * [`DbSnapshot`] composes the per-shard `Arc`s into one read-only
 //!   [`DepView`] the audit engines consume, and can name exactly which
 //!   `(shard, epoch)` pairs a given host set reads — the audit cache
 //!   keys on those pins, so audits over untouched shards stay cached
 //!   across unrelated ingests.
+//!
+//! Per-shard write counters and a contended-acquisition gauge
+//! ([`ShardedDepDb::counters`]) make the parallelism observable through
+//! the daemon's `Status` response.
 
 use std::collections::BTreeSet;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, TryLockError};
 
 use crate::depdb::{DepDb, DepView};
 use crate::format::{parse_records, FormatError};
 use crate::record::{DependencyRecord, HardwareDep, NetworkDep, SoftwareDep};
+use crate::swap::ArcSwapCell;
 use crate::versioned::{Epoch, VersionedDepDb};
 
 /// Deterministic host → shard routing (FNV-1a over the host key).
 ///
-/// Stable across processes and daemon restarts, so cache pins and
-/// status reports mean the same thing on every node with the same
-/// shard count.
+/// Stable across processes and daemon restarts, so cache pins, segment
+/// files and status reports mean the same thing on every node with the
+/// same shard count.
 ///
 /// # Panics
 ///
@@ -95,28 +110,96 @@ pub struct ShardedIngestReport {
     pub ignored: usize,
     /// The store's *global* epoch after the batch — bumps by one per
     /// effective batch, exactly like the monolithic [`VersionedDepDb`],
-    /// so wire-protocol epoch semantics are unchanged.
+    /// so wire-protocol epoch semantics are unchanged. Under concurrent
+    /// writers this is the value observed right after this batch's own
+    /// bump (other batches may bump it further at any time).
     pub epoch: Epoch,
     /// Indices of the shards the batch actually changed (sorted). Empty
     /// for a pure-duplicate batch.
     pub touched: Vec<usize>,
 }
 
-/// A dependency store sharded by host key, with copy-on-write per-shard
-/// snapshots.
+/// Write-side observability counters ([`ShardedDepDb::counters`]).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ShardCounters {
+    /// Effective write batches applied per shard (a batch spanning K
+    /// shards counts once on each).
+    pub shard_writes: Vec<u64>,
+    /// Times a writer found a shard lock already held and had to wait,
+    /// summed over all shards — the contention gauge: near zero when
+    /// writers stay on disjoint shards.
+    pub lock_waits: u64,
+}
+
+/// One shard of the store: an independently-locked [`VersionedDepDb`]
+/// plus its atomically-published snapshot and observability counters.
+#[derive(Debug)]
+pub(crate) struct ShardCell {
+    /// Guards mutations to this shard only.
+    pub(crate) write: Mutex<VersionedDepDb>,
+    /// The shard's current immutable snapshot; swapped (never edited in
+    /// place) after each effective mutation, so readers holding an old
+    /// `Arc` keep a consistent view.
+    pub(crate) snap: ArcSwapCell<DepDb>,
+    /// Mirror of the shard's epoch, readable without the write lock.
+    /// Published *after* the snapshot swap; snapshot readers load it
+    /// *before* the snapshot, so a claimed epoch never exceeds the data
+    /// it pins.
+    pub(crate) epoch: AtomicU64,
+    /// Effective write batches applied to this shard.
+    pub(crate) writes: AtomicU64,
+    /// Contended lock acquisitions on this shard.
+    pub(crate) lock_waits: AtomicU64,
+    /// Set on every effective mutation, cleared by segment saves — lets
+    /// the daemon persist only the shards that changed since the last
+    /// save.
+    pub(crate) dirty: AtomicBool,
+}
+
+impl ShardCell {
+    fn new(db: DepDb) -> Self {
+        let versioned = VersionedDepDb::from_db(db);
+        let epoch = versioned.epoch();
+        let snapshot = Arc::new(versioned.db().clone());
+        ShardCell {
+            write: Mutex::new(versioned),
+            snap: ArcSwapCell::new(snapshot),
+            epoch: AtomicU64::new(epoch),
+            writes: AtomicU64::new(0),
+            lock_waits: AtomicU64::new(0),
+            dirty: AtomicBool::new(false),
+        }
+    }
+
+    /// Publishes the shard's post-mutation state: snapshot first, epoch
+    /// second (the ordering half of the "data never older than its
+    /// epoch" invariant). Called with the shard write lock held.
+    fn publish(&self, db: &VersionedDepDb) {
+        self.snap.store(Arc::new(db.db().clone()));
+        self.epoch.store(db.epoch(), Ordering::Release);
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        self.dirty.store(true, Ordering::Release);
+    }
+}
+
+/// A dependency store sharded by host key: per-shard write locks,
+/// wait-free copy-on-write snapshots.
 ///
 /// All mutation entry points ([`ShardedDepDb::ingest`],
-/// [`ShardedDepDb::retract`], [`ShardedDepDb::update`]) route records to
-/// their host's shard, apply them shard-locally, and refresh only the
-/// snapshots of shards whose epoch moved.
-#[derive(Clone, Debug)]
+/// [`ShardedDepDb::retract`], [`ShardedDepDb::update`]) take `&self`:
+/// the store is safe to share across threads directly (no external lock
+/// needed), and writers to disjoint shards proceed in parallel.
+#[derive(Debug)]
 pub struct ShardedDepDb {
-    shards: Vec<VersionedDepDb>,
-    /// One immutable snapshot per shard; re-cloned only when its shard's
-    /// epoch moves, shared (`Arc`) otherwise.
-    snapshots: Vec<Arc<DepDb>>,
+    pub(crate) shards: Vec<ShardCell>,
     /// Global batch counter matching [`VersionedDepDb`] semantics.
-    epoch: Epoch,
+    pub(crate) epoch: AtomicU64,
+    /// Serializes whole-store segment saves (`crate::persist`): two
+    /// concurrent savers — the daemon's collector tick racing its
+    /// shutdown save — would otherwise claim dirty flags and rename
+    /// segment files in an interleaved order that can publish an older
+    /// snapshot over a newer one.
+    pub(crate) persist: Mutex<()>,
 }
 
 impl ShardedDepDb {
@@ -125,9 +208,9 @@ impl ShardedDepDb {
     pub fn new(shards: usize) -> Self {
         let shards = shards.max(1);
         ShardedDepDb {
-            shards: (0..shards).map(|_| VersionedDepDb::new()).collect(),
-            snapshots: (0..shards).map(|_| Arc::new(DepDb::new())).collect(),
-            epoch: 0,
+            shards: (0..shards).map(|_| ShardCell::new(DepDb::new())).collect(),
+            epoch: AtomicU64::new(0),
+            persist: Mutex::new(()),
         }
     }
 
@@ -140,13 +223,17 @@ impl ShardedDepDb {
         for rec in db.records_iter() {
             routed[shard_index(rec.host(), shards)].insert(rec.to_owned());
         }
-        let epoch = Epoch::from(!db.is_empty());
-        let shards: Vec<VersionedDepDb> = routed.into_iter().map(VersionedDepDb::from_db).collect();
-        let snapshots = shards.iter().map(|s| Arc::new(s.db().clone())).collect();
+        Self::from_routed(routed, Epoch::from(!db.is_empty()))
+    }
+
+    /// Assembles a store from already-routed per-shard databases (the
+    /// segment loader's entry point — it has per-shard record sets in
+    /// hand and must not pay a second routing pass).
+    pub(crate) fn from_routed(routed: Vec<DepDb>, epoch: Epoch) -> Self {
         ShardedDepDb {
-            shards,
-            snapshots,
-            epoch,
+            shards: routed.into_iter().map(ShardCell::new).collect(),
+            epoch: AtomicU64::new(epoch),
+            persist: Mutex::new(()),
         }
     }
 
@@ -162,40 +249,88 @@ impl ShardedDepDb {
 
     /// The global epoch: bumps by one per effective batch.
     pub fn epoch(&self) -> Epoch {
-        self.epoch
+        self.epoch.load(Ordering::SeqCst)
     }
 
-    /// The per-shard epochs.
+    /// The per-shard epochs, read from the published atomics — no lock.
     pub fn epochs(&self) -> EpochVector {
-        EpochVector(self.shards.iter().map(VersionedDepDb::epoch).collect())
+        EpochVector(
+            self.shards
+                .iter()
+                .map(|c| c.epoch.load(Ordering::Acquire))
+                .collect(),
+        )
     }
 
-    /// Distinct records in shard `shard`.
+    /// Per-shard write counters and the lock-contention gauge.
+    pub fn counters(&self) -> ShardCounters {
+        ShardCounters {
+            shard_writes: self
+                .shards
+                .iter()
+                .map(|c| c.writes.load(Ordering::Relaxed))
+                .collect(),
+            lock_waits: self
+                .shards
+                .iter()
+                .map(|c| c.lock_waits.load(Ordering::Relaxed))
+                .sum(),
+        }
+    }
+
+    /// Distinct records in shard `shard` (via its published snapshot).
     pub fn shard_len(&self, shard: usize) -> usize {
-        self.shards[shard].db().len()
+        self.shards[shard].snap.load().len()
     }
 
     /// Total distinct records across all shards.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.db().len()).sum()
+        self.shards.iter().map(|c| c.snap.load().len()).sum()
     }
 
     /// True if no shard holds any record.
     pub fn is_empty(&self) -> bool {
-        self.shards.iter().all(|s| s.db().is_empty())
+        self.shards.iter().all(|c| c.snap.load().is_empty())
     }
 
-    /// A copy-on-write snapshot of the whole store: N `Arc` clones, no
-    /// record is copied. Cheap enough to take per request.
+    /// A copy-on-write snapshot of the whole store: one wait-free `Arc`
+    /// load per shard, no lock, no record copied. Cheap enough to take
+    /// per request, and never delayed by concurrent writers.
+    ///
+    /// Each shard's epoch is read *before* its data, and writers publish
+    /// data *before* epoch — so a pinned `(shard, epoch)` pair never
+    /// claims an epoch newer than the data backing it (the safe
+    /// direction for the audit cache: at worst a result computed on
+    /// fresher data is pinned to an already-stale epoch and simply never
+    /// served).
     pub fn snapshot(&self) -> DbSnapshot {
+        let mut epochs = Vec::with_capacity(self.shards.len());
+        let mut shards = Vec::with_capacity(self.shards.len());
+        for cell in &self.shards {
+            epochs.push(cell.epoch.load(Ordering::Acquire));
+            shards.push(cell.snap.load());
+        }
         DbSnapshot {
-            shards: self.snapshots.clone(),
-            epochs: self.epochs(),
+            shards,
+            epochs: EpochVector(epochs),
+        }
+    }
+
+    /// Locks one shard for writing, counting contended acquisitions.
+    fn lock_shard(&self, shard: usize) -> MutexGuard<'_, VersionedDepDb> {
+        let cell = &self.shards[shard];
+        match cell.write.try_lock() {
+            Ok(guard) => guard,
+            Err(TryLockError::WouldBlock) => {
+                cell.lock_waits.fetch_add(1, Ordering::Relaxed);
+                cell.write.lock().expect("shard lock poisoned")
+            }
+            Err(TryLockError::Poisoned(e)) => panic!("shard lock poisoned: {e}"),
         }
     }
 
     /// Groups an owned record batch by destination shard, preserving
-    /// order.
+    /// order. Runs *before* any lock is taken.
     fn route(
         &self,
         records: impl IntoIterator<Item = DependencyRecord>,
@@ -221,40 +356,50 @@ impl ShardedDepDb {
         routed
     }
 
-    /// Re-clones the snapshots of exactly the shards in `touched` and
-    /// advances the global epoch if anything changed — the single place
-    /// the copy-on-write invariant is maintained.
-    fn commit(&mut self, report: &mut ShardedIngestReport) {
-        for &s in &report.touched {
-            self.snapshots[s] = Arc::new(self.shards[s].db().clone());
-        }
-        if !report.touched.is_empty() {
-            self.epoch += 1;
-        }
-        report.epoch = self.epoch;
-    }
-
-    /// Ingests a record batch, shard-locally. Only shards that gained a
-    /// record bump their epoch and re-clone their snapshot; a
-    /// pure-duplicate batch touches nothing.
-    pub fn ingest(
-        &mut self,
-        records: impl IntoIterator<Item = DependencyRecord>,
-    ) -> ShardedIngestReport {
+    /// The shared mutation driver: locks the hit shards in ascending
+    /// index order (the deadlock-freedom discipline — two multi-shard
+    /// batches always acquire their common shards in the same order),
+    /// applies each shard's slice, publishes changed shards (snapshot
+    /// swap + epoch), and bumps the global epoch once if anything
+    /// changed. Locks are held only across apply + publish; routing
+    /// happened before any lock.
+    fn apply_routed<F>(&self, hit: Vec<usize>, mut apply: F) -> ShardedIngestReport
+    where
+        F: FnMut(usize, &mut VersionedDepDb) -> crate::versioned::IngestReport,
+    {
+        debug_assert!(hit.windows(2).all(|w| w[0] < w[1]), "ascending lock order");
         let mut report = ShardedIngestReport::default();
-        for (s, batch) in self.route(records).into_iter().enumerate() {
-            if batch.is_empty() {
-                continue;
-            }
-            let shard_report = self.shards[s].ingest(batch);
+        let mut guards: Vec<(usize, MutexGuard<'_, VersionedDepDb>)> =
+            hit.into_iter().map(|s| (s, self.lock_shard(s))).collect();
+        for (s, guard) in &mut guards {
+            let shard_report = apply(*s, guard);
             report.changed += shard_report.changed;
             report.ignored += shard_report.ignored;
             if shard_report.changed > 0 {
-                report.touched.push(s);
+                self.shards[*s].publish(guard);
+                report.touched.push(*s);
             }
         }
-        self.commit(&mut report);
+        report.epoch = if report.touched.is_empty() {
+            self.epoch.load(Ordering::SeqCst)
+        } else {
+            self.epoch.fetch_add(1, Ordering::SeqCst) + 1
+        };
         report
+    }
+
+    /// Ingests a record batch. Only the shards the batch routes to are
+    /// locked; only shards that gained a record bump their epoch and
+    /// publish a fresh snapshot. A pure-duplicate batch touches nothing.
+    pub fn ingest(
+        &self,
+        records: impl IntoIterator<Item = DependencyRecord>,
+    ) -> ShardedIngestReport {
+        let mut routed = self.route(records);
+        let hit: Vec<usize> = (0..routed.len())
+            .filter(|&s| !routed[s].is_empty())
+            .collect();
+        self.apply_routed(hit, |s, db| db.ingest(std::mem::take(&mut routed[s])))
     }
 
     /// Parses Table-1 text and ingests it as one batch.
@@ -263,91 +408,54 @@ impl ShardedDepDb {
     ///
     /// Returns the parse error without touching any shard or epoch — a
     /// malformed batch is rejected atomically.
-    pub fn ingest_text(&mut self, text: &str) -> Result<ShardedIngestReport, FormatError> {
+    pub fn ingest_text(&self, text: &str) -> Result<ShardedIngestReport, FormatError> {
         let records = parse_records(text)?;
         Ok(self.ingest(records))
     }
 
-    /// Retracts records (exact match), shard-locally.
-    pub fn retract(&mut self, records: &[DependencyRecord]) -> ShardedIngestReport {
-        let mut report = ShardedIngestReport::default();
-        for (s, batch) in self.route_refs(records).into_iter().enumerate() {
-            if batch.is_empty() {
-                continue;
-            }
-            let shard_report = self.shards[s].retract_refs(batch);
-            report.changed += shard_report.changed;
-            report.ignored += shard_report.ignored;
-            if shard_report.changed > 0 {
-                report.touched.push(s);
-            }
-        }
-        self.commit(&mut report);
-        report
+    /// Retracts records (exact match), locking only their hosts' shards.
+    pub fn retract(&self, records: &[DependencyRecord]) -> ShardedIngestReport {
+        let mut routed = self.route_refs(records);
+        let hit: Vec<usize> = (0..routed.len())
+            .filter(|&s| !routed[s].is_empty())
+            .collect();
+        self.apply_routed(hit, |s, db| db.retract_refs(std::mem::take(&mut routed[s])))
     }
 
     /// Atomic update: retract `stale` and ingest `fresh` with one global
     /// epoch bump if the batch changed anything net. Each shard applies
     /// its slice of the update with [`VersionedDepDb::update`] no-op
     /// semantics, so a collector re-measuring an unchanged world bumps
-    /// nothing anywhere.
+    /// nothing anywhere. All shards the update spans are held for the
+    /// whole batch (acquired in ascending order), so no concurrent
+    /// writer observes the retract without the matching ingest on any
+    /// single shard.
     pub fn update(
-        &mut self,
+        &self,
         stale: &[DependencyRecord],
         fresh: impl IntoIterator<Item = DependencyRecord>,
     ) -> ShardedIngestReport {
-        let stale_routed = self.route_refs(stale);
-        let fresh_routed = self.route(fresh);
-        let mut report = ShardedIngestReport::default();
-        for (s, (stale_s, fresh_s)) in stale_routed.into_iter().zip(fresh_routed).enumerate() {
-            if stale_s.is_empty() && fresh_s.is_empty() {
-                continue;
-            }
-            let shard_report = self.shards[s].update_refs(stale_s, fresh_s);
-            report.changed += shard_report.changed;
-            report.ignored += shard_report.ignored;
-            if shard_report.changed > 0 {
-                report.touched.push(s);
-            }
-        }
-        self.commit(&mut report);
-        report
-    }
-}
-
-impl DepView for ShardedDepDb {
-    fn network_deps(&self, host: &str) -> &[NetworkDep] {
-        self.shards[self.shard_of(host)].db().network_deps(host)
-    }
-
-    fn hardware_deps(&self, host: &str) -> &[HardwareDep] {
-        self.shards[self.shard_of(host)].db().hardware_deps(host)
-    }
-
-    fn software_deps(&self, host: &str) -> &[SoftwareDep] {
-        self.shards[self.shard_of(host)].db().software_deps(host)
-    }
-
-    fn hosts(&self) -> BTreeSet<String> {
-        self.shards.iter().flat_map(|s| s.db().hosts()).collect()
-    }
-
-    fn record_count(&self) -> usize {
-        self.len()
-    }
-
-    fn component_set_of(&self, host: &str) -> BTreeSet<String> {
-        self.shards[self.shard_of(host)].db().component_set_of(host)
+        let mut stale_routed = self.route_refs(stale);
+        let mut fresh_routed = self.route(fresh);
+        let hit: Vec<usize> = (0..self.shards.len())
+            .filter(|&s| !stale_routed[s].is_empty() || !fresh_routed[s].is_empty())
+            .collect();
+        self.apply_routed(hit, |s, db| {
+            db.update_refs(
+                std::mem::take(&mut stale_routed[s]),
+                std::mem::take(&mut fresh_routed[s]),
+            )
+        })
     }
 }
 
 /// An immutable, epoch-pinned view over all shards of a [`ShardedDepDb`]
 /// — what audit jobs read.
 ///
-/// Cloning is N pointer bumps. A snapshot is consistent: it pins the
-/// epoch vector current when it was taken, and later ingests can never
-/// mutate the `DepDb`s it references (the store re-clones dirty shards
-/// instead of editing them in place).
+/// Cloning is N pointer bumps. A snapshot is per-shard consistent: each
+/// shard's `Arc` is an immutable database later ingests can never mutate
+/// (the store swaps in fresh snapshots instead of editing in place), and
+/// each pinned epoch is never newer than its shard's data.
 #[derive(Clone, Debug)]
 pub struct DbSnapshot {
     shards: Vec<Arc<DepDb>>,
@@ -471,7 +579,7 @@ mod tests {
 
     #[test]
     fn ingest_touches_only_the_hosts_shards() {
-        let mut db = ShardedDepDb::new(8);
+        let db = ShardedDepDb::new(8);
         let (a, b) = split_hosts(8);
         let report = db.ingest([host_record(&a, "cpu-1")]);
         assert_eq!(report.changed, 1);
@@ -484,7 +592,7 @@ mod tests {
 
     #[test]
     fn untouched_shards_share_their_snapshot_arc() {
-        let mut db = ShardedDepDb::new(8);
+        let db = ShardedDepDb::new(8);
         let (a, b) = split_hosts(8);
         db.ingest([host_record(&a, "cpu-1"), host_record(&b, "cpu-2")]);
         let before = db.snapshot();
@@ -505,7 +613,7 @@ mod tests {
 
     #[test]
     fn duplicate_batch_refreshes_nothing() {
-        let mut db = ShardedDepDb::new(4);
+        let db = ShardedDepDb::new(4);
         db.ingest([host_record("S1", "cpu-1")]);
         let before = db.snapshot();
         let report = db.ingest([host_record("S1", "cpu-1")]);
@@ -520,7 +628,7 @@ mod tests {
 
     #[test]
     fn snapshots_are_isolated_from_later_ingests() {
-        let mut db = ShardedDepDb::new(4);
+        let db = ShardedDepDb::new(4);
         db.ingest([host_record("S1", "cpu-1")]);
         let snap = db.snapshot();
         let pinned = snap.epochs().clone();
@@ -536,7 +644,7 @@ mod tests {
             "snapshot pins the epoch vector it was taken at"
         );
         assert!(db.epochs() != pinned, "the live store moved on");
-        assert_eq!(db.record_count(), 3);
+        assert_eq!(db.snapshot().record_count(), 3);
     }
 
     #[test]
@@ -548,7 +656,7 @@ mod tests {
             rec(r#"<pgm="Riak1" hw="S3" dep="libc6,libsvn1"/>"#),
         ];
         let mono = DepDb::from_records(records.clone());
-        let mut sharded = ShardedDepDb::new(8);
+        let sharded = ShardedDepDb::new(8);
         let report = sharded.ingest(records.clone());
         assert_eq!(report.changed, mono.len());
         assert_eq!(sharded.len(), mono.len());
@@ -572,7 +680,7 @@ mod tests {
 
     #[test]
     fn update_bumps_global_epoch_once() {
-        let mut db = ShardedDepDb::new(4);
+        let db = ShardedDepDb::new(4);
         let stale = host_record("S1", "cpu-old");
         db.ingest([stale.clone(), host_record("S2", "disk-1")]);
         assert_eq!(db.epoch(), 1);
@@ -596,9 +704,10 @@ mod tests {
         let sharded = ShardedDepDb::from_db(mono.clone(), 8);
         assert_eq!(sharded.epoch(), 1, "non-empty seed starts at epoch 1");
         assert_eq!(sharded.len(), mono.len());
+        let snap = sharded.snapshot();
         for host in mono.hosts() {
             assert_eq!(
-                DepView::component_set_of(&sharded, &host),
+                DepView::component_set_of(&snap, &host),
                 mono.component_set_of(&host)
             );
         }
@@ -607,7 +716,7 @@ mod tests {
 
     #[test]
     fn pins_cover_exactly_the_read_shards() {
-        let mut db = ShardedDepDb::new(8);
+        let db = ShardedDepDb::new(8);
         let (a, b) = split_hosts(8);
         db.ingest([host_record(&a, "cpu-1"), host_record(&b, "cpu-2")]);
         let snap = db.snapshot();
@@ -624,5 +733,75 @@ mod tests {
         assert_eq!(snap.num_shards(), 1);
         assert_eq!(snap.record_count(), 1);
         assert_eq!(snap.pins_for_hosts(["S1", "S2"]), vec![(0, 3)]);
+    }
+
+    #[test]
+    fn writes_and_lock_waits_are_counted() {
+        let db = ShardedDepDb::new(8);
+        let (a, b) = split_hosts(8);
+        db.ingest([host_record(&a, "cpu-1")]);
+        db.ingest([host_record(&a, "cpu-2"), host_record(&b, "cpu-1")]);
+        db.ingest([host_record(&a, "cpu-2")]); // pure duplicate: no write
+        let counters = db.counters();
+        assert_eq!(counters.shard_writes[db.shard_of(&a)], 2);
+        assert_eq!(counters.shard_writes[db.shard_of(&b)], 1);
+        assert_eq!(
+            counters.shard_writes.iter().sum::<u64>(),
+            3,
+            "only effective batches count as writes"
+        );
+        assert_eq!(counters.lock_waits, 0, "uncontended writes never wait");
+    }
+
+    /// Writers on disjoint shards running concurrently land exactly the
+    /// records and per-shard epochs a serial replay would (the e2e-sized
+    /// version of this property lives in tests/properties.rs).
+    #[test]
+    fn concurrent_disjoint_writers_match_serial() {
+        let shards = 4;
+        let concurrent = ShardedDepDb::new(shards);
+        let serial = ShardedDepDb::new(shards);
+        // One host pool per shard.
+        let mut pools: Vec<Vec<String>> = vec![Vec::new(); shards];
+        for i in 0..10_000 {
+            let host = format!("H{i}");
+            let s = shard_index(&host, shards);
+            if pools[s].len() < 2 {
+                pools[s].push(host);
+            }
+            if pools.iter().all(|p| p.len() == 2) {
+                break;
+            }
+        }
+        std::thread::scope(|scope| {
+            for pool in &pools {
+                let db = &concurrent;
+                scope.spawn(move || {
+                    for batch in 0..5 {
+                        let records: Vec<DependencyRecord> = pool
+                            .iter()
+                            .map(|h| host_record(h, &format!("dep-{batch}")))
+                            .collect();
+                        db.ingest(records);
+                    }
+                });
+            }
+        });
+        for pool in &pools {
+            for batch in 0..5 {
+                let records: Vec<DependencyRecord> = pool
+                    .iter()
+                    .map(|h| host_record(h, &format!("dep-{batch}")))
+                    .collect();
+                serial.ingest(records);
+            }
+        }
+        assert_eq!(concurrent.epochs(), serial.epochs());
+        assert_eq!(concurrent.epoch(), serial.epoch());
+        let (csnap, ssnap) = (concurrent.snapshot(), serial.snapshot());
+        assert_eq!(DepView::hosts(&csnap), DepView::hosts(&ssnap));
+        for host in DepView::hosts(&ssnap) {
+            assert_eq!(csnap.component_set_of(&host), ssnap.component_set_of(&host));
+        }
     }
 }

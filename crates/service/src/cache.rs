@@ -176,19 +176,38 @@ impl<V: Clone> AuditCache<V> {
     /// invalidates them, and it goes per-shard: an entry pinned only to
     /// untouched shards survives.
     ///
-    /// Short-circuits without walking any entry when `current` equals
-    /// the vector of the previous purge — an ingest of pure duplicates
-    /// (or a redundant purge) costs O(shards), not O(entries).
+    /// Purges are **monotonic**: with no global DB lock, concurrent
+    /// writers can deliver their epoch vectors out of order (writer A
+    /// reads `[2,1]`, writer B bumps shard 1 and reads `[2,2]`, B's
+    /// purge runs first), so each incoming vector is merged
+    /// component-wise-max into the high-water mark and the purge uses
+    /// the merge — a late-arriving stale vector can never evict an
+    /// entry legitimately pinned to a newer epoch.
+    ///
+    /// Short-circuits without walking any entry when the merge changes
+    /// nothing — an ingest of pure duplicates (or a redundant or
+    /// out-of-order purge) costs O(shards), not O(entries).
     pub fn purge_stale(&mut self, current: &EpochVector) {
-        if self.purged_at.as_ref() == Some(current) {
+        let merged: EpochVector = match &self.purged_at {
+            None => current.clone(),
+            Some(prev) => {
+                let len = prev.len().max(current.len());
+                EpochVector::from(
+                    (0..len)
+                        .map(|s| prev.get(s).max(current.get(s)))
+                        .collect::<Vec<_>>(),
+                )
+            }
+        };
+        if self.purged_at.as_ref() == Some(&merged) {
             return;
         }
         self.entries.retain(|_, e| {
             e.pins
                 .iter()
-                .all(|&(shard, epoch)| current.get(shard as usize) == epoch)
+                .all(|&(shard, epoch)| merged.get(shard as usize) == epoch)
         });
-        self.purged_at = Some(current.clone());
+        self.purged_at = Some(merged);
     }
 
     /// Live entry count.
@@ -328,6 +347,26 @@ mod tests {
         assert_eq!(c.stats(), stats_before, "purges never count as lookups");
         assert_eq!(c.get(&key(1)), Some(10), "entry still hot after purges");
         assert_eq!(c.stats(), (stats_before.0 + 1, stats_before.1));
+    }
+
+    #[test]
+    fn out_of_order_purge_cannot_evict_fresher_entries() {
+        // With per-shard locking, two writers can deliver their epoch
+        // vectors to the cache in either order. The later-epoch purge
+        // arriving first must win: a stale vector limping in afterwards
+        // may not evict entries pinned to the newer epochs.
+        let mut c: AuditCache<u32> = AuditCache::new(8);
+        c.purge_stale(&EpochVector::from(vec![2, 2])); // writer B first
+        c.insert(key(1), pin(1, 2), 10); // audit pinned to shard 1 @ 2
+        c.purge_stale(&EpochVector::from(vec![2, 1])); // writer A, stale
+        assert_eq!(
+            c.get(&key(1)),
+            Some(10),
+            "a stale purge vector must not evict an entry at the high-water epoch"
+        );
+        // A genuinely newer vector still evicts it.
+        c.purge_stale(&EpochVector::from(vec![2, 3]));
+        assert_eq!(c.get(&key(1)), None);
     }
 
     #[test]

@@ -5,12 +5,19 @@
 //! scratch on every invocation. This crate turns the reproduction into a
 //! long-running daemon:
 //!
-//! * **incremental sharded ingestion** — Table-1 records stream into a
-//!   host-sharded [`indaas_deps::ShardedDepDb`]; each effective batch
-//!   bumps the global epoch and the epochs of exactly the shards it
-//!   changed, re-cloning only those shards' copy-on-write snapshots
-//!   (ingest cost is proportional to what changed, not to database
-//!   size); duplicates are absorbed silently;
+//! * **incremental sharded ingestion, no global lock** — Table-1
+//!   records stream into a host-sharded [`indaas_deps::ShardedDepDb`];
+//!   each effective batch bumps the global epoch and the epochs of
+//!   exactly the shards it changed, re-cloning only those shards'
+//!   copy-on-write snapshots (ingest cost is proportional to what
+//!   changed, not to database size); batches lock only the shards they
+//!   touch, snapshots are wait-free per-shard `Arc` loads, and
+//!   duplicates are absorbed silently;
+//! * **segmented persistence** — with [`ServeConfig::db_dir`] set, the
+//!   store loads one Table-1 segment file per shard in parallel at
+//!   boot (a legacy monolithic file migrates transparently) and saves
+//!   dirty shards crash-safely (temp file + rename) on collector ticks
+//!   and at shutdown;
 //! * **concurrent scheduling** — SIA and PIA audit jobs run on a fixed
 //!   worker pool behind a bounded queue with per-job deadlines
 //!   ([`scheduler`]), enforced through the cancellable audit entry

@@ -20,6 +20,12 @@
 //! (`shard_epochs` in `Status`): an ingest bumps only the shards it
 //! changes, and a cached `AuditSia` answer stays valid — `cached: true`
 //! — across ingests that touch no shard its candidate hosts route to.
+//! Each shard carries its own write lock, so concurrent `Ingest`
+//! requests touching different hosts' shards land in parallel; `Status`
+//! exposes the per-shard write counters (`shard_writes`) and a
+//! `lock_waits` contention gauge (how often a writer had to wait for a
+//! shard lock another writer held — near zero while traffic stays on
+//! disjoint shards).
 //!
 //! Responses to failed requests are `{"Error": {"message": "..."}}`; the
 //! connection stays open, so one client can pipeline many requests.
@@ -188,6 +194,16 @@ pub enum Response {
         shard_epochs: Vec<u64>,
         /// Distinct records per shard, indexed like `shard_epochs`.
         shard_records: Vec<usize>,
+        /// Effective write batches applied per shard since startup,
+        /// indexed like `shard_epochs` (a batch spanning K shards
+        /// counts once on each). Together with `lock_waits` this makes
+        /// the store's write parallelism observable over the wire.
+        shard_writes: Vec<u64>,
+        /// Times a writer found a shard lock held by another writer and
+        /// had to wait, summed over all shards. Stays near zero while
+        /// concurrent ingests touch disjoint shards — a growing value
+        /// means hot-shard contention (consider more shards).
+        lock_waits: u64,
         /// Audit jobs currently queued (admitted, not yet running).
         jobs_queued: usize,
         /// Audit jobs currently executing on workers.

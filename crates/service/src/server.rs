@@ -8,8 +8,8 @@
 //!
 //! Data flow for an `AuditSia` request:
 //!
-//! 1. read-lock the sharded DepDB, pin a copy-on-write [`DbSnapshot`]
-//!    (N `Arc` clones — no record is copied);
+//! 1. pin a copy-on-write [`DbSnapshot`] — one **wait-free** `Arc` load
+//!    per shard, no lock at all, never delayed by concurrent ingests;
 //! 2. content-hash `(epoch pins of the shards the spec reads, spec)` →
 //!    cache hit ⇒ answer immediately with `cached: true`;
 //! 3. miss ⇒ submit a job carrying the snapshot and a deadline-armed
@@ -19,11 +19,22 @@
 //!    epochs (a concurrent ingest bumps a read shard's epoch, so the
 //!    entry is already stale and unreachable — and purged on the next
 //!    ingest; ingests to *other* shards leave it hot).
+//!
+//! Writes take no global lock either: the [`ShardedDepDb`] routes each
+//! batch by host shard before locking, then locks only the touched
+//! shards — concurrent ingests to different hosts' shards land in
+//! parallel. Per-shard write counters and a `lock_waits` contention
+//! gauge surface through `Status`.
+//!
+//! With [`ServeConfig::db_dir`] set, the store persists as one segment
+//! file per shard plus a manifest: dirty shards are saved on collector
+//! ticks and at shutdown, every file crash-safely (temp + rename).
 
 use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc, Mutex, RwLock};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use indaas_core::{AuditSpec, AuditingAgent, CancelToken};
@@ -66,10 +77,18 @@ pub struct ServeConfig {
     pub collect_interval: Option<Duration>,
     /// Dependency-store shards (clamped to at least 1). More shards
     /// make ingest cheaper (only the touched shard's snapshot is
-    /// re-cloned) and cache invalidation narrower (audits pinned to
-    /// untouched shards stay cached); the cost is `shards` `Arc` clones
-    /// per snapshot.
+    /// re-cloned), write concurrency wider (writers lock only the
+    /// shards they touch) and cache invalidation narrower (audits
+    /// pinned to untouched shards stay cached); the cost is `shards`
+    /// `Arc` loads per snapshot.
     pub shards: usize,
+    /// Segmented persistence directory. When set, [`Server::bind`]
+    /// loads the store from it (segments in parallel; a legacy
+    /// monolithic file migrates transparently via
+    /// [`ShardedDepDb::open`]) and the daemon saves dirty shards after
+    /// every collector tick and at shutdown — each file written
+    /// crash-safely. `None` keeps the store memory-only.
+    pub db_dir: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -86,6 +105,7 @@ impl Default for ServeConfig {
             round_timeout: Duration::from_secs(10),
             collect_interval: None,
             shards: 8,
+            db_dir: None,
         }
     }
 }
@@ -179,16 +199,24 @@ pub trait FederationEngine: Send + Sync {
 
 struct ServiceState {
     config: ServeConfig,
-    /// The sharded dependency store. It maintains one copy-on-write
-    /// snapshot `Arc` per shard internally; an effective ingest
-    /// re-clones only the shards it changed, so snapshotting for an
-    /// audit is N pointer bumps regardless of database size.
-    db: RwLock<ShardedDepDb>,
+    /// The sharded dependency store — shared directly, **no global
+    /// lock**. Each shard carries its own write mutex and publishes its
+    /// copy-on-write snapshot through an atomic pointer swap, so
+    /// concurrent ingests to different shards land in parallel and
+    /// snapshotting for an audit is N wait-free `Arc` loads regardless
+    /// of database size or writer traffic.
+    db: ShardedDepDb,
     sia_cache: Mutex<AuditCache<AuditReport>>,
     pia_cache: Mutex<AuditCache<Vec<PiaRanking>>>,
     scheduler: Scheduler,
     started: Instant,
     shutting_down: AtomicBool,
+    /// Mutations currently inside [`apply_mutation`]. The shutdown path
+    /// waits for this to drain before its final segment save, so an
+    /// acknowledged ingest can never slip in after the last save and
+    /// vanish with the process (mutations arriving after the shutdown
+    /// flag are rejected instead of acknowledged).
+    in_flight_mutations: AtomicU64,
     local_addr: SocketAddr,
     federation: Mutex<Option<Arc<dyn FederationEngine>>>,
     collectors: Mutex<Vec<Box<dyn DependencyAcquisitionModule + Send>>>,
@@ -201,31 +229,51 @@ pub struct Server {
 }
 
 impl Server {
-    /// Binds the listener and spawns the worker pool.
+    /// Binds the listener and spawns the worker pool. With
+    /// [`ServeConfig::db_dir`] set, the dependency store is loaded from
+    /// it first (segment files in parallel; an empty or missing
+    /// directory starts empty and is created by the first save).
     ///
     /// # Errors
     ///
-    /// Propagates socket bind failures.
+    /// Propagates socket bind failures and db-dir load failures.
     pub fn bind(config: ServeConfig) -> std::io::Result<Self> {
-        Self::bind_with_db(config, VersionedDepDb::new())
+        let store = match &config.db_dir {
+            Some(dir) => ShardedDepDb::open(dir, config.shards)?,
+            None => ShardedDepDb::new(config.shards),
+        };
+        Self::bind_with_store(config, store)
     }
 
-    /// [`Server::bind`] with a pre-loaded dependency database.
+    /// [`Server::bind`] with a pre-loaded monolithic database, routed
+    /// into [`ServeConfig::shards`] shards.
     ///
     /// # Errors
     ///
     /// Propagates socket bind failures.
     pub fn bind_with_db(config: ServeConfig, db: VersionedDepDb) -> std::io::Result<Self> {
+        let shards = config.shards;
+        Self::bind_with_store(config, ShardedDepDb::from_db(db.into_db(), shards))
+    }
+
+    /// [`Server::bind`] with an already-assembled sharded store (the
+    /// CLI's path: it opens `--db-dir`, layers `--records` on top, and
+    /// hands the result here).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket bind failures.
+    pub fn bind_with_store(config: ServeConfig, store: ShardedDepDb) -> std::io::Result<Self> {
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
-        let sharded = ShardedDepDb::from_db(db.into_db(), config.shards);
         let state = Arc::new(ServiceState {
             scheduler: Scheduler::new(config.workers, config.queue_capacity),
             sia_cache: Mutex::new(AuditCache::new(config.cache_capacity)),
             pia_cache: Mutex::new(AuditCache::new(config.cache_capacity)),
-            db: RwLock::new(sharded),
+            db: store,
             started: Instant::now(),
             shutting_down: AtomicBool::new(false),
+            in_flight_mutations: AtomicU64::new(0),
             local_addr,
             config,
             federation: Mutex::new(None),
@@ -288,7 +336,45 @@ impl Server {
             std::thread::spawn(move || handle_connection(stream, &state));
         }
         self.state.scheduler.shutdown();
+        // Final persistence: wait out mutations already past the
+        // shutdown gate (new ones are rejected), then save until a pass
+        // writes nothing — every acknowledged record reaches disk. The
+        // wait is bounded: mutations are short, their counter is
+        // panic-safe (`InFlightGuard`), and a wedged worker must not
+        // turn shutdown into a hang — after the deadline the save runs
+        // with whatever landed.
+        let drain_deadline = Instant::now() + Duration::from_secs(5);
+        while self.state.in_flight_mutations.load(Ordering::SeqCst) > 0
+            && Instant::now() < drain_deadline
+        {
+            std::thread::yield_now();
+        }
+        for _ in 0..16 {
+            match save_dirty(&self.state) {
+                Some(written) if written > 0 => continue,
+                _ => break,
+            }
+        }
         Ok(())
+    }
+}
+
+/// Persists dirty shards into the configured db directory. Returns the
+/// segments written, or `None` without a db dir or on failure. Failures
+/// are logged, never fatal: a daemon that cannot reach its disk keeps
+/// serving from memory and retries on the next tick — the dirty flags
+/// survive a failed save.
+fn save_dirty(state: &ServiceState) -> Option<usize> {
+    let dir = state.config.db_dir.as_ref()?;
+    match state.db.save_dirty_segments(dir) {
+        Ok(written) => Some(written),
+        Err(e) => {
+            eprintln!(
+                "indaas-service: saving segments to {} failed: {e}",
+                dir.display()
+            );
+            None
+        }
     }
 }
 
@@ -456,7 +542,10 @@ fn peer_session_loop(
 /// Flags shutdown and pokes the accept loop awake with a throwaway
 /// connection so `run` observes the flag.
 fn initiate_shutdown(state: &ServiceState) {
-    state.shutting_down.store(true, Ordering::Release);
+    // SeqCst pairs with the mutation gate in `apply_mutation`: the
+    // flag store must be totally ordered against in-flight counter
+    // updates for the shutdown drain to be exhaustive.
+    state.shutting_down.store(true, Ordering::SeqCst);
     let _ = TcpStream::connect(state.local_addr);
 }
 
@@ -517,7 +606,7 @@ fn federate_start(state: &ServiceState, instruction: PartyInstruction) -> Respon
     let Some(engine) = federation_engine(state) else {
         return Response::error("federation not enabled on this daemon");
     };
-    let snapshot = state.db.read().expect("db lock poisoned").snapshot();
+    let snapshot = state.db.snapshot();
     let ctx = FederationCtx {
         snapshot,
         local_addr: state.local_addr,
@@ -547,36 +636,59 @@ fn ingest(state: &ServiceState, records: &str, mutation: Mutation) -> Response {
         Ok(p) => p,
         Err(e) => return Response::error(format!("bad records: {e}")),
     };
-    let report = apply_mutation(state, parsed, &mutation);
-    Response::Ingested {
-        changed: report.changed,
-        ignored: report.ignored,
-        epoch: report.epoch,
+    match apply_mutation(state, parsed, &mutation) {
+        Some(report) => Response::Ingested {
+            changed: report.changed,
+            ignored: report.ignored,
+            epoch: report.epoch,
+        },
+        None => Response::error("daemon is shutting down"),
     }
 }
 
 /// The single write path into the sharded database: every mutation —
 /// protocol ingest/retract or a timer-driven collector batch — lands
 /// here, so epoch bumps, per-shard snapshot refreshes and cache
-/// invalidation can never diverge between entry points. The store
-/// itself re-clones only the shards the batch changed; this function
-/// only has to purge what those shards' epoch bumps invalidated.
+/// invalidation can never diverge between entry points. There is no
+/// global lock left on this path: the store routes the batch by shard
+/// first and locks only the shards it touches, so concurrent mutations
+/// to disjoint hosts proceed in parallel.
+/// Decrements the in-flight mutation counter on drop, so a panic
+/// anywhere inside [`apply_mutation`] (a poisoned cache or shard lock)
+/// cannot leave the shutdown drain waiting forever on a count that
+/// will never reach zero.
+struct InFlightGuard<'a>(&'a AtomicU64);
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
 fn apply_mutation(
     state: &ServiceState,
     records: Vec<DependencyRecord>,
     mutation: &Mutation,
-) -> indaas_deps::ShardedIngestReport {
-    let mut db = state.db.write().expect("db lock poisoned");
+) -> Option<indaas_deps::ShardedIngestReport> {
+    // Shutdown gate (Dekker-style, all SeqCst): either this thread sees
+    // the shutdown flag and bails before touching the store, or the
+    // shutdown path's drain loop sees this in-flight count and waits —
+    // so the final segment save never misses an acknowledged mutation.
+    state.in_flight_mutations.fetch_add(1, Ordering::SeqCst);
+    let _in_flight = InFlightGuard(&state.in_flight_mutations);
+    if state.shutting_down.load(Ordering::SeqCst) {
+        return None;
+    }
     let report = match mutation {
-        Mutation::Ingest => db.ingest(records),
-        Mutation::Retract => db.retract(&records),
+        Mutation::Ingest => state.db.ingest(records),
+        Mutation::Retract => state.db.retract(&records),
     };
     // Per-shard purge: only entries pinned to a shard this batch touched
     // are dropped; audits over other shards stay cached. Called on every
     // batch — the cache compares the epoch vector to its last purge and
     // short-circuits in O(shards) when nothing moved (pure-duplicate
     // collector re-reports), so no-op batches never walk the entries.
-    let epochs = db.epochs();
+    let epochs = state.db.epochs();
     state
         .sia_cache
         .lock()
@@ -584,13 +696,46 @@ fn apply_mutation(
         .purge_stale(&epochs);
     // The PIA cache is NOT purged: PIA results are a pure function of
     // the request's provider sets, never of the DepDB.
-    report
+    Some(report)
+}
+
+/// Runs every registered collector once and ingests what they report
+/// through [`apply_mutation`]. The batch is **fully materialized before
+/// any shard lock is taken**: collection (which may walk hosts, shell
+/// out, or block on slow probes) happens under only the collectors'
+/// own mutex, so shard lock hold time stays proportional to routing +
+/// apply — a slow collector can never stall concurrent protocol
+/// ingests or audits. Returns how many records the tick ingested.
+fn run_collectors(state: &ServiceState) -> usize {
+    // Phase 1: materialize. No DepDB lock is held anywhere in here.
+    let mut collected: Vec<DependencyRecord> = Vec::new();
+    {
+        let mut collectors = state.collectors.lock().expect("collectors lock poisoned");
+        for c in collectors.iter_mut() {
+            for host in c.hosts() {
+                match c.collect(&host) {
+                    Ok(records) => collected.extend(records),
+                    Err(e) => {
+                        eprintln!("indaas-service: collector {} failed: {e}", c.name());
+                    }
+                }
+            }
+        }
+    }
+    // Phase 2: route + apply, the only part that touches shard locks.
+    // A batch rejected by the shutdown gate is simply dropped — the
+    // daemon is exiting and the collectors re-measure on next boot.
+    let total = collected.len();
+    if !collected.is_empty() && apply_mutation(state, collected, &Mutation::Ingest).is_none() {
+        return 0;
+    }
+    total
 }
 
 /// The streaming-ingest timer: re-runs every registered collector each
-/// `interval`, pushing whatever they report through [`apply_mutation`].
-/// A re-measured but unchanged world is a pure-duplicate batch — no
-/// epoch bump, no snapshot rebuild, no cache invalidation.
+/// `interval` via [`run_collectors`]. A re-measured but unchanged world
+/// is a pure-duplicate batch — no epoch bump, no snapshot rebuild, no
+/// cache invalidation, and (with a db dir) no segment rewritten.
 fn collector_loop(state: &ServiceState, interval: Duration) {
     // Sleep in small slices so shutdown is observed promptly even under
     // multi-second intervals.
@@ -605,23 +750,10 @@ fn collector_loop(state: &ServiceState, interval: Duration) {
             continue;
         }
         next = Instant::now() + interval;
-        let mut collected: Vec<DependencyRecord> = Vec::new();
-        {
-            let mut collectors = state.collectors.lock().expect("collectors lock poisoned");
-            for c in collectors.iter_mut() {
-                for host in c.hosts() {
-                    match c.collect(&host) {
-                        Ok(records) => collected.extend(records),
-                        Err(e) => {
-                            eprintln!("indaas-service: collector {} failed: {e}", c.name());
-                        }
-                    }
-                }
-            }
-        }
-        if !collected.is_empty() {
-            apply_mutation(state, collected, &Mutation::Ingest);
-        }
+        run_collectors(state);
+        // Persist whatever the tick (or interleaved protocol ingests)
+        // dirtied; a clean tick writes nothing.
+        save_dirty(state);
     }
 }
 
@@ -664,10 +796,10 @@ fn audit_sia(state: &ServiceState, spec: AuditSpec, timeout_ms: Option<u64>) -> 
         return Response::error(format!("invalid spec: {e}"));
     }
     let started = Instant::now();
-    let (epoch, snapshot) = {
-        let db = state.db.read().expect("db lock poisoned");
-        (db.epoch(), db.snapshot())
-    };
+    // Wait-free: no lock is taken for either the epoch stamp or the
+    // snapshot, so audit admission is never delayed by writers.
+    let epoch = state.db.epoch();
+    let snapshot = state.db.snapshot();
     // The cache key pins exactly the shards this spec's hosts route to:
     // an ingest touching any *other* shard changes neither the key nor
     // the entry's validity, so the cached report stays hot.
@@ -734,7 +866,7 @@ fn audit_pia(
         return Response::error("provider component sets must be non-empty");
     }
     let started = Instant::now();
-    let epoch = state.db.read().expect("db lock poisoned").epoch();
+    let epoch = state.db.epoch();
     // PIA reads nothing from the DepDB — its inputs travel entirely in
     // the request — so the cache key deliberately carries no epoch pins
     // and entries survive ingests (the response still stamps the epoch).
@@ -820,17 +952,18 @@ fn wait_for_result<T>(
 }
 
 fn status(state: &ServiceState) -> Response {
-    let (epoch, records, hosts, shard_epochs, shard_records) = {
-        let db = state.db.read().expect("db lock poisoned");
-        let shard_records: Vec<usize> = (0..db.num_shards()).map(|s| db.shard_len(s)).collect();
-        (
-            db.epoch(),
-            db.len(),
-            DepView::hosts(&*db).len(),
-            db.epochs().as_slice().to_vec(),
-            shard_records,
-        )
-    };
+    // Status reads the same wait-free snapshot path audits use; the
+    // counters come from per-shard atomics. No lock, so a dashboard
+    // polling Status never slows writers down.
+    let snapshot = state.db.snapshot();
+    let epoch = state.db.epoch();
+    let shard_records: Vec<usize> = (0..snapshot.num_shards())
+        .map(|s| snapshot.shard(s).len())
+        .collect();
+    let records = shard_records.iter().sum();
+    let hosts = DepView::hosts(&snapshot).len();
+    let shard_epochs = snapshot.epochs().as_slice().to_vec();
+    let counters = state.db.counters();
     let (sia_hits, sia_misses, sia_len) = {
         let cache = state.sia_cache.lock().expect("cache lock poisoned");
         let (h, m) = cache.stats();
@@ -851,6 +984,8 @@ fn status(state: &ServiceState) -> Response {
         hosts,
         shard_epochs,
         shard_records,
+        shard_writes: counters.shard_writes,
+        lock_waits: counters.lock_waits,
         jobs_queued: state.scheduler.queued(),
         jobs_running: state.scheduler.running(),
         cache_entries,

@@ -14,7 +14,7 @@
 use std::process::ExitCode;
 
 use indaas::core::{AuditSpec, AuditingAgent, CandidateDeployment, RankingMetric, RgAlgorithm};
-use indaas::deps::{parse_records, DepDb, FailureProbModel, SimCollector, VersionedDepDb};
+use indaas::deps::{parse_records, DepDb, FailureProbModel, ShardedDepDb, SimCollector};
 use indaas::federation::{Federation, FederationCoordinator, PeerRegistry};
 use indaas::graph::to_dot;
 use indaas::pia::normalize::normalize_set;
@@ -58,8 +58,9 @@ USAGE:
   indaas pia --set NAME=FILE [--set ...] [--way N] [--minhash M] [--json]
   indaas dot --records FILE --servers S1,S2[,...]
   indaas serve [--listen ADDR] [--workers N] [--queue N] [--cache N]
-               [--deadline-ms MS] [--records FILE] [--peer ADDR ...]
-               [--collect-interval MS] [--collect-truth FILE]
+               [--deadline-ms MS] [--db-dir DIR] [--records FILE]
+               [--peer ADDR ...] [--collect-interval MS]
+               [--collect-truth FILE]
   indaas federate --peer ADDR --peer ADDR [--peer ...] [--seed N]
                   [--round-timeout-ms MS] [--json]
   indaas ping [--addr ADDR]
@@ -74,10 +75,10 @@ indaas serve — run the continuous auditing daemon
 
 USAGE:
   indaas serve [--listen ADDR] [--workers N] [--queue N] [--cache N]
-               [--shards N] [--deadline-ms MS] [--records FILE]
-               [--peer ADDR ...] [--node NAME] [--round-timeout-ms MS]
-               [--collect-interval MS] [--collect-truth FILE]
-               [--collect-miss-rate R]
+               [--shards N] [--deadline-ms MS] [--db-dir DIR]
+               [--records FILE] [--peer ADDR ...] [--node NAME]
+               [--round-timeout-ms MS] [--collect-interval MS]
+               [--collect-truth FILE] [--collect-miss-rate R]
 
 OPTIONS:
   --listen ADDR          listen address (default 127.0.0.1:4914; port 0 = ephemeral)
@@ -89,7 +90,13 @@ OPTIONS:
                          touches, so more shards = cheaper ingest and
                          narrower cache invalidation
   --deadline-ms MS       default per-job deadline (default 30000)
+  --db-dir DIR           segmented persistence directory: segments load
+                         in parallel at boot (a legacy monolithic
+                         Table-1 file path migrates in place, keeping a
+                         .legacy.bak) and dirty shards are saved
+                         crash-safely on collector ticks and at shutdown
   --records FILE         pre-load Table-1 records before serving
+                         (layered on top of --db-dir contents, if any)
   --peer ADDR            federation peer allow-list entry (repeatable;
                          no --peer = accept any peer)
   --node NAME            node name announced in peer handshakes
@@ -330,13 +337,23 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         }
         config.collect_interval = Some(std::time::Duration::from_millis(ms));
     }
-    let db = match flags.value("--records") {
-        Some(path) => {
-            VersionedDepDb::from_db(DepDb::load(path).map_err(|e| format!("loading {path}: {e}"))?)
-        }
-        None => VersionedDepDb::new(),
+    if let Some(dir) = flags.value("--db-dir") {
+        config.db_dir = Some(std::path::PathBuf::from(dir));
+    }
+    // The store opens from --db-dir (segments in parallel; a legacy
+    // monolithic file migrates transparently; a missing path starts
+    // empty), then any --records file is layered on top through the
+    // normal ingest path.
+    let store = match &config.db_dir {
+        Some(dir) => ShardedDepDb::open(dir, config.shards)
+            .map_err(|e| format!("opening {}: {e}", dir.display()))?,
+        None => ShardedDepDb::new(config.shards),
     };
-    let server = Server::bind_with_db(config, db).map_err(|e| format!("bind: {e}"))?;
+    if let Some(path) = flags.value("--records") {
+        let db = DepDb::load(path).map_err(|e| format!("loading {path}: {e}"))?;
+        store.ingest(db.all_records());
+    }
+    let server = Server::bind_with_store(config, store).map_err(|e| format!("bind: {e}"))?;
 
     // Federation is always on: the engine announces the bound address
     // (or --node) and enforces the --peer allow-list, if any.

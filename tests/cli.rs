@@ -169,6 +169,87 @@ fn serve_rejects_bad_flags_and_missing_records() {
         .expect("binary runs");
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("/no/such/file"));
+
+    // A non-empty directory without a manifest is refused as --db-dir
+    // rather than silently shadowed by an empty store.
+    let junk_dir = std::env::temp_dir().join(format!("indaas-cli-junkdb-{}", std::process::id()));
+    std::fs::create_dir_all(&junk_dir).expect("mkdir");
+    std::fs::write(junk_dir.join("unrelated.txt"), "not a db").expect("write junk");
+    let out = bin()
+        .args(["serve", "--db-dir", junk_dir.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("MANIFEST"));
+    std::fs::remove_dir_all(&junk_dir).ok();
+}
+
+/// `serve --db-dir` across two daemon processes: the first persists its
+/// `--records` seed as segments at shutdown, the second boots from the
+/// directory alone and still knows every record.
+#[test]
+fn serve_db_dir_persists_across_processes() {
+    use std::io::{BufRead, BufReader, Write};
+
+    let dir = std::env::temp_dir().join(format!("indaas-cli-dbdir-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let records = write_temp(
+        "dbdir-seed.txt",
+        r#"
+        <src="S1" dst="Internet" route="tor1,core1"/>
+        <src="S2" dst="Internet" route="tor1,core2"/>
+        <hw="S1" type="Disk" dep="S1-disk"/>
+        "#,
+    );
+
+    let run_daemon = |extra: &[&str]| -> String {
+        let mut args = vec!["serve", "--listen", "127.0.0.1:0", "--db-dir"];
+        args.push(dir.to_str().unwrap());
+        args.extend_from_slice(extra);
+        let mut child = bin()
+            .args(&args)
+            .stderr(std::process::Stdio::piped())
+            .spawn()
+            .expect("daemon starts");
+        let stderr = child.stderr.take().expect("stderr piped");
+        let mut banner = String::new();
+        BufReader::new(stderr)
+            .read_line(&mut banner)
+            .expect("read banner");
+        let addr = banner
+            .trim()
+            .rsplit(' ')
+            .next()
+            .expect("address in banner")
+            .to_string();
+
+        let stream = std::net::TcpStream::connect(&addr).expect("connect");
+        let mut writer = stream.try_clone().expect("clone");
+        let mut reader = BufReader::new(stream);
+        let mut status_line = String::new();
+        writer.write_all(b"\"Status\"\n").expect("write");
+        reader.read_line(&mut status_line).expect("read status");
+        let mut line = String::new();
+        writer.write_all(b"\"Shutdown\"\n").expect("write");
+        reader.read_line(&mut line).expect("read shutdown ack");
+        assert!(child.wait().expect("daemon exits").success());
+        status_line
+    };
+
+    let first = run_daemon(&["--records", records.to_str().unwrap()]);
+    assert!(first.contains("\"records\":3"), "got: {first}");
+    assert!(
+        dir.join("MANIFEST.json").exists(),
+        "shutdown must write the segmented layout"
+    );
+
+    // Second process: no --records, everything comes from the db dir.
+    let second = run_daemon(&[]);
+    assert!(second.contains("\"records\":3"), "got: {second}");
+    assert!(second.contains("\"epoch\":1"), "got: {second}");
+
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_file(&records).ok();
 }
 
 #[test]

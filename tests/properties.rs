@@ -187,7 +187,7 @@ proptest! {
         batch in record_batch(),
         shards in 1usize..12,
     ) {
-        let mut sharded = ShardedDepDb::new(shards);
+        let sharded = ShardedDepDb::new(shards);
         let report = sharded.ingest(batch.clone());
         let mono = DepDb::from_records(batch.clone());
         prop_assert_eq!(sharded.len(), mono.len());
@@ -222,7 +222,7 @@ proptest! {
         absent in record_batch(),
         shards in 1usize..12,
     ) {
-        let mut sharded = ShardedDepDb::new(shards);
+        let sharded = ShardedDepDb::new(shards);
         sharded.ingest(batch.clone());
         let epochs_before = sharded.epochs();
         let global_before = sharded.epoch();
@@ -249,7 +249,7 @@ proptest! {
         extra in record_batch(),
         shards in 1usize..12,
     ) {
-        let mut sharded = ShardedDepDb::new(shards);
+        let sharded = ShardedDepDb::new(shards);
         sharded.ingest(base.clone());
         let epochs_start = sharded.epochs();
         let len_start = sharded.len();
@@ -283,7 +283,7 @@ proptest! {
         second in record_batch(),
         shards in 1usize..12,
     ) {
-        let mut sharded = ShardedDepDb::new(shards);
+        let sharded = ShardedDepDb::new(shards);
         sharded.ingest(first);
         let snap = sharded.snapshot();
         prop_assert_eq!(snap.epochs(), &sharded.epochs());
@@ -296,6 +296,88 @@ proptest! {
         sharded.ingest(second);
         prop_assert_eq!(snap.epochs(), &pinned);
         prop_assert_eq!(snap.record_count(), pinned_len);
+    }
+
+    /// K threads ingesting disjoint-shard batches concurrently yield
+    /// exactly the records and per-shard epochs of a serial replay:
+    /// per-shard locking admits no interleaving that a serial order
+    /// could not produce, and the global epoch counts effective batches
+    /// whatever the arrival order.
+    #[test]
+    fn concurrent_disjoint_ingest_matches_serial_replay(
+        plans in proptest::collection::vec(
+            proptest::collection::vec(
+                // Each small integer decodes to (host index, dep id).
+                proptest::collection::vec(0u32..18, 1..6),
+                1..5,
+            ),
+            2..5,
+        ),
+    ) {
+        const SHARDS: usize = 8;
+        // One disjoint host pool per writer thread: thread t only ever
+        // touches shard t's hosts.
+        let pools: Vec<Vec<String>> = (0..plans.len())
+            .map(|t| {
+                let mut pool = Vec::new();
+                for i in 0..10_000 {
+                    let host = format!("H{i}");
+                    if shard_index(&host, SHARDS) == t {
+                        pool.push(host);
+                        if pool.len() == 3 {
+                            break;
+                        }
+                    }
+                }
+                pool
+            })
+            .collect();
+        let materialize = |t: usize, batch: &[u32]| -> Vec<DependencyRecord> {
+            batch
+                .iter()
+                .map(|&n| {
+                    DependencyRecord::Hardware(HardwareDep {
+                        hw: pools[t][n as usize % 3].clone(),
+                        hw_type: "CPU".to_string(),
+                        dep: format!("chip{}", n / 3),
+                    })
+                })
+                .collect()
+        };
+
+        let concurrent = ShardedDepDb::new(SHARDS);
+        let barrier = std::sync::Barrier::new(plans.len());
+        std::thread::scope(|scope| {
+            for (t, batches) in plans.iter().enumerate() {
+                let (concurrent, barrier, materialize) = (&concurrent, &barrier, &materialize);
+                scope.spawn(move || {
+                    barrier.wait(); // maximize overlap
+                    for batch in batches {
+                        concurrent.ingest(materialize(t, batch));
+                    }
+                });
+            }
+        });
+
+        let serial = ShardedDepDb::new(SHARDS);
+        for (t, batches) in plans.iter().enumerate() {
+            for batch in batches {
+                serial.ingest(materialize(t, batch));
+            }
+        }
+
+        prop_assert_eq!(concurrent.epochs(), serial.epochs());
+        prop_assert_eq!(concurrent.epoch(), serial.epoch());
+        prop_assert_eq!(concurrent.len(), serial.len());
+        let (csnap, ssnap) = (concurrent.snapshot(), serial.snapshot());
+        prop_assert_eq!(DepView::hosts(&csnap), DepView::hosts(&ssnap));
+        for host in DepView::hosts(&ssnap) {
+            prop_assert_eq!(csnap.hardware_deps(&host), ssnap.hardware_deps(&host));
+            prop_assert_eq!(
+                csnap.pins_for_hosts([host.as_str()]),
+                ssnap.pins_for_hosts([host.as_str()])
+            );
+        }
     }
 
     /// Every minimal RG fails the top event, and removing any member
