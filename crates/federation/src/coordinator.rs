@@ -27,6 +27,7 @@ struct PartyReport {
     sent_bytes: u64,
     recv_bytes: u64,
     sent_msgs: u64,
+    wire_sent_bytes: u64,
 }
 
 /// Outcome of a federated private overlap audit.
@@ -37,6 +38,11 @@ pub struct FederatedOutcome {
     /// The P-SOP result with reassembled per-party traffic (parties
     /// `0..k` are the daemons in peer order, party `k` the coordinator).
     pub psop: PsopOutcome,
+    /// Bytes each provider daemon actually wrote to its ring successor,
+    /// framing included, in peer order. Unlike `psop.traffic` (protocol
+    /// payload, identical whatever the framing), this is the number the
+    /// binary frame encoding halves versus v1 hex lines.
+    pub party_wire_bytes: Vec<u64>,
 }
 
 /// Drives the round structure of a multi-daemon P-SOP exchange.
@@ -133,9 +139,11 @@ impl FederationCoordinator {
         received.push(parties.iter().map(|p| p.payload.len() as u64).sum());
         let messages = parties.iter().map(|p| p.sent_msgs).sum();
         let traffic = TrafficStats::from_parts(sent, received, messages);
+        let party_wire_bytes = parties.iter().map(|p| p.wire_sent_bytes).collect();
         Ok(FederatedOutcome {
             session,
             psop: outcome_from_counts(intersection, union, traffic),
+            party_wire_bytes,
         })
     }
 
@@ -170,6 +178,7 @@ impl FederationCoordinator {
                 recv_bytes,
                 sent_msgs,
                 recv_msgs: _,
+                wire_sent_bytes,
             } => {
                 if echoed != session {
                     return Err(FederationError::Protocol(format!(
@@ -193,6 +202,7 @@ impl FederationCoordinator {
                     sent_bytes,
                     recv_bytes,
                     sent_msgs,
+                    wire_sent_bytes,
                 })
             }
             Response::Error { message } => Err(FederationError::Remote(format!(

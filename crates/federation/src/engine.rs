@@ -29,6 +29,10 @@ pub struct Federation {
     node: String,
     peers: PeerRegistry,
     sessions: SessionRegistry,
+    /// Protocol version offered when dialing ring successors. Defaults
+    /// to the newest this build speaks; pinning it to 1 forces the
+    /// legacy hex framing (how the wire-efficiency e2e measures both).
+    offer_version: u32,
 }
 
 impl Federation {
@@ -44,7 +48,18 @@ impl Federation {
             node: node.into(),
             peers,
             sessions: SessionRegistry::new(),
+            offer_version: FEDERATION_PROTOCOL_VERSION,
         }
+    }
+
+    /// Pins the protocol version this engine offers when dialing peers
+    /// (clamped into the supported range). Listener-side negotiation is
+    /// unaffected: incoming peers still get `min(offered, supported)`.
+    #[must_use]
+    pub fn with_protocol_version(mut self, version: u32) -> Self {
+        self.offer_version =
+            version.clamp(MIN_FEDERATION_PROTOCOL_VERSION, FEDERATION_PROTOCOL_VERSION);
+        self
     }
 
     /// The node name announced in handshakes.
@@ -184,8 +199,9 @@ impl FederationEngine for Federation {
             .min(ctx.round_timeout);
         let token = CancelToken::with_deadline(round_timeout * (parties + 2));
 
-        let conn = PeerConn::dial(&successor, &self.node, round_timeout)
-            .map_err(|e| format!("dialing successor {successor}: {e}"))?;
+        let conn =
+            PeerConn::dial_with_version(&successor, &self.node, round_timeout, self.offer_version)
+                .map_err(|e| format!("dialing successor {successor}: {e}"))?;
         let mailbox = self.sessions.mailbox(session)?;
         let mut transport = TcpRoundTransport::new(
             index as usize,
@@ -206,7 +222,7 @@ impl FederationEngine for Federation {
         );
         self.sessions.remove(session);
         run.map_err(|e| e.to_string())?;
-        let (payload, stats, hops) = transport
+        let (payload, stats, hops, wire_sent_bytes) = transport
             .into_completion()
             .ok_or_else(|| "party finished without an agent payload".to_string())?;
         Ok(PartyCompletion {
@@ -214,6 +230,7 @@ impl FederationEngine for Federation {
             recv_bytes: stats.recv_bytes(index as usize),
             sent_msgs: hops.sent_msgs,
             recv_msgs: hops.recv_msgs,
+            wire_sent_bytes,
             payload,
         })
     }

@@ -13,8 +13,9 @@ use std::time::Duration;
 
 use indaas_graph::CancelToken;
 use indaas_service::proto::{
-    decode_line, encode_line, encode_payload, read_bounded_line, LineRead, Request, Response,
-    FEDERATION_PROTOCOL_VERSION, MAX_FEDERATE_PAYLOAD_BYTES, MIN_FEDERATION_PROTOCOL_VERSION,
+    decode_line, encode_line, encode_payload, encode_round_frame, read_bounded_line, write_frame,
+    LineRead, Request, Response, FEDERATION_PROTOCOL_VERSION, MAX_FEDERATE_PAYLOAD_BYTES,
+    MIN_FEDERATION_PROTOCOL_VERSION,
 };
 use indaas_simnet::{Message, PartyId, TrafficStats, Transport, TransportError};
 
@@ -28,15 +29,20 @@ const MAX_WELCOME_LINE: u64 = 4 * 1024;
 /// An established (handshaken) outbound peer session.
 pub struct PeerConn {
     writer: TcpStream,
-    /// Negotiated protocol version.
+    /// Negotiated protocol version: ≥ 2 ships raw binary round frames,
+    /// 1 falls back to hex-in-JSON lines.
     pub version: u32,
     /// The peer's self-reported node name.
     pub peer_node: String,
+    /// Every byte this connection has put on the wire — handshake and
+    /// framing included — for the wire-efficiency accounting binary
+    /// framing is measured by.
+    wire_sent: u64,
 }
 
 impl PeerConn {
     /// Dials `addr`, announces `own_node`, and negotiates the protocol
-    /// version.
+    /// version, offering the newest this build speaks.
     ///
     /// # Errors
     ///
@@ -44,6 +50,23 @@ impl PeerConn {
     /// e.g. a detected self-connection), an unsupported version, or a
     /// peer that answers out of protocol.
     pub fn dial(addr: &str, own_node: &str, timeout: Duration) -> Result<Self, FederationError> {
+        Self::dial_with_version(addr, own_node, timeout, FEDERATION_PROTOCOL_VERSION)
+    }
+
+    /// [`PeerConn::dial`] offering an explicit protocol version — how a
+    /// dialer deliberately downgrades to v1 hex framing (the
+    /// wire-efficiency e2e suite measures both encodings this way).
+    ///
+    /// # Errors
+    ///
+    /// See [`PeerConn::dial`]; additionally rejects a peer negotiating
+    /// *above* the offered version (a broken negotiation).
+    pub fn dial_with_version(
+        addr: &str,
+        own_node: &str,
+        timeout: Duration,
+        offer: u32,
+    ) -> Result<Self, FederationError> {
         // `TcpStream::connect` has no deadline of its own — a blackholed
         // successor would wedge the party thread for the OS connect
         // timeout (minutes), far past every protocol deadline.
@@ -54,11 +77,12 @@ impl PeerConn {
         let mut reader = BufReader::new(stream);
         let mut conn = PeerConn {
             writer,
-            version: FEDERATION_PROTOCOL_VERSION,
+            version: offer,
             peer_node: String::new(),
+            wire_sent: 0,
         };
         conn.write_line(&encode_line(&Request::FederateHello {
-            version: FEDERATION_PROTOCOL_VERSION,
+            version: offer,
             node: own_node.to_string(),
         }))?;
         let mut line = String::new();
@@ -77,7 +101,7 @@ impl PeerConn {
         }
         match decode_line::<Response>(line.trim()) {
             Ok(Response::FederateWelcome { version, node }) => {
-                if !(MIN_FEDERATION_PROTOCOL_VERSION..=FEDERATION_PROTOCOL_VERSION)
+                if !(MIN_FEDERATION_PROTOCOL_VERSION..=offer.min(FEDERATION_PROTOCOL_VERSION))
                     .contains(&version)
                 {
                     return Err(FederationError::Protocol(format!(
@@ -103,7 +127,9 @@ impl PeerConn {
         }
     }
 
-    /// Ships one round frame.
+    /// Ships one round frame: raw binary at the negotiated version ≥ 2
+    /// (header + ciphertext bytes verbatim — about half the wire bytes),
+    /// hex-in-JSON lines for v1 peers.
     ///
     /// # Errors
     ///
@@ -122,6 +148,13 @@ impl PeerConn {
                 payload.len()
             )));
         }
+        if self.version >= 2 {
+            let frame = encode_round_frame(session, round, from, payload);
+            write_frame(&mut self.writer, &frame).map_err(FederationError::Io)?;
+            self.writer.flush()?;
+            self.wire_sent += 4 + frame.len() as u64;
+            return Ok(());
+        }
         self.write_line(&encode_line(&Request::FederateData {
             session,
             round,
@@ -130,10 +163,16 @@ impl PeerConn {
         }))
     }
 
+    /// Bytes this connection has written, framing included.
+    pub fn wire_sent_bytes(&self) -> u64 {
+        self.wire_sent
+    }
+
     fn write_line(&mut self, line: &str) -> Result<(), FederationError> {
         self.writer.write_all(line.as_bytes())?;
         self.writer.write_all(b"\n")?;
         self.writer.flush()?;
+        self.wire_sent += line.len() as u64 + 1;
         Ok(())
     }
 }
@@ -230,9 +269,13 @@ impl TcpRoundTransport {
         self.providers
     }
 
-    /// The stashed agent payload, once the final hop ran.
-    pub fn into_completion(self) -> Option<(Vec<u8>, TrafficStats, HopCounters)> {
-        self.final_payload.map(|p| (p, self.stats, self.counters))
+    /// The stashed agent payload, once the final hop ran, along with
+    /// the traffic stats, hop counters, and the successor connection's
+    /// wire-byte total.
+    pub fn into_completion(self) -> Option<(Vec<u8>, TrafficStats, HopCounters, u64)> {
+        let wire = self.successor.wire_sent_bytes();
+        self.final_payload
+            .map(|p| (p, self.stats, self.counters, wire))
     }
 }
 

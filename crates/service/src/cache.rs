@@ -16,6 +16,14 @@
 //! Repeated or overlapping queries — a dashboard polling the same
 //! deployment comparison, many tenants auditing a popular rack pair —
 //! hit the cache instead of recomputing BDDs or sampling rounds.
+//!
+//! The same [`EpochPins`] mechanism drives the protocol-v2 push path:
+//! a subscription ([`crate::subs::SubscriptionRegistry`]) is pinned to
+//! exactly the pins its spec's cache key embeds, so "which ingests
+//! invalidate this cached report" and "which ingests wake this
+//! subscriber" are one answer — and a pushed re-audit lands back in
+//! this cache, where every other subscriber to the same spec (and
+//! every poller) hits it for free.
 
 use std::collections::{HashMap, VecDeque};
 

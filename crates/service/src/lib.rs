@@ -28,9 +28,19 @@
 //!   compilation and sampling entirely, an ingest invalidates exactly
 //!   the entries pinned to the shards it touched, and audits over
 //!   untouched shards stay cached across unrelated ingests;
-//! * **a line-delimited JSON protocol over TCP** ([`proto`]) plus a
-//!   blocking [`Client`] used by the `indaas serve`/`indaas ping` CLI
-//!   and the end-to-end tests.
+//! * **a multiplexed, binary-framed wire protocol** ([`proto`]) — a v2
+//!   session pipelines many in-flight requests as correlated envelopes
+//!   over length-prefixed binary frames, while v1 peers (plain
+//!   line-delimited JSON, lock-step) keep working through the hello
+//!   downgrade path — plus the pipelining [`Client`] session used by
+//!   the `indaas` CLI and the end-to-end tests;
+//! * **server-push audit subscriptions** ([`subs`]) — `Subscribe` pins
+//!   a spec to the `(shard, epoch)` pairs its hosts route to; when an
+//!   ingest bumps a pinned shard the daemon re-runs the audit through
+//!   the normal scheduler and cache and pushes the fresh result to
+//!   every affected subscriber over its bounded per-connection outbox
+//!   (slow consumers shed their oldest events, never block ingest) —
+//!   `indaas watch` is the CLI surface.
 //!
 //! # Example
 //!
@@ -75,9 +85,14 @@ pub mod client;
 pub mod proto;
 pub mod scheduler;
 pub mod server;
+pub mod subs;
 
 pub use cache::{job_key, AuditCache, EpochPins};
-pub use client::{Client, ClientError, IngestAnswer, PiaAnswer, SiaAnswer};
-pub use proto::{Request, Response};
+pub use client::{
+    AuditEvent, Client, ClientError, IngestAnswer, PendingResponse, PiaAnswer, SiaAnswer,
+    StatusAnswer, Subscription, V1Client,
+};
+pub use proto::{Envelope, Request, Response, ResponseEnvelope};
 pub use scheduler::{Scheduler, SubmitError};
 pub use server::{ServeConfig, Server};
+pub use subs::{Outbox, SubscriptionRegistry};

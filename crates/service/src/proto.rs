@@ -1,19 +1,38 @@
-//! The daemon's wire protocol: line-delimited JSON over TCP.
+//! The daemon's wire protocol: versioned, multiplexed, binary-framed.
 //!
-//! Every request is one JSON value on one line; the daemon answers with
-//! exactly one JSON response line. Enum values use serde's default
-//! externally-tagged form, so a unit variant is a bare string and a
-//! payload variant is a single-key object:
+//! **Protocol v2** opens with one line-mode handshake and then switches
+//! to length-prefixed binary frames carrying correlated envelopes:
+//!
+//! ```text
+//! → {"Hello": {"version": 2}}\n
+//! ← {"Welcome": {"version": 2}}\n
+//! --- connection switches to [u32 big-endian length][payload] frames ---
+//! → frame: {"id": 1, "body": {"AuditSia": {"spec": {...}, "timeout_ms": 5000}}}
+//! → frame: {"id": 2, "body": "Status"}
+//! ← frame: {"id": 2, "body": {"Status": {...}}}        (responses may arrive out of order)
+//! ← frame: {"id": 1, "body": {"Sia": {...}}}
+//! → frame: {"id": 3, "body": {"Subscribe": {"spec": {...}, "engine": "sia"}}}
+//! ← frame: {"id": 3, "body": {"Subscribed": {"subscription": 9}}}
+//! ← frame: {"id": 0, "body": {"AuditEvent": {"subscription": 9, ...}}}   (server push)
+//! ```
+//!
+//! A session admits many in-flight requests at once; every response
+//! carries the envelope id of the request it answers, and envelope id
+//! [`EVENT_ENVELOPE_ID`] (0) is reserved for server-initiated pushes —
+//! [`Response::AuditEvent`] frames delivered whenever an ingest changes
+//! a shard a subscription's spec reads.
+//!
+//! **Protocol v1** (line-delimited JSON, one lock-step request/response
+//! pair at a time) remains fully supported through the downgrade path:
+//! a connection whose first line is any request *other than* `Hello`
+//! (or that offers `{"Hello": {"version": 1}}`) stays in line mode for
+//! its whole life and is answered exactly as before:
 //!
 //! ```text
 //! → "Ping"
 //! ← "Pong"
 //! → {"Ingest": {"records": "<src=\"S1\" dst=\"Internet\" route=\"tor1\"/>"}}
 //! ← {"Ingested": {"changed": 1, "ignored": 0, "epoch": 1}}
-//! → {"AuditSia": {"spec": {...}, "timeout_ms": 5000}}
-//! ← {"Sia": {"epoch": 1, "cached": false, "elapsed_us": 812, "report": {...}}}
-//! → "Status"
-//! ← {"Status": {"epoch": 1, "shard_epochs": [0, 1, ...], "shard_records": [0, 1, ...], ...}}
 //! ```
 //!
 //! The dependency store is sharded by host key with per-shard epochs
@@ -22,26 +41,43 @@
 //! — across ingests that touch no shard its candidate hosts route to.
 //! Each shard carries its own write lock, so concurrent `Ingest`
 //! requests touching different hosts' shards land in parallel; `Status`
-//! exposes the per-shard write counters (`shard_writes`) and a
-//! `lock_waits` contention gauge (how often a writer had to wait for a
-//! shard lock another writer held — near zero while traffic stays on
-//! disjoint shards).
+//! exposes the per-shard write counters (`shard_writes`), a
+//! `lock_waits` contention gauge, and the push-path gauges
+//! (`subscriptions`, `pushed_events`).
 //!
 //! Responses to failed requests are `{"Error": {"message": "..."}}`; the
-//! connection stays open, so one client can pipeline many requests.
+//! connection stays open (v1) or the error rides the offending
+//! envelope's id (v2).
 
 use indaas_core::AuditSpec;
 use indaas_pia::PiaRanking;
 use indaas_sia::AuditReport;
 use serde::{Deserialize, Serialize};
 
+/// Client wire-protocol version this daemon speaks. A v2 session opens
+/// with [`Request::Hello`]; the daemon answers [`Response::Welcome`]
+/// with `min(offered, own)` and the connection switches to binary
+/// frames when the negotiated version is ≥ 2.
+pub const PROTOCOL_VERSION: u32 = 2;
+
+/// Oldest client protocol version still accepted. Version-1 peers never
+/// send a `Hello` at all (or offer `1` explicitly) and keep the
+/// line-mode lock-step protocol.
+pub const MIN_PROTOCOL_VERSION: u32 = 1;
+
+/// Envelope id reserved for server-initiated pushes
+/// ([`Response::AuditEvent`]). Client-chosen request ids must be ≥ 1.
+pub const EVENT_ENVELOPE_ID: u64 = 0;
+
 /// Federation wire-protocol version this daemon speaks.
 ///
 /// A peer handshake ([`Request::FederateHello`]) offers the dialer's
 /// version; the listener answers with `min(offered, own)` in
 /// [`Response::FederateWelcome`] and rejects anything below
-/// [`MIN_FEDERATION_PROTOCOL_VERSION`].
-pub const FEDERATION_PROTOCOL_VERSION: u32 = 1;
+/// [`MIN_FEDERATION_PROTOCOL_VERSION`]. At version ≥ 2 the peer session
+/// switches to raw binary round frames ([`encode_round_frame`]) after
+/// the handshake; version-1 peers keep hex-in-JSON lines.
+pub const FEDERATION_PROTOCOL_VERSION: u32 = 2;
 
 /// Oldest federation protocol version still accepted.
 pub const MIN_FEDERATION_PROTOCOL_VERSION: u32 = 1;
@@ -56,9 +92,15 @@ pub const MAX_FEDERATE_PAYLOAD_BYTES: usize = 4 * 1024 * 1024;
 /// input, so bounded like everything else a peer controls.
 pub const MAX_NODE_NAME_BYTES: usize = 256;
 
-/// A client request, one per line.
+/// A client request: one per line in v1, one per envelope in v2.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub enum Request {
+    /// First line of a protocol-v2 session: version negotiation. A
+    /// connection that never sends one is a v1 line-mode session.
+    Hello {
+        /// Client protocol version the dialer speaks.
+        version: u32,
+    },
     /// Liveness probe.
     Ping,
     /// Stream a batch of Table-1 records into the versioned DepDB.
@@ -89,6 +131,25 @@ pub enum Request {
         minhash: Option<usize>,
         /// Per-job deadline in milliseconds (`null` = server default).
         timeout_ms: Option<u64>,
+    },
+    /// Register a continuous audit: the daemon pins the subscription to
+    /// the `(shard, epoch)` pairs the spec's hosts route to, pushes one
+    /// initial [`Response::AuditEvent`], and re-runs the audit (through
+    /// the normal scheduler and result cache) after every ingest that
+    /// bumps a pinned shard, pushing the fresh result. Requires a
+    /// protocol-v2 session.
+    Subscribe {
+        /// The audit specification to keep current.
+        spec: AuditSpec,
+        /// Audit engine to run — `"sia"` is the only engine with
+        /// database-derived inputs, and therefore the only one that can
+        /// go stale and be worth subscribing to.
+        engine: String,
+    },
+    /// Cancel a subscription made on this connection.
+    Unsubscribe {
+        /// The id [`Response::Subscribed`] returned.
+        subscription: u64,
     },
     /// Service counters and database state.
     Status,
@@ -141,9 +202,18 @@ pub enum Request {
     },
 }
 
-/// The daemon's answer, one per request line.
+/// The daemon's answer: one per request line in v1; in v2, one response
+/// envelope per request envelope plus unsolicited
+/// [`Response::AuditEvent`] pushes on envelope id 0.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub enum Response {
+    /// Answer to [`Request::Hello`]: the negotiated protocol version,
+    /// `min(offered, supported)`. At a negotiated version ≥ 2 both
+    /// sides switch to binary frames immediately after this line.
+    Welcome {
+        /// Negotiated client protocol version.
+        version: u32,
+    },
     /// Answer to [`Request::Ping`].
     Pong,
     /// Answer to [`Request::Ingest`] / [`Request::Retract`].
@@ -217,8 +287,43 @@ pub enum Response {
         /// `cache_hits / (cache_hits + cache_misses)`, 0 before the
         /// first lookup.
         hit_ratio: f64,
+        /// Live audit subscriptions across all connections.
+        subscriptions: usize,
+        /// [`Response::AuditEvent`] frames produced for subscribers
+        /// since startup (shed events — a slow consumer's overwritten
+        /// backlog — still count: they were produced).
+        pushed_events: u64,
         /// Milliseconds since the daemon started.
         uptime_ms: u64,
+    },
+    /// Answer to [`Request::Subscribe`]: the subscription is live and
+    /// its first [`Response::AuditEvent`] is on its way.
+    Subscribed {
+        /// Id to pass to [`Request::Unsubscribe`]; pushed events carry
+        /// it so one connection can hold many subscriptions.
+        subscription: u64,
+    },
+    /// Answer to [`Request::Unsubscribe`].
+    Unsubscribed {
+        /// Echo of the cancelled subscription id.
+        subscription: u64,
+    },
+    /// Server push on envelope id [`EVENT_ENVELOPE_ID`]: a fresh audit
+    /// result for one subscription — the initial result right after
+    /// [`Request::Subscribe`], then one per ingest that bumped a shard
+    /// the spec reads.
+    AuditEvent {
+        /// The subscription this event belongs to.
+        subscription: u64,
+        /// Global database epoch the audit ran against.
+        epoch: u64,
+        /// True if served from the audit-result cache (another client
+        /// or subscription already paid for the recompute).
+        cached: bool,
+        /// Server-side time to produce the result, in microseconds.
+        elapsed_us: u64,
+        /// The fresh audit report.
+        report: AuditReport,
     },
     /// Answer to [`Request::Shutdown`].
     ShuttingDown,
@@ -245,6 +350,11 @@ pub enum Response {
         sent_msgs: u64,
         /// Protocol messages this party received.
         recv_msgs: u64,
+        /// Bytes this party actually put on the wire dialing its ring
+        /// successor — framing included — as opposed to `sent_bytes`,
+        /// which counts protocol payload only. Binary framing (peer
+        /// protocol ≥ 2) roughly halves this versus hex-in-JSON lines.
+        wire_sent_bytes: u64,
     },
     /// Any failure: parse errors, audit errors, deadline overruns,
     /// queue overload.
@@ -261,6 +371,152 @@ impl Response {
             message: message.into(),
         }
     }
+}
+
+/// A correlated protocol-v2 request: the client picks `id` (≥ 1) and
+/// the matching [`ResponseEnvelope`] echoes it, so one session can keep
+/// many requests in flight and match answers out of order.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Envelope {
+    /// Client-chosen correlation id, unique among this connection's
+    /// in-flight requests. Id 0 is reserved ([`EVENT_ENVELOPE_ID`]).
+    pub id: u64,
+    /// The request itself.
+    pub body: Request,
+}
+
+/// A correlated protocol-v2 response: `id` echoes the request envelope,
+/// or is [`EVENT_ENVELOPE_ID`] for a server push.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ResponseEnvelope {
+    /// The request envelope this answers, or 0 for a push.
+    pub id: u64,
+    /// The response itself.
+    pub body: Response,
+}
+
+/// Outcome of [`read_frame`].
+#[derive(Debug)]
+pub enum FrameRead {
+    /// A complete frame is in the buffer.
+    Frame,
+    /// Clean end of stream before any byte of a new frame.
+    Eof,
+    /// The announced length exceeds the limit; nothing was read past
+    /// the prefix, so the stream cannot be resynchronized and should be
+    /// dropped.
+    Oversized,
+}
+
+/// Writes one length-prefixed binary frame: a `u32` big-endian payload
+/// length followed by the payload. The caller flushes.
+///
+/// # Errors
+///
+/// Rejects payloads longer than `u32::MAX` (nothing in the protocol
+/// comes close); propagates transport errors.
+pub fn write_frame(writer: &mut impl std::io::Write, payload: &[u8]) -> std::io::Result<()> {
+    let len = u32::try_from(payload.len()).map_err(|_| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "frame payload exceeds u32 length",
+        )
+    })?;
+    writer.write_all(&len.to_be_bytes())?;
+    writer.write_all(payload)
+}
+
+/// Reads one length-prefixed binary frame into `buf`, bounding the
+/// accepted length by `limit`.
+///
+/// The buffer grows with bytes *actually received*, chunk by chunk —
+/// a lying length prefix on a stalling peer can never balloon memory
+/// past what the peer really sent (plus one chunk), and an announced
+/// length beyond `limit` is rejected before any allocation at all.
+///
+/// # Errors
+///
+/// A stream that ends inside the length prefix or inside the announced
+/// payload is a truncated frame and surfaces as
+/// [`std::io::ErrorKind::UnexpectedEof`]; other transport errors
+/// propagate unchanged.
+pub fn read_frame(
+    reader: &mut impl std::io::Read,
+    buf: &mut Vec<u8>,
+    limit: u64,
+) -> std::io::Result<FrameRead> {
+    buf.clear();
+    let mut header = [0u8; 4];
+    let mut got = 0usize;
+    while got < header.len() {
+        match reader.read(&mut header[got..]) {
+            Ok(0) if got == 0 => return Ok(FrameRead::Eof),
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "stream ended inside a frame length prefix",
+                ));
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u64::from(u32::from_be_bytes(header));
+    if len > limit {
+        return Ok(FrameRead::Oversized);
+    }
+    const CHUNK: usize = 64 * 1024;
+    let mut remaining = len as usize;
+    while remaining > 0 {
+        let step = remaining.min(CHUNK);
+        let start = buf.len();
+        buf.resize(start + step, 0);
+        reader.read_exact(&mut buf[start..])?;
+        remaining -= step;
+    }
+    Ok(FrameRead::Frame)
+}
+
+/// Bytes of the binary round-frame header: session (8) ‖ round (4) ‖
+/// from (4), all big-endian, followed by the raw ciphertext payload.
+pub const ROUND_FRAME_HEADER_BYTES: usize = 16;
+
+/// Encodes one federation round frame for a peer session at protocol
+/// version ≥ 2: the fixed binary header followed by the payload bytes
+/// verbatim — no hex, no JSON. Ship it with [`write_frame`].
+pub fn encode_round_frame(session: u64, round: u32, from: u32, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(ROUND_FRAME_HEADER_BYTES + payload.len());
+    out.extend_from_slice(&session.to_be_bytes());
+    out.extend_from_slice(&round.to_be_bytes());
+    out.extend_from_slice(&from.to_be_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Decodes one binary round frame, borrowing the payload.
+///
+/// # Errors
+///
+/// A human-readable message for frames shorter than the header or with
+/// a payload beyond [`MAX_FEDERATE_PAYLOAD_BYTES`].
+pub fn decode_round_frame(frame: &[u8]) -> Result<(u64, u32, u32, &[u8]), String> {
+    if frame.len() < ROUND_FRAME_HEADER_BYTES {
+        return Err(format!(
+            "round frame of {} bytes is shorter than the {ROUND_FRAME_HEADER_BYTES}-byte header",
+            frame.len()
+        ));
+    }
+    let (header, payload) = frame.split_at(ROUND_FRAME_HEADER_BYTES);
+    if payload.len() > MAX_FEDERATE_PAYLOAD_BYTES {
+        return Err(format!(
+            "round-frame payload exceeds {MAX_FEDERATE_PAYLOAD_BYTES} bytes"
+        ));
+    }
+    let session = u64::from_be_bytes(header[0..8].try_into().expect("8-byte slice"));
+    let round = u32::from_be_bytes(header[8..12].try_into().expect("4-byte slice"));
+    let from = u32::from_be_bytes(header[12..16].try_into().expect("4-byte slice"));
+    Ok((session, round, from, payload))
 }
 
 /// Encodes a protocol value as one wire line (no trailing newline).
@@ -466,6 +722,7 @@ mod tests {
             recv_bytes: 256,
             sent_msgs: 3,
             recv_msgs: 2,
+            wire_sent_bytes: 812,
         };
         assert!(matches!(
             decode_line::<Response>(&encode_line(&done)).unwrap(),
@@ -490,5 +747,118 @@ mod tests {
     fn payload_roundtrip_is_identity() {
         let bytes: Vec<u8> = (0..=255).collect();
         assert_eq!(decode_payload(&encode_payload(&bytes)).unwrap(), bytes);
+    }
+
+    #[test]
+    fn hello_and_subscription_messages_roundtrip() {
+        let back: Request = decode_line(&encode_line(&Request::Hello {
+            version: PROTOCOL_VERSION,
+        }))
+        .unwrap();
+        assert!(matches!(back, Request::Hello { version } if version == PROTOCOL_VERSION));
+
+        let sub = Request::Subscribe {
+            spec: AuditSpec::sia_size_based(vec![CandidateDeployment::replicated(
+                "pair",
+                ["S1", "S2"],
+            )]),
+            engine: "sia".into(),
+        };
+        match decode_line::<Request>(&encode_line(&sub)).unwrap() {
+            Request::Subscribe { spec, engine } => {
+                assert_eq!(spec.candidates[0].name, "pair");
+                assert_eq!(engine, "sia");
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+
+        let back: Response =
+            decode_line(&encode_line(&Response::Subscribed { subscription: 9 })).unwrap();
+        assert!(matches!(back, Response::Subscribed { subscription: 9 }));
+        let back: Response =
+            decode_line(&encode_line(&Response::Unsubscribed { subscription: 9 })).unwrap();
+        assert!(matches!(back, Response::Unsubscribed { subscription: 9 }));
+    }
+
+    #[test]
+    fn envelopes_preserve_correlation_ids() {
+        let env = Envelope {
+            id: u64::MAX - 1, // u64 fidelity must survive the JSON layer
+            body: Request::Ping,
+        };
+        let back: Envelope = decode_line(&encode_line(&env)).unwrap();
+        assert_eq!(back.id, u64::MAX - 1);
+        assert!(matches!(back.body, Request::Ping));
+
+        let env = ResponseEnvelope {
+            id: 7,
+            body: Response::Pong,
+        };
+        let back: ResponseEnvelope = decode_line(&encode_line(&env)).unwrap();
+        assert_eq!(back.id, 7);
+        assert!(matches!(back.body, Response::Pong));
+    }
+
+    #[test]
+    fn binary_frames_roundtrip() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"hello").unwrap();
+        write_frame(&mut wire, b"").unwrap();
+        let mut cursor = std::io::Cursor::new(wire);
+        let mut buf = Vec::new();
+        assert!(matches!(
+            read_frame(&mut cursor, &mut buf, 1024).unwrap(),
+            FrameRead::Frame
+        ));
+        assert_eq!(buf, b"hello");
+        assert!(matches!(
+            read_frame(&mut cursor, &mut buf, 1024).unwrap(),
+            FrameRead::Frame
+        ));
+        assert!(buf.is_empty());
+        assert!(matches!(
+            read_frame(&mut cursor, &mut buf, 1024).unwrap(),
+            FrameRead::Eof
+        ));
+    }
+
+    #[test]
+    fn oversized_and_truncated_frames_are_rejected() {
+        // Announced length past the limit: Oversized, no allocation.
+        let mut cursor = std::io::Cursor::new(u32::MAX.to_be_bytes().to_vec());
+        let mut buf = Vec::new();
+        assert!(matches!(
+            read_frame(&mut cursor, &mut buf, 1024).unwrap(),
+            FrameRead::Oversized
+        ));
+
+        // Stream ends inside the length prefix.
+        let mut cursor = std::io::Cursor::new(vec![0u8, 0]);
+        let err = read_frame(&mut cursor, &mut buf, 1024).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+
+        // Stream ends inside the announced payload.
+        let mut wire = 100u32.to_be_bytes().to_vec();
+        wire.extend_from_slice(b"only-a-few-bytes");
+        let mut cursor = std::io::Cursor::new(wire);
+        let err = read_frame(&mut cursor, &mut buf, 1024).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn round_frames_roundtrip_and_validate() {
+        let payload: Vec<u8> = (0..=255).collect();
+        let frame = encode_round_frame(0xdead_beef_0042, 3, 1, &payload);
+        let (session, round, from, body) = decode_round_frame(&frame).unwrap();
+        assert_eq!(session, 0xdead_beef_0042);
+        assert_eq!((round, from), (3, 1));
+        assert_eq!(body, payload.as_slice());
+
+        // An empty payload is legal; a short header is not.
+        let empty = encode_round_frame(1, 0, 0, &[]);
+        assert_eq!(decode_round_frame(&empty).unwrap().3.len(), 0);
+        assert!(decode_round_frame(&empty[..15])
+            .unwrap_err()
+            .contains("header"));
     }
 }

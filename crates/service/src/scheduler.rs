@@ -12,6 +12,12 @@
 //!   keeps ticking while the job is *queued*, so an overloaded daemon
 //!   sheds expired work the moment a worker picks it up (the audit
 //!   engines poll the same token while running).
+//!
+//! Subscription push audits (protocol v2's `AuditEvent`s) are ordinary
+//! jobs on this same pool: an ingest that wakes N subscriptions submits
+//! N jobs and moves on, admission control sheds push load exactly like
+//! request load, and a shed push costs one event — the subscription
+//! stays armed for the next batch.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};

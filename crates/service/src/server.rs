@@ -1,10 +1,21 @@
 //! The continuous auditing daemon.
 //!
-//! One accept loop, one lightweight thread per client connection, and a
-//! fixed [`Scheduler`] pool doing the actual audit work. Connection
-//! threads never compute: they parse requests, consult the audit-result
-//! cache, and otherwise enqueue a job and wait for its result, so a slow
-//! audit can never starve protocol handling.
+//! One accept loop, per-connection threads, and a fixed [`Scheduler`]
+//! pool doing the actual audit work. A protocol-v2 connection splits
+//! into a *reader* (admits envelopes, many request ids in flight at
+//! once) and a *writer* fed by a bounded outbox
+//! ([`crate::subs::Outbox`]) that carries both responses and pushed
+//! [`Response::AuditEvent`] frames — a slow consumer sheds its oldest
+//! events and never blocks anything; a v1 connection stays the old
+//! lock-step line loop. Connection threads never compute: they parse
+//! requests, consult the audit-result cache, and otherwise enqueue a
+//! job and wait for its result, so a slow audit can never starve
+//! protocol handling.
+//!
+//! Subscriptions ride the single write path: every mutation asks the
+//! [`SubscriptionRegistry`] which live subscriptions it invalidated
+//! (their `(shard, epoch)` pins moved) and schedules one pushed audit
+//! per hit on the worker pool — the ingest itself never waits.
 //!
 //! Data flow for an `AuditSia` request:
 //!
@@ -33,7 +44,7 @@
 use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -47,10 +58,13 @@ use indaas_sia::AuditReport;
 
 use crate::cache::{job_key, AuditCache, EpochPins};
 use crate::proto::{
-    decode_line, decode_payload, encode_line, encode_payload, read_bounded_line, LineRead, Request,
-    Response, MAX_NODE_NAME_BYTES,
+    decode_line, decode_payload, decode_round_frame, encode_line, encode_payload,
+    read_bounded_line, read_frame, write_frame, Envelope, FrameRead, LineRead, Request, Response,
+    ResponseEnvelope, EVENT_ENVELOPE_ID, MAX_NODE_NAME_BYTES, MIN_PROTOCOL_VERSION,
+    PROTOCOL_VERSION,
 };
 use crate::scheduler::Scheduler;
+use crate::subs::{Outbox, SubscriptionRegistry};
 
 /// Daemon tuning knobs.
 #[derive(Clone, Debug)]
@@ -89,6 +103,12 @@ pub struct ServeConfig {
     /// every collector tick and at shutdown — each file written
     /// crash-safely. `None` keeps the store memory-only.
     pub db_dir: Option<PathBuf>,
+    /// Most concurrently served client connections. A connection past
+    /// the limit is answered with one clear protocol error and dropped
+    /// before it can claim a handler thread's stack or a subscription
+    /// slot — unbounded fan-in degrades into fast, explicit rejection
+    /// instead of thread exhaustion.
+    pub max_conns: usize,
 }
 
 impl Default for ServeConfig {
@@ -106,6 +126,7 @@ impl Default for ServeConfig {
             collect_interval: None,
             shards: 8,
             db_dir: None,
+            max_conns: 1024,
         }
     }
 }
@@ -155,11 +176,14 @@ pub struct PartyCompletion {
     pub sent_msgs: u64,
     /// Protocol messages received.
     pub recv_msgs: u64,
+    /// Bytes actually written to the successor socket, framing
+    /// included (what the wire-efficiency comparison measures).
+    pub wire_sent_bytes: u64,
 }
 
 /// The extension point federated auditing plugs into the daemon.
 ///
-/// The server owns the listener, connection threads and the NDJSON
+/// The server owns the listener, connection threads and the wire
 /// protocol; the engine owns everything federation-specific — handshake
 /// policy, session mailboxes, peer dialing, and the per-party protocol
 /// rounds. `indaas-federation` provides the production implementation;
@@ -220,6 +244,17 @@ struct ServiceState {
     local_addr: SocketAddr,
     federation: Mutex<Option<Arc<dyn FederationEngine>>>,
     collectors: Mutex<Vec<Box<dyn DependencyAcquisitionModule + Send>>>,
+    /// Live audit subscriptions across every v2 connection; the single
+    /// write path asks it which ones each batch invalidated.
+    subs: SubscriptionRegistry,
+    /// `AuditEvent` frames enqueued to subscriber outboxes since start.
+    pushed_events: AtomicU64,
+    /// Client connections currently being served (v1, v2 and peer
+    /// sessions alike) — compared against [`ServeConfig::max_conns`].
+    active_conns: AtomicUsize,
+    /// Connection-id source: ties subscriptions to the connection that
+    /// made them so teardown and `Unsubscribe` ownership checks work.
+    next_conn_id: AtomicU64,
 }
 
 /// A bound (but not yet serving) daemon.
@@ -278,6 +313,10 @@ impl Server {
             config,
             federation: Mutex::new(None),
             collectors: Mutex::new(Vec::new()),
+            subs: SubscriptionRegistry::new(),
+            pushed_events: AtomicU64::new(0),
+            active_conns: AtomicUsize::new(0),
+            next_conn_id: AtomicU64::new(1),
         });
         Ok(Server { listener, state })
     }
@@ -327,6 +366,10 @@ impl Server {
                 break;
             }
             let stream = stream?;
+            // Frames are two writes (length prefix, then payload); with
+            // Nagle on, the second small write can stall ~40ms behind a
+            // delayed ACK. Latency matters more than packet count here.
+            let _ = stream.set_nodelay(true);
             let state = Arc::clone(&self.state);
             // Detached on purpose: a handler blocked in `read_line` only
             // unblocks when its client hangs up, so joining here would
@@ -380,16 +423,49 @@ fn save_dirty(state: &ServiceState) -> Option<usize> {
 
 /// Largest accepted request line. Ingest batches are the big consumer;
 /// 16 MiB comfortably holds millions of Table-1 records per line while
-/// bounding per-connection memory.
+/// bounding per-connection memory. Protocol-v2 request frames share the
+/// same bound.
 pub const MAX_REQUEST_LINE: u64 = 16 * 1024 * 1024;
 
-fn handle_connection(stream: TcpStream, state: &ServiceState) {
+/// Most requests one protocol-v2 connection may have unanswered at
+/// once. Each in-flight request occupies one lightweight thread (mostly
+/// waiting on the worker pool), so the cap bounds what a single
+/// pipelining client can pin.
+pub const MAX_IN_FLIGHT_REQUESTS: usize = 64;
+
+/// Decrements the live-connection gauge when a handler exits, however
+/// it exits.
+struct ConnGuard<'a>(&'a AtomicUsize);
+
+impl Drop for ConnGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn handle_connection(stream: TcpStream, state: &Arc<ServiceState>) {
     let Ok(peer_writer) = stream.try_clone() else {
         return;
     };
     let mut writer = peer_writer;
     let mut reader = BufReader::new(stream);
+    // Admission control: the gauge counts this connection from here on
+    // (guard decrements on every exit path), and a connection past the
+    // limit gets one clear error instead of a handler thread.
+    let occupied = state.active_conns.fetch_add(1, Ordering::SeqCst) + 1;
+    let _conn_guard = ConnGuard(&state.active_conns);
+    let max = state.config.max_conns;
+    if occupied > max {
+        let _ = write_response(
+            &mut writer,
+            &Response::error(format!(
+                "connection limit reached ({max} concurrent connections); retry later"
+            )),
+        );
+        return;
+    }
     let mut line = String::new();
+    let mut first = true;
     loop {
         match read_bounded_line(&mut reader, &mut line, MAX_REQUEST_LINE) {
             Ok(LineRead::Line) => {}
@@ -409,6 +485,7 @@ fn handle_connection(stream: TcpStream, state: &ServiceState) {
         let request = match decode_line::<Request>(line.trim()) {
             Ok(request) => request,
             Err(e) => {
+                first = false;
                 if write_response(
                     &mut writer,
                     &Response::error(format!("malformed request: {e}")),
@@ -425,13 +502,59 @@ fn handle_connection(stream: TcpStream, state: &ServiceState) {
         // connection's life (audits and federation share one listener).
         if let Request::FederateHello { version, node } = request {
             let response = federate_hello(state, version, &node);
-            let accepted = matches!(response, Response::FederateWelcome { .. });
-            if write_response(&mut writer, &response).is_err() || !accepted {
-                return;
+            let negotiated = match &response {
+                Response::FederateWelcome { version, .. } => Some(*version),
+                _ => None,
+            };
+            let write_ok = write_response(&mut writer, &response).is_ok();
+            if let (true, Some(version)) = (write_ok, negotiated) {
+                peer_session_loop(&mut reader, &mut writer, state, version);
             }
-            peer_session_loop(&mut reader, &mut writer, state);
             return;
         }
+        // A protocol hello, valid only as the first line, negotiates
+        // the session version: ≥ 2 switches to multiplexed binary
+        // frames, 1 stays right here in the lock-step line loop.
+        if let Request::Hello { version } = request {
+            if !first {
+                if write_response(
+                    &mut writer,
+                    &Response::error("Hello must be the first line of a connection"),
+                )
+                .is_err()
+                {
+                    return;
+                }
+                continue;
+            }
+            first = false;
+            if version < MIN_PROTOCOL_VERSION {
+                let _ = write_response(
+                    &mut writer,
+                    &Response::error(format!(
+                        "protocol version {version} below supported minimum {MIN_PROTOCOL_VERSION}"
+                    )),
+                );
+                return;
+            }
+            let negotiated = version.min(PROTOCOL_VERSION);
+            if write_response(
+                &mut writer,
+                &Response::Welcome {
+                    version: negotiated,
+                },
+            )
+            .is_err()
+            {
+                return;
+            }
+            if negotiated >= 2 {
+                v2_session_loop(&mut reader, writer, state);
+                return;
+            }
+            continue; // negotiated v1: same connection, line mode
+        }
+        first = false;
         let (response, shutdown) = handle_request(request, state);
         if write_response(&mut writer, &response).is_err() {
             return;
@@ -440,6 +563,253 @@ fn handle_connection(stream: TcpStream, state: &ServiceState) {
             initiate_shutdown(state);
             return;
         }
+    }
+}
+
+/// Serializes a response envelope into one outbox frame.
+fn envelope_frame(id: u64, body: Response) -> Vec<u8> {
+    encode_line(&ResponseEnvelope { id, body }).into_bytes()
+}
+
+/// The multiplexed protocol-v2 session: this thread is the *reader* —
+/// it admits envelopes and never writes; a dedicated writer thread
+/// drains the connection's bounded outbox so a slow consumer can stall
+/// neither request handling nor pushed events from ingests. Requests
+/// are dispatched to short-lived handler threads (each mostly waiting
+/// on the shared worker pool), so many envelope ids can be in flight
+/// and responses return in completion order, matched by id.
+fn v2_session_loop(
+    reader: &mut BufReader<TcpStream>,
+    writer: TcpStream,
+    state: &Arc<ServiceState>,
+) {
+    let conn = state.next_conn_id.fetch_add(1, Ordering::Relaxed);
+    let outbox = Arc::new(Outbox::new());
+    let writer_outbox = Arc::clone(&outbox);
+    // Buffered so each frame's length prefix and payload leave in one
+    // write; flushed per frame so nothing lingers.
+    let mut sink = std::io::BufWriter::new(writer);
+    let writer_handle = std::thread::spawn(move || {
+        while let Some(frame) = writer_outbox.pop() {
+            if write_frame(&mut sink, &frame)
+                .and_then(|()| sink.flush())
+                .is_err()
+            {
+                writer_outbox.close();
+                // Unblock a reader wedged on a half-dead peer.
+                let _ = sink.get_ref().shutdown(std::net::Shutdown::Both);
+                break;
+            }
+        }
+    });
+    let in_flight = Arc::new(AtomicUsize::new(0));
+    let mut buf = Vec::new();
+    loop {
+        match read_frame(reader, &mut buf, MAX_REQUEST_LINE) {
+            Ok(FrameRead::Frame) => {}
+            Ok(FrameRead::Eof) | Err(_) => break,
+            Ok(FrameRead::Oversized) => {
+                outbox.push_response(envelope_frame(
+                    EVENT_ENVELOPE_ID,
+                    Response::error(format!("request frame exceeds {MAX_REQUEST_LINE} bytes")),
+                ));
+                break; // payload unread: the stream cannot resync
+            }
+        }
+        let envelope = std::str::from_utf8(&buf)
+            .map_err(|e| e.to_string())
+            .and_then(|text| decode_line::<Envelope>(text).map_err(|e| e.to_string()));
+        let Envelope { id, body } = match envelope {
+            Ok(envelope) => envelope,
+            Err(e) => {
+                // Unlike v1 text lines, v2 frames come only from
+                // machine encoders; an unparseable envelope is a broken
+                // peer, not a typo — answer once and drop.
+                outbox.push_response(envelope_frame(
+                    EVENT_ENVELOPE_ID,
+                    Response::error(format!("malformed envelope: {e}")),
+                ));
+                break;
+            }
+        };
+        if id == EVENT_ENVELOPE_ID {
+            outbox.push_response(envelope_frame(
+                EVENT_ENVELOPE_ID,
+                Response::error("envelope id 0 is reserved for server pushes"),
+            ));
+            break;
+        }
+        match body {
+            Request::Hello { .. } => {
+                outbox.push_response(envelope_frame(
+                    id,
+                    Response::error("session version is already negotiated"),
+                ));
+            }
+            Request::Subscribe { spec, engine } => {
+                match register_subscription(state, spec, &engine, &outbox, conn) {
+                    Ok((subscription, spec)) => {
+                        // Response first, then the initial audit: the
+                        // outbox is FIFO, so `Subscribed` reaches the
+                        // wire before the first `AuditEvent` can.
+                        outbox.push_response(envelope_frame(
+                            id,
+                            Response::Subscribed { subscription },
+                        ));
+                        schedule_push_audit(state, subscription, spec, Arc::clone(&outbox));
+                    }
+                    Err(message) => {
+                        outbox.push_response(envelope_frame(id, Response::error(message)));
+                    }
+                }
+            }
+            Request::Unsubscribe { subscription } => {
+                let response = match state.subs.unregister(subscription, conn) {
+                    Ok(()) => Response::Unsubscribed { subscription },
+                    Err(e) => Response::error(e),
+                };
+                outbox.push_response(envelope_frame(id, response));
+            }
+            Request::Shutdown => {
+                outbox.push_response(envelope_frame(id, Response::ShuttingDown));
+                // Give the writer a moment to put the acknowledgement
+                // on the wire before the process starts exiting.
+                outbox.drain(Duration::from_secs(2));
+                initiate_shutdown(state);
+                break;
+            }
+            request => {
+                if in_flight.load(Ordering::Acquire) >= MAX_IN_FLIGHT_REQUESTS {
+                    outbox.push_response(envelope_frame(
+                        id,
+                        Response::error(format!(
+                            "too many in-flight requests (max {MAX_IN_FLIGHT_REQUESTS})"
+                        )),
+                    ));
+                    continue;
+                }
+                in_flight.fetch_add(1, Ordering::AcqRel);
+                let st = Arc::clone(state);
+                let ob = Arc::clone(&outbox);
+                let gauge = Arc::clone(&in_flight);
+                std::thread::spawn(move || {
+                    let (response, _) = handle_request(request, &st);
+                    ob.push_response(envelope_frame(id, response));
+                    gauge.fetch_sub(1, Ordering::AcqRel);
+                });
+            }
+        }
+    }
+    // Teardown: this connection's subscriptions die with it; the writer
+    // exits once the already-queued frames are flushed (or its socket
+    // errors out). Handler threads still in flight push into the closed
+    // outbox, which drops their frames silently.
+    state.subs.drop_conn(conn);
+    outbox.close();
+    let _ = writer_handle.join();
+}
+
+/// Validates a `Subscribe` and registers it, pinned to the spec's
+/// shards. Returns the new subscription id and the spec (for the
+/// caller to schedule the initial pushed audit *after* it enqueued the
+/// `Subscribed` response), or the error message to send instead.
+fn register_subscription(
+    state: &Arc<ServiceState>,
+    spec: AuditSpec,
+    engine: &str,
+    outbox: &Arc<Outbox>,
+    conn: u64,
+) -> Result<(u64, AuditSpec), String> {
+    if engine != "sia" {
+        return Err(format!(
+            "unknown subscription engine {engine:?} (only \"sia\" audits read the \
+             dependency database and can go stale)"
+        ));
+    }
+    if let Err(e) = validate_spec(&spec) {
+        return Err(format!("invalid spec: {e}"));
+    }
+    if spec.candidates.is_empty() {
+        return Err("subscription spec needs at least one candidate".to_string());
+    }
+    let snapshot = state.db.snapshot();
+    let pins = snapshot.pins_for_hosts(spec_hosts(&spec));
+    state
+        .subs
+        .register(spec.clone(), pins, Arc::clone(outbox), conn)
+        .map(|id| (id, spec))
+}
+
+/// The hosts an audit spec reads — what its cache keys and
+/// subscription pins are derived from.
+fn spec_hosts(spec: &AuditSpec) -> impl Iterator<Item = &str> {
+    spec.candidates
+        .iter()
+        .flat_map(|c| c.servers.iter().map(String::as_str))
+}
+
+/// Submits one pushed-audit job to the shared worker pool: re-runs (or
+/// serves from cache) the subscription's audit against a fresh snapshot
+/// and enqueues the `AuditEvent` frame. Runs entirely off the ingest
+/// path — a full queue costs the subscriber one event, never a writer
+/// any latency; the subscription stays armed for the next batch.
+fn schedule_push_audit(
+    state: &Arc<ServiceState>,
+    subscription: u64,
+    spec: AuditSpec,
+    outbox: Arc<Outbox>,
+) {
+    let st = Arc::clone(state);
+    let deadline = state.config.default_deadline;
+    let submitted = state.scheduler.submit(Some(deadline), move |token| {
+        let started = Instant::now();
+        let epoch = st.db.epoch();
+        let snapshot = st.db.snapshot();
+        let pins = snapshot.pins_for_hosts(spec_hosts(&spec));
+        let key = job_key(&pins, "sia", &spec);
+        let hit = st.sia_cache.lock().expect("cache lock poisoned").get(&key);
+        let (cached, result) = match hit {
+            Some(report) => (true, Ok(report)),
+            None => {
+                let agent = AuditingAgent::from_snapshot(snapshot);
+                (false, agent.audit_sia_cancellable(&spec, token))
+            }
+        };
+        match result {
+            Ok(report) => {
+                if !cached {
+                    st.sia_cache.lock().expect("cache lock poisoned").insert(
+                        key,
+                        pins,
+                        report.clone(),
+                    );
+                }
+                let frame = envelope_frame(
+                    EVENT_ENVELOPE_ID,
+                    Response::AuditEvent {
+                        subscription,
+                        epoch,
+                        cached,
+                        elapsed_us: started.elapsed().as_micros() as u64,
+                        report,
+                    },
+                );
+                // Counted before the enqueue so a subscriber can never
+                // observe an event the gauge does not yet include.
+                st.pushed_events.fetch_add(1, Ordering::Relaxed);
+                outbox.push_event(frame);
+            }
+            Err(e) => {
+                eprintln!(
+                    "indaas-service: pushed audit for subscription {subscription} failed: {e}"
+                );
+            }
+        }
+    });
+    if let Err(e) = submitted {
+        eprintln!(
+            "indaas-service: could not schedule pushed audit for subscription {subscription}: {e}"
+        );
     }
 }
 
@@ -474,14 +844,23 @@ fn federate_hello(state: &ServiceState, version: u32, node: &str) -> Response {
 }
 
 /// Frame mode: after a successful handshake the connection carries only
-/// `FederateData` lines, bounded exactly like request lines. Frames get
-/// no per-line acknowledgement; any protocol violation is answered with
+/// round frames, bounded exactly like request lines. Frames get no
+/// per-frame acknowledgement; any protocol violation is answered with
 /// one `Error` line and the connection is dropped.
+///
+/// The negotiated `version` picks the frame encoding: ≥ 2 reads raw
+/// length-prefixed binary round frames ([`decode_round_frame`] — no
+/// hex, about half the wire bytes); 1 keeps the legacy hex-in-JSON
+/// `FederateData` lines.
 fn peer_session_loop(
     reader: &mut BufReader<TcpStream>,
     writer: &mut TcpStream,
     state: &ServiceState,
+    version: u32,
 ) {
+    if version >= 2 {
+        return binary_peer_session_loop(reader, writer, state);
+    }
     let mut line = String::new();
     loop {
         match read_bounded_line(reader, &mut line, MAX_REQUEST_LINE) {
@@ -539,6 +918,50 @@ fn peer_session_loop(
     }
 }
 
+/// The version ≥ 2 peer frame loop: length-prefixed binary round frames
+/// with the fixed 16-byte header and the raw ciphertext payload — no
+/// hex doubling, no JSON. Violations are answered with one `Error` line
+/// (the dialer may not be reading, which is fine) and the connection is
+/// dropped.
+fn binary_peer_session_loop(
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut TcpStream,
+    state: &ServiceState,
+) {
+    let mut buf = Vec::new();
+    loop {
+        match read_frame(reader, &mut buf, MAX_REQUEST_LINE) {
+            Ok(FrameRead::Frame) => {}
+            Ok(FrameRead::Eof) | Err(_) => return,
+            Ok(FrameRead::Oversized) => {
+                let _ = write_response(
+                    writer,
+                    &Response::error(format!("peer frame exceeds {MAX_REQUEST_LINE} bytes")),
+                );
+                return;
+            }
+        }
+        let (session, round, from, payload) = match decode_round_frame(&buf) {
+            Ok(frame) => frame,
+            Err(e) => {
+                let _ = write_response(writer, &Response::error(format!("bad peer frame: {e}")));
+                return;
+            }
+        };
+        let Some(engine) = federation_engine(state) else {
+            let _ = write_response(
+                writer,
+                &Response::error("federation not enabled on this daemon"),
+            );
+            return;
+        };
+        if let Err(e) = engine.deliver(session, round, from, payload.to_vec()) {
+            let _ = write_response(writer, &Response::error(format!("frame rejected: {e}")));
+            return;
+        }
+    }
+}
+
 /// Flags shutdown and pokes the accept loop awake with a throwaway
 /// connection so `run` observes the flag.
 fn initiate_shutdown(state: &ServiceState) {
@@ -549,12 +972,24 @@ fn initiate_shutdown(state: &ServiceState) {
     let _ = TcpStream::connect(state.local_addr);
 }
 
-fn handle_request(request: Request, state: &ServiceState) -> (Response, bool) {
+fn handle_request(request: Request, state: &Arc<ServiceState>) -> (Response, bool) {
     match request {
         Request::Ping => (Response::Pong, false),
         Request::Ingest { records } => (ingest(state, &records, Mutation::Ingest), false),
         Request::Retract { records } => (ingest(state, &records, Mutation::Retract), false),
         Request::AuditSia { spec, timeout_ms } => (audit_sia(state, spec, timeout_ms), false),
+        // Reachable only from a v1 line session — the v2 loop handles
+        // these inline, before dispatching here.
+        Request::Hello { .. } => (
+            Response::error("Hello must be the first line of a connection"),
+            false,
+        ),
+        Request::Subscribe { .. } | Request::Unsubscribe { .. } => (
+            Response::error(
+                "subscriptions require a protocol v2 session (open the connection with Hello)",
+            ),
+            false,
+        ),
         Request::AuditPia {
             providers,
             way,
@@ -621,6 +1056,7 @@ fn federate_start(state: &ServiceState, instruction: PartyInstruction) -> Respon
             recv_bytes: done.recv_bytes,
             sent_msgs: done.sent_msgs,
             recv_msgs: done.recv_msgs,
+            wire_sent_bytes: done.wire_sent_bytes,
         },
         Err(e) => Response::error(format!("federated audit failed: {e}")),
     }
@@ -631,7 +1067,7 @@ enum Mutation {
     Retract,
 }
 
-fn ingest(state: &ServiceState, records: &str, mutation: Mutation) -> Response {
+fn ingest(state: &Arc<ServiceState>, records: &str, mutation: Mutation) -> Response {
     let parsed = match indaas_deps::parse_records(records) {
         Ok(p) => p,
         Err(e) => return Response::error(format!("bad records: {e}")),
@@ -666,7 +1102,7 @@ impl Drop for InFlightGuard<'_> {
 }
 
 fn apply_mutation(
-    state: &ServiceState,
+    state: &Arc<ServiceState>,
     records: Vec<DependencyRecord>,
     mutation: &Mutation,
 ) -> Option<indaas_deps::ShardedIngestReport> {
@@ -696,6 +1132,15 @@ fn apply_mutation(
         .purge_stale(&epochs);
     // The PIA cache is NOT purged: PIA results are a pure function of
     // the request's provider sets, never of the DepDB.
+    //
+    // Server push: every subscription pinned to a shard this batch
+    // bumped gets a fresh audit scheduled on the worker pool. The
+    // registry advances the pins synchronously (so overlapping batches
+    // trigger once per wave) but the audits themselves run later, off
+    // this write path — an ingest never waits on a subscriber.
+    for hit in state.subs.affected(&epochs) {
+        schedule_push_audit(state, hit.subscription, hit.spec, hit.outbox);
+    }
     Some(report)
 }
 
@@ -706,7 +1151,7 @@ fn apply_mutation(
 /// own mutex, so shard lock hold time stays proportional to routing +
 /// apply — a slow collector can never stall concurrent protocol
 /// ingests or audits. Returns how many records the tick ingested.
-fn run_collectors(state: &ServiceState) -> usize {
+fn run_collectors(state: &Arc<ServiceState>) -> usize {
     // Phase 1: materialize. No DepDB lock is held anywhere in here.
     let mut collected: Vec<DependencyRecord> = Vec::new();
     {
@@ -736,7 +1181,7 @@ fn run_collectors(state: &ServiceState) -> usize {
 /// `interval` via [`run_collectors`]. A re-measured but unchanged world
 /// is a pure-duplicate batch — no epoch bump, no snapshot rebuild, no
 /// cache invalidation, and (with a db dir) no segment rewritten.
-fn collector_loop(state: &ServiceState, interval: Duration) {
+fn collector_loop(state: &Arc<ServiceState>, interval: Duration) {
     // Sleep in small slices so shutdown is observed promptly even under
     // multi-second intervals.
     let slice = interval.min(Duration::from_millis(100));
@@ -803,11 +1248,7 @@ fn audit_sia(state: &ServiceState, spec: AuditSpec, timeout_ms: Option<u64>) -> 
     // The cache key pins exactly the shards this spec's hosts route to:
     // an ingest touching any *other* shard changes neither the key nor
     // the entry's validity, so the cached report stays hot.
-    let pins: EpochPins = snapshot.pins_for_hosts(
-        spec.candidates
-            .iter()
-            .flat_map(|c| c.servers.iter().map(String::as_str)),
-    );
+    let pins: EpochPins = snapshot.pins_for_hosts(spec_hosts(&spec));
     let key = job_key(&pins, "sia", &spec);
     if let Some(report) = state
         .sia_cache
@@ -996,6 +1437,8 @@ fn status(state: &ServiceState) -> Response {
         } else {
             cache_hits as f64 / lookups as f64
         },
+        subscriptions: state.subs.len(),
+        pushed_events: state.pushed_events.load(Ordering::Relaxed),
         uptime_ms: state.started.elapsed().as_millis() as u64,
     }
 }

@@ -1,0 +1,404 @@
+//! Server-push plumbing: per-connection outboxes and the subscription
+//! registry that turns ingests into [`crate::proto::Response::AuditEvent`]
+//! pushes.
+//!
+//! Every protocol-v2 connection owns one [`Outbox`] — a bounded frame
+//! queue drained by the connection's dedicated writer thread. Request
+//! handlers and push jobs enqueue pre-serialized frames and never touch
+//! the socket, so a slow or stalled consumer can never block an ingest,
+//! an audit worker, or another connection. Responses are always
+//! delivered (their count is bounded by the per-connection in-flight
+//! cap); pushed *events* are best-effort: past [`MAX_OUTBOX_EVENTS`]
+//! buffered events the oldest event is shed to make room for the
+//! newest, because a dashboard that fell behind wants the freshest
+//! result, not a replay of every intermediate one.
+//!
+//! The [`SubscriptionRegistry`] pins each subscription to the
+//! `(shard, epoch)` pairs its spec's hosts route to — the same pins the
+//! audit cache keys on. The single write path
+//! (`server::apply_mutation`) asks it which subscriptions an ingest's
+//! epoch vector invalidates; each affected entry has its pins advanced
+//! immediately (so concurrent ingests trigger at most one re-audit per
+//! batch wave) and the re-audit itself runs later, on the shared worker
+//! pool.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use indaas_core::AuditSpec;
+use indaas_deps::EpochVector;
+
+use crate::cache::EpochPins;
+
+/// Most pushed-event frames one connection may have buffered; beyond
+/// it the oldest buffered event is shed (responses are never shed).
+pub const MAX_OUTBOX_EVENTS: usize = 64;
+
+/// Most live subscriptions one daemon tracks across all connections —
+/// each costs a spec clone and a re-audit per relevant ingest, so the
+/// total is bounded like every other peer-controlled resource.
+pub const MAX_SUBSCRIPTIONS: usize = 1024;
+
+struct OutMsg {
+    /// True for a pushed event (sheddable), false for a response.
+    event: bool,
+    frame: Vec<u8>,
+}
+
+struct OutboxInner {
+    queue: VecDeque<OutMsg>,
+    events: usize,
+    shed: u64,
+    closed: bool,
+}
+
+/// A bounded, closeable frame queue feeding one connection's writer
+/// thread.
+pub struct Outbox {
+    inner: Mutex<OutboxInner>,
+    ready: Condvar,
+}
+
+impl Default for Outbox {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Outbox {
+    /// An open, empty outbox.
+    pub fn new() -> Self {
+        Outbox {
+            inner: Mutex::new(OutboxInner {
+                queue: VecDeque::new(),
+                events: 0,
+                shed: 0,
+                closed: false,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Enqueues a response frame. Responses are never shed — their
+    /// number in flight is bounded by the connection's in-flight
+    /// request cap. Returns false if the outbox is closed (the
+    /// connection died; the frame is dropped).
+    pub fn push_response(&self, frame: Vec<u8>) -> bool {
+        let mut inner = self.inner.lock().expect("outbox poisoned");
+        if inner.closed {
+            return false;
+        }
+        inner.queue.push_back(OutMsg {
+            event: false,
+            frame,
+        });
+        self.ready.notify_all();
+        true
+    }
+
+    /// Enqueues a pushed-event frame, shedding the oldest buffered
+    /// event first when [`MAX_OUTBOX_EVENTS`] are already waiting — the
+    /// slow consumer loses intermediate results, never the freshest,
+    /// and the producer never blocks. Returns false if the outbox is
+    /// closed.
+    pub fn push_event(&self, frame: Vec<u8>) -> bool {
+        let mut inner = self.inner.lock().expect("outbox poisoned");
+        if inner.closed {
+            return false;
+        }
+        if inner.events >= MAX_OUTBOX_EVENTS {
+            if let Some(pos) = inner.queue.iter().position(|m| m.event) {
+                inner.queue.remove(pos);
+                inner.events -= 1;
+                inner.shed += 1;
+            }
+        }
+        inner.queue.push_back(OutMsg { event: true, frame });
+        inner.events += 1;
+        self.ready.notify_all();
+        true
+    }
+
+    /// Blocks until a frame is available or the outbox is closed *and*
+    /// drained; `None` means the writer should exit.
+    pub fn pop(&self) -> Option<Vec<u8>> {
+        let mut inner = self.inner.lock().expect("outbox poisoned");
+        loop {
+            if let Some(msg) = inner.queue.pop_front() {
+                if msg.event {
+                    inner.events -= 1;
+                }
+                return Some(msg.frame);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.ready.wait(inner).expect("outbox poisoned");
+        }
+    }
+
+    /// Closes the outbox: producers start dropping frames, and the
+    /// writer exits once the already-queued frames are written.
+    pub fn close(&self) {
+        self.inner.lock().expect("outbox poisoned").closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Waits until the queue is empty (everything handed to the writer),
+    /// the outbox closes, or `timeout` elapses. Used by the shutdown
+    /// path so the final `ShuttingDown` response reaches the wire
+    /// before the process exits. Returns true if the queue drained.
+    pub fn drain(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.inner.lock().expect("outbox poisoned");
+        loop {
+            if inner.queue.is_empty() {
+                return true;
+            }
+            if inner.closed {
+                return false;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (i, _) = self
+                .ready
+                .wait_timeout(inner, (deadline - now).min(Duration::from_millis(20)))
+                .expect("outbox poisoned");
+            inner = i;
+        }
+    }
+
+    /// Events shed so far (slow-consumer back-pressure made visible).
+    pub fn shed(&self) -> u64 {
+        self.inner.lock().expect("outbox poisoned").shed
+    }
+}
+
+struct SubEntry {
+    spec: AuditSpec,
+    pins: EpochPins,
+    outbox: Arc<Outbox>,
+    conn: u64,
+}
+
+/// A subscription an ingest just invalidated: what the push job needs
+/// to re-run the audit and deliver the event.
+pub struct Triggered {
+    /// The subscription id the pushed event will carry.
+    pub subscription: u64,
+    /// The spec to re-audit.
+    pub spec: AuditSpec,
+    /// Where the event goes.
+    pub outbox: Arc<Outbox>,
+}
+
+/// All live subscriptions across all connections, keyed by id.
+#[derive(Default)]
+pub struct SubscriptionRegistry {
+    inner: Mutex<HashMap<u64, SubEntry>>,
+    next_id: AtomicU64,
+}
+
+impl SubscriptionRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        SubscriptionRegistry {
+            inner: Mutex::new(HashMap::new()),
+            // Subscription ids start at 1; 0 would shadow the reserved
+            // push envelope id in log lines and confuse nobody usefully.
+            next_id: AtomicU64::new(1),
+        }
+    }
+
+    /// Registers a subscription owned by connection `conn`, pinned to
+    /// `pins`. Returns the new subscription id.
+    ///
+    /// # Errors
+    ///
+    /// Rejects registration past [`MAX_SUBSCRIPTIONS`].
+    pub fn register(
+        &self,
+        spec: AuditSpec,
+        pins: EpochPins,
+        outbox: Arc<Outbox>,
+        conn: u64,
+    ) -> Result<u64, String> {
+        let mut inner = self.inner.lock().expect("registry poisoned");
+        if inner.len() >= MAX_SUBSCRIPTIONS {
+            return Err(format!(
+                "subscription limit reached ({MAX_SUBSCRIPTIONS} live subscriptions)"
+            ));
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        inner.insert(
+            id,
+            SubEntry {
+                spec,
+                pins,
+                outbox,
+                conn,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Cancels subscription `id` if connection `conn` owns it.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message for unknown ids and cross-connection
+    /// cancellation attempts.
+    pub fn unregister(&self, id: u64, conn: u64) -> Result<(), String> {
+        let mut inner = self.inner.lock().expect("registry poisoned");
+        match inner.get(&id) {
+            None => Err(format!("no such subscription: {id}")),
+            Some(e) if e.conn != conn => {
+                Err(format!("subscription {id} belongs to another connection"))
+            }
+            Some(_) => {
+                inner.remove(&id);
+                Ok(())
+            }
+        }
+    }
+
+    /// Drops every subscription a closing connection holds.
+    pub fn drop_conn(&self, conn: u64) {
+        self.inner
+            .lock()
+            .expect("registry poisoned")
+            .retain(|_, e| e.conn != conn);
+    }
+
+    /// Returns the subscriptions whose pinned shards moved past their
+    /// recorded epochs under `current`, advancing each returned entry's
+    /// pins to `current` in the same critical section — so a burst of
+    /// ingests triggers each subscription once per wave, not once per
+    /// batch it already caught up to.
+    pub fn affected(&self, current: &EpochVector) -> Vec<Triggered> {
+        let mut inner = self.inner.lock().expect("registry poisoned");
+        let mut out = Vec::new();
+        for (&id, entry) in inner.iter_mut() {
+            let moved = entry
+                .pins
+                .iter()
+                .any(|&(shard, epoch)| current.get(shard as usize) != epoch);
+            if !moved {
+                continue;
+            }
+            for (shard, epoch) in entry.pins.iter_mut() {
+                *epoch = current.get(*shard as usize);
+            }
+            out.push(Triggered {
+                subscription: id,
+                spec: entry.spec.clone(),
+                outbox: Arc::clone(&entry.outbox),
+            });
+        }
+        out
+    }
+
+    /// Live subscriptions.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("registry poisoned").len()
+    }
+
+    /// True when no subscriptions are live.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use indaas_core::CandidateDeployment;
+
+    fn spec() -> AuditSpec {
+        AuditSpec::sia_size_based(vec![CandidateDeployment::replicated("pair", ["S1", "S2"])])
+    }
+
+    #[test]
+    fn outbox_delivers_in_order_and_closes() {
+        let ob = Outbox::new();
+        assert!(ob.push_response(b"a".to_vec()));
+        assert!(ob.push_event(b"b".to_vec()));
+        assert_eq!(ob.pop().unwrap(), b"a");
+        assert_eq!(ob.pop().unwrap(), b"b");
+        ob.close();
+        assert!(ob.pop().is_none());
+        assert!(!ob.push_response(b"late".to_vec()));
+    }
+
+    #[test]
+    fn events_shed_oldest_but_responses_never_do() {
+        let ob = Outbox::new();
+        assert!(ob.push_response(b"resp".to_vec()));
+        for i in 0..(MAX_OUTBOX_EVENTS + 10) {
+            assert!(ob.push_event(format!("ev{i}").into_bytes()));
+        }
+        assert_eq!(ob.shed(), 10);
+        // The response survives at the front; the oldest 10 events are
+        // gone and the newest is still last.
+        assert_eq!(ob.pop().unwrap(), b"resp");
+        assert_eq!(ob.pop().unwrap(), b"ev10");
+        let mut last = Vec::new();
+        for _ in 1..MAX_OUTBOX_EVENTS {
+            last = ob.pop().unwrap();
+        }
+        assert_eq!(last, format!("ev{}", MAX_OUTBOX_EVENTS + 9).into_bytes());
+    }
+
+    #[test]
+    fn drain_waits_for_the_writer() {
+        let ob = Arc::new(Outbox::new());
+        ob.push_response(b"x".to_vec());
+        assert!(!ob.drain(Duration::from_millis(30)), "nobody popping");
+        let popper = Arc::clone(&ob);
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            popper.pop()
+        });
+        assert!(ob.drain(Duration::from_secs(5)));
+        assert_eq!(handle.join().unwrap().unwrap(), b"x");
+    }
+
+    #[test]
+    fn registry_triggers_once_per_epoch_wave() {
+        let reg = SubscriptionRegistry::new();
+        let ob = Arc::new(Outbox::new());
+        let id = reg
+            .register(spec(), vec![(0, 1), (2, 4)], Arc::clone(&ob), 7)
+            .unwrap();
+        // Pinned shards unchanged: nothing triggers.
+        assert!(reg.affected(&EpochVector::from(vec![1, 9, 4])).is_empty());
+        // Shard 2 moves: triggered once, pins advance...
+        let hit = reg.affected(&EpochVector::from(vec![1, 9, 5]));
+        assert_eq!(hit.len(), 1);
+        assert_eq!(hit[0].subscription, id);
+        // ...so the same vector does not trigger again.
+        assert!(reg.affected(&EpochVector::from(vec![1, 9, 5])).is_empty());
+    }
+
+    #[test]
+    fn unregister_enforces_ownership_and_drop_conn_sweeps() {
+        let reg = SubscriptionRegistry::new();
+        let ob = Arc::new(Outbox::new());
+        let a = reg
+            .register(spec(), vec![(0, 0)], Arc::clone(&ob), 1)
+            .unwrap();
+        let b = reg
+            .register(spec(), vec![(0, 0)], Arc::clone(&ob), 2)
+            .unwrap();
+        assert!(reg.unregister(a, 99).unwrap_err().contains("another"));
+        assert!(reg.unregister(a, 1).is_ok());
+        assert!(reg.unregister(a, 1).unwrap_err().contains("no such"));
+        reg.drop_conn(2);
+        assert!(reg.unregister(b, 2).unwrap_err().contains("no such"));
+        assert!(reg.is_empty());
+    }
+}

@@ -30,6 +30,7 @@ fn main() -> ExitCode {
         Some("pia") => cmd_pia(&args[1..]),
         Some("dot") => cmd_dot(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("watch") => cmd_watch(&args[1..]),
         Some("federate") => cmd_federate(&args[1..]),
         Some("ping") => cmd_ping(&args[1..]),
         Some("help") | Some("--help") | None => {
@@ -59,8 +60,10 @@ USAGE:
   indaas dot --records FILE --servers S1,S2[,...]
   indaas serve [--listen ADDR] [--workers N] [--queue N] [--cache N]
                [--deadline-ms MS] [--db-dir DIR] [--records FILE]
-               [--peer ADDR ...] [--collect-interval MS]
+               [--max-conns N] [--peer ADDR ...] [--collect-interval MS]
                [--collect-truth FILE]
+  indaas watch --deploy NAME=S1,S2[,...] [--deploy ...] [--addr ADDR]
+               [--count N] [--timeout-ms MS] [--json]
   indaas federate --peer ADDR --peer ADDR [--peer ...] [--seed N]
                   [--round-timeout-ms MS] [--json]
   indaas ping [--addr ADDR]
@@ -76,9 +79,10 @@ indaas serve — run the continuous auditing daemon
 USAGE:
   indaas serve [--listen ADDR] [--workers N] [--queue N] [--cache N]
                [--shards N] [--deadline-ms MS] [--db-dir DIR]
-               [--records FILE] [--peer ADDR ...] [--node NAME]
-               [--round-timeout-ms MS] [--collect-interval MS]
-               [--collect-truth FILE] [--collect-miss-rate R]
+               [--records FILE] [--max-conns N] [--peer ADDR ...]
+               [--node NAME] [--round-timeout-ms MS]
+               [--collect-interval MS] [--collect-truth FILE]
+               [--collect-miss-rate R]
 
 OPTIONS:
   --listen ADDR          listen address (default 127.0.0.1:4914; port 0 = ephemeral)
@@ -97,6 +101,9 @@ OPTIONS:
                          crash-safely on collector ticks and at shutdown
   --records FILE         pre-load Table-1 records before serving
                          (layered on top of --db-dir contents, if any)
+  --max-conns N          most concurrently served client connections
+                         (default 1024); excess connections get one
+                         clear error and are dropped
   --peer ADDR            federation peer allow-list entry (repeatable;
                          no --peer = accept any peer)
   --node NAME            node name announced in peer handshakes
@@ -106,12 +113,37 @@ OPTIONS:
   --collect-truth FILE   Table-1 ground truth for a simulated collector
   --collect-miss-rate R  simulated collector miss rate in [0, 1) (default 0)
 
-PROTOCOL (line-delimited JSON over TCP):
+PROTOCOL v2 (hello line, then multiplexed envelopes in binary frames):
+  -> {\"Hello\": {\"version\": 2}}               <- {\"Welcome\": {\"version\": 2}}
+  -> frame {\"id\": 1, \"body\": {\"AuditSia\": {...}}}
+  -> frame {\"id\": 2, \"body\": {\"Subscribe\": {\"spec\": {...}, \"engine\": \"sia\"}}}
+  <- frame {\"id\": 2, \"body\": {\"Subscribed\": {\"subscription\": 9}}}
+  <- frame {\"id\": 0, \"body\": {\"AuditEvent\": {...}}}   (server push)
+PROTOCOL v1 (no Hello: line-delimited JSON, lock-step; still served):
   -> \"Ping\"                                    <- \"Pong\"
   -> {\"Ingest\": {\"records\": \"<src=...>\"}}  <- {\"Ingested\": {\"changed\": 1, \"ignored\": 0, \"epoch\": 1}}
-  -> {\"AuditSia\": {\"spec\": {...}}}           <- {\"Sia\": {\"epoch\": 1, \"cached\": false, ...}}
   -> {\"FederateHello\": {...}}                  <- {\"FederateWelcome\": {...}}  (peer sessions)
   -> \"Status\" | \"Shutdown\"
+";
+
+const WATCH_USAGE: &str = "\
+indaas watch — subscribe to a deployment's audit and print every push
+
+The daemon re-runs the audit whenever an ingest changes a shard one of
+the deployment's hosts routes to, and pushes the fresh result here the
+moment it is ready — no polling. The first event arrives immediately
+(the current state of the world).
+
+USAGE:
+  indaas watch --deploy NAME=S1,S2[,...] [--deploy ...] [--addr ADDR]
+               [--count N] [--timeout-ms MS] [--json]
+
+OPTIONS:
+  --deploy NAME=S1,S2    candidate deployment to keep audited (repeatable)
+  --addr ADDR            daemon address (default 127.0.0.1:4914)
+  --count N              exit after N pushed events (default: run forever)
+  --timeout-ms MS        exit with an error if no event arrives within MS
+  --json                 one JSON object per event
 ";
 
 const FEDERATE_USAGE: &str = "\
@@ -170,9 +202,8 @@ fn load_db(flags: &Flags) -> Result<DepDb, String> {
     Ok(DepDb::from_records(records))
 }
 
-fn cmd_sia(args: &[String]) -> Result<(), String> {
-    let flags = Flags { args };
-    let db = load_db(&flags)?;
+/// Parses every `--deploy NAME=S1,S2[,...]` flag into candidates.
+fn parse_deployments(flags: &Flags) -> Result<Vec<CandidateDeployment>, String> {
     let mut candidates = Vec::new();
     for spec in flags.values("--deploy") {
         let (name, servers) = spec
@@ -192,6 +223,13 @@ fn cmd_sia(args: &[String]) -> Result<(), String> {
     if candidates.is_empty() {
         return Err("at least one --deploy required".into());
     }
+    Ok(candidates)
+}
+
+fn cmd_sia(args: &[String]) -> Result<(), String> {
+    let flags = Flags { args };
+    let db = load_db(&flags)?;
+    let candidates = parse_deployments(&flags)?;
 
     let algorithm = match flags.value("--algorithm").unwrap_or("minimal") {
         "minimal" => RgAlgorithm::Minimal {
@@ -322,6 +360,12 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             return Err("--shards must be at least 1".into());
         }
     }
+    if let Some(v) = flags.value("--max-conns") {
+        config.max_conns = v.parse().map_err(|e| format!("--max-conns: {e}"))?;
+        if config.max_conns == 0 {
+            return Err("--max-conns must be at least 1".into());
+        }
+    }
     if let Some(v) = flags.value("--deadline-ms") {
         let ms: u64 = v.parse().map_err(|e| format!("--deadline-ms: {e}"))?;
         config.default_deadline = std::time::Duration::from_millis(ms);
@@ -384,6 +428,92 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
 
     eprintln!("indaas daemon listening on {}", server.local_addr());
     server.run().map_err(|e| format!("serve: {e}"))
+}
+
+fn cmd_watch(args: &[String]) -> Result<(), String> {
+    let flags = Flags { args };
+    if flags.has("--help") || flags.has("-h") {
+        eprint!("{WATCH_USAGE}");
+        return Ok(());
+    }
+    let candidates = parse_deployments(&flags)?;
+    let spec = AuditSpec::sia_size_based(candidates);
+    let addr = flags.value("--addr").unwrap_or("127.0.0.1:4914");
+    let count: Option<u64> = flags
+        .value("--count")
+        .map(|v| v.parse().map_err(|e| format!("--count: {e}")))
+        .transpose()?;
+    let timeout = flags
+        .value("--timeout-ms")
+        .map(|v| v.parse::<u64>().map_err(|e| format!("--timeout-ms: {e}")))
+        .transpose()?
+        .map(std::time::Duration::from_millis);
+    let json = flags.has("--json");
+
+    let mut client = Client::connect(addr).map_err(|e| format!("connecting {addr}: {e}"))?;
+    let mut subscription = client
+        .subscribe(&spec)
+        .map_err(|e| format!("subscribing: {e}"))?;
+    if !json {
+        eprintln!(
+            "watching {} deployment(s) on {addr} (subscription {})",
+            spec.candidates.len(),
+            subscription.id()
+        );
+    }
+    let mut seen = 0u64;
+    loop {
+        // Checked before blocking so `--count 0` exits without waiting
+        // for (or printing) an event.
+        if count.is_some_and(|c| seen >= c) {
+            return Ok(());
+        }
+        let event = match timeout {
+            Some(t) => subscription
+                .recv_timeout(t)
+                .map_err(|e| e.to_string())?
+                .ok_or_else(|| format!("no audit event within {}ms", t.as_millis()))?,
+            None => subscription.recv().map_err(|e| e.to_string())?,
+        };
+        if json {
+            #[derive(serde::Serialize)]
+            struct EventJson {
+                subscription: u64,
+                epoch: u64,
+                cached: bool,
+                elapsed_us: u64,
+                report: indaas::sia::AuditReport,
+            }
+            println!(
+                "{}",
+                serde_json::to_string(&EventJson {
+                    subscription: event.subscription,
+                    epoch: event.epoch,
+                    cached: event.cached,
+                    elapsed_us: event.elapsed_us,
+                    report: event.report,
+                })
+                .map_err(|e| e.to_string())?
+            );
+        } else {
+            let best = event
+                .report
+                .best()
+                .map(|d| d.name.clone())
+                .unwrap_or_else(|| "<none>".to_string());
+            println!(
+                "[epoch {}] best={best} cached={} elapsed={}us",
+                event.epoch, event.cached, event.elapsed_us
+            );
+            for d in &event.report.deployments {
+                println!(
+                    "  {}: {} unexpected risk group(s)",
+                    d.name, d.unexpected_rgs
+                );
+            }
+        }
+        seen += 1;
+    }
 }
 
 fn cmd_federate(args: &[String]) -> Result<(), String> {

@@ -157,6 +157,13 @@ fn serve_rejects_bad_flags_and_missing_records() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("--workers"));
 
     let out = bin()
+        .args(["serve", "--max-conns", "0"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--max-conns"));
+
+    let out = bin()
         .args(["serve", "--workers", "0"])
         .output()
         .expect("binary runs");
@@ -300,6 +307,101 @@ fn serve_answers_ping_and_malformed_requests_over_tcp() {
 
     let status = child.wait().expect("daemon exits");
     assert!(status.success());
+}
+
+/// The `watch` quickstart, end to end across two processes: a daemon
+/// pre-loaded with records, then `indaas watch` subscribing over the v2
+/// protocol and exiting after the initial pushed event.
+#[test]
+fn watch_receives_the_initial_pushed_event() {
+    use std::io::{BufRead, BufReader, Write};
+
+    let records = write_temp(
+        "watch-records.txt",
+        r#"
+        <src="S1" dst="Internet" route="tor1,core1"/>
+        <src="S2" dst="Internet" route="tor1,core2"/>
+        <src="S3" dst="Internet" route="tor2,core2"/>
+        "#,
+    );
+    let mut daemon = bin()
+        .args([
+            "serve",
+            "--listen",
+            "127.0.0.1:0",
+            "--records",
+            records.to_str().unwrap(),
+        ])
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("daemon starts");
+    let stderr = daemon.stderr.take().expect("stderr piped");
+    let mut banner = String::new();
+    BufReader::new(stderr)
+        .read_line(&mut banner)
+        .expect("read banner");
+    let addr = banner
+        .trim()
+        .rsplit(' ')
+        .next()
+        .expect("address in banner")
+        .to_string();
+
+    let out = bin()
+        .args([
+            "watch",
+            "--addr",
+            &addr,
+            "--deploy",
+            "same-tor=S1,S2",
+            "--deploy",
+            "cross-tor=S1,S3",
+            "--count",
+            "1",
+            "--timeout-ms",
+            "15000",
+        ])
+        .output()
+        .expect("watch runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("best=cross-tor"), "got: {text}");
+    assert!(text.contains("same-tor"), "got: {text}");
+
+    // JSON mode yields one parseable object per event.
+    let out = bin()
+        .args([
+            "watch",
+            "--addr",
+            &addr,
+            "--deploy",
+            "pair=S1,S3",
+            "--count",
+            "1",
+            "--timeout-ms",
+            "15000",
+            "--json",
+        ])
+        .output()
+        .expect("watch --json runs");
+    assert!(out.status.success());
+    let line = String::from_utf8_lossy(&out.stdout);
+    let v: serde_json::Value = serde_json::from_str(line.trim()).expect("valid JSON event");
+    assert_eq!(v["report"]["deployments"][0]["name"], "pair");
+
+    // Shut the daemon down over a raw v1 line.
+    let stream = std::net::TcpStream::connect(&addr).expect("connect");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    writer.write_all(b"\"Shutdown\"\n").expect("write");
+    reader.read_line(&mut line).expect("read shutdown ack");
+    assert!(daemon.wait().expect("daemon exits").success());
+    std::fs::remove_file(&records).ok();
 }
 
 /// The "Federated PIA" quickstart, end to end: three daemons (one per

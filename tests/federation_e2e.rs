@@ -10,7 +10,7 @@ use indaas::deps::VersionedDepDb;
 use indaas::federation::{provider_component_set, Federation, FederationCoordinator, PeerRegistry};
 use indaas::pia::{run_psop, PsopConfig};
 use indaas::service::proto::{Request, Response, FEDERATION_PROTOCOL_VERSION};
-use indaas::service::{Client, ServeConfig, Server};
+use indaas::service::{Client, ServeConfig, Server, V1Client};
 use indaas::simnet::SimNetwork;
 
 /// Table-1 record sets for three providers with a shared core (libc6,
@@ -42,6 +42,12 @@ struct TestDaemon {
 /// pre-loaded and federation enabled (`allow` = peer allow-list, empty =
 /// open).
 fn boot_daemon(records: &str, allow: &[String]) -> TestDaemon {
+    boot_daemon_with_version(records, allow, FEDERATION_PROTOCOL_VERSION)
+}
+
+/// [`boot_daemon`] with the federation engine pinned to offer `version`
+/// when dialing its ring successor — `1` forces the legacy hex framing.
+fn boot_daemon_with_version(records: &str, allow: &[String], version: u32) -> TestDaemon {
     let mut db = VersionedDepDb::new();
     db.ingest_text(records).expect("test records parse");
     let server = Server::bind_with_db(
@@ -55,7 +61,9 @@ fn boot_daemon(records: &str, allow: &[String]) -> TestDaemon {
     .expect("bind ephemeral");
     let addr = server.local_addr().to_string();
     let registry = PeerRegistry::with_peers(allow.iter().cloned());
-    server.set_federation(Arc::new(Federation::with_registry(addr.clone(), registry)));
+    server.set_federation(Arc::new(
+        Federation::with_registry(addr.clone(), registry).with_protocol_version(version),
+    ));
     let handle = std::thread::spawn(move || server.run());
     TestDaemon { addr, handle }
 }
@@ -129,6 +137,60 @@ fn three_daemon_audit_matches_simnetwork_run() {
     shutdown(daemons);
 }
 
+/// The binary-framing acceptance: the identical audit over the
+/// identical topology, once at peer protocol v2 (raw binary round
+/// frames) and once forced down to v1 (hex-in-JSON lines). Results must
+/// be byte-identical — same intersection/union, same per-party
+/// *protocol payload* traffic — while the measured per-party *wire*
+/// bytes drop by at least the promised 1.8×.
+#[test]
+fn binary_framing_cuts_wire_bytes_without_changing_results() {
+    let run_at = |version: u32| {
+        let daemons: Vec<TestDaemon> = PROVIDER_RECORDS
+            .iter()
+            .map(|r| boot_daemon_with_version(r, &[], version))
+            .collect();
+        let peers: Vec<String> = daemons.iter().map(|d| d.addr.clone()).collect();
+        let outcome = FederationCoordinator::new(peers)
+            .run()
+            .expect("federated audit succeeds");
+        shutdown(daemons);
+        outcome
+    };
+    let hex = run_at(1);
+    let binary = run_at(FEDERATION_PROTOCOL_VERSION);
+
+    // Byte-identical audit results and payload accounting.
+    assert_eq!(binary.psop.intersection, hex.psop.intersection);
+    assert_eq!(binary.psop.union, hex.psop.union);
+    assert!((binary.psop.jaccard - hex.psop.jaccard).abs() < 1e-12);
+    for party in 0..=PROVIDER_RECORDS.len() {
+        assert_eq!(
+            binary.psop.traffic.sent_bytes(party),
+            hex.psop.traffic.sent_bytes(party),
+            "protocol payload bytes are framing-independent (party {party})"
+        );
+    }
+
+    // The wire itself is what shrinks: every provider's measured bytes
+    // to its ring successor drop ≥ 1.8×.
+    assert_eq!(binary.party_wire_bytes.len(), PROVIDER_RECORDS.len());
+    for (party, (&hex_wire, &bin_wire)) in hex
+        .party_wire_bytes
+        .iter()
+        .zip(&binary.party_wire_bytes)
+        .enumerate()
+    {
+        assert!(bin_wire > 0, "party {party} sent ring frames");
+        let ratio = hex_wire as f64 / bin_wire as f64;
+        assert!(
+            ratio >= 1.8,
+            "party {party}: hex framing used {hex_wire} wire bytes vs binary {bin_wire} \
+             ({ratio:.2}x, needed >= 1.8x)"
+        );
+    }
+}
+
 #[test]
 fn allow_listed_ring_works_and_unlisted_successor_is_refused() {
     // Boot the ring twice over the same record sets: first with mutual
@@ -187,8 +249,10 @@ fn self_peering_is_rejected_with_a_clear_error() {
 #[test]
 fn handshake_negotiates_version_and_rejects_ancient_peers() {
     let daemon = boot_daemon(PROVIDER_RECORDS[0], &[]);
+    // A peer handshake is by definition the first line of a raw
+    // connection, so these probes ride the line-mode V1Client.
     // A well-behaved (even newer) peer is welcomed at our version.
-    let mut modern = Client::connect(&daemon.addr).unwrap();
+    let mut modern = V1Client::connect(&daemon.addr).unwrap();
     match modern
         .request(&Request::FederateHello {
             version: FEDERATION_PROTOCOL_VERSION + 3,
@@ -203,7 +267,7 @@ fn handshake_negotiates_version_and_rejects_ancient_peers() {
         other => panic!("expected a welcome, got {other:?}"),
     }
     // A peer speaking version 0 is turned away.
-    let mut ancient = Client::connect(&daemon.addr).unwrap();
+    let mut ancient = V1Client::connect(&daemon.addr).unwrap();
     match ancient
         .request(&Request::FederateHello {
             version: 0,
@@ -250,13 +314,23 @@ fn federation_disabled_daemon_answers_with_a_clear_error() {
     let addr = server.local_addr().to_string();
     let handle = std::thread::spawn(move || server.run());
     // A rejected handshake drops the connection, so probe each request
-    // on a fresh one.
-    for request in [
-        Request::FederateHello {
+    // on a fresh one. FederateHello must be a connection's first line,
+    // so it goes through the line-mode V1Client; FederateStart is an
+    // ordinary request and rides the v2 session.
+    let mut peer = V1Client::connect(&addr).unwrap();
+    match peer
+        .request(&Request::FederateHello {
             version: FEDERATION_PROTOCOL_VERSION,
             node: "n".into(),
-        },
-        Request::FederateStart {
+        })
+        .unwrap()
+    {
+        Response::Error { message } => assert!(message.contains("not enabled")),
+        other => panic!("expected an error, got {other:?}"),
+    }
+    let mut client = Client::connect(&addr).unwrap();
+    match client
+        .request(&Request::FederateStart {
             session: 1,
             index: 0,
             parties: 2,
@@ -264,13 +338,11 @@ fn federation_disabled_daemon_answers_with_a_clear_error() {
             seed: 1,
             multiset: true,
             round_timeout_ms: None,
-        },
-    ] {
-        let mut client = Client::connect(&addr).unwrap();
-        match client.request(&request).unwrap() {
-            Response::Error { message } => assert!(message.contains("not enabled")),
-            other => panic!("expected an error, got {other:?}"),
-        }
+        })
+        .unwrap()
+    {
+        Response::Error { message } => assert!(message.contains("not enabled")),
+        other => panic!("expected an error, got {other:?}"),
     }
     let mut client = Client::connect(&addr).unwrap();
     client.shutdown().unwrap();

@@ -488,3 +488,120 @@ proptest! {
         prop_assert_eq!(graph.evaluate(&assignment), failed >= k);
     }
 }
+
+/// Protocol-v2 binary frame decoding: whatever bytes a peer feeds the
+/// reader — truncated frames, lying or oversized length prefixes, raw
+/// garbage — it must return an error or a clean classification, never
+/// panic, and never allocate in proportion to an *announced* length the
+/// peer did not actually send.
+mod frame_props {
+    use indaas::service::proto::{read_frame, write_frame, FrameRead};
+    use proptest::prelude::*;
+
+    /// The chunk size `read_frame` grows its buffer by; allocation may
+    /// overshoot the received bytes by at most this much.
+    const CHUNK: usize = 64 * 1024;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// Encode/decode identity for any payload within the limit.
+        #[test]
+        fn roundtrip_is_identity(payload in proptest::collection::vec(any::<u8>(), 0..2048)) {
+            let mut wire = Vec::new();
+            write_frame(&mut wire, &payload).unwrap();
+            prop_assert_eq!(wire.len(), payload.len() + 4);
+            let mut cursor = std::io::Cursor::new(wire);
+            let mut buf = Vec::new();
+            prop_assert!(matches!(
+                read_frame(&mut cursor, &mut buf, 4096).unwrap(),
+                FrameRead::Frame
+            ));
+            prop_assert_eq!(buf, payload);
+            prop_assert!(matches!(
+                read_frame(&mut cursor, &mut buf, 4096).unwrap(),
+                FrameRead::Eof
+            ));
+        }
+
+        /// A frame cut off anywhere — inside the length prefix or inside
+        /// the announced payload — is an UnexpectedEof error, never a
+        /// panic, never a bogus frame.
+        #[test]
+        fn truncated_frames_error(
+            payload in proptest::collection::vec(any::<u8>(), 1..512),
+            cut_seed in any::<usize>(),
+        ) {
+            let mut wire = Vec::new();
+            write_frame(&mut wire, &payload).unwrap();
+            let cut = 1 + cut_seed % (wire.len() - 1); // 1..wire.len()
+            wire.truncate(cut);
+            let mut cursor = std::io::Cursor::new(wire);
+            let mut buf = Vec::new();
+            let err = read_frame(&mut cursor, &mut buf, 4096).unwrap_err();
+            prop_assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+            prop_assert!(buf.len() <= payload.len());
+        }
+
+        /// A length prefix past the limit is classified Oversized before
+        /// a single payload byte is read or a single byte allocated.
+        #[test]
+        fn oversized_prefixes_never_allocate(
+            over in 1u32..1_000_000,
+            tail in proptest::collection::vec(any::<u8>(), 0..64),
+        ) {
+            const LIMIT: u64 = 4096;
+            let announced = LIMIT as u32 + over;
+            let mut wire = announced.to_be_bytes().to_vec();
+            wire.extend_from_slice(&tail);
+            let mut cursor = std::io::Cursor::new(wire);
+            let mut buf = Vec::new();
+            prop_assert!(matches!(
+                read_frame(&mut cursor, &mut buf, LIMIT).unwrap(),
+                FrameRead::Oversized
+            ));
+            prop_assert_eq!(buf.len(), 0);
+            prop_assert!(buf.capacity() == 0, "rejected before any allocation");
+            prop_assert!(cursor.position() == 4, "no payload byte consumed");
+        }
+
+        /// A lying in-limit prefix (announcing more than the peer ever
+        /// sends) errors out with the buffer grown by at most what
+        /// actually arrived plus one chunk — never the announced length.
+        #[test]
+        fn lying_prefixes_never_overallocate(
+            announced in 1u32..16_000_000,
+            sent in proptest::collection::vec(any::<u8>(), 0..256),
+        ) {
+            prop_assume!((sent.len() as u32) < announced);
+            let mut wire = announced.to_be_bytes().to_vec();
+            wire.extend_from_slice(&sent);
+            let mut cursor = std::io::Cursor::new(wire);
+            let mut buf = Vec::new();
+            let err = read_frame(&mut cursor, &mut buf, 16 * 1024 * 1024).unwrap_err();
+            prop_assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+            prop_assert!(
+                buf.len() <= sent.len() + CHUNK,
+                "buffer grew to {} for {} received bytes",
+                buf.len(),
+                sent.len()
+            );
+        }
+
+        /// Raw garbage never panics the reader; anything it accepts as a
+        /// frame really was length-prefix-consistent with the input.
+        #[test]
+        fn garbage_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..96)) {
+            let mut cursor = std::io::Cursor::new(bytes.clone());
+            let mut buf = Vec::new();
+            match read_frame(&mut cursor, &mut buf, 1024) {
+                Ok(FrameRead::Frame) => {
+                    prop_assert!(buf.len() + 4 <= bytes.len());
+                    prop_assert_eq!(&buf[..], &bytes[4..4 + buf.len()]);
+                }
+                Ok(FrameRead::Eof) => prop_assert!(bytes.is_empty()),
+                Ok(FrameRead::Oversized) | Err(_) => {}
+            }
+        }
+    }
+}
