@@ -19,6 +19,12 @@
 //!   snapshot-and-read operation, idle vs with writers hammering
 //!   *other* shards. Per-shard locking must leave the reader
 //!   unaffected; the global write lock must not.
+//! * **instrumentation overhead** — the same sharded writer/reader race
+//!   with the daemon's per-mutation observability hooks live (a counter
+//!   bump and a latency-span record per write, exactly what the serve
+//!   path does) vs without. Best-of-3 each; instrumented throughput
+//!   must stay within 2% of plain, and the instrumented reader p99 must
+//!   hold the same wait-free band the uninstrumented one is gated on.
 //!
 //! Emits `BENCH_concurrency.json`. `--smoke` shrinks durations for the
 //! CI gate; full mode is the committed trajectory point. The binary
@@ -30,10 +36,11 @@
 //! ```
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::RwLock;
+use std::sync::{Arc, RwLock};
 use std::time::{Duration, Instant};
 
 use indaas_deps::{shard_index, DepView, DependencyRecord, HardwareDep, NetworkDep, ShardedDepDb};
+use indaas_obs::{Counter, Histo, Registry, Span};
 use serde::Serialize;
 
 /// How the benchmark drives the store: through one global `RwLock`
@@ -93,19 +100,42 @@ fn seed(store: &ShardedDepDb, shards: usize, per_shard: usize) {
     store.ingest(records);
 }
 
+/// The daemon's per-mutation observability hooks, as the serve path
+/// wires them: one counter bump plus one latency-span record per write.
+struct ObsHooks {
+    mutations: Arc<Counter>,
+    ingest_us: Arc<Histo>,
+}
+
+impl ObsHooks {
+    fn new(registry: &Registry) -> Self {
+        ObsHooks {
+            mutations: registry.counter("mutations_total"),
+            ingest_us: registry.histo("ingest_us"),
+        }
+    }
+}
+
 /// One writer's inner loop: alternate an effective single-record ingest
 /// with its retraction, so every op bumps the shard epoch and republishes
-/// the snapshot while the resident size stays fixed. Returns ops done.
+/// the snapshot while the resident size stays fixed. With `obs` set,
+/// every op also pays the daemon's write-path instrumentation. Returns
+/// ops done.
 fn write_ops(
     store: &RwLock<ShardedDepDb>,
     mode: LockMode,
     writer: usize,
     hosts: &[String],
     stop: &AtomicBool,
+    obs: Option<&ObsHooks>,
 ) -> u64 {
     let mut ops = 0u64;
     let mut pending: Option<DependencyRecord> = None;
     while !stop.load(Ordering::Relaxed) {
+        let span = obs.map(|hooks| {
+            hooks.mutations.inc();
+            Span::start(Arc::clone(&hooks.ingest_us))
+        });
         match pending.take() {
             Some(record) => {
                 let batch = [record];
@@ -125,6 +155,7 @@ fn write_ops(
                 assert_eq!(report.changed, 1, "bench ingests must be effective");
             }
         }
+        drop(span);
         ops += 1;
     }
     ops
@@ -156,6 +187,7 @@ fn throughput(
     writers: usize,
     readers: usize,
     duration: Duration,
+    obs: Option<&ObsHooks>,
 ) -> f64 {
     let stop = AtomicBool::new(false);
     let total = AtomicU64::new(0);
@@ -170,7 +202,7 @@ fn throughput(
         for (w, pool) in pools.iter().enumerate() {
             let (stop, total) = (&stop, &total);
             scope.spawn(move || {
-                let ops = write_ops(store, mode, w, pool, stop);
+                let ops = write_ops(store, mode, w, pool, stop, obs);
                 total.fetch_add(ops, Ordering::Relaxed);
             });
         }
@@ -199,6 +231,7 @@ fn reader_p99_us(
     shards: usize,
     writers: usize,
     duration: Duration,
+    obs: Option<&ObsHooks>,
 ) -> f64 {
     let stop = AtomicBool::new(false);
     // The reader pins shard 0; writers cycle through shards 1.. —
@@ -217,7 +250,7 @@ fn reader_p99_us(
         for (w, pool) in pools.iter().enumerate() {
             let stop = &stop;
             scope.spawn(move || {
-                write_ops(store, mode, w, pool, stop);
+                write_ops(store, mode, w, pool, stop, obs);
             });
         }
         let deadline = Instant::now() + duration;
@@ -258,6 +291,20 @@ struct ReaderLatency {
 }
 
 #[derive(Serialize)]
+struct InstrumentationOverhead {
+    /// Best-of-3 sharded ingest throughput, no instrumentation.
+    plain_ops_per_sec: f64,
+    /// Best-of-3 with the daemon's write-path hooks live (counter bump
+    /// + latency-span record per op).
+    instrumented_ops_per_sec: f64,
+    /// Best per-round paired `instrumented / plain` ratio — the gate
+    /// demands ≥ 0.98 (≤ 2% cost).
+    ratio: f64,
+    /// Wait-free reader p99 with instrumented other-shard writers, µs.
+    instrumented_reader_p99_us: f64,
+}
+
+#[derive(Serialize)]
 struct BenchReport {
     smoke: bool,
     shards: usize,
@@ -266,6 +313,7 @@ struct BenchReport {
     duration_ms: u64,
     throughput: Vec<ThroughputPoint>,
     reader_latency: ReaderLatency,
+    instrumentation: InstrumentationOverhead,
 }
 
 fn main() {
@@ -307,6 +355,7 @@ fn main() {
             writers,
             readers,
             duration,
+            None,
         );
         let store = fresh_store();
         let sharded = throughput(
@@ -316,6 +365,7 @@ fn main() {
             writers,
             readers,
             duration,
+            None,
         );
         let speedup = sharded / global;
         eprintln!(
@@ -336,7 +386,7 @@ fn main() {
     // "other shard" to load, so its loaded phase degenerates to idle.
     let latency_writers = 2.min(shards.saturating_sub(1));
     let store = fresh_store();
-    let global_idle = reader_p99_us(&store, LockMode::GlobalRwLock, shards, 0, duration);
+    let global_idle = reader_p99_us(&store, LockMode::GlobalRwLock, shards, 0, duration, None);
     let store = fresh_store();
     let global_loaded = reader_p99_us(
         &store,
@@ -344,9 +394,10 @@ fn main() {
         shards,
         latency_writers,
         duration,
+        None,
     );
     let store = fresh_store();
-    let sharded_idle = reader_p99_us(&store, LockMode::PerShard, shards, 0, duration);
+    let sharded_idle = reader_p99_us(&store, LockMode::PerShard, shards, 0, duration, None);
     let store = fresh_store();
     let sharded_loaded = reader_p99_us(
         &store,
@@ -354,10 +405,73 @@ fn main() {
         shards,
         latency_writers,
         duration,
+        None,
     );
     eprintln!(
         "bench_concurrency: reader p99 | global {global_idle:.1} -> {global_loaded:.1} us | \
          sharded {sharded_idle:.1} -> {sharded_loaded:.1} us"
+    );
+
+    // Instrumentation-overhead phase: the flight recorder's write-path
+    // hooks must be invisible. The hooks cost three atomic RMWs per op
+    // against an ingest measured in hundreds of microseconds, so any
+    // honest signal is well under 1% — the design problem is measuring
+    // that on an oversubscribed CI core where thread-scheduling noise
+    // alone swings cells by far more. Two noise controls: the overhead
+    // cells run writers only (no reader threads — the gate is about
+    // ingest cost, and 16 idle-spinning readers on one core drown it),
+    // and plain/instrumented are measured as *adjacent pairs* with the
+    // best per-round ratio taken, so slow drift across the run (CPU
+    // frequency, page cache, a neighbouring job) cancels instead of
+    // landing on whichever side ran later.
+    let registry = Registry::new();
+    let hooks = ObsHooks::new(&registry);
+    let overhead_writers = shards.clamp(1, 4);
+    let mut plain_best = 0.0f64;
+    let mut instrumented_best = 0.0f64;
+    let mut overhead_ratio = 0.0f64;
+    for _ in 0..3 {
+        let store = fresh_store();
+        let plain = throughput(
+            &store,
+            LockMode::PerShard,
+            shards,
+            overhead_writers,
+            0,
+            duration,
+            None,
+        );
+        let store = fresh_store();
+        let instrumented = throughput(
+            &store,
+            LockMode::PerShard,
+            shards,
+            overhead_writers,
+            0,
+            duration,
+            Some(&hooks),
+        );
+        overhead_ratio = overhead_ratio.max(instrumented / plain);
+        plain_best = plain_best.max(plain);
+        instrumented_best = instrumented_best.max(instrumented);
+    }
+    let store = fresh_store();
+    let instrumented_reader_p99 = reader_p99_us(
+        &store,
+        LockMode::PerShard,
+        shards,
+        latency_writers,
+        duration,
+        Some(&hooks),
+    );
+    eprintln!(
+        "bench_concurrency: instrumentation | plain {plain_best:>9.0} ops/s | \
+         instrumented {instrumented_best:>9.0} ops/s | ratio {overhead_ratio:.3} | \
+         reader p99 {instrumented_reader_p99:.1} us"
+    );
+    assert!(
+        hooks.mutations.get() > 0 && hooks.ingest_us.snapshot().count > 0,
+        "instrumented cells must actually have recorded metrics"
     );
 
     let report = BenchReport {
@@ -372,6 +486,12 @@ fn main() {
             global_loaded_p99_us: global_loaded,
             sharded_idle_p99_us: sharded_idle,
             sharded_loaded_p99_us: sharded_loaded,
+        },
+        instrumentation: InstrumentationOverhead {
+            plain_ops_per_sec: plain_best,
+            instrumented_ops_per_sec: instrumented_best,
+            ratio: overhead_ratio,
+            instrumented_reader_p99_us: instrumented_reader_p99,
         },
     };
 
@@ -420,6 +540,26 @@ fn main() {
         "wait-free readers ({:.1}us) fell behind the global lock ({:.1}us) under writer load",
         lat.sharded_loaded_p99_us,
         lat.global_loaded_p99_us
+    );
+    // Instrumentation gates: the flight-recorder write-path hooks must
+    // cost ≤ 2% ingest throughput, and readers must stay within the same
+    // wait-free band as the uninstrumented run. The best paired ratio
+    // keeps the comparison honest on noisy runners; if every round still
+    // dips below the bar the hooks got heavier, not the machine slower.
+    let inst = &report.instrumentation;
+    assert!(
+        inst.ratio >= 0.98,
+        "instrumented ingest throughput is {:.1}% of plain in the best paired round \
+         (bests: {:.0} vs {:.0} ops/s) — instrumentation overhead exceeds the 2% budget",
+        inst.ratio * 100.0,
+        inst.instrumented_ops_per_sec,
+        inst.plain_ops_per_sec
+    );
+    assert!(
+        inst.instrumented_reader_p99_us <= allowed,
+        "reader p99 {:.1}us with instrumented writers exceeds {allowed:.1}us — \
+         instrumentation broke the wait-free read path",
+        inst.instrumented_reader_p99_us
     );
 
     let json = serde_json::to_string_pretty(&report).expect("report serializes");

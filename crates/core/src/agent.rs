@@ -11,6 +11,33 @@ use indaas_sia::{
 
 use crate::spec::{AuditSpec, RankingMetric, RgAlgorithm};
 
+/// Receives per-stage wall-clock timings from an audit as it executes.
+///
+/// The agent stays free of any metrics dependency: callers that want
+/// stage latencies (the `indaas-service` daemon's flight recorder and
+/// registry histograms) implement this trait and pass it to
+/// [`AuditingAgent::audit_sia_observed`]; everyone else gets the no-op
+/// `()` implementation for free. Stage names are stable identifiers:
+/// `"graph_build"`, `"rg_minimal"`, `"rg_sampling"`, `"rg_bdd"`,
+/// `"ranking"`. A stage is reported once per candidate deployment.
+pub trait StageObserver: Sync {
+    /// Called when a stage finishes, with its elapsed microseconds.
+    fn stage(&self, stage: &'static str, elapsed_us: u64);
+}
+
+/// The no-op observer.
+impl StageObserver for () {
+    fn stage(&self, _stage: &'static str, _elapsed_us: u64) {}
+}
+
+/// Runs `f`, reporting its wall-clock cost to `obs` under `stage`.
+fn observed<T>(obs: &dyn StageObserver, stage: &'static str, f: impl FnOnce() -> T) -> T {
+    let started = std::time::Instant::now();
+    let out = f();
+    obs.stage(stage, started.elapsed().as_micros() as u64);
+    out
+}
+
 /// Errors surfaced to the auditing client.
 #[derive(Debug)]
 pub enum AuditError {
@@ -127,6 +154,23 @@ impl AuditingAgent {
         spec: &AuditSpec,
         token: &CancelToken,
     ) -> Result<AuditReport, AuditError> {
+        self.audit_sia_observed(spec, token, &())
+    }
+
+    /// [`AuditingAgent::audit_sia_cancellable`] reporting per-stage
+    /// timings (fault-graph build, risk-group engine, ranking) to a
+    /// [`StageObserver`] — the entry point the daemon's flight recorder
+    /// rides.
+    ///
+    /// # Errors
+    ///
+    /// As [`AuditingAgent::audit_sia_cancellable`].
+    pub fn audit_sia_observed(
+        &self,
+        spec: &AuditSpec,
+        token: &CancelToken,
+        obs: &dyn StageObserver,
+    ) -> Result<AuditReport, AuditError> {
         if spec.candidates.is_empty() {
             return Err(AuditError::NoCandidates);
         }
@@ -141,8 +185,10 @@ impl AuditingAgent {
                 software: spec.software,
                 prob_model: spec.prob_model.clone(),
             };
-            let graph = build_fault_graph(self.db.as_ref(), &build)
-                .map_err(|e| AuditError::Build(cand.name.clone(), e))?;
+            let graph = observed(obs, "graph_build", || {
+                build_fault_graph(self.db.as_ref(), &build)
+            })
+            .map_err(|e| AuditError::Build(cand.name.clone(), e))?;
             // The BDD engine additionally yields an exact top-event
             // probability; the other engines defer to the ranking module.
             let mut exact_pr: Option<Bdd> = None;
@@ -152,8 +198,10 @@ impl AuditingAgent {
                         max_order,
                         ..MinimalConfig::default()
                     };
-                    minimal_risk_groups_cancellable(&graph, &config, token)
-                        .map_err(AuditError::Cancelled)?
+                    observed(obs, "rg_minimal", || {
+                        minimal_risk_groups_cancellable(&graph, &config, token)
+                    })
+                    .map_err(AuditError::Cancelled)?
                 }
                 RgAlgorithm::Sampling {
                     rounds,
@@ -169,19 +217,25 @@ impl AuditingAgent {
                         minimize: true,
                         weighted: false,
                     };
-                    failure_sampling_cancellable(&graph, &config, token)
-                        .map_err(AuditError::Cancelled)?
+                    observed(obs, "rg_sampling", || {
+                        failure_sampling_cancellable(&graph, &config, token)
+                    })
+                    .map_err(AuditError::Cancelled)?
                 }
                 RgAlgorithm::Bdd { max_nodes } => {
-                    let bdd = Bdd::compile_cancellable(&graph, max_nodes, token)
-                        .map_err(AuditError::Cancelled)?;
-                    let family = bdd.minimal_cut_sets();
+                    let (bdd, family) = observed(obs, "rg_bdd", || {
+                        Bdd::compile_cancellable(&graph, max_nodes, token).map(|bdd| {
+                            let family = bdd.minimal_cut_sets();
+                            (bdd, family)
+                        })
+                    })
+                    .map_err(AuditError::Cancelled)?;
                     exact_pr = Some(bdd);
                     family
                 }
             };
             let replication = cand.servers.len();
-            let audit = match &spec.metric {
+            let audit = observed(obs, "ranking", || match &spec.metric {
                 RankingMetric::Size => DeploymentAudit::size_based(
                     cand.name.clone(),
                     &family,
@@ -204,7 +258,7 @@ impl AuditingAgent {
                     }
                     audit
                 }
-            };
+            });
             audits.push(audit);
         }
         Ok(AuditReport::new(audits))

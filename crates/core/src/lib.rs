@@ -37,6 +37,6 @@
 pub mod agent;
 pub mod spec;
 
-pub use agent::{AuditError, AuditingAgent, WhatIfOutcome};
+pub use agent::{AuditError, AuditingAgent, StageObserver, WhatIfOutcome};
 pub use indaas_graph::{CancelToken, Cancelled};
 pub use spec::{AuditSpec, CandidateDeployment, RankingMetric, RgAlgorithm};

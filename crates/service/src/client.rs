@@ -30,7 +30,8 @@ use indaas_sia::AuditReport;
 
 use crate::proto::{
     decode_line, encode_line, read_bounded_line, read_frame, write_frame, Envelope, FrameRead,
-    LineRead, Request, Response, ResponseEnvelope, EVENT_ENVELOPE_ID, PROTOCOL_VERSION,
+    LineRead, MetricHisto, Request, Response, ResponseEnvelope, TraceEntry, EVENT_ENVELOPE_ID,
+    PROTOCOL_VERSION,
 };
 
 /// Largest accepted response line/frame (reports scale with candidates
@@ -153,6 +154,51 @@ pub struct StatusAnswer {
     pub pushed_events: u64,
     /// Milliseconds since the daemon started.
     pub uptime_ms: u64,
+    /// Seconds since the daemon started.
+    pub uptime_secs: u64,
+    /// SIA audits executed since startup (cache hits excluded).
+    pub sia_audits: u64,
+    /// PIA audits executed since startup (cache hits excluded).
+    pub pia_audits: u64,
+    /// Pushed events shed because a subscriber's outbox was full.
+    pub dropped_events: u64,
+}
+
+/// A typed `Metrics` answer: the registry snapshot plus recent traces.
+#[derive(Clone, Debug)]
+pub struct MetricsAnswer {
+    /// Seconds since the daemon started.
+    pub uptime_secs: u64,
+    /// `(name, value)` monotonic counters, name-sorted.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` instantaneous gauges, name-sorted.
+    pub gauges: Vec<(String, u64)>,
+    /// Latency histograms, name-sorted.
+    pub histos: Vec<MetricHisto>,
+    /// Recent flight-recorder traces, newest first.
+    pub traces: Vec<TraceEntry>,
+    /// Threshold at/above which a trace was flagged `slow`, in µs.
+    pub slow_threshold_us: u64,
+}
+
+impl MetricsAnswer {
+    /// Looks up a counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Looks up a gauge by name.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Looks up a histogram by name.
+    pub fn histo(&self, name: &str) -> Option<&MetricHisto> {
+        self.histos.iter().find(|h| h.name == name)
+    }
 }
 
 /// A pushed audit result, as delivered to a [`Subscription`].
@@ -530,6 +576,10 @@ impl Client {
                 subscriptions,
                 pushed_events,
                 uptime_ms,
+                uptime_secs,
+                sia_audits,
+                pia_audits,
+                dropped_events,
             } => Ok(StatusAnswer {
                 epoch,
                 records,
@@ -547,8 +597,40 @@ impl Client {
                 subscriptions,
                 pushed_events,
                 uptime_ms,
+                uptime_secs,
+                sia_audits,
+                pia_audits,
+                dropped_events,
             }),
             other => Err(unexpected("Status", &other)),
+        }
+    }
+
+    /// Fetches the metrics snapshot (registry + recent traces) as a
+    /// typed [`MetricsAnswer`]. `recent` bounds how many traces return
+    /// (`None` = server default).
+    ///
+    /// # Errors
+    ///
+    /// Fails unless the server answers `Metrics`.
+    pub fn metrics(&mut self, recent: Option<usize>) -> Result<MetricsAnswer, ClientError> {
+        match self.request(&Request::Metrics { recent })? {
+            Response::Metrics {
+                uptime_secs,
+                counters,
+                gauges,
+                histos,
+                traces,
+                slow_threshold_us,
+            } => Ok(MetricsAnswer {
+                uptime_secs,
+                counters,
+                gauges,
+                histos,
+                traces,
+                slow_threshold_us,
+            }),
+            other => Err(unexpected("Metrics", &other)),
         }
     }
 

@@ -40,7 +40,13 @@
 //!   the normal scheduler and cache and pushes the fresh result to
 //!   every affected subscriber over its bounded per-connection outbox
 //!   (slow consumers shed their oldest events, never block ingest) —
-//!   `indaas watch` is the CLI surface.
+//!   `indaas watch` is the CLI surface;
+//! * **flight-recorder observability** ([`telemetry`]) — every stage of
+//!   the pipeline records into a lock-cheap metrics registry (counters,
+//!   gauges, log₂ latency histograms) and a bounded ring of recent
+//!   request/audit traces; the v2 `Metrics` request returns the full
+//!   snapshot, and `indaas metrics [--prom]` / `indaas top` are the CLI
+//!   surfaces.
 //!
 //! # Example
 //!
@@ -86,13 +92,15 @@ pub mod proto;
 pub mod scheduler;
 pub mod server;
 pub mod subs;
+pub mod telemetry;
 
 pub use cache::{job_key, AuditCache, EpochPins};
 pub use client::{
-    AuditEvent, Client, ClientError, IngestAnswer, PendingResponse, PiaAnswer, SiaAnswer,
-    StatusAnswer, Subscription, V1Client,
+    AuditEvent, Client, ClientError, IngestAnswer, MetricsAnswer, PendingResponse, PiaAnswer,
+    SiaAnswer, StatusAnswer, Subscription, V1Client,
 };
-pub use proto::{Envelope, Request, Response, ResponseEnvelope};
-pub use scheduler::{Scheduler, SubmitError};
+pub use proto::{Envelope, MetricHisto, Request, Response, ResponseEnvelope, TraceEntry};
+pub use scheduler::{SchedMetrics, Scheduler, SubmitError};
 pub use server::{ServeConfig, Server};
 pub use subs::{Outbox, SubscriptionRegistry};
+pub use telemetry::Telemetry;

@@ -45,6 +45,22 @@
 //! `lock_waits` contention gauge, and the push-path gauges
 //! (`subscriptions`, `pushed_events`).
 //!
+//! **Observability** rides the same protocol: [`Request::Metrics`]
+//! (either protocol version) answers [`Response::Metrics`] — every
+//! registered counter and gauge as name-sorted `(name, value)` pairs,
+//! every latency histogram as log₂ buckets with precomputed p50/p90/p99
+//! upper bounds ([`MetricHisto`]), and the flight recorder's most
+//! recent traces ([`TraceEntry`]: per-stage timings, cache disposition,
+//! shard pins, outcome, and a `slow` flag judged against the daemon's
+//! `--slow-audit-ms` threshold). Metric *names* are not protocol:
+//! consumers must ignore unknown names, and the catalog grows without a
+//! version bump. `indaas metrics --prom` renders the snapshot in
+//! Prometheus text exposition format — `indaas_<name>` gauge lines for
+//! counters/gauges, classic `_bucket{le="..."}`/`_sum`/`_count`
+//! families for histograms (bucket `i` becomes `le="2^i - 1"` in
+//! seconds), and `indaas_shard_writes{shard="N"}`-style labeled series
+//! for the per-shard store counters taken from `Status`.
+//!
 //! Responses to failed requests are `{"Error": {"message": "..."}}`; the
 //! connection stays open (v1) or the error rides the offending
 //! envelope's id (v2).
@@ -153,6 +169,16 @@ pub enum Request {
     },
     /// Service counters and database state.
     Status,
+    /// Full observability snapshot: every registered counter/gauge,
+    /// every latency histogram (log₂ buckets plus precomputed
+    /// quantile bounds), and the flight recorder's most recent traces.
+    /// Answered with [`Response::Metrics`]. Works on v1 and v2
+    /// sessions; `indaas metrics` and `indaas top` ride it.
+    Metrics {
+        /// How many recent traces to return (`null` = server default of
+        /// 32; capped at the recorder's capacity).
+        recent: Option<usize>,
+    },
     /// Stop accepting connections and exit the serve loop.
     Shutdown,
     /// First line of a daemon-to-daemon peer session: protocol-version
@@ -295,6 +321,43 @@ pub enum Response {
         pushed_events: u64,
         /// Milliseconds since the daemon started.
         uptime_ms: u64,
+        /// Whole seconds since the daemon started. Appended after
+        /// `uptime_ms` (kept for byte-compatibility) because every
+        /// human consumer rounded it anyway.
+        uptime_secs: u64,
+        /// SIA audits actually executed (cache misses and subscription
+        /// re-audits; cache hits excluded) since startup.
+        sia_audits: u64,
+        /// PIA audits actually executed since startup.
+        pia_audits: u64,
+        /// [`Response::AuditEvent`] frames shed by slow consumers'
+        /// outboxes since startup — pushes that were produced and
+        /// counted in `pushed_events` but never reached a subscriber.
+        /// Nonzero means some subscriber is not keeping up.
+        dropped_events: u64,
+    },
+    /// Answer to [`Request::Metrics`]: the full observability snapshot.
+    ///
+    /// Counters and gauges are name-sorted `(name, value)` pairs;
+    /// histograms and traces are structured (see [`MetricHisto`] and
+    /// [`TraceEntry`]). Consumers must ignore names they do not know —
+    /// the metric catalog grows without a protocol bump.
+    Metrics {
+        /// Whole seconds since the daemon started.
+        uptime_secs: u64,
+        /// Monotonic counters, name-sorted.
+        counters: Vec<(String, u64)>,
+        /// Instantaneous levels, name-sorted. Derived values (cache
+        /// hits, per-shard totals, queue occupancy) are refreshed at
+        /// snapshot time.
+        gauges: Vec<(String, u64)>,
+        /// Latency histograms, name-sorted.
+        histos: Vec<MetricHisto>,
+        /// Most recent flight-recorder traces, newest first.
+        traces: Vec<TraceEntry>,
+        /// The active `--slow-audit-ms` threshold in microseconds —
+        /// what `slow` on a trace was judged against.
+        slow_threshold_us: u64,
     },
     /// Answer to [`Request::Subscribe`]: the subscription is live and
     /// its first [`Response::AuditEvent`] is on its way.
@@ -371,6 +434,57 @@ impl Response {
             message: message.into(),
         }
     }
+}
+
+/// One latency histogram in a [`Response::Metrics`] snapshot.
+///
+/// Buckets are log₂: bucket `i ≥ 1` counts values (microseconds) in
+/// `[2^(i-1), 2^i)`, bucket 0 counts exact zeros; only occupied buckets
+/// are sent. The quantile fields are *bucket upper bounds* — for a true
+/// quantile value `v` the reported bound `b` satisfies `v <= b < 2v + 1`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MetricHisto {
+    /// Metric name.
+    pub name: String,
+    /// Total recorded values.
+    pub count: u64,
+    /// Sum of recorded values (µs) — `sum / count` is the mean.
+    pub sum_us: u64,
+    /// Median upper bound, µs.
+    pub p50_us: u64,
+    /// 90th-percentile upper bound, µs.
+    pub p90_us: u64,
+    /// 99th-percentile upper bound, µs.
+    pub p99_us: u64,
+    /// Upper bound of the highest occupied bucket, µs.
+    pub max_us: u64,
+    /// Occupied `(bucket index, count)` pairs, index-ascending.
+    pub buckets: Vec<(u32, u64)>,
+}
+
+/// One flight-recorder trace in a [`Response::Metrics`] snapshot: a
+/// recent audit/request execution with its per-stage timings.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TraceEntry {
+    /// Monotonic sequence number (gaps mean the ring evicted entries).
+    pub seq: u64,
+    /// What ran: `"sia"`, `"pia"`, or `"push"` (subscription re-audit).
+    pub kind: String,
+    /// Free-form context — candidate deployment names, subscription id.
+    pub detail: String,
+    /// Served from the audit cache (then `stages` is empty).
+    pub cached: bool,
+    /// `"ok"`, `"cancelled"`, or an error rendering.
+    pub outcome: String,
+    /// End-to-end microseconds.
+    pub total_us: u64,
+    /// At or above the `--slow-audit-ms` threshold when recorded.
+    pub slow: bool,
+    /// Per-stage `(name, µs)` pairs in execution order — one entry per
+    /// candidate deployment per engine stage.
+    pub stages: Vec<(String, u64)>,
+    /// `(shard, epoch)` pins the execution read against.
+    pub pins: Vec<(u32, u64)>,
 }
 
 /// A correlated protocol-v2 request: the client picks `id` (≥ 1) and

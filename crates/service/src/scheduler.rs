@@ -22,9 +22,24 @@
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use indaas_core::CancelToken;
+use indaas_obs::{Counter, Gauge, Histo};
+
+/// Observability hooks for the pool: queue occupancy, queue-wait
+/// latency, and total admissions. All optional — [`Scheduler::new`]
+/// runs unobserved (tests, embedded use); the daemon passes handles
+/// from its registry via [`Scheduler::with_metrics`].
+#[derive(Clone)]
+pub struct SchedMetrics {
+    /// Jobs admitted but not yet picked up (set on every transition).
+    pub queue_depth: Arc<Gauge>,
+    /// Microseconds each job spent queued before a worker took it.
+    pub wait_us: Arc<Histo>,
+    /// Jobs admitted since startup.
+    pub jobs_total: Arc<Counter>,
+}
 
 /// Why a job was not admitted.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -49,6 +64,7 @@ impl std::error::Error for SubmitError {}
 struct Job {
     run: Box<dyn FnOnce(&CancelToken) + Send>,
     token: CancelToken,
+    enqueued: Instant,
 }
 
 struct Shared {
@@ -57,6 +73,7 @@ struct Shared {
     capacity: usize,
     shutdown: AtomicBool,
     running: AtomicUsize,
+    metrics: Option<SchedMetrics>,
 }
 
 /// The worker pool. Dropping it drains nothing: queued jobs whose
@@ -74,6 +91,17 @@ impl Scheduler {
     ///
     /// Panics if `workers` is zero.
     pub fn new(workers: usize, capacity: usize) -> Self {
+        Self::with_metrics(workers, capacity, None)
+    }
+
+    /// [`Scheduler::new`] with observability hooks: the pool keeps
+    /// `queue_depth` current, records every job's queue wait into
+    /// `wait_us`, and counts admissions into `jobs_total`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub fn with_metrics(workers: usize, capacity: usize, metrics: Option<SchedMetrics>) -> Self {
         assert!(workers >= 1, "need at least one worker");
         let shared = Arc::new(Shared {
             queue: Mutex::new(VecDeque::new()),
@@ -81,6 +109,7 @@ impl Scheduler {
             capacity: capacity.max(1),
             shutdown: AtomicBool::new(false),
             running: AtomicUsize::new(0),
+            metrics,
         });
         let handles = (0..workers)
             .map(|i| {
@@ -120,6 +149,7 @@ impl Scheduler {
         let job = Job {
             run: Box::new(run),
             token: token.clone(),
+            enqueued: Instant::now(),
         };
         {
             let mut queue = self.shared.queue.lock().expect("queue poisoned");
@@ -127,6 +157,10 @@ impl Scheduler {
                 return Err(SubmitError::QueueFull);
             }
             queue.push_back(job);
+            if let Some(m) = &self.shared.metrics {
+                m.jobs_total.inc();
+                m.queue_depth.set(queue.len() as u64);
+            }
         }
         self.shared.available.notify_one();
         Ok(token)
@@ -164,6 +198,9 @@ fn worker_loop(shared: &Shared) {
             let mut queue = shared.queue.lock().expect("queue poisoned");
             loop {
                 if let Some(job) = queue.pop_front() {
+                    if let Some(m) = &shared.metrics {
+                        m.queue_depth.set(queue.len() as u64);
+                    }
                     break job;
                 }
                 if shared.shutdown.load(Ordering::Acquire) {
@@ -172,6 +209,9 @@ fn worker_loop(shared: &Shared) {
                 queue = shared.available.wait(queue).expect("queue poisoned");
             }
         };
+        if let Some(m) = &shared.metrics {
+            m.wait_us.record(job.enqueued.elapsed().as_micros() as u64);
+        }
         shared.running.fetch_add(1, Ordering::Relaxed);
         // The job body observes queue-time expiry through its token.
         // A panicking job (bad algorithm parameters tripping an assert
@@ -282,6 +322,32 @@ mod tests {
             );
             std::thread::yield_now();
         }
+    }
+
+    #[test]
+    fn metrics_track_admissions_and_queue_wait() {
+        let m = SchedMetrics {
+            queue_depth: Arc::new(Gauge::new()),
+            wait_us: Arc::new(Histo::new()),
+            jobs_total: Arc::new(Counter::new()),
+        };
+        let s = Scheduler::with_metrics(1, 8, Some(m.clone()));
+        let (tx, rx) = mpsc::channel();
+        for _ in 0..3 {
+            let tx = tx.clone();
+            s.submit(None, move |_| tx.send(()).unwrap()).unwrap();
+        }
+        for _ in 0..3 {
+            rx.recv().unwrap();
+        }
+        assert_eq!(m.jobs_total.get(), 3);
+        // Every job's queue wait was recorded once it was picked up.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while m.wait_us.snapshot().count != 3 {
+            assert!(std::time::Instant::now() < deadline, "waits not recorded");
+            std::thread::yield_now();
+        }
+        assert_eq!(m.queue_depth.get(), 0);
     }
 
     #[test]

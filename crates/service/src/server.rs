@@ -53,6 +53,7 @@ use indaas_deps::{
     DbSnapshot, DepView, DependencyAcquisitionModule, DependencyRecord, ShardedDepDb,
     VersionedDepDb,
 };
+use indaas_obs::{Span, Trace};
 use indaas_pia::{rank_deployments_cancellable, PiaRanking, PsopConfig};
 use indaas_sia::AuditReport;
 
@@ -65,6 +66,7 @@ use crate::proto::{
 };
 use crate::scheduler::Scheduler;
 use crate::subs::{Outbox, SubscriptionRegistry};
+use crate::telemetry::{wire_histos, wire_traces, StageRecorder, Telemetry, DEFAULT_RECENT_TRACES};
 
 /// Daemon tuning knobs.
 #[derive(Clone, Debug)]
@@ -109,6 +111,10 @@ pub struct ServeConfig {
     /// slot — unbounded fan-in degrades into fast, explicit rejection
     /// instead of thread exhaustion.
     pub max_conns: usize,
+    /// Flight-recorder slow threshold: an audit/request trace whose
+    /// total time reaches this many milliseconds is flagged `slow` in
+    /// `Metrics` responses. `0` flags everything (useful in tests).
+    pub slow_audit_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -127,6 +133,7 @@ impl Default for ServeConfig {
             shards: 8,
             db_dir: None,
             max_conns: 1024,
+            slow_audit_ms: 1000,
         }
     }
 }
@@ -255,6 +262,8 @@ struct ServiceState {
     /// Connection-id source: ties subscriptions to the connection that
     /// made them so teardown and `Unsubscribe` ownership checks work.
     next_conn_id: AtomicU64,
+    /// Metrics registry + flight recorder + hot-path handles.
+    telemetry: Arc<Telemetry>,
 }
 
 /// A bound (but not yet serving) daemon.
@@ -301,8 +310,13 @@ impl Server {
     pub fn bind_with_store(config: ServeConfig, store: ShardedDepDb) -> std::io::Result<Self> {
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
+        let telemetry = Arc::new(Telemetry::new(config.slow_audit_ms));
         let state = Arc::new(ServiceState {
-            scheduler: Scheduler::new(config.workers, config.queue_capacity),
+            scheduler: Scheduler::with_metrics(
+                config.workers,
+                config.queue_capacity,
+                Some(telemetry.sched_metrics()),
+            ),
             sia_cache: Mutex::new(AuditCache::new(config.cache_capacity)),
             pia_cache: Mutex::new(AuditCache::new(config.cache_capacity)),
             db: store,
@@ -317,6 +331,7 @@ impl Server {
             pushed_events: AtomicU64::new(0),
             active_conns: AtomicUsize::new(0),
             next_conn_id: AtomicU64::new(1),
+            telemetry,
         });
         Ok(Server { listener, state })
     }
@@ -410,7 +425,10 @@ impl Server {
 fn save_dirty(state: &ServiceState) -> Option<usize> {
     let dir = state.config.db_dir.as_ref()?;
     match state.db.save_dirty_segments(dir) {
-        Ok(written) => Some(written),
+        Ok(written) => {
+            state.telemetry.db_segment_saves_total.add(written as u64);
+            Some(written)
+        }
         Err(e) => {
             eprintln!(
                 "indaas-service: saving segments to {} failed: {e}",
@@ -555,7 +573,10 @@ fn handle_connection(stream: TcpStream, state: &Arc<ServiceState>) {
             continue; // negotiated v1: same connection, line mode
         }
         first = false;
+        state.telemetry.requests_total.inc();
+        let dispatch_span = Span::start(Arc::clone(&state.telemetry.dispatch_us));
         let (response, shutdown) = handle_request(request, state);
+        drop(dispatch_span);
         if write_response(&mut writer, &response).is_err() {
             return;
         }
@@ -584,17 +605,27 @@ fn v2_session_loop(
     state: &Arc<ServiceState>,
 ) {
     let conn = state.next_conn_id.fetch_add(1, Ordering::Relaxed);
-    let outbox = Arc::new(Outbox::new());
+    // Sheds on this connection's outbox count both globally and under a
+    // per-connection name, registered for the connection's lifetime.
+    let conn_shed_name = format!("outbox_shed_conn_{conn}");
+    let conn_shed = state.telemetry.registry.counter(&conn_shed_name);
+    let outbox = Arc::new(Outbox::with_shed_counters(vec![
+        Arc::clone(&state.telemetry.outbox_shed_total),
+        conn_shed,
+    ]));
     let writer_outbox = Arc::clone(&outbox);
+    let write_us = Arc::clone(&state.telemetry.write_us);
     // Buffered so each frame's length prefix and payload leave in one
     // write; flushed per frame so nothing lingers.
     let mut sink = std::io::BufWriter::new(writer);
     let writer_handle = std::thread::spawn(move || {
         while let Some(frame) = writer_outbox.pop() {
-            if write_frame(&mut sink, &frame)
+            let frame_span = Span::start(Arc::clone(&write_us));
+            let failed = write_frame(&mut sink, &frame)
                 .and_then(|()| sink.flush())
-                .is_err()
-            {
+                .is_err();
+            drop(frame_span);
+            if failed {
                 writer_outbox.close();
                 // Unblock a reader wedged on a half-dead peer.
                 let _ = sink.get_ref().shutdown(std::net::Shutdown::Both);
@@ -616,9 +647,14 @@ fn v2_session_loop(
                 break; // payload unread: the stream cannot resync
             }
         }
+        let decode_started = Instant::now();
         let envelope = std::str::from_utf8(&buf)
             .map_err(|e| e.to_string())
             .and_then(|text| decode_line::<Envelope>(text).map_err(|e| e.to_string()));
+        state
+            .telemetry
+            .envelope_decode_us
+            .record(decode_started.elapsed().as_micros() as u64);
         let Envelope { id, body } = match envelope {
             Ok(envelope) => envelope,
             Err(e) => {
@@ -639,6 +675,7 @@ fn v2_session_loop(
             ));
             break;
         }
+        state.telemetry.requests_total.inc();
         match body {
             Request::Hello { .. } => {
                 outbox.push_response(envelope_frame(
@@ -656,7 +693,13 @@ fn v2_session_loop(
                             id,
                             Response::Subscribed { subscription },
                         ));
-                        schedule_push_audit(state, subscription, spec, Arc::clone(&outbox));
+                        schedule_push_audit(
+                            state,
+                            subscription,
+                            spec,
+                            Arc::clone(&outbox),
+                            Instant::now(),
+                        );
                     }
                     Err(message) => {
                         outbox.push_response(envelope_frame(id, Response::error(message)));
@@ -693,7 +736,9 @@ fn v2_session_loop(
                 let ob = Arc::clone(&outbox);
                 let gauge = Arc::clone(&in_flight);
                 std::thread::spawn(move || {
+                    let dispatch_span = Span::start(Arc::clone(&st.telemetry.dispatch_us));
                     let (response, _) = handle_request(request, &st);
+                    drop(dispatch_span);
                     ob.push_response(envelope_frame(id, response));
                     gauge.fetch_sub(1, Ordering::AcqRel);
                 });
@@ -707,6 +752,7 @@ fn v2_session_loop(
     state.subs.drop_conn(conn);
     outbox.close();
     let _ = writer_handle.join();
+    state.telemetry.registry.remove_counter(&conn_shed_name);
 }
 
 /// Validates a `Subscribe` and registers it, pinned to the spec's
@@ -758,6 +804,7 @@ fn schedule_push_audit(
     subscription: u64,
     spec: AuditSpec,
     outbox: Arc<Outbox>,
+    origin: Instant,
 ) {
     let st = Arc::clone(state);
     let deadline = state.config.default_deadline;
@@ -768,16 +815,27 @@ fn schedule_push_audit(
         let pins = snapshot.pins_for_hosts(spec_hosts(&spec));
         let key = job_key(&pins, "sia", &spec);
         let hit = st.sia_cache.lock().expect("cache lock poisoned").get(&key);
-        let (cached, result) = match hit {
-            Some(report) => (true, Ok(report)),
+        let mut trace = Trace::new("push", format!("subscription {subscription}"));
+        trace.pins = pins.clone();
+        let (cached, result, stages) = match hit {
+            Some(report) => (true, Ok(report), Vec::new()),
             None => {
+                let recorder = StageRecorder::new(&st.telemetry);
                 let agent = AuditingAgent::from_snapshot(snapshot);
-                (false, agent.audit_sia_cancellable(&spec, token))
+                let result = agent.audit_sia_observed(&spec, token, &recorder);
+                st.telemetry.push_audits_total.inc();
+                st.telemetry.audits_sia_total.inc();
+                (false, result, recorder.into_stages())
             }
         };
+        trace.cached = cached;
+        trace.stages = stages;
         match result {
             Ok(report) => {
                 if !cached {
+                    st.telemetry
+                        .audit_sia_us
+                        .record(started.elapsed().as_micros() as u64);
                     st.sia_cache.lock().expect("cache lock poisoned").insert(
                         key,
                         pins,
@@ -798,13 +856,20 @@ fn schedule_push_audit(
                 // observe an event the gauge does not yet include.
                 st.pushed_events.fetch_add(1, Ordering::Relaxed);
                 outbox.push_event(frame);
+                // Invalidate → re-audit → event enqueued, end to end.
+                st.telemetry
+                    .push_latency_us
+                    .record(origin.elapsed().as_micros() as u64);
             }
             Err(e) => {
+                trace.outcome = e.to_string();
                 eprintln!(
                     "indaas-service: pushed audit for subscription {subscription} failed: {e}"
                 );
             }
         }
+        trace.total_us = started.elapsed().as_micros() as u64;
+        st.telemetry.recorder.record(trace);
     });
     if let Err(e) = submitted {
         eprintln!(
@@ -997,6 +1062,7 @@ fn handle_request(request: Request, state: &Arc<ServiceState>) -> (Response, boo
             timeout_ms,
         } => (audit_pia(state, providers, way, minhash, timeout_ms), false),
         Request::Status => (status(state), false),
+        Request::Metrics { recent } => (metrics(state, recent), false),
         Request::Shutdown => (Response::ShuttingDown, true),
         // Unreachable in practice: `handle_connection` intercepts every
         // hello before dispatching here (it re-tags the connection). The
@@ -1048,16 +1114,26 @@ fn federate_start(state: &ServiceState, instruction: PartyInstruction) -> Respon
         round_timeout: state.config.round_timeout,
     };
     let session = instruction.session;
-    match engine.run_party(instruction, ctx) {
-        Ok(done) => Response::FederateDone {
-            session,
-            payload: encode_payload(&done.payload),
-            sent_bytes: done.sent_bytes,
-            recv_bytes: done.recv_bytes,
-            sent_msgs: done.sent_msgs,
-            recv_msgs: done.recv_msgs,
-            wire_sent_bytes: done.wire_sent_bytes,
-        },
+    let party_span = Span::start(Arc::clone(&state.telemetry.fed_party_us));
+    let result = engine.run_party(instruction, ctx);
+    drop(party_span);
+    match result {
+        Ok(done) => {
+            state
+                .telemetry
+                .fed_wire_bytes_total
+                .add(done.wire_sent_bytes);
+            state.telemetry.fed_rounds_total.add(done.sent_msgs);
+            Response::FederateDone {
+                session,
+                payload: encode_payload(&done.payload),
+                sent_bytes: done.sent_bytes,
+                recv_bytes: done.recv_bytes,
+                sent_msgs: done.sent_msgs,
+                recv_msgs: done.recv_msgs,
+                wire_sent_bytes: done.wire_sent_bytes,
+            }
+        }
         Err(e) => Response::error(format!("federated audit failed: {e}")),
     }
 }
@@ -1115,10 +1191,16 @@ fn apply_mutation(
     if state.shutting_down.load(Ordering::SeqCst) {
         return None;
     }
+    // The push-latency clock starts here: "invalidate → re-audit →
+    // event enqueued" is measured from the moment the write begins.
+    let origin = Instant::now();
+    state.telemetry.mutations_total.inc();
+    let ingest_span = Span::start(Arc::clone(&state.telemetry.ingest_us));
     let report = match mutation {
         Mutation::Ingest => state.db.ingest(records),
         Mutation::Retract => state.db.retract(&records),
     };
+    drop(ingest_span);
     // Per-shard purge: only entries pinned to a shard this batch touched
     // are dropped; audits over other shards stay cached. Called on every
     // batch — the cache compares the epoch vector to its last purge and
@@ -1139,7 +1221,7 @@ fn apply_mutation(
     // trigger once per wave) but the audits themselves run later, off
     // this write path — an ingest never waits on a subscriber.
     for hit in state.subs.affected(&epochs) {
-        schedule_push_audit(state, hit.subscription, hit.spec, hit.outbox);
+        schedule_push_audit(state, hit.subscription, hit.spec, hit.outbox, origin);
     }
     Some(report)
 }
@@ -1250,12 +1332,23 @@ fn audit_sia(state: &ServiceState, spec: AuditSpec, timeout_ms: Option<u64>) -> 
     // the entry's validity, so the cached report stays hot.
     let pins: EpochPins = snapshot.pins_for_hosts(spec_hosts(&spec));
     let key = job_key(&pins, "sia", &spec);
+    let detail = spec
+        .candidates
+        .iter()
+        .map(|c| c.name.as_str())
+        .collect::<Vec<_>>()
+        .join(", ");
     if let Some(report) = state
         .sia_cache
         .lock()
         .expect("cache lock poisoned")
         .get(&key)
     {
+        let mut trace = Trace::new("sia", detail);
+        trace.cached = true;
+        trace.pins = pins;
+        trace.total_us = started.elapsed().as_micros() as u64;
+        state.telemetry.recorder.record(trace);
         return Response::Sia {
             epoch,
             cached: true,
@@ -1266,9 +1359,25 @@ fn audit_sia(state: &ServiceState, spec: AuditSpec, timeout_ms: Option<u64>) -> 
 
     let deadline = job_deadline(&state.config, timeout_ms);
     let (tx, rx) = mpsc::channel();
+    let telemetry = Arc::clone(&state.telemetry);
+    let trace_pins = pins.clone();
     let submitted = state.scheduler.submit(Some(deadline), move |token| {
+        let run_started = Instant::now();
+        let recorder = StageRecorder::new(&telemetry);
         let agent = AuditingAgent::from_snapshot(snapshot);
-        let _ = tx.send(agent.audit_sia_cancellable(&spec, token));
+        let result = agent.audit_sia_observed(&spec, token, &recorder);
+        let total_us = run_started.elapsed().as_micros() as u64;
+        telemetry.audits_sia_total.inc();
+        telemetry.audit_sia_us.record(total_us);
+        let mut trace = Trace::new("sia", detail);
+        trace.pins = trace_pins;
+        trace.stages = recorder.into_stages();
+        trace.total_us = total_us;
+        if let Err(e) = &result {
+            trace.outcome = e.to_string();
+        }
+        telemetry.recorder.record(trace);
+        let _ = tx.send(result);
     });
     let token = match submitted {
         Ok(token) => token,
@@ -1312,12 +1421,17 @@ fn audit_pia(
     // the request — so the cache key deliberately carries no epoch pins
     // and entries survive ingests (the response still stamps the epoch).
     let key = job_key(&(), "pia", &(&providers, way, minhash));
+    let detail = format!("{} providers, {way}-way", providers.len());
     if let Some(rankings) = state
         .pia_cache
         .lock()
         .expect("cache lock poisoned")
         .get(&key)
     {
+        let mut trace = Trace::new("pia", detail);
+        trace.cached = true;
+        trace.total_us = started.elapsed().as_micros() as u64;
+        state.telemetry.recorder.record(trace);
         return Response::Pia {
             epoch,
             cached: true,
@@ -1328,14 +1442,21 @@ fn audit_pia(
 
     let deadline = job_deadline(&state.config, timeout_ms);
     let (tx, rx) = mpsc::channel();
+    let telemetry = Arc::clone(&state.telemetry);
     let submitted = state.scheduler.submit(Some(deadline), move |token| {
-        let _ = tx.send(rank_deployments_cancellable(
-            &providers,
-            way,
-            minhash,
-            &PsopConfig::default(),
-            token,
-        ));
+        let run_started = Instant::now();
+        let result =
+            rank_deployments_cancellable(&providers, way, minhash, &PsopConfig::default(), token);
+        let total_us = run_started.elapsed().as_micros() as u64;
+        telemetry.audits_pia_total.inc();
+        telemetry.audit_pia_us.record(total_us);
+        let mut trace = Trace::new("pia", detail);
+        trace.total_us = total_us;
+        if let Err(e) = &result {
+            trace.outcome = e.to_string();
+        }
+        telemetry.recorder.record(trace);
+        let _ = tx.send(result);
     });
     let token = match submitted {
         Ok(token) => token,
@@ -1440,5 +1561,65 @@ fn status(state: &ServiceState) -> Response {
         subscriptions: state.subs.len(),
         pushed_events: state.pushed_events.load(Ordering::Relaxed),
         uptime_ms: state.started.elapsed().as_millis() as u64,
+        uptime_secs: state.started.elapsed().as_secs(),
+        sia_audits: state.telemetry.audits_sia_total.get(),
+        pia_audits: state.telemetry.audits_pia_total.get(),
+        dropped_events: state.telemetry.outbox_shed_total.get(),
+    }
+}
+
+/// Assembles a `Metrics` response: refreshes the derived gauges from
+/// their authoritative sources (per-shard atomics, cache stats,
+/// scheduler — the same lock-free reads `Status` does), snapshots the
+/// registry, and attaches the most recent flight-recorder traces.
+fn metrics(state: &ServiceState, recent: Option<usize>) -> Response {
+    let telemetry = &state.telemetry;
+    let registry = &telemetry.registry;
+    let counters = state.db.counters();
+    registry
+        .gauge("db_shard_writes")
+        .set(counters.shard_writes.iter().sum());
+    registry.gauge("db_lock_waits").set(counters.lock_waits);
+    let (sia_hits, sia_misses, sia_len) = {
+        let cache = state.sia_cache.lock().expect("cache lock poisoned");
+        let (h, m) = cache.stats();
+        (h, m, cache.len())
+    };
+    let (pia_hits, pia_misses, pia_len) = {
+        let cache = state.pia_cache.lock().expect("cache lock poisoned");
+        let (h, m) = cache.stats();
+        (h, m, cache.len())
+    };
+    registry.gauge("cache_sia_hits").set(sia_hits);
+    registry.gauge("cache_sia_misses").set(sia_misses);
+    registry.gauge("cache_pia_hits").set(pia_hits);
+    registry.gauge("cache_pia_misses").set(pia_misses);
+    registry
+        .gauge("cache_entries")
+        .set((sia_len + pia_len) as u64);
+    registry
+        .gauge("sched_queue_depth")
+        .set(state.scheduler.queued() as u64);
+    registry
+        .gauge("sched_jobs_running")
+        .set(state.scheduler.running() as u64);
+    registry.gauge("subscriptions").set(state.subs.len() as u64);
+    registry
+        .gauge("active_conns")
+        .set(state.active_conns.load(Ordering::Relaxed) as u64);
+    registry
+        .gauge("pushed_events")
+        .set(state.pushed_events.load(Ordering::Relaxed));
+    let snap = registry.snapshot();
+    let recent = recent
+        .unwrap_or(DEFAULT_RECENT_TRACES)
+        .min(telemetry.recorder.capacity());
+    Response::Metrics {
+        uptime_secs: state.started.elapsed().as_secs(),
+        counters: snap.counters,
+        gauges: snap.gauges,
+        histos: wire_histos(&snap.histos),
+        traces: wire_traces(telemetry.recorder.recent(recent)),
+        slow_threshold_us: telemetry.recorder.slow_threshold_us(),
     }
 }

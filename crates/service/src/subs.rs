@@ -29,6 +29,7 @@ use std::time::{Duration, Instant};
 
 use indaas_core::AuditSpec;
 use indaas_deps::EpochVector;
+use indaas_obs::Counter;
 
 use crate::cache::EpochPins;
 
@@ -59,6 +60,12 @@ struct OutboxInner {
 pub struct Outbox {
     inner: Mutex<OutboxInner>,
     ready: Condvar,
+    /// External counters bumped once per shed event, on top of the
+    /// outbox's own total — the daemon passes its registry-wide
+    /// `outbox_shed_total` plus a per-connection counter, so a slow
+    /// subscriber's lost pushes are visible without walking every live
+    /// connection.
+    shed_counters: Vec<Arc<Counter>>,
 }
 
 impl Default for Outbox {
@@ -70,6 +77,13 @@ impl Default for Outbox {
 impl Outbox {
     /// An open, empty outbox.
     pub fn new() -> Self {
+        Self::with_shed_counters(Vec::new())
+    }
+
+    /// An open, empty outbox that also bumps `shed_counters` (e.g. the
+    /// daemon-wide and per-connection shed counters) every time it
+    /// sheds an event.
+    pub fn with_shed_counters(shed_counters: Vec<Arc<Counter>>) -> Self {
         Outbox {
             inner: Mutex::new(OutboxInner {
                 queue: VecDeque::new(),
@@ -78,6 +92,7 @@ impl Outbox {
                 closed: false,
             }),
             ready: Condvar::new(),
+            shed_counters,
         }
     }
 
@@ -113,6 +128,9 @@ impl Outbox {
                 inner.queue.remove(pos);
                 inner.events -= 1;
                 inner.shed += 1;
+                for c in &self.shed_counters {
+                    c.inc();
+                }
             }
         }
         inner.queue.push_back(OutMsg { event: true, frame });
@@ -351,6 +369,19 @@ mod tests {
             last = ob.pop().unwrap();
         }
         assert_eq!(last, format!("ev{}", MAX_OUTBOX_EVENTS + 9).into_bytes());
+    }
+
+    #[test]
+    fn shed_counters_track_lost_events() {
+        let global = Arc::new(Counter::new());
+        let per_conn = Arc::new(Counter::new());
+        let ob = Outbox::with_shed_counters(vec![Arc::clone(&global), Arc::clone(&per_conn)]);
+        for i in 0..(MAX_OUTBOX_EVENTS + 3) {
+            assert!(ob.push_event(format!("ev{i}").into_bytes()));
+        }
+        assert_eq!(ob.shed(), 3);
+        assert_eq!(global.get(), 3);
+        assert_eq!(per_conn.get(), 3);
     }
 
     #[test]

@@ -1,0 +1,293 @@
+//! The daemon's observability hub: one [`Registry`], one
+//! [`FlightRecorder`], and pre-resolved handles for every hot-path
+//! metric, so instrumented code bumps atomics without ever touching the
+//! registry lock.
+//!
+//! # Metric catalog
+//!
+//! Counters (monotonic since startup):
+//!
+//! | name | meaning |
+//! |---|---|
+//! | `requests_total` | requests handled (both protocol versions) |
+//! | `audits_sia_total` | SIA audits executed (cache misses + push re-audits) |
+//! | `audits_pia_total` | PIA audits executed |
+//! | `push_audits_total` | subscription re-audits executed |
+//! | `mutations_total` | ingest/retract batches applied |
+//! | `sched_jobs_total` | jobs admitted to the worker pool |
+//! | `outbox_shed_total` | pushed events shed by slow consumers |
+//! | `outbox_shed_conn_<id>` | same, per live connection (removed at close) |
+//! | `db_segment_saves_total` | dirty shard segments persisted |
+//! | `fed_wire_bytes_total` | bytes put on the wire by federation parties |
+//! | `fed_rounds_total` | federation ring messages sent |
+//!
+//! Gauges (instantaneous; the derived ones are refreshed from their
+//! authoritative sources — shard counters, cache stats, scheduler —
+//! each time a snapshot is taken):
+//!
+//! | name | meaning |
+//! |---|---|
+//! | `sched_queue_depth` | jobs admitted, not yet picked up (live) |
+//! | `sched_jobs_running` | jobs executing (derived) |
+//! | `db_shard_writes` | effective write batches, all shards (derived) |
+//! | `db_lock_waits` | contended shard-lock acquisitions (derived) |
+//! | `cache_sia_hits` / `cache_sia_misses` | SIA result-cache outcomes (derived) |
+//! | `cache_pia_hits` / `cache_pia_misses` | PIA result-cache outcomes (derived) |
+//! | `cache_entries` | live cached results, both caches (derived) |
+//! | `subscriptions` | live audit subscriptions (derived) |
+//! | `active_conns` | open client connections (derived) |
+//! | `pushed_events` | audit events produced for subscribers (derived) |
+//!
+//! Histograms (all in microseconds):
+//!
+//! | name | what is timed |
+//! |---|---|
+//! | `envelope_decode_us` | v2 frame → envelope parse |
+//! | `dispatch_us` | request dispatch to response produced |
+//! | `write_us` | one response/event frame onto the socket |
+//! | `sched_wait_us` | job queue wait |
+//! | `audit_stage_graph_build_us` | fault-graph construction, per candidate |
+//! | `audit_stage_rg_minimal_us` | minimal risk-group engine |
+//! | `audit_stage_rg_sampling_us` | failure-sampling engine |
+//! | `audit_stage_rg_bdd_us` | BDD compile + cut-set extraction |
+//! | `audit_stage_ranking_us` | risk-group ranking |
+//! | `audit_sia_us` / `audit_pia_us` | whole audit execution (misses) |
+//! | `push_latency_us` | ingest invalidation → event frame enqueued |
+//! | `ingest_us` | one ingest/retract batch through the write path |
+//! | `fed_party_us` | one federation party run, all ring rounds |
+
+use std::sync::{Arc, Mutex, PoisonError};
+
+use indaas_core::StageObserver;
+use indaas_obs::{Counter, FlightRecorder, Histo, Registry, Trace};
+
+use crate::proto::{MetricHisto, TraceEntry};
+use crate::scheduler::SchedMetrics;
+
+/// Flight-recorder capacity: enough to hold the recent past of a busy
+/// daemon without unbounded memory (traces are small — stage name/µs
+/// pairs and pins).
+pub const TRACE_CAPACITY: usize = 256;
+
+/// Default number of traces a [`crate::proto::Request::Metrics`] with
+/// `recent: null` returns.
+pub const DEFAULT_RECENT_TRACES: usize = 32;
+
+/// Registry + flight recorder + pre-resolved hot-path handles.
+pub struct Telemetry {
+    /// All named metrics; snapshot for exposition.
+    pub registry: Registry,
+    /// Recent audit/request traces.
+    pub recorder: FlightRecorder,
+    pub requests_total: Arc<Counter>,
+    pub envelope_decode_us: Arc<Histo>,
+    pub dispatch_us: Arc<Histo>,
+    pub write_us: Arc<Histo>,
+    pub audits_sia_total: Arc<Counter>,
+    pub audits_pia_total: Arc<Counter>,
+    pub push_audits_total: Arc<Counter>,
+    pub audit_sia_us: Arc<Histo>,
+    pub audit_pia_us: Arc<Histo>,
+    pub push_latency_us: Arc<Histo>,
+    pub ingest_us: Arc<Histo>,
+    pub mutations_total: Arc<Counter>,
+    pub outbox_shed_total: Arc<Counter>,
+    pub db_segment_saves_total: Arc<Counter>,
+    pub fed_wire_bytes_total: Arc<Counter>,
+    pub fed_rounds_total: Arc<Counter>,
+    pub fed_party_us: Arc<Histo>,
+}
+
+impl Telemetry {
+    /// Builds the registry with every static metric pre-registered (so
+    /// expositions show the full catalog from the first scrape, zeros
+    /// included) and a flight recorder flagging traces at or above
+    /// `slow_audit_ms`.
+    pub fn new(slow_audit_ms: u64) -> Self {
+        let registry = Registry::new();
+        let recorder = FlightRecorder::new(TRACE_CAPACITY, slow_audit_ms.saturating_mul(1_000));
+        // Pre-register the per-engine stage histograms too: a daemon
+        // that has not yet audited still advertises the families.
+        for stage in [
+            "graph_build",
+            "rg_minimal",
+            "rg_sampling",
+            "rg_bdd",
+            "ranking",
+        ] {
+            registry.histo(&stage_histo_name(stage));
+        }
+        for gauge in [
+            "sched_queue_depth",
+            "sched_jobs_running",
+            "db_shard_writes",
+            "db_lock_waits",
+            "cache_sia_hits",
+            "cache_sia_misses",
+            "cache_pia_hits",
+            "cache_pia_misses",
+            "cache_entries",
+            "subscriptions",
+            "active_conns",
+            "pushed_events",
+        ] {
+            registry.gauge(gauge);
+        }
+        registry.counter("sched_jobs_total");
+        registry.histo("sched_wait_us");
+        Telemetry {
+            requests_total: registry.counter("requests_total"),
+            envelope_decode_us: registry.histo("envelope_decode_us"),
+            dispatch_us: registry.histo("dispatch_us"),
+            write_us: registry.histo("write_us"),
+            audits_sia_total: registry.counter("audits_sia_total"),
+            audits_pia_total: registry.counter("audits_pia_total"),
+            push_audits_total: registry.counter("push_audits_total"),
+            audit_sia_us: registry.histo("audit_sia_us"),
+            audit_pia_us: registry.histo("audit_pia_us"),
+            push_latency_us: registry.histo("push_latency_us"),
+            ingest_us: registry.histo("ingest_us"),
+            mutations_total: registry.counter("mutations_total"),
+            outbox_shed_total: registry.counter("outbox_shed_total"),
+            db_segment_saves_total: registry.counter("db_segment_saves_total"),
+            fed_wire_bytes_total: registry.counter("fed_wire_bytes_total"),
+            fed_rounds_total: registry.counter("fed_rounds_total"),
+            fed_party_us: registry.histo("fed_party_us"),
+            registry,
+            recorder,
+        }
+    }
+
+    /// Handles the worker pool keeps current.
+    pub fn sched_metrics(&self) -> SchedMetrics {
+        SchedMetrics {
+            queue_depth: self.registry.gauge("sched_queue_depth"),
+            wait_us: self.registry.histo("sched_wait_us"),
+            jobs_total: self.registry.counter("sched_jobs_total"),
+        }
+    }
+
+    /// The histogram an engine stage records into.
+    pub fn stage_histo(&self, stage: &str) -> Arc<Histo> {
+        self.registry.histo(&stage_histo_name(stage))
+    }
+}
+
+fn stage_histo_name(stage: &str) -> String {
+    format!("audit_stage_{stage}_us")
+}
+
+/// A per-audit [`StageObserver`]: feeds each stage timing into the
+/// registry's per-stage histogram *and* accumulates the `(stage, µs)`
+/// list the audit's flight-recorder trace carries.
+pub struct StageRecorder<'a> {
+    telemetry: &'a Telemetry,
+    stages: Mutex<Vec<(String, u64)>>,
+}
+
+impl<'a> StageRecorder<'a> {
+    pub fn new(telemetry: &'a Telemetry) -> Self {
+        StageRecorder {
+            telemetry,
+            stages: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The accumulated `(stage, µs)` pairs, in execution order.
+    pub fn into_stages(self) -> Vec<(String, u64)> {
+        self.stages
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl StageObserver for StageRecorder<'_> {
+    fn stage(&self, stage: &'static str, elapsed_us: u64) {
+        self.telemetry.stage_histo(stage).record(elapsed_us);
+        self.stages
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push((stage.to_string(), elapsed_us));
+    }
+}
+
+/// Renders registry histogram snapshots into their wire form, with the
+/// quantile upper bounds precomputed server-side.
+pub fn wire_histos(histos: &[(String, indaas_obs::HistoSnapshot)]) -> Vec<MetricHisto> {
+    histos
+        .iter()
+        .map(|(name, snap)| MetricHisto {
+            name: name.clone(),
+            count: snap.count,
+            sum_us: snap.sum,
+            p50_us: snap.p50(),
+            p90_us: snap.p90(),
+            p99_us: snap.p99(),
+            max_us: snap.max_bound(),
+            buckets: snap.nonzero_buckets(),
+        })
+        .collect()
+}
+
+/// Renders flight-recorder traces into their wire form.
+pub fn wire_traces(traces: Vec<Trace>) -> Vec<TraceEntry> {
+    traces
+        .into_iter()
+        .map(|t| TraceEntry {
+            seq: t.seq,
+            kind: t.kind,
+            detail: t.detail,
+            cached: t.cached,
+            outcome: t.outcome,
+            total_us: t.total_us,
+            slow: t.slow,
+            stages: t.stages,
+            pins: t.pins,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_recorder_feeds_histos_and_trace() {
+        let t = Telemetry::new(0);
+        let rec = StageRecorder::new(&t);
+        rec.stage("graph_build", 120);
+        rec.stage("rg_minimal", 4_000);
+        assert_eq!(t.stage_histo("graph_build").snapshot().count, 1);
+        assert_eq!(t.stage_histo("rg_minimal").snapshot().count, 1);
+        let stages = rec.into_stages();
+        assert_eq!(
+            stages,
+            vec![
+                ("graph_build".to_string(), 120),
+                ("rg_minimal".to_string(), 4_000)
+            ]
+        );
+    }
+
+    #[test]
+    fn slow_threshold_is_milliseconds_in() {
+        let t = Telemetry::new(2);
+        assert_eq!(t.recorder.slow_threshold_us(), 2_000);
+        let t0 = Telemetry::new(0);
+        assert_eq!(t0.recorder.slow_threshold_us(), 0);
+    }
+
+    #[test]
+    fn wire_histo_carries_quantile_bounds() {
+        let t = Telemetry::new(0);
+        t.audit_sia_us.record(3);
+        t.audit_sia_us.record(100);
+        let snap = t.registry.snapshot();
+        let wire = wire_histos(&snap.histos);
+        let h = wire.iter().find(|h| h.name == "audit_sia_us").unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum_us, 103);
+        assert!(h.p99_us >= 100);
+        assert_eq!(h.buckets.len(), 2);
+    }
+}

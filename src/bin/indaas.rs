@@ -20,7 +20,9 @@ use indaas::graph::to_dot;
 use indaas::pia::normalize::normalize_set;
 use indaas::pia::report::render_ranking;
 use indaas::pia::{rank_deployments, PsopConfig};
-use indaas::service::{Client, ServeConfig, Server};
+use indaas::service::{
+    Client, MetricsAnswer, Request, ServeConfig, Server, StatusAnswer, TraceEntry,
+};
 use indaas::sia::{build_fault_graph, BuildSpec};
 
 fn main() -> ExitCode {
@@ -32,6 +34,8 @@ fn main() -> ExitCode {
         Some("serve") => cmd_serve(&args[1..]),
         Some("watch") => cmd_watch(&args[1..]),
         Some("federate") => cmd_federate(&args[1..]),
+        Some("metrics") => cmd_metrics(&args[1..]),
+        Some("top") => cmd_top(&args[1..]),
         Some("ping") => cmd_ping(&args[1..]),
         Some("help") | Some("--help") | None => {
             eprint!("{USAGE}");
@@ -66,6 +70,8 @@ USAGE:
                [--count N] [--timeout-ms MS] [--json]
   indaas federate --peer ADDR --peer ADDR [--peer ...] [--seed N]
                   [--round-timeout-ms MS] [--json]
+  indaas metrics [--addr ADDR] [--recent N] [--prom] [--json]
+  indaas top [--addr ADDR] [--interval-ms MS] [--count N] [--plain]
   indaas ping [--addr ADDR]
 
 FILES:
@@ -82,7 +88,7 @@ USAGE:
                [--records FILE] [--max-conns N] [--peer ADDR ...]
                [--node NAME] [--round-timeout-ms MS]
                [--collect-interval MS] [--collect-truth FILE]
-               [--collect-miss-rate R]
+               [--collect-miss-rate R] [--slow-audit-ms MS]
 
 OPTIONS:
   --listen ADDR          listen address (default 127.0.0.1:4914; port 0 = ephemeral)
@@ -112,6 +118,9 @@ OPTIONS:
   --collect-interval MS  re-run registered collectors this often
   --collect-truth FILE   Table-1 ground truth for a simulated collector
   --collect-miss-rate R  simulated collector miss rate in [0, 1) (default 0)
+  --slow-audit-ms MS     flight-recorder slow threshold: traces at or
+                         above MS total are flagged slow in `indaas
+                         metrics` (default 1000; 0 flags everything)
 
 PROTOCOL v2 (hello line, then multiplexed envelopes in binary frames):
   -> {\"Hello\": {\"version\": 2}}               <- {\"Welcome\": {\"version\": 2}}
@@ -163,6 +172,40 @@ OPTIONS:
   --seed N               P-SOP seed shared by all parties (default 20560)
   --round-timeout-ms MS  per-round deadline sent to every daemon (default 10000)
   --json                 machine-readable output
+";
+
+const METRICS_USAGE: &str = "\
+indaas metrics — dump a running daemon's observability snapshot
+
+Every registered counter, gauge and log₂ latency histogram, plus the
+flight recorder's most recent request/audit traces (per-stage timings,
+cache disposition, shard pins, slow flag).
+
+USAGE:
+  indaas metrics [--addr ADDR] [--recent N] [--prom] [--json]
+
+OPTIONS:
+  --addr ADDR    daemon address (default 127.0.0.1:4914)
+  --recent N     how many recent traces to fetch (default: server's 32)
+  --prom         Prometheus text exposition format (for scraping)
+  --json         the raw Metrics response as JSON
+";
+
+const TOP_USAGE: &str = "\
+indaas top — live terminal view of a running daemon
+
+Refreshes a snapshot diff: request/audit rates since the previous tick,
+per-stage latency quantiles, cache hit ratio, queue depth, outbox sheds,
+and the most recent flight-recorder traces.
+
+USAGE:
+  indaas top [--addr ADDR] [--interval-ms MS] [--count N] [--plain]
+
+OPTIONS:
+  --addr ADDR       daemon address (default 127.0.0.1:4914)
+  --interval-ms MS  refresh interval (default 1000)
+  --count N         exit after N refreshes (default: run until ^C)
+  --plain           no screen clearing between refreshes (log-friendly)
 ";
 
 /// Simple flag cursor over argv.
@@ -380,6 +423,9 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             return Err("--collect-interval must be at least 1 ms".into());
         }
         config.collect_interval = Some(std::time::Duration::from_millis(ms));
+    }
+    if let Some(v) = flags.value("--slow-audit-ms") {
+        config.slow_audit_ms = v.parse().map_err(|e| format!("--slow-audit-ms: {e}"))?;
     }
     if let Some(dir) = flags.value("--db-dir") {
         config.db_dir = Some(std::path::PathBuf::from(dir));
@@ -602,6 +648,250 @@ fn cmd_federate(args: &[String]) -> Result<(), String> {
         );
     }
     Ok(())
+}
+
+fn cmd_metrics(args: &[String]) -> Result<(), String> {
+    let flags = Flags { args };
+    if flags.has("--help") || flags.has("-h") {
+        eprint!("{METRICS_USAGE}");
+        return Ok(());
+    }
+    let addr = flags.value("--addr").unwrap_or("127.0.0.1:4914");
+    let recent = flags
+        .value("--recent")
+        .map(|v| v.parse::<usize>().map_err(|e| format!("--recent: {e}")))
+        .transpose()?;
+    let mut client = Client::connect(addr).map_err(|e| format!("connecting {addr}: {e}"))?;
+    if flags.has("--json") {
+        let response = client
+            .request(&Request::Metrics { recent })
+            .map_err(|e| e.to_string())?;
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&response).map_err(|e| e.to_string())?
+        );
+        return Ok(());
+    }
+    let metrics = client.metrics(recent).map_err(|e| e.to_string())?;
+    if flags.has("--prom") {
+        let status = client.status().map_err(|e| e.to_string())?;
+        print!("{}", render_prometheus(&metrics, &status));
+    } else {
+        print!("{}", render_metrics(&metrics));
+    }
+    Ok(())
+}
+
+/// Renders the snapshot in Prometheus text exposition format. Histogram
+/// names drop their `_us` suffix for `_seconds` families (sums and `le`
+/// bounds converted to seconds: log₂ bucket `i` covers up to `2^i - 1`
+/// µs); the per-shard write counters come from `Status` as one labeled
+/// family.
+fn render_prometheus(metrics: &MetricsAnswer, status: &StatusAnswer) -> String {
+    let mut out = String::new();
+    for (name, value) in &metrics.counters {
+        out.push_str(&format!(
+            "# TYPE indaas_{name} counter\nindaas_{name} {value}\n"
+        ));
+    }
+    for (name, value) in &metrics.gauges {
+        out.push_str(&format!(
+            "# TYPE indaas_{name} gauge\nindaas_{name} {value}\n"
+        ));
+    }
+    for histo in &metrics.histos {
+        let base = histo.name.strip_suffix("_us").unwrap_or(&histo.name);
+        let family = format!("indaas_{base}_seconds");
+        out.push_str(&format!("# TYPE {family} histogram\n"));
+        let mut cumulative = 0u64;
+        for (bucket, count) in &histo.buckets {
+            cumulative += count;
+            let le = if *bucket == 0 {
+                0.0
+            } else {
+                ((1u128 << bucket) - 1) as f64 / 1e6
+            };
+            out.push_str(&format!("{family}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+        }
+        out.push_str(&format!("{family}_bucket{{le=\"+Inf\"}} {}\n", histo.count));
+        out.push_str(&format!("{family}_sum {}\n", histo.sum_us as f64 / 1e6));
+        out.push_str(&format!("{family}_count {}\n", histo.count));
+    }
+    out.push_str("# TYPE indaas_shard_writes counter\n");
+    for (shard, writes) in status.shard_writes.iter().enumerate() {
+        out.push_str(&format!(
+            "indaas_shard_writes{{shard=\"{shard}\"}} {writes}\n"
+        ));
+    }
+    out.push_str(&format!(
+        "# TYPE indaas_uptime_seconds gauge\nindaas_uptime_seconds {}\n",
+        metrics.uptime_secs
+    ));
+    out
+}
+
+/// One flight-recorder trace as a human-readable line.
+fn render_trace(trace: &TraceEntry) -> String {
+    let mut line = format!(
+        "  #{} {} [{}] {}us{}{}",
+        trace.seq,
+        trace.kind,
+        trace.detail,
+        trace.total_us,
+        if trace.cached { " cached" } else { "" },
+        if trace.slow { " SLOW" } else { "" },
+    );
+    if trace.outcome != "ok" {
+        line.push_str(&format!(" outcome={}", trace.outcome));
+    }
+    if !trace.stages.is_empty() {
+        let stages: Vec<String> = trace
+            .stages
+            .iter()
+            .map(|(stage, us)| format!("{stage}={us}us"))
+            .collect();
+        line.push_str(&format!(" ({})", stages.join(" ")));
+    }
+    line
+}
+
+/// The default human-readable `indaas metrics` rendering.
+fn render_metrics(metrics: &MetricsAnswer) -> String {
+    let mut out = format!("uptime: {}s\n\ncounters:\n", metrics.uptime_secs);
+    for (name, value) in &metrics.counters {
+        out.push_str(&format!("  {name}: {value}\n"));
+    }
+    out.push_str("\ngauges:\n");
+    for (name, value) in &metrics.gauges {
+        out.push_str(&format!("  {name}: {value}\n"));
+    }
+    out.push_str("\nlatency (us):\n");
+    for histo in &metrics.histos {
+        if histo.count == 0 {
+            continue;
+        }
+        out.push_str(&format!(
+            "  {}: n={} p50<={} p90<={} p99<={} max<={}\n",
+            histo.name, histo.count, histo.p50_us, histo.p90_us, histo.p99_us, histo.max_us
+        ));
+    }
+    out.push_str(&format!(
+        "\nrecent traces (slow >= {}us):\n",
+        metrics.slow_threshold_us
+    ));
+    for trace in &metrics.traces {
+        out.push_str(&render_trace(trace));
+        out.push('\n');
+    }
+    out
+}
+
+fn cmd_top(args: &[String]) -> Result<(), String> {
+    let flags = Flags { args };
+    if flags.has("--help") || flags.has("-h") {
+        eprint!("{TOP_USAGE}");
+        return Ok(());
+    }
+    let addr = flags.value("--addr").unwrap_or("127.0.0.1:4914");
+    let interval_ms: u64 = flags
+        .value("--interval-ms")
+        .unwrap_or("1000")
+        .parse()
+        .map_err(|e| format!("--interval-ms: {e}"))?;
+    let count: Option<u64> = flags
+        .value("--count")
+        .map(|v| v.parse().map_err(|e| format!("--count: {e}")))
+        .transpose()?;
+    let plain = flags.has("--plain");
+    let mut client = Client::connect(addr).map_err(|e| format!("connecting {addr}: {e}"))?;
+    let mut prev: Option<(MetricsAnswer, std::time::Instant)> = None;
+    let mut ticks = 0u64;
+    loop {
+        let now = std::time::Instant::now();
+        let metrics = client.metrics(Some(6)).map_err(|e| e.to_string())?;
+        let status = client.status().map_err(|e| e.to_string())?;
+        if !plain {
+            // Clear + home, like a tiny `top`.
+            print!("\x1b[2J\x1b[H");
+        }
+        print!("{}", render_top(addr, &metrics, &status, prev.as_ref()));
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+        prev = Some((metrics, now));
+        ticks += 1;
+        if count.is_some_and(|c| ticks >= c) {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+    }
+}
+
+/// One `indaas top` frame: rates are diffs against the previous tick.
+fn render_top(
+    addr: &str,
+    metrics: &MetricsAnswer,
+    status: &StatusAnswer,
+    prev: Option<&(MetricsAnswer, std::time::Instant)>,
+) -> String {
+    // Counter rate since the previous tick, in events/second.
+    let rate = |name: &str| -> f64 {
+        let current = metrics.counter(name).unwrap_or(0);
+        match prev {
+            Some((p, at)) => {
+                let dt = at.elapsed().as_secs_f64().max(1e-9);
+                current.saturating_sub(p.counter(name).unwrap_or(0)) as f64 / dt
+            }
+            None => 0.0,
+        }
+    };
+    let gauge = |name: &str| metrics.gauge(name).unwrap_or(0);
+    let mut out = format!(
+        "indaas top — {addr}   uptime {}s   epoch {}   records {}   conns {}\n\n",
+        metrics.uptime_secs,
+        status.epoch,
+        status.records,
+        gauge("active_conns"),
+    );
+    out.push_str(&format!(
+        "rates:   {:.1} req/s   {:.1} audits/s   {:.1} ingests/s   {:.1} pushes/s\n",
+        rate("requests_total"),
+        rate("audits_sia_total") + rate("audits_pia_total"),
+        rate("mutations_total"),
+        rate("push_audits_total"),
+    ));
+    out.push_str(&format!(
+        "cache:   {:.0}% hit   {} entries      queue: {} waiting, {} running\n",
+        status.hit_ratio * 100.0,
+        status.cache_entries,
+        gauge("sched_queue_depth"),
+        gauge("sched_jobs_running"),
+    ));
+    out.push_str(&format!(
+        "events:  {} pushed   {} shed      subs: {}\n\nstage latency (us):\n",
+        status.pushed_events,
+        metrics.counter("outbox_shed_total").unwrap_or(0),
+        status.subscriptions,
+    ));
+    for histo in &metrics.histos {
+        let interesting = histo.name.starts_with("audit_stage_")
+            || matches!(
+                histo.name.as_str(),
+                "audit_sia_us" | "audit_pia_us" | "push_latency_us" | "ingest_us" | "dispatch_us"
+            );
+        if !interesting || histo.count == 0 {
+            continue;
+        }
+        out.push_str(&format!(
+            "  {:<28} n={:<7} p50<={:<9} p99<={}\n",
+            histo.name, histo.count, histo.p50_us, histo.p99_us
+        ));
+    }
+    out.push_str("\nrecent traces:\n");
+    for trace in &metrics.traces {
+        out.push_str(&render_trace(trace));
+        out.push('\n');
+    }
+    out
 }
 
 fn cmd_ping(args: &[String]) -> Result<(), String> {

@@ -16,6 +16,7 @@ pub use indaas_crypto as crypto;
 pub use indaas_deps as deps;
 pub use indaas_federation as federation;
 pub use indaas_graph as graph;
+pub use indaas_obs as obs;
 pub use indaas_pia as pia;
 pub use indaas_service as service;
 pub use indaas_sia as sia;

@@ -1,0 +1,144 @@
+//! Property-based tests on the observability core: log₂ histogram
+//! invariants (bucket placement, merge, quantile bounds) and
+//! flight-recorder ring eviction.
+
+use indaas::obs::{
+    bucket_index, bucket_upper_bound, FlightRecorder, Histo, HistoSnapshot, Trace, HISTO_BUCKETS,
+};
+use proptest::prelude::*;
+
+/// Strategy: values spread across the full log₂ range, not just the low
+/// buckets a uniform `any::<u64>()` would oversample.
+fn spread_values() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(any::<u64>(), 1..64usize).prop_map(|raws| {
+        raws.into_iter()
+            // The value's low bits pick how far to shift it down, so the
+            // samples cover every bucket order of magnitude.
+            .map(|raw| raw >> (raw % 64))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every value lands in exactly the bucket whose half-open range
+    /// contains it, and the bucket upper bounds are monotone.
+    #[test]
+    fn bucket_placement_and_monotonicity(values in spread_values()) {
+        for v in values {
+            let i = bucket_index(v);
+            prop_assert!(i < HISTO_BUCKETS);
+            prop_assert!(v <= bucket_upper_bound(i), "value above its bucket bound");
+            if i > 0 {
+                prop_assert!(
+                    v > bucket_upper_bound(i - 1),
+                    "value {} also fits the previous bucket {}",
+                    v,
+                    i - 1
+                );
+            }
+        }
+        for i in 1..HISTO_BUCKETS {
+            prop_assert!(bucket_upper_bound(i) > bucket_upper_bound(i - 1));
+        }
+    }
+
+    /// Merging two snapshots is indistinguishable from having recorded
+    /// both value streams interleaved into one histogram. Values are
+    /// masked below 2^56 so the sum cannot overflow (128 × 2^56 < 2^64)
+    /// — `record` is wrapping, `merge` saturating; they only agree while
+    /// the sum stays in range, which real microsecond latencies do.
+    #[test]
+    fn merge_equals_interleaved_record(a in spread_values(), b in spread_values()) {
+        let mask = (1u64 << 56) - 1;
+        let a: Vec<u64> = a.into_iter().map(|v| v & mask).collect();
+        let b: Vec<u64> = b.into_iter().map(|v| v & mask).collect();
+        let left = Histo::new();
+        let right = Histo::new();
+        let combined = Histo::new();
+        for &v in &a {
+            left.record(v);
+            combined.record(v);
+        }
+        for &v in &b {
+            right.record(v);
+            combined.record(v);
+        }
+        let mut merged: HistoSnapshot = left.snapshot();
+        merged.merge(&right.snapshot());
+        let expected = combined.snapshot();
+        prop_assert_eq!(merged.count, expected.count);
+        prop_assert_eq!(merged.sum, expected.sum);
+        prop_assert_eq!(merged.buckets.to_vec(), expected.buckets.to_vec());
+    }
+
+    /// The reported quantile bound is sound: at least a `q` fraction of
+    /// recorded values are `<=` it, and it never exceeds twice the true
+    /// maximum (the log₂ bucket guarantee `v <= bound < 2v + 1`).
+    #[test]
+    fn quantile_bounds_are_sound(values in spread_values(), q in 1u32..101) {
+        let q = f64::from(q) / 100.0;
+        let histo = Histo::new();
+        for &v in &values {
+            histo.record(v);
+        }
+        let snap = histo.snapshot();
+        let bound = snap.quantile(q);
+        let at_or_below = values.iter().filter(|&&v| v <= bound).count();
+        let rank = (q * values.len() as f64).ceil().max(1.0) as usize;
+        prop_assert!(
+            at_or_below >= rank.min(values.len()),
+            "quantile({}) = {} covers only {}/{} values",
+            q,
+            bound,
+            at_or_below,
+            values.len()
+        );
+        let max = *values.iter().max().unwrap();
+        prop_assert!(bound <= max.saturating_mul(2).saturating_add(1));
+    }
+}
+
+mod ring_props {
+    use super::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The ring keeps exactly the newest `capacity` traces, assigns
+        /// strictly increasing sequence numbers, and `recent(n)` returns
+        /// them newest first.
+        #[test]
+        fn ring_evicts_oldest_keeps_newest(
+            capacity in 1usize..20,
+            total in 0usize..60,
+            slow_us in 0u64..2000,
+        ) {
+            let recorder = FlightRecorder::new(capacity, slow_us);
+            for i in 0..total {
+                let mut trace = Trace::new("sia", format!("t{i}"));
+                trace.total_us = i as u64 * 100;
+                recorder.record(trace);
+            }
+            prop_assert_eq!(recorder.len(), total.min(capacity));
+            let recent = recorder.recent(total + 1);
+            prop_assert_eq!(recent.len(), total.min(capacity));
+            // Newest first, contiguous, and ending at the newest seq.
+            for (offset, trace) in recent.iter().enumerate() {
+                prop_assert_eq!(trace.seq, (total - offset) as u64);
+                prop_assert_eq!(
+                    trace.detail.clone(),
+                    format!("t{}", total - offset - 1)
+                );
+                prop_assert_eq!(trace.slow, trace.total_us >= slow_us);
+            }
+            // A partial read returns only the newest n.
+            let two = recorder.recent(2);
+            prop_assert_eq!(two.len(), total.min(capacity).min(2));
+            if let Some(first) = two.first() {
+                prop_assert_eq!(first.seq, total as u64);
+            }
+        }
+    }
+}

@@ -1039,3 +1039,150 @@ fn raw_protocol_shutdown_round_trip() {
     assert!(matches!(response, Response::ShuttingDown));
     daemon.join().unwrap().expect("serve loop");
 }
+
+#[test]
+fn metrics_over_the_wire_show_miss_hit_transition_and_slow_traces() {
+    // --slow-audit-ms 0: every trace's total is >= 0, so the flight
+    // recorder must flag them all slow.
+    let server = Server::bind(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        queue_capacity: 16,
+        cache_capacity: 64,
+        slow_audit_ms: 0,
+        ..ServeConfig::default()
+    })
+    .expect("bind ephemeral port");
+    let addr = server.local_addr();
+    let daemon = std::thread::spawn(move || server.run());
+    let mut client = Client::connect(addr).expect("connect");
+
+    client.ingest(RECORDS).expect("ingest");
+    let spec = audit_spec();
+    let first = client.audit_sia(&spec, None).expect("first audit");
+    assert!(!first.cached);
+    let second = client.audit_sia(&spec, None).expect("second audit");
+    assert!(second.cached);
+
+    let metrics = client.metrics(None).expect("metrics");
+    assert_eq!(metrics.slow_threshold_us, 0);
+
+    // Counters: exactly one SIA audit *executed* (the hit is not a
+    // re-execution), one mutation, and every envelope counted.
+    assert_eq!(metrics.counter("audits_sia_total"), Some(1));
+    assert_eq!(metrics.counter("audits_pia_total"), Some(0));
+    assert_eq!(metrics.counter("mutations_total"), Some(1));
+    assert!(metrics.counter("requests_total").unwrap() >= 4);
+    assert!(metrics.counter("sched_jobs_total").unwrap() >= 1);
+
+    // Derived gauges refreshed at snapshot time: the miss -> hit
+    // transition is visible in the cache stats.
+    assert_eq!(metrics.gauge("cache_sia_misses"), Some(1));
+    assert!(metrics.gauge("cache_sia_hits").unwrap() >= 1);
+    assert!(metrics.gauge("active_conns").unwrap() >= 1);
+
+    // Histograms: the whole-audit and write-path timings, plus every
+    // stage the minimal-RG pipeline runs (two candidates per audit).
+    assert_eq!(metrics.histo("audit_sia_us").expect("audit histo").count, 1);
+    assert_eq!(metrics.histo("ingest_us").expect("ingest histo").count, 1);
+    assert!(metrics.histo("sched_wait_us").expect("wait histo").count >= 1);
+    for stage in [
+        "audit_stage_graph_build_us",
+        "audit_stage_rg_minimal_us",
+        "audit_stage_ranking_us",
+    ] {
+        assert_eq!(
+            metrics
+                .histo(stage)
+                .unwrap_or_else(|| panic!("{stage} missing"))
+                .count,
+            2,
+            "{stage} must record once per candidate"
+        );
+    }
+    // A histogram quantile never undershoots: p99 bound >= p50 bound.
+    let audit = metrics.histo("audit_sia_us").unwrap();
+    assert!(audit.p99_us >= audit.p50_us);
+    assert!(audit.max_us >= audit.p99_us);
+
+    // Flight recorder: the computed audit (stages + pins, outcome ok)
+    // and the cache hit are both present, newest first, both slow.
+    let miss_pos = metrics
+        .traces
+        .iter()
+        .position(|t| t.kind == "sia" && !t.cached)
+        .expect("computed-audit trace");
+    let hit_pos = metrics
+        .traces
+        .iter()
+        .position(|t| t.kind == "sia" && t.cached)
+        .expect("cache-hit trace");
+    assert!(hit_pos < miss_pos, "traces must be newest first");
+    let miss = &metrics.traces[miss_pos];
+    assert!(
+        !miss.stages.is_empty(),
+        "computed audit carries stage timings"
+    );
+    assert!(!miss.pins.is_empty(), "SIA trace carries shard pins");
+    assert_eq!(miss.outcome, "ok");
+    assert!(miss.slow, "threshold 0 flags everything");
+    assert!(metrics.traces[hit_pos].slow);
+    assert!(metrics.traces[hit_pos].stages.is_empty());
+
+    // The Status satellites: uptime_secs and per-engine audit counts
+    // ride the same counters; nothing was shed.
+    let status = client.status().expect("status");
+    assert_eq!(status.sia_audits, 1);
+    assert_eq!(status.pia_audits, 0);
+    assert_eq!(status.dropped_events, 0);
+    assert!(status.uptime_secs <= status.uptime_ms / 1000 + 1);
+
+    client.shutdown().expect("shutdown");
+    daemon.join().unwrap().expect("serve loop");
+}
+
+#[test]
+fn v1_session_serves_metrics_and_extended_status() {
+    // The Metrics request is not v2-only: a plain line-mode session
+    // (no Hello) gets the same snapshot, and the appended Status fields
+    // arrive without disturbing the original ones.
+    let (addr, daemon) = start_daemon();
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+    let mut roundtrip = |request: &Request| -> Response {
+        let line = indaas::service::proto::encode_line(request);
+        writer
+            .write_all(format!("{line}\n").as_bytes())
+            .expect("write");
+        let mut answer = String::new();
+        reader.read_line(&mut answer).expect("read");
+        indaas::service::proto::decode_line(answer.trim()).expect("decode")
+    };
+    let Response::Metrics {
+        counters, histos, ..
+    } = roundtrip(&Request::Metrics { recent: Some(4) })
+    else {
+        panic!("expected a Metrics response");
+    };
+    assert!(counters.iter().any(|(n, _)| n == "requests_total"));
+    assert!(histos.iter().any(|h| h.name == "dispatch_us"));
+    let Response::Status {
+        records,
+        uptime_secs: _,
+        sia_audits,
+        dropped_events,
+        ..
+    } = roundtrip(&Request::Status)
+    else {
+        panic!("expected a Status response");
+    };
+    assert_eq!(records, 0);
+    assert_eq!(sia_audits, 0);
+    assert_eq!(dropped_events, 0);
+    assert!(matches!(
+        roundtrip(&Request::Shutdown),
+        Response::ShuttingDown
+    ));
+    daemon.join().unwrap().expect("serve loop");
+}
