@@ -20,6 +20,12 @@ use crate::spec::{AuditSpec, RankingMetric, RgAlgorithm};
 /// `()` implementation for free. Stage names are stable identifiers:
 /// `"graph_build"`, `"rg_minimal"`, `"rg_sampling"`, `"rg_bdd"`,
 /// `"ranking"`. A stage is reported once per candidate deployment.
+///
+/// The daemon's implementation doubles as the distributed-tracing hook:
+/// when the audit runs under a trace context, each reported stage also
+/// becomes a child span of the audit's execution span, so `indaas
+/// trace` shows per-stage timing inside the request tree without this
+/// crate knowing anything about tracing.
 pub trait StageObserver: Sync {
     /// Called when a stage finishes, with its elapsed microseconds.
     fn stage(&self, stage: &'static str, elapsed_us: u64);

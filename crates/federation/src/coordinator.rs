@@ -11,6 +11,7 @@ use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 use std::time::Duration;
 
+use indaas_obs::TraceContext;
 use indaas_pia::{
     count_final_lists, outcome_from_counts, PsopConfig, PsopOutcome, CIPHERTEXT_BYTES,
 };
@@ -43,6 +44,11 @@ pub struct FederatedOutcome {
     /// payload, identical whatever the framing), this is the number the
     /// binary frame encoding halves versus v1 hex lines.
     pub party_wire_bytes: Vec<u64>,
+    /// The trace every party's spans were recorded under: each
+    /// `FederateStart` carried a child of this root, so
+    /// `indaas trace <trace_id>` against the ring daemons stitches the
+    /// whole audit into one tree.
+    pub trace: TraceContext,
 }
 
 /// Drives the round structure of a multi-daemon P-SOP exchange.
@@ -106,6 +112,11 @@ impl FederationCoordinator {
             }
         }
         let session = self.session_id();
+        // The whole audit shares one trace: the root is virtual (the
+        // coordinator records no span store of its own) and every
+        // party's `FederateStart` carries a distinct child of it, so
+        // the daemons' span trees merge under one id.
+        let root = TraceContext::root();
 
         // Every daemon must be driving its rounds at once: party 0's
         // round-1 input only exists after party k-1 sent its round-0
@@ -115,7 +126,8 @@ impl FederationCoordinator {
                 .map(|i| {
                     let peer = self.peers[i].clone();
                     let successor = self.peers[(i + 1) % k].clone();
-                    scope.spawn(move || self.run_party(session, i, &peer, &successor))
+                    let party_trace = root.child();
+                    scope.spawn(move || self.run_party(session, i, &peer, &successor, party_trace))
                 })
                 .collect();
             handles
@@ -144,6 +156,7 @@ impl FederationCoordinator {
             session,
             psop: outcome_from_counts(intersection, union, traffic),
             party_wire_bytes,
+            trace: root,
         })
     }
 
@@ -153,6 +166,7 @@ impl FederationCoordinator {
         index: usize,
         peer: &str,
         successor: &str,
+        trace: TraceContext,
     ) -> Result<PartyReport, FederationError> {
         let mut client = Client::connect(peer)?;
         // A generous socket deadline so a wedged daemon fails the audit
@@ -160,15 +174,18 @@ impl FederationCoordinator {
         // deadlines inside the daemons are the precise control.
         client.set_read_timeout(Some(self.round_timeout * (self.peers.len() as u32 + 4)))?;
         let response = client
-            .request(&Request::FederateStart {
-                session,
-                index: index as u32,
-                parties: self.peers.len() as u32,
-                successor: successor.to_string(),
-                seed: self.config.seed,
-                multiset: self.config.multiset,
-                round_timeout_ms: Some(self.round_timeout.as_millis() as u64),
-            })
+            .request_traced(
+                &Request::FederateStart {
+                    session,
+                    index: index as u32,
+                    parties: self.peers.len() as u32,
+                    successor: successor.to_string(),
+                    seed: self.config.seed,
+                    multiset: self.config.multiset,
+                    round_timeout_ms: Some(self.round_timeout.as_millis() as u64),
+                },
+                Some(trace),
+            )
             .map_err(|e| FederationError::Protocol(format!("party {index} ({peer}): {e}")))?;
         match response {
             Response::FederateDone {

@@ -102,7 +102,12 @@ pub fn provider_component_set<D: DepView + ?Sized>(db: &D) -> Vec<String> {
 }
 
 impl FederationEngine for Federation {
-    fn handshake(&self, offered: u32, peer_node: &str) -> Result<(u32, String), String> {
+    fn handshake(
+        &self,
+        offered: u32,
+        peer_node: &str,
+        trace: bool,
+    ) -> Result<(u32, String, bool), String> {
         if offered < MIN_FEDERATION_PROTOCOL_VERSION {
             return Err(format!(
                 "protocol version {offered} below supported minimum {MIN_FEDERATION_PROTOCOL_VERSION}"
@@ -118,7 +123,12 @@ impl FederationEngine for Federation {
                 "node {peer_node:?} is not in this daemon's peer allow-list"
             ));
         }
-        Ok((offered.min(FEDERATION_PROTOCOL_VERSION), self.node.clone()))
+        let negotiated = offered.min(FEDERATION_PROTOCOL_VERSION);
+        // The trace-context frame extension exists only in the binary
+        // framing, so a session negotiated down to v1 drops it even if
+        // the peer offered it.
+        let traced = trace && negotiated >= 2;
+        Ok((negotiated, self.node.clone(), traced))
     }
 
     fn deliver(&self, session: u64, round: u32, from: u32, payload: Vec<u8>) -> Result<(), String> {
@@ -154,6 +164,7 @@ impl FederationEngine for Federation {
             seed,
             multiset,
             round_timeout_ms,
+            trace,
         } = instruction;
         if !(2..=MAX_PARTIES).contains(&parties) {
             return Err(format!(
@@ -211,7 +222,8 @@ impl FederationEngine for Federation {
             mailbox,
             token,
             round_timeout,
-        );
+        )
+        .with_trace(trace);
         let config = PsopConfig { seed, multiset };
         let run = run_psop_party(
             &dataset,
@@ -249,25 +261,41 @@ mod tests {
     #[test]
     fn handshake_negotiates_and_rejects() {
         let f = Federation::new("127.0.0.1:1000");
-        let (v, node) = f
-            .handshake(FEDERATION_PROTOCOL_VERSION, "127.0.0.1:2000")
+        let (v, node, traced) = f
+            .handshake(FEDERATION_PROTOCOL_VERSION, "127.0.0.1:2000", true)
             .unwrap();
         assert_eq!(v, FEDERATION_PROTOCOL_VERSION);
         assert_eq!(node, "127.0.0.1:1000");
+        assert!(traced, "v2 peers offering tracing get it");
         // A newer peer negotiates down to ours.
-        let (v, _) = f
-            .handshake(FEDERATION_PROTOCOL_VERSION + 5, "127.0.0.1:2000")
+        let (v, _, _) = f
+            .handshake(FEDERATION_PROTOCOL_VERSION + 5, "127.0.0.1:2000", false)
             .unwrap();
         assert_eq!(v, FEDERATION_PROTOCOL_VERSION);
         // Too-old versions and self-connections are refused.
         assert!(f
-            .handshake(0, "127.0.0.1:2000")
+            .handshake(0, "127.0.0.1:2000", false)
             .unwrap_err()
             .contains("version"));
         assert!(f
-            .handshake(FEDERATION_PROTOCOL_VERSION, "127.0.0.1:1000")
+            .handshake(FEDERATION_PROTOCOL_VERSION, "127.0.0.1:1000", false)
             .unwrap_err()
             .contains("self"));
+    }
+
+    #[test]
+    fn handshake_negotiates_tracing_off_at_v1() {
+        let f = Federation::new("127.0.0.1:1000");
+        // Tracing needs the binary framing: a v1 offer drops it even if
+        // the peer (nonsensically) asked for it.
+        let (v, _, traced) = f.handshake(1, "127.0.0.1:2000", true).unwrap();
+        assert_eq!(v, 1);
+        assert!(!traced);
+        // And a v2 peer not offering it does not get it.
+        let (_, _, traced) = f
+            .handshake(FEDERATION_PROTOCOL_VERSION, "127.0.0.1:2000", false)
+            .unwrap();
+        assert!(!traced);
     }
 
     #[test]
@@ -276,9 +304,9 @@ mod tests {
             "127.0.0.1:1000",
             PeerRegistry::with_peers(["127.0.0.1:2000".to_string()]),
         );
-        assert!(f.handshake(1, "127.0.0.1:2000").is_ok());
+        assert!(f.handshake(1, "127.0.0.1:2000", false).is_ok());
         assert!(f
-            .handshake(1, "127.0.0.1:3000")
+            .handshake(1, "127.0.0.1:3000", false)
             .unwrap_err()
             .contains("allow-list"));
     }

@@ -12,10 +12,11 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use indaas_graph::CancelToken;
+use indaas_obs::TraceContext;
 use indaas_service::proto::{
-    decode_line, encode_line, encode_payload, encode_round_frame, read_bounded_line, write_frame,
-    LineRead, Request, Response, FEDERATION_PROTOCOL_VERSION, MAX_FEDERATE_PAYLOAD_BYTES,
-    MIN_FEDERATION_PROTOCOL_VERSION,
+    decode_line, encode_line, encode_payload, encode_traced_round_frame, read_bounded_line,
+    write_frame, LineRead, Request, Response, FEDERATION_PROTOCOL_VERSION,
+    MAX_FEDERATE_PAYLOAD_BYTES, MIN_FEDERATION_PROTOCOL_VERSION,
 };
 use indaas_simnet::{Message, PartyId, TrafficStats, Transport, TransportError};
 
@@ -34,6 +35,10 @@ pub struct PeerConn {
     pub version: u32,
     /// The peer's self-reported node name.
     pub peer_node: String,
+    /// Whether the handshake negotiated the trace-context frame
+    /// extension (offered at version ≥ 2, on only when the welcome
+    /// echoed it back). A v1 peer always negotiates it away.
+    pub trace_enabled: bool,
     /// Every byte this connection has put on the wire — handshake and
     /// framing included — for the wire-efficiency accounting binary
     /// framing is measured by.
@@ -79,11 +84,15 @@ impl PeerConn {
             writer,
             version: offer,
             peer_node: String::new(),
+            trace_enabled: false,
             wire_sent: 0,
         };
         conn.write_line(&encode_line(&Request::FederateHello {
             version: offer,
             node: own_node.to_string(),
+            // Offer the trace extension whenever the binary frame
+            // encoding is on the table; a v1 offer never carries it.
+            trace: (offer >= 2).then_some(true),
         }))?;
         let mut line = String::new();
         match read_bounded_line(&mut reader, &mut line, MAX_WELCOME_LINE)? {
@@ -100,7 +109,11 @@ impl PeerConn {
             }
         }
         match decode_line::<Response>(line.trim()) {
-            Ok(Response::FederateWelcome { version, node }) => {
+            Ok(Response::FederateWelcome {
+                version,
+                node,
+                trace,
+            }) => {
                 if !(MIN_FEDERATION_PROTOCOL_VERSION..=offer.min(FEDERATION_PROTOCOL_VERSION))
                     .contains(&version)
                 {
@@ -115,6 +128,9 @@ impl PeerConn {
                 }
                 conn.version = version;
                 conn.peer_node = node;
+                // Both the offer and the echo must agree, and the
+                // extension only exists in the binary framing.
+                conn.trace_enabled = version >= 2 && trace == Some(true);
                 Ok(conn)
             }
             Ok(Response::Error { message }) => Err(FederationError::Remote(message)),
@@ -129,7 +145,11 @@ impl PeerConn {
 
     /// Ships one round frame: raw binary at the negotiated version ≥ 2
     /// (header + ciphertext bytes verbatim — about half the wire bytes),
-    /// hex-in-JSON lines for v1 peers.
+    /// hex-in-JSON lines for v1 peers. When `trace` is set *and* the
+    /// handshake negotiated the extension, the binary frame carries the
+    /// context so the receiving daemon records the hop under the same
+    /// trace; otherwise the frame is byte-identical to the untraced
+    /// encoding (v1 lines never carry a context).
     ///
     /// # Errors
     ///
@@ -141,6 +161,7 @@ impl PeerConn {
         round: u32,
         from: u32,
         payload: &[u8],
+        trace: Option<&TraceContext>,
     ) -> Result<(), FederationError> {
         if payload.len() > MAX_FEDERATE_PAYLOAD_BYTES {
             return Err(FederationError::Protocol(format!(
@@ -149,7 +170,8 @@ impl PeerConn {
             )));
         }
         if self.version >= 2 {
-            let frame = encode_round_frame(session, round, from, payload);
+            let trace = if self.trace_enabled { trace } else { None };
+            let frame = encode_traced_round_frame(session, round, from, payload, trace);
             write_frame(&mut self.writer, &frame).map_err(FederationError::Io)?;
             self.writer.flush()?;
             self.wire_sent += 4 + frame.len() as u64;
@@ -206,6 +228,10 @@ pub struct TcpRoundTransport {
     mailbox: Arc<SessionMailbox>,
     token: CancelToken,
     round_timeout: Duration,
+    /// This party's `fed_party` span context; every outgoing ring frame
+    /// is stamped with a fresh child of it, which the successor daemon
+    /// records verbatim — the cross-daemon parent link.
+    trace: Option<TraceContext>,
     stats: TrafficStats,
     /// Ring-send ordinal stamped on outgoing frames.
     send_round: u32,
@@ -250,12 +276,22 @@ impl TcpRoundTransport {
             mailbox,
             token,
             round_timeout,
+            trace: None,
             stats: TrafficStats::new(providers + 1),
             send_round: 0,
             recv_round: 0,
             counters: HopCounters::default(),
             final_payload: None,
         }
+    }
+
+    /// Sets the `fed_party` span context outgoing frames are stamped
+    /// under; only sessions whose handshake negotiated tracing on
+    /// should pass `Some`.
+    #[must_use]
+    pub fn with_trace(mut self, trace: Option<TraceContext>) -> Self {
+        self.trace = trace;
+        self
     }
 
     /// Ring predecessor — the only party frames may legitimately carry
@@ -303,8 +339,17 @@ impl Transport for TcpRoundTransport {
                 "party {from} may only send to its ring successor or the agent, not {to}"
             )));
         }
+        // A fresh child per frame: each ring hop is its own span on the
+        // receiving daemon, all parented on this party's span.
+        let frame_ctx = self.trace.map(|c| c.child());
         self.successor
-            .send_frame(self.session, self.send_round, from as u32, &payload)
+            .send_frame(
+                self.session,
+                self.send_round,
+                from as u32,
+                &payload,
+                frame_ctx.as_ref(),
+            )
             .map_err(|e| TransportError::Closed(e.to_string()))?;
         self.send_round += 1;
         self.stats.record(from, to, bytes);

@@ -26,6 +26,21 @@
 //!   and audit executions with per-stage timings, cache disposition,
 //!   shard pins, outcome), flagging entries slower than a configured
 //!   threshold so "what was slow lately" survives the moment.
+//! * [`trace`] — distributed tracing: the propagated [`TraceContext`],
+//!   the bounded [`SpanStore`] of finished spans addressable by trace
+//!   id, and the order-independent [`build_span_tree`] assembly.
+//! * [`log`] — the leveled structured logger (text or JSON lines to
+//!   stderr), stamping every line with the thread's active trace
+//!   context.
+
+pub mod log;
+pub mod trace;
+
+pub use crate::log::{LogLevel, TraceScope};
+pub use crate::trace::{
+    build_span_tree, format_trace_id, parse_trace_id, SpanNode, SpanRecord, SpanStore,
+    TraceContext, TRACE_CONTEXT_BYTES,
+};
 
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};

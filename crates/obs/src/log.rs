@@ -1,0 +1,293 @@
+//! A small leveled structured logger — the daemon's and CLI's one
+//! stderr surface.
+//!
+//! Zero dependencies like the rest of the crate: configuration is two
+//! process-global atomics (minimum [`LogLevel`], text vs JSON), output
+//! is one `writeln!` to a locked stderr handle per line, and the JSON
+//! form is hand-rolled (escaping only what RFC 8259 requires).
+//!
+//! Every line is stamped with the *active trace context* when one is
+//! set: [`TraceScope`] is an RAII guard that installs a
+//! [`TraceContext`] in a thread-local for the duration of a dispatch,
+//! so any log line emitted while handling a traced request — however
+//! deep in the stack — carries `trace=<id> span=<id>` and can be joined
+//! against the span tree `indaas trace` renders.
+//!
+//! A disabled line costs one relaxed atomic load and a branch.
+
+use std::cell::Cell;
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+
+use crate::trace::{format_trace_id, unix_us, TraceContext};
+
+/// Severity, most severe first. The configured level is the *maximum*
+/// verbosity: `Info` emits `Error`/`Warn`/`Info` and drops `Debug`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LogLevel {
+    Error = 0,
+    Warn = 1,
+    Info = 2,
+    Debug = 3,
+}
+
+impl LogLevel {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            LogLevel::Error => "ERROR",
+            LogLevel::Warn => "WARN",
+            LogLevel::Info => "INFO",
+            LogLevel::Debug => "DEBUG",
+        }
+    }
+
+    fn from_u8(v: u8) -> LogLevel {
+        match v {
+            0 => LogLevel::Error,
+            1 => LogLevel::Warn,
+            2 => LogLevel::Info,
+            _ => LogLevel::Debug,
+        }
+    }
+}
+
+impl std::fmt::Display for LogLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for LogLevel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "error" => Ok(LogLevel::Error),
+            "warn" | "warning" => Ok(LogLevel::Warn),
+            "info" => Ok(LogLevel::Info),
+            "debug" => Ok(LogLevel::Debug),
+            other => Err(format!(
+                "unknown log level {other:?} (expected error|warn|info|debug)"
+            )),
+        }
+    }
+}
+
+static LEVEL: AtomicU8 = AtomicU8::new(LogLevel::Info as u8);
+static JSON: AtomicBool = AtomicBool::new(false);
+
+thread_local! {
+    static ACTIVE: Cell<Option<TraceContext>> = const { Cell::new(None) };
+}
+
+/// Sets the process-wide maximum verbosity.
+pub fn set_level(level: LogLevel) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// The current maximum verbosity.
+pub fn level() -> LogLevel {
+    LogLevel::from_u8(LEVEL.load(Ordering::Relaxed))
+}
+
+/// Switches between human text lines and one-JSON-object-per-line.
+pub fn set_json(json: bool) {
+    JSON.store(json, Ordering::Relaxed);
+}
+
+/// Whether lines are emitted as JSON.
+pub fn json() -> bool {
+    JSON.load(Ordering::Relaxed)
+}
+
+/// Whether a line at `level` would be emitted.
+pub fn enabled(level: LogLevel) -> bool {
+    (level as u8) <= LEVEL.load(Ordering::Relaxed)
+}
+
+/// The trace context active on this thread, if any.
+pub fn current_trace() -> Option<TraceContext> {
+    ACTIVE.with(Cell::get)
+}
+
+/// RAII guard installing `ctx` as this thread's active trace context;
+/// the previous context (usually none) is restored on drop, so nested
+/// scopes compose.
+pub struct TraceScope {
+    prev: Option<TraceContext>,
+}
+
+impl TraceScope {
+    pub fn enter(ctx: TraceContext) -> TraceScope {
+        TraceScope {
+            prev: ACTIVE.with(|c| c.replace(Some(ctx))),
+        }
+    }
+}
+
+impl Drop for TraceScope {
+    fn drop(&mut self) {
+        let prev = self.prev;
+        ACTIVE.with(|c| c.set(prev));
+    }
+}
+
+/// Emits one line to stderr if `level` is enabled.
+pub fn log(level: LogLevel, target: &str, message: &str) {
+    if !enabled(level) {
+        return;
+    }
+    let line = render_line(
+        json(),
+        unix_us() / 1_000,
+        level,
+        target,
+        message,
+        current_trace(),
+    );
+    let stderr = std::io::stderr();
+    let _ = writeln!(stderr.lock(), "{line}");
+}
+
+pub fn error(target: &str, message: &str) {
+    log(LogLevel::Error, target, message);
+}
+
+pub fn warn(target: &str, message: &str) {
+    log(LogLevel::Warn, target, message);
+}
+
+pub fn info(target: &str, message: &str) {
+    log(LogLevel::Info, target, message);
+}
+
+pub fn debug(target: &str, message: &str) {
+    log(LogLevel::Debug, target, message);
+}
+
+/// Renders one log line. Text keeps the message verbatim at the end of
+/// the line (tooling that scrapes a trailing token — the CLI tests read
+/// the bound address off the serve banner — keeps working); the trace
+/// stamp is appended only when a context is active.
+pub fn render_line(
+    json: bool,
+    ts_ms: u64,
+    level: LogLevel,
+    target: &str,
+    message: &str,
+    ctx: Option<TraceContext>,
+) -> String {
+    if json {
+        let mut out = format!(
+            "{{\"ts_ms\":{ts_ms},\"level\":\"{}\",\"target\":\"{}\",\"msg\":\"{}\"",
+            level.as_str().to_ascii_lowercase(),
+            escape_json(target),
+            escape_json(message)
+        );
+        if let Some(c) = ctx {
+            out.push_str(&format!(
+                ",\"trace\":\"{}\",\"span\":\"{:016x}\"",
+                format_trace_id(c.trace_id),
+                c.span_id
+            ));
+        }
+        out.push('}');
+        out
+    } else {
+        match ctx {
+            Some(c) => format!(
+                "ts={ts_ms} {} {target} trace={} span={:016x}: {message}",
+                level.as_str(),
+                format_trace_id(c.trace_id),
+                c.span_id
+            ),
+            None => format!("ts={ts_ms} {} {target}: {message}", level.as_str()),
+        }
+    }
+}
+
+/// RFC 8259 string escaping: quote, backslash, and control characters.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_parse_and_order() {
+        assert!("warn".parse::<LogLevel>().unwrap() < LogLevel::Info);
+        assert_eq!("DEBUG".parse::<LogLevel>().unwrap(), LogLevel::Debug);
+        assert!("loud".parse::<LogLevel>().is_err());
+        assert!(LogLevel::Error < LogLevel::Debug);
+    }
+
+    #[test]
+    fn text_line_keeps_message_last_and_stamps_trace() {
+        let bare = render_line(
+            false,
+            7,
+            LogLevel::Info,
+            "server",
+            "listening on 1.2.3.4:9",
+            None,
+        );
+        assert_eq!(bare, "ts=7 INFO server: listening on 1.2.3.4:9");
+        assert_eq!(bare.rsplit(' ').next(), Some("1.2.3.4:9"));
+
+        let ctx = TraceContext {
+            trace_id: 0xabc,
+            span_id: 0x17,
+            parent_span_id: 0,
+        };
+        let stamped = render_line(false, 7, LogLevel::Warn, "server", "slow audit", Some(ctx));
+        assert!(stamped.contains(&format!("trace={}", format_trace_id(0xabc))));
+        assert!(stamped.contains("span=0000000000000017"));
+        assert!(stamped.ends_with("slow audit"));
+    }
+
+    #[test]
+    fn json_line_is_escaped_and_carries_trace() {
+        let ctx = TraceContext {
+            trace_id: 1,
+            span_id: 2,
+            parent_span_id: 0,
+        };
+        let line = render_line(true, 9, LogLevel::Error, "cli", "say \"hi\"\n", Some(ctx));
+        assert_eq!(
+            line,
+            "{\"ts_ms\":9,\"level\":\"error\",\"target\":\"cli\",\"msg\":\"say \\\"hi\\\"\\n\",\
+             \"trace\":\"00000000000000000000000000000001\",\"span\":\"0000000000000002\"}"
+        );
+    }
+
+    #[test]
+    fn scope_nests_and_restores() {
+        assert_eq!(current_trace(), None);
+        let outer = TraceContext::root();
+        {
+            let _outer = TraceScope::enter(outer);
+            assert_eq!(current_trace(), Some(outer));
+            let inner = outer.child();
+            {
+                let _inner = TraceScope::enter(inner);
+                assert_eq!(current_trace(), Some(inner));
+            }
+            assert_eq!(current_trace(), Some(outer));
+        }
+        assert_eq!(current_trace(), None);
+    }
+}

@@ -25,13 +25,14 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::time::Duration;
 
 use indaas_core::AuditSpec;
+use indaas_obs::TraceContext;
 use indaas_pia::PiaRanking;
 use indaas_sia::AuditReport;
 
 use crate::proto::{
     decode_line, encode_line, read_bounded_line, read_frame, write_frame, Envelope, FrameRead,
-    LineRead, MetricHisto, Request, Response, ResponseEnvelope, TraceEntry, EVENT_ENVELOPE_ID,
-    PROTOCOL_VERSION,
+    LineRead, MetricHisto, Request, Response, ResponseEnvelope, SpanEntry, TraceEntry,
+    EVENT_ENVELOPE_ID, PROTOCOL_VERSION,
 };
 
 /// Largest accepted response line/frame (reports scale with candidates
@@ -212,6 +213,11 @@ pub struct AuditEvent {
     pub cached: bool,
     /// Server-side production time in microseconds.
     pub elapsed_us: u64,
+    /// Hex trace id of the request that triggered this push (the
+    /// mutating ingest, or the Subscribe for the initial audit), when
+    /// that request carried a trace context — join it against
+    /// `indaas trace <id>`.
+    pub trace_id: Option<String>,
     /// The fresh report.
     pub report: AuditReport,
 }
@@ -239,10 +245,16 @@ impl SessionShared {
         self.dead.lock().expect("session lock poisoned").clone()
     }
 
-    fn send_envelope(&self, id: u64, request: &Request) -> Result<(), ClientError> {
+    fn send_envelope(
+        &self,
+        id: u64,
+        request: &Request,
+        trace: Option<TraceContext>,
+    ) -> Result<(), ClientError> {
         let frame = encode_line(&Envelope {
             id,
             body: request.clone(),
+            trace: trace.map(|c| c.encode_header()),
         })
         .into_bytes();
         let mut writer = self.writer.lock().expect("session lock poisoned");
@@ -354,10 +366,32 @@ impl Client {
     /// this session has in flight and in whatever order the daemon
     /// finishes them.
     ///
+    /// Every request mints a fresh root [`TraceContext`] — the client
+    /// is where traces begin — so the daemon records a span tree for
+    /// it. Use [`Client::begin_traced`] to join an existing trace (or
+    /// to opt out with `None`).
+    ///
     /// # Errors
     ///
     /// I/O failures and a dead session (reader exited) fail fast.
     pub fn begin(&mut self, request: &Request) -> Result<PendingResponse, ClientError> {
+        self.begin_traced(request, Some(TraceContext::root()))
+    }
+
+    /// [`Client::begin`] under an explicit trace context: the envelope
+    /// carries `trace` verbatim (`None` sends no context at all), so a
+    /// caller holding a live trace — a federation coordinator fanning
+    /// one audit out to many daemons — can parent the remote work under
+    /// its own span.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures and a dead session (reader exited) fail fast.
+    pub fn begin_traced(
+        &mut self,
+        request: &Request,
+        trace: Option<TraceContext>,
+    ) -> Result<PendingResponse, ClientError> {
         if let Some(reason) = self.shared.dead_reason() {
             return Err(ClientError::Protocol(reason));
         }
@@ -370,7 +404,7 @@ impl Client {
             .lock()
             .expect("session lock poisoned")
             .insert(id, tx);
-        if let Err(e) = self.shared.send_envelope(id, request) {
+        if let Err(e) = self.shared.send_envelope(id, request, trace) {
             self.shared
                 .pending
                 .lock()
@@ -394,6 +428,20 @@ impl Client {
     /// I/O failures, unparseable responses, or a closed connection.
     pub fn request(&mut self, request: &Request) -> Result<Response, ClientError> {
         self.begin(request)?.wait()
+    }
+
+    /// [`Client::request`] under an explicit trace context — see
+    /// [`Client::begin_traced`].
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, unparseable responses, or a closed connection.
+    pub fn request_traced(
+        &mut self,
+        request: &Request,
+        trace: Option<TraceContext>,
+    ) -> Result<Response, ClientError> {
+        self.begin_traced(request, trace)?.wait()
     }
 
     /// Registers a continuous SIA audit over `spec`: the daemon pushes
@@ -634,6 +682,22 @@ impl Client {
         }
     }
 
+    /// Fetches every span the daemon recorded under the hex trace id
+    /// `id`. Returns the daemon's node name (its listen address) and
+    /// the raw span entries — feed entries from several daemons into
+    /// [`indaas_obs::build_span_tree`] to stitch a federated trace.
+    ///
+    /// # Errors
+    ///
+    /// Malformed ids surface as [`ClientError::Remote`].
+    pub fn fetch_trace(&mut self, id: &str) -> Result<(String, Vec<SpanEntry>), ClientError> {
+        let response = self.request_traced(&Request::Trace { id: id.to_string() }, None)?;
+        match response {
+            Response::Trace { node, spans } => Ok((node, spans)),
+            other => Err(unexpected("Trace", &other)),
+        }
+    }
+
     /// Asks the daemon to exit its serve loop.
     ///
     /// # Errors
@@ -802,6 +866,7 @@ fn reader_loop(shared: &SessionShared, mut reader: BufReader<TcpStream>) {
                     epoch,
                     cached,
                     elapsed_us,
+                    trace_id,
                     report,
                 } => route_event(
                     shared,
@@ -810,6 +875,7 @@ fn reader_loop(shared: &SessionShared, mut reader: BufReader<TcpStream>) {
                         epoch,
                         cached,
                         elapsed_us,
+                        trace_id,
                         report,
                     },
                 ),

@@ -99,7 +99,9 @@ pub use client::{
     AuditEvent, Client, ClientError, IngestAnswer, MetricsAnswer, PendingResponse, PiaAnswer,
     SiaAnswer, StatusAnswer, Subscription, V1Client,
 };
-pub use proto::{Envelope, MetricHisto, Request, Response, ResponseEnvelope, TraceEntry};
+pub use proto::{
+    Envelope, MetricHisto, Request, Response, ResponseEnvelope, SpanEntry, TraceEntry,
+};
 pub use scheduler::{SchedMetrics, Scheduler, SubmitError};
 pub use server::{ServeConfig, Server};
 pub use subs::{Outbox, SubscriptionRegistry};

@@ -61,11 +61,39 @@
 //! seconds), and `indaas_shard_writes{shard="N"}`-style labeled series
 //! for the per-shard store counters taken from `Status`.
 //!
+//! **Distributed tracing** is an optional extension at both protocol
+//! layers, designed so an untraced peer never notices it:
+//!
+//! * *Client envelopes* — a v2 [`Envelope`] may carry a `trace` field:
+//!   the string `"<trace:032x>-<span:016x>-<parent:016x>"` naming the
+//!   span the server should record for this request (the caller mints
+//!   span ids, so trees stitch across processes without translation).
+//!   The field is optional JSON: older clients omit it, older servers
+//!   ignore it, and a malformed or all-zero value is treated as absent
+//!   — never a protocol error. [`ResponseEnvelope`]s carry no context;
+//!   v1 lines cannot carry one at all.
+//! * *Federation rounds* — `FederateHello`/`FederateWelcome` carry an
+//!   optional `trace: true` offer/acknowledgement; tracing is on only
+//!   when both sides say so **and** the negotiated version is ≥ 2 (the
+//!   v1 hex framing has no room for a context, so a v1 session always
+//!   negotiates it off — without wire errors). On a traced session a
+//!   binary round frame sets [`ROUND_FROM_TRACE_FLAG`] in its `from`
+//!   word and appends a fixed 32-byte big-endian context
+//!   (`trace:16 ‖ span:8 ‖ parent:8`, [`TRACE_CONTEXT_BYTES`]) *after*
+//!   the payload; an all-zero extension decodes as absent. Untraced
+//!   sessions emit byte-identical frames to pre-tracing builds.
+//!
+//! The spans a daemon records are served back by [`Request::Trace`] as
+//! [`SpanEntry`] lists (`indaas trace <id>` stitches them across
+//! daemons into one tree), and pushed [`Response::AuditEvent`]s name
+//! the originating request's trace in `trace_id`.
+//!
 //! Responses to failed requests are `{"Error": {"message": "..."}}`; the
 //! connection stays open (v1) or the error rides the offending
 //! envelope's id (v2).
 
 use indaas_core::AuditSpec;
+use indaas_obs::{TraceContext, TRACE_CONTEXT_BYTES};
 use indaas_pia::PiaRanking;
 use indaas_sia::AuditReport;
 use serde::{Deserialize, Serialize};
@@ -181,6 +209,16 @@ pub enum Request {
     },
     /// Stop accepting connections and exit the serve loop.
     Shutdown,
+    /// Every span this daemon recorded for one distributed trace,
+    /// answered with [`Response::Trace`]. The CLI (`indaas trace <id>`)
+    /// asks several daemons and stitches the union into one tree —
+    /// span-tree assembly is insertion-order independent, so the merge
+    /// is a plain concatenation.
+    Trace {
+        /// The trace id as hex digits (up to 32; leading zeros may be
+        /// dropped).
+        id: String,
+    },
     /// First line of a daemon-to-daemon peer session: protocol-version
     /// negotiation plus the dialer's node identity. After the
     /// [`Response::FederateWelcome`] answer the connection switches to
@@ -191,6 +229,13 @@ pub enum Request {
         /// The dialer's node name (its listen address by default) —
         /// used to reject self-connections.
         node: String,
+        /// `Some(true)` when the dialer can stamp binary round frames
+        /// with a trace-context extension. Tracing is active on the
+        /// session only when [`Response::FederateWelcome`] echoes
+        /// `Some(true)` *and* the negotiated version is ≥ 2 — v1 peers
+        /// (hex lines, or software predating this field, which parses
+        /// as `None`) negotiate it away.
+        trace: Option<bool>,
     },
     /// One federation round frame, valid only inside a peer session.
     FederateData {
@@ -387,6 +432,11 @@ pub enum Response {
         elapsed_us: u64,
         /// The fresh audit report.
         report: AuditReport,
+        /// Hex id of the distributed trace this push belongs to — the
+        /// originating ingest's trace (or the `Subscribe` request's for
+        /// the initial event), joinable via `indaas trace <id>`. Absent
+        /// when the trigger carried no trace context.
+        trace_id: Option<String>,
     },
     /// Answer to [`Request::Shutdown`].
     ShuttingDown,
@@ -397,6 +447,11 @@ pub enum Response {
         version: u32,
         /// The listener's node name.
         node: String,
+        /// `Some(true)` iff the dialer offered tracing, the listener
+        /// supports it, and the negotiated version is ≥ 2; any other
+        /// answer (including the field being absent — pre-tracing
+        /// software) means round frames carry no trace extension.
+        trace: Option<bool>,
     },
     /// Answer to [`Request::FederateStart`], sent once this daemon's
     /// party finished all its ring rounds.
@@ -418,6 +473,16 @@ pub enum Response {
         /// which counts protocol payload only. Binary framing (peer
         /// protocol ≥ 2) roughly halves this versus hex-in-JSON lines.
         wire_sent_bytes: u64,
+    },
+    /// Answer to [`Request::Trace`]: this daemon's spans of the trace.
+    Trace {
+        /// The answering daemon's node identity (its listen address);
+        /// also stamped on every span entry.
+        node: String,
+        /// Spans recorded here for the requested trace id, oldest
+        /// first. Empty when the daemon saw nothing of the trace (or
+        /// its span ring already evicted it).
+        spans: Vec<SpanEntry>,
     },
     /// Any failure: parse errors, audit errors, deadline overruns,
     /// queue overload.
@@ -487,6 +552,28 @@ pub struct TraceEntry {
     pub pins: Vec<(u32, u64)>,
 }
 
+/// One span of a distributed trace in a [`Response::Trace`] answer —
+/// the wire twin of `indaas_obs::SpanRecord`, with the trace id in hex
+/// (JSON has no 128-bit integers) and the recording daemon stamped on.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SpanEntry {
+    /// Trace id, 32 hex digits.
+    pub trace: String,
+    pub span_id: u64,
+    /// The span this one nests under; 0 for a trace root.
+    pub parent_span_id: u64,
+    /// What ran: `request:AuditSia`, `queue_wait`, `fed_party`, an
+    /// engine stage name, …
+    pub name: String,
+    /// Free-form qualifier; may be empty.
+    pub detail: String,
+    /// The daemon that recorded the span.
+    pub node: String,
+    /// Wall-clock start, µs since the UNIX epoch (sibling ordering).
+    pub start_us: u64,
+    pub elapsed_us: u64,
+}
+
 /// A correlated protocol-v2 request: the client picks `id` (≥ 1) and
 /// the matching [`ResponseEnvelope`] echoes it, so one session can keep
 /// many requests in flight and match answers out of order.
@@ -497,6 +584,12 @@ pub struct Envelope {
     pub id: u64,
     /// The request itself.
     pub body: Request,
+    /// Optional trace-context header
+    /// (`TraceContext::encode_header`: `<32 hex>-<16 hex>-<16 hex>`,
+    /// naming the span the server should record for this dispatch).
+    /// Envelopes from pre-tracing clients parse as `None`; garbage is
+    /// treated as absent, never an error.
+    pub trace: Option<String>,
 }
 
 /// A correlated protocol-v2 response: `id` echoes the request envelope,
@@ -631,6 +724,86 @@ pub fn decode_round_frame(frame: &[u8]) -> Result<(u64, u32, u32, &[u8]), String
     let round = u32::from_be_bytes(header[8..12].try_into().expect("4-byte slice"));
     let from = u32::from_be_bytes(header[12..16].try_into().expect("4-byte slice"));
     Ok((session, round, from, payload))
+}
+
+/// Flag bit in the round-frame `from` field marking a trace-context
+/// extension appended after the payload. Ring indices are bounded by
+/// `MAX_PARTIES` (64), so the top bit is always free.
+pub const ROUND_FROM_TRACE_FLAG: u32 = 1 << 31;
+
+/// [`encode_round_frame`] with an optional trace-context extension:
+/// when `trace` is set, the context's 32-byte binary form is appended
+/// after the payload and [`ROUND_FROM_TRACE_FLAG`] is set in `from`.
+/// Senders only stamp the extension on sessions where the
+/// `FederateHello`/`FederateWelcome` handshake negotiated tracing on.
+pub fn encode_traced_round_frame(
+    session: u64,
+    round: u32,
+    from: u32,
+    payload: &[u8],
+    trace: Option<&TraceContext>,
+) -> Vec<u8> {
+    match trace {
+        None => encode_round_frame(session, round, from, payload),
+        Some(ctx) => {
+            let mut out = encode_round_frame(session, round, from | ROUND_FROM_TRACE_FLAG, payload);
+            out.extend_from_slice(&ctx.to_bytes());
+            out
+        }
+    }
+}
+
+/// A decoded traced round frame: `(session, round, from, payload,
+/// trace)`, with the [`ROUND_FROM_TRACE_FLAG`] bit already stripped
+/// from `from`.
+pub type TracedRoundFrame<'a> = (u64, u32, u32, &'a [u8], Option<TraceContext>);
+
+/// Decodes a binary round frame that may carry the trace extension.
+///
+/// The flag bit in `from` says whether the last 32 bytes are a trace
+/// context; an all-zero (or otherwise invalid) extension decodes as
+/// "no context". Absent or garbage context never panics — the worst a
+/// hostile peer gets is an error string.
+///
+/// # Errors
+///
+/// A human-readable message for frames shorter than their announced
+/// layout or with an oversized payload.
+pub fn decode_traced_round_frame(frame: &[u8]) -> Result<TracedRoundFrame<'_>, String> {
+    if frame.len() < ROUND_FRAME_HEADER_BYTES {
+        return Err(format!(
+            "round frame of {} bytes is shorter than the {ROUND_FRAME_HEADER_BYTES}-byte header",
+            frame.len()
+        ));
+    }
+    let (header, rest) = frame.split_at(ROUND_FRAME_HEADER_BYTES);
+    let session = u64::from_be_bytes(header[0..8].try_into().expect("8-byte slice"));
+    let round = u32::from_be_bytes(header[8..12].try_into().expect("4-byte slice"));
+    let raw_from = u32::from_be_bytes(header[12..16].try_into().expect("4-byte slice"));
+    let (payload, trace) = if raw_from & ROUND_FROM_TRACE_FLAG == 0 {
+        (rest, None)
+    } else {
+        if rest.len() < TRACE_CONTEXT_BYTES {
+            return Err(format!(
+                "round frame flags a trace extension but carries only {} payload bytes",
+                rest.len()
+            ));
+        }
+        let (payload, ext) = rest.split_at(rest.len() - TRACE_CONTEXT_BYTES);
+        (payload, TraceContext::from_bytes(ext))
+    };
+    if payload.len() > MAX_FEDERATE_PAYLOAD_BYTES {
+        return Err(format!(
+            "round-frame payload exceeds {MAX_FEDERATE_PAYLOAD_BYTES} bytes"
+        ));
+    }
+    Ok((
+        session,
+        round,
+        raw_from & !ROUND_FROM_TRACE_FLAG,
+        payload,
+        trace,
+    ))
 }
 
 /// Encodes a protocol value as one wire line (no trailing newline).
@@ -799,13 +972,18 @@ mod tests {
         let hello = Request::FederateHello {
             version: FEDERATION_PROTOCOL_VERSION,
             node: "127.0.0.1:4914".into(),
+            trace: Some(true),
         };
         let back: Request = decode_line(&encode_line(&hello)).unwrap();
         assert!(matches!(
             back,
-            Request::FederateHello { version, node }
+            Request::FederateHello { version, node, trace: Some(true) }
                 if version == FEDERATION_PROTOCOL_VERSION && node == "127.0.0.1:4914"
         ));
+        // A pre-tracing hello (no `trace` field) parses as None.
+        let legacy: Request =
+            decode_line(r#"{"FederateHello":{"version":1,"node":"127.0.0.1:1"}}"#).unwrap();
+        assert!(matches!(legacy, Request::FederateHello { trace: None, .. }));
 
         let frame = Request::FederateData {
             session: 42,
@@ -899,10 +1077,28 @@ mod tests {
         let env = Envelope {
             id: u64::MAX - 1, // u64 fidelity must survive the JSON layer
             body: Request::Ping,
+            trace: None,
         };
         let back: Envelope = decode_line(&encode_line(&env)).unwrap();
         assert_eq!(back.id, u64::MAX - 1);
         assert!(matches!(back.body, Request::Ping));
+        assert_eq!(back.trace, None);
+
+        // A traced envelope carries the header string through; an
+        // envelope from a pre-tracing client (no field at all) parses.
+        let ctx = TraceContext::root();
+        let env = Envelope {
+            id: 5,
+            body: Request::Ping,
+            trace: Some(ctx.encode_header()),
+        };
+        let back: Envelope = decode_line(&encode_line(&env)).unwrap();
+        assert_eq!(
+            back.trace.as_deref().and_then(TraceContext::parse_header),
+            Some(ctx)
+        );
+        let legacy: Envelope = decode_line(r#"{"id":3,"body":"Ping"}"#).unwrap();
+        assert_eq!((legacy.id, legacy.trace), (3, None));
 
         let env = ResponseEnvelope {
             id: 7,
@@ -974,5 +1170,42 @@ mod tests {
         assert!(decode_round_frame(&empty[..15])
             .unwrap_err()
             .contains("header"));
+    }
+
+    #[test]
+    fn traced_round_frames_roundtrip_and_reject_garbage() {
+        let ctx = TraceContext::root().child();
+        let payload: Vec<u8> = (0..=63).collect();
+
+        // With a context: flag set, extension appended, roundtrips.
+        let framed = encode_traced_round_frame(7, 2, 1, &payload, Some(&ctx));
+        assert_eq!(
+            framed.len(),
+            ROUND_FRAME_HEADER_BYTES + payload.len() + TRACE_CONTEXT_BYTES
+        );
+        let (session, round, from, body, trace) = decode_traced_round_frame(&framed).unwrap();
+        assert_eq!((session, round, from), (7, 2, 1));
+        assert_eq!(body, payload.as_slice());
+        assert_eq!(trace, Some(ctx));
+
+        // Without: byte-identical to the untraced encoding.
+        let plain = encode_traced_round_frame(7, 2, 1, &payload, None);
+        assert_eq!(plain, encode_round_frame(7, 2, 1, &payload));
+        let (.., body, trace) = decode_traced_round_frame(&plain).unwrap();
+        assert_eq!(body, payload.as_slice());
+        assert_eq!(trace, None);
+
+        // An all-zero extension means "no context", not an error.
+        let mut zeroed = encode_round_frame(7, 2, 1 | ROUND_FROM_TRACE_FLAG, &payload);
+        zeroed.extend_from_slice(&[0u8; TRACE_CONTEXT_BYTES]);
+        let (.., body, trace) = decode_traced_round_frame(&zeroed).unwrap();
+        assert_eq!(body, payload.as_slice());
+        assert_eq!(trace, None);
+
+        // Flagged but too short to hold the extension: error, no panic.
+        let truncated = encode_round_frame(7, 2, 1 | ROUND_FROM_TRACE_FLAG, &payload[..8]);
+        assert!(decode_traced_round_frame(&truncated)
+            .unwrap_err()
+            .contains("trace extension"));
     }
 }

@@ -223,7 +223,7 @@ fn worker_loop(shared: &Shared) {
         }));
         shared.running.fetch_sub(1, Ordering::Relaxed);
         if outcome.is_err() {
-            eprintln!("indaas-service: audit job panicked (worker recovered)");
+            indaas_obs::log::error("scheduler", "audit job panicked (worker recovered)");
         }
     }
 }

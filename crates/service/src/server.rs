@@ -53,15 +53,15 @@ use indaas_deps::{
     DbSnapshot, DepView, DependencyAcquisitionModule, DependencyRecord, ShardedDepDb,
     VersionedDepDb,
 };
-use indaas_obs::{Span, Trace};
+use indaas_obs::{format_trace_id, log as slog, Span, Trace, TraceContext, TraceScope};
 use indaas_pia::{rank_deployments_cancellable, PiaRanking, PsopConfig};
 use indaas_sia::AuditReport;
 
 use crate::cache::{job_key, AuditCache, EpochPins};
 use crate::proto::{
-    decode_line, decode_payload, decode_round_frame, encode_line, encode_payload,
+    decode_line, decode_payload, decode_traced_round_frame, encode_line, encode_payload,
     read_bounded_line, read_frame, write_frame, Envelope, FrameRead, LineRead, Request, Response,
-    ResponseEnvelope, EVENT_ENVELOPE_ID, MAX_NODE_NAME_BYTES, MIN_PROTOCOL_VERSION,
+    ResponseEnvelope, SpanEntry, EVENT_ENVELOPE_ID, MAX_NODE_NAME_BYTES, MIN_PROTOCOL_VERSION,
     PROTOCOL_VERSION,
 };
 use crate::scheduler::Scheduler;
@@ -115,6 +115,12 @@ pub struct ServeConfig {
     /// total time reaches this many milliseconds is flagged `slow` in
     /// `Metrics` responses. `0` flags everything (useful in tests).
     pub slow_audit_ms: u64,
+    /// Minimum severity the structured logger emits (process-global;
+    /// applied at bind).
+    pub log_level: indaas_obs::LogLevel,
+    /// Emit log lines as one JSON object per line instead of text
+    /// (process-global; applied at bind).
+    pub log_json: bool,
 }
 
 impl Default for ServeConfig {
@@ -134,6 +140,8 @@ impl Default for ServeConfig {
             db_dir: None,
             max_conns: 1024,
             slow_audit_ms: 1000,
+            log_level: indaas_obs::LogLevel::Info,
+            log_json: false,
         }
     }
 }
@@ -168,6 +176,12 @@ pub struct PartyInstruction {
     pub multiset: bool,
     /// Requested per-round deadline (clamped to the server default).
     pub round_timeout_ms: Option<u64>,
+    /// The party's span context when the `FederateStart` envelope
+    /// carried a trace. The engine stamps outgoing round frames with
+    /// children of this span (on sessions that negotiated tracing), so
+    /// the *receiving* daemon's frame spans parent-link back to this
+    /// party across the process boundary.
+    pub trace: Option<TraceContext>,
 }
 
 /// What a completed party hands back for the `FederateDone` response.
@@ -197,15 +211,23 @@ pub struct PartyCompletion {
 /// a daemon without an engine rejects every `Federate*` request with a
 /// clear error.
 pub trait FederationEngine: Send + Sync {
-    /// Negotiates a peer handshake. Returns `(negotiated version, own
-    /// node name)` or a rejection message (version too old,
-    /// self-connection, unknown peer).
+    /// Negotiates a peer handshake. `trace` is whether the dialer
+    /// offered the round-frame trace extension; the returned bool is
+    /// whether it is on for this session (never when the negotiated
+    /// version is < 2 — v1 peers negotiate tracing away). Returns
+    /// `(negotiated version, own node name, tracing on)` or a rejection
+    /// message (version too old, self-connection, unknown peer).
     ///
     /// # Errors
     ///
     /// A human-readable rejection; the server answers with it and drops
     /// the connection.
-    fn handshake(&self, offered: u32, peer_node: &str) -> Result<(u32, String), String>;
+    fn handshake(
+        &self,
+        offered: u32,
+        peer_node: &str,
+        trace: bool,
+    ) -> Result<(u32, String, bool), String>;
 
     /// Routes one peer round frame to its session.
     ///
@@ -308,6 +330,8 @@ impl Server {
     ///
     /// Propagates socket bind failures.
     pub fn bind_with_store(config: ServeConfig, store: ShardedDepDb) -> std::io::Result<Self> {
+        slog::set_level(config.log_level);
+        slog::set_json(config.log_json);
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
         let telemetry = Arc::new(Telemetry::new(config.slow_audit_ms));
@@ -430,9 +454,9 @@ fn save_dirty(state: &ServiceState) -> Option<usize> {
             Some(written)
         }
         Err(e) => {
-            eprintln!(
-                "indaas-service: saving segments to {} failed: {e}",
-                dir.display()
+            slog::error(
+                "server",
+                &format!("saving segments to {} failed: {e}", dir.display()),
             );
             None
         }
@@ -518,8 +542,13 @@ fn handle_connection(stream: TcpStream, state: &Arc<ServiceState>) {
         // A peer handshake re-tags this connection: answer the welcome,
         // then hand the read side to the frame loop for the rest of the
         // connection's life (audits and federation share one listener).
-        if let Request::FederateHello { version, node } = request {
-            let response = federate_hello(state, version, &node);
+        if let Request::FederateHello {
+            version,
+            node,
+            trace,
+        } = request
+        {
+            let response = federate_hello(state, version, &node, trace == Some(true));
             let negotiated = match &response {
                 Response::FederateWelcome { version, .. } => Some(*version),
                 _ => None,
@@ -566,6 +595,10 @@ fn handle_connection(stream: TcpStream, state: &Arc<ServiceState>) {
             {
                 return;
             }
+            slog::debug(
+                "server",
+                &format!("session negotiated protocol v{negotiated} (client offered v{version})"),
+            );
             if negotiated >= 2 {
                 v2_session_loop(&mut reader, writer, state);
                 return;
@@ -575,7 +608,8 @@ fn handle_connection(stream: TcpStream, state: &Arc<ServiceState>) {
         first = false;
         state.telemetry.requests_total.inc();
         let dispatch_span = Span::start(Arc::clone(&state.telemetry.dispatch_us));
-        let (response, shutdown) = handle_request(request, state);
+        // v1 lines carry no envelope, hence no trace context.
+        let (response, shutdown) = handle_request(request, state, None);
         drop(dispatch_span);
         if write_response(&mut writer, &response).is_err() {
             return;
@@ -655,7 +689,7 @@ fn v2_session_loop(
             .telemetry
             .envelope_decode_us
             .record(decode_started.elapsed().as_micros() as u64);
-        let Envelope { id, body } = match envelope {
+        let Envelope { id, body, trace } = match envelope {
             Ok(envelope) => envelope,
             Err(e) => {
                 // Unlike v1 text lines, v2 frames come only from
@@ -676,6 +710,9 @@ fn v2_session_loop(
             break;
         }
         state.telemetry.requests_total.inc();
+        // An unparseable header is treated as absent, not fatal: trace
+        // context is advisory metadata and can never poison a request.
+        let ctx = trace.as_deref().and_then(TraceContext::parse_header);
         match body {
             Request::Hello { .. } => {
                 outbox.push_response(envelope_frame(
@@ -684,6 +721,7 @@ fn v2_session_loop(
                 ));
             }
             Request::Subscribe { spec, engine } => {
+                let started = Instant::now();
                 match register_subscription(state, spec, &engine, &outbox, conn) {
                     Ok((subscription, spec)) => {
                         // Response first, then the initial audit: the
@@ -693,17 +731,29 @@ fn v2_session_loop(
                             id,
                             Response::Subscribed { subscription },
                         ));
+                        // The initial pushed audit is parented on this
+                        // Subscribe, so `indaas trace` on the client's
+                        // trace id shows it hanging off the request.
                         schedule_push_audit(
                             state,
                             subscription,
                             spec,
                             Arc::clone(&outbox),
                             Instant::now(),
+                            ctx,
                         );
                     }
                     Err(message) => {
                         outbox.push_response(envelope_frame(id, Response::error(message)));
                     }
+                }
+                if let Some(c) = ctx {
+                    state.telemetry.spans.record(
+                        c,
+                        "request:Subscribe",
+                        String::new(),
+                        started.elapsed().as_micros() as u64,
+                    );
                 }
             }
             Request::Unsubscribe { subscription } => {
@@ -735,10 +785,27 @@ fn v2_session_loop(
                 let st = Arc::clone(state);
                 let ob = Arc::clone(&outbox);
                 let gauge = Arc::clone(&in_flight);
+                let kind = request_kind(&request);
                 std::thread::spawn(move || {
+                    // Install the context for the dispatch's lifetime so
+                    // every log line under it carries trace/span ids.
+                    let _scope = ctx.map(TraceScope::enter);
+                    let started = Instant::now();
                     let dispatch_span = Span::start(Arc::clone(&st.telemetry.dispatch_us));
-                    let (response, _) = handle_request(request, &st);
+                    let (response, _) = handle_request(request, &st, ctx);
                     drop(dispatch_span);
+                    if let Some(c) = ctx {
+                        // The request span uses the wire context's span
+                        // id directly: the client minted it, so client
+                        // and server agree on the id without a reply
+                        // header.
+                        st.telemetry.spans.record(
+                            c,
+                            kind,
+                            String::new(),
+                            started.elapsed().as_micros() as u64,
+                        );
+                    }
                     ob.push_response(envelope_frame(id, response));
                     gauge.fetch_sub(1, Ordering::AcqRel);
                 });
@@ -753,6 +820,28 @@ fn v2_session_loop(
     outbox.close();
     let _ = writer_handle.join();
     state.telemetry.registry.remove_counter(&conn_shed_name);
+}
+
+/// The span name a dispatched request is recorded under — static, so a
+/// traced request costs no allocation beyond the span record itself.
+fn request_kind(request: &Request) -> &'static str {
+    match request {
+        Request::Ping => "request:Ping",
+        Request::Hello { .. } => "request:Hello",
+        Request::Ingest { .. } => "request:Ingest",
+        Request::Retract { .. } => "request:Retract",
+        Request::AuditSia { .. } => "request:AuditSia",
+        Request::AuditPia { .. } => "request:AuditPia",
+        Request::Status => "request:Status",
+        Request::Metrics { .. } => "request:Metrics",
+        Request::Trace { .. } => "request:Trace",
+        Request::Subscribe { .. } => "request:Subscribe",
+        Request::Unsubscribe { .. } => "request:Unsubscribe",
+        Request::Shutdown => "request:Shutdown",
+        Request::FederateHello { .. } => "request:FederateHello",
+        Request::FederateData { .. } => "request:FederateData",
+        Request::FederateStart { .. } => "request:FederateStart",
+    }
 }
 
 /// Validates a `Subscribe` and registers it, pinned to the spec's
@@ -805,11 +894,28 @@ fn schedule_push_audit(
     spec: AuditSpec,
     outbox: Arc<Outbox>,
     origin: Instant,
+    parent: Option<TraceContext>,
 ) {
     let st = Arc::clone(state);
     let deadline = state.config.default_deadline;
+    // The push runs under a fresh child of the originating request's
+    // span (the triggering ingest, or the Subscribe for its initial
+    // audit) — one mutation fanning out to N subscriptions yields N
+    // sibling push spans under the same trace.
+    let push = parent.map(|p| p.child());
+    let submit_at = Instant::now();
     let submitted = state.scheduler.submit(Some(deadline), move |token| {
+        let _scope = push.map(TraceScope::enter);
         let started = Instant::now();
+        if let Some(p) = push {
+            st.telemetry.spans.record(
+                p.child(),
+                "queue_wait",
+                String::new(),
+                started.duration_since(submit_at).as_micros() as u64,
+            );
+        }
+        let exec = push.map(|p| p.child());
         let epoch = st.db.epoch();
         let snapshot = st.db.snapshot();
         let pins = snapshot.pins_for_hosts(spec_hosts(&spec));
@@ -820,7 +926,7 @@ fn schedule_push_audit(
         let (cached, result, stages) = match hit {
             Some(report) => (true, Ok(report), Vec::new()),
             None => {
-                let recorder = StageRecorder::new(&st.telemetry);
+                let recorder = StageRecorder::with_trace(&st.telemetry, exec);
                 let agent = AuditingAgent::from_snapshot(snapshot);
                 let result = agent.audit_sia_observed(&spec, token, &recorder);
                 st.telemetry.push_audits_total.inc();
@@ -828,6 +934,14 @@ fn schedule_push_audit(
                 (false, result, recorder.into_stages())
             }
         };
+        if let Some(e) = exec {
+            st.telemetry.spans.record(
+                e,
+                "audit_exec",
+                format!("subscription {subscription}"),
+                started.elapsed().as_micros() as u64,
+            );
+        }
         trace.cached = cached;
         trace.stages = stages;
         match result {
@@ -849,6 +963,7 @@ fn schedule_push_audit(
                         epoch,
                         cached,
                         elapsed_us: started.elapsed().as_micros() as u64,
+                        trace_id: parent.map(|p| format_trace_id(p.trace_id)),
                         report,
                     },
                 );
@@ -863,17 +978,27 @@ fn schedule_push_audit(
             }
             Err(e) => {
                 trace.outcome = e.to_string();
-                eprintln!(
-                    "indaas-service: pushed audit for subscription {subscription} failed: {e}"
+                slog::error(
+                    "server",
+                    &format!("pushed audit for subscription {subscription} failed: {e}"),
                 );
             }
+        }
+        if let Some(p) = push {
+            st.telemetry.spans.record(
+                p,
+                "push",
+                format!("subscription {subscription}"),
+                submit_at.elapsed().as_micros() as u64,
+            );
         }
         trace.total_us = started.elapsed().as_micros() as u64;
         st.telemetry.recorder.record(trace);
     });
     if let Err(e) = submitted {
-        eprintln!(
-            "indaas-service: could not schedule pushed audit for subscription {subscription}: {e}"
+        slog::error(
+            "server",
+            &format!("could not schedule pushed audit for subscription {subscription}: {e}"),
         );
     }
 }
@@ -893,7 +1018,7 @@ fn federation_engine(state: &ServiceState) -> Option<Arc<dyn FederationEngine>> 
         .clone()
 }
 
-fn federate_hello(state: &ServiceState, version: u32, node: &str) -> Response {
+fn federate_hello(state: &ServiceState, version: u32, node: &str, trace: bool) -> Response {
     if node.len() > MAX_NODE_NAME_BYTES {
         return Response::error(format!(
             "peer node name exceeds {MAX_NODE_NAME_BYTES} bytes"
@@ -902,8 +1027,21 @@ fn federate_hello(state: &ServiceState, version: u32, node: &str) -> Response {
     let Some(engine) = federation_engine(state) else {
         return Response::error("federation not enabled on this daemon");
     };
-    match engine.handshake(version, node) {
-        Ok((version, node)) => Response::FederateWelcome { version, node },
+    match engine.handshake(version, node, trace) {
+        // `trace` is echoed only when accepted (and omitted otherwise),
+        // so a v1 dialer that never offered it sees the exact legacy
+        // welcome shape.
+        Ok((version, node, traced)) => {
+            slog::debug(
+                "server",
+                &format!("peer handshake: protocol v{version}, tracing {}", traced),
+            );
+            Response::FederateWelcome {
+                version,
+                node,
+                trace: traced.then_some(true),
+            }
+        }
         Err(e) => Response::error(format!("handshake rejected: {e}")),
     }
 }
@@ -914,9 +1052,10 @@ fn federate_hello(state: &ServiceState, version: u32, node: &str) -> Response {
 /// one `Error` line and the connection is dropped.
 ///
 /// The negotiated `version` picks the frame encoding: ≥ 2 reads raw
-/// length-prefixed binary round frames ([`decode_round_frame`] — no
-/// hex, about half the wire bytes); 1 keeps the legacy hex-in-JSON
-/// `FederateData` lines.
+/// length-prefixed binary round frames ([`decode_traced_round_frame`] —
+/// no hex, about half the wire bytes, optionally carrying a trace
+/// context extension); 1 keeps the legacy hex-in-JSON `FederateData`
+/// lines.
 fn peer_session_loop(
     reader: &mut BufReader<TcpStream>,
     writer: &mut TcpStream,
@@ -1006,7 +1145,7 @@ fn binary_peer_session_loop(
                 return;
             }
         }
-        let (session, round, from, payload) = match decode_round_frame(&buf) {
+        let (session, round, from, payload, frame_ctx) = match decode_traced_round_frame(&buf) {
             Ok(frame) => frame,
             Err(e) => {
                 let _ = write_response(writer, &Response::error(format!("bad peer frame: {e}")));
@@ -1020,9 +1159,21 @@ fn binary_peer_session_loop(
             );
             return;
         };
+        let deliver_started = Instant::now();
         if let Err(e) = engine.deliver(session, round, from, payload.to_vec()) {
             let _ = write_response(writer, &Response::error(format!("frame rejected: {e}")));
             return;
+        }
+        if let Some(c) = frame_ctx {
+            // The sender minted this context as a child of its own
+            // fed_party span, so recording it verbatim is what stitches
+            // the cross-daemon parent link `indaas trace` renders.
+            state.telemetry.spans.record(
+                c,
+                "fed_frame",
+                format!("session {session} round {round} from {from}"),
+                deliver_started.elapsed().as_micros() as u64,
+            );
         }
     }
 }
@@ -1037,12 +1188,16 @@ fn initiate_shutdown(state: &ServiceState) {
     let _ = TcpStream::connect(state.local_addr);
 }
 
-fn handle_request(request: Request, state: &Arc<ServiceState>) -> (Response, bool) {
+fn handle_request(
+    request: Request,
+    state: &Arc<ServiceState>,
+    ctx: Option<TraceContext>,
+) -> (Response, bool) {
     match request {
         Request::Ping => (Response::Pong, false),
-        Request::Ingest { records } => (ingest(state, &records, Mutation::Ingest), false),
-        Request::Retract { records } => (ingest(state, &records, Mutation::Retract), false),
-        Request::AuditSia { spec, timeout_ms } => (audit_sia(state, spec, timeout_ms), false),
+        Request::Ingest { records } => (ingest(state, &records, Mutation::Ingest, ctx), false),
+        Request::Retract { records } => (ingest(state, &records, Mutation::Retract, ctx), false),
+        Request::AuditSia { spec, timeout_ms } => (audit_sia(state, spec, timeout_ms, ctx), false),
         // Reachable only from a v1 line session — the v2 loop handles
         // these inline, before dispatching here.
         Request::Hello { .. } => (
@@ -1060,9 +1215,13 @@ fn handle_request(request: Request, state: &Arc<ServiceState>) -> (Response, boo
             way,
             minhash,
             timeout_ms,
-        } => (audit_pia(state, providers, way, minhash, timeout_ms), false),
+        } => (
+            audit_pia(state, providers, way, minhash, timeout_ms, ctx),
+            false,
+        ),
         Request::Status => (status(state), false),
         Request::Metrics { recent } => (metrics(state, recent), false),
+        Request::Trace { id } => (trace_get(state, &id), false),
         Request::Shutdown => (Response::ShuttingDown, true),
         // Unreachable in practice: `handle_connection` intercepts every
         // hello before dispatching here (it re-tags the connection). The
@@ -1096,27 +1255,48 @@ fn handle_request(request: Request, state: &Arc<ServiceState>) -> (Response, boo
                     seed,
                     multiset,
                     round_timeout_ms,
+                    trace: None,
                 },
+                ctx,
             ),
             false,
         ),
     }
 }
 
-fn federate_start(state: &ServiceState, instruction: PartyInstruction) -> Response {
+fn federate_start(
+    state: &ServiceState,
+    mut instruction: PartyInstruction,
+    ctx: Option<TraceContext>,
+) -> Response {
     let Some(engine) = federation_engine(state) else {
         return Response::error("federation not enabled on this daemon");
     };
     let snapshot = state.db.snapshot();
-    let ctx = FederationCtx {
+    let fed_ctx = FederationCtx {
         snapshot,
         local_addr: state.local_addr,
         round_timeout: state.config.round_timeout,
     };
     let session = instruction.session;
+    // The party span parents everything this daemon does for the
+    // session: outgoing round frames are stamped with its children, so
+    // the successor's `fed_frame` spans link back here across the
+    // process boundary.
+    let party = ctx.map(|c| c.child());
+    instruction.trace = party;
+    let started = Instant::now();
     let party_span = Span::start(Arc::clone(&state.telemetry.fed_party_us));
-    let result = engine.run_party(instruction, ctx);
+    let result = engine.run_party(instruction, fed_ctx);
     drop(party_span);
+    if let Some(p) = party {
+        state.telemetry.spans.record(
+            p,
+            "fed_party",
+            format!("session {session}"),
+            started.elapsed().as_micros() as u64,
+        );
+    }
     match result {
         Ok(done) => {
             state
@@ -1138,17 +1318,52 @@ fn federate_start(state: &ServiceState, instruction: PartyInstruction) -> Respon
     }
 }
 
+/// Answers `Trace{id}`: every span this daemon recorded under the
+/// trace, each stamped with the local listen address so a client
+/// stitching a tree across federated daemons can attribute every span
+/// to its node.
+fn trace_get(state: &ServiceState, id: &str) -> Response {
+    let Some(trace_id) = indaas_obs::parse_trace_id(id) else {
+        return Response::error(format!(
+            "bad trace id {id:?} (expected up to 32 hex digits, nonzero)"
+        ));
+    };
+    let node = state.local_addr.to_string();
+    let spans = state
+        .telemetry
+        .spans
+        .spans_for(trace_id)
+        .into_iter()
+        .map(|s| SpanEntry {
+            trace: format_trace_id(s.trace_id),
+            span_id: s.span_id,
+            parent_span_id: s.parent_span_id,
+            name: s.name,
+            detail: s.detail,
+            node: node.clone(),
+            start_us: s.start_us,
+            elapsed_us: s.elapsed_us,
+        })
+        .collect();
+    Response::Trace { node, spans }
+}
+
 enum Mutation {
     Ingest,
     Retract,
 }
 
-fn ingest(state: &Arc<ServiceState>, records: &str, mutation: Mutation) -> Response {
+fn ingest(
+    state: &Arc<ServiceState>,
+    records: &str,
+    mutation: Mutation,
+    ctx: Option<TraceContext>,
+) -> Response {
     let parsed = match indaas_deps::parse_records(records) {
         Ok(p) => p,
         Err(e) => return Response::error(format!("bad records: {e}")),
     };
-    match apply_mutation(state, parsed, &mutation) {
+    match apply_mutation(state, parsed, &mutation, ctx) {
         Some(report) => Response::Ingested {
             changed: report.changed,
             ignored: report.ignored,
@@ -1181,6 +1396,7 @@ fn apply_mutation(
     state: &Arc<ServiceState>,
     records: Vec<DependencyRecord>,
     mutation: &Mutation,
+    ctx: Option<TraceContext>,
 ) -> Option<indaas_deps::ShardedIngestReport> {
     // Shutdown gate (Dekker-style, all SeqCst): either this thread sees
     // the shutdown flag and bails before touching the store, or the
@@ -1221,7 +1437,7 @@ fn apply_mutation(
     // trigger once per wave) but the audits themselves run later, off
     // this write path — an ingest never waits on a subscriber.
     for hit in state.subs.affected(&epochs) {
-        schedule_push_audit(state, hit.subscription, hit.spec, hit.outbox, origin);
+        schedule_push_audit(state, hit.subscription, hit.spec, hit.outbox, origin, ctx);
     }
     Some(report)
 }
@@ -1243,7 +1459,7 @@ fn run_collectors(state: &Arc<ServiceState>) -> usize {
                 match c.collect(&host) {
                     Ok(records) => collected.extend(records),
                     Err(e) => {
-                        eprintln!("indaas-service: collector {} failed: {e}", c.name());
+                        slog::warn("server", &format!("collector {} failed: {e}", c.name()));
                     }
                 }
             }
@@ -1253,7 +1469,10 @@ fn run_collectors(state: &Arc<ServiceState>) -> usize {
     // A batch rejected by the shutdown gate is simply dropped — the
     // daemon is exiting and the collectors re-measure on next boot.
     let total = collected.len();
-    if !collected.is_empty() && apply_mutation(state, collected, &Mutation::Ingest).is_none() {
+    // Collector ticks are daemon-initiated — there is no client trace
+    // to parent their fan-out on.
+    if !collected.is_empty() && apply_mutation(state, collected, &Mutation::Ingest, None).is_none()
+    {
         return 0;
     }
     total
@@ -1318,7 +1537,12 @@ fn validate_spec(spec: &AuditSpec) -> Result<(), String> {
     Ok(())
 }
 
-fn audit_sia(state: &ServiceState, spec: AuditSpec, timeout_ms: Option<u64>) -> Response {
+fn audit_sia(
+    state: &ServiceState,
+    spec: AuditSpec,
+    timeout_ms: Option<u64>,
+    ctx: Option<TraceContext>,
+) -> Response {
     if let Err(e) = validate_spec(&spec) {
         return Response::error(format!("invalid spec: {e}"));
     }
@@ -1361,14 +1585,33 @@ fn audit_sia(state: &ServiceState, spec: AuditSpec, timeout_ms: Option<u64>) -> 
     let (tx, rx) = mpsc::channel();
     let telemetry = Arc::clone(&state.telemetry);
     let trace_pins = pins.clone();
+    // Sibling children of the request span: how long the job sat in the
+    // scheduler queue, then the audit execution (whose engine stages
+    // nest under it via the recorder).
+    let exec = ctx.map(|c| c.child());
+    let submit_at = Instant::now();
     let submitted = state.scheduler.submit(Some(deadline), move |token| {
+        let _scope = exec.map(TraceScope::enter);
         let run_started = Instant::now();
-        let recorder = StageRecorder::new(&telemetry);
+        if let Some(c) = ctx {
+            telemetry.spans.record(
+                c.child(),
+                "queue_wait",
+                String::new(),
+                run_started.duration_since(submit_at).as_micros() as u64,
+            );
+        }
+        let recorder = StageRecorder::with_trace(&telemetry, exec);
         let agent = AuditingAgent::from_snapshot(snapshot);
         let result = agent.audit_sia_observed(&spec, token, &recorder);
         let total_us = run_started.elapsed().as_micros() as u64;
         telemetry.audits_sia_total.inc();
         telemetry.audit_sia_us.record(total_us);
+        if let Some(e) = exec {
+            telemetry
+                .spans
+                .record(e, "audit_exec", detail.clone(), total_us);
+        }
         let mut trace = Trace::new("sia", detail);
         trace.pins = trace_pins;
         trace.stages = recorder.into_stages();
@@ -1408,6 +1651,7 @@ fn audit_pia(
     way: usize,
     minhash: Option<usize>,
     timeout_ms: Option<u64>,
+    ctx: Option<TraceContext>,
 ) -> Response {
     if way < 2 || providers.len() < way {
         return Response::error("need way >= 2 and at least `way` providers");
@@ -1443,13 +1687,29 @@ fn audit_pia(
     let deadline = job_deadline(&state.config, timeout_ms);
     let (tx, rx) = mpsc::channel();
     let telemetry = Arc::clone(&state.telemetry);
+    let exec = ctx.map(|c| c.child());
+    let submit_at = Instant::now();
     let submitted = state.scheduler.submit(Some(deadline), move |token| {
+        let _scope = exec.map(TraceScope::enter);
         let run_started = Instant::now();
+        if let Some(c) = ctx {
+            telemetry.spans.record(
+                c.child(),
+                "queue_wait",
+                String::new(),
+                run_started.duration_since(submit_at).as_micros() as u64,
+            );
+        }
         let result =
             rank_deployments_cancellable(&providers, way, minhash, &PsopConfig::default(), token);
         let total_us = run_started.elapsed().as_micros() as u64;
         telemetry.audits_pia_total.inc();
         telemetry.audit_pia_us.record(total_us);
+        if let Some(e) = exec {
+            telemetry
+                .spans
+                .record(e, "audit_exec", detail.clone(), total_us);
+        }
         let mut trace = Trace::new("pia", detail);
         trace.total_us = total_us;
         if let Err(e) = &result {

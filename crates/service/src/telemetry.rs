@@ -59,7 +59,7 @@
 use std::sync::{Arc, Mutex, PoisonError};
 
 use indaas_core::StageObserver;
-use indaas_obs::{Counter, FlightRecorder, Histo, Registry, Trace};
+use indaas_obs::{Counter, FlightRecorder, Histo, Registry, SpanStore, Trace, TraceContext};
 
 use crate::proto::{MetricHisto, TraceEntry};
 use crate::scheduler::SchedMetrics;
@@ -68,6 +68,11 @@ use crate::scheduler::SchedMetrics;
 /// daemon without unbounded memory (traces are small — stage name/µs
 /// pairs and pins).
 pub const TRACE_CAPACITY: usize = 256;
+
+/// Span-store capacity. Spans are finer-grained than flight-recorder
+/// traces (one request fans out to queue-wait, execution and per-stage
+/// spans), so the ring is deeper — still bounded, oldest evicted first.
+pub const SPAN_CAPACITY: usize = 4096;
 
 /// Default number of traces a [`crate::proto::Request::Metrics`] with
 /// `recent: null` returns.
@@ -79,6 +84,9 @@ pub struct Telemetry {
     pub registry: Registry,
     /// Recent audit/request traces.
     pub recorder: FlightRecorder,
+    /// Recent distributed-tracing spans, addressable by trace id
+    /// (served to `Request::Trace`).
+    pub spans: SpanStore,
     pub requests_total: Arc<Counter>,
     pub envelope_decode_us: Arc<Histo>,
     pub dispatch_us: Arc<Histo>,
@@ -155,6 +163,7 @@ impl Telemetry {
             fed_party_us: registry.histo("fed_party_us"),
             registry,
             recorder,
+            spans: SpanStore::new(SPAN_CAPACITY),
         }
     }
 
@@ -183,13 +192,23 @@ fn stage_histo_name(stage: &str) -> String {
 pub struct StageRecorder<'a> {
     telemetry: &'a Telemetry,
     stages: Mutex<Vec<(String, u64)>>,
+    /// When the audit runs under a trace, each engine stage is also
+    /// recorded as a span — a fresh child of this context per stage.
+    trace: Option<TraceContext>,
 }
 
 impl<'a> StageRecorder<'a> {
     pub fn new(telemetry: &'a Telemetry) -> Self {
+        StageRecorder::with_trace(telemetry, None)
+    }
+
+    /// A recorder that additionally emits one child span of `trace` per
+    /// engine stage (no-op when `trace` is `None`).
+    pub fn with_trace(telemetry: &'a Telemetry, trace: Option<TraceContext>) -> Self {
         StageRecorder {
             telemetry,
             stages: Mutex::new(Vec::new()),
+            trace,
         }
     }
 
@@ -204,6 +223,11 @@ impl<'a> StageRecorder<'a> {
 impl StageObserver for StageRecorder<'_> {
     fn stage(&self, stage: &'static str, elapsed_us: u64) {
         self.telemetry.stage_histo(stage).record(elapsed_us);
+        if let Some(ctx) = self.trace {
+            self.telemetry
+                .spans
+                .record(ctx.child(), stage, String::new(), elapsed_us);
+        }
         self.stages
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
@@ -267,6 +291,23 @@ mod tests {
                 ("rg_minimal".to_string(), 4_000)
             ]
         );
+    }
+
+    #[test]
+    fn stage_recorder_emits_spans_under_a_trace() {
+        let t = Telemetry::new(0);
+        let exec = TraceContext::root().child();
+        let rec = StageRecorder::with_trace(&t, Some(exec));
+        rec.stage("graph_build", 7);
+        rec.stage("ranking", 9);
+        let spans = t.spans.spans_for(exec.trace_id);
+        assert_eq!(spans.len(), 2);
+        assert!(spans.iter().all(|s| s.parent_span_id == exec.span_id));
+        assert!(spans.iter().any(|s| s.name == "graph_build"));
+        // Untraced recorders stay span-free.
+        let silent = StageRecorder::new(&t);
+        silent.stage("graph_build", 7);
+        assert_eq!(t.spans.len(), 2);
     }
 
     #[test]

@@ -17,11 +17,14 @@ use indaas::core::{AuditSpec, AuditingAgent, CandidateDeployment, RankingMetric,
 use indaas::deps::{parse_records, DepDb, FailureProbModel, ShardedDepDb, SimCollector};
 use indaas::federation::{Federation, FederationCoordinator, PeerRegistry};
 use indaas::graph::to_dot;
+use indaas::obs::{
+    build_span_tree, format_trace_id, log as slog, parse_trace_id, SpanNode, SpanRecord,
+};
 use indaas::pia::normalize::normalize_set;
 use indaas::pia::report::render_ranking;
 use indaas::pia::{rank_deployments, PsopConfig};
 use indaas::service::{
-    Client, MetricsAnswer, Request, ServeConfig, Server, StatusAnswer, TraceEntry,
+    Client, MetricsAnswer, Request, ServeConfig, Server, SpanEntry, StatusAnswer, TraceEntry,
 };
 use indaas::sia::{build_fault_graph, BuildSpec};
 
@@ -36,6 +39,7 @@ fn main() -> ExitCode {
         Some("federate") => cmd_federate(&args[1..]),
         Some("metrics") => cmd_metrics(&args[1..]),
         Some("top") => cmd_top(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
         Some("ping") => cmd_ping(&args[1..]),
         Some("help") | Some("--help") | None => {
             eprint!("{USAGE}");
@@ -46,7 +50,7 @@ fn main() -> ExitCode {
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}");
+            slog::error("indaas", &format!("error: {e}"));
             ExitCode::FAILURE
         }
     }
@@ -65,13 +69,14 @@ USAGE:
   indaas serve [--listen ADDR] [--workers N] [--queue N] [--cache N]
                [--deadline-ms MS] [--db-dir DIR] [--records FILE]
                [--max-conns N] [--peer ADDR ...] [--collect-interval MS]
-               [--collect-truth FILE]
+               [--collect-truth FILE] [--log-level LVL] [--log-json]
   indaas watch --deploy NAME=S1,S2[,...] [--deploy ...] [--addr ADDR]
                [--count N] [--timeout-ms MS] [--json]
   indaas federate --peer ADDR --peer ADDR [--peer ...] [--seed N]
                   [--round-timeout-ms MS] [--json]
   indaas metrics [--addr ADDR] [--recent N] [--prom] [--json]
   indaas top [--addr ADDR] [--interval-ms MS] [--count N] [--plain]
+  indaas trace TRACE_ID [--addr ADDR ...] [--json]
   indaas ping [--addr ADDR]
 
 FILES:
@@ -89,6 +94,7 @@ USAGE:
                [--node NAME] [--round-timeout-ms MS]
                [--collect-interval MS] [--collect-truth FILE]
                [--collect-miss-rate R] [--slow-audit-ms MS]
+               [--log-level LVL] [--log-json]
 
 OPTIONS:
   --listen ADDR          listen address (default 127.0.0.1:4914; port 0 = ephemeral)
@@ -121,6 +127,10 @@ OPTIONS:
   --slow-audit-ms MS     flight-recorder slow threshold: traces at or
                          above MS total are flagged slow in `indaas
                          metrics` (default 1000; 0 flags everything)
+  --log-level LVL        minimum severity the structured logger emits:
+                         error|warn|info|debug (default info)
+  --log-json             log one JSON object per line instead of text
+                         (lines carry trace=/span= stamps either way)
 
 PROTOCOL v2 (hello line, then multiplexed envelopes in binary frames):
   -> {\"Hello\": {\"version\": 2}}               <- {\"Welcome\": {\"version\": 2}}
@@ -189,6 +199,25 @@ OPTIONS:
   --recent N     how many recent traces to fetch (default: server's 32)
   --prom         Prometheus text exposition format (for scraping)
   --json         the raw Metrics response as JSON
+";
+
+const TRACE_USAGE: &str = "\
+indaas trace — fetch one distributed trace and render its span tree
+
+Every v2 request carries a trace context; the daemons record spans for
+dispatch, queue wait, each engine stage, pushed audits and federation
+rounds under it. This command asks each --addr daemon for the spans it
+holds for TRACE_ID and stitches them into one parent/child tree — for a
+federated audit that tree spans every ring daemon.
+
+USAGE:
+  indaas trace TRACE_ID [--addr ADDR ...] [--json]
+
+OPTIONS:
+  TRACE_ID       hex trace id, from `indaas federate` output, a watch
+                 event, or the trace= stamp on any log line
+  --addr ADDR    daemon to query (repeatable; default 127.0.0.1:4914)
+  --json         machine-readable span list
 ";
 
 const TOP_USAGE: &str = "\
@@ -427,6 +456,12 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     if let Some(v) = flags.value("--slow-audit-ms") {
         config.slow_audit_ms = v.parse().map_err(|e| format!("--slow-audit-ms: {e}"))?;
     }
+    if let Some(v) = flags.value("--log-level") {
+        config.log_level = v.parse().map_err(|e| format!("--log-level: {e}"))?;
+    }
+    if flags.has("--log-json") {
+        config.log_json = true;
+    }
     if let Some(dir) = flags.value("--db-dir") {
         config.db_dir = Some(std::path::PathBuf::from(dir));
     }
@@ -472,7 +507,13 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         server.add_collector(Box::new(SimCollector::new("sim", truth, miss_rate, 2014)));
     }
 
-    eprintln!("indaas daemon listening on {}", server.local_addr());
+    // The logger keeps the message (ending in the address) last on the
+    // text line, so tooling that scrapes the banner's trailing token
+    // still finds the bound address.
+    slog::info(
+        "serve",
+        &format!("indaas daemon listening on {}", server.local_addr()),
+    );
     server.run().map_err(|e| format!("serve: {e}"))
 }
 
@@ -501,10 +542,13 @@ fn cmd_watch(args: &[String]) -> Result<(), String> {
         .subscribe(&spec)
         .map_err(|e| format!("subscribing: {e}"))?;
     if !json {
-        eprintln!(
-            "watching {} deployment(s) on {addr} (subscription {})",
-            spec.candidates.len(),
-            subscription.id()
+        slog::info(
+            "watch",
+            &format!(
+                "watching {} deployment(s) on {addr} (subscription {})",
+                spec.candidates.len(),
+                subscription.id()
+            ),
         );
     }
     let mut seen = 0u64;
@@ -528,6 +572,7 @@ fn cmd_watch(args: &[String]) -> Result<(), String> {
                 epoch: u64,
                 cached: bool,
                 elapsed_us: u64,
+                trace_id: Option<String>,
                 report: indaas::sia::AuditReport,
             }
             println!(
@@ -537,6 +582,7 @@ fn cmd_watch(args: &[String]) -> Result<(), String> {
                     epoch: event.epoch,
                     cached: event.cached,
                     elapsed_us: event.elapsed_us,
+                    trace_id: event.trace_id,
                     report: event.report,
                 })
                 .map_err(|e| e.to_string())?
@@ -547,8 +593,13 @@ fn cmd_watch(args: &[String]) -> Result<(), String> {
                 .best()
                 .map(|d| d.name.clone())
                 .unwrap_or_else(|| "<none>".to_string());
+            let trace = event
+                .trace_id
+                .as_deref()
+                .map(|t| format!(" trace={t}"))
+                .unwrap_or_default();
             println!(
-                "[epoch {}] best={best} cached={} elapsed={}us",
+                "[epoch {}] best={best} cached={} elapsed={}us{trace}",
                 event.epoch, event.cached, event.elapsed_us
             );
             for d in &event.report.deployments {
@@ -587,6 +638,7 @@ fn cmd_federate(args: &[String]) -> Result<(), String> {
     }
     let outcome = coordinator.run().map_err(|e| e.to_string())?;
     let psop = &outcome.psop;
+    let trace_id = format_trace_id(outcome.trace.trace_id);
     if flags.has("--json") {
         #[derive(serde::Serialize)]
         struct PartyJson {
@@ -598,6 +650,7 @@ fn cmd_federate(args: &[String]) -> Result<(), String> {
         #[derive(serde::Serialize)]
         struct FederateJson {
             session: u64,
+            trace: String,
             intersection: usize,
             union: usize,
             jaccard: f64,
@@ -607,6 +660,7 @@ fn cmd_federate(args: &[String]) -> Result<(), String> {
         }
         let report = FederateJson {
             session: outcome.session,
+            trace: trace_id,
             intersection: psop.intersection,
             union: psop.union,
             jaccard: psop.jaccard,
@@ -646,8 +700,132 @@ fn cmd_federate(args: &[String]) -> Result<(), String> {
             psop.traffic.total_bytes(),
             psop.traffic.message_count()
         );
+        println!("  trace: {trace_id}   (stitch with `indaas trace {trace_id} --addr PEER ...`)");
     }
     Ok(())
+}
+
+fn cmd_trace(args: &[String]) -> Result<(), String> {
+    let flags = Flags { args };
+    if flags.has("--help") || flags.has("-h") {
+        eprint!("{TRACE_USAGE}");
+        return Ok(());
+    }
+    // One positional TRACE_ID among the flags.
+    let mut id: Option<&str> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => i += 2,
+            "--json" => i += 1,
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown flag {flag:?}\n{TRACE_USAGE}"));
+            }
+            positional => {
+                if id.is_some() {
+                    return Err(format!("more than one TRACE_ID given\n{TRACE_USAGE}"));
+                }
+                id = Some(positional);
+                i += 1;
+            }
+        }
+    }
+    let id = id.ok_or_else(|| format!("missing TRACE_ID\n{TRACE_USAGE}"))?;
+    let trace_id = parse_trace_id(id)
+        .ok_or_else(|| format!("bad trace id {id:?} (expected up to 32 hex digits, nonzero)"))?;
+    let addrs = {
+        let given = flags.values("--addr");
+        if given.is_empty() {
+            vec!["127.0.0.1:4914"]
+        } else {
+            given
+        }
+    };
+
+    // Each daemon returns only the spans it recorded locally; stitching
+    // is purely client-side (span ids are minted once, at the caller,
+    // so parent links line up across daemons).
+    let mut entries: Vec<SpanEntry> = Vec::new();
+    for addr in &addrs {
+        let mut client = Client::connect(addr).map_err(|e| format!("connecting {addr}: {e}"))?;
+        let (_node, spans) = client
+            .fetch_trace(id)
+            .map_err(|e| format!("fetching trace from {addr}: {e}"))?;
+        entries.extend(spans);
+    }
+    if entries.is_empty() {
+        return Err(format!(
+            "no spans recorded for trace {} on {} daemon(s) — traces are held in a bounded \
+             in-memory ring, so old ones age out",
+            format_trace_id(trace_id),
+            addrs.len()
+        ));
+    }
+    if flags.has("--json") {
+        #[derive(serde::Serialize)]
+        struct TraceJson {
+            trace: String,
+            spans: Vec<SpanEntry>,
+        }
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&TraceJson {
+                trace: format_trace_id(trace_id),
+                spans: entries,
+            })
+            .map_err(|e| e.to_string())?
+        );
+        return Ok(());
+    }
+
+    let nodes: std::collections::BTreeSet<&str> = entries.iter().map(|e| e.node.as_str()).collect();
+    println!(
+        "trace {} — {} span(s) across {} node(s)",
+        format_trace_id(trace_id),
+        entries.len(),
+        nodes.len()
+    );
+    let spans: Vec<SpanRecord> = entries
+        .into_iter()
+        .filter_map(|e| {
+            Some(SpanRecord {
+                trace_id: parse_trace_id(&e.trace)?,
+                span_id: e.span_id,
+                parent_span_id: e.parent_span_id,
+                name: e.name,
+                detail: e.detail,
+                node: e.node,
+                start_us: e.start_us,
+                elapsed_us: e.elapsed_us,
+            })
+        })
+        .collect();
+    let mut out = String::new();
+    render_span_nodes(&mut out, &build_span_tree(spans), "");
+    print!("{out}");
+    Ok(())
+}
+
+/// Recursive box-drawing rendering of a stitched span tree.
+fn render_span_nodes(out: &mut String, nodes: &[SpanNode], prefix: &str) {
+    for (i, node) in nodes.iter().enumerate() {
+        let last = i + 1 == nodes.len();
+        let span = &node.span;
+        let detail = if span.detail.is_empty() {
+            String::new()
+        } else {
+            format!("  [{}]", span.detail)
+        };
+        out.push_str(&format!(
+            "{prefix}{}{} ({}) {}us{detail}\n",
+            if last { "└─ " } else { "├─ " },
+            span.name,
+            span.node,
+            span.elapsed_us,
+        ));
+        let child_prefix = format!("{prefix}{}", if last { "   " } else { "│  " });
+        render_span_nodes(out, &node.children, &child_prefix);
+    }
 }
 
 fn cmd_metrics(args: &[String]) -> Result<(), String> {

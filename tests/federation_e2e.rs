@@ -257,12 +257,18 @@ fn handshake_negotiates_version_and_rejects_ancient_peers() {
         .request(&Request::FederateHello {
             version: FEDERATION_PROTOCOL_VERSION + 3,
             node: "test-harness".into(),
+            trace: Some(true),
         })
         .unwrap()
     {
-        Response::FederateWelcome { version, node } => {
+        Response::FederateWelcome {
+            version,
+            node,
+            trace,
+        } => {
             assert_eq!(version, FEDERATION_PROTOCOL_VERSION);
             assert_eq!(node, daemon.addr);
+            assert_eq!(trace, Some(true), "a v2 peer offering tracing gets it");
         }
         other => panic!("expected a welcome, got {other:?}"),
     }
@@ -272,6 +278,7 @@ fn handshake_negotiates_version_and_rejects_ancient_peers() {
         .request(&Request::FederateHello {
             version: 0,
             node: "museum-piece".into(),
+            trace: None,
         })
         .unwrap()
     {
@@ -322,6 +329,7 @@ fn federation_disabled_daemon_answers_with_a_clear_error() {
         .request(&Request::FederateHello {
             version: FEDERATION_PROTOCOL_VERSION,
             node: "n".into(),
+            trace: None,
         })
         .unwrap()
     {
@@ -347,6 +355,158 @@ fn federation_disabled_daemon_answers_with_a_clear_error() {
     let mut client = Client::connect(&addr).unwrap();
     client.shutdown().unwrap();
     handle.join().unwrap().unwrap();
+}
+
+/// The tentpole acceptance: a federated audit leaves ONE stitched trace
+/// behind. Fetching `Trace{id}` from every ring daemon and merging the
+/// answers yields a span tree that spans both daemons, with genuine
+/// cross-daemon parent links: the `fed_frame` spans a daemon records for
+/// frames it *received* are children of the `fed_party` span minted on
+/// the daemon that *sent* them.
+#[test]
+fn federated_audit_yields_one_stitched_trace_across_daemons() {
+    use indaas::obs::{build_span_tree, format_trace_id, parse_trace_id, SpanRecord};
+
+    let daemons: Vec<TestDaemon> = PROVIDER_RECORDS[..2]
+        .iter()
+        .map(|r| boot_daemon(r, &[]))
+        .collect();
+    let peers: Vec<String> = daemons.iter().map(|d| d.addr.clone()).collect();
+    let outcome = FederationCoordinator::new(peers.clone())
+        .run()
+        .expect("federated audit succeeds");
+    let trace_hex = format_trace_id(outcome.trace.trace_id);
+
+    // Pull the spans each daemon recorded under the coordinator's trace.
+    let mut spans: Vec<SpanRecord> = Vec::new();
+    for peer in &peers {
+        let mut client = Client::connect(peer).expect("connect for trace fetch");
+        let (node, entries) = client.fetch_trace(&trace_hex).expect("Trace answered");
+        assert_eq!(&node, peer, "daemon stamps its own address");
+        for e in entries {
+            assert_eq!(e.trace, trace_hex, "daemon only returns the asked trace");
+            assert_eq!(e.node, node, "every span is stamped with its recorder");
+            spans.push(SpanRecord {
+                trace_id: parse_trace_id(&e.trace).expect("hex trace id parses"),
+                span_id: e.span_id,
+                parent_span_id: e.parent_span_id,
+                name: e.name,
+                detail: e.detail,
+                node: e.node,
+                start_us: e.start_us,
+                elapsed_us: e.elapsed_us,
+            });
+        }
+    }
+
+    // Spans from BOTH daemons, under the one trace id.
+    for peer in &peers {
+        assert!(
+            spans.iter().any(|s| &s.node == peer),
+            "no spans recorded on {peer}"
+        );
+    }
+    // Each daemon dispatched the coordinator's FederateStart and ran its
+    // party under it.
+    for name in ["request:FederateStart", "fed_party"] {
+        for peer in &peers {
+            assert!(
+                spans.iter().any(|s| s.name == name && &s.node == peer),
+                "{peer} recorded no {name} span"
+            );
+        }
+    }
+    // Both request spans are siblings under the coordinator's virtual
+    // root span (which no daemon records).
+    let request_parents: Vec<u64> = spans
+        .iter()
+        .filter(|s| s.name == "request:FederateStart")
+        .map(|s| s.parent_span_id)
+        .collect();
+    assert_eq!(request_parents.len(), 2);
+    assert_eq!(
+        request_parents[0], request_parents[1],
+        "both parties hang off the same coordinator root"
+    );
+
+    // The cross-daemon links: every received ring frame is recorded as a
+    // child of the *sending* daemon's fed_party span.
+    let fed_frames: Vec<&SpanRecord> = spans.iter().filter(|s| s.name == "fed_frame").collect();
+    assert!(!fed_frames.is_empty(), "ring frames recorded spans");
+    let mut cross_linked = 0usize;
+    for frame in &fed_frames {
+        let sender = spans
+            .iter()
+            .find(|s| s.name == "fed_party" && s.span_id == frame.parent_span_id)
+            .unwrap_or_else(|| {
+                panic!(
+                    "fed_frame {:#x} has no fed_party parent {:#x}",
+                    frame.span_id, frame.parent_span_id
+                )
+            });
+        if sender.node != frame.node {
+            cross_linked += 1;
+        }
+    }
+    assert!(
+        cross_linked > 0,
+        "at least one frame span must link across daemons"
+    );
+
+    // And the whole thing assembles into one coherent tree: both request
+    // spans end up as roots (their parent is the coordinator's virtual
+    // root), each holding its party's spans beneath it.
+    let total = spans.len();
+    let tree = build_span_tree(spans);
+    assert_eq!(
+        tree.iter().map(|n| n.size()).sum::<usize>(),
+        total,
+        "every span appears in the stitched tree exactly once"
+    );
+    assert!(
+        tree.iter()
+            .any(|root| root.span.name == "request:FederateStart" && !root.children.is_empty()),
+        "request roots carry their party subtrees"
+    );
+
+    shutdown(daemons);
+}
+
+/// A ring forced down to federation protocol v1 negotiates tracing away
+/// (the hex framing has no room for a context) and still completes the
+/// audit without wire errors; the daemons simply record no frame spans.
+#[test]
+fn v1_ring_negotiates_tracing_off_without_wire_errors() {
+    use indaas::obs::format_trace_id;
+
+    let daemons: Vec<TestDaemon> = PROVIDER_RECORDS[..2]
+        .iter()
+        .map(|r| boot_daemon_with_version(r, &[], 1))
+        .collect();
+    let peers: Vec<String> = daemons.iter().map(|d| d.addr.clone()).collect();
+    let outcome = FederationCoordinator::new(peers.clone())
+        .run()
+        .expect("v1 ring still audits cleanly");
+    assert!(outcome.psop.union > 0);
+
+    let trace_hex = format_trace_id(outcome.trace.trace_id);
+    for peer in &peers {
+        let mut client = Client::connect(peer).expect("connect for trace fetch");
+        let (_node, entries) = client.fetch_trace(&trace_hex).expect("Trace answered");
+        // The request/party spans still exist (they ride the v2 client
+        // envelope, not the ring framing) — but no frame ever carried a
+        // context, so no fed_frame spans were recorded anywhere.
+        assert!(
+            entries.iter().any(|e| e.name == "fed_party"),
+            "{peer} still records its party span"
+        );
+        assert!(
+            !entries.iter().any(|e| e.name == "fed_frame"),
+            "{peer} must not record frame spans on a v1 ring"
+        );
+    }
+
+    shutdown(daemons);
 }
 
 #[test]

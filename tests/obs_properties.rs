@@ -100,6 +100,136 @@ proptest! {
     }
 }
 
+mod trace_props {
+    use indaas::obs::{build_span_tree, SpanNode, SpanRecord, TraceContext};
+    use indaas::service::proto::{decode_traced_round_frame, encode_traced_round_frame};
+    use proptest::prelude::*;
+
+    /// A valid wire context from raw draws — ids nonzero where the
+    /// encoding requires (zero is the "absent" sentinel).
+    fn ctx_from(hi: u64, lo: u64, span: u64, parent: u64) -> TraceContext {
+        TraceContext {
+            trace_id: ((hi as u128) << 64 | lo as u128).max(1),
+            span_id: span.max(1),
+            parent_span_id: parent,
+        }
+    }
+
+    /// Flattens a span forest back into records, any order.
+    fn flatten(nodes: &[SpanNode], out: &mut Vec<SpanRecord>) {
+        for node in nodes {
+            out.push(node.span.clone());
+            flatten(&node.children, out);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Both wire forms of the context — the envelope header string
+        /// and the 32-byte frame extension — roundtrip exactly.
+        #[test]
+        fn context_wire_forms_roundtrip(
+            hi in any::<u64>(),
+            lo in any::<u64>(),
+            span in any::<u64>(),
+            parent in any::<u64>(),
+        ) {
+            let ctx = ctx_from(hi, lo, span, parent);
+            let header = ctx.encode_header();
+            prop_assert_eq!(TraceContext::parse_header(&header), Some(ctx));
+            prop_assert_eq!(TraceContext::from_bytes(&ctx.to_bytes()), Some(ctx));
+        }
+
+        /// Arbitrary byte soup never panics the header parser, and
+        /// anything it does accept re-encodes to a header that parses
+        /// to the same context.
+        #[test]
+        fn garbage_headers_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..80)) {
+            let s = String::from_utf8_lossy(&bytes);
+            if let Some(ctx) = TraceContext::parse_header(&s) {
+                prop_assert_eq!(TraceContext::parse_header(&ctx.encode_header()), Some(ctx));
+            }
+        }
+
+        /// Arbitrary bytes never panic the binary round-frame reader,
+        /// and a traced frame roundtrips payload and context — with or
+        /// without the 32-byte extension.
+        #[test]
+        fn frame_reader_survives_garbage_and_roundtrips(
+            garbage in proptest::collection::vec(any::<u8>(), 0..96),
+            session in any::<u64>(),
+            round in 0u32..64,
+            from in 0u32..64,
+            payload in proptest::collection::vec(any::<u8>(), 0..128),
+            traced in any::<bool>(),
+            hi in any::<u64>(),
+            lo in any::<u64>(),
+        ) {
+            // Garbage: any outcome but a panic is acceptable.
+            let _ = decode_traced_round_frame(&garbage);
+
+            let ctx = traced.then(|| ctx_from(hi, lo, hi ^ lo, lo));
+            let frame = encode_traced_round_frame(session, round, from, &payload, ctx.as_ref());
+            let (s, r, f, p, c) = decode_traced_round_frame(&frame).expect("own encoding decodes");
+            prop_assert_eq!(s, session);
+            prop_assert_eq!(r, round);
+            prop_assert_eq!(f, from);
+            prop_assert_eq!(p, payload.as_slice());
+            prop_assert_eq!(c, ctx);
+        }
+
+        /// Span-tree assembly is insertion-order independent: any
+        /// permutation of the records builds the same tree, holding
+        /// every record exactly once.
+        #[test]
+        fn span_tree_is_order_independent(
+            // spans[i]'s parent is an earlier span (or the virtual root
+            // when the draw lands on i itself).
+            parents in proptest::collection::vec(any::<u64>(), 1..24),
+            seed in any::<u64>(),
+        ) {
+            let trace_id = 0xfeedu128;
+            let mut spans: Vec<SpanRecord> = Vec::new();
+            for (i, pick) in parents.iter().enumerate() {
+                let parent = (pick % (i as u64 + 1)) as usize; // in 0..=i
+                spans.push(SpanRecord {
+                    trace_id,
+                    span_id: i as u64 + 1,
+                    parent_span_id: if parent == i { 0 } else { parent as u64 + 1 },
+                    name: format!("span{i}"),
+                    detail: String::new(),
+                    node: String::new(),
+                    start_us: (i as u64) * 10,
+                    elapsed_us: 5,
+                });
+            }
+            let baseline = build_span_tree(spans.clone());
+
+            // A cheap deterministic Fisher–Yates shuffle.
+            let mut shuffled = spans.clone();
+            let mut state = seed | 1;
+            for i in (1..shuffled.len()).rev() {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                shuffled.swap(i, (state >> 33) as usize % (i + 1));
+            }
+            let permuted = build_span_tree(shuffled);
+            prop_assert_eq!(&baseline, &permuted);
+
+            let mut flat = Vec::new();
+            flatten(&baseline, &mut flat);
+            prop_assert_eq!(flat.len(), spans.len());
+            let mut ids: Vec<u64> = flat.iter().map(|s| s.span_id).collect();
+            ids.sort_unstable();
+            let mut expected: Vec<u64> = spans.iter().map(|s| s.span_id).collect();
+            expected.sort_unstable();
+            prop_assert_eq!(ids, expected);
+        }
+    }
+}
+
 mod ring_props {
     use super::*;
 

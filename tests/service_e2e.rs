@@ -1186,3 +1186,75 @@ fn v1_session_serves_metrics_and_extended_status() {
     ));
     daemon.join().unwrap().expect("serve loop");
 }
+
+/// A traced request leaves a span tree behind: the request span recorded
+/// under the caller's context, with queue wait, audit execution and the
+/// engine stages as descendants — and both the explicit `Trace{id}`
+/// fetch and the pushed `AuditEvent.trace_id` expose the trace.
+#[test]
+fn traced_audit_records_spans_and_push_events_carry_trace_ids() {
+    use indaas::obs::{format_trace_id, TraceContext};
+
+    let (addr, daemon) = start_daemon();
+    let mut client = Client::connect(addr).expect("connect");
+    client.ingest(RECORDS).expect("ingest");
+
+    let root = TraceContext::root();
+    let response = client
+        .request_traced(
+            &Request::AuditSia {
+                spec: audit_spec(),
+                timeout_ms: None,
+            },
+            Some(root),
+        )
+        .expect("traced audit");
+    assert!(matches!(response, Response::Sia { .. }));
+
+    let trace_hex = format_trace_id(root.trace_id);
+    let (node, spans) = client.fetch_trace(&trace_hex).expect("Trace answered");
+    assert_eq!(node, addr.to_string());
+    let names: Vec<&str> = spans.iter().map(|s| s.name.as_str()).collect();
+    for name in [
+        "request:AuditSia",
+        "queue_wait",
+        "audit_exec",
+        "graph_build",
+    ] {
+        assert!(names.contains(&name), "missing {name} span in {names:?}");
+    }
+    // The request span is the caller's own context — span ids are minted
+    // once, at the caller, so the tree stitches without translation.
+    let request = spans
+        .iter()
+        .find(|s| s.name == "request:AuditSia")
+        .expect("request span");
+    assert_eq!(request.span_id, root.span_id);
+    // Engine stages hang under the audit execution span.
+    let exec = spans.iter().find(|s| s.name == "audit_exec").expect("exec");
+    let stage = spans
+        .iter()
+        .find(|s| s.name == "graph_build")
+        .expect("stage span");
+    assert_eq!(stage.parent_span_id, exec.span_id);
+
+    // An unknown (but well-formed) trace id answers with zero spans; a
+    // malformed one is a clear error, not a wedge.
+    let (_n, empty) = client.fetch_trace("deadbeef").expect("unknown id ok");
+    assert!(empty.is_empty());
+    assert!(client.fetch_trace("not-hex!").is_err());
+
+    // Pushed audit events carry the trace id of the request that caused
+    // them (here: the Subscribe's own trace, for the initial event).
+    let mut subscription = client.subscribe(&audit_spec()).expect("subscribe");
+    let event = subscription.recv().expect("initial pushed event");
+    let event_trace = event.trace_id.expect("push events are traced");
+    let (_n, push_spans) = client.fetch_trace(&event_trace).expect("push trace");
+    assert!(
+        push_spans.iter().any(|s| s.name == "push"),
+        "push span recorded under the subscriber's trace"
+    );
+
+    client.shutdown().expect("shutdown");
+    daemon.join().unwrap().expect("serve loop");
+}
