@@ -31,6 +31,14 @@
 //!   shards are rebuilt directly; otherwise all records are merged and
 //!   re-routed — which is also the migration path from a different
 //!   `--shards` setting or a hand-edited directory.
+//! * **Corruption is quarantined, not fatal**: a torn or bit-flipped
+//!   segment file is renamed to `<name>.quarantine` and the surviving
+//!   shards are served; a garbled `MANIFEST.json` is quarantined the
+//!   same way and the directory's segment files are rescanned. Only a
+//!   manifest from a *newer* format version still refuses to load —
+//!   that is a deliberate downgrade guard, not corruption.
+//!   [`ShardedDepDb::open_reporting`] surfaces what was set aside in a
+//!   [`LoadReport`] so the daemon can count it.
 //! * **The legacy monolithic format loads transparently**:
 //!   [`ShardedDepDb::open`] accepts a single Table-1 *file* path too,
 //!   routing its records into shards and migrating in place — the file
@@ -78,6 +86,25 @@ pub struct Manifest {
 /// Segment file name for shard `shard`.
 pub fn segment_file(shard: usize) -> String {
     format!("shard-{shard:04}.tbl")
+}
+
+/// What a segmented load set aside instead of serving.
+///
+/// Each entry is the **quarantine destination** (`<original>.quarantine`)
+/// a corrupt segment or manifest was renamed to. An empty report means
+/// the directory loaded cleanly.
+#[derive(Clone, Debug, Default)]
+pub struct LoadReport {
+    /// Files renamed to `*.quarantine` during this load.
+    pub quarantined: Vec<PathBuf>,
+}
+
+/// `<path>.quarantine` — where a corrupt segment or manifest is set
+/// aside so the rest of the directory can be served.
+fn quarantine_path(path: &Path) -> PathBuf {
+    let mut q = path.as_os_str().to_owned();
+    q.push(".quarantine");
+    PathBuf::from(q)
 }
 
 /// Writes `contents` to `path` crash-safely: the bytes go to a unique
@@ -170,6 +197,15 @@ impl ShardedDepDb {
         // flags and rename segments in an order that publishes an older
         // snapshot over a newer one.
         let _saving = self.persist.lock().expect("persist lock poisoned");
+        // Chaos hook: `db.save` fails the save before any dirty flag is
+        // claimed (error/disconnect) or silently skips the tick (drop) —
+        // either way every mutated shard stays dirty and the next tick
+        // retries.
+        match indaas_faultinj::point("db.save") {
+            indaas_faultinj::FaultAction::Pass => {}
+            indaas_faultinj::FaultAction::Drop => return Ok(0),
+            _ => return Err(io::Error::other("injected fault at db.save")),
+        }
         std::fs::create_dir_all(dir)?;
         // Dirty-only mode requires a usable manifest with the same
         // shard count; anything else — missing, corrupt, unreadable,
@@ -221,36 +257,87 @@ impl ShardedDepDb {
     /// count, or a record routed to the wrong segment by a hand edit)
     /// merges and re-routes every record instead.
     ///
+    /// Corrupt files do not abort the load: a torn or bit-flipped
+    /// segment is renamed to `<name>.quarantine` and its shard served
+    /// empty; an unparseable manifest is quarantined too and the
+    /// directory's `shard-NNNN.tbl` files are rescanned directly. Use
+    /// [`Self::load_segments_reporting`] to observe what was set aside.
+    ///
     /// # Errors
     ///
     /// `NotFound` when the directory or manifest is missing; `InvalidData`
-    /// for unparseable manifests, unsupported format versions, or
-    /// malformed segment records; other I/O errors pass through.
+    /// for a manifest from a *newer* format version (downgrade guard);
+    /// other I/O errors pass through.
     pub fn load_segments(dir: impl AsRef<Path>, shards: usize) -> io::Result<ShardedDepDb> {
+        Self::load_segments_reporting(dir, shards).map(|(store, _)| store)
+    }
+
+    /// [`Self::load_segments`] plus the [`LoadReport`] of quarantined
+    /// files, so a daemon boot can count (and log) what it set aside.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::load_segments`].
+    pub fn load_segments_reporting(
+        dir: impl AsRef<Path>,
+        shards: usize,
+    ) -> io::Result<(ShardedDepDb, LoadReport)> {
         let dir = dir.as_ref();
-        let manifest = read_manifest(dir)?;
-        if manifest.format > SEGMENT_FORMAT_VERSION {
-            return Err(invalid_data(format!(
-                "segment format {} is newer than supported {SEGMENT_FORMAT_VERSION}",
-                manifest.format
-            )));
+        // Chaos hook: `db.load` makes boot-time recovery fail outright —
+        // every fault class surfaces as a load error (a disk has no
+        // connection to drop).
+        if indaas_faultinj::point("db.load") != indaas_faultinj::FaultAction::Pass {
+            return Err(io::Error::other("injected fault at db.load"));
         }
-        let segments = load_segment_files(dir, manifest.shards)?;
-        let routed_ok = shards == manifest.shards
+        let mut report = LoadReport::default();
+        let manifest = match read_manifest(dir) {
+            Ok(m) => Some(m),
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                // Garbled table of contents: quarantine it and trust the
+                // segment files, each of which is internally consistent.
+                let mpath = dir.join(MANIFEST_FILE);
+                let q = quarantine_path(&mpath);
+                let _ = std::fs::rename(&mpath, &q);
+                indaas_obs::log::warn(
+                    "persist",
+                    &format!("quarantined corrupt manifest {}: {e}", mpath.display()),
+                );
+                report.quarantined.push(q);
+                None
+            }
+            Err(e) => return Err(e),
+        };
+        let segments_on_disk = match &manifest {
+            Some(m) => {
+                if m.format > SEGMENT_FORMAT_VERSION {
+                    return Err(invalid_data(format!(
+                        "segment format {} is newer than supported {SEGMENT_FORMAT_VERSION}",
+                        m.format
+                    )));
+                }
+                m.shards
+            }
+            None => scan_segment_count(dir)?,
+        };
+        let segments = load_segment_files(dir, segments_on_disk, &mut report)?;
+        let routed_ok = manifest.is_some()
+            && shards == segments_on_disk
             && segments
                 .iter()
                 .enumerate()
                 .all(|(s, records)| records.iter().all(|r| shard_index(r.host(), shards) == s));
         let non_empty = segments.iter().any(|records| !records.is_empty());
-        if routed_ok {
+        let store = if routed_ok {
             let routed: Vec<DepDb> = segments.into_iter().map(DepDb::from_records).collect();
-            Ok(ShardedDepDb::from_routed(routed, Epoch::from(non_empty)))
+            ShardedDepDb::from_routed(routed, Epoch::from(non_empty))
         } else {
-            // Shard-count migration (or a repaired hand edit): one merge
-            // + re-route pass, exactly like seeding from a monolith.
+            // Shard-count migration (or a repaired hand edit, or a lost
+            // manifest): one merge + re-route pass, exactly like seeding
+            // from a monolith.
             let merged = DepDb::from_records(segments.into_iter().flatten());
-            Ok(ShardedDepDb::from_db(merged, shards))
-        }
+            ShardedDepDb::from_db(merged, shards)
+        };
+        Ok((store, report))
     }
 
     /// Opens a dependency store from `path`, whatever its format:
@@ -273,6 +360,19 @@ impl ShardedDepDb {
     /// pass through. A failed migration never loses data: the original
     /// file survives (at its own path or as the `.legacy.bak`).
     pub fn open(path: impl AsRef<Path>, shards: usize) -> io::Result<ShardedDepDb> {
+        Self::open_reporting(path, shards).map(|(store, _)| store)
+    }
+
+    /// [`Self::open`] plus the [`LoadReport`] of files a segmented load
+    /// quarantined (always empty for the legacy/missing-path shapes).
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::open`].
+    pub fn open_reporting(
+        path: impl AsRef<Path>,
+        shards: usize,
+    ) -> io::Result<(ShardedDepDb, LoadReport)> {
         let path = path.as_ref();
         let backup = legacy_backup_path(path);
         if !path.exists() {
@@ -280,21 +380,27 @@ impl ShardedDepDb {
                 // A crash between a migration's rename and its first
                 // segment write left the records only in the backup:
                 // resume instead of silently booting an empty store.
-                return Self::migrate_legacy(path, &backup, shards);
+                return Ok((
+                    Self::migrate_legacy(path, &backup, shards)?,
+                    LoadReport::default(),
+                ));
             }
-            return Ok(ShardedDepDb::new(shards));
+            return Ok((ShardedDepDb::new(shards), LoadReport::default()));
         }
         if path.is_dir() {
             if path.join(MANIFEST_FILE).exists() {
-                return Self::load_segments(path, shards);
+                return Self::load_segments_reporting(path, shards);
             }
             if backup.is_file() {
                 // Partially-written migration target (crash before the
                 // manifest landed): the backup is authoritative; redo.
-                return Self::migrate_legacy(path, &backup, shards);
+                return Ok((
+                    Self::migrate_legacy(path, &backup, shards)?,
+                    LoadReport::default(),
+                ));
             }
             if std::fs::read_dir(path)?.next().is_none() {
-                return Ok(ShardedDepDb::new(shards));
+                return Ok((ShardedDepDb::new(shards), LoadReport::default()));
             }
             return Err(io::Error::new(
                 io::ErrorKind::NotFound,
@@ -310,7 +416,10 @@ impl ShardedDepDb {
         // any point is recovered by the resume branches above on the
         // next open.
         std::fs::rename(path, &backup)?;
-        Self::migrate_legacy(path, &backup, shards)
+        Ok((
+            Self::migrate_legacy(path, &backup, shards)?,
+            LoadReport::default(),
+        ))
     }
 
     /// Loads the legacy monolithic `backup` and writes it as a
@@ -342,17 +451,47 @@ fn read_manifest(dir: &Path) -> io::Result<Manifest> {
     Ok(manifest)
 }
 
+/// Highest `shard-NNNN.tbl` index present in `dir`, plus one — how many
+/// segment slots to scan when the manifest is gone. Quarantine files and
+/// foreign names are ignored.
+fn scan_segment_count(dir: &Path) -> io::Result<usize> {
+    let mut count = 0usize;
+    for entry in std::fs::read_dir(dir)? {
+        let name = entry?.file_name();
+        let name = name.to_string_lossy();
+        if let Some(idx) = name
+            .strip_prefix("shard-")
+            .and_then(|rest| rest.strip_suffix(".tbl"))
+            .and_then(|digits| digits.parse::<usize>().ok())
+        {
+            count = count.max(idx + 1);
+        }
+    }
+    Ok(count)
+}
+
 /// Reads and parses all segment files on a small worker pool (disk and
 /// parse work overlap across segments; restart time is bounded by the
 /// largest shard, not the sum).
-fn load_segment_files(dir: &Path, shards: usize) -> io::Result<Vec<Vec<DependencyRecord>>> {
+///
+/// Corruption is contained per segment: a file that fails to read as
+/// UTF-8 or parse as Table-1 records is renamed to `<name>.quarantine`
+/// (recorded in `report`) and its slot served empty; a *missing* segment
+/// is served empty with a warning (nothing to set aside). Environmental
+/// I/O errors — permissions, dying disk — still abort the load.
+fn load_segment_files(
+    dir: &Path,
+    shards: usize,
+    report: &mut LoadReport,
+) -> io::Result<Vec<Vec<DependencyRecord>>> {
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
         .clamp(1, 8)
-        .min(shards);
+        .min(shards.max(1));
     let next = std::sync::atomic::AtomicUsize::new(0);
     let results: Mutex<Vec<Option<Vec<DependencyRecord>>>> = Mutex::new(vec![None; shards]);
+    let quarantined: Mutex<Vec<PathBuf>> = Mutex::new(Vec::new());
     let first_error: Mutex<Option<io::Error>> = Mutex::new(None);
     std::thread::scope(|scope| {
         for _ in 0..workers {
@@ -366,9 +505,31 @@ fn load_segment_files(dir: &Path, shards: usize) -> io::Result<Vec<Vec<Dependenc
                     parse_records(&text)
                         .map_err(|e| invalid_data(format!("{}: {e}", path.display())))
                 });
-                match parsed {
-                    Ok(records) => {
-                        results.lock().expect("segment results poisoned")[s] = Some(records);
+                let records = match parsed {
+                    Ok(records) => records,
+                    Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                        // Torn, bit-flipped, or hand-mangled: set the
+                        // file aside and serve the shard empty — the
+                        // other shards' records must survive a single
+                        // bad segment.
+                        let q = quarantine_path(&path);
+                        let _ = std::fs::rename(&path, &q);
+                        indaas_obs::log::warn(
+                            "persist",
+                            &format!("quarantined corrupt segment {}: {e}", path.display()),
+                        );
+                        quarantined
+                            .lock()
+                            .expect("quarantine list poisoned")
+                            .push(q);
+                        Vec::new()
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                        indaas_obs::log::warn(
+                            "persist",
+                            &format!("segment {} missing; serving it empty", path.display()),
+                        );
+                        Vec::new()
                     }
                     Err(e) => {
                         first_error
@@ -377,13 +538,17 @@ fn load_segment_files(dir: &Path, shards: usize) -> io::Result<Vec<Vec<Dependenc
                             .get_or_insert(e);
                         return;
                     }
-                }
+                };
+                results.lock().expect("segment results poisoned")[s] = Some(records);
             });
         }
     });
     if let Some(e) = first_error.into_inner().expect("segment error slot") {
         return Err(e);
     }
+    report
+        .quarantined
+        .append(&mut quarantined.into_inner().expect("quarantine list"));
     results
         .into_inner()
         .expect("segment results")
@@ -565,14 +730,11 @@ mod tests {
     }
 
     #[test]
-    fn load_rejects_future_format_and_bad_manifest() {
+    fn load_rejects_future_format_but_recovers_bad_manifest() {
         let dir = temp_dir("badmanifest");
+        // A manifest from a newer format version is a deliberate
+        // downgrade guard: still refused.
         std::fs::create_dir_all(&dir).unwrap();
-        std::fs::write(dir.join(MANIFEST_FILE), "not json").unwrap();
-        assert_eq!(
-            ShardedDepDb::load_segments(&dir, 4).unwrap_err().kind(),
-            io::ErrorKind::InvalidData
-        );
         std::fs::write(
             dir.join(MANIFEST_FILE),
             r#"{"format": 99, "shards": 2, "records": [0, 0]}"#,
@@ -582,6 +744,50 @@ mod tests {
             ShardedDepDb::load_segments(&dir, 4).unwrap_err().kind(),
             io::ErrorKind::InvalidData
         );
+        std::fs::remove_dir_all(&dir).ok();
+        // A *garbled* manifest is corruption, not a version skew: it is
+        // quarantined and the segment files are rescanned directly.
+        let dir = temp_dir("tornmanifest");
+        let store = ShardedDepDb::new(4);
+        store.ingest(sample_records(13));
+        store.save_segments(&dir).unwrap();
+        std::fs::write(dir.join(MANIFEST_FILE), "not json").unwrap();
+        let (back, report) = ShardedDepDb::load_segments_reporting(&dir, 4).unwrap();
+        assert_eq!(back.len(), store.len(), "records survive a torn manifest");
+        assert_eq!(report.quarantined.len(), 1);
+        assert!(dir.join(format!("{MANIFEST_FILE}.quarantine")).exists());
+        // The next save rewrites a clean manifest.
+        back.save_segments(&dir).unwrap();
+        let healed = ShardedDepDb::load_segments(&dir, 4).unwrap();
+        assert_eq!(healed.len(), store.len());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_segment_is_quarantined_and_survivors_served() {
+        let dir = temp_dir("quarantine");
+        let store = ShardedDepDb::new(4);
+        store.ingest(sample_records(13));
+        store.save_segments(&dir).unwrap();
+        // Bit-flip one segment into invalid UTF-8 (a torn page, a bad
+        // disk sector): startup must serve the other three shards.
+        let victim = dir.join(segment_file(1));
+        let victim_len = std::fs::read(&victim).unwrap().len();
+        std::fs::write(&victim, [0xFFu8, 0xFE, 0x00, 0x80]).unwrap();
+        assert!(victim_len > 0);
+        let (back, report) = ShardedDepDb::load_segments_reporting(&dir, 4).unwrap();
+        assert_eq!(report.quarantined.len(), 1);
+        assert!(!victim.exists(), "bad segment renamed away");
+        assert!(quarantine_path(&victim).exists());
+        assert_eq!(back.shard_len(1), 0, "bad shard served empty");
+        let survivors: usize = (0..4).filter(|&s| s != 1).map(|s| store.shard_len(s)).sum();
+        assert_eq!(back.len(), survivors, "surviving shards intact");
+        // Truncated-but-valid-UTF-8 garbage quarantines the same way.
+        let victim = dir.join(segment_file(2));
+        std::fs::write(&victim, "<hw=\"srv-").unwrap();
+        let (_, report) = ShardedDepDb::load_segments_reporting(&dir, 4).unwrap();
+        assert_eq!(report.quarantined.len(), 1);
+        assert!(quarantine_path(&victim).exists());
         std::fs::remove_dir_all(&dir).ok();
     }
 }

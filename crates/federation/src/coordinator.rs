@@ -16,7 +16,7 @@ use indaas_pia::{
     count_final_lists, outcome_from_counts, PsopConfig, PsopOutcome, CIPHERTEXT_BYTES,
 };
 use indaas_service::proto::{decode_payload, Request, Response};
-use indaas_service::Client;
+use indaas_service::{Client, ClientError};
 use indaas_simnet::TrafficStats;
 
 use crate::error::FederationError;
@@ -31,14 +31,44 @@ struct PartyReport {
     wire_sent_bytes: u64,
 }
 
+/// One party that did not complete its rounds, as reported in a
+/// degraded [`FederatedOutcome`].
+#[derive(Clone, Debug)]
+pub struct PartyFailure {
+    /// Ring index of the failed party.
+    pub index: usize,
+    /// The daemon's address, as configured.
+    pub peer: String,
+    /// What went wrong, human-readable.
+    pub error: String,
+    /// `true` when the daemon was alive and *answered* with a failure
+    /// (a refusal, an empty database, a round deadline); `false` when
+    /// it was unreachable — connect failure, dropped connection, or no
+    /// answer at all (the "daemon died mid-round" class).
+    pub reachable: bool,
+}
+
 /// Outcome of a federated private overlap audit.
+///
+/// A run where every party completed carries the full [`PsopOutcome`];
+/// when a strict *minority* of daemons died mid-round the coordinator
+/// returns a **degraded** outcome instead of an all-or-nothing error —
+/// `psop` is `None` (the counting step needs every final list),
+/// `parties_failed` names each party that did not complete and whether
+/// it was reachable, and the surviving ring state is preserved for the
+/// caller to report. [`FederatedOutcome::degraded`] distinguishes the
+/// two shapes.
 #[derive(Clone, Debug)]
 pub struct FederatedOutcome {
     /// Session id the parties ran under.
     pub session: u64,
     /// The P-SOP result with reassembled per-party traffic (parties
     /// `0..k` are the daemons in peer order, party `k` the coordinator).
-    pub psop: PsopOutcome,
+    /// `None` in a degraded outcome: a partial ring cannot produce the
+    /// intersection/union counts.
+    pub psop: Option<PsopOutcome>,
+    /// Parties that failed, in ring order. Empty on a clean run.
+    pub parties_failed: Vec<PartyFailure>,
     /// Bytes each provider daemon actually wrote to its ring successor,
     /// framing included, in peer order. Unlike `psop.traffic` (protocol
     /// payload, identical whatever the framing), this is the number the
@@ -49,6 +79,14 @@ pub struct FederatedOutcome {
     /// `indaas trace <trace_id>` against the ring daemons stitches the
     /// whole audit into one tree.
     pub trace: TraceContext,
+}
+
+impl FederatedOutcome {
+    /// Whether this is a degraded (partial-failure) outcome: at least
+    /// one party failed and no combined P-SOP result exists.
+    pub fn degraded(&self) -> bool {
+        !self.parties_failed.is_empty()
+    }
 }
 
 /// Drives the round structure of a multi-daemon P-SOP exchange.
@@ -92,11 +130,21 @@ impl FederationCoordinator {
     /// the ring cannot make progress unless every party is live), then
     /// the agent counting step over the returned lists.
     ///
+    /// When parties fail *and* the pattern is "a strict minority of
+    /// daemons unreachable" (died mid-round, connection dropped, never
+    /// answered), the coordinator does not abort: it returns `Ok` with
+    /// a degraded [`FederatedOutcome`] naming every failed party — the
+    /// caller decides what a partial ring is worth. Failures with **no**
+    /// unreachable daemon (refusals, empty databases, deadline answers
+    /// from live daemons) and majority-unreachable rings still error:
+    /// those are configuration or total-outage conditions a retry or a
+    /// human must fix.
+    ///
     /// # Errors
     ///
-    /// Configuration errors (fewer than two peers, duplicate addresses),
-    /// connection failures, and any party's remote failure — the first
-    /// error in ring order wins.
+    /// Configuration errors (fewer than two peers, duplicate addresses)
+    /// and non-degradable failure patterns as above — the first error
+    /// in ring order wins.
     pub fn run(&self) -> Result<FederatedOutcome, FederationError> {
         let k = self.peers.len();
         if k < 2 {
@@ -135,10 +183,10 @@ impl FederationCoordinator {
                 .map(|h| h.join().expect("party thread panicked"))
                 .collect()
         });
-        let mut parties = Vec::with_capacity(k);
-        for report in reports {
-            parties.push(report?);
+        if reports.iter().any(|r| r.is_err()) {
+            return self.degrade_or_fail(session, root, reports);
         }
+        let parties: Vec<PartyReport> = reports.into_iter().map(|r| r.unwrap()).collect();
 
         let (intersection, union) =
             count_final_lists(parties.iter().map(|p| p.payload.as_slice()), k);
@@ -154,7 +202,57 @@ impl FederationCoordinator {
         let party_wire_bytes = parties.iter().map(|p| p.wire_sent_bytes).collect();
         Ok(FederatedOutcome {
             session,
-            psop: outcome_from_counts(intersection, union, traffic),
+            psop: Some(outcome_from_counts(intersection, union, traffic)),
+            parties_failed: Vec::new(),
+            party_wire_bytes,
+            trace: root,
+        })
+    }
+
+    /// Decides what a run with failed parties becomes: a degraded
+    /// outcome when a strict minority of daemons was unreachable (the
+    /// partial-failure class the ring should survive *observably*), the
+    /// first error in ring order otherwise.
+    fn degrade_or_fail(
+        &self,
+        session: u64,
+        root: TraceContext,
+        reports: Vec<Result<PartyReport, FederationError>>,
+    ) -> Result<FederatedOutcome, FederationError> {
+        let k = self.peers.len();
+        let unreachable = reports
+            .iter()
+            .filter(|r| matches!(r, Err(e) if !matches!(e, FederationError::Remote(_))))
+            .count();
+        if unreachable == 0 || unreachable * 2 >= k {
+            // No daemon actually died (refusals / deadlines from live
+            // daemons = configuration trouble), or so many died no
+            // "partial" reading is honest — fail loudly.
+            for report in reports {
+                report?;
+            }
+            unreachable!("degrade_or_fail called without a failed report");
+        }
+        let mut parties_failed = Vec::new();
+        let mut party_wire_bytes = Vec::with_capacity(k);
+        for (index, report) in reports.into_iter().enumerate() {
+            match report {
+                Ok(p) => party_wire_bytes.push(p.wire_sent_bytes),
+                Err(e) => {
+                    party_wire_bytes.push(0);
+                    parties_failed.push(PartyFailure {
+                        index,
+                        peer: self.peers[index].clone(),
+                        reachable: matches!(e, FederationError::Remote(_)),
+                        error: e.to_string(),
+                    });
+                }
+            }
+        }
+        Ok(FederatedOutcome {
+            session,
+            psop: None,
+            parties_failed,
             party_wire_bytes,
             trace: root,
         })
@@ -171,8 +269,22 @@ impl FederationCoordinator {
         let mut client = Client::connect(peer)?;
         // A generous socket deadline so a wedged daemon fails the audit
         // instead of hanging the coordinator forever; the per-round
-        // deadlines inside the daemons are the precise control.
-        client.set_read_timeout(Some(self.round_timeout * (self.peers.len() as u32 + 4)))?;
+        // deadlines inside the daemons are the precise control. Budget:
+        // k ring rounds + the agent hop + retry/backoff slack — computed
+        // with checked math so a huge `--round-timeout` cannot wrap into
+        // a tiny (or zero) socket deadline.
+        let hops = u32::try_from(self.peers.len())
+            .unwrap_or(u32::MAX)
+            .saturating_add(4);
+        let socket_deadline = self
+            .round_timeout
+            .checked_mul(hops)
+            .unwrap_or(Duration::MAX);
+        client.set_read_timeout(Some(socket_deadline))?;
+        // The error class must survive to `run`: a `Remote` answer
+        // means the daemon is alive (it *said* no), anything else means
+        // it is unreachable — the distinction the degraded-outcome
+        // decision is built on.
         let response = client
             .request_traced(
                 &Request::FederateStart {
@@ -186,7 +298,18 @@ impl FederationCoordinator {
                 },
                 Some(trace),
             )
-            .map_err(|e| FederationError::Protocol(format!("party {index} ({peer}): {e}")))?;
+            .map_err(|e| match e {
+                ClientError::Remote(m) => {
+                    FederationError::Remote(format!("party {index} ({peer}): {m}"))
+                }
+                ClientError::Io(err) => FederationError::Io(std::io::Error::new(
+                    err.kind(),
+                    format!("party {index} ({peer}): {err}"),
+                )),
+                ClientError::Protocol(m) => {
+                    FederationError::Protocol(format!("party {index} ({peer}): {m}"))
+                }
+            })?;
         match response {
             Response::FederateDone {
                 session: echoed,

@@ -202,13 +202,21 @@ impl FederationEngine for Federation {
         }
 
         // Per-round deadline: the coordinator may only shorten the
-        // server's ceiling. The session-wide token covers every round a
-        // k-party ring can take plus the agent hop.
+        // server's ceiling. The session-wide budget is
+        // `round_timeout × (parties + 2)`: a k-party ring takes k
+        // rounds, plus one for the agent hop and one round of slack —
+        // checked multiplication so an absurd `--round-timeout-ms`
+        // saturates to "no deadline" instead of panicking the party
+        // thread (`parties` is already capped at MAX_PARTIES, so the
+        // u32 add cannot wrap).
         let round_timeout = round_timeout_ms
             .map(Duration::from_millis)
             .unwrap_or(ctx.round_timeout)
             .min(ctx.round_timeout);
-        let token = CancelToken::with_deadline(round_timeout * (parties + 2));
+        let budget = round_timeout
+            .checked_mul(parties + 2)
+            .unwrap_or(Duration::MAX);
+        let token = CancelToken::with_deadline(budget);
 
         let conn =
             PeerConn::dial_with_version(&successor, &self.node, round_timeout, self.offer_version)
@@ -223,7 +231,8 @@ impl FederationEngine for Federation {
             token,
             round_timeout,
         )
-        .with_trace(trace);
+        .with_trace(trace)
+        .with_redial(&successor, &self.node, self.offer_version);
         let config = PsopConfig { seed, multiset };
         let run = run_psop_party(
             &dataset,
@@ -233,6 +242,7 @@ impl FederationEngine for Federation {
             &mut transport,
         );
         self.sessions.remove(session);
+        let (frame_retries, redials) = transport.retry_counts();
         run.map_err(|e| e.to_string())?;
         let (payload, stats, hops, wire_sent_bytes) = transport
             .into_completion()
@@ -243,6 +253,8 @@ impl FederationEngine for Federation {
             sent_msgs: hops.sent_msgs,
             recv_msgs: hops.recv_msgs,
             wire_sent_bytes,
+            frame_retries,
+            redials,
             payload,
         })
     }

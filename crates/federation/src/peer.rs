@@ -11,6 +11,7 @@ use std::net::TcpStream;
 use std::sync::Arc;
 use std::time::Duration;
 
+use indaas_faultinj::FaultAction;
 use indaas_graph::CancelToken;
 use indaas_obs::TraceContext;
 use indaas_service::proto::{
@@ -72,11 +73,21 @@ impl PeerConn {
         timeout: Duration,
         offer: u32,
     ) -> Result<Self, FederationError> {
+        // Chaos hook: an armed `fed.dial` point fails the dial before a
+        // single byte leaves this daemon (any non-pass action refuses).
+        if indaas_faultinj::point("fed.dial") != FaultAction::Pass {
+            return Err(FederationError::Io(std::io::Error::other(
+                "injected fault at fed.dial",
+            )));
+        }
         // `TcpStream::connect` has no deadline of its own — a blackholed
         // successor would wedge the party thread for the OS connect
         // timeout (minutes), far past every protocol deadline.
         let stream = connect_with_timeout(addr, timeout)?;
         stream.set_read_timeout(Some(timeout))?;
+        // The same deadline bounds writes: a peer that stops draining
+        // its socket mid-round fails this party instead of wedging it.
+        stream.set_write_timeout(Some(timeout))?;
         stream.set_nodelay(true)?;
         let writer = stream.try_clone()?;
         let mut reader = BufReader::new(stream);
@@ -169,6 +180,27 @@ impl PeerConn {
                 payload.len()
             )));
         }
+        // Chaos hook: `fed.frame.send` can fail, drop, or sever one
+        // ring hop — the fault classes the transport's retry/backoff
+        // and ring re-dial exist to absorb.
+        match indaas_faultinj::point("fed.frame.send") {
+            FaultAction::Pass => {}
+            FaultAction::Error => {
+                return Err(FederationError::Io(std::io::Error::other(
+                    "injected fault at fed.frame.send",
+                )));
+            }
+            // The frame is lost on the floor but reported sent; the
+            // successor's round deadline is what notices.
+            FaultAction::Drop => return Ok(()),
+            FaultAction::Disconnect => {
+                let _ = self.writer.shutdown(std::net::Shutdown::Both);
+                return Err(FederationError::Io(std::io::Error::new(
+                    std::io::ErrorKind::ConnectionReset,
+                    "injected disconnect at fed.frame.send",
+                )));
+            }
+        }
         if self.version >= 2 {
             let trace = if self.trace_enabled { trace } else { None };
             let frame = encode_traced_round_frame(session, round, from, payload, trace);
@@ -215,6 +247,23 @@ fn connect_with_timeout(addr: &str, timeout: Duration) -> Result<TcpStream, Fede
         .unwrap_or_else(|| FederationError::Config(format!("{addr} resolves to no address"))))
 }
 
+/// Send attempts per frame on one connection before the transport
+/// considers the connection lost: the initial try plus two retries.
+const MAX_SEND_ATTEMPTS: u32 = 3;
+
+/// First retry backoff; doubles per retry (20ms, 40ms), always capped
+/// by the round deadline so retrying can never outlast the round.
+const INITIAL_SEND_BACKOFF: Duration = Duration::from_millis(20);
+
+/// How the transport re-dials its ring successor after send retries on
+/// the original connection are exhausted.
+#[derive(Clone)]
+struct RedialInfo {
+    addr: String,
+    node: String,
+    offer: u32,
+}
+
 /// One party's [`Transport`] view of a federated session: sends to the
 /// ring successor travel the outbound [`PeerConn`]; sends to the agent
 /// (party `k`) are stashed for the coordinator's `FederateDone` answer;
@@ -240,6 +289,19 @@ pub struct TcpRoundTransport {
     /// Messages this party sent / received (protocol hops, agent included).
     counters: HopCounters,
     final_payload: Option<Vec<u8>>,
+    /// Successor coordinates for the one re-dial attempt; `None`
+    /// disables re-dialing (tests driving a raw transport).
+    redial: Option<RedialInfo>,
+    /// Whether the single re-dial attempt has been spent.
+    redialed: bool,
+    /// Frame sends retried after a transient failure.
+    frame_retries: u64,
+    /// Successor re-dials performed (0 or 1).
+    redials: u64,
+    /// Wire bytes written by connections replaced via re-dial, so
+    /// [`TcpRoundTransport::into_completion`] keeps counting every byte
+    /// this party put on the wire.
+    wire_sent_base: u64,
 }
 
 /// Message-count counters mirroring what `FederateDone` reports.
@@ -282,7 +344,32 @@ impl TcpRoundTransport {
             recv_round: 0,
             counters: HopCounters::default(),
             final_payload: None,
+            redial: None,
+            redialed: false,
+            frame_retries: 0,
+            redials: 0,
+            wire_sent_base: 0,
         }
+    }
+
+    /// Arms the one-shot ring re-dial: after send retries on the
+    /// current successor connection are exhausted, the transport dials
+    /// `addr` once more (announcing `node`, offering protocol version
+    /// `offer`) and retries the frame on the fresh connection before
+    /// giving up.
+    #[must_use]
+    pub fn with_redial(
+        mut self,
+        addr: impl Into<String>,
+        node: impl Into<String>,
+        offer: u32,
+    ) -> Self {
+        self.redial = Some(RedialInfo {
+            addr: addr.into(),
+            node: node.into(),
+            offer,
+        });
+        self
     }
 
     /// Sets the `fed_party` span context outgoing frames are stamped
@@ -309,9 +396,76 @@ impl TcpRoundTransport {
     /// the traffic stats, hop counters, and the successor connection's
     /// wire-byte total.
     pub fn into_completion(self) -> Option<(Vec<u8>, TrafficStats, HopCounters, u64)> {
-        let wire = self.successor.wire_sent_bytes();
+        let wire = self.wire_sent_base + self.successor.wire_sent_bytes();
         self.final_payload
             .map(|p| (p, self.stats, self.counters, wire))
+    }
+
+    /// `(frame retries, re-dials)` this transport performed — the
+    /// daemon reports them as `fed_frame_retries_total` /
+    /// `fed_redials_total`.
+    pub fn retry_counts(&self) -> (u64, u64) {
+        (self.frame_retries, self.redials)
+    }
+
+    /// Ships one ring frame with bounded retry: up to
+    /// [`MAX_SEND_ATTEMPTS`] tries on the current connection under
+    /// exponential backoff, then (once per party run) a re-dial of the
+    /// ring successor and a fresh attempt budget on the new connection.
+    fn send_frame_with_retry(
+        &mut self,
+        round: u32,
+        from: u32,
+        payload: &[u8],
+        trace: Option<&TraceContext>,
+    ) -> Result<(), FederationError> {
+        let mut backoff = INITIAL_SEND_BACKOFF;
+        let mut attempts = 0u32;
+        loop {
+            let err = match self
+                .successor
+                .send_frame(self.session, round, from, payload, trace)
+            {
+                Ok(()) => return Ok(()),
+                Err(e) => e,
+            };
+            attempts += 1;
+            if attempts < MAX_SEND_ATTEMPTS {
+                self.frame_retries += 1;
+                std::thread::sleep(backoff.min(self.round_timeout));
+                backoff = backoff.saturating_mul(2);
+                continue;
+            }
+            // Retries on this connection are spent. One ring re-dial
+            // per party run: a successor that crashed and came back (or
+            // whose connection a middlebox severed) gets a second
+            // chance before the party fails the audit.
+            let info = match (&self.redial, self.redialed) {
+                (Some(info), false) => info.clone(),
+                _ => return Err(err),
+            };
+            self.redialed = true;
+            match PeerConn::dial_with_version(
+                &info.addr,
+                &info.node,
+                self.round_timeout,
+                info.offer,
+            ) {
+                Ok(conn) => {
+                    self.redials += 1;
+                    self.wire_sent_base += self.successor.wire_sent_bytes();
+                    self.successor = conn;
+                    attempts = 0;
+                    backoff = INITIAL_SEND_BACKOFF;
+                }
+                Err(dial_err) => {
+                    return Err(FederationError::Io(std::io::Error::other(format!(
+                        "sending to ring successor failed ({err}) and the re-dial \
+                         failed too ({dial_err})"
+                    ))));
+                }
+            }
+        }
     }
 }
 
@@ -342,14 +496,7 @@ impl Transport for TcpRoundTransport {
         // A fresh child per frame: each ring hop is its own span on the
         // receiving daemon, all parented on this party's span.
         let frame_ctx = self.trace.map(|c| c.child());
-        self.successor
-            .send_frame(
-                self.session,
-                self.send_round,
-                from as u32,
-                &payload,
-                frame_ctx.as_ref(),
-            )
+        self.send_frame_with_retry(self.send_round, from as u32, &payload, frame_ctx.as_ref())
             .map_err(|e| TransportError::Closed(e.to_string()))?;
         self.send_round += 1;
         self.stats.record(from, to, bytes);

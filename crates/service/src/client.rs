@@ -231,6 +231,9 @@ struct SessionShared {
     subs: Mutex<SubRoutes>,
     /// Why the reader exited, once it has — every later wait reports it.
     dead: Mutex<Option<String>>,
+    /// Set when the server pushed `ShuttingDown` before the stream
+    /// ended: the session's death is an announced drain, not a loss.
+    clean_shutdown: std::sync::atomic::AtomicBool,
 }
 
 #[derive(Default)]
@@ -332,6 +335,7 @@ impl Client {
             pending: Mutex::new(HashMap::new()),
             subs: Mutex::new(SubRoutes::default()),
             dead: Mutex::new(None),
+            clean_shutdown: std::sync::atomic::AtomicBool::new(false),
         });
         let reader_shared = Arc::clone(&shared);
         let handle = std::thread::spawn(move || reader_loop(&reader_shared, reader));
@@ -773,9 +777,33 @@ impl PendingResponse {
     }
 }
 
+/// How a subscription's event stream came to an end.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SubscriptionEnd {
+    /// The server pushed `ShuttingDown` and drained the session: an
+    /// orderly goodbye, not a failure.
+    CleanShutdown,
+    /// The transport died without an announcement (crash, cut cable,
+    /// protocol violation) — the recorded reader-exit reason.
+    ConnectionLost(String),
+}
+
+impl std::fmt::Display for SubscriptionEnd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubscriptionEnd::CleanShutdown => write!(f, "server shut down cleanly"),
+            SubscriptionEnd::ConnectionLost(reason) => write!(f, "connection lost: {reason}"),
+        }
+    }
+}
+
 /// A live audit subscription: an iterator of pushed [`AuditEvent`]s.
 /// Dropping it stops local delivery; call [`Client::unsubscribe`] to
 /// also stop the daemon from computing events.
+///
+/// When the iterator returns `None` (or `recv` fails), [`Subscription::end`]
+/// tells an announced server shutdown apart from a lost connection — the
+/// difference between exiting zero and reconnecting.
 pub struct Subscription {
     id: u64,
     rx: mpsc::Receiver<AuditEvent>,
@@ -808,6 +836,23 @@ impl Subscription {
             Ok(event) => Ok(Some(event)),
             Err(mpsc::RecvTimeoutError::Timeout) => Ok(None),
             Err(mpsc::RecvTimeoutError::Disconnected) => Err(self.closed()),
+        }
+    }
+
+    /// Terminal state of the session under this subscription: `None`
+    /// while the session is alive, [`SubscriptionEnd::CleanShutdown`]
+    /// when the server announced its drain before the stream ended,
+    /// [`SubscriptionEnd::ConnectionLost`] otherwise.
+    pub fn end(&self) -> Option<SubscriptionEnd> {
+        let reason = self.shared.dead_reason()?;
+        if self
+            .shared
+            .clean_shutdown
+            .load(std::sync::atomic::Ordering::Acquire)
+        {
+            Some(SubscriptionEnd::CleanShutdown)
+        } else {
+            Some(SubscriptionEnd::ConnectionLost(reason))
         }
     }
 
@@ -880,6 +925,16 @@ fn reader_loop(shared: &SessionShared, mut reader: BufReader<TcpStream>) {
                     },
                 ),
                 Response::Error { message } => break format!("server error: {message}"),
+                // The server announces a clean drain before closing;
+                // remember it so terminal states can tell an orderly
+                // shutdown from a cut cable, then keep reading — the
+                // drain may still deliver queued events and responses.
+                Response::ShuttingDown => {
+                    shared
+                        .clean_shutdown
+                        .store(true, std::sync::atomic::Ordering::Release);
+                    continue;
+                }
                 other => break format!("unexpected push: {other:?}"),
             }
             continue;

@@ -97,7 +97,7 @@ pub mod telemetry;
 pub use cache::{job_key, AuditCache, EpochPins};
 pub use client::{
     AuditEvent, Client, ClientError, IngestAnswer, MetricsAnswer, PendingResponse, PiaAnswer,
-    SiaAnswer, StatusAnswer, Subscription, V1Client,
+    SiaAnswer, StatusAnswer, Subscription, SubscriptionEnd, V1Client,
 };
 pub use proto::{
     Envelope, MetricHisto, Request, Response, ResponseEnvelope, SpanEntry, TraceEntry,

@@ -387,6 +387,15 @@ pub enum Response {
     /// histograms and traces are structured (see [`MetricHisto`] and
     /// [`TraceEntry`]). Consumers must ignore names they do not know —
     /// the metric catalog grows without a protocol bump.
+    ///
+    /// The chaos-hardening counters ride that rule: `faults_injected_total`
+    /// (armed `--fault` points that actually fired),
+    /// `fed_frame_retries_total` / `fed_redials_total` (federation frames
+    /// re-sent and ring successors re-dialed after transient faults),
+    /// `fed_party_failures_total` (parties a coordinated round lost,
+    /// reachable or not), and `db_segments_quarantined_total` (torn or
+    /// corrupt persistence segments renamed `*.quarantine` at load so the
+    /// survivors could be served).
     Metrics {
         /// Whole seconds since the daemon started.
         uptime_secs: u64,
@@ -438,7 +447,12 @@ pub enum Response {
         /// when the trigger carried no trace context.
         trace_id: Option<String>,
     },
-    /// Answer to [`Request::Shutdown`].
+    /// Answer to [`Request::Shutdown`] — and, on v2 sessions, also the
+    /// server's *farewell push* (envelope id 0) broadcast to every
+    /// subscribed connection before the listener drains: a subscriber
+    /// that sees this push must treat the following EOF as an orderly
+    /// goodbye (`SubscriptionEnd::CleanShutdown`), not a connection
+    /// loss worth reconnect-hammering.
     ShuttingDown,
     /// Answer to [`Request::FederateHello`]: the negotiated protocol
     /// version and the listener's node identity.
@@ -472,6 +486,25 @@ pub enum Response {
         /// successor — framing included — as opposed to `sent_bytes`,
         /// which counts protocol payload only. Binary framing (peer
         /// protocol ≥ 2) roughly halves this versus hex-in-JSON lines.
+        ///
+        /// Under transient successor faults a party retries each frame
+        /// (bounded, exponential backoff) and may re-dial its successor
+        /// once; bytes burned on failed attempts are *included* here, so
+        /// a retried run legitimately reports more wire bytes than a
+        /// clean one. The retry/redial counts surface as the daemon's
+        /// `fed_frame_retries_total` / `fed_redials_total` counters in
+        /// [`Response::Metrics`], not on this answer — the wire shape is
+        /// unchanged from protocol v2.
+        ///
+        /// A party that cannot finish its rounds answers
+        /// [`Response::Error`] instead; the coordinator classifies that
+        /// as a *reachable* failure (the daemon is alive, the round
+        /// died) versus an unreachable one (dial/transport death), and —
+        /// when unreachable parties are a strict minority — folds both
+        /// into a degraded `FederatedOutcome`: no overlap result, but
+        /// every failed party named with its classification. Each
+        /// coordinating daemon also counts those failures in
+        /// `fed_party_failures_total`.
         wire_sent_bytes: u64,
     },
     /// Answer to [`Request::Trace`]: this daemon's spans of the trace.

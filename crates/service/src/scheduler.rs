@@ -142,6 +142,14 @@ impl Scheduler {
         if self.shared.shutdown.load(Ordering::Acquire) {
             return Err(SubmitError::ShuttingDown);
         }
+        // Chaos hook: `sched.dispatch` makes admission fail exactly like
+        // a full queue (error/drop) or a closing pool (disconnect), so
+        // callers exercise their shed-load paths on a healthy daemon.
+        match indaas_faultinj::point("sched.dispatch") {
+            indaas_faultinj::FaultAction::Pass => {}
+            indaas_faultinj::FaultAction::Disconnect => return Err(SubmitError::ShuttingDown),
+            _ => return Err(SubmitError::QueueFull),
+        }
         let token = match deadline {
             Some(d) => CancelToken::with_deadline(d),
             None => CancelToken::new(),

@@ -121,6 +121,20 @@ pub struct ServeConfig {
     /// Emit log lines as one JSON object per line instead of text
     /// (process-global; applied at bind).
     pub log_json: bool,
+    /// Fault-injection specs (`<point>=<policy>[:prob][:seed]`, see
+    /// `indaas-faultinj`) armed at bind. The registry is
+    /// process-global; this field exists so `serve --fault` arms it
+    /// through the same config surface as everything else. Empty (the
+    /// default) leaves injection entirely off — a single relaxed atomic
+    /// load per point.
+    pub faults: Vec<String>,
+    /// Segment/manifest files the boot-time store load quarantined
+    /// (`*.quarantine`), counted into `db_segments_quarantined_total`
+    /// at bind. [`Server::bind`] fills this in from its own
+    /// [`ShardedDepDb::open_reporting`] call; a caller handing
+    /// [`Server::bind_with_store`] a store it opened itself sets the
+    /// count from its own [`indaas_deps::persist::LoadReport`].
+    pub boot_quarantined: u64,
 }
 
 impl Default for ServeConfig {
@@ -142,6 +156,8 @@ impl Default for ServeConfig {
             slow_audit_ms: 1000,
             log_level: indaas_obs::LogLevel::Info,
             log_json: false,
+            faults: Vec::new(),
+            boot_quarantined: 0,
         }
     }
 }
@@ -200,6 +216,12 @@ pub struct PartyCompletion {
     /// Bytes actually written to the successor socket, framing
     /// included (what the wire-efficiency comparison measures).
     pub wire_sent_bytes: u64,
+    /// Ring frame sends retried after a transient failure (surfaced as
+    /// `fed_frame_retries_total`).
+    pub frame_retries: u64,
+    /// Ring successor re-dials performed, 0 or 1 (surfaced as
+    /// `fed_redials_total`).
+    pub redials: u64,
 }
 
 /// The extension point federated auditing plugs into the daemon.
@@ -303,9 +325,13 @@ impl Server {
     /// # Errors
     ///
     /// Propagates socket bind failures and db-dir load failures.
-    pub fn bind(config: ServeConfig) -> std::io::Result<Self> {
+    pub fn bind(mut config: ServeConfig) -> std::io::Result<Self> {
         let store = match &config.db_dir {
-            Some(dir) => ShardedDepDb::open(dir, config.shards)?,
+            Some(dir) => {
+                let (store, report) = ShardedDepDb::open_reporting(dir, config.shards)?;
+                config.boot_quarantined += report.quarantined.len() as u64;
+                store
+            }
             None => ShardedDepDb::new(config.shards),
         };
         Self::bind_with_store(config, store)
@@ -335,6 +361,37 @@ impl Server {
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
         let telemetry = Arc::new(Telemetry::new(config.slow_audit_ms));
+        // Chaos arming happens before the listener serves anything (the
+        // CLI additionally arms before opening the store, so boot-time
+        // loads are covered too; re-arming is harmless). The observer
+        // hook surfaces each firing as `faults_injected_total`.
+        if !config.faults.is_empty() {
+            for spec in &config.faults {
+                indaas_faultinj::arm(spec)
+                    .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
+            }
+            let injected = Arc::clone(&telemetry.faults_injected_total);
+            indaas_faultinj::set_observer(move |point| {
+                injected.add(1);
+                slog::warn("faultinj", &format!("fault fired at {point}"));
+            });
+            slog::warn(
+                "serve",
+                &format!("fault injection ARMED: {}", config.faults.join(", ")),
+            );
+        }
+        if config.boot_quarantined > 0 {
+            telemetry
+                .db_segments_quarantined_total
+                .add(config.boot_quarantined);
+            slog::warn(
+                "serve",
+                &format!(
+                    "boot-time load quarantined {} corrupt db file(s); serving survivors",
+                    config.boot_quarantined
+                ),
+            );
+        }
         let state = Arc::new(ServiceState {
             scheduler: Scheduler::with_metrics(
                 config.workers,
@@ -654,10 +711,18 @@ fn v2_session_loop(
     let mut sink = std::io::BufWriter::new(writer);
     let writer_handle = std::thread::spawn(move || {
         while let Some(frame) = writer_outbox.pop() {
+            // Chaos hook: `svc.frame.write` can lose one outgoing frame
+            // or sever the connection under the writer.
+            let fault = indaas_faultinj::point("svc.frame.write");
+            if fault == indaas_faultinj::FaultAction::Drop {
+                continue;
+            }
+            let injected_cut = fault != indaas_faultinj::FaultAction::Pass;
             let frame_span = Span::start(Arc::clone(&write_us));
-            let failed = write_frame(&mut sink, &frame)
-                .and_then(|()| sink.flush())
-                .is_err();
+            let failed = injected_cut
+                || write_frame(&mut sink, &frame)
+                    .and_then(|()| sink.flush())
+                    .is_err();
             drop(frame_span);
             if failed {
                 writer_outbox.close();
@@ -666,10 +731,27 @@ fn v2_session_loop(
                 break;
             }
         }
+        // The outbox closed with everything queued now on the wire —
+        // session end, or the shutdown drain closing subscriber
+        // outboxes. Cut the socket so a peer blocked on reads (a
+        // watcher awaiting pushes) sees EOF promptly instead of
+        // hanging on a drained connection.
+        let _ = sink.flush();
+        let _ = sink.get_ref().shutdown(std::net::Shutdown::Both);
     });
     let in_flight = Arc::new(AtomicUsize::new(0));
     let mut buf = Vec::new();
     loop {
+        // Chaos hook: `svc.frame.read` severs the session before the
+        // next frame (error/disconnect) or loses one request after
+        // reading it off the wire (drop).
+        let read_fault = indaas_faultinj::point("svc.frame.read");
+        if matches!(
+            read_fault,
+            indaas_faultinj::FaultAction::Error | indaas_faultinj::FaultAction::Disconnect
+        ) {
+            break;
+        }
         match read_frame(reader, &mut buf, MAX_REQUEST_LINE) {
             Ok(FrameRead::Frame) => {}
             Ok(FrameRead::Eof) | Err(_) => break,
@@ -680,6 +762,9 @@ fn v2_session_loop(
                 ));
                 break; // payload unread: the stream cannot resync
             }
+        }
+        if read_fault == indaas_faultinj::FaultAction::Drop {
+            continue;
         }
         let decode_started = Instant::now();
         let envelope = std::str::from_utf8(&buf)
@@ -1134,6 +1219,16 @@ fn binary_peer_session_loop(
 ) {
     let mut buf = Vec::new();
     loop {
+        // Chaos hook: `svc.frame.read` drops the peer session
+        // (error/disconnect) or loses one round frame after reading it
+        // (drop) — the sender's retry/re-dial path is what recovers.
+        let read_fault = indaas_faultinj::point("svc.frame.read");
+        if matches!(
+            read_fault,
+            indaas_faultinj::FaultAction::Error | indaas_faultinj::FaultAction::Disconnect
+        ) {
+            return;
+        }
         match read_frame(reader, &mut buf, MAX_REQUEST_LINE) {
             Ok(FrameRead::Frame) => {}
             Ok(FrameRead::Eof) | Err(_) => return,
@@ -1144,6 +1239,9 @@ fn binary_peer_session_loop(
                 );
                 return;
             }
+        }
+        if read_fault == indaas_faultinj::FaultAction::Drop {
+            continue;
         }
         let (session, round, from, payload, frame_ctx) = match decode_traced_round_frame(&buf) {
             Ok(frame) => frame,
@@ -1181,6 +1279,20 @@ fn binary_peer_session_loop(
 /// Flags shutdown and pokes the accept loop awake with a throwaway
 /// connection so `run` observes the flag.
 fn initiate_shutdown(state: &ServiceState) {
+    // Broadcast the drain to every subscribed connection *before* the
+    // listener dies: a watcher that receives this push knows the server
+    // is going away cleanly and must not treat the following EOF as a
+    // connection loss worth reconnect-hammering.
+    let farewell = envelope_frame(EVENT_ENVELOPE_ID, Response::ShuttingDown);
+    for outbox in state.subs.subscriber_outboxes() {
+        outbox.push_response(farewell.clone());
+        // Let the writer flush the farewell (and anything queued ahead
+        // of it), then close the outbox: the writer exits after the
+        // drain and severs the connection, so watchers observe a clean
+        // EOF rather than a half-dead session that never ends.
+        outbox.drain(std::time::Duration::from_millis(500));
+        outbox.close();
+    }
     // SeqCst pairs with the mutation gate in `apply_mutation`: the
     // flag store must be totally ordered against in-flight counter
     // updates for the shutdown drain to be exhaustive.
@@ -1304,6 +1416,11 @@ fn federate_start(
                 .fed_wire_bytes_total
                 .add(done.wire_sent_bytes);
             state.telemetry.fed_rounds_total.add(done.sent_msgs);
+            state
+                .telemetry
+                .fed_frame_retries_total
+                .add(done.frame_retries);
+            state.telemetry.fed_redials_total.add(done.redials);
             Response::FederateDone {
                 session,
                 payload: encode_payload(&done.payload),
@@ -1314,7 +1431,10 @@ fn federate_start(
                 wire_sent_bytes: done.wire_sent_bytes,
             }
         }
-        Err(e) => Response::error(format!("federated audit failed: {e}")),
+        Err(e) => {
+            state.telemetry.fed_party_failures_total.inc();
+            Response::error(format!("federated audit failed: {e}"))
+        }
     }
 }
 

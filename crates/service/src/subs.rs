@@ -320,6 +320,22 @@ impl SubscriptionRegistry {
         out
     }
 
+    /// One outbox per distinct connection holding live subscriptions.
+    /// The shutdown path broadcasts its `ShuttingDown` push through
+    /// these, so a watcher can tell a clean server drain from a dropped
+    /// connection.
+    pub fn subscriber_outboxes(&self) -> Vec<Arc<Outbox>> {
+        let inner = self.inner.lock().expect("registry poisoned");
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for entry in inner.values() {
+            if seen.insert(entry.conn) {
+                out.push(Arc::clone(&entry.outbox));
+            }
+        }
+        out
+    }
+
     /// Live subscriptions.
     pub fn len(&self) -> usize {
         self.inner.lock().expect("registry poisoned").len()

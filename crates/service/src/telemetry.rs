@@ -20,6 +20,11 @@
 //! | `db_segment_saves_total` | dirty shard segments persisted |
 //! | `fed_wire_bytes_total` | bytes put on the wire by federation parties |
 //! | `fed_rounds_total` | federation ring messages sent |
+//! | `fed_frame_retries_total` | ring frame sends retried after transient failures |
+//! | `fed_redials_total` | ring successor re-dials after retries were exhausted |
+//! | `fed_party_failures_total` | federation party runs that failed |
+//! | `db_segments_quarantined_total` | torn/garbage segment files quarantined at load |
+//! | `faults_injected_total` | chaos faults fired by the `--fault` harness |
 //!
 //! Gauges (instantaneous; the derived ones are refreshed from their
 //! authoritative sources — shard counters, cache stats, scheduler —
@@ -103,6 +108,11 @@ pub struct Telemetry {
     pub db_segment_saves_total: Arc<Counter>,
     pub fed_wire_bytes_total: Arc<Counter>,
     pub fed_rounds_total: Arc<Counter>,
+    pub fed_frame_retries_total: Arc<Counter>,
+    pub fed_redials_total: Arc<Counter>,
+    pub fed_party_failures_total: Arc<Counter>,
+    pub db_segments_quarantined_total: Arc<Counter>,
+    pub faults_injected_total: Arc<Counter>,
     pub fed_party_us: Arc<Histo>,
 }
 
@@ -160,6 +170,11 @@ impl Telemetry {
             db_segment_saves_total: registry.counter("db_segment_saves_total"),
             fed_wire_bytes_total: registry.counter("fed_wire_bytes_total"),
             fed_rounds_total: registry.counter("fed_rounds_total"),
+            fed_frame_retries_total: registry.counter("fed_frame_retries_total"),
+            fed_redials_total: registry.counter("fed_redials_total"),
+            fed_party_failures_total: registry.counter("fed_party_failures_total"),
+            db_segments_quarantined_total: registry.counter("db_segments_quarantined_total"),
+            faults_injected_total: registry.counter("faults_injected_total"),
             fed_party_us: registry.histo("fed_party_us"),
             registry,
             recorder,

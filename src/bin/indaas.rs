@@ -94,7 +94,7 @@ USAGE:
                [--node NAME] [--round-timeout-ms MS]
                [--collect-interval MS] [--collect-truth FILE]
                [--collect-miss-rate R] [--slow-audit-ms MS]
-               [--log-level LVL] [--log-json]
+               [--log-level LVL] [--log-json] [--fault SPEC ...]
 
 OPTIONS:
   --listen ADDR          listen address (default 127.0.0.1:4914; port 0 = ephemeral)
@@ -131,6 +131,14 @@ OPTIONS:
                          error|warn|info|debug (default info)
   --log-json             log one JSON object per line instead of text
                          (lines carry trace=/span= stamps either way)
+  --fault SPEC           arm a chaos fault point (repeatable), SPEC =
+                         <point>=<policy>[:prob][:seed] with policy one
+                         of error|delay(MS)|drop|disconnect|crash, e.g.
+                         --fault fed.frame.send=error:0.2:7. Points:
+                         svc.frame.read, svc.frame.write, fed.dial,
+                         fed.frame.send, sched.dispatch, db.save,
+                         db.load. Every firing is logged and counted in
+                         faults_injected_total; no --fault = zero cost
 
 PROTOCOL v2 (hello line, then multiplexed envelopes in binary frames):
   -> {\"Hello\": {\"version\": 2}}               <- {\"Welcome\": {\"version\": 2}}
@@ -153,9 +161,15 @@ the deployment's hosts routes to, and pushes the fresh result here the
 moment it is ready — no polling. The first event arrives immediately
 (the current state of the world).
 
+The watcher self-heals: a lost connection re-dials with jittered
+backoff and re-subscribes (detecting and reporting any epochs missed
+while away — the resubscription immediately pulls the fresh state). A
+clean daemon shutdown (announced ShuttingDown drain) exits zero;
+connection loss that exhausts the re-dial budget exits non-zero.
+
 USAGE:
   indaas watch --deploy NAME=S1,S2[,...] [--deploy ...] [--addr ADDR]
-               [--count N] [--timeout-ms MS] [--json]
+               [--count N] [--timeout-ms MS] [--json] [--no-reconnect]
 
 OPTIONS:
   --deploy NAME=S1,S2    candidate deployment to keep audited (repeatable)
@@ -163,6 +177,8 @@ OPTIONS:
   --count N              exit after N pushed events (default: run forever)
   --timeout-ms MS        exit with an error if no event arrives within MS
   --json                 one JSON object per event
+  --no-reconnect         exit non-zero on the first connection loss
+                         instead of re-dialing
 ";
 
 const FEDERATE_USAGE: &str = "\
@@ -182,6 +198,13 @@ OPTIONS:
   --seed N               P-SOP seed shared by all parties (default 20560)
   --round-timeout-ms MS  per-round deadline sent to every daemon (default 10000)
   --json                 machine-readable output
+
+DEGRADED OUTCOMES:
+  When a strict minority of daemons is unreachable mid-round, the
+  coordinator reports a degraded outcome instead of erroring: the failed
+  parties are named (with whether each was reachable), no overlap result
+  is produced, and the exit status is non-zero. JSON output carries
+  \"degraded\": true plus a parties_failed array.
 ";
 
 const METRICS_USAGE: &str = "\
@@ -465,13 +488,28 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     if let Some(dir) = flags.value("--db-dir") {
         config.db_dir = Some(std::path::PathBuf::from(dir));
     }
+    // Fault specs arm *before* the store opens so `db.load` faults
+    // cover boot-time recovery too; bind re-arms the same specs, which
+    // is harmless.
+    config.faults = flags
+        .values("--fault")
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    for spec in &config.faults {
+        indaas::faultinj::arm(spec).map_err(|e| format!("--fault: {e}"))?;
+    }
     // The store opens from --db-dir (segments in parallel; a legacy
     // monolithic file migrates transparently; a missing path starts
-    // empty), then any --records file is layered on top through the
-    // normal ingest path.
+    // empty; corrupt segments are quarantined and counted), then any
+    // --records file is layered on top through the normal ingest path.
     let store = match &config.db_dir {
-        Some(dir) => ShardedDepDb::open(dir, config.shards)
-            .map_err(|e| format!("opening {}: {e}", dir.display()))?,
+        Some(dir) => {
+            let (store, report) = ShardedDepDb::open_reporting(dir, config.shards)
+                .map_err(|e| format!("opening {}: {e}", dir.display()))?;
+            config.boot_quarantined = report.quarantined.len() as u64;
+            store
+        }
         None => ShardedDepDb::new(config.shards),
     };
     if let Some(path) = flags.value("--records") {
@@ -536,81 +574,170 @@ fn cmd_watch(args: &[String]) -> Result<(), String> {
         .transpose()?
         .map(std::time::Duration::from_millis);
     let json = flags.has("--json");
+    let no_reconnect = flags.has("--no-reconnect");
 
-    let mut client = Client::connect(addr).map_err(|e| format!("connecting {addr}: {e}"))?;
-    let mut subscription = client
-        .subscribe(&spec)
-        .map_err(|e| format!("subscribing: {e}"))?;
-    if !json {
-        slog::info(
-            "watch",
-            &format!(
-                "watching {} deployment(s) on {addr} (subscription {})",
-                spec.candidates.len(),
-                subscription.id()
-            ),
-        );
-    }
+    // Watchers self-heal: a lost connection re-dials with jittered
+    // backoff and re-subscribes; an *announced* server shutdown exits
+    // zero. Only the very first connect (and repeated reconnect
+    // failure) is fatal.
+    const MAX_REDIALS: u32 = 5;
     let mut seen = 0u64;
-    loop {
-        // Checked before blocking so `--count 0` exits without waiting
-        // for (or printing) an event.
-        if count.is_some_and(|c| seen >= c) {
-            return Ok(());
-        }
-        let event = match timeout {
-            Some(t) => subscription
-                .recv_timeout(t)
-                .map_err(|e| e.to_string())?
-                .ok_or_else(|| format!("no audit event within {}ms", t.as_millis()))?,
-            None => subscription.recv().map_err(|e| e.to_string())?,
+    let mut last_epoch: Option<u64> = None;
+    let mut first_connect = true;
+    'session: loop {
+        let session = (|| -> Result<(Client, indaas::service::Subscription), String> {
+            let mut client =
+                Client::connect(addr).map_err(|e| format!("connecting {addr}: {e}"))?;
+            let subscription = client
+                .subscribe(&spec)
+                .map_err(|e| format!("subscribing: {e}"))?;
+            Ok((client, subscription))
+        })();
+        let (mut client, mut subscription) = match session {
+            Ok(s) => s,
+            Err(e) if first_connect || no_reconnect => return Err(e),
+            Err(e) => {
+                let mut redials = 1u32;
+                loop {
+                    if redials >= MAX_REDIALS {
+                        return Err(format!("{e} (gave up after {MAX_REDIALS} re-dials)"));
+                    }
+                    std::thread::sleep(reconnect_backoff(redials));
+                    match Client::connect(addr)
+                        .map_err(|err| format!("connecting {addr}: {err}"))
+                        .and_then(|mut c| {
+                            let s = c
+                                .subscribe(&spec)
+                                .map_err(|err| format!("subscribing: {err}"))?;
+                            Ok((c, s))
+                        }) {
+                        Ok(s) => break s,
+                        Err(_) => redials += 1,
+                    }
+                }
+            }
         };
-        if json {
-            #[derive(serde::Serialize)]
-            struct EventJson {
-                subscription: u64,
-                epoch: u64,
-                cached: bool,
-                elapsed_us: u64,
-                trace_id: Option<String>,
-                report: indaas::sia::AuditReport,
-            }
-            println!(
-                "{}",
-                serde_json::to_string(&EventJson {
-                    subscription: event.subscription,
-                    epoch: event.epoch,
-                    cached: event.cached,
-                    elapsed_us: event.elapsed_us,
-                    trace_id: event.trace_id,
-                    report: event.report,
-                })
-                .map_err(|e| e.to_string())?
+        if !json {
+            slog::info(
+                "watch",
+                &format!(
+                    "watching {} deployment(s) on {addr} (subscription {})",
+                    spec.candidates.len(),
+                    subscription.id()
+                ),
             );
-        } else {
-            let best = event
-                .report
-                .best()
-                .map(|d| d.name.clone())
-                .unwrap_or_else(|| "<none>".to_string());
-            let trace = event
-                .trace_id
-                .as_deref()
-                .map(|t| format!(" trace={t}"))
-                .unwrap_or_default();
-            println!(
-                "[epoch {}] best={best} cached={} elapsed={}us{trace}",
-                event.epoch, event.cached, event.elapsed_us
-            );
-            for d in &event.report.deployments {
-                println!(
-                    "  {}: {} unexpected risk group(s)",
-                    d.name, d.unexpected_rgs
-                );
+        }
+        // Epoch-gap detection after a reconnect: if ingest waves landed
+        // while we were away, say so — the subscription's immediate
+        // first event *is* the fresh pull of the current state.
+        if !first_connect {
+            if let (Ok(status), Some(last)) = (client.status(), last_epoch) {
+                if status.epoch > last {
+                    slog::warn(
+                        "watch",
+                        &format!(
+                            "missed epoch(s) {}..{} during reconnect; fresh audit pulled",
+                            last + 1,
+                            status.epoch
+                        ),
+                    );
+                }
             }
         }
-        seen += 1;
+        first_connect = false;
+        loop {
+            // Checked before blocking so `--count 0` exits without
+            // waiting for (or printing) an event.
+            if count.is_some_and(|c| seen >= c) {
+                return Ok(());
+            }
+            let received = match timeout {
+                Some(t) => subscription.recv_timeout(t).map(|e| {
+                    Some(e.ok_or_else(|| format!("no audit event within {}ms", t.as_millis())))
+                }),
+                None => subscription.recv().map(|e| Some(Ok(e))),
+            };
+            let event = match received {
+                Ok(Some(Ok(event))) => event,
+                Ok(Some(Err(timed_out))) => return Err(timed_out),
+                Ok(None) => unreachable!("recv never yields Ok(None)"),
+                Err(_) => match subscription.end() {
+                    Some(indaas::service::SubscriptionEnd::CleanShutdown) => {
+                        slog::info("watch", "server shut down cleanly; exiting");
+                        return Ok(());
+                    }
+                    Some(indaas::service::SubscriptionEnd::ConnectionLost(reason)) => {
+                        if no_reconnect {
+                            return Err(format!("connection lost: {reason}"));
+                        }
+                        slog::warn("watch", &format!("connection lost ({reason}); re-dialing"));
+                        std::thread::sleep(reconnect_backoff(1));
+                        continue 'session;
+                    }
+                    None => return Err("subscription closed".to_string()),
+                },
+            };
+            last_epoch = Some(event.epoch);
+            if json {
+                #[derive(serde::Serialize)]
+                struct EventJson {
+                    subscription: u64,
+                    epoch: u64,
+                    cached: bool,
+                    elapsed_us: u64,
+                    trace_id: Option<String>,
+                    report: indaas::sia::AuditReport,
+                }
+                println!(
+                    "{}",
+                    serde_json::to_string(&EventJson {
+                        subscription: event.subscription,
+                        epoch: event.epoch,
+                        cached: event.cached,
+                        elapsed_us: event.elapsed_us,
+                        trace_id: event.trace_id,
+                        report: event.report,
+                    })
+                    .map_err(|e| e.to_string())?
+                );
+            } else {
+                let best = event
+                    .report
+                    .best()
+                    .map(|d| d.name.clone())
+                    .unwrap_or_else(|| "<none>".to_string());
+                let trace = event
+                    .trace_id
+                    .as_deref()
+                    .map(|t| format!(" trace={t}"))
+                    .unwrap_or_default();
+                println!(
+                    "[epoch {}] best={best} cached={} elapsed={}us{trace}",
+                    event.epoch, event.cached, event.elapsed_us
+                );
+                for d in &event.report.deployments {
+                    println!(
+                        "  {}: {} unexpected risk group(s)",
+                        d.name, d.unexpected_rgs
+                    );
+                }
+            }
+            seen += 1;
+        }
     }
+}
+
+/// Jittered exponential backoff for watch re-dials: 100ms doubling to a
+/// 2s cap, plus up to 100ms of clock-derived jitter so a herd of
+/// watchers does not hammer a restarting daemon in lock-step.
+fn reconnect_backoff(attempt: u32) -> std::time::Duration {
+    let base = std::time::Duration::from_millis(100)
+        .saturating_mul(1u32 << attempt.min(5).saturating_sub(1));
+    let jitter_ms = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| u64::from(d.subsec_nanos()) % 100)
+        .unwrap_or(0);
+    base.min(std::time::Duration::from_secs(2)) + std::time::Duration::from_millis(jitter_ms)
 }
 
 fn cmd_federate(args: &[String]) -> Result<(), String> {
@@ -637,7 +764,7 @@ fn cmd_federate(args: &[String]) -> Result<(), String> {
         coordinator = coordinator.with_round_timeout(std::time::Duration::from_millis(ms));
     }
     let outcome = coordinator.run().map_err(|e| e.to_string())?;
-    let psop = &outcome.psop;
+    let psop = outcome.psop.as_ref();
     let trace_id = format_trace_id(outcome.trace.trace_id);
     if flags.has("--json") {
         #[derive(serde::Serialize)]
@@ -648,32 +775,56 @@ fn cmd_federate(args: &[String]) -> Result<(), String> {
             recv_bytes: u64,
         }
         #[derive(serde::Serialize)]
+        struct PartyFailureJson {
+            party: usize,
+            addr: String,
+            reachable: bool,
+            error: String,
+        }
+        #[derive(serde::Serialize)]
         struct FederateJson {
             session: u64,
             trace: String,
-            intersection: usize,
-            union: usize,
-            jaccard: f64,
-            total_bytes: u64,
-            messages: u64,
+            degraded: bool,
+            intersection: Option<usize>,
+            union: Option<usize>,
+            jaccard: Option<f64>,
+            total_bytes: Option<u64>,
+            messages: Option<u64>,
             parties: Vec<PartyJson>,
+            parties_failed: Vec<PartyFailureJson>,
         }
         let report = FederateJson {
             session: outcome.session,
             trace: trace_id,
-            intersection: psop.intersection,
-            union: psop.union,
-            jaccard: psop.jaccard,
-            total_bytes: psop.traffic.total_bytes(),
-            messages: psop.traffic.message_count(),
-            parties: peers
+            degraded: outcome.degraded(),
+            intersection: psop.map(|p| p.intersection),
+            union: psop.map(|p| p.union),
+            jaccard: psop.map(|p| p.jaccard),
+            total_bytes: psop.map(|p| p.traffic.total_bytes()),
+            messages: psop.map(|p| p.traffic.message_count()),
+            parties: psop
+                .map(|p| {
+                    peers
+                        .iter()
+                        .enumerate()
+                        .map(|(i, addr)| PartyJson {
+                            party: i,
+                            addr: addr.clone(),
+                            sent_bytes: p.traffic.sent_bytes(i),
+                            recv_bytes: p.traffic.recv_bytes(i),
+                        })
+                        .collect()
+                })
+                .unwrap_or_default(),
+            parties_failed: outcome
+                .parties_failed
                 .iter()
-                .enumerate()
-                .map(|(i, p)| PartyJson {
-                    party: i,
-                    addr: p.clone(),
-                    sent_bytes: psop.traffic.sent_bytes(i),
-                    recv_bytes: psop.traffic.recv_bytes(i),
+                .map(|f| PartyFailureJson {
+                    party: f.index,
+                    addr: f.peer.clone(),
+                    reachable: f.reachable,
+                    error: f.error.clone(),
                 })
                 .collect(),
         };
@@ -683,24 +834,52 @@ fn cmd_federate(args: &[String]) -> Result<(), String> {
         );
     } else {
         println!("federated P-SOP session {:#018x}", outcome.session);
-        println!(
-            "  intersection: {}   union: {}   jaccard: {:.4}",
-            psop.intersection, psop.union, psop.jaccard
-        );
-        for (i, p) in peers.iter().enumerate() {
-            println!(
-                "  party {i} ({p}): sent {} B, received {} B",
-                psop.traffic.sent_bytes(i),
-                psop.traffic.recv_bytes(i)
-            );
+        match psop {
+            Some(psop) => {
+                println!(
+                    "  intersection: {}   union: {}   jaccard: {:.4}",
+                    psop.intersection, psop.union, psop.jaccard
+                );
+                for (i, p) in peers.iter().enumerate() {
+                    println!(
+                        "  party {i} ({p}): sent {} B, received {} B",
+                        psop.traffic.sent_bytes(i),
+                        psop.traffic.recv_bytes(i)
+                    );
+                }
+                println!(
+                    "  agent: received {} B   total {} B in {} messages",
+                    psop.traffic.recv_bytes(peers.len()),
+                    psop.traffic.total_bytes(),
+                    psop.traffic.message_count()
+                );
+            }
+            None => {
+                println!("  DEGRADED: no overlap result this round");
+                for f in &outcome.parties_failed {
+                    let kind = if f.reachable {
+                        "reachable, round failed"
+                    } else {
+                        "unreachable"
+                    };
+                    println!("  party {} ({}) {kind}: {}", f.index, f.peer, f.error);
+                }
+            }
         }
-        println!(
-            "  agent: received {} B   total {} B in {} messages",
-            psop.traffic.recv_bytes(peers.len()),
-            psop.traffic.total_bytes(),
-            psop.traffic.message_count()
-        );
         println!("  trace: {trace_id}   (stitch with `indaas trace {trace_id} --addr PEER ...`)");
+    }
+    if outcome.degraded() {
+        let dead: Vec<String> = outcome
+            .parties_failed
+            .iter()
+            .filter(|f| !f.reachable)
+            .map(|f| format!("party {} ({})", f.index, f.peer))
+            .collect();
+        return Err(format!(
+            "federated audit degraded: {} unreachable ({})",
+            dead.len(),
+            dead.join(", ")
+        ));
     }
     Ok(())
 }

@@ -99,7 +99,8 @@ fn three_daemon_audit_matches_simnetwork_run() {
     let outcome = FederationCoordinator::new(peers.clone())
         .run()
         .expect("federated audit succeeds");
-    let got = &outcome.psop;
+    let got = outcome.psop.as_ref().expect("clean run carries a result");
+    assert!(!outcome.degraded(), "clean run must not degrade");
 
     // The audit result is identical...
     assert_eq!(got.intersection, expected.intersection);
@@ -157,28 +158,36 @@ fn binary_framing_cuts_wire_bytes_without_changing_results() {
         shutdown(daemons);
         outcome
     };
-    let hex = run_at(1);
-    let binary = run_at(FEDERATION_PROTOCOL_VERSION);
+    let hex_outcome = run_at(1);
+    let binary_outcome = run_at(FEDERATION_PROTOCOL_VERSION);
+    let hex = hex_outcome.psop.as_ref().expect("hex run carries a result");
+    let binary = binary_outcome
+        .psop
+        .as_ref()
+        .expect("binary run carries a result");
 
     // Byte-identical audit results and payload accounting.
-    assert_eq!(binary.psop.intersection, hex.psop.intersection);
-    assert_eq!(binary.psop.union, hex.psop.union);
-    assert!((binary.psop.jaccard - hex.psop.jaccard).abs() < 1e-12);
+    assert_eq!(binary.intersection, hex.intersection);
+    assert_eq!(binary.union, hex.union);
+    assert!((binary.jaccard - hex.jaccard).abs() < 1e-12);
     for party in 0..=PROVIDER_RECORDS.len() {
         assert_eq!(
-            binary.psop.traffic.sent_bytes(party),
-            hex.psop.traffic.sent_bytes(party),
+            binary.traffic.sent_bytes(party),
+            hex.traffic.sent_bytes(party),
             "protocol payload bytes are framing-independent (party {party})"
         );
     }
 
     // The wire itself is what shrinks: every provider's measured bytes
     // to its ring successor drop ≥ 1.8×.
-    assert_eq!(binary.party_wire_bytes.len(), PROVIDER_RECORDS.len());
-    for (party, (&hex_wire, &bin_wire)) in hex
+    assert_eq!(
+        binary_outcome.party_wire_bytes.len(),
+        PROVIDER_RECORDS.len()
+    );
+    for (party, (&hex_wire, &bin_wire)) in hex_outcome
         .party_wire_bytes
         .iter()
-        .zip(&binary.party_wire_bytes)
+        .zip(&binary_outcome.party_wire_bytes)
         .enumerate()
     {
         assert!(bin_wire > 0, "party {party} sent ring frames");
@@ -204,7 +213,7 @@ fn allow_listed_ring_works_and_unlisted_successor_is_refused() {
     let outcome = FederationCoordinator::new([a.addr.clone(), b.addr.clone(), c.addr.clone()])
         .run()
         .expect("mutually-listed ring runs");
-    assert!(outcome.psop.union > 0);
+    assert!(outcome.psop.expect("listed ring carries a result").union > 0);
 
     // An outsider daemon C refuses to dial (not on its allow-list).
     let outsider = boot_daemon(PROVIDER_RECORDS[0], &[]);
@@ -487,7 +496,7 @@ fn v1_ring_negotiates_tracing_off_without_wire_errors() {
     let outcome = FederationCoordinator::new(peers.clone())
         .run()
         .expect("v1 ring still audits cleanly");
-    assert!(outcome.psop.union > 0);
+    assert!(outcome.psop.expect("listed ring carries a result").union > 0);
 
     let trace_hex = format_trace_id(outcome.trace.trace_id);
     for peer in &peers {
