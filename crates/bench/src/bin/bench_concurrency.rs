@@ -35,12 +35,20 @@
 //!       [--smoke] [--out BENCH_concurrency.json] [--shards 8] [--readers 16]
 //! ```
 
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 use std::time::{Duration, Instant};
 
+use indaas_core::{AuditSpec, CandidateDeployment};
 use indaas_deps::{shard_index, DepView, DependencyRecord, HardwareDep, NetworkDep, ShardedDepDb};
 use indaas_obs::{Counter, Histo, Registry, Span};
+use indaas_service::proto::{
+    decode_line, encode_line, read_frame, write_frame, Envelope, FrameRead, Request, Response,
+    ResponseEnvelope,
+};
+use indaas_service::{Client, ServeConfig, Server};
 use serde::Serialize;
 
 /// How the benchmark drives the store: through one global `RwLock`
@@ -305,6 +313,35 @@ struct InstrumentationOverhead {
 }
 
 #[derive(Serialize)]
+struct ConnScalingPoint {
+    /// Idle v2 subscriber connections held open against the daemon.
+    connections: usize,
+    /// Whole-process OS thread count (`/proc/self/status` `Threads:`,
+    /// server in-process) with all `connections` subscribers idle.
+    os_threads: usize,
+    /// Whole-process resident set (`VmRSS:`), KiB.
+    vm_rss_kib: u64,
+    /// p99 round-trip of a cached `AuditSia` on a separate control
+    /// connection while the subscribers idle, µs — the dashboard-query
+    /// latency the fan-out must not regress.
+    audit_p99_us: f64,
+}
+
+#[derive(Serialize)]
+struct ConnScaling {
+    /// True when captured with `--conn-baseline` (pre-readiness-loop
+    /// thread-per-connection server; scaling gates skipped).
+    baseline_mode: bool,
+    /// Process thread count before the first subscriber connects.
+    idle_threads: usize,
+    /// Reference audit p99 at 64 connections measured against the
+    /// thread-per-connection server before the readiness-loop rewrite
+    /// ([`THREADED_BASELINE_AUDIT_P99_US`]).
+    threaded_baseline_audit_p99_us: f64,
+    points: Vec<ConnScalingPoint>,
+}
+
+#[derive(Serialize)]
 struct BenchReport {
     smoke: bool,
     shards: usize,
@@ -314,6 +351,161 @@ struct BenchReport {
     throughput: Vec<ThroughputPoint>,
     reader_latency: ReaderLatency,
     instrumentation: InstrumentationOverhead,
+    connection_scaling: ConnScaling,
+}
+
+/// Audit p99 at 64 idle connections against the *thread-per-connection*
+/// server, captured with `--conn-baseline` on the trajectory machine
+/// immediately before the readiness-loop rewrite. The full-mode gate
+/// holds the loop server within 2x of this on the same machine class;
+/// smoke mode records but does not gate latency (CI runners vary).
+/// Captured 2026-08-07: 64 conns cost 135 threads / 36.6 MiB RSS and a
+/// 439.4 us audit p99; 1024 conns cost 2055 threads / 73.0 MiB.
+const THREADED_BASELINE_AUDIT_P99_US: f64 = 439.4;
+
+/// Table-1 records the connection-scaling daemon serves audits over.
+const CONN_RECORDS: &str = r#"
+    <src="S1" dst="Internet" route="tor1,core1"/>
+    <src="S1" dst="Internet" route="tor1,core2"/>
+    <src="S2" dst="Internet" route="tor1,core1"/>
+    <src="S2" dst="Internet" route="tor1,core2"/>
+    <src="S3" dst="Internet" route="tor2,core1"/>
+    <src="S3" dst="Internet" route="tor2,core2"/>
+    <hw="S1" type="Disk" dep="S1-disk"/>
+    <hw="S2" type="Disk" dep="S2-disk"/>
+    <hw="S3" type="Disk" dep="S3-disk"/>
+"#;
+
+/// `Threads:` and `VmRSS:` (KiB) from `/proc/self/status`.
+fn proc_threads_and_rss() -> (usize, u64) {
+    let status = std::fs::read_to_string("/proc/self/status").expect("/proc/self/status");
+    let field = |name: &str| {
+        status
+            .lines()
+            .find_map(|l| l.strip_prefix(name))
+            .and_then(|rest| rest.split_whitespace().next())
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or_else(|| panic!("{name} missing from /proc/self/status"))
+    };
+    (field("Threads:") as usize, field("VmRSS:"))
+}
+
+/// Opens one raw-socket v2 session, subscribes to `spec`, and waits for
+/// both the `Subscribed` ack and the initial `AuditEvent` push — after
+/// this returns the daemon holds whatever per-connection state an idle
+/// subscriber costs it. The returned reader keeps the socket open.
+fn open_idle_subscriber(addr: SocketAddr, spec: &AuditSpec) -> BufReader<TcpStream> {
+    let stream = TcpStream::connect(addr).expect("connect subscriber");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut reader = BufReader::new(stream);
+    reader
+        .get_ref()
+        .write_all(format!("{}\n", encode_line(&Request::Hello { version: 2 })).as_bytes())
+        .expect("send hello");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read welcome");
+    assert!(line.contains("Welcome"), "handshake answered: {line}");
+    let envelope = Envelope {
+        id: 1,
+        body: Request::Subscribe {
+            spec: spec.clone(),
+            engine: "sia".to_string(),
+        },
+        trace: None,
+    };
+    write_frame(&mut reader.get_ref(), encode_line(&envelope).as_bytes()).expect("send subscribe");
+    let mut buf = Vec::new();
+    let mut acked = false;
+    let mut pushed = false;
+    while !(acked && pushed) {
+        match read_frame(&mut reader, &mut buf, 16 * 1024 * 1024).expect("read frame") {
+            FrameRead::Frame => {}
+            other => panic!("subscriber stream ended during setup: {other:?}"),
+        }
+        let resp: ResponseEnvelope =
+            decode_line(std::str::from_utf8(&buf).expect("utf8 frame")).expect("decode frame");
+        match (resp.id, resp.body) {
+            (1, Response::Subscribed { .. }) => acked = true,
+            (0, Response::AuditEvent { .. }) => pushed = true,
+            (id, body) => panic!("unexpected setup frame id {id}: {body:?}"),
+        }
+    }
+    reader
+}
+
+/// p99 round-trip (µs) of `samples` cached audits on the control client.
+fn audit_p99_us(client: &mut Client, spec: &AuditSpec, samples: usize) -> f64 {
+    let mut lat: Vec<u64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t = Instant::now();
+        let answer = client.audit_sia(spec, None).expect("audit");
+        lat.push(t.elapsed().as_nanos() as u64);
+        assert!(answer.cached, "scaling-phase audits must be cache hits");
+    }
+    lat.sort_unstable();
+    lat[lat.len() * 99 / 100] as f64 / 1e3
+}
+
+/// Boots an in-process daemon, holds N idle v2 subscribers at each
+/// level (cumulative — connections stay open as the level grows), and
+/// samples thread count, RSS, and control-path audit p99 at each level.
+fn connection_scaling(smoke: bool, baseline: bool) -> ConnScaling {
+    let levels: &[usize] = if smoke { &[16, 64] } else { &[64, 256, 1024] };
+    let p99_samples = if smoke { 100 } else { 400 };
+    let server = Server::bind(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        queue_capacity: 256,
+        max_conns: 2048,
+        ..ServeConfig::default()
+    })
+    .expect("bind scaling daemon");
+    let addr = server.local_addr();
+    let daemon = std::thread::spawn(move || server.run());
+
+    let mut client = Client::connect(addr).expect("connect control");
+    client.ingest(CONN_RECORDS).expect("ingest");
+    let spec = AuditSpec::sia_size_based(vec![
+        CandidateDeployment::replicated("S1+S2", ["S1", "S2"]),
+        CandidateDeployment::replicated("S1+S3", ["S1", "S3"]),
+    ]);
+    // Warm the result cache so every timed round-trip below measures
+    // the wire + dispatch path, not BDD compilation.
+    client.audit_sia(&spec, None).expect("warm audit");
+
+    let (idle_threads, _) = proc_threads_and_rss();
+    let mut subscribers: Vec<BufReader<TcpStream>> = Vec::new();
+    let mut points = Vec::new();
+    for &level in levels {
+        while subscribers.len() < level {
+            subscribers.push(open_idle_subscriber(addr, &spec));
+        }
+        let (os_threads, vm_rss_kib) = proc_threads_and_rss();
+        let p99 = audit_p99_us(&mut client, &spec, p99_samples);
+        eprintln!(
+            "bench_concurrency: {level:>4} idle subscribers | {os_threads:>5} threads | \
+             {vm_rss_kib:>7} KiB RSS | audit p99 {p99:>8.1} us"
+        );
+        points.push(ConnScalingPoint {
+            connections: level,
+            os_threads,
+            vm_rss_kib,
+            audit_p99_us: p99,
+        });
+    }
+
+    client.shutdown().expect("shutdown daemon");
+    drop(subscribers);
+    daemon
+        .join()
+        .expect("serve loop panicked")
+        .expect("serve loop failed");
+    ConnScaling {
+        baseline_mode: baseline,
+        idle_threads,
+        threaded_baseline_audit_p99_us: THREADED_BASELINE_AUDIT_P99_US,
+        points,
+    }
 }
 
 fn main() {
@@ -325,6 +517,7 @@ fn main() {
             .map(|v| v.parse::<usize>().unwrap_or_else(|e| panic!("{name}: {e}")))
     };
     let smoke = args.iter().any(|a| a == "--smoke");
+    let conn_baseline = args.iter().any(|a| a == "--conn-baseline");
     let shards = flag_value("--shards").unwrap_or(8);
     let readers = flag_value("--readers").unwrap_or(16);
     let out = args
@@ -474,6 +667,10 @@ fn main() {
         "instrumented cells must actually have recorded metrics"
     );
 
+    // Connection-scaling phase runs last so the scoped-thread phases
+    // above never share the process with a thousand open sockets.
+    let connection_scaling = connection_scaling(smoke, conn_baseline);
+
     let report = BenchReport {
         smoke,
         shards,
@@ -493,6 +690,7 @@ fn main() {
             ratio: overhead_ratio,
             instrumented_reader_p99_us: instrumented_reader_p99,
         },
+        connection_scaling,
     };
 
     // Acceptance gates, enforced here so CI fails loudly instead of
@@ -561,6 +759,53 @@ fn main() {
          instrumentation broke the wait-free read path",
         inst.instrumented_reader_p99_us
     );
+
+    // Connection-scaling gates: the readiness loop makes subscriber
+    // count a memory-bound number, so OS thread count must be flat in
+    // connection count and the marginal RSS per idle subscriber must be
+    // buffer-sized, not stack-sized. `--conn-baseline` captures the
+    // pre-rewrite thread-per-connection numbers these gates are defined
+    // against, so it records without asserting.
+    let scaling = &report.connection_scaling;
+    if !conn_baseline {
+        let first = scaling.points.first().expect("at least one level");
+        let last = scaling.points.last().expect("at least one level");
+        let thread_growth = last.os_threads.saturating_sub(first.os_threads);
+        assert!(
+            thread_growth <= 8,
+            "daemon grew {thread_growth} OS threads from {} to {} idle subscribers — \
+             thread count must be O(cores), independent of connections",
+            first.connections,
+            last.connections
+        );
+        let per_conn_kib = (last.vm_rss_kib.saturating_sub(first.vm_rss_kib)) as f64
+            / (last.connections - first.connections).max(1) as f64;
+        assert!(
+            per_conn_kib <= 128.0,
+            "marginal RSS {per_conn_kib:.1} KiB per idle subscriber exceeds the 128 KiB \
+             buffer-sized budget ({} KiB at {} conns -> {} KiB at {} conns)",
+            first.vm_rss_kib,
+            first.connections,
+            last.vm_rss_kib,
+            last.connections
+        );
+        // Latency gate only in full mode and only once the threaded
+        // baseline has been calibrated — CI smoke runners are too noisy
+        // for a cross-machine absolute-latency bound.
+        if !smoke && scaling.threaded_baseline_audit_p99_us > 0.0 {
+            let at_64 = scaling
+                .points
+                .iter()
+                .find(|p| p.connections == 64)
+                .expect("full mode measures the 64-connection level");
+            assert!(
+                at_64.audit_p99_us <= scaling.threaded_baseline_audit_p99_us * 2.0,
+                "audit p99 {:.1}us at 64 connections exceeds 2x the threaded baseline {:.1}us",
+                at_64.audit_p99_us,
+                scaling.threaded_baseline_audit_p99_us
+            );
+        }
+    }
 
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write(&out, format!("{json}\n")).expect("write BENCH_concurrency.json");

@@ -1,0 +1,139 @@
+//! The readiness loop's timer wheel: deadlines armed from the loop
+//! thread, popped when due, cancellable in O(log n) amortized.
+//!
+//! Implemented as a lazy-deletion binary heap (a classic timer-wheel
+//! stand-in at daemon scale): `arm` pushes `(deadline, id)`, `cancel`
+//! drops the payload, and expired-but-cancelled heap entries are
+//! skipped when popped. The loop asks [`TimerWheel::next_deadline`] to
+//! bound its `epoll_wait` timeout, so a due timer wakes the loop
+//! exactly on time and an idle loop sleeps forever.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::time::Instant;
+
+/// Handle for cancelling an armed timer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TimerId(u64);
+
+/// Deadline-ordered timers carrying a payload of type `T`.
+pub struct TimerWheel<T> {
+    heap: BinaryHeap<Reverse<(Instant, u64)>>,
+    live: HashMap<u64, T>,
+    next_id: u64,
+}
+
+impl<T> Default for TimerWheel<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> TimerWheel<T> {
+    /// An empty wheel.
+    pub fn new() -> Self {
+        TimerWheel {
+            heap: BinaryHeap::new(),
+            live: HashMap::new(),
+            next_id: 1,
+        }
+    }
+
+    /// Arms a timer to come due at `at`.
+    pub fn arm(&mut self, at: Instant, payload: T) -> TimerId {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.heap.push(Reverse((at, id)));
+        self.live.insert(id, payload);
+        TimerId(id)
+    }
+
+    /// Cancels an armed timer, returning its payload if it had not yet
+    /// fired. The heap entry stays behind and is skipped lazily.
+    pub fn cancel(&mut self, id: TimerId) -> Option<T> {
+        self.live.remove(&id.0)
+    }
+
+    /// The earliest live deadline — what bounds the poll timeout.
+    /// Cancelled stragglers at the top of the heap are discarded here
+    /// so they can never cause a needless early wakeup.
+    pub fn next_deadline(&mut self) -> Option<Instant> {
+        while let Some(&Reverse((at, id))) = self.heap.peek() {
+            if self.live.contains_key(&id) {
+                return Some(at);
+            }
+            self.heap.pop();
+        }
+        None
+    }
+
+    /// Pops one timer due at or before `now`, or `None` when nothing is
+    /// due. Call in a loop to drain a burst.
+    pub fn pop_expired(&mut self, now: Instant) -> Option<(TimerId, T)> {
+        while let Some(&Reverse((at, id))) = self.heap.peek() {
+            if at > now {
+                return None;
+            }
+            self.heap.pop();
+            if let Some(payload) = self.live.remove(&id) {
+                return Some((TimerId(id), payload));
+            }
+        }
+        None
+    }
+
+    /// Live (armed, not yet fired or cancelled) timers.
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// True when no timer is armed.
+    pub fn is_empty(&self) -> bool {
+        self.live.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn fires_in_deadline_order() {
+        let mut w = TimerWheel::new();
+        let t0 = Instant::now();
+        w.arm(t0 + Duration::from_millis(30), "late");
+        w.arm(t0 + Duration::from_millis(10), "early");
+        w.arm(t0 + Duration::from_millis(20), "mid");
+        assert_eq!(w.next_deadline(), Some(t0 + Duration::from_millis(10)));
+        let far = t0 + Duration::from_secs(1);
+        assert_eq!(w.pop_expired(far).unwrap().1, "early");
+        assert_eq!(w.pop_expired(far).unwrap().1, "mid");
+        assert_eq!(w.pop_expired(far).unwrap().1, "late");
+        assert!(w.pop_expired(far).is_none());
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn nothing_due_before_deadline() {
+        let mut w = TimerWheel::new();
+        let t0 = Instant::now();
+        w.arm(t0 + Duration::from_secs(60), ());
+        assert!(w.pop_expired(t0).is_none());
+        assert_eq!(w.len(), 1);
+    }
+
+    #[test]
+    fn cancelled_timers_never_fire_and_never_bound_the_wait() {
+        let mut w = TimerWheel::new();
+        let t0 = Instant::now();
+        let soon = w.arm(t0 + Duration::from_millis(1), "soon");
+        w.arm(t0 + Duration::from_secs(60), "far");
+        assert_eq!(w.cancel(soon), Some("soon"));
+        assert_eq!(w.cancel(soon), None, "double cancel is a no-op");
+        // The cancelled head must not masquerade as the next deadline.
+        assert_eq!(w.next_deadline(), Some(t0 + Duration::from_secs(60)));
+        assert!(w.pop_expired(t0 + Duration::from_secs(1)).is_none());
+        assert_eq!(w.len(), 1);
+    }
+}

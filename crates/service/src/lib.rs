@@ -88,6 +88,8 @@
 
 pub mod cache;
 pub mod client;
+pub mod codec;
+pub mod netloop;
 pub mod proto;
 pub mod scheduler;
 pub mod server;
@@ -103,6 +105,6 @@ pub use proto::{
     Envelope, MetricHisto, Request, Response, ResponseEnvelope, SpanEntry, TraceEntry,
 };
 pub use scheduler::{SchedMetrics, Scheduler, SubmitError};
-pub use server::{ServeConfig, Server};
+pub use server::{ServeConfig, Server, ServerHandle};
 pub use subs::{Outbox, SubscriptionRegistry};
 pub use telemetry::Telemetry;

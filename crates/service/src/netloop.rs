@@ -1,0 +1,1120 @@
+//! The readiness loop: one thread, one `epoll` instance, every client
+//! connection.
+//!
+//! The threaded server spent two OS threads per connection (a blocking
+//! reader plus an outbox-draining writer) and a short-lived thread per
+//! in-flight v2 envelope. This module replaces all of them with a
+//! single loop that owns the listener, every client socket, an eventfd
+//! [`Waker`], and a [`TimerWheel`]:
+//!
+//! - **Reads** append whatever the kernel has ready to a per-connection
+//!   buffer; the incremental codecs ([`crate::codec`]) pop complete
+//!   lines/frames out of it, so byte-at-a-time delivery decodes exactly
+//!   like the old blocking readers.
+//! - **Writes** go through the connection's [`Outbox`] (jobs and push
+//!   audits enqueue fully-framed bytes from worker threads, exactly as
+//!   before) into a [`WriteQueue`] the loop drains on `EPOLLOUT`,
+//!   resuming mid-frame across `WouldBlock`.
+//! - **Requests** that need real work (cache-miss audits) are admitted
+//!   onto the bounded [`Scheduler`](crate::scheduler::Scheduler) pool
+//!   with a [`ResponseSlot`] the job fulfills when done — no thread
+//!   waits for the result. A guard timer answers for a wedged worker;
+//!   a [`CrashGuard`] answers for a panicked one.
+//! - **Timers** absorb the old detached collector thread, per-request
+//!   deadline guards, and subscription push debouncing.
+//!
+//! Federation peer sessions still get a dedicated thread (their ring
+//! protocol is synchronous by design), but they multiplex on the same
+//! listener: the loop parses the `FederateHello`, then hands the socket
+//! plus any already-buffered bytes to the blocking peer loop.
+
+use std::collections::HashMap;
+use std::io::{BufReader, Read};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use indaas_core::{AuditSpec, CancelToken};
+use indaas_netpoll::{Event, Interest, Poller, TimerWheel, Waker};
+use indaas_obs::{log as slog, Span, TraceContext};
+
+use crate::codec::{self, WriteQueue};
+use crate::proto::{
+    decode_line, encode_line, Envelope, Request, Response, EVENT_ENVELOPE_ID, MIN_PROTOCOL_VERSION,
+    PROTOCOL_VERSION,
+};
+use crate::server::{
+    admit_request, envelope_frame, federate_hello, peer_session_loop, register_subscription,
+    request_kind, run_collectors, save_dirty, schedule_push_audit, write_response, AdmitOutcome,
+    ConnGuard, ServiceState, MAX_IN_FLIGHT_REQUESTS, MAX_REQUEST_LINE,
+};
+use crate::subs::Outbox;
+use crate::telemetry::Telemetry;
+
+/// Token the listener is registered under.
+const LISTENER_TOKEN: u64 = 0;
+/// Token the eventfd waker is registered under.
+const WAKER_TOKEN: u64 = 1;
+/// First token handed to a client connection.
+const FIRST_CONN_TOKEN: u64 = 16;
+/// Bytes of pending output past which the loop stops *reading* a
+/// connection — a peer that writes requests faster than it drains
+/// responses gets TCP backpressure instead of unbounded server memory.
+const WRITE_HIGH_WATERMARK: usize = 4 * 1024 * 1024;
+/// Socket-read chunks serviced per readiness event before yielding to
+/// other connections (level-triggered epoll re-reports the remainder).
+const MAX_FILLS_PER_EVENT: usize = 8;
+/// How long the shutdown drain waits for blocked sockets to flush
+/// their final frames before force-closing them.
+const SHUTDOWN_LINGER: Duration = Duration::from_secs(2);
+
+/// The cross-thread face of the loop: worker threads and external
+/// shutdown callers reach the loop only through this.
+pub(crate) struct LoopShared {
+    waker: Waker,
+    /// Connections whose outbox gained a frame (or closed) since the
+    /// loop last drained this list.
+    ready: Mutex<Vec<u64>>,
+    /// Subscription triggers awaiting debounce (only populated when
+    /// [`crate::ServeConfig::push_debounce_ms`] is nonzero).
+    pushes: Mutex<Vec<PendingPush>>,
+}
+
+impl LoopShared {
+    /// Wakes the loop so it re-checks the shutdown flag and its lists.
+    pub(crate) fn wake(&self) {
+        self.waker.wake();
+    }
+
+    fn notify_conn(&self, token: u64) {
+        self.ready
+            .lock()
+            .expect("loop wake list poisoned")
+            .push(token);
+        self.waker.wake();
+    }
+
+    fn take_ready(&self) -> Vec<u64> {
+        std::mem::take(&mut *self.ready.lock().expect("loop wake list poisoned"))
+    }
+
+    /// Queues a subscription trigger for debounced delivery.
+    pub(crate) fn queue_push(&self, push: PendingPush) {
+        self.pushes
+            .lock()
+            .expect("debounce list poisoned")
+            .push(push);
+        self.waker.wake();
+    }
+
+    fn take_pushes(&self) -> Vec<PendingPush> {
+        std::mem::take(&mut *self.pushes.lock().expect("debounce list poisoned"))
+    }
+}
+
+/// A subscription an ingest invalidated, parked until its debounce
+/// timer fires. Coalescing keeps the *earliest* trigger per
+/// subscription: its `origin` is what the push-latency histogram must
+/// measure from.
+pub(crate) struct PendingPush {
+    pub(crate) subscription: u64,
+    pub(crate) spec: AuditSpec,
+    pub(crate) outbox: Arc<Outbox>,
+    pub(crate) origin: Instant,
+    pub(crate) ctx: Option<TraceContext>,
+}
+
+/// How a [`ResponseSlot`] frames its response for the wire.
+pub(crate) enum SlotEncoding {
+    /// A bare v1 response line.
+    V1,
+    /// A v2 response envelope echoing the request id.
+    V2 { id: u64 },
+}
+
+/// One outstanding request's answer-exactly-once cell. Whoever calls
+/// [`ResponseSlot::fulfill`] first — the job, the deadline guard timer,
+/// or the crash guard — wins; later calls are no-ops. Fulfilling
+/// records the dispatch latency and the request span, frames the
+/// response for the session's protocol, and enqueues it on the
+/// connection's outbox (whose notifier wakes the loop).
+pub(crate) struct ResponseSlot {
+    claimed: AtomicBool,
+    outbox: Arc<Outbox>,
+    encoding: SlotEncoding,
+    /// The v2 per-connection in-flight gauge; `None` for v1 (lock-step
+    /// sessions have at most one outstanding request by construction).
+    in_flight: Option<Arc<AtomicUsize>>,
+    ctx: Option<TraceContext>,
+    kind: &'static str,
+    started: Instant,
+    telemetry: Arc<Telemetry>,
+}
+
+impl ResponseSlot {
+    /// Delivers `response` if nothing else has yet; returns whether
+    /// this call was the one that claimed the slot.
+    pub(crate) fn fulfill(&self, response: Response) -> bool {
+        if self.claimed.swap(true, Ordering::SeqCst) {
+            return false;
+        }
+        let elapsed_us = self.started.elapsed().as_micros() as u64;
+        self.telemetry.dispatch_us.record(elapsed_us);
+        if let Some(c) = self.ctx {
+            // The request span uses the wire context's span id directly:
+            // the client minted it, so client and server agree on the id
+            // without a reply header.
+            self.telemetry
+                .spans
+                .record(c, self.kind, String::new(), elapsed_us);
+        }
+        let frame = match self.encoding {
+            SlotEncoding::V1 => codec::line_bytes(&encode_line(&response)),
+            SlotEncoding::V2 { id } => envelope_frame(id, response),
+        };
+        self.outbox.push_response(frame);
+        if let Some(gauge) = &self.in_flight {
+            gauge.fetch_sub(1, Ordering::AcqRel);
+        }
+        true
+    }
+}
+
+/// Fulfills its slot with the crash message when dropped unclaimed —
+/// jobs own one so a panic mid-audit (unwound by the scheduler's
+/// `catch_unwind`) still answers the request, exactly as the old
+/// disconnected-channel path did.
+pub(crate) struct CrashGuard(pub(crate) Arc<ResponseSlot>);
+
+impl Drop for CrashGuard {
+    fn drop(&mut self) {
+        self.0
+            .fulfill(Response::error("audit job crashed; see server log"));
+    }
+}
+
+/// What the loop's timer wheel carries.
+enum TimerEvent {
+    /// Re-run the registered collectors (the old detached collector
+    /// thread, absorbed).
+    Collect,
+    /// A pooled job's deadline-plus-grace guard: answers "audit timed
+    /// out" for a wedged worker and cancels its token.
+    Guard {
+        slot: Arc<ResponseSlot>,
+        token: CancelToken,
+    },
+    /// A debounced subscription trigger came due.
+    Debounce { subscription: u64 },
+    /// The shutdown drain's patience ran out; force-close stragglers.
+    ShutdownLinger,
+}
+
+/// Transport framing state of one connection.
+#[derive(Clone, Copy)]
+enum Mode {
+    /// NDJSON lines: the pre-negotiation greeting and all of a v1
+    /// session's life.
+    Line {
+        /// Whether any effective line has been consumed — `Hello` is
+        /// only legal before this flips.
+        greeted: bool,
+        /// A v1 request is on the pool; line parsing pauses until its
+        /// response pops from the outbox (lock-step, as the blocking
+        /// loop behaved).
+        busy: bool,
+    },
+    /// Negotiated protocol ≥ 2: length-prefixed envelope frames, many
+    /// ids in flight.
+    Frames,
+}
+
+/// One client connection's entire state — what used to live across a
+/// reader thread's stack, a writer thread's stack, and their shared
+/// outbox.
+struct Conn {
+    token: u64,
+    stream: TcpStream,
+    conn_id: u64,
+    outbox: Arc<Outbox>,
+    shed_name: String,
+    inbuf: Vec<u8>,
+    wq: WriteQueue,
+    mode: Mode,
+    interest: Interest,
+    /// Read side is done (EOF, protocol violation, shutdown drain):
+    /// flush the write queue, then close.
+    closing: bool,
+    in_flight: Arc<AtomicUsize>,
+    /// Greeting/v1 lines the loop queued that are still in the outbox.
+    /// The `svc.frame.write` fault covers v2 envelope frames only (the
+    /// threaded server wrote lines outside its writer's fault point),
+    /// and a `Welcome` that flips the mode to `Frames` is pumped
+    /// *after* the flip — this counter is what still identifies it as
+    /// a line.
+    line_frames_queued: usize,
+}
+
+/// What servicing a connection decided about its future.
+enum Verdict {
+    /// Keep serving.
+    Keep,
+    /// Stop reading; deliver what is queued, then close.
+    CloseAfterFlush,
+    /// Tear down now (write error, injected cut, or fully flushed).
+    Close,
+    /// Mode switched mid-buffer (v2 negotiation); reparse the buffer.
+    Rescan,
+    /// `FederateHello` accepted: hand the socket to a peer thread.
+    /// Boxed: the welcome dwarfs the other (payload-free) variants.
+    HandOff {
+        response: Box<Response>,
+        version: u32,
+    },
+}
+
+/// What dispatching one request produced.
+enum Dispatched {
+    /// Answered synchronously (response already in the outbox).
+    Inline { shutdown: bool },
+    /// A pool job or dedicated thread owns the response slot.
+    Async,
+}
+
+/// Runs the readiness loop until shutdown completes. This is
+/// `Server::run`'s core; the caller handles pool teardown and the
+/// final segment saves.
+pub(crate) fn run_loop(listener: TcpListener, state: &Arc<ServiceState>) -> std::io::Result<()> {
+    listener.set_nonblocking(true)?;
+    let poller = Poller::new()?;
+    let waker = Waker::new(&poller, WAKER_TOKEN)?;
+    let shared = Arc::new(LoopShared {
+        waker,
+        ready: Mutex::new(Vec::new()),
+        pushes: Mutex::new(Vec::new()),
+    });
+    *state.loop_shared.lock().expect("loop shared poisoned") = Some(Arc::clone(&shared));
+    poller.add(listener.as_raw_fd(), LISTENER_TOKEN, Interest::READABLE)?;
+    let mut timers = TimerWheel::new();
+    if let Some(interval) = state.config.collect_interval {
+        timers.arm(Instant::now() + interval, TimerEvent::Collect);
+    }
+    let mut el = EventLoop {
+        state,
+        poller,
+        shared,
+        listener,
+        conns: HashMap::new(),
+        next_token: FIRST_CONN_TOKEN,
+        timers,
+        debounce: HashMap::new(),
+        draining: false,
+    };
+    let result = el.serve();
+    *state.loop_shared.lock().expect("loop shared poisoned") = None;
+    result
+}
+
+struct EventLoop<'a> {
+    state: &'a Arc<ServiceState>,
+    poller: Poller,
+    shared: Arc<LoopShared>,
+    listener: TcpListener,
+    conns: HashMap<u64, Conn>,
+    next_token: u64,
+    timers: TimerWheel<TimerEvent>,
+    /// Debounced triggers keyed by subscription: at most one armed
+    /// timer per subscription, earliest trigger wins.
+    debounce: HashMap<u64, PendingPush>,
+    draining: bool,
+}
+
+impl EventLoop<'_> {
+    fn serve(&mut self) -> std::io::Result<()> {
+        let mut events: Vec<Event> = Vec::new();
+        loop {
+            if self.state.shutting_down.load(Ordering::SeqCst) && !self.draining {
+                self.begin_drain();
+            }
+            if self.draining && self.conns.is_empty() {
+                return Ok(());
+            }
+            let timeout = self
+                .timers
+                .next_deadline()
+                .map(|at| at.saturating_duration_since(Instant::now()));
+            let n = self.poller.wait(&mut events, timeout)?;
+            self.state.telemetry.loop_wakeups_total.inc();
+            self.state.telemetry.loop_ready_events.record(n as u64);
+            for ev in events.iter().copied() {
+                match ev.token {
+                    LISTENER_TOKEN => {
+                        if !self.draining {
+                            self.accept_ready()?;
+                        }
+                    }
+                    WAKER_TOKEN => self.shared.waker.drain(),
+                    token => {
+                        if ev.readable || ev.closed {
+                            self.service_read(token);
+                        } else if ev.writable {
+                            self.service_writable(token);
+                        }
+                    }
+                }
+            }
+            for token in self.shared.take_ready() {
+                self.service_writable(token);
+            }
+            self.absorb_pushes();
+            let now = Instant::now();
+            while let Some((_, ev)) = self.timers.pop_expired(now) {
+                self.fire_timer(ev);
+            }
+            self.state
+                .telemetry
+                .conn_registered
+                .set(self.conns.len() as u64);
+            let queued: usize = self.conns.values().map(|c| c.wq.queued_bytes()).sum();
+            self.state.telemetry.write_queue_depth.set(queued as u64);
+        }
+    }
+
+    fn accept_ready(&mut self) -> std::io::Result<()> {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => self.admit_conn(stream),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Ok(()),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn admit_conn(&mut self, stream: TcpStream) {
+        // Frames are a length prefix plus payload in one buffer; with
+        // Nagle on, small writes can stall ~40ms behind a delayed ACK.
+        let _ = stream.set_nodelay(true);
+        if stream.set_nonblocking(true).is_err() {
+            return;
+        }
+        let occupied = self.state.active_conns.fetch_add(1, Ordering::SeqCst) + 1;
+        let max = self.state.config.max_conns;
+        let token = self.next_token;
+        self.next_token += 1;
+        let conn_id = self.state.next_conn_id.fetch_add(1, Ordering::Relaxed);
+        // Sheds on this connection's outbox count both globally and
+        // under a per-connection name, for the connection's lifetime.
+        let shed_name = format!("outbox_shed_conn_{conn_id}");
+        let conn_shed = self.state.telemetry.registry.counter(&shed_name);
+        let outbox = Arc::new(Outbox::with_shed_counters(vec![
+            Arc::clone(&self.state.telemetry.outbox_shed_total),
+            conn_shed,
+        ]));
+        let shared = Arc::clone(&self.shared);
+        outbox.set_notifier(move || shared.notify_conn(token));
+        let mut conn = Conn {
+            token,
+            stream,
+            conn_id,
+            outbox,
+            shed_name,
+            inbuf: Vec::new(),
+            wq: WriteQueue::new(),
+            mode: Mode::Line {
+                greeted: false,
+                busy: false,
+            },
+            interest: Interest::READABLE,
+            closing: false,
+            in_flight: Arc::new(AtomicUsize::new(0)),
+            line_frames_queued: 0,
+        };
+        if occupied > max {
+            // Admission control: one clear error, then the connection is
+            // flushed and dropped before it can claim loop state.
+            push_line(
+                &mut conn,
+                &Response::error(format!(
+                    "connection limit reached ({max} concurrent connections); retry later"
+                )),
+            );
+            conn.closing = true;
+            conn.outbox.close();
+        }
+        if self
+            .poller
+            .add(conn.stream.as_raw_fd(), token, conn.interest)
+            .is_err()
+        {
+            self.destroy(conn);
+            return;
+        }
+        let verdict = self.pump(&mut conn);
+        self.finish(token, conn, verdict);
+    }
+
+    /// Readable (or hung-up) socket: pull bytes, parse, dispatch, then
+    /// pump whatever responses landed inline.
+    fn service_read(&mut self, token: u64) {
+        let Some(mut conn) = self.conns.remove(&token) else {
+            return;
+        };
+        let mut verdict = self.drive_read(&mut conn);
+        if matches!(verdict, Verdict::Keep) {
+            verdict = self.pump(&mut conn);
+        }
+        self.finish(token, conn, verdict);
+    }
+
+    /// Writable socket or outbox notification: drain outbox → write
+    /// queue → socket.
+    fn service_writable(&mut self, token: u64) {
+        let Some(mut conn) = self.conns.remove(&token) else {
+            return;
+        };
+        let verdict = self.pump(&mut conn);
+        self.finish(token, conn, verdict);
+    }
+
+    fn drive_read(&mut self, conn: &mut Conn) -> Verdict {
+        for _ in 0..MAX_FILLS_PER_EVENT {
+            if conn.closing || conn.wq.queued_bytes() > WRITE_HIGH_WATERMARK {
+                return Verdict::Keep;
+            }
+            match codec::fill_buf(&mut conn.stream, &mut conn.inbuf) {
+                Ok(codec::Fill::Bytes(_)) => match self.process_inbuf(conn) {
+                    Verdict::Keep => {}
+                    v => return v,
+                },
+                Ok(codec::Fill::WouldBlock) => return Verdict::Keep,
+                // EOF and read errors end the session the same way the
+                // threaded reader did: stop reading, flush what the
+                // writer still holds, then sever.
+                Ok(codec::Fill::Eof) | Err(_) => return Verdict::CloseAfterFlush,
+            }
+        }
+        Verdict::Keep
+    }
+
+    fn process_inbuf(&mut self, conn: &mut Conn) -> Verdict {
+        loop {
+            let verdict = match conn.mode {
+                Mode::Frames => self.process_frames(conn),
+                Mode::Line { .. } => self.process_lines(conn),
+            };
+            match verdict {
+                Verdict::Rescan => continue,
+                v => return v,
+            }
+        }
+    }
+
+    fn process_frames(&mut self, conn: &mut Conn) -> Verdict {
+        loop {
+            let frame = match codec::try_extract_frame(&mut conn.inbuf, MAX_REQUEST_LINE) {
+                Ok(Some(frame)) => frame,
+                Ok(None) => return Verdict::Keep,
+                Err(codec::DecodeError::Oversized { .. }) => {
+                    conn.outbox.push_response(envelope_frame(
+                        EVENT_ENVELOPE_ID,
+                        Response::error(format!("request frame exceeds {MAX_REQUEST_LINE} bytes")),
+                    ));
+                    return Verdict::CloseAfterFlush; // cannot resync
+                }
+            };
+            // Chaos hook: `svc.frame.read` severs the session at the
+            // next frame (error/disconnect) or loses one request after
+            // reading it off the wire (drop).
+            let read_fault = indaas_faultinj::point("svc.frame.read");
+            if matches!(
+                read_fault,
+                indaas_faultinj::FaultAction::Error | indaas_faultinj::FaultAction::Disconnect
+            ) {
+                return Verdict::CloseAfterFlush;
+            }
+            if read_fault == indaas_faultinj::FaultAction::Drop {
+                continue;
+            }
+            match self.handle_envelope(conn, &frame) {
+                Verdict::Keep => {}
+                v => return v,
+            }
+        }
+    }
+
+    fn handle_envelope(&mut self, conn: &mut Conn, buf: &[u8]) -> Verdict {
+        let state = self.state;
+        let decode_started = Instant::now();
+        let envelope = std::str::from_utf8(buf)
+            .map_err(|e| e.to_string())
+            .and_then(|text| decode_line::<Envelope>(text).map_err(|e| e.to_string()));
+        state
+            .telemetry
+            .envelope_decode_us
+            .record(decode_started.elapsed().as_micros() as u64);
+        let Envelope { id, body, trace } = match envelope {
+            Ok(envelope) => envelope,
+            Err(e) => {
+                // v2 frames come only from machine encoders; an
+                // unparseable envelope is a broken peer, not a typo —
+                // answer once and drop.
+                conn.outbox.push_response(envelope_frame(
+                    EVENT_ENVELOPE_ID,
+                    Response::error(format!("malformed envelope: {e}")),
+                ));
+                return Verdict::CloseAfterFlush;
+            }
+        };
+        if id == EVENT_ENVELOPE_ID {
+            conn.outbox.push_response(envelope_frame(
+                EVENT_ENVELOPE_ID,
+                Response::error("envelope id 0 is reserved for server pushes"),
+            ));
+            return Verdict::CloseAfterFlush;
+        }
+        state.telemetry.requests_total.inc();
+        // An unparseable header is treated as absent, not fatal: trace
+        // context is advisory metadata and can never poison a request.
+        let ctx = trace.as_deref().and_then(TraceContext::parse_header);
+        match body {
+            Request::Hello { .. } => {
+                conn.outbox.push_response(envelope_frame(
+                    id,
+                    Response::error("session version is already negotiated"),
+                ));
+            }
+            Request::Subscribe { spec, engine } => {
+                let started = Instant::now();
+                match register_subscription(state, spec, &engine, &conn.outbox, conn.conn_id) {
+                    Ok((subscription, spec)) => {
+                        // Response first, then the initial audit: the
+                        // outbox is FIFO, so `Subscribed` reaches the
+                        // wire before the first `AuditEvent` can.
+                        conn.outbox.push_response(envelope_frame(
+                            id,
+                            Response::Subscribed { subscription },
+                        ));
+                        schedule_push_audit(
+                            state,
+                            subscription,
+                            spec,
+                            Arc::clone(&conn.outbox),
+                            Instant::now(),
+                            ctx,
+                        );
+                    }
+                    Err(message) => {
+                        conn.outbox
+                            .push_response(envelope_frame(id, Response::error(message)));
+                    }
+                }
+                if let Some(c) = ctx {
+                    state.telemetry.spans.record(
+                        c,
+                        "request:Subscribe",
+                        String::new(),
+                        started.elapsed().as_micros() as u64,
+                    );
+                }
+            }
+            Request::Unsubscribe { subscription } => {
+                let response = match state.subs.unregister(subscription, conn.conn_id) {
+                    Ok(()) => Response::Unsubscribed { subscription },
+                    Err(e) => Response::error(e),
+                };
+                conn.outbox.push_response(envelope_frame(id, response));
+            }
+            Request::Shutdown => {
+                conn.outbox
+                    .push_response(envelope_frame(id, Response::ShuttingDown));
+                // SeqCst pairs with the mutation gate in
+                // `apply_mutation`; the drain begins at the top of the
+                // next loop iteration, after this ack is queued.
+                state.shutting_down.store(true, Ordering::SeqCst);
+                return Verdict::CloseAfterFlush;
+            }
+            request => {
+                if conn.in_flight.load(Ordering::Acquire) >= MAX_IN_FLIGHT_REQUESTS {
+                    conn.outbox.push_response(envelope_frame(
+                        id,
+                        Response::error(format!(
+                            "too many in-flight requests (max {MAX_IN_FLIGHT_REQUESTS})"
+                        )),
+                    ));
+                    return Verdict::Keep;
+                }
+                conn.in_flight.fetch_add(1, Ordering::AcqRel);
+                let slot = Arc::new(ResponseSlot {
+                    claimed: AtomicBool::new(false),
+                    outbox: Arc::clone(&conn.outbox),
+                    encoding: SlotEncoding::V2 { id },
+                    in_flight: Some(Arc::clone(&conn.in_flight)),
+                    ctx,
+                    kind: request_kind(&request),
+                    started: Instant::now(),
+                    telemetry: Arc::clone(&state.telemetry),
+                });
+                // v2 multiplexes: the shutdown flag from a request body
+                // is impossible here (Shutdown was intercepted above).
+                let _ = self.dispatch(request, ctx, slot);
+            }
+        }
+        Verdict::Keep
+    }
+
+    fn process_lines(&mut self, conn: &mut Conn) -> Verdict {
+        loop {
+            let Mode::Line { greeted, busy } = conn.mode else {
+                return Verdict::Rescan;
+            };
+            if busy {
+                // Lock-step: the pool owns the current request; the
+                // pump resumes parsing when its response pops.
+                return Verdict::Keep;
+            }
+            let line = match codec::try_extract_line(&mut conn.inbuf, MAX_REQUEST_LINE) {
+                Ok(Some(Ok(line))) => line,
+                // Invalid UTF-8: the blocking reader dropped such
+                // connections silently; so does the loop.
+                Ok(Some(Err(_))) => return Verdict::CloseAfterFlush,
+                Ok(None) => return Verdict::Keep,
+                Err(codec::DecodeError::Oversized { .. }) => {
+                    push_line(
+                        conn,
+                        &Response::error(format!("request line exceeds {MAX_REQUEST_LINE} bytes")),
+                    );
+                    return Verdict::CloseAfterFlush; // cannot resync mid-line
+                }
+            };
+            if line.trim().is_empty() {
+                continue;
+            }
+            let request = match decode_line::<Request>(line.trim()) {
+                Ok(request) => request,
+                Err(e) => {
+                    conn.mode = Mode::Line {
+                        greeted: true,
+                        busy: false,
+                    };
+                    push_line(conn, &Response::error(format!("malformed request: {e}")));
+                    continue;
+                }
+            };
+            // A peer handshake re-tags this connection: hand the socket
+            // (and any bytes already buffered behind the hello) to the
+            // blocking peer loop — audits and federation share one
+            // listener, exactly as before.
+            if let Request::FederateHello {
+                version,
+                node,
+                trace,
+            } = request
+            {
+                let response = federate_hello(self.state, version, &node, trace == Some(true));
+                let negotiated = match &response {
+                    Response::FederateWelcome { version, .. } => Some(*version),
+                    _ => None,
+                };
+                return match negotiated {
+                    Some(version) => Verdict::HandOff {
+                        response: Box::new(response),
+                        version,
+                    },
+                    None => {
+                        push_line(conn, &response);
+                        Verdict::CloseAfterFlush
+                    }
+                };
+            }
+            // A protocol hello, valid only as the first line, negotiates
+            // the session version: ≥ 2 switches to multiplexed binary
+            // frames, 1 stays right here in the lock-step line mode.
+            if let Request::Hello { version } = request {
+                if greeted {
+                    push_line(
+                        conn,
+                        &Response::error("Hello must be the first line of a connection"),
+                    );
+                    continue;
+                }
+                conn.mode = Mode::Line {
+                    greeted: true,
+                    busy: false,
+                };
+                if version < MIN_PROTOCOL_VERSION {
+                    push_line(
+                        conn,
+                        &Response::error(format!(
+                            "protocol version {version} below supported minimum \
+                             {MIN_PROTOCOL_VERSION}"
+                        )),
+                    );
+                    return Verdict::CloseAfterFlush;
+                }
+                let negotiated = version.min(PROTOCOL_VERSION);
+                push_line(
+                    conn,
+                    &Response::Welcome {
+                        version: negotiated,
+                    },
+                );
+                slog::debug(
+                    "server",
+                    &format!(
+                        "session negotiated protocol v{negotiated} (client offered v{version})"
+                    ),
+                );
+                if negotiated >= 2 {
+                    conn.mode = Mode::Frames;
+                    return Verdict::Rescan; // pipelined frames may follow
+                }
+                continue;
+            }
+            conn.mode = Mode::Line {
+                greeted: true,
+                busy: false,
+            };
+            self.state.telemetry.requests_total.inc();
+            // v1 lines carry no envelope, hence no trace context.
+            let slot = Arc::new(ResponseSlot {
+                claimed: AtomicBool::new(false),
+                outbox: Arc::clone(&conn.outbox),
+                encoding: SlotEncoding::V1,
+                in_flight: None,
+                ctx: None,
+                kind: request_kind(&request),
+                started: Instant::now(),
+                telemetry: Arc::clone(&self.state.telemetry),
+            });
+            match self.dispatch(request, None, slot) {
+                Dispatched::Inline { shutdown: true } => {
+                    self.state.shutting_down.store(true, Ordering::SeqCst);
+                    return Verdict::CloseAfterFlush;
+                }
+                Dispatched::Inline { shutdown: false } => {}
+                Dispatched::Async => {
+                    conn.mode = Mode::Line {
+                        greeted: true,
+                        busy: true,
+                    };
+                }
+            }
+        }
+    }
+
+    fn dispatch(
+        &mut self,
+        request: Request,
+        ctx: Option<TraceContext>,
+        slot: Arc<ResponseSlot>,
+    ) -> Dispatched {
+        match admit_request(self.state, request, ctx, Arc::clone(&slot)) {
+            AdmitOutcome::Done(response, shutdown) => {
+                slot.fulfill(response);
+                Dispatched::Inline { shutdown }
+            }
+            AdmitOutcome::Pooled { token, deadline } => {
+                // The job polls its token and reports cancellation
+                // itself; this guard only answers for a wedged worker.
+                self.timers.arm(
+                    Instant::now() + deadline + Duration::from_secs(2),
+                    TimerEvent::Guard { slot, token },
+                );
+                Dispatched::Async
+            }
+            AdmitOutcome::Threaded => Dispatched::Async,
+        }
+    }
+
+    /// Moves outbox frames into the write queue (one `svc.frame.write`
+    /// fault check per frame, as the writer thread did), writes what
+    /// the socket will take, and resumes a lock-step v1 parse freed by
+    /// a response.
+    fn pump(&mut self, conn: &mut Conn) -> Verdict {
+        loop {
+            let mut resumed = false;
+            while let Some(frame) = conn.outbox.try_pop() {
+                if let Mode::Line {
+                    greeted,
+                    busy: true,
+                } = conn.mode
+                {
+                    conn.mode = Mode::Line {
+                        greeted,
+                        busy: false,
+                    };
+                    resumed = true;
+                }
+                // Chaos hook: `svc.frame.write` loses one outgoing frame
+                // or severs the connection under the drain. v2 envelope
+                // frames only — greeting and v1 lines were written
+                // directly by the threaded server, outside its writer's
+                // fault point.
+                if conn.line_frames_queued > 0 {
+                    conn.line_frames_queued -= 1;
+                } else if matches!(conn.mode, Mode::Frames) {
+                    let fault = indaas_faultinj::point("svc.frame.write");
+                    if fault == indaas_faultinj::FaultAction::Drop {
+                        continue;
+                    }
+                    if fault != indaas_faultinj::FaultAction::Pass {
+                        return Verdict::Close;
+                    }
+                }
+                conn.wq.push(frame);
+            }
+            if !conn.wq.is_empty() {
+                let write_span = Span::start(Arc::clone(&self.state.telemetry.write_us));
+                let progress = conn.wq.write_to(&mut conn.stream);
+                drop(write_span);
+                if progress.is_err() {
+                    return Verdict::Close;
+                }
+            }
+            if conn.closing && conn.wq.is_empty() {
+                // Everything queued reached the wire (the outbox is
+                // closed on every path that sets `closing`, so nothing
+                // more can arrive).
+                return Verdict::Close;
+            }
+            if resumed && !conn.closing && !conn.inbuf.is_empty() {
+                match self.process_inbuf(conn) {
+                    Verdict::Keep => continue, // may have queued responses
+                    v => return v,
+                }
+            }
+            return Verdict::Keep;
+        }
+    }
+
+    fn finish(&mut self, token: u64, mut conn: Conn, verdict: Verdict) {
+        match verdict {
+            Verdict::Keep => {
+                self.update_interest(&mut conn);
+                self.conns.insert(token, conn);
+            }
+            Verdict::CloseAfterFlush => {
+                // Teardown, in the threaded server's order: this
+                // connection's subscriptions die with it, the outbox
+                // closes (in-flight jobs' frames drop silently), and
+                // already-queued frames still reach the wire.
+                self.state.subs.drop_conn(conn.conn_id);
+                conn.outbox.close();
+                conn.closing = true;
+                match self.pump(&mut conn) {
+                    Verdict::Keep => {
+                        self.update_interest(&mut conn);
+                        self.conns.insert(token, conn);
+                    }
+                    _ => self.destroy(conn),
+                }
+            }
+            Verdict::Close => {
+                self.state.subs.drop_conn(conn.conn_id);
+                conn.outbox.close();
+                self.destroy(conn);
+            }
+            Verdict::HandOff { response, version } => self.hand_off(conn, *response, version),
+            Verdict::Rescan => unreachable!("Rescan never escapes process_inbuf"),
+        }
+    }
+
+    fn update_interest(&mut self, conn: &mut Conn) {
+        let want = Interest {
+            // Backpressure: past the watermark the loop stops reading
+            // (deregistering interest, not just skipping reads —
+            // level-triggered epoll would otherwise spin).
+            readable: !conn.closing && conn.wq.queued_bytes() <= WRITE_HIGH_WATERMARK,
+            writable: !conn.wq.is_empty(),
+        };
+        if want != conn.interest
+            && self
+                .poller
+                .modify(conn.stream.as_raw_fd(), conn.token, want)
+                .is_ok()
+        {
+            conn.interest = want;
+        }
+    }
+
+    fn destroy(&mut self, conn: Conn) {
+        let _ = self.poller.delete(conn.stream.as_raw_fd());
+        // Cut the socket so a peer blocked on reads (a watcher awaiting
+        // pushes) sees EOF promptly instead of hanging.
+        let _ = conn.stream.shutdown(Shutdown::Both);
+        self.state
+            .telemetry
+            .registry
+            .remove_counter(&conn.shed_name);
+        self.state.active_conns.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Re-tags the connection as a federation peer session: deregister
+    /// from the loop, flip back to blocking I/O, and run the peer loop
+    /// on a dedicated thread, seeded with whatever bytes the loop had
+    /// already buffered past the hello.
+    fn hand_off(&mut self, conn: Conn, response: Response, version: u32) {
+        let _ = self.poller.delete(conn.stream.as_raw_fd());
+        self.state
+            .telemetry
+            .registry
+            .remove_counter(&conn.shed_name);
+        conn.outbox.close();
+        let state = Arc::clone(self.state);
+        let Conn {
+            stream,
+            inbuf,
+            mut wq,
+            ..
+        } = conn;
+        let spawned = std::thread::Builder::new()
+            .name("indaas-peer".to_string())
+            .spawn(move || {
+                // The session still counts against max_conns until the
+                // peer loop exits, however it exits.
+                let _conn_guard = ConnGuard(&state.active_conns);
+                if stream.set_nonblocking(false).is_err() {
+                    return;
+                }
+                let Ok(mut writer) = stream.try_clone() else {
+                    return;
+                };
+                // Flush anything the loop still had queued, then the
+                // welcome — blocking writes from here on.
+                if wq.write_to(&mut writer).is_err() {
+                    return;
+                }
+                if write_response(&mut writer, &response).is_err() {
+                    return;
+                }
+                let mut reader = BufReader::new(std::io::Cursor::new(inbuf).chain(stream));
+                peer_session_loop(&mut reader, &mut writer, &state, version);
+            });
+        if spawned.is_err() {
+            self.state.active_conns.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    fn absorb_pushes(&mut self) {
+        let pending = self.shared.take_pushes();
+        if pending.is_empty() {
+            return;
+        }
+        let delay = Duration::from_millis(self.state.config.push_debounce_ms);
+        for push in pending {
+            match self.debounce.entry(push.subscription) {
+                // Coalesce: an armed subscription keeps its earliest
+                // trigger (whose origin the push-latency clock runs
+                // from); the burst collapses into one audit.
+                std::collections::hash_map::Entry::Occupied(_) => {}
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    self.timers.arm(
+                        Instant::now() + delay,
+                        TimerEvent::Debounce {
+                            subscription: push.subscription,
+                        },
+                    );
+                    slot.insert(push);
+                }
+            }
+        }
+    }
+
+    fn fire_timer(&mut self, ev: TimerEvent) {
+        match ev {
+            TimerEvent::Collect => {
+                let Some(interval) = self.state.config.collect_interval else {
+                    return;
+                };
+                if self.draining {
+                    return;
+                }
+                // The tick runs on the pool, not the loop: collectors
+                // may shell out or block on slow probes.
+                let st = Arc::clone(self.state);
+                if let Err(e) = self.state.scheduler.submit(None, move |_| {
+                    run_collectors(&st);
+                    save_dirty(&st);
+                }) {
+                    slog::warn(
+                        "server",
+                        &format!("collector tick could not be scheduled: {e}"),
+                    );
+                }
+                self.timers
+                    .arm(Instant::now() + interval, TimerEvent::Collect);
+            }
+            TimerEvent::Guard { slot, token } => {
+                if slot.fulfill(Response::error("audit timed out")) {
+                    token.cancel();
+                }
+            }
+            TimerEvent::Debounce { subscription } => {
+                if let Some(push) = self.debounce.remove(&subscription) {
+                    schedule_push_audit(
+                        self.state,
+                        push.subscription,
+                        push.spec,
+                        push.outbox,
+                        push.origin,
+                        push.ctx,
+                    );
+                }
+            }
+            TimerEvent::ShutdownLinger => {
+                let stragglers: Vec<u64> = self.conns.keys().copied().collect();
+                for token in stragglers {
+                    if let Some(conn) = self.conns.remove(&token) {
+                        self.destroy(conn);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Enters the shutdown drain: stop accepting, broadcast the
+    /// farewell push to every subscribed connection (so a watcher can
+    /// tell a clean drain from a dropped connection), close every
+    /// outbox, and flush. Sockets that will not take their final bytes
+    /// get [`SHUTDOWN_LINGER`], then force-close.
+    fn begin_drain(&mut self) {
+        self.draining = true;
+        let _ = self.poller.delete(self.listener.as_raw_fd());
+        let farewell = envelope_frame(EVENT_ENVELOPE_ID, Response::ShuttingDown);
+        for outbox in self.state.subs.subscriber_outboxes() {
+            outbox.push_response(farewell.clone());
+        }
+        let tokens: Vec<u64> = self.conns.keys().copied().collect();
+        for token in tokens {
+            let Some(mut conn) = self.conns.remove(&token) else {
+                continue;
+            };
+            self.state.subs.drop_conn(conn.conn_id);
+            conn.outbox.close();
+            conn.closing = true;
+            match self.pump(&mut conn) {
+                Verdict::Keep => {
+                    self.update_interest(&mut conn);
+                    self.conns.insert(token, conn);
+                }
+                _ => self.destroy(conn),
+            }
+        }
+        self.timers
+            .arm(Instant::now() + SHUTDOWN_LINGER, TimerEvent::ShutdownLinger);
+    }
+}
+
+/// Enqueues one v1/greeting response line on the connection's outbox,
+/// counting it so the pump exempts it from the v2 write fault point.
+fn push_line(conn: &mut Conn, response: &Response) {
+    if conn
+        .outbox
+        .push_response(codec::line_bytes(&encode_line(response)))
+    {
+        conn.line_frames_queued += 1;
+    }
+}

@@ -80,7 +80,7 @@ struct Shared {
 /// closures were admitted still run before workers exit.
 pub struct Scheduler {
     shared: Arc<Shared>,
-    workers: Vec<std::thread::JoinHandle<()>>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
 
 impl Scheduler {
@@ -122,7 +122,7 @@ impl Scheduler {
             .collect();
         Scheduler {
             shared,
-            workers: handles,
+            workers: Mutex::new(handles),
         }
     }
 
@@ -189,14 +189,28 @@ impl Scheduler {
         self.shared.shutdown.store(true, Ordering::Release);
         self.shared.available.notify_all();
     }
+
+    /// [`Scheduler::shutdown`], then blocks until every worker thread
+    /// has exited — queued jobs still run first. The daemon's shutdown
+    /// path calls this so `Server::run` returns with zero pool threads
+    /// left behind; idempotent (a second call finds no handles).
+    pub fn shutdown_and_join(&self) {
+        self.shutdown();
+        let handles: Vec<_> = self
+            .workers
+            .lock()
+            .expect("scheduler workers poisoned")
+            .drain(..)
+            .collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
 }
 
 impl Drop for Scheduler {
     fn drop(&mut self) {
-        self.shutdown();
-        for h in self.workers.drain(..) {
-            let _ = h.join();
-        }
+        self.shutdown_and_join();
     }
 }
 
@@ -356,6 +370,23 @@ mod tests {
             std::thread::yield_now();
         }
         assert_eq!(m.queue_depth.get(), 0);
+    }
+
+    #[test]
+    fn shutdown_and_join_runs_queued_work_first() {
+        let s = Scheduler::new(2, 16);
+        let (tx, rx) = mpsc::channel();
+        for i in 0..5u32 {
+            let tx = tx.clone();
+            s.submit(None, move |_| tx.send(i).unwrap()).unwrap();
+        }
+        s.shutdown_and_join();
+        // Join returned, so every admitted job already ran.
+        let mut got: Vec<u32> = rx.try_iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+        // Idempotent: a second join finds nothing to do.
+        s.shutdown_and_join();
     }
 
     #[test]

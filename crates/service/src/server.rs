@@ -1,16 +1,22 @@
 //! The continuous auditing daemon.
 //!
-//! One accept loop, per-connection threads, and a fixed [`Scheduler`]
-//! pool doing the actual audit work. A protocol-v2 connection splits
-//! into a *reader* (admits envelopes, many request ids in flight at
-//! once) and a *writer* fed by a bounded outbox
-//! ([`crate::subs::Outbox`]) that carries both responses and pushed
-//! [`Response::AuditEvent`] frames — a slow consumer sheds its oldest
-//! events and never blocks anything; a v1 connection stays the old
-//! lock-step line loop. Connection threads never compute: they parse
-//! requests, consult the audit-result cache, and otherwise enqueue a
-//! job and wait for its result, so a slow audit can never starve
-//! protocol handling.
+//! One readiness loop ([`crate::netloop`]), a fixed [`Scheduler`] pool
+//! doing the actual audit work, and **zero idle threads**: every client
+//! connection — v1 line mode and multiplexed v2 frames alike — is
+//! served by the single epoll loop, which parses requests, consults the
+//! audit-result cache, and admits real work onto the pool with a
+//! response slot the job fulfills when done. Responses and pushed
+//! [`Response::AuditEvent`] frames share each connection's bounded
+//! outbox ([`crate::subs::Outbox`]) — a slow consumer sheds its oldest
+//! events and never blocks anything — drained by the loop on
+//! writability. A slow audit can never starve protocol handling, and an
+//! idle connection costs a poll registration, not two thread stacks.
+//!
+//! This module owns everything that is not the loop itself: the config,
+//! the shared [`ServiceState`], request admission/dispatch
+//! ([`admit_request`]), subscriptions, federation, persistence, and the
+//! blocking federation *peer* sessions (handed off the shared listener
+//! by the loop after their `FederateHello`).
 //!
 //! Subscriptions ride the single write path: every mutation asks the
 //! [`SubscriptionRegistry`] which live subscriptions it invalidated
@@ -41,11 +47,11 @@
 //! file per shard plus a manifest: dirty shards are saved on collector
 //! ticks and at shutdown, every file crash-safely (temp + rename).
 
-use std::io::{BufReader, Write};
+use std::io::{BufRead, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use indaas_core::{AuditSpec, AuditingAgent, CancelToken};
@@ -58,11 +64,11 @@ use indaas_pia::{rank_deployments_cancellable, PiaRanking, PsopConfig};
 use indaas_sia::AuditReport;
 
 use crate::cache::{job_key, AuditCache, EpochPins};
+use crate::netloop::{CrashGuard, LoopShared, PendingPush, ResponseSlot};
 use crate::proto::{
     decode_line, decode_payload, decode_traced_round_frame, encode_line, encode_payload,
-    read_bounded_line, read_frame, write_frame, Envelope, FrameRead, LineRead, Request, Response,
-    ResponseEnvelope, SpanEntry, EVENT_ENVELOPE_ID, MAX_NODE_NAME_BYTES, MIN_PROTOCOL_VERSION,
-    PROTOCOL_VERSION,
+    read_bounded_line, read_frame, FrameRead, LineRead, Request, Response, ResponseEnvelope,
+    SpanEntry, EVENT_ENVELOPE_ID, MAX_NODE_NAME_BYTES,
 };
 use crate::scheduler::Scheduler;
 use crate::subs::{Outbox, SubscriptionRegistry};
@@ -128,6 +134,14 @@ pub struct ServeConfig {
     /// default) leaves injection entirely off — a single relaxed atomic
     /// load per point.
     pub faults: Vec<String>,
+    /// Debounce window for subscription pushes, in milliseconds. With a
+    /// nonzero window, an ingest burst invalidating the same
+    /// subscription repeatedly schedules **one** pushed audit per
+    /// window (armed on the readiness loop's timer wheel) instead of
+    /// one per batch; push latency is measured from the *earliest*
+    /// coalesced trigger. `0` (the default) keeps the immediate
+    /// schedule-per-batch behavior.
+    pub push_debounce_ms: u64,
     /// Segment/manifest files the boot-time store load quarantined
     /// (`*.quarantine`), counted into `db_segments_quarantined_total`
     /// at bind. [`Server::bind`] fills this in from its own
@@ -157,6 +171,7 @@ impl Default for ServeConfig {
             log_level: indaas_obs::LogLevel::Info,
             log_json: false,
             faults: Vec::new(),
+            push_debounce_ms: 0,
             boot_quarantined: 0,
         }
     }
@@ -272,42 +287,46 @@ pub trait FederationEngine: Send + Sync {
     ) -> Result<PartyCompletion, String>;
 }
 
-struct ServiceState {
-    config: ServeConfig,
+pub(crate) struct ServiceState {
+    pub(crate) config: ServeConfig,
     /// The sharded dependency store — shared directly, **no global
     /// lock**. Each shard carries its own write mutex and publishes its
     /// copy-on-write snapshot through an atomic pointer swap, so
     /// concurrent ingests to different shards land in parallel and
     /// snapshotting for an audit is N wait-free `Arc` loads regardless
     /// of database size or writer traffic.
-    db: ShardedDepDb,
-    sia_cache: Mutex<AuditCache<AuditReport>>,
-    pia_cache: Mutex<AuditCache<Vec<PiaRanking>>>,
-    scheduler: Scheduler,
-    started: Instant,
-    shutting_down: AtomicBool,
+    pub(crate) db: ShardedDepDb,
+    pub(crate) sia_cache: Mutex<AuditCache<AuditReport>>,
+    pub(crate) pia_cache: Mutex<AuditCache<Vec<PiaRanking>>>,
+    pub(crate) scheduler: Scheduler,
+    pub(crate) started: Instant,
+    pub(crate) shutting_down: AtomicBool,
     /// Mutations currently inside [`apply_mutation`]. The shutdown path
     /// waits for this to drain before its final segment save, so an
     /// acknowledged ingest can never slip in after the last save and
     /// vanish with the process (mutations arriving after the shutdown
     /// flag are rejected instead of acknowledged).
-    in_flight_mutations: AtomicU64,
-    local_addr: SocketAddr,
-    federation: Mutex<Option<Arc<dyn FederationEngine>>>,
-    collectors: Mutex<Vec<Box<dyn DependencyAcquisitionModule + Send>>>,
+    pub(crate) in_flight_mutations: AtomicU64,
+    pub(crate) local_addr: SocketAddr,
+    pub(crate) federation: Mutex<Option<Arc<dyn FederationEngine>>>,
+    pub(crate) collectors: Mutex<Vec<Box<dyn DependencyAcquisitionModule + Send>>>,
     /// Live audit subscriptions across every v2 connection; the single
     /// write path asks it which ones each batch invalidated.
-    subs: SubscriptionRegistry,
+    pub(crate) subs: SubscriptionRegistry,
     /// `AuditEvent` frames enqueued to subscriber outboxes since start.
-    pushed_events: AtomicU64,
+    pub(crate) pushed_events: AtomicU64,
     /// Client connections currently being served (v1, v2 and peer
     /// sessions alike) — compared against [`ServeConfig::max_conns`].
-    active_conns: AtomicUsize,
+    pub(crate) active_conns: AtomicUsize,
     /// Connection-id source: ties subscriptions to the connection that
     /// made them so teardown and `Unsubscribe` ownership checks work.
-    next_conn_id: AtomicU64,
+    pub(crate) next_conn_id: AtomicU64,
     /// Metrics registry + flight recorder + hot-path handles.
-    telemetry: Arc<Telemetry>,
+    pub(crate) telemetry: Arc<Telemetry>,
+    /// The running readiness loop's cross-thread face — `Some` while
+    /// [`Server::run`] is inside the loop. Shutdown and the debounce
+    /// path reach the loop through it.
+    pub(crate) loop_shared: Mutex<Option<Arc<LoopShared>>>,
 }
 
 /// A bound (but not yet serving) daemon.
@@ -413,6 +432,7 @@ impl Server {
             active_conns: AtomicUsize::new(0),
             next_conn_id: AtomicU64::new(1),
             telemetry,
+            loop_shared: Mutex::new(None),
         });
         Ok(Server { listener, state })
     }
@@ -444,37 +464,18 @@ impl Server {
             .push(collector);
     }
 
-    /// Serves until a `Shutdown` request arrives. Each connection gets
-    /// its own thread; audits run on the shared worker pool.
+    /// Serves until a `Shutdown` request arrives (or
+    /// [`ServerHandle::shutdown`] is called): the readiness loop owns
+    /// every connection; audits run on the shared worker pool.
     ///
     /// # Errors
     ///
-    /// Propagates accept-loop I/O failures.
+    /// Propagates readiness-loop I/O failures.
     pub fn run(self) -> std::io::Result<()> {
-        if let Some(interval) = self.state.config.collect_interval {
-            let state = Arc::clone(&self.state);
-            // Detached like connection threads: it observes the shutdown
-            // flag within one interval and exits on its own.
-            std::thread::spawn(move || collector_loop(&state, interval));
-        }
-        for stream in self.listener.incoming() {
-            if self.state.shutting_down.load(Ordering::Acquire) {
-                break;
-            }
-            let stream = stream?;
-            // Frames are two writes (length prefix, then payload); with
-            // Nagle on, the second small write can stall ~40ms behind a
-            // delayed ACK. Latency matters more than packet count here.
-            let _ = stream.set_nodelay(true);
-            let state = Arc::clone(&self.state);
-            // Detached on purpose: a handler blocked in `read_line` only
-            // unblocks when its client hangs up, so joining here would
-            // let one idle connection stall shutdown indefinitely. The
-            // worker pool itself joins via `Scheduler::drop` once the
-            // last connection releases the shared state.
-            std::thread::spawn(move || handle_connection(stream, &state));
-        }
-        self.state.scheduler.shutdown();
+        let result = crate::netloop::run_loop(self.listener, &self.state);
+        // The loop has drained: no connection can submit new jobs, so
+        // the pool joins cleanly here (idempotent with `Drop`).
+        self.state.scheduler.shutdown_and_join();
         // Final persistence: wait out mutations already past the
         // shutdown gate (new ones are rejected), then save until a pass
         // writes nothing — every acknowledged record reaches disk. The
@@ -494,7 +495,58 @@ impl Server {
                 _ => break,
             }
         }
-        Ok(())
+        result
+    }
+
+    /// Spawns [`Server::run`] on a background thread and returns a
+    /// handle that can stop it cleanly — the supported way to embed a
+    /// daemon in tests and tools, replacing detached
+    /// `thread::spawn(|| server.run())` with a real join.
+    ///
+    /// # Errors
+    ///
+    /// Propagates thread-spawn failure.
+    pub fn spawn(self) -> std::io::Result<ServerHandle> {
+        let addr = self.local_addr();
+        let state = Arc::clone(&self.state);
+        let thread = std::thread::Builder::new()
+            .name("indaas-serve".to_string())
+            .spawn(move || self.run())?;
+        Ok(ServerHandle {
+            addr,
+            state,
+            thread,
+        })
+    }
+}
+
+/// A running daemon spawned with [`Server::spawn`]: carries its bound
+/// address and the means to stop it without a protocol round-trip.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<ServiceState>,
+    thread: std::thread::JoinHandle<std::io::Result<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with an ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Initiates shutdown (same path as a protocol `Shutdown` request:
+    /// subscribers get the farewell push, queued frames flush, dirty
+    /// segments save) and joins the serve thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the serve loop's exit result; a panicked serve thread
+    /// surfaces as an error rather than propagating the panic.
+    pub fn shutdown(self) -> std::io::Result<()> {
+        initiate_shutdown(&self.state);
+        self.thread
+            .join()
+            .map_err(|_| std::io::Error::other("server thread panicked"))?
     }
 }
 
@@ -503,7 +555,7 @@ impl Server {
 /// are logged, never fatal: a daemon that cannot reach its disk keeps
 /// serving from memory and retries on the next tick — the dirty flags
 /// survive a failed save.
-fn save_dirty(state: &ServiceState) -> Option<usize> {
+pub(crate) fn save_dirty(state: &ServiceState) -> Option<usize> {
     let dir = state.config.db_dir.as_ref()?;
     match state.db.save_dirty_segments(dir) {
         Ok(written) => {
@@ -527,14 +579,14 @@ fn save_dirty(state: &ServiceState) -> Option<usize> {
 pub const MAX_REQUEST_LINE: u64 = 16 * 1024 * 1024;
 
 /// Most requests one protocol-v2 connection may have unanswered at
-/// once. Each in-flight request occupies one lightweight thread (mostly
-/// waiting on the worker pool), so the cap bounds what a single
-/// pipelining client can pin.
+/// once. Each in-flight request holds a response slot and (on a cache
+/// miss) a queue ticket on the worker pool, so the cap bounds what a
+/// single pipelining client can pin.
 pub const MAX_IN_FLIGHT_REQUESTS: usize = 64;
 
-/// Decrements the live-connection gauge when a handler exits, however
-/// it exits.
-struct ConnGuard<'a>(&'a AtomicUsize);
+/// Decrements the live-connection gauge when a peer-session thread
+/// exits, however it exits.
+pub(crate) struct ConnGuard<'a>(pub(crate) &'a AtomicUsize);
 
 impl Drop for ConnGuard<'_> {
     fn drop(&mut self) {
@@ -542,374 +594,16 @@ impl Drop for ConnGuard<'_> {
     }
 }
 
-fn handle_connection(stream: TcpStream, state: &Arc<ServiceState>) {
-    let Ok(peer_writer) = stream.try_clone() else {
-        return;
-    };
-    let mut writer = peer_writer;
-    let mut reader = BufReader::new(stream);
-    // Admission control: the gauge counts this connection from here on
-    // (guard decrements on every exit path), and a connection past the
-    // limit gets one clear error instead of a handler thread.
-    let occupied = state.active_conns.fetch_add(1, Ordering::SeqCst) + 1;
-    let _conn_guard = ConnGuard(&state.active_conns);
-    let max = state.config.max_conns;
-    if occupied > max {
-        let _ = write_response(
-            &mut writer,
-            &Response::error(format!(
-                "connection limit reached ({max} concurrent connections); retry later"
-            )),
-        );
-        return;
-    }
-    let mut line = String::new();
-    let mut first = true;
-    loop {
-        match read_bounded_line(&mut reader, &mut line, MAX_REQUEST_LINE) {
-            Ok(LineRead::Line) => {}
-            Ok(LineRead::Eof) | Err(_) => return, // EOF or broken pipe
-            Ok(LineRead::Oversized) => {
-                let mut out = encode_line(&Response::error(format!(
-                    "request line exceeds {MAX_REQUEST_LINE} bytes"
-                )));
-                out.push('\n');
-                let _ = writer.write_all(out.as_bytes());
-                return; // cannot resync mid-line; drop the connection
-            }
-        }
-        if line.trim().is_empty() {
-            continue;
-        }
-        let request = match decode_line::<Request>(line.trim()) {
-            Ok(request) => request,
-            Err(e) => {
-                first = false;
-                if write_response(
-                    &mut writer,
-                    &Response::error(format!("malformed request: {e}")),
-                )
-                .is_err()
-                {
-                    return;
-                }
-                continue;
-            }
-        };
-        // A peer handshake re-tags this connection: answer the welcome,
-        // then hand the read side to the frame loop for the rest of the
-        // connection's life (audits and federation share one listener).
-        if let Request::FederateHello {
-            version,
-            node,
-            trace,
-        } = request
-        {
-            let response = federate_hello(state, version, &node, trace == Some(true));
-            let negotiated = match &response {
-                Response::FederateWelcome { version, .. } => Some(*version),
-                _ => None,
-            };
-            let write_ok = write_response(&mut writer, &response).is_ok();
-            if let (true, Some(version)) = (write_ok, negotiated) {
-                peer_session_loop(&mut reader, &mut writer, state, version);
-            }
-            return;
-        }
-        // A protocol hello, valid only as the first line, negotiates
-        // the session version: ≥ 2 switches to multiplexed binary
-        // frames, 1 stays right here in the lock-step line loop.
-        if let Request::Hello { version } = request {
-            if !first {
-                if write_response(
-                    &mut writer,
-                    &Response::error("Hello must be the first line of a connection"),
-                )
-                .is_err()
-                {
-                    return;
-                }
-                continue;
-            }
-            first = false;
-            if version < MIN_PROTOCOL_VERSION {
-                let _ = write_response(
-                    &mut writer,
-                    &Response::error(format!(
-                        "protocol version {version} below supported minimum {MIN_PROTOCOL_VERSION}"
-                    )),
-                );
-                return;
-            }
-            let negotiated = version.min(PROTOCOL_VERSION);
-            if write_response(
-                &mut writer,
-                &Response::Welcome {
-                    version: negotiated,
-                },
-            )
-            .is_err()
-            {
-                return;
-            }
-            slog::debug(
-                "server",
-                &format!("session negotiated protocol v{negotiated} (client offered v{version})"),
-            );
-            if negotiated >= 2 {
-                v2_session_loop(&mut reader, writer, state);
-                return;
-            }
-            continue; // negotiated v1: same connection, line mode
-        }
-        first = false;
-        state.telemetry.requests_total.inc();
-        let dispatch_span = Span::start(Arc::clone(&state.telemetry.dispatch_us));
-        // v1 lines carry no envelope, hence no trace context.
-        let (response, shutdown) = handle_request(request, state, None);
-        drop(dispatch_span);
-        if write_response(&mut writer, &response).is_err() {
-            return;
-        }
-        if shutdown {
-            initiate_shutdown(state);
-            return;
-        }
-    }
-}
-
-/// Serializes a response envelope into one outbox frame.
-fn envelope_frame(id: u64, body: Response) -> Vec<u8> {
-    encode_line(&ResponseEnvelope { id, body }).into_bytes()
-}
-
-/// The multiplexed protocol-v2 session: this thread is the *reader* —
-/// it admits envelopes and never writes; a dedicated writer thread
-/// drains the connection's bounded outbox so a slow consumer can stall
-/// neither request handling nor pushed events from ingests. Requests
-/// are dispatched to short-lived handler threads (each mostly waiting
-/// on the shared worker pool), so many envelope ids can be in flight
-/// and responses return in completion order, matched by id.
-fn v2_session_loop(
-    reader: &mut BufReader<TcpStream>,
-    writer: TcpStream,
-    state: &Arc<ServiceState>,
-) {
-    let conn = state.next_conn_id.fetch_add(1, Ordering::Relaxed);
-    // Sheds on this connection's outbox count both globally and under a
-    // per-connection name, registered for the connection's lifetime.
-    let conn_shed_name = format!("outbox_shed_conn_{conn}");
-    let conn_shed = state.telemetry.registry.counter(&conn_shed_name);
-    let outbox = Arc::new(Outbox::with_shed_counters(vec![
-        Arc::clone(&state.telemetry.outbox_shed_total),
-        conn_shed,
-    ]));
-    let writer_outbox = Arc::clone(&outbox);
-    let write_us = Arc::clone(&state.telemetry.write_us);
-    // Buffered so each frame's length prefix and payload leave in one
-    // write; flushed per frame so nothing lingers.
-    let mut sink = std::io::BufWriter::new(writer);
-    let writer_handle = std::thread::spawn(move || {
-        while let Some(frame) = writer_outbox.pop() {
-            // Chaos hook: `svc.frame.write` can lose one outgoing frame
-            // or sever the connection under the writer.
-            let fault = indaas_faultinj::point("svc.frame.write");
-            if fault == indaas_faultinj::FaultAction::Drop {
-                continue;
-            }
-            let injected_cut = fault != indaas_faultinj::FaultAction::Pass;
-            let frame_span = Span::start(Arc::clone(&write_us));
-            let failed = injected_cut
-                || write_frame(&mut sink, &frame)
-                    .and_then(|()| sink.flush())
-                    .is_err();
-            drop(frame_span);
-            if failed {
-                writer_outbox.close();
-                // Unblock a reader wedged on a half-dead peer.
-                let _ = sink.get_ref().shutdown(std::net::Shutdown::Both);
-                break;
-            }
-        }
-        // The outbox closed with everything queued now on the wire —
-        // session end, or the shutdown drain closing subscriber
-        // outboxes. Cut the socket so a peer blocked on reads (a
-        // watcher awaiting pushes) sees EOF promptly instead of
-        // hanging on a drained connection.
-        let _ = sink.flush();
-        let _ = sink.get_ref().shutdown(std::net::Shutdown::Both);
-    });
-    let in_flight = Arc::new(AtomicUsize::new(0));
-    let mut buf = Vec::new();
-    loop {
-        // Chaos hook: `svc.frame.read` severs the session before the
-        // next frame (error/disconnect) or loses one request after
-        // reading it off the wire (drop).
-        let read_fault = indaas_faultinj::point("svc.frame.read");
-        if matches!(
-            read_fault,
-            indaas_faultinj::FaultAction::Error | indaas_faultinj::FaultAction::Disconnect
-        ) {
-            break;
-        }
-        match read_frame(reader, &mut buf, MAX_REQUEST_LINE) {
-            Ok(FrameRead::Frame) => {}
-            Ok(FrameRead::Eof) | Err(_) => break,
-            Ok(FrameRead::Oversized) => {
-                outbox.push_response(envelope_frame(
-                    EVENT_ENVELOPE_ID,
-                    Response::error(format!("request frame exceeds {MAX_REQUEST_LINE} bytes")),
-                ));
-                break; // payload unread: the stream cannot resync
-            }
-        }
-        if read_fault == indaas_faultinj::FaultAction::Drop {
-            continue;
-        }
-        let decode_started = Instant::now();
-        let envelope = std::str::from_utf8(&buf)
-            .map_err(|e| e.to_string())
-            .and_then(|text| decode_line::<Envelope>(text).map_err(|e| e.to_string()));
-        state
-            .telemetry
-            .envelope_decode_us
-            .record(decode_started.elapsed().as_micros() as u64);
-        let Envelope { id, body, trace } = match envelope {
-            Ok(envelope) => envelope,
-            Err(e) => {
-                // Unlike v1 text lines, v2 frames come only from
-                // machine encoders; an unparseable envelope is a broken
-                // peer, not a typo — answer once and drop.
-                outbox.push_response(envelope_frame(
-                    EVENT_ENVELOPE_ID,
-                    Response::error(format!("malformed envelope: {e}")),
-                ));
-                break;
-            }
-        };
-        if id == EVENT_ENVELOPE_ID {
-            outbox.push_response(envelope_frame(
-                EVENT_ENVELOPE_ID,
-                Response::error("envelope id 0 is reserved for server pushes"),
-            ));
-            break;
-        }
-        state.telemetry.requests_total.inc();
-        // An unparseable header is treated as absent, not fatal: trace
-        // context is advisory metadata and can never poison a request.
-        let ctx = trace.as_deref().and_then(TraceContext::parse_header);
-        match body {
-            Request::Hello { .. } => {
-                outbox.push_response(envelope_frame(
-                    id,
-                    Response::error("session version is already negotiated"),
-                ));
-            }
-            Request::Subscribe { spec, engine } => {
-                let started = Instant::now();
-                match register_subscription(state, spec, &engine, &outbox, conn) {
-                    Ok((subscription, spec)) => {
-                        // Response first, then the initial audit: the
-                        // outbox is FIFO, so `Subscribed` reaches the
-                        // wire before the first `AuditEvent` can.
-                        outbox.push_response(envelope_frame(
-                            id,
-                            Response::Subscribed { subscription },
-                        ));
-                        // The initial pushed audit is parented on this
-                        // Subscribe, so `indaas trace` on the client's
-                        // trace id shows it hanging off the request.
-                        schedule_push_audit(
-                            state,
-                            subscription,
-                            spec,
-                            Arc::clone(&outbox),
-                            Instant::now(),
-                            ctx,
-                        );
-                    }
-                    Err(message) => {
-                        outbox.push_response(envelope_frame(id, Response::error(message)));
-                    }
-                }
-                if let Some(c) = ctx {
-                    state.telemetry.spans.record(
-                        c,
-                        "request:Subscribe",
-                        String::new(),
-                        started.elapsed().as_micros() as u64,
-                    );
-                }
-            }
-            Request::Unsubscribe { subscription } => {
-                let response = match state.subs.unregister(subscription, conn) {
-                    Ok(()) => Response::Unsubscribed { subscription },
-                    Err(e) => Response::error(e),
-                };
-                outbox.push_response(envelope_frame(id, response));
-            }
-            Request::Shutdown => {
-                outbox.push_response(envelope_frame(id, Response::ShuttingDown));
-                // Give the writer a moment to put the acknowledgement
-                // on the wire before the process starts exiting.
-                outbox.drain(Duration::from_secs(2));
-                initiate_shutdown(state);
-                break;
-            }
-            request => {
-                if in_flight.load(Ordering::Acquire) >= MAX_IN_FLIGHT_REQUESTS {
-                    outbox.push_response(envelope_frame(
-                        id,
-                        Response::error(format!(
-                            "too many in-flight requests (max {MAX_IN_FLIGHT_REQUESTS})"
-                        )),
-                    ));
-                    continue;
-                }
-                in_flight.fetch_add(1, Ordering::AcqRel);
-                let st = Arc::clone(state);
-                let ob = Arc::clone(&outbox);
-                let gauge = Arc::clone(&in_flight);
-                let kind = request_kind(&request);
-                std::thread::spawn(move || {
-                    // Install the context for the dispatch's lifetime so
-                    // every log line under it carries trace/span ids.
-                    let _scope = ctx.map(TraceScope::enter);
-                    let started = Instant::now();
-                    let dispatch_span = Span::start(Arc::clone(&st.telemetry.dispatch_us));
-                    let (response, _) = handle_request(request, &st, ctx);
-                    drop(dispatch_span);
-                    if let Some(c) = ctx {
-                        // The request span uses the wire context's span
-                        // id directly: the client minted it, so client
-                        // and server agree on the id without a reply
-                        // header.
-                        st.telemetry.spans.record(
-                            c,
-                            kind,
-                            String::new(),
-                            started.elapsed().as_micros() as u64,
-                        );
-                    }
-                    ob.push_response(envelope_frame(id, response));
-                    gauge.fetch_sub(1, Ordering::AcqRel);
-                });
-            }
-        }
-    }
-    // Teardown: this connection's subscriptions die with it; the writer
-    // exits once the already-queued frames are flushed (or its socket
-    // errors out). Handler threads still in flight push into the closed
-    // outbox, which drops their frames silently.
-    state.subs.drop_conn(conn);
-    outbox.close();
-    let _ = writer_handle.join();
-    state.telemetry.registry.remove_counter(&conn_shed_name);
+/// Serializes a response envelope into one **transport-ready** outbox
+/// frame: length prefix included, so the readiness loop's write path
+/// moves bytes without knowing the session's framing.
+pub(crate) fn envelope_frame(id: u64, body: Response) -> Vec<u8> {
+    crate::codec::frame_bytes(encode_line(&ResponseEnvelope { id, body }).as_bytes())
 }
 
 /// The span name a dispatched request is recorded under — static, so a
 /// traced request costs no allocation beyond the span record itself.
-fn request_kind(request: &Request) -> &'static str {
+pub(crate) fn request_kind(request: &Request) -> &'static str {
     match request {
         Request::Ping => "request:Ping",
         Request::Hello { .. } => "request:Hello",
@@ -933,7 +627,7 @@ fn request_kind(request: &Request) -> &'static str {
 /// shards. Returns the new subscription id and the spec (for the
 /// caller to schedule the initial pushed audit *after* it enqueued the
 /// `Subscribed` response), or the error message to send instead.
-fn register_subscription(
+pub(crate) fn register_subscription(
     state: &Arc<ServiceState>,
     spec: AuditSpec,
     engine: &str,
@@ -973,7 +667,7 @@ fn spec_hosts(spec: &AuditSpec) -> impl Iterator<Item = &str> {
 /// and enqueues the `AuditEvent` frame. Runs entirely off the ingest
 /// path — a full queue costs the subscriber one event, never a writer
 /// any latency; the subscription stays armed for the next batch.
-fn schedule_push_audit(
+pub(crate) fn schedule_push_audit(
     state: &Arc<ServiceState>,
     subscription: u64,
     spec: AuditSpec,
@@ -1088,7 +782,7 @@ fn schedule_push_audit(
     }
 }
 
-fn write_response(writer: &mut TcpStream, response: &Response) -> std::io::Result<()> {
+pub(crate) fn write_response(writer: &mut TcpStream, response: &Response) -> std::io::Result<()> {
     let mut out = encode_line(response);
     out.push('\n');
     writer.write_all(out.as_bytes())?;
@@ -1103,7 +797,12 @@ fn federation_engine(state: &ServiceState) -> Option<Arc<dyn FederationEngine>> 
         .clone()
 }
 
-fn federate_hello(state: &ServiceState, version: u32, node: &str, trace: bool) -> Response {
+pub(crate) fn federate_hello(
+    state: &ServiceState,
+    version: u32,
+    node: &str,
+    trace: bool,
+) -> Response {
     if node.len() > MAX_NODE_NAME_BYTES {
         return Response::error(format!(
             "peer node name exceeds {MAX_NODE_NAME_BYTES} bytes"
@@ -1141,8 +840,8 @@ fn federate_hello(state: &ServiceState, version: u32, node: &str, trace: bool) -
 /// no hex, about half the wire bytes, optionally carrying a trace
 /// context extension); 1 keeps the legacy hex-in-JSON `FederateData`
 /// lines.
-fn peer_session_loop(
-    reader: &mut BufReader<TcpStream>,
+pub(crate) fn peer_session_loop<R: BufRead>(
+    reader: &mut R,
     writer: &mut TcpStream,
     state: &ServiceState,
     version: u32,
@@ -1212,8 +911,8 @@ fn peer_session_loop(
 /// hex doubling, no JSON. Violations are answered with one `Error` line
 /// (the dialer may not be reading, which is fine) and the connection is
 /// dropped.
-fn binary_peer_session_loop(
-    reader: &mut BufReader<TcpStream>,
+fn binary_peer_session_loop<R: BufRead>(
+    reader: &mut R,
     writer: &mut TcpStream,
     state: &ServiceState,
 ) {
@@ -1276,31 +975,109 @@ fn binary_peer_session_loop(
     }
 }
 
-/// Flags shutdown and pokes the accept loop awake with a throwaway
-/// connection so `run` observes the flag.
+/// Flags shutdown and wakes the readiness loop so it begins the drain
+/// (farewell pushes to subscribers, flush, close — all inside the
+/// loop). The connect poke remains as a fallback for the window where
+/// the loop has not yet published its waker.
 fn initiate_shutdown(state: &ServiceState) {
-    // Broadcast the drain to every subscribed connection *before* the
-    // listener dies: a watcher that receives this push knows the server
-    // is going away cleanly and must not treat the following EOF as a
-    // connection loss worth reconnect-hammering.
-    let farewell = envelope_frame(EVENT_ENVELOPE_ID, Response::ShuttingDown);
-    for outbox in state.subs.subscriber_outboxes() {
-        outbox.push_response(farewell.clone());
-        // Let the writer flush the farewell (and anything queued ahead
-        // of it), then close the outbox: the writer exits after the
-        // drain and severs the connection, so watchers observe a clean
-        // EOF rather than a half-dead session that never ends.
-        outbox.drain(std::time::Duration::from_millis(500));
-        outbox.close();
-    }
     // SeqCst pairs with the mutation gate in `apply_mutation`: the
     // flag store must be totally ordered against in-flight counter
     // updates for the shutdown drain to be exhaustive.
     state.shutting_down.store(true, Ordering::SeqCst);
-    let _ = TcpStream::connect(state.local_addr);
+    let shared = state
+        .loop_shared
+        .lock()
+        .expect("loop shared poisoned")
+        .clone();
+    match shared {
+        Some(shared) => shared.wake(),
+        None => {
+            let _ = TcpStream::connect(state.local_addr);
+        }
+    }
 }
 
-fn handle_request(
+/// What admitting a request produced: a synchronous answer, a pooled
+/// job (token + deadline, for the loop's guard timer), or a dedicated
+/// thread that owns the response slot.
+pub(crate) enum AdmitOutcome {
+    /// Answered right here; the bool is the v1 shutdown signal.
+    Done(Response, bool),
+    /// A worker-pool job owns the slot; the loop arms a guard timer at
+    /// `deadline` plus grace that cancels `token` and answers
+    /// "audit timed out" should the worker wedge.
+    Pooled {
+        token: CancelToken,
+        deadline: Duration,
+    },
+    /// A dedicated thread (federation party) owns the slot.
+    Threaded,
+}
+
+/// Request admission: decides synchronous vs pooled vs threaded and, on
+/// the asynchronous paths, wires `slot` to whoever will produce the
+/// answer. Called from the readiness loop — nothing here may block.
+pub(crate) fn admit_request(
+    state: &Arc<ServiceState>,
+    request: Request,
+    ctx: Option<TraceContext>,
+    slot: Arc<ResponseSlot>,
+) -> AdmitOutcome {
+    match request {
+        Request::AuditSia { spec, timeout_ms } => admit_sia(state, spec, timeout_ms, ctx, slot),
+        Request::AuditPia {
+            providers,
+            way,
+            minhash,
+            timeout_ms,
+        } => admit_pia(state, providers, way, minhash, timeout_ms, ctx, slot),
+        Request::FederateStart {
+            session,
+            index,
+            parties,
+            successor,
+            seed,
+            multiset,
+            round_timeout_ms,
+        } => {
+            let instruction = PartyInstruction {
+                session,
+                index,
+                parties,
+                successor,
+                seed,
+                multiset,
+                round_timeout_ms,
+                trace: None,
+            };
+            let st = Arc::clone(state);
+            // A party blocks on ring rounds for up to round_timeout ×
+            // rounds — far too long for a pool worker; it gets its own
+            // thread, as coordinator-driven parties always did.
+            let spawned = std::thread::Builder::new()
+                .name("indaas-fed-party".to_string())
+                .spawn(move || {
+                    let _scope = ctx.map(TraceScope::enter);
+                    let crash = CrashGuard(slot);
+                    let response = federate_start(&st, instruction, ctx);
+                    crash.0.fulfill(response);
+                });
+            match spawned {
+                Ok(_) => AdmitOutcome::Threaded,
+                Err(e) => AdmitOutcome::Done(
+                    Response::error(format!("could not start federation party: {e}")),
+                    false,
+                ),
+            }
+        }
+        request => {
+            let (response, shutdown) = handle_request(request, state, ctx);
+            AdmitOutcome::Done(response, shutdown)
+        }
+    }
+}
+
+pub(crate) fn handle_request(
     request: Request,
     state: &Arc<ServiceState>,
     ctx: Option<TraceContext>,
@@ -1309,7 +1086,6 @@ fn handle_request(
         Request::Ping => (Response::Pong, false),
         Request::Ingest { records } => (ingest(state, &records, Mutation::Ingest, ctx), false),
         Request::Retract { records } => (ingest(state, &records, Mutation::Retract, ctx), false),
-        Request::AuditSia { spec, timeout_ms } => (audit_sia(state, spec, timeout_ms, ctx), false),
         // Reachable only from a v1 line session — the v2 loop handles
         // these inline, before dispatching here.
         Request::Hello { .. } => (
@@ -1322,20 +1098,11 @@ fn handle_request(
             ),
             false,
         ),
-        Request::AuditPia {
-            providers,
-            way,
-            minhash,
-            timeout_ms,
-        } => (
-            audit_pia(state, providers, way, minhash, timeout_ms, ctx),
-            false,
-        ),
         Request::Status => (status(state), false),
         Request::Metrics { recent } => (metrics(state, recent), false),
         Request::Trace { id } => (trace_get(state, &id), false),
         Request::Shutdown => (Response::ShuttingDown, true),
-        // Unreachable in practice: `handle_connection` intercepts every
+        // Unreachable in practice: the readiness loop intercepts every
         // hello before dispatching here (it re-tags the connection). The
         // arm only keeps the match exhaustive.
         Request::FederateHello { .. } => (
@@ -1348,29 +1115,10 @@ fn handle_request(
             ),
             false,
         ),
-        Request::FederateStart {
-            session,
-            index,
-            parties,
-            successor,
-            seed,
-            multiset,
-            round_timeout_ms,
-        } => (
-            federate_start(
-                state,
-                PartyInstruction {
-                    session,
-                    index,
-                    parties,
-                    successor,
-                    seed,
-                    multiset,
-                    round_timeout_ms,
-                    trace: None,
-                },
-                ctx,
-            ),
+        // Defensive: the asynchronous requests are admitted by
+        // `admit_request` and never reach the synchronous dispatcher.
+        Request::AuditSia { .. } | Request::AuditPia { .. } | Request::FederateStart { .. } => (
+            Response::error("internal: asynchronous request routed to the synchronous dispatcher"),
             false,
         ),
     }
@@ -1555,9 +1303,32 @@ fn apply_mutation(
     // bumped gets a fresh audit scheduled on the worker pool. The
     // registry advances the pins synchronously (so overlapping batches
     // trigger once per wave) but the audits themselves run later, off
-    // this write path — an ingest never waits on a subscriber.
+    // this write path — an ingest never waits on a subscriber. With a
+    // debounce window configured, the trigger parks on the loop's
+    // timer wheel instead, so an ingest burst coalesces into one
+    // pushed audit per subscription per window.
+    let debounce_via = if state.config.push_debounce_ms > 0 {
+        state
+            .loop_shared
+            .lock()
+            .expect("loop shared poisoned")
+            .clone()
+    } else {
+        None
+    };
     for hit in state.subs.affected(&epochs) {
-        schedule_push_audit(state, hit.subscription, hit.spec, hit.outbox, origin, ctx);
+        match &debounce_via {
+            Some(shared) => shared.queue_push(PendingPush {
+                subscription: hit.subscription,
+                spec: hit.spec,
+                outbox: hit.outbox,
+                origin,
+                ctx,
+            }),
+            None => {
+                schedule_push_audit(state, hit.subscription, hit.spec, hit.outbox, origin, ctx);
+            }
+        }
     }
     Some(report)
 }
@@ -1569,7 +1340,7 @@ fn apply_mutation(
 /// own mutex, so shard lock hold time stays proportional to routing +
 /// apply — a slow collector can never stall concurrent protocol
 /// ingests or audits. Returns how many records the tick ingested.
-fn run_collectors(state: &Arc<ServiceState>) -> usize {
+pub(crate) fn run_collectors(state: &Arc<ServiceState>) -> usize {
     // Phase 1: materialize. No DepDB lock is held anywhere in here.
     let mut collected: Vec<DependencyRecord> = Vec::new();
     {
@@ -1596,31 +1367,6 @@ fn run_collectors(state: &Arc<ServiceState>) -> usize {
         return 0;
     }
     total
-}
-
-/// The streaming-ingest timer: re-runs every registered collector each
-/// `interval` via [`run_collectors`]. A re-measured but unchanged world
-/// is a pure-duplicate batch — no epoch bump, no snapshot rebuild, no
-/// cache invalidation, and (with a db dir) no segment rewritten.
-fn collector_loop(state: &Arc<ServiceState>, interval: Duration) {
-    // Sleep in small slices so shutdown is observed promptly even under
-    // multi-second intervals.
-    let slice = interval.min(Duration::from_millis(100));
-    let mut next = Instant::now() + interval;
-    loop {
-        if state.shutting_down.load(Ordering::Acquire) {
-            return;
-        }
-        if Instant::now() < next {
-            std::thread::sleep(slice);
-            continue;
-        }
-        next = Instant::now() + interval;
-        run_collectors(state);
-        // Persist whatever the tick (or interleaved protocol ingests)
-        // dirtied; a clean tick writes nothing.
-        save_dirty(state);
-    }
 }
 
 /// Rejects request-controlled algorithm parameters that would panic an
@@ -1657,14 +1403,21 @@ fn validate_spec(spec: &AuditSpec) -> Result<(), String> {
     Ok(())
 }
 
-fn audit_sia(
-    state: &ServiceState,
+/// Admits an `AuditSia`: cache hits answer inline; a miss submits a
+/// pooled job that fulfills `slot` itself — no thread waits on the
+/// result. The job polls its deadline-armed token and reports
+/// `Cancelled` as "audit failed: …"; the loop's guard timer answers
+/// "audit timed out" only for a worker wedged past deadline + grace,
+/// and the [`CrashGuard`] answers for a panicked one.
+fn admit_sia(
+    state: &Arc<ServiceState>,
     spec: AuditSpec,
     timeout_ms: Option<u64>,
     ctx: Option<TraceContext>,
-) -> Response {
+    slot: Arc<ResponseSlot>,
+) -> AdmitOutcome {
     if let Err(e) = validate_spec(&spec) {
-        return Response::error(format!("invalid spec: {e}"));
+        return AdmitOutcome::Done(Response::error(format!("invalid spec: {e}")), false);
     }
     let started = Instant::now();
     // Wait-free: no lock is taken for either the epoch stamp or the
@@ -1693,16 +1446,19 @@ fn audit_sia(
         trace.pins = pins;
         trace.total_us = started.elapsed().as_micros() as u64;
         state.telemetry.recorder.record(trace);
-        return Response::Sia {
-            epoch,
-            cached: true,
-            elapsed_us: started.elapsed().as_micros() as u64,
-            report,
-        };
+        return AdmitOutcome::Done(
+            Response::Sia {
+                epoch,
+                cached: true,
+                elapsed_us: started.elapsed().as_micros() as u64,
+                report,
+            },
+            false,
+        );
     }
 
     let deadline = job_deadline(&state.config, timeout_ms);
-    let (tx, rx) = mpsc::channel();
+    let st = Arc::clone(state);
     let telemetry = Arc::clone(&state.telemetry);
     let trace_pins = pins.clone();
     // Sibling children of the request span: how long the job sat in the
@@ -1711,6 +1467,9 @@ fn audit_sia(
     let exec = ctx.map(|c| c.child());
     let submit_at = Instant::now();
     let submitted = state.scheduler.submit(Some(deadline), move |token| {
+        // Answers the slot with "audit job crashed" if this closure
+        // unwinds before `fulfill` below claims it.
+        let crash = CrashGuard(Arc::clone(&slot));
         let _scope = exec.map(TraceScope::enter);
         let run_started = Instant::now();
         if let Some(c) = ctx {
@@ -1740,44 +1499,51 @@ fn audit_sia(
             trace.outcome = e.to_string();
         }
         telemetry.recorder.record(trace);
-        let _ = tx.send(result);
-    });
-    let token = match submitted {
-        Ok(token) => token,
-        Err(e) => return Response::error(e.to_string()),
-    };
-    match wait_for_result(&rx, deadline, &token) {
-        Ok(Ok(report)) => {
-            state
-                .sia_cache
-                .lock()
-                .expect("cache lock poisoned")
-                .insert(key, pins, report.clone());
-            Response::Sia {
-                epoch,
-                cached: false,
-                elapsed_us: started.elapsed().as_micros() as u64,
-                report,
+        let response = match result {
+            Ok(report) => {
+                st.sia_cache
+                    .lock()
+                    .expect("cache lock poisoned")
+                    .insert(key, pins, report.clone());
+                Response::Sia {
+                    epoch,
+                    cached: false,
+                    elapsed_us: started.elapsed().as_micros() as u64,
+                    report,
+                }
             }
-        }
-        Ok(Err(e)) => Response::error(format!("audit failed: {e}")),
-        Err(timeout) => Response::error(timeout),
+            Err(e) => Response::error(format!("audit failed: {e}")),
+        };
+        crash.0.fulfill(response);
+    });
+    match submitted {
+        Ok(token) => AdmitOutcome::Pooled { token, deadline },
+        Err(e) => AdmitOutcome::Done(Response::error(e.to_string()), false),
     }
 }
 
-fn audit_pia(
-    state: &ServiceState,
+/// Admits an `AuditPia` — same shape as [`admit_sia`], epoch-free cache
+/// key (PIA reads nothing from the DepDB).
+fn admit_pia(
+    state: &Arc<ServiceState>,
     providers: Vec<(String, Vec<String>)>,
     way: usize,
     minhash: Option<usize>,
     timeout_ms: Option<u64>,
     ctx: Option<TraceContext>,
-) -> Response {
+    slot: Arc<ResponseSlot>,
+) -> AdmitOutcome {
     if way < 2 || providers.len() < way {
-        return Response::error("need way >= 2 and at least `way` providers");
+        return AdmitOutcome::Done(
+            Response::error("need way >= 2 and at least `way` providers"),
+            false,
+        );
     }
     if providers.iter().any(|(_, set)| set.is_empty()) {
-        return Response::error("provider component sets must be non-empty");
+        return AdmitOutcome::Done(
+            Response::error("provider component sets must be non-empty"),
+            false,
+        );
     }
     let started = Instant::now();
     let epoch = state.db.epoch();
@@ -1796,20 +1562,24 @@ fn audit_pia(
         trace.cached = true;
         trace.total_us = started.elapsed().as_micros() as u64;
         state.telemetry.recorder.record(trace);
-        return Response::Pia {
-            epoch,
-            cached: true,
-            elapsed_us: started.elapsed().as_micros() as u64,
-            rankings,
-        };
+        return AdmitOutcome::Done(
+            Response::Pia {
+                epoch,
+                cached: true,
+                elapsed_us: started.elapsed().as_micros() as u64,
+                rankings,
+            },
+            false,
+        );
     }
 
     let deadline = job_deadline(&state.config, timeout_ms);
-    let (tx, rx) = mpsc::channel();
+    let st = Arc::clone(state);
     let telemetry = Arc::clone(&state.telemetry);
     let exec = ctx.map(|c| c.child());
     let submit_at = Instant::now();
     let submitted = state.scheduler.submit(Some(deadline), move |token| {
+        let crash = CrashGuard(Arc::clone(&slot));
         let _scope = exec.map(TraceScope::enter);
         let run_started = Instant::now();
         if let Some(c) = ctx {
@@ -1836,28 +1606,27 @@ fn audit_pia(
             trace.outcome = e.to_string();
         }
         telemetry.recorder.record(trace);
-        let _ = tx.send(result);
-    });
-    let token = match submitted {
-        Ok(token) => token,
-        Err(e) => return Response::error(e.to_string()),
-    };
-    match wait_for_result(&rx, deadline, &token) {
-        Ok(Ok(rankings)) => {
-            state.pia_cache.lock().expect("cache lock poisoned").insert(
-                key,
-                EpochPins::new(), // no pins: epoch-independent, never stale
-                rankings.clone(),
-            );
-            Response::Pia {
-                epoch,
-                cached: false,
-                elapsed_us: started.elapsed().as_micros() as u64,
-                rankings,
+        let response = match result {
+            Ok(rankings) => {
+                st.pia_cache.lock().expect("cache lock poisoned").insert(
+                    key,
+                    EpochPins::new(), // no pins: epoch-independent, never stale
+                    rankings.clone(),
+                );
+                Response::Pia {
+                    epoch,
+                    cached: false,
+                    elapsed_us: started.elapsed().as_micros() as u64,
+                    rankings,
+                }
             }
-        }
-        Ok(Err(e)) => Response::error(format!("audit failed: {e}")),
-        Err(timeout) => Response::error(timeout),
+            Err(e) => Response::error(format!("audit failed: {e}")),
+        };
+        crash.0.fulfill(response);
+    });
+    match submitted {
+        Ok(token) => AdmitOutcome::Pooled { token, deadline },
+        Err(e) => AdmitOutcome::Done(Response::error(e.to_string()), false),
     }
 }
 
@@ -1868,29 +1637,6 @@ fn job_deadline(config: &ServeConfig, timeout_ms: Option<u64>) -> Duration {
         .map(Duration::from_millis)
         .unwrap_or(config.default_deadline)
         .min(config.max_deadline)
-}
-
-/// Waits for a job result, granting a small grace period past the
-/// deadline (the job polls its token and reports `Cancelled` itself; the
-/// hard timeout here only guards against a wedged worker).
-fn wait_for_result<T>(
-    rx: &mpsc::Receiver<T>,
-    deadline: Duration,
-    token: &CancelToken,
-) -> Result<T, String> {
-    let grace = deadline + Duration::from_secs(2);
-    match rx.recv_timeout(grace) {
-        Ok(result) => Ok(result),
-        Err(mpsc::RecvTimeoutError::Disconnected) => {
-            // The job dropped its sender without sending: it panicked
-            // (the scheduler caught it and the worker survived).
-            Err("audit job crashed; see server log".to_string())
-        }
-        Err(mpsc::RecvTimeoutError::Timeout) => {
-            token.cancel();
-            Err("audit timed out".to_string())
-        }
-    }
 }
 
 fn status(state: &ServiceState) -> Response {

@@ -55,8 +55,11 @@ struct OutboxInner {
     closed: bool,
 }
 
-/// A bounded, closeable frame queue feeding one connection's writer
-/// thread.
+/// A bounded, closeable frame queue. Historically each connection's
+/// dedicated writer thread blocked in [`Outbox::pop`]; under the
+/// readiness loop the loop drains it non-blockingly with
+/// [`Outbox::try_pop`] after the [notifier](Outbox::set_notifier)
+/// wakes it.
 pub struct Outbox {
     inner: Mutex<OutboxInner>,
     ready: Condvar,
@@ -66,6 +69,11 @@ pub struct Outbox {
     /// subscriber's lost pushes are visible without walking every live
     /// connection.
     shed_counters: Vec<Arc<Counter>>,
+    /// Called (outside the queue lock) after every state change a
+    /// drainer cares about: a successful enqueue or a close. The
+    /// readiness loop installs a hook that flags the connection and
+    /// kicks its eventfd waker.
+    notifier: Mutex<Option<Arc<dyn Fn() + Send + Sync>>>,
 }
 
 impl Default for Outbox {
@@ -93,6 +101,26 @@ impl Outbox {
             }),
             ready: Condvar::new(),
             shed_counters,
+            notifier: Mutex::new(None),
+        }
+    }
+
+    /// Installs the wake hook invoked after every successful enqueue
+    /// and on close. At most one notifier is live; installing replaces
+    /// the previous one.
+    pub fn set_notifier(&self, hook: impl Fn() + Send + Sync + 'static) {
+        *self.notifier.lock().expect("outbox poisoned") = Some(Arc::new(hook));
+    }
+
+    fn notify(&self) {
+        let hook = self
+            .notifier
+            .lock()
+            .expect("outbox poisoned")
+            .as_ref()
+            .map(Arc::clone);
+        if let Some(hook) = hook {
+            hook();
         }
     }
 
@@ -101,15 +129,18 @@ impl Outbox {
     /// request cap. Returns false if the outbox is closed (the
     /// connection died; the frame is dropped).
     pub fn push_response(&self, frame: Vec<u8>) -> bool {
-        let mut inner = self.inner.lock().expect("outbox poisoned");
-        if inner.closed {
-            return false;
+        {
+            let mut inner = self.inner.lock().expect("outbox poisoned");
+            if inner.closed {
+                return false;
+            }
+            inner.queue.push_back(OutMsg {
+                event: false,
+                frame,
+            });
+            self.ready.notify_all();
         }
-        inner.queue.push_back(OutMsg {
-            event: false,
-            frame,
-        });
-        self.ready.notify_all();
+        self.notify();
         true
     }
 
@@ -119,23 +150,26 @@ impl Outbox {
     /// and the producer never blocks. Returns false if the outbox is
     /// closed.
     pub fn push_event(&self, frame: Vec<u8>) -> bool {
-        let mut inner = self.inner.lock().expect("outbox poisoned");
-        if inner.closed {
-            return false;
-        }
-        if inner.events >= MAX_OUTBOX_EVENTS {
-            if let Some(pos) = inner.queue.iter().position(|m| m.event) {
-                inner.queue.remove(pos);
-                inner.events -= 1;
-                inner.shed += 1;
-                for c in &self.shed_counters {
-                    c.inc();
+        {
+            let mut inner = self.inner.lock().expect("outbox poisoned");
+            if inner.closed {
+                return false;
+            }
+            if inner.events >= MAX_OUTBOX_EVENTS {
+                if let Some(pos) = inner.queue.iter().position(|m| m.event) {
+                    inner.queue.remove(pos);
+                    inner.events -= 1;
+                    inner.shed += 1;
+                    for c in &self.shed_counters {
+                        c.inc();
+                    }
                 }
             }
+            inner.queue.push_back(OutMsg { event: true, frame });
+            inner.events += 1;
+            self.ready.notify_all();
         }
-        inner.queue.push_back(OutMsg { event: true, frame });
-        inner.events += 1;
-        self.ready.notify_all();
+        self.notify();
         true
     }
 
@@ -157,11 +191,29 @@ impl Outbox {
         }
     }
 
+    /// Pops the next queued frame without blocking; `None` means the
+    /// queue is (currently) empty. The readiness loop's drain path —
+    /// it never parks a thread on the condvar.
+    pub fn try_pop(&self) -> Option<Vec<u8>> {
+        let mut inner = self.inner.lock().expect("outbox poisoned");
+        let msg = inner.queue.pop_front()?;
+        if msg.event {
+            inner.events -= 1;
+        }
+        Some(msg.frame)
+    }
+
+    /// True once [`Outbox::close`] ran. Queued frames may still remain.
+    pub fn is_closed(&self) -> bool {
+        self.inner.lock().expect("outbox poisoned").closed
+    }
+
     /// Closes the outbox: producers start dropping frames, and the
-    /// writer exits once the already-queued frames are written.
+    /// drainer exits once the already-queued frames are written.
     pub fn close(&self) {
         self.inner.lock().expect("outbox poisoned").closed = true;
         self.ready.notify_all();
+        self.notify();
     }
 
     /// Waits until the queue is empty (everything handed to the writer),
@@ -385,6 +437,26 @@ mod tests {
             last = ob.pop().unwrap();
         }
         assert_eq!(last, format!("ev{}", MAX_OUTBOX_EVENTS + 9).into_bytes());
+    }
+
+    #[test]
+    fn try_pop_and_notifier_drive_a_poll_drainer() {
+        let ob = Outbox::new();
+        let hits = Arc::new(Counter::new());
+        let h = Arc::clone(&hits);
+        ob.set_notifier(move || h.inc());
+        assert!(ob.try_pop().is_none());
+        ob.push_response(b"a".to_vec());
+        ob.push_event(b"b".to_vec());
+        assert_eq!(hits.get(), 2, "one wake per enqueue");
+        assert_eq!(ob.try_pop().unwrap(), b"a");
+        assert_eq!(ob.try_pop().unwrap(), b"b");
+        assert!(ob.try_pop().is_none());
+        ob.close();
+        assert!(ob.is_closed());
+        assert_eq!(hits.get(), 3, "close wakes the drainer too");
+        assert!(!ob.push_response(b"late".to_vec()));
+        assert_eq!(hits.get(), 3, "rejected frames do not wake");
     }
 
     #[test]

@@ -25,6 +25,7 @@
 //! | `fed_party_failures_total` | federation party runs that failed |
 //! | `db_segments_quarantined_total` | torn/garbage segment files quarantined at load |
 //! | `faults_injected_total` | chaos faults fired by the `--fault` harness |
+//! | `loop_wakeups_total` | readiness-loop `epoll_wait` returns |
 //!
 //! Gauges (instantaneous; the derived ones are refreshed from their
 //! authoritative sources — shard counters, cache stats, scheduler —
@@ -42,6 +43,8 @@
 //! | `subscriptions` | live audit subscriptions (derived) |
 //! | `active_conns` | open client connections (derived) |
 //! | `pushed_events` | audit events produced for subscribers (derived) |
+//! | `conn_registered` | connections registered with the readiness loop (live) |
+//! | `write_queue_depth` | bytes queued across all connection write queues (live) |
 //!
 //! Histograms (all in microseconds):
 //!
@@ -49,7 +52,8 @@
 //! |---|---|
 //! | `envelope_decode_us` | v2 frame → envelope parse |
 //! | `dispatch_us` | request dispatch to response produced |
-//! | `write_us` | one response/event frame onto the socket |
+//! | `write_us` | one write-queue drain pass onto a socket |
+//! | `loop_ready_events` | fds ready per `epoll_wait` return (a batch-size distribution, not µs) |
 //! | `sched_wait_us` | job queue wait |
 //! | `audit_stage_graph_build_us` | fault-graph construction, per candidate |
 //! | `audit_stage_rg_minimal_us` | minimal risk-group engine |
@@ -114,6 +118,10 @@ pub struct Telemetry {
     pub db_segments_quarantined_total: Arc<Counter>,
     pub faults_injected_total: Arc<Counter>,
     pub fed_party_us: Arc<Histo>,
+    pub loop_wakeups_total: Arc<Counter>,
+    pub loop_ready_events: Arc<Histo>,
+    pub conn_registered: Arc<indaas_obs::Gauge>,
+    pub write_queue_depth: Arc<indaas_obs::Gauge>,
 }
 
 impl Telemetry {
@@ -176,6 +184,10 @@ impl Telemetry {
             db_segments_quarantined_total: registry.counter("db_segments_quarantined_total"),
             faults_injected_total: registry.counter("faults_injected_total"),
             fed_party_us: registry.histo("fed_party_us"),
+            loop_wakeups_total: registry.counter("loop_wakeups_total"),
+            loop_ready_events: registry.histo("loop_ready_events"),
+            conn_registered: registry.gauge("conn_registered"),
+            write_queue_depth: registry.gauge("write_queue_depth"),
             registry,
             recorder,
             spans: SpanStore::new(SPAN_CAPACITY),

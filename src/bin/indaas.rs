@@ -94,7 +94,8 @@ USAGE:
                [--node NAME] [--round-timeout-ms MS]
                [--collect-interval MS] [--collect-truth FILE]
                [--collect-miss-rate R] [--slow-audit-ms MS]
-               [--log-level LVL] [--log-json] [--fault SPEC ...]
+               [--push-debounce-ms MS] [--log-level LVL] [--log-json]
+               [--fault SPEC ...]
 
 OPTIONS:
   --listen ADDR          listen address (default 127.0.0.1:4914; port 0 = ephemeral)
@@ -127,6 +128,10 @@ OPTIONS:
   --slow-audit-ms MS     flight-recorder slow threshold: traces at or
                          above MS total are flagged slow in `indaas
                          metrics` (default 1000; 0 flags everything)
+  --push-debounce-ms MS  coalesce subscription pushes: an ingest burst
+                         invalidating the same subscription schedules
+                         one pushed audit per MS window instead of one
+                         per batch (default 0 = push immediately)
   --log-level LVL        minimum severity the structured logger emits:
                          error|warn|info|debug (default info)
   --log-json             log one JSON object per line instead of text
@@ -478,6 +483,9 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     }
     if let Some(v) = flags.value("--slow-audit-ms") {
         config.slow_audit_ms = v.parse().map_err(|e| format!("--slow-audit-ms: {e}"))?;
+    }
+    if let Some(v) = flags.value("--push-debounce-ms") {
+        config.push_debounce_ms = v.parse().map_err(|e| format!("--push-debounce-ms: {e}"))?;
     }
     if let Some(v) = flags.value("--log-level") {
         config.log_level = v.parse().map_err(|e| format!("--log-level: {e}"))?;
@@ -1224,16 +1232,28 @@ fn render_top(
         gauge("sched_jobs_running"),
     ));
     out.push_str(&format!(
-        "events:  {} pushed   {} shed      subs: {}\n\nstage latency (us):\n",
+        "events:  {} pushed   {} shed      subs: {}\n",
         status.pushed_events,
         metrics.counter("outbox_shed_total").unwrap_or(0),
         status.subscriptions,
+    ));
+    out.push_str(&format!(
+        "loop:    {:.1} wakeups/s   {} conns registered   {} outbound bytes queued\n\n\
+         stage latency (us):\n",
+        rate("loop_wakeups_total"),
+        gauge("conn_registered"),
+        gauge("write_queue_depth"),
     ));
     for histo in &metrics.histos {
         let interesting = histo.name.starts_with("audit_stage_")
             || matches!(
                 histo.name.as_str(),
-                "audit_sia_us" | "audit_pia_us" | "push_latency_us" | "ingest_us" | "dispatch_us"
+                "audit_sia_us"
+                    | "audit_pia_us"
+                    | "push_latency_us"
+                    | "ingest_us"
+                    | "dispatch_us"
+                    | "loop_ready_events"
             );
         if !interesting || histo.count == 0 {
             continue;

@@ -605,3 +605,158 @@ mod frame_props {
         }
     }
 }
+
+/// The readiness loop's incremental codecs against the blocking readers
+/// they replaced: however the kernel splits a byte stream across reads,
+/// the incremental extractors must produce exactly the frames/lines the
+/// blocking `read_frame`/`read_bounded_line` loops did — and a write
+/// queue facing a socket that takes arbitrarily few bytes per call must
+/// put exactly the pushed bytes on the wire, in order.
+mod codec_props {
+    use indaas::service::codec::{
+        frame_bytes, line_bytes, try_extract_frame, try_extract_line, WriteProgress, WriteQueue,
+    };
+    use indaas::service::proto::{read_bounded_line, read_frame, FrameRead, LineRead};
+    use proptest::prelude::*;
+
+    const LIMIT: u64 = 4096;
+
+    /// Splits `wire` into chunks whose sizes cycle through `cuts`
+    /// (0 = deliver one byte, mimicking the worst kernel fragmentation).
+    fn chunks(wire: &[u8], cuts: &[usize]) -> Vec<Vec<u8>> {
+        let mut out = Vec::new();
+        let mut at = 0;
+        let mut i = 0;
+        while at < wire.len() {
+            let step = (cuts[i % cuts.len()] % 97).max(1).min(wire.len() - at);
+            out.push(wire[at..at + step].to_vec());
+            at += step;
+            i += 1;
+        }
+        out
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// Frames delivered in arbitrary splits decode identically to
+        /// the blocking reader on the whole stream.
+        #[test]
+        fn split_frames_decode_like_blocking(
+            payloads in proptest::collection::vec(
+                proptest::collection::vec(any::<u8>(), 0..300), 0..6),
+            cuts in proptest::collection::vec(any::<usize>(), 1..8),
+        ) {
+            let wire: Vec<u8> = payloads.iter().flat_map(|p| frame_bytes(p)).collect();
+
+            let mut blocking = Vec::new();
+            let mut cursor = std::io::Cursor::new(wire.clone());
+            let mut buf = Vec::new();
+            while matches!(read_frame(&mut cursor, &mut buf, LIMIT).unwrap(), FrameRead::Frame) {
+                blocking.push(buf.clone());
+            }
+
+            let mut incremental = Vec::new();
+            let mut inbuf = Vec::new();
+            for chunk in chunks(&wire, &cuts) {
+                inbuf.extend_from_slice(&chunk);
+                while let Some(frame) = try_extract_frame(&mut inbuf, LIMIT).unwrap() {
+                    incremental.push(frame);
+                }
+            }
+            prop_assert_eq!(&incremental, &blocking);
+            prop_assert_eq!(incremental, payloads);
+            prop_assert!(inbuf.is_empty(), "no bytes left behind");
+        }
+
+        /// Lines delivered in arbitrary splits decode identically to the
+        /// blocking reader (both keep the trailing newline).
+        #[test]
+        fn split_lines_decode_like_blocking(
+            raw_lines in proptest::collection::vec(
+                proptest::collection::vec(0x20u8..0x7f, 0..120), 0..6),
+            cuts in proptest::collection::vec(any::<usize>(), 1..8),
+        ) {
+            let lines: Vec<String> = raw_lines
+                .into_iter()
+                .map(|b| String::from_utf8(b).unwrap())
+                .collect();
+            let wire: Vec<u8> = lines.iter().flat_map(|l| line_bytes(l)).collect();
+
+            let mut blocking = Vec::new();
+            let mut cursor = std::io::Cursor::new(wire.clone());
+            let mut buf = String::new();
+            while matches!(
+                read_bounded_line(&mut cursor, &mut buf, LIMIT).unwrap(),
+                LineRead::Line
+            ) {
+                blocking.push(buf.clone());
+            }
+
+            let mut incremental = Vec::new();
+            let mut inbuf = Vec::new();
+            for chunk in chunks(&wire, &cuts) {
+                inbuf.extend_from_slice(&chunk);
+                while let Some(line) = try_extract_line(&mut inbuf, LIMIT).unwrap() {
+                    incremental.push(line.unwrap());
+                }
+            }
+            prop_assert_eq!(&incremental, &blocking);
+            prop_assert!(inbuf.is_empty(), "no bytes left behind");
+        }
+
+        /// A writer that accepts arbitrarily few bytes per call (and
+        /// interleaves WouldBlock) still receives exactly the pushed
+        /// messages, in order, resuming mid-message losslessly.
+        #[test]
+        fn partial_writes_resume_losslessly(
+            messages in proptest::collection::vec(
+                proptest::collection::vec(any::<u8>(), 1..200), 1..6),
+            script in proptest::collection::vec(0usize..40, 1..10),
+        ) {
+            /// Takes `script[i] % 40` bytes per call; 0 = WouldBlock.
+            struct Miserly {
+                out: Vec<u8>,
+                script: Vec<usize>,
+                i: usize,
+            }
+            impl std::io::Write for Miserly {
+                fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                    let quota = self.script[self.i % self.script.len()];
+                    self.i += 1;
+                    if quota == 0 {
+                        return Err(std::io::ErrorKind::WouldBlock.into());
+                    }
+                    let n = quota.min(buf.len());
+                    self.out.extend_from_slice(&buf[..n]);
+                    Ok(n)
+                }
+                fn flush(&mut self) -> std::io::Result<()> {
+                    Ok(())
+                }
+            }
+
+            let mut script = script;
+            if script.iter().all(|&q| q == 0) {
+                script[0] = 1; // an always-blocking socket never drains
+            }
+            let mut wq = WriteQueue::new();
+            for m in &messages {
+                wq.push(m.clone());
+            }
+            let expected: Vec<u8> = messages.concat();
+            let cycle = script.len();
+            let mut sink = Miserly { out: Vec::new(), script, i: 0 };
+            // Every full pass through the script moves ≥ 1 byte, and each
+            // write_to call consumes ≥ 1 script entry.
+            for _ in 0..=(expected.len() + 1) * cycle + 2 {
+                match wq.write_to(&mut sink).unwrap() {
+                    WriteProgress::Drained => break,
+                    WriteProgress::Blocked => {}
+                }
+            }
+            prop_assert!(wq.is_empty(), "queue drained");
+            prop_assert_eq!(sink.out, expected);
+        }
+    }
+}

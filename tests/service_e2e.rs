@@ -1258,3 +1258,39 @@ fn traced_audit_records_spans_and_push_events_carry_trace_ids() {
     client.shutdown().expect("shutdown");
     daemon.join().unwrap().expect("serve loop");
 }
+
+#[test]
+fn server_handle_spawn_and_shutdown() {
+    // `Server::spawn` replaces the hand-rolled thread + protocol-level
+    // `Shutdown` request dance: the handle owns the serve thread and
+    // `shutdown()` wakes the readiness loop directly.
+    let handle = Server::bind(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        queue_capacity: 16,
+        ..ServeConfig::default()
+    })
+    .expect("bind ephemeral port")
+    .spawn()
+    .expect("spawn serve thread");
+    let addr = handle.addr();
+
+    // The daemon is live: a full ingest + audit round-trip works.
+    let mut client = Client::connect(addr).expect("connect");
+    let ack = client.ingest(RECORDS).expect("ingest");
+    assert_eq!(ack.epoch, 1);
+    let answer = client.audit_sia(&audit_spec(), None).expect("audit");
+    assert!(!answer.cached);
+
+    // An open subscription gets the farewell push when the handle shuts
+    // the server down out-of-band (no protocol Shutdown request sent).
+    let mut subscription = client.subscribe(&audit_spec()).expect("subscribe");
+    let _initial = subscription.recv().expect("initial pushed event");
+
+    handle.shutdown().expect("shutdown joins the serve loop");
+
+    // The listener is gone and the subscriber saw a clean end-of-stream
+    // (farewell or orderly close), not a hang.
+    assert!(TcpStream::connect(addr).is_err(), "listener closed");
+    while subscription.recv().is_ok() {}
+}
