@@ -118,8 +118,8 @@ struct ObsHooks {
 impl ObsHooks {
     fn new(registry: &Registry) -> Self {
         ObsHooks {
-            mutations: registry.counter("mutations_total"),
-            ingest_us: registry.histo("ingest_us"),
+            mutations: registry.counter(indaas_service::names::MUTATIONS_TOTAL),
+            ingest_us: registry.histo(indaas_service::names::INGEST_US),
         }
     }
 }

@@ -53,7 +53,7 @@
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::Ordering;
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 use serde::{Deserialize, Serialize};
 
@@ -196,12 +196,12 @@ impl ShardedDepDb {
         // shutdown save, and unserialized savers could claim dirty
         // flags and rename segments in an order that publishes an older
         // snapshot over a newer one.
-        let _saving = self.persist.lock().expect("persist lock poisoned");
+        let _saving = self.persist.lock().unwrap_or_else(PoisonError::into_inner);
         // Chaos hook: `db.save` fails the save before any dirty flag is
         // claimed (error/disconnect) or silently skips the tick (drop) —
         // either way every mutated shard stays dirty and the next tick
         // retries.
-        match indaas_faultinj::point("db.save") {
+        match indaas_faultinj::point(indaas_faultinj::points::DB_SAVE) {
             indaas_faultinj::FaultAction::Pass => {}
             indaas_faultinj::FaultAction::Drop => return Ok(0),
             _ => return Err(io::Error::other("injected fault at db.save")),
@@ -286,7 +286,9 @@ impl ShardedDepDb {
         // Chaos hook: `db.load` makes boot-time recovery fail outright —
         // every fault class surfaces as a load error (a disk has no
         // connection to drop).
-        if indaas_faultinj::point("db.load") != indaas_faultinj::FaultAction::Pass {
+        if indaas_faultinj::point(indaas_faultinj::points::DB_LOAD)
+            != indaas_faultinj::FaultAction::Pass
+        {
             return Err(io::Error::other("injected fault at db.load"));
         }
         let mut report = LoadReport::default();
@@ -520,7 +522,7 @@ fn load_segment_files(
                         );
                         quarantined
                             .lock()
-                            .expect("quarantine list poisoned")
+                            .unwrap_or_else(PoisonError::into_inner)
                             .push(q);
                         Vec::new()
                     }
@@ -534,24 +536,29 @@ fn load_segment_files(
                     Err(e) => {
                         first_error
                             .lock()
-                            .expect("segment error slot poisoned")
+                            .unwrap_or_else(PoisonError::into_inner)
                             .get_or_insert(e);
                         return;
                     }
                 };
-                results.lock().expect("segment results poisoned")[s] = Some(records);
+                results.lock().unwrap_or_else(PoisonError::into_inner)[s] = Some(records);
             });
         }
     });
-    if let Some(e) = first_error.into_inner().expect("segment error slot") {
+    if let Some(e) = first_error
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner)
+    {
         return Err(e);
     }
-    report
-        .quarantined
-        .append(&mut quarantined.into_inner().expect("quarantine list"));
+    report.quarantined.append(
+        &mut quarantined
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner),
+    );
     results
         .into_inner()
-        .expect("segment results")
+        .unwrap_or_else(PoisonError::into_inner)
         .into_iter()
         .enumerate()
         .map(|(s, r)| {

@@ -7,7 +7,7 @@
 //! hot paths consult:
 //!
 //! ```
-//! match indaas_faultinj::point("fed.frame.send") {
+//! match indaas_faultinj::point(indaas_faultinj::points::FED_FRAME_SEND) {
 //!     indaas_faultinj::FaultAction::Pass => { /* do the real work */ }
 //!     indaas_faultinj::FaultAction::Error => { /* return an injected error */ }
 //!     indaas_faultinj::FaultAction::Drop => { /* silently skip the operation */ }
@@ -28,6 +28,8 @@
 //! process-global on purpose: the deepest call sites (`persist.rs`,
 //! `PeerConn`) have no configuration plumbing, and a chaos run arms the
 //! whole process anyway.
+
+pub mod points;
 
 use std::collections::HashMap;
 use std::fmt;
@@ -321,7 +323,7 @@ fn point_slow(name: &str) -> FaultAction {
         FaultPolicy::Drop => FaultAction::Drop,
         FaultPolicy::Disconnect => FaultAction::Disconnect,
         FaultPolicy::Delay(ms) => {
-            std::thread::sleep(Duration::from_millis(ms));
+            std::thread::sleep(Duration::from_millis(ms)); // lint:allow(blocking_in_loop) -- fault injection deliberately stalls the loop when a Delay policy is armed
             FaultAction::Pass
         }
         FaultPolicy::Crash => std::process::abort(),

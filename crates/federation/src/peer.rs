@@ -11,7 +11,7 @@ use std::net::TcpStream;
 use std::sync::Arc;
 use std::time::Duration;
 
-use indaas_faultinj::FaultAction;
+use indaas_faultinj::{points, FaultAction};
 use indaas_graph::CancelToken;
 use indaas_obs::TraceContext;
 use indaas_service::proto::{
@@ -75,7 +75,7 @@ impl PeerConn {
     ) -> Result<Self, FederationError> {
         // Chaos hook: an armed `fed.dial` point fails the dial before a
         // single byte leaves this daemon (any non-pass action refuses).
-        if indaas_faultinj::point("fed.dial") != FaultAction::Pass {
+        if indaas_faultinj::point(points::FED_DIAL) != FaultAction::Pass {
             return Err(FederationError::Io(std::io::Error::other(
                 "injected fault at fed.dial",
             )));
@@ -183,7 +183,7 @@ impl PeerConn {
         // Chaos hook: `fed.frame.send` can fail, drop, or sever one
         // ring hop — the fault classes the transport's retry/backoff
         // and ring re-dial exist to absorb.
-        match indaas_faultinj::point("fed.frame.send") {
+        match indaas_faultinj::point(points::FED_FRAME_SEND) {
             FaultAction::Pass => {}
             FaultAction::Error => {
                 return Err(FederationError::Io(std::io::Error::other(

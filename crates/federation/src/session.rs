@@ -11,7 +11,7 @@
 //! thread starts popping.
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use indaas_graph::CancelToken;
@@ -47,7 +47,7 @@ impl SessionMailbox {
     ///
     /// Rejects the frame when the buffer is at [`MAX_BUFFERED_FRAMES`].
     pub fn push(&self, frame: Frame) -> Result<(), String> {
-        let mut queue = self.queue.lock().expect("mailbox poisoned");
+        let mut queue = self.queue.lock().unwrap_or_else(PoisonError::into_inner);
         if queue.len() >= MAX_BUFFERED_FRAMES {
             return Err(format!(
                 "session mailbox full ({MAX_BUFFERED_FRAMES} frames buffered)"
@@ -67,7 +67,7 @@ impl SessionMailbox {
     /// deadline fired.
     pub fn pop(&self, token: &CancelToken, timeout: Duration) -> Result<Frame, TransportError> {
         let deadline = Instant::now() + timeout;
-        let mut queue = self.queue.lock().expect("mailbox poisoned");
+        let mut queue = self.queue.lock().unwrap_or_else(PoisonError::into_inner);
         loop {
             if let Some(frame) = queue.pop_front() {
                 return Ok(frame);
@@ -89,14 +89,17 @@ impl SessionMailbox {
             let (q, _) = self
                 .available
                 .wait_timeout(queue, wait)
-                .expect("mailbox poisoned");
+                .unwrap_or_else(PoisonError::into_inner);
             queue = q;
         }
     }
 
     /// Frames currently buffered.
     pub fn pending(&self) -> usize {
-        self.queue.lock().expect("mailbox poisoned").len()
+        self.queue
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
     }
 }
 
@@ -136,7 +139,7 @@ impl SessionRegistry {
     ///
     /// Rejects a new session when the registry is full of active ones.
     pub fn mailbox(&self, session: u64) -> Result<Arc<SessionMailbox>, String> {
-        let mut table = self.inner.lock().expect("registry poisoned");
+        let mut table = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         if let Some(mb) = table.mailboxes.get(&session) {
             return Ok(Arc::clone(mb));
         }
@@ -153,7 +156,7 @@ impl SessionRegistry {
                     "session registry full ({MAX_SESSIONS} active sessions)"
                 ));
             };
-            let stale = table.order.remove(pos).expect("position is in range");
+            let stale = table.order.remove(pos).expect("position is in range"); // lint:allow(panic_path) -- pos was just produced by position() over this deque
             table.mailboxes.remove(&stale);
         }
         let mb = Arc::new(SessionMailbox::default());
@@ -165,7 +168,7 @@ impl SessionRegistry {
     /// Drops a finished session's mailbox (late frames recreate an empty
     /// one that ages out via the capacity bound).
     pub fn remove(&self, session: u64) {
-        let mut table = self.inner.lock().expect("registry poisoned");
+        let mut table = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         table.mailboxes.remove(&session);
         table.order.retain(|s| *s != session);
     }
@@ -174,7 +177,7 @@ impl SessionRegistry {
     pub fn len(&self) -> usize {
         self.inner
             .lock()
-            .expect("registry poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .mailboxes
             .len()
     }

@@ -1,0 +1,4 @@
+//! The consistent registry: every point declared exactly once.
+
+pub const SVC_FRAME_READ: &str = "svc.frame.read";
+pub const SCHED_PHANTOM: &str = "sched.phantom.point";

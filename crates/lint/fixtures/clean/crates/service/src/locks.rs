@@ -1,0 +1,40 @@
+//! The disciplined equivalent: same-class nesting backed by
+//! ascending-order evidence, and one global class order.
+
+use std::sync::{Mutex, PoisonError};
+
+pub struct Store {
+    shard: Mutex<Vec<u32>>,
+    alpha: Mutex<Vec<u32>>,
+    beta: Mutex<Vec<u32>>,
+}
+
+impl Store {
+    /// Same-class nesting in ascending shard order: the sorted index
+    /// set plus the windows(2) assertion are the PR-4 discipline.
+    pub fn double_acquire(&self, mut hit: Vec<usize>) {
+        hit.sort_unstable();
+        // lint:allow(panic_path) -- fixture: windows(2) yields exactly 2-element slices
+        debug_assert!(hit.windows(2).all(|w| w[0] < w[1]));
+        let a = self.shard.lock().unwrap_or_else(PoisonError::into_inner);
+        let b = self.shard.lock().unwrap_or_else(PoisonError::into_inner);
+        drop(b);
+        drop(a);
+    }
+
+    /// One global order: alpha, then beta — everywhere.
+    pub fn alpha_then_beta(&self) {
+        let a = self.alpha.lock().unwrap_or_else(PoisonError::into_inner);
+        let b = self.beta.lock().unwrap_or_else(PoisonError::into_inner);
+        drop(b);
+        drop(a);
+    }
+
+    /// Same order as everyone else: alpha before beta.
+    pub fn also_alpha_then_beta(&self) {
+        let a = self.alpha.lock().unwrap_or_else(PoisonError::into_inner);
+        let b = self.beta.lock().unwrap_or_else(PoisonError::into_inner);
+        drop(b);
+        drop(a);
+    }
+}

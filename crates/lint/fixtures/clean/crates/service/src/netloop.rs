@@ -1,0 +1,23 @@
+//! The annotated equivalent of the seeded blocking_in_loop violations:
+//! same code, each site carrying a reasoned allow.
+
+pub struct Loop {
+    queue: std::sync::Mutex<Vec<u32>>,
+}
+
+impl Loop {
+    pub fn run_loop(&self) {
+        loop {
+            self.drain_once();
+        }
+    }
+
+    fn drain_once(&self) {
+        // lint:allow(blocking_in_loop) -- fixture: the pause is deliberate and bounded
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        // lint:allow(blocking_in_loop) -- fixture: short critical section, never held across IO
+        if let Ok(mut q) = self.queue.lock() {
+            q.clear();
+        }
+    }
+}

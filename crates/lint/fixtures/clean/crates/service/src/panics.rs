@@ -1,0 +1,15 @@
+//! The annotated equivalent: every panicking shape carries a reason.
+
+pub fn explode(input: &[u32], text: &str) -> u32 {
+    // lint:allow(panic_path) -- fixture: caller guarantees a non-empty slice
+    let first = input[0];
+    // lint:allow(panic_path) -- fixture: text was validated upstream
+    let parsed: u32 = text.parse().unwrap();
+    // lint:allow(panic_path) -- fixture: the harness always sets FIXTURE
+    let var = std::env::var("FIXTURE").expect("set in the environment");
+    if var.len() as u32 > parsed {
+        // lint:allow(panic_path) -- fixture: unreachable by the guard above
+        panic!("boom");
+    }
+    first
+}

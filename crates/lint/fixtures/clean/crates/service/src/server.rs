@@ -1,0 +1,11 @@
+//! The registry-disciplined equivalent: every name reaches its sink as
+//! a const from a registry module.
+
+pub fn fire() {
+    point(SVC_FRAME_READ);
+    counter(REQUESTS_TOTAL);
+    let _phantom = SCHED_PHANTOM;
+}
+
+fn point(_name: &str) {}
+fn counter(_name: &str) {}

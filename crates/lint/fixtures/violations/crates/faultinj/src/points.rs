@@ -1,0 +1,5 @@
+//! Seeded registry_consistency violation: the same point name declared
+//! twice.
+
+pub const SVC_FRAME_READ: &str = "svc.frame.read";
+pub const SVC_FRAME_READ_AGAIN: &str = "svc.frame.read";

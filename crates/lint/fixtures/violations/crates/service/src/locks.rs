@@ -1,0 +1,37 @@
+//! Seeded lock_order violations: same-class nesting without
+//! ascending-order evidence, and a two-class cycle.
+
+use std::sync::{Mutex, PoisonError};
+
+pub struct Store {
+    shard: Mutex<Vec<u32>>,
+    alpha: Mutex<Vec<u32>>,
+    beta: Mutex<Vec<u32>>,
+}
+
+impl Store {
+    /// Acquires `service::shard` while already holding it, with no
+    /// sort/windows(2) evidence in sight.
+    pub fn double_acquire(&self) {
+        let a = self.shard.lock().unwrap_or_else(PoisonError::into_inner);
+        let b = self.shard.lock().unwrap_or_else(PoisonError::into_inner);
+        drop(b);
+        drop(a);
+    }
+
+    /// Half of a cycle: alpha, then beta.
+    pub fn alpha_then_beta(&self) {
+        let a = self.alpha.lock().unwrap_or_else(PoisonError::into_inner);
+        let b = self.beta.lock().unwrap_or_else(PoisonError::into_inner);
+        drop(b);
+        drop(a);
+    }
+
+    /// The other half: beta, then alpha.
+    pub fn beta_then_alpha(&self) {
+        let b = self.beta.lock().unwrap_or_else(PoisonError::into_inner);
+        let a = self.alpha.lock().unwrap_or_else(PoisonError::into_inner);
+        drop(a);
+        drop(b);
+    }
+}

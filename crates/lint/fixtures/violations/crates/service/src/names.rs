@@ -1,0 +1,3 @@
+//! The metric-name registry side of the fixture workspace.
+
+pub const REQUESTS_TOTAL: &str = "requests_total";

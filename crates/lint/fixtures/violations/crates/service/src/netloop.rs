@@ -1,0 +1,21 @@
+//! Seeded blocking_in_loop violations: a sleep and a denied-class lock
+//! acquisition, both reachable from a readiness-loop root fn.
+
+pub struct Loop {
+    queue: std::sync::Mutex<Vec<u32>>,
+}
+
+impl Loop {
+    pub fn run_loop(&self) {
+        loop {
+            self.drain_once();
+        }
+    }
+
+    fn drain_once(&self) {
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        if let Ok(mut q) = self.queue.lock() {
+            q.clear();
+        }
+    }
+}

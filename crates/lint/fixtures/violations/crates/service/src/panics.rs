@@ -1,0 +1,12 @@
+//! Seeded panic_path violations: all four panicking shapes in non-test
+//! daemon code.
+
+pub fn explode(input: &[u32], text: &str) -> u32 {
+    let first = input[0];
+    let parsed: u32 = text.parse().unwrap();
+    let var = std::env::var("FIXTURE").expect("set in the environment");
+    if var.len() as u32 > parsed {
+        panic!("boom");
+    }
+    first
+}

@@ -1,0 +1,12 @@
+//! Seeded registry_consistency violations outside the registries: a
+//! declared name spelled out raw, a raw name fed to a sink, and an
+//! undeclared fault-point-shaped literal.
+
+pub fn fire() {
+    point("svc.frame.read");
+    counter("requests_in_flight");
+    let _phantom = "sched.phantom.point";
+}
+
+fn point(_name: &str) {}
+fn counter(_name: &str) {}

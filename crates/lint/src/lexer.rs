@@ -1,0 +1,452 @@
+//! A small, total Rust tokenizer.
+//!
+//! The lint never parses Rust properly — it lexes it. The lexer's one
+//! hard requirement is *totality*: any byte sequence, however
+//! malformed, must tokenize without panicking (the proptests in
+//! `tests/lexer_props.rs` hold it to that). Comments, cooked strings,
+//! raw strings, byte strings and char literals are recognized so that
+//! rule matching never fires on text inside them; `lint:allow`
+//! annotations are harvested from comments on the way through.
+
+/// What a token is, coarsely. The rules only ever need identifiers,
+/// string-literal *values*, lifetimes and single punctuation bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `let`, `submit`, ...).
+    Ident,
+    /// Integer/float literal (lexed loosely; value unused).
+    Num,
+    /// Cooked, raw or byte string literal. `text` holds the *content*
+    /// (between the quotes, escapes left as written).
+    Str,
+    /// Char or byte literal (`'a'`, `b'\n'`).
+    Char,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// One punctuation byte (`{`, `.`, `!`, ...).
+    Punct(u8),
+}
+
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokKind,
+    /// Identifier text or string-literal content; empty for punct/num.
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+    pub fn is_punct(&self, b: u8) -> bool {
+        self.kind == TokKind::Punct(b)
+    }
+}
+
+/// A `// lint:allow(<rule>) -- <reason>` annotation found in a comment.
+#[derive(Debug, Clone)]
+pub struct AllowAnnotation {
+    pub rule: String,
+    /// Reason text after `--`, trimmed; empty when missing (itself a
+    /// finding — every allow must say why).
+    pub reason: String,
+    /// Line the comment sits on.
+    pub comment_line: u32,
+    /// Line of code the annotation governs: the comment's own line for
+    /// a trailing comment, the next code line for a standalone one.
+    pub target_line: u32,
+}
+
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub allows: Vec<AllowAnnotation>,
+}
+
+impl Lexed {
+    /// Is `line` covered by an allow for `rule`?
+    pub fn allowed(&self, rule: &str, line: u32) -> bool {
+        self.allows
+            .iter()
+            .any(|a| a.rule == rule && a.target_line == line)
+    }
+}
+
+struct Cursor<'a> {
+    b: &'a [u8],
+    i: usize,
+    line: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+    fn peek_at(&self, off: usize) -> Option<u8> {
+        self.b.get(self.i + off).copied()
+    }
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.i += 1;
+        if c == b'\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c == b'_' || c.is_ascii_alphabetic() || c >= 0x80
+}
+
+fn is_ident_cont(c: u8) -> bool {
+    is_ident_start(c) || c.is_ascii_digit()
+}
+
+/// Tokenize `src`. Total: never panics, never loops forever — every
+/// iteration of the main loop consumes at least one byte.
+pub fn lex(src: &str) -> Lexed {
+    let mut cur = Cursor {
+        b: src.as_bytes(),
+        i: 0,
+        line: 1,
+    };
+    let mut out = Lexed::default();
+    // Standalone-comment annotations waiting for the next code line;
+    // resolved when the next token is emitted.
+    let mut pending: Vec<AllowAnnotation> = Vec::new();
+
+    while let Some(c) = cur.peek() {
+        // Comments first (line, then nested block), harvesting allows.
+        if c == b'/' && cur.peek_at(1) == Some(b'/') {
+            let line = cur.line;
+            let start = cur.i;
+            while cur.peek().is_some_and(|c| c != b'\n') {
+                cur.bump();
+            }
+            harvest_allow(&cur.b[start..cur.i], line, &out, &mut pending);
+            continue;
+        }
+        if c == b'/' && cur.peek_at(1) == Some(b'*') {
+            let line = cur.line;
+            let start = cur.i;
+            cur.bump();
+            cur.bump();
+            let mut depth = 1u32;
+            while depth > 0 {
+                match (cur.peek(), cur.peek_at(1)) {
+                    (Some(b'/'), Some(b'*')) => {
+                        depth += 1;
+                        cur.bump();
+                        cur.bump();
+                    }
+                    (Some(b'*'), Some(b'/')) => {
+                        depth -= 1;
+                        cur.bump();
+                        cur.bump();
+                    }
+                    (Some(_), _) => {
+                        cur.bump();
+                    }
+                    (None, _) => break,
+                }
+            }
+            harvest_allow(&cur.b[start..cur.i], line, &out, &mut pending);
+            continue;
+        }
+        if c.is_ascii_whitespace() {
+            cur.bump();
+            continue;
+        }
+
+        let line = cur.line;
+        let tok = lex_token(&mut cur, c, line);
+        for mut ann in pending.drain(..) {
+            // Trailing comments arrive already resolved; standalone
+            // ones (target 0) bind to this first following code line.
+            if ann.target_line == 0 {
+                ann.target_line = tok.line;
+            }
+            out.allows.push(ann);
+        }
+        out.tokens.push(tok);
+    }
+    // Annotations at EOF with no code after them target line 0 (match
+    // nothing) but still surface in the missing-reason check.
+    out.allows.append(&mut pending);
+    out
+}
+
+fn lex_token(cur: &mut Cursor, c: u8, line: u32) -> Token {
+    // String-ish prefixes: r" r#" b" br" b' and raw idents r#name.
+    if c == b'r' || c == b'b' {
+        if let Some(tok) = lex_prefixed_literal(cur, line) {
+            return tok;
+        }
+    }
+    match c {
+        b'"' => {
+            cur.bump();
+            let content = cooked_string(cur);
+            Token {
+                kind: TokKind::Str,
+                text: content,
+                line,
+            }
+        }
+        b'\'' => lex_quote(cur, line),
+        c if is_ident_start(c) => {
+            let start = cur.i;
+            while cur.peek().is_some_and(is_ident_cont) {
+                cur.bump();
+            }
+            let text = String::from_utf8_lossy(&cur.b[start..cur.i]).into_owned();
+            Token {
+                kind: TokKind::Ident,
+                text,
+                line,
+            }
+        }
+        c if c.is_ascii_digit() => {
+            // Loose: digits then trailing alphanumerics/underscores
+            // (hex digits, suffixes). `1.5` lexes as Num '.' Num.
+            while cur.peek().is_some_and(is_ident_cont) {
+                cur.bump();
+            }
+            Token {
+                kind: TokKind::Num,
+                text: String::new(),
+                line,
+            }
+        }
+        c => {
+            cur.bump();
+            Token {
+                kind: TokKind::Punct(c),
+                text: String::new(),
+                line,
+            }
+        }
+    }
+}
+
+/// At `r` or `b`: lex `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `b'x'`, or
+/// a raw ident `r#name`. Returns None (consuming nothing) when this is
+/// just an ordinary identifier starting with r/b.
+fn lex_prefixed_literal(cur: &mut Cursor, line: u32) -> Option<Token> {
+    let c0 = cur.peek()?;
+    let mut off = 1;
+    let mut raw = c0 == b'r';
+    if c0 == b'b' {
+        match cur.peek_at(off) {
+            Some(b'r') => {
+                raw = true;
+                off += 1;
+            }
+            Some(b'"') => {
+                // b"…": cooked byte string.
+                cur.bump();
+                cur.bump();
+                let content = cooked_string(cur);
+                return Some(Token {
+                    kind: TokKind::Str,
+                    text: content,
+                    line,
+                });
+            }
+            Some(b'\'') => {
+                // b'x': byte literal.
+                cur.bump();
+                return Some(lex_quote_as_char(cur, line));
+            }
+            _ => return None,
+        }
+    }
+    if !raw {
+        return None;
+    }
+    // Count hashes after r / br.
+    let mut hashes = 0usize;
+    while cur.peek_at(off + hashes) == Some(b'#') {
+        hashes += 1;
+    }
+    match cur.peek_at(off + hashes) {
+        Some(b'"') => {
+            // Consume prefix, hashes, opening quote.
+            for _ in 0..(off + hashes + 1) {
+                cur.bump();
+            }
+            let start = cur.i;
+            let mut end = cur.i;
+            'scan: while let Some(c) = cur.peek() {
+                if c == b'"' {
+                    // Need `hashes` '#' right after to close.
+                    let mut ok = true;
+                    for h in 0..hashes {
+                        if cur.peek_at(1 + h) != Some(b'#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        end = cur.i;
+                        for _ in 0..(1 + hashes) {
+                            cur.bump();
+                        }
+                        break 'scan;
+                    }
+                }
+                cur.bump();
+                end = cur.i;
+            }
+            let text = String::from_utf8_lossy(&cur.b[start..end]).into_owned();
+            Some(Token {
+                kind: TokKind::Str,
+                text,
+                line,
+            })
+        }
+        _ if hashes > 0 && c0 == b'r' && cur.peek_at(off + hashes).is_some_and(is_ident_start) => {
+            // Raw ident r#name.
+            for _ in 0..(off + hashes) {
+                cur.bump();
+            }
+            let start = cur.i;
+            while cur.peek().is_some_and(is_ident_cont) {
+                cur.bump();
+            }
+            let text = String::from_utf8_lossy(&cur.b[start..cur.i]).into_owned();
+            Some(Token {
+                kind: TokKind::Ident,
+                text,
+                line,
+            })
+        }
+        _ => None,
+    }
+}
+
+/// At a `'`: lifetime or char literal.
+fn lex_quote(cur: &mut Cursor, line: u32) -> Token {
+    cur.bump(); // consume '\''
+    match cur.peek() {
+        Some(c) if is_ident_start(c) => {
+            // 'a' (char) vs 'a / 'static (lifetime): a single
+            // ident-char followed by a closing quote is a char.
+            let start = cur.i;
+            while cur.peek().is_some_and(is_ident_cont) {
+                cur.bump();
+            }
+            if cur.peek() == Some(b'\'') && cur.i == start + 1 {
+                cur.bump();
+                Token {
+                    kind: TokKind::Char,
+                    text: String::new(),
+                    line,
+                }
+            } else {
+                let text = String::from_utf8_lossy(&cur.b[start..cur.i]).into_owned();
+                Token {
+                    kind: TokKind::Lifetime,
+                    text,
+                    line,
+                }
+            }
+        }
+        _ => char_body(cur, line),
+    }
+}
+
+/// After `b` with cursor on `'`: byte literal.
+fn lex_quote_as_char(cur: &mut Cursor, line: u32) -> Token {
+    cur.bump(); // consume '\''
+    char_body(cur, line)
+}
+
+/// Consume the body of a char/byte literal (cursor past the opening
+/// quote, not on an ident start — or on an escape).
+fn char_body(cur: &mut Cursor, line: u32) -> Token {
+    match cur.peek() {
+        Some(b'\\') => {
+            cur.bump();
+            cur.bump(); // escape head (n, t, x, u, ', \\ ...)
+            if cur.peek() == Some(b'{') {
+                // \u{…}
+                while let Some(c) = cur.bump() {
+                    if c == b'}' {
+                        break;
+                    }
+                }
+            } else if cur.peek().is_some_and(|c| c.is_ascii_hexdigit()) {
+                // \xNN second digit
+                cur.bump();
+            }
+        }
+        Some(b'\'') | None => {}
+        Some(_) => {
+            cur.bump();
+        }
+    }
+    if cur.peek() == Some(b'\'') {
+        cur.bump();
+    }
+    Token {
+        kind: TokKind::Char,
+        text: String::new(),
+        line,
+    }
+}
+
+/// Consume a cooked string body after the opening quote; returns the
+/// content. Handles escapes; tolerates EOF mid-string.
+fn cooked_string(cur: &mut Cursor) -> String {
+    let start = cur.i;
+    let mut end = cur.i;
+    while let Some(c) = cur.peek() {
+        if c == b'\\' {
+            cur.bump();
+            cur.bump();
+            end = cur.i;
+            continue;
+        }
+        if c == b'"' {
+            end = cur.i;
+            cur.bump();
+            return String::from_utf8_lossy(&cur.b[start..end]).into_owned();
+        }
+        cur.bump();
+        end = cur.i;
+    }
+    String::from_utf8_lossy(&cur.b[start..end]).into_owned()
+}
+
+fn harvest_allow(comment: &[u8], line: u32, out: &Lexed, pending: &mut Vec<AllowAnnotation>) {
+    let text = String::from_utf8_lossy(comment);
+    let Some(idx) = text.find("lint:allow(") else {
+        return;
+    };
+    let rest = &text[idx + "lint:allow(".len()..];
+    let Some(close) = rest.find(')') else { return };
+    let rule = rest[..close].trim().to_string();
+    let after = &rest[close + 1..];
+    let reason = after
+        .find("--")
+        .map(|i| after[i + 2..].trim().to_string())
+        .unwrap_or_default();
+    // Trailing comment (code earlier on the same line) governs its own
+    // line; a standalone one stays unresolved (target 0) and binds to
+    // the next code line when `lex` flushes `pending`.
+    let target_line = if out.tokens.last().is_some_and(|t| t.line == line) {
+        line
+    } else {
+        0
+    };
+    pending.push(AllowAnnotation {
+        rule,
+        reason,
+        comment_line: line,
+        target_line,
+    });
+}

@@ -1,0 +1,210 @@
+//! Rule 2: **lock_order** — lock nesting must be cycle-free, and
+//! repeated same-class (shard) acquisition must carry ascending-order
+//! evidence.
+//!
+//! Lock *classes* are crate-qualified field names (`deps::write`,
+//! `service::queue`): the extractor records each `.lock()`/`.read()`/
+//! `.write()` site, which guards are `let`-held, and which calls
+//! happen while a guard is live. Three checks:
+//!
+//! 1. **self-nesting** — acquiring class A while an A guard is held is
+//!    only legal with ascending-order evidence in the fn (the PR-4
+//!    sharded-DB discipline: a `sort*` call over the index set, or the
+//!    `debug_assert!(hit.windows(2)...)` assertion) or an allow.
+//! 2. **guard retention in a loop** — `guards.push(lock_shard(i))`
+//!    inside a loop retains one guard per iteration; the enclosing fn
+//!    needs the same evidence.
+//! 3. **cross-class cycles** — the workspace-wide nesting digraph
+//!    (direct pairs plus one level of calls-while-held) must be
+//!    acyclic.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::{Finding, LintConfig, Workspace, RULE_LOCK_ORDER};
+
+pub fn check(ws: &Workspace, _cfg: &LintConfig, out: &mut Vec<Finding>) {
+    // class -> class -> example (file rel, line, fn name)
+    let mut edges: HashMap<String, HashMap<String, (String, u32, String)>> = HashMap::new();
+    let mut memo: HashMap<(usize, usize), HashSet<String>> = HashMap::new();
+
+    for (fi, file) in ws.files.iter().enumerate() {
+        for f in &file.fns {
+            if f.is_test {
+                continue;
+            }
+            for (held, acquired, line) in &f.nest_pairs {
+                if held == acquired {
+                    if !f.ordering_evidence && !file.lexed.allowed(RULE_LOCK_ORDER, *line) {
+                        out.push(Finding {
+                            rule: RULE_LOCK_ORDER,
+                            file: file.rel.clone(),
+                            line: *line,
+                            message: format!(
+                                "`{}` acquires lock class `{held}` while already holding it, \
+                                 with no ascending-order evidence (sort the indices or assert \
+                                 `windows(2)` ordering)",
+                                f.name
+                            ),
+                        });
+                    }
+                    continue;
+                }
+                edges
+                    .entry(held.clone())
+                    .or_default()
+                    .entry(acquired.clone())
+                    .or_insert((file.rel.clone(), *line, f.name.clone()));
+            }
+            // Calls made while holding a guard: the callee's
+            // (transitively) acquired classes nest under the held one.
+            for (held, call_idx) in &f.held_calls {
+                let Some(call) = f.calls.get(*call_idx) else {
+                    continue;
+                };
+                let (callee, line) = (&call.name, &call.line);
+                let Some(target) = ws.resolve_call(call, fi, &[]) else {
+                    continue;
+                };
+                let acquired = acquired_classes(ws, target, 2, &mut memo);
+                for class in acquired {
+                    if &class == held {
+                        if !f.ordering_evidence && !file.lexed.allowed(RULE_LOCK_ORDER, *line) {
+                            out.push(Finding {
+                                rule: RULE_LOCK_ORDER,
+                                file: file.rel.clone(),
+                                line: *line,
+                                message: format!(
+                                    "`{}` calls `{callee}` (which acquires `{class}`) while \
+                                     holding `{held}` — same-class nesting needs ascending-order \
+                                     evidence",
+                                    f.name
+                                ),
+                            });
+                        }
+                        continue;
+                    }
+                    edges
+                        .entry(held.clone())
+                        .or_default()
+                        .entry(class.clone())
+                        .or_insert((file.rel.clone(), *line, f.name.clone()));
+                }
+            }
+            // Guard retention in a loop: a call inside a loop whose
+            // result lands in a `.push(..)` and whose callee acquires
+            // locks keeps one guard per iteration.
+            for call in &f.calls {
+                if !call.in_loop || call.ctx.as_deref() != Some("push") {
+                    continue;
+                }
+                let Some(target) = ws.resolve_call(call, fi, &[]) else {
+                    continue;
+                };
+                let acquired = acquired_classes(ws, target, 2, &mut memo);
+                if acquired.is_empty() {
+                    continue;
+                }
+                if f.ordering_evidence || file.lexed.allowed(RULE_LOCK_ORDER, call.line) {
+                    continue;
+                }
+                let mut classes: Vec<&String> = acquired.iter().collect();
+                classes.sort();
+                out.push(Finding {
+                    rule: RULE_LOCK_ORDER,
+                    file: file.rel.clone(),
+                    line: call.line,
+                    message: format!(
+                        "`{}` retains `{}` guards ({}) across loop iterations without \
+                         ascending-order evidence",
+                        f.name,
+                        call.name,
+                        classes
+                            .iter()
+                            .map(|s| s.as_str())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    ),
+                });
+            }
+        }
+    }
+
+    report_cycles(&edges, out);
+}
+
+/// Lock classes `at` acquires, following calls to `depth`.
+fn acquired_classes(
+    ws: &Workspace,
+    at: (usize, usize),
+    depth: usize,
+    memo: &mut HashMap<(usize, usize), HashSet<String>>,
+) -> HashSet<String> {
+    if let Some(hit) = memo.get(&at) {
+        return hit.clone();
+    }
+    let f = &ws.files[at.0].fns[at.1];
+    let mut acc: HashSet<String> = f.locks.iter().map(|l| l.class.clone()).collect();
+    // Seed the memo before recursing to break call cycles.
+    memo.insert(at, acc.clone());
+    if depth > 0 {
+        for call in &f.calls {
+            if let Some(next) = ws.resolve_call(call, at.0, &[]) {
+                if next != at {
+                    acc.extend(acquired_classes(ws, next, depth - 1, memo));
+                }
+            }
+        }
+    }
+    memo.insert(at, acc.clone());
+    acc
+}
+
+/// DFS cycle detection over the class digraph; each distinct cycle
+/// (by its set of classes) is reported once, with the edge examples.
+fn report_cycles(
+    edges: &HashMap<String, HashMap<String, (String, u32, String)>>,
+    out: &mut Vec<Finding>,
+) {
+    let mut nodes: Vec<&String> = edges.keys().collect();
+    nodes.sort();
+    let mut reported: HashSet<Vec<String>> = HashSet::new();
+    for start in nodes {
+        let mut stack = vec![(start.clone(), vec![start.clone()])];
+        let mut visited = HashSet::new();
+        while let Some((node, path)) = stack.pop() {
+            let Some(nexts) = edges.get(&node) else {
+                continue;
+            };
+            let mut keys: Vec<&String> = nexts.keys().collect();
+            keys.sort();
+            for next in keys {
+                if next == start {
+                    // Cycle closed.
+                    let mut key = path.clone();
+                    key.sort();
+                    if reported.insert(key) {
+                        let (file, line, func) = &nexts[next];
+                        out.push(Finding {
+                            rule: RULE_LOCK_ORDER,
+                            file: file.clone(),
+                            line: *line,
+                            message: format!(
+                                "lock-order cycle: {} -> {} (closing edge in `{func}`) — \
+                                 pick one global order",
+                                path.join(" -> "),
+                                start
+                            ),
+                        });
+                    }
+                    continue;
+                }
+                if path.contains(next) || !visited.insert(next.clone()) {
+                    continue;
+                }
+                let mut p = path.clone();
+                p.push(next.clone());
+                stack.push((next.clone(), p));
+            }
+        }
+    }
+}

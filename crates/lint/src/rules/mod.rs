@@ -1,0 +1,4 @@
+pub mod blocking;
+pub mod lockorder;
+pub mod panicpath;
+pub mod registry;

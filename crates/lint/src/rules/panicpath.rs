@@ -1,0 +1,49 @@
+//! Rule 4: **panic_path** — the daemon's long-running crates don't get
+//! to panic casually.
+//!
+//! `unwrap()`, `expect(..)`, the panicking macros and plain array
+//! indexing in non-test code under the configured crates each require
+//! an allow-comment saying why the site is infallible (or a rewrite to
+//! typed-error / log-and-degrade handling — preferred in hot paths).
+
+use crate::model::PanicKind;
+use crate::{Finding, LintConfig, Workspace, RULE_PANIC};
+
+pub fn check(ws: &Workspace, cfg: &LintConfig, out: &mut Vec<Finding>) {
+    for file in &ws.files {
+        if !cfg
+            .panic_dirs
+            .iter()
+            .any(|d| file.rel.starts_with(d.as_str()))
+        {
+            continue;
+        }
+        for f in &file.fns {
+            if f.is_test {
+                continue;
+            }
+            for p in &f.panics {
+                if file.lexed.allowed(RULE_PANIC, p.line) {
+                    continue;
+                }
+                let advice = match p.kind {
+                    PanicKind::Unwrap | PanicKind::Expect => {
+                        "handle the error or annotate why it is infallible"
+                    }
+                    PanicKind::Macro => "degrade gracefully or annotate why it is unreachable",
+                    PanicKind::Index => "use .get(..) or annotate why the index is in bounds",
+                };
+                out.push(Finding {
+                    rule: RULE_PANIC,
+                    file: file.rel.clone(),
+                    line: p.line,
+                    message: format!(
+                        "`{}` in `{}` on a daemon path — {advice} \
+                         (`// lint:allow(panic_path) -- <reason>`)",
+                        p.what, f.name
+                    ),
+                });
+            }
+        }
+    }
+}

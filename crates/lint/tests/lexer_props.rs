@@ -1,0 +1,104 @@
+//! Property tests for the lint tokenizer.
+//!
+//! The lexer is the foundation every rule stands on, and it runs over
+//! arbitrary workspace bytes — so it must be *total* (never panic, on
+//! any input) and must reliably skip the three places Rust hides
+//! arbitrary text: string literals, comments, and raw strings.
+
+use indaas_lint::lexer::{lex, TokKind};
+use proptest::prelude::*;
+
+/// Arbitrary bytes, lossily decoded the same way the lint reads files.
+fn byte_soup() -> impl Strategy<Value = String> {
+    proptest::collection::vec(any::<u8>(), 0..512)
+        .prop_map(|bytes| String::from_utf8_lossy(&bytes).into_owned())
+}
+
+/// Lowercase junk carrying a marker no real token shares; if the lexer
+/// fails to skip the region the junk is embedded in, the marker leaks
+/// out as an identifier token.
+fn marked_junk() -> impl Strategy<Value = String> {
+    proptest::collection::vec(97u8..123, 0..40)
+        .prop_map(|bytes| format!("zqmarker{}", String::from_utf8_lossy(&bytes)))
+}
+
+/// True when some identifier token leaked the marker.
+fn leaks_marker(src: &str) -> bool {
+    lex(src)
+        .tokens
+        .iter()
+        .any(|t| t.kind == TokKind::Ident && t.text.contains("zqmarker"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn lexing_byte_soup_never_panics(src in byte_soup()) {
+        let lexed = lex(&src);
+        // Line numbers stay 1-based even on soup.
+        prop_assert!(lexed.tokens.iter().all(|t| t.line >= 1));
+    }
+
+    #[test]
+    fn string_contents_never_become_tokens(junk in marked_junk()) {
+        let src = format!("let x = \"{junk}\";");
+        prop_assert!(!leaks_marker(&src));
+        let strs = lex(&src)
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .count();
+        prop_assert_eq!(strs, 1);
+    }
+
+    #[test]
+    fn line_comment_contents_never_become_tokens(junk in marked_junk()) {
+        let src = format!("alpha // {junk}\nomega");
+        prop_assert!(!leaks_marker(&src));
+        let lexed = lex(&src);
+        let idents: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        prop_assert_eq!(idents, vec!["alpha", "omega"]);
+    }
+
+    #[test]
+    fn block_comment_contents_never_become_tokens(junk in marked_junk()) {
+        let src = format!("alpha /* {junk} */ omega");
+        prop_assert!(!leaks_marker(&src));
+        let lexed = lex(&src);
+        let idents: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        prop_assert_eq!(idents, vec!["alpha", "omega"]);
+    }
+
+    #[test]
+    fn raw_string_contents_never_become_tokens(junk in marked_junk()) {
+        // A hash-fenced raw string may contain bare quotes.
+        let src = format!("let x = r#\"{junk} \" {junk}\"#;");
+        prop_assert!(!leaks_marker(&src));
+        let strs = lex(&src)
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .count();
+        prop_assert_eq!(strs, 1);
+    }
+
+    #[test]
+    fn truncated_input_never_panics(src in byte_soup(), cut in 0usize..512) {
+        // Chopping soup mid-literal / mid-comment must still lex.
+        let cut = cut.min(src.len());
+        if src.is_char_boundary(cut) {
+            lex(&src[..cut]);
+        }
+    }
+}

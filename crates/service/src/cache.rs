@@ -64,8 +64,8 @@ pub struct JobKey {
 /// for data-independent jobs. The `kind` tag keeps SIA and PIA jobs with
 /// coincidentally identical JSON from colliding.
 pub fn job_key<S: Serialize, T: Serialize>(scope: &S, kind: &str, spec: &T) -> JobKey {
-    let scope_json = serde_json::to_string(scope).expect("scopes always serialize");
-    let spec_json = serde_json::to_string(spec).expect("specs always serialize");
+    let scope_json = serde_json::to_string(scope).expect("scopes always serialize"); // lint:allow(panic_path) -- audit scopes are plain data; JSON serialization cannot fail
+    let spec_json = serde_json::to_string(spec).expect("specs always serialize"); // lint:allow(panic_path) -- audit specs are plain data; JSON serialization cannot fail
     let canonical = format!("{scope_json}\u{1f}{kind}\u{1f}{spec_json}");
     JobKey {
         hash: fnv1a(canonical.as_bytes()),

@@ -21,7 +21,7 @@
 use std::collections::HashMap;
 use std::io::{BufReader, Write};
 use std::net::{Shutdown, TcpStream, ToSocketAddrs};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex, PoisonError};
 use std::time::Duration;
 
 use indaas_core::AuditSpec;
@@ -245,7 +245,10 @@ struct SubRoutes {
 
 impl SessionShared {
     fn dead_reason(&self) -> Option<String> {
-        self.dead.lock().expect("session lock poisoned").clone()
+        self.dead
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
     }
 
     fn send_envelope(
@@ -260,7 +263,7 @@ impl SessionShared {
             trace: trace.map(|c| c.encode_header()),
         })
         .into_bytes();
-        let mut writer = self.writer.lock().expect("session lock poisoned");
+        let mut writer = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
         write_frame(&mut *writer, &frame)?;
         writer.flush()?;
         Ok(())
@@ -406,13 +409,13 @@ impl Client {
         self.shared
             .pending
             .lock()
-            .expect("session lock poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .insert(id, tx);
         if let Err(e) = self.shared.send_envelope(id, request, trace) {
             self.shared
                 .pending
                 .lock()
-                .expect("session lock poisoned")
+                .unwrap_or_else(PoisonError::into_inner)
                 .remove(&id);
             return Err(e);
         }
@@ -465,7 +468,11 @@ impl Client {
         match response {
             Response::Subscribed { subscription } => {
                 let (tx, rx) = mpsc::channel();
-                let mut subs = self.shared.subs.lock().expect("session lock poisoned");
+                let mut subs = self
+                    .shared
+                    .subs
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner);
                 // The initial event may already have arrived: replay it.
                 if let Some(stash) = subs.orphans.remove(&subscription) {
                     for event in stash {
@@ -493,7 +500,11 @@ impl Client {
         let response = self.request(&Request::Unsubscribe { subscription })?;
         match response {
             Response::Unsubscribed { .. } => {
-                let mut subs = self.shared.subs.lock().expect("session lock poisoned");
+                let mut subs = self
+                    .shared
+                    .subs
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner);
                 subs.channels.remove(&subscription);
                 subs.orphans.remove(&subscription);
                 Ok(())
@@ -760,7 +771,7 @@ impl PendingResponse {
                 self.shared
                     .pending
                     .lock()
-                    .expect("session lock poisoned")
+                    .unwrap_or_else(PoisonError::into_inner)
                     .remove(&self.id);
                 Err(ClientError::Protocol(format!(
                     "no response within {}ms (request id {})",
@@ -875,7 +886,11 @@ impl Iterator for Subscription {
 
 impl Drop for Subscription {
     fn drop(&mut self) {
-        let mut subs = self.shared.subs.lock().expect("session lock poisoned");
+        let mut subs = self
+            .shared
+            .subs
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         subs.channels.remove(&self.id);
         // Without a channel, events for this id would pile up in the
         // orphan stash for the life of the session — drop them too.
@@ -942,28 +957,28 @@ fn reader_loop(shared: &SessionShared, mut reader: BufReader<TcpStream>) {
         let slot = shared
             .pending
             .lock()
-            .expect("session lock poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .remove(&envelope.id);
         if let Some(tx) = slot {
             let _ = tx.send(envelope.body);
         }
         // No slot: the waiter timed out and abandoned it. Discard.
     };
-    *shared.dead.lock().expect("session lock poisoned") = Some(reason);
+    *shared.dead.lock().unwrap_or_else(PoisonError::into_inner) = Some(reason);
     // Dropping the senders unblocks every waiter and ends every
     // subscription iterator.
     shared
         .pending
         .lock()
-        .expect("session lock poisoned")
+        .unwrap_or_else(PoisonError::into_inner)
         .clear();
-    let mut subs = shared.subs.lock().expect("session lock poisoned");
+    let mut subs = shared.subs.lock().unwrap_or_else(PoisonError::into_inner);
     subs.channels.clear();
     subs.orphans.clear();
 }
 
 fn route_event(shared: &SessionShared, event: AuditEvent) {
-    let mut subs = shared.subs.lock().expect("session lock poisoned");
+    let mut subs = shared.subs.lock().unwrap_or_else(PoisonError::into_inner);
     let id = event.subscription;
     match subs.channels.get(&id) {
         Some(tx) => {

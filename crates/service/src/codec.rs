@@ -75,7 +75,7 @@ pub fn try_extract_frame(inbuf: &mut Vec<u8>, limit: u64) -> Result<Option<Vec<u
     let announced = u64::from(u32::from_be_bytes(
         inbuf[..FRAME_HEADER_BYTES]
             .try_into()
-            .expect("4-byte slice"),
+            .expect("4-byte slice"), // lint:allow(panic_path) -- the slice is exactly FRAME_HEADER_BYTES long
     ));
     if announced > limit {
         return Err(DecodeError::Oversized { announced, limit });
@@ -149,6 +149,8 @@ pub fn fill_buf(reader: &mut impl Read, inbuf: &mut Vec<u8>) -> io::Result<Fill>
     let start = inbuf.len();
     inbuf.resize(start + CHUNK, 0);
     loop {
+        // lint:allow(blocking_in_loop) -- the stream is registered nonblocking
+        // with the poller; read returns WouldBlock instead of parking
         match reader.read(&mut inbuf[start..]) {
             Ok(0) => {
                 inbuf.truncate(start);
@@ -174,7 +176,7 @@ pub fn fill_buf(reader: &mut impl Read, inbuf: &mut Vec<u8>) -> io::Result<Fill>
 /// Encodes one binary frame — the `u32` big-endian length prefix plus
 /// the payload — as the byte string [`WriteQueue::push`] takes.
 pub fn frame_bytes(payload: &[u8]) -> Vec<u8> {
-    let len = u32::try_from(payload.len()).expect("frame payload exceeds u32 length");
+    let len = u32::try_from(payload.len()).expect("frame payload exceeds u32 length"); // lint:allow(panic_path) -- payloads are in-process responses far below the 4 GiB frame ceiling
     let mut out = Vec::with_capacity(FRAME_HEADER_BYTES + payload.len());
     out.extend_from_slice(&len.to_be_bytes());
     out.extend_from_slice(payload);
@@ -247,6 +249,8 @@ impl WriteQueue {
     /// is dead.
     pub fn write_to(&mut self, writer: &mut impl Write) -> io::Result<WriteProgress> {
         while let Some(front) = self.messages.front() {
+            // lint:allow(blocking_in_loop) -- the stream is registered nonblocking
+            // with the poller; write returns WouldBlock instead of parking
             match writer.write(&front[self.head_sent..]) {
                 Ok(0) => {
                     return Err(io::Error::new(

@@ -89,6 +89,7 @@
 pub mod cache;
 pub mod client;
 pub mod codec;
+pub mod names;
 pub mod netloop;
 pub mod proto;
 pub mod scheduler;

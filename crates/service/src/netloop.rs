@@ -33,7 +33,7 @@ use std::io::{BufReader, Read};
 use std::net::{Shutdown, TcpListener, TcpStream};
 use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use indaas_core::{AuditSpec, CancelToken};
@@ -91,26 +91,26 @@ impl LoopShared {
     fn notify_conn(&self, token: u64) {
         self.ready
             .lock()
-            .expect("loop wake list poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .push(token);
         self.waker.wake();
     }
 
     fn take_ready(&self) -> Vec<u64> {
-        std::mem::take(&mut *self.ready.lock().expect("loop wake list poisoned"))
+        std::mem::take(&mut *self.ready.lock().unwrap_or_else(PoisonError::into_inner))
     }
 
     /// Queues a subscription trigger for debounced delivery.
     pub(crate) fn queue_push(&self, push: PendingPush) {
         self.pushes
             .lock()
-            .expect("debounce list poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .push(push);
         self.waker.wake();
     }
 
     fn take_pushes(&self) -> Vec<PendingPush> {
-        std::mem::take(&mut *self.pushes.lock().expect("debounce list poisoned"))
+        std::mem::take(&mut *self.pushes.lock().unwrap_or_else(PoisonError::into_inner))
     }
 }
 
@@ -295,7 +295,10 @@ pub(crate) fn run_loop(listener: TcpListener, state: &Arc<ServiceState>) -> std:
         ready: Mutex::new(Vec::new()),
         pushes: Mutex::new(Vec::new()),
     });
-    *state.loop_shared.lock().expect("loop shared poisoned") = Some(Arc::clone(&shared));
+    *state
+        .loop_shared
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner) = Some(Arc::clone(&shared));
     poller.add(listener.as_raw_fd(), LISTENER_TOKEN, Interest::READABLE)?;
     let mut timers = TimerWheel::new();
     if let Some(interval) = state.config.collect_interval {
@@ -313,7 +316,10 @@ pub(crate) fn run_loop(listener: TcpListener, state: &Arc<ServiceState>) -> std:
         draining: false,
     };
     let result = el.serve();
-    *state.loop_shared.lock().expect("loop shared poisoned") = None;
+    *state
+        .loop_shared
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner) = None;
     result
 }
 
@@ -345,7 +351,7 @@ impl EventLoop<'_> {
                 .timers
                 .next_deadline()
                 .map(|at| at.saturating_duration_since(Instant::now()));
-            let n = self.poller.wait(&mut events, timeout)?;
+            let n = self.poller.wait(&mut events, timeout)?; // lint:allow(blocking_in_loop) -- the loop's own poll wait: this is its idle point, not a stall
             self.state.telemetry.loop_wakeups_total.inc();
             self.state.telemetry.loop_ready_events.record(n as u64);
             for ev in events.iter().copied() {
@@ -407,7 +413,7 @@ impl EventLoop<'_> {
         let conn_id = self.state.next_conn_id.fetch_add(1, Ordering::Relaxed);
         // Sheds on this connection's outbox count both globally and
         // under a per-connection name, for the connection's lifetime.
-        let shed_name = format!("outbox_shed_conn_{conn_id}");
+        let shed_name = crate::names::outbox_shed_conn(conn_id);
         let conn_shed = self.state.telemetry.registry.counter(&shed_name);
         let outbox = Arc::new(Outbox::with_shed_counters(vec![
             Arc::clone(&self.state.telemetry.outbox_shed_total),
@@ -528,7 +534,7 @@ impl EventLoop<'_> {
             // Chaos hook: `svc.frame.read` severs the session at the
             // next frame (error/disconnect) or loses one request after
             // reading it off the wire (drop).
-            let read_fault = indaas_faultinj::point("svc.frame.read");
+            let read_fault = indaas_faultinj::point(indaas_faultinj::points::SVC_FRAME_READ);
             if matches!(
                 read_fault,
                 indaas_faultinj::FaultAction::Error | indaas_faultinj::FaultAction::Disconnect
@@ -856,7 +862,7 @@ impl EventLoop<'_> {
                 if conn.line_frames_queued > 0 {
                     conn.line_frames_queued -= 1;
                 } else if matches!(conn.mode, Mode::Frames) {
-                    let fault = indaas_faultinj::point("svc.frame.write");
+                    let fault = indaas_faultinj::point(indaas_faultinj::points::SVC_FRAME_WRITE);
                     if fault == indaas_faultinj::FaultAction::Drop {
                         continue;
                     }
@@ -918,7 +924,7 @@ impl EventLoop<'_> {
                 self.destroy(conn);
             }
             Verdict::HandOff { response, version } => self.hand_off(conn, *response, version),
-            Verdict::Rescan => unreachable!("Rescan never escapes process_inbuf"),
+            Verdict::Rescan => unreachable!("Rescan never escapes process_inbuf"), // lint:allow(panic_path) -- pump re-runs process_inbuf on Rescan; it never reaches finish
         }
     }
 

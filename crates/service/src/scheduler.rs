@@ -21,7 +21,7 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use indaas_core::CancelToken;
@@ -117,7 +117,7 @@ impl Scheduler {
                 std::thread::Builder::new()
                     .name(format!("indaas-audit-{i}"))
                     .spawn(move || worker_loop(&shared))
-                    .expect("spawn audit worker")
+                    .expect("spawn audit worker") // lint:allow(panic_path) -- workers spawn once at startup; a failed spawn is fatal misconfiguration
             })
             .collect();
         Scheduler {
@@ -145,7 +145,7 @@ impl Scheduler {
         // Chaos hook: `sched.dispatch` makes admission fail exactly like
         // a full queue (error/drop) or a closing pool (disconnect), so
         // callers exercise their shed-load paths on a healthy daemon.
-        match indaas_faultinj::point("sched.dispatch") {
+        match indaas_faultinj::point(indaas_faultinj::points::SCHED_DISPATCH) {
             indaas_faultinj::FaultAction::Pass => {}
             indaas_faultinj::FaultAction::Disconnect => return Err(SubmitError::ShuttingDown),
             _ => return Err(SubmitError::QueueFull),
@@ -160,7 +160,13 @@ impl Scheduler {
             enqueued: Instant::now(),
         };
         {
-            let mut queue = self.shared.queue.lock().expect("queue poisoned");
+            let mut queue = self
+                .shared
+                .queue
+                // lint:allow(blocking_in_loop) -- bounded short critical
+                // section; never held across blocking work
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
             if queue.len() >= self.shared.capacity {
                 return Err(SubmitError::QueueFull);
             }
@@ -176,7 +182,13 @@ impl Scheduler {
 
     /// Jobs admitted but not yet picked up by a worker.
     pub fn queued(&self) -> usize {
-        self.shared.queue.lock().expect("queue poisoned").len()
+        self.shared
+            .queue
+            // lint:allow(blocking_in_loop) -- bounded short critical
+            // section; never held across blocking work
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
     }
 
     /// Jobs currently executing.
@@ -199,7 +211,7 @@ impl Scheduler {
         let handles: Vec<_> = self
             .workers
             .lock()
-            .expect("scheduler workers poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .drain(..)
             .collect();
         for h in handles {
@@ -217,7 +229,7 @@ impl Drop for Scheduler {
 fn worker_loop(shared: &Shared) {
     loop {
         let job = {
-            let mut queue = shared.queue.lock().expect("queue poisoned");
+            let mut queue = shared.queue.lock().unwrap_or_else(PoisonError::into_inner);
             loop {
                 if let Some(job) = queue.pop_front() {
                     if let Some(m) = &shared.metrics {
@@ -228,7 +240,10 @@ fn worker_loop(shared: &Shared) {
                 if shared.shutdown.load(Ordering::Acquire) {
                     return;
                 }
-                queue = shared.available.wait(queue).expect("queue poisoned");
+                queue = shared
+                    .available
+                    .wait(queue)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
         };
         if let Some(m) = &shared.metrics {

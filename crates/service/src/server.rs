@@ -51,7 +51,7 @@ use std::io::{BufRead, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use indaas_core::{AuditSpec, AuditingAgent, CancelToken};
@@ -63,7 +63,10 @@ use indaas_obs::{format_trace_id, log as slog, Span, Trace, TraceContext, TraceS
 use indaas_pia::{rank_deployments_cancellable, PiaRanking, PsopConfig};
 use indaas_sia::AuditReport;
 
+use indaas_faultinj::points;
+
 use crate::cache::{job_key, AuditCache, EpochPins};
+use crate::names;
 use crate::netloop::{CrashGuard, LoopShared, PendingPush, ResponseSlot};
 use crate::proto::{
     decode_line, decode_payload, decode_traced_round_frame, encode_line, encode_payload,
@@ -449,7 +452,7 @@ impl Server {
             .state
             .federation
             .lock()
-            .expect("federation lock poisoned") = Some(engine);
+            .unwrap_or_else(PoisonError::into_inner) = Some(engine);
     }
 
     /// Registers a dependency collector the daemon re-runs on the
@@ -460,7 +463,7 @@ impl Server {
         self.state
             .collectors
             .lock()
-            .expect("collectors lock poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .push(collector);
     }
 
@@ -699,7 +702,11 @@ pub(crate) fn schedule_push_audit(
         let snapshot = st.db.snapshot();
         let pins = snapshot.pins_for_hosts(spec_hosts(&spec));
         let key = job_key(&pins, "sia", &spec);
-        let hit = st.sia_cache.lock().expect("cache lock poisoned").get(&key);
+        let hit = st
+            .sia_cache
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&key);
         let mut trace = Trace::new("push", format!("subscription {subscription}"));
         trace.pins = pins.clone();
         let (cached, result, stages) = match hit {
@@ -729,11 +736,10 @@ pub(crate) fn schedule_push_audit(
                     st.telemetry
                         .audit_sia_us
                         .record(started.elapsed().as_micros() as u64);
-                    st.sia_cache.lock().expect("cache lock poisoned").insert(
-                        key,
-                        pins,
-                        report.clone(),
-                    );
+                    st.sia_cache
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .insert(key, pins, report.clone());
                 }
                 let frame = envelope_frame(
                     EVENT_ENVELOPE_ID,
@@ -793,7 +799,7 @@ fn federation_engine(state: &ServiceState) -> Option<Arc<dyn FederationEngine>> 
     state
         .federation
         .lock()
-        .expect("federation lock poisoned")
+        .unwrap_or_else(PoisonError::into_inner)
         .clone()
 }
 
@@ -921,7 +927,7 @@ fn binary_peer_session_loop<R: BufRead>(
         // Chaos hook: `svc.frame.read` drops the peer session
         // (error/disconnect) or loses one round frame after reading it
         // (drop) — the sender's retry/re-dial path is what recovers.
-        let read_fault = indaas_faultinj::point("svc.frame.read");
+        let read_fault = indaas_faultinj::point(points::SVC_FRAME_READ);
         if matches!(
             read_fault,
             indaas_faultinj::FaultAction::Error | indaas_faultinj::FaultAction::Disconnect
@@ -987,7 +993,7 @@ fn initiate_shutdown(state: &ServiceState) {
     let shared = state
         .loop_shared
         .lock()
-        .expect("loop shared poisoned")
+        .unwrap_or_else(PoisonError::into_inner)
         .clone();
     match shared {
         Some(shared) => shared.wake(),
@@ -1294,7 +1300,7 @@ fn apply_mutation(
     state
         .sia_cache
         .lock()
-        .expect("cache lock poisoned")
+        .unwrap_or_else(PoisonError::into_inner)
         .purge_stale(&epochs);
     // The PIA cache is NOT purged: PIA results are a pure function of
     // the request's provider sets, never of the DepDB.
@@ -1311,7 +1317,7 @@ fn apply_mutation(
         state
             .loop_shared
             .lock()
-            .expect("loop shared poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .clone()
     } else {
         None
@@ -1344,7 +1350,10 @@ pub(crate) fn run_collectors(state: &Arc<ServiceState>) -> usize {
     // Phase 1: materialize. No DepDB lock is held anywhere in here.
     let mut collected: Vec<DependencyRecord> = Vec::new();
     {
-        let mut collectors = state.collectors.lock().expect("collectors lock poisoned");
+        let mut collectors = state
+            .collectors
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         for c in collectors.iter_mut() {
             for host in c.hosts() {
                 match c.collect(&host) {
@@ -1438,7 +1447,7 @@ fn admit_sia(
     if let Some(report) = state
         .sia_cache
         .lock()
-        .expect("cache lock poisoned")
+        .unwrap_or_else(PoisonError::into_inner)
         .get(&key)
     {
         let mut trace = Trace::new("sia", detail);
@@ -1503,7 +1512,7 @@ fn admit_sia(
             Ok(report) => {
                 st.sia_cache
                     .lock()
-                    .expect("cache lock poisoned")
+                    .unwrap_or_else(PoisonError::into_inner)
                     .insert(key, pins, report.clone());
                 Response::Sia {
                     epoch,
@@ -1555,7 +1564,7 @@ fn admit_pia(
     if let Some(rankings) = state
         .pia_cache
         .lock()
-        .expect("cache lock poisoned")
+        .unwrap_or_else(PoisonError::into_inner)
         .get(&key)
     {
         let mut trace = Trace::new("pia", detail);
@@ -1608,11 +1617,14 @@ fn admit_pia(
         telemetry.recorder.record(trace);
         let response = match result {
             Ok(rankings) => {
-                st.pia_cache.lock().expect("cache lock poisoned").insert(
-                    key,
-                    EpochPins::new(), // no pins: epoch-independent, never stale
-                    rankings.clone(),
-                );
+                st.pia_cache
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .insert(
+                        key,
+                        EpochPins::new(), // no pins: epoch-independent, never stale
+                        rankings.clone(),
+                    );
                 Response::Pia {
                     epoch,
                     cached: false,
@@ -1653,12 +1665,18 @@ fn status(state: &ServiceState) -> Response {
     let shard_epochs = snapshot.epochs().as_slice().to_vec();
     let counters = state.db.counters();
     let (sia_hits, sia_misses, sia_len) = {
-        let cache = state.sia_cache.lock().expect("cache lock poisoned");
+        let cache = state
+            .sia_cache
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         let (h, m) = cache.stats();
         (h, m, cache.len())
     };
     let (pia_hits, pia_misses, pia_len) = {
-        let cache = state.pia_cache.lock().expect("cache lock poisoned");
+        let cache = state
+            .pia_cache
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         let (h, m) = cache.stats();
         (h, m, cache.len())
     };
@@ -1703,38 +1721,48 @@ fn metrics(state: &ServiceState, recent: Option<usize>) -> Response {
     let registry = &telemetry.registry;
     let counters = state.db.counters();
     registry
-        .gauge("db_shard_writes")
+        .gauge(names::DB_SHARD_WRITES)
         .set(counters.shard_writes.iter().sum());
-    registry.gauge("db_lock_waits").set(counters.lock_waits);
+    registry
+        .gauge(names::DB_LOCK_WAITS)
+        .set(counters.lock_waits);
     let (sia_hits, sia_misses, sia_len) = {
-        let cache = state.sia_cache.lock().expect("cache lock poisoned");
+        let cache = state
+            .sia_cache
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         let (h, m) = cache.stats();
         (h, m, cache.len())
     };
     let (pia_hits, pia_misses, pia_len) = {
-        let cache = state.pia_cache.lock().expect("cache lock poisoned");
+        let cache = state
+            .pia_cache
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         let (h, m) = cache.stats();
         (h, m, cache.len())
     };
-    registry.gauge("cache_sia_hits").set(sia_hits);
-    registry.gauge("cache_sia_misses").set(sia_misses);
-    registry.gauge("cache_pia_hits").set(pia_hits);
-    registry.gauge("cache_pia_misses").set(pia_misses);
+    registry.gauge(names::CACHE_SIA_HITS).set(sia_hits);
+    registry.gauge(names::CACHE_SIA_MISSES).set(sia_misses);
+    registry.gauge(names::CACHE_PIA_HITS).set(pia_hits);
+    registry.gauge(names::CACHE_PIA_MISSES).set(pia_misses);
     registry
-        .gauge("cache_entries")
+        .gauge(names::CACHE_ENTRIES)
         .set((sia_len + pia_len) as u64);
     registry
-        .gauge("sched_queue_depth")
+        .gauge(names::SCHED_QUEUE_DEPTH)
         .set(state.scheduler.queued() as u64);
     registry
-        .gauge("sched_jobs_running")
+        .gauge(names::SCHED_JOBS_RUNNING)
         .set(state.scheduler.running() as u64);
-    registry.gauge("subscriptions").set(state.subs.len() as u64);
     registry
-        .gauge("active_conns")
+        .gauge(names::SUBSCRIPTIONS)
+        .set(state.subs.len() as u64);
+    registry
+        .gauge(names::ACTIVE_CONNS)
         .set(state.active_conns.load(Ordering::Relaxed) as u64);
     registry
-        .gauge("pushed_events")
+        .gauge(names::PUSHED_EVENTS)
         .set(state.pushed_events.load(Ordering::Relaxed));
     let snap = registry.snapshot();
     let recent = recent

@@ -24,7 +24,7 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use indaas_core::AuditSpec;
@@ -109,14 +109,14 @@ impl Outbox {
     /// and on close. At most one notifier is live; installing replaces
     /// the previous one.
     pub fn set_notifier(&self, hook: impl Fn() + Send + Sync + 'static) {
-        *self.notifier.lock().expect("outbox poisoned") = Some(Arc::new(hook));
+        *self.notifier.lock().unwrap_or_else(PoisonError::into_inner) = Some(Arc::new(hook));
     }
 
     fn notify(&self) {
         let hook = self
             .notifier
             .lock()
-            .expect("outbox poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .as_ref()
             .map(Arc::clone);
         if let Some(hook) = hook {
@@ -130,7 +130,7 @@ impl Outbox {
     /// connection died; the frame is dropped).
     pub fn push_response(&self, frame: Vec<u8>) -> bool {
         {
-            let mut inner = self.inner.lock().expect("outbox poisoned");
+            let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
             if inner.closed {
                 return false;
             }
@@ -151,7 +151,7 @@ impl Outbox {
     /// closed.
     pub fn push_event(&self, frame: Vec<u8>) -> bool {
         {
-            let mut inner = self.inner.lock().expect("outbox poisoned");
+            let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
             if inner.closed {
                 return false;
             }
@@ -176,7 +176,7 @@ impl Outbox {
     /// Blocks until a frame is available or the outbox is closed *and*
     /// drained; `None` means the writer should exit.
     pub fn pop(&self) -> Option<Vec<u8>> {
-        let mut inner = self.inner.lock().expect("outbox poisoned");
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         loop {
             if let Some(msg) = inner.queue.pop_front() {
                 if msg.event {
@@ -187,7 +187,10 @@ impl Outbox {
             if inner.closed {
                 return None;
             }
-            inner = self.ready.wait(inner).expect("outbox poisoned");
+            inner = self
+                .ready
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 
@@ -195,7 +198,7 @@ impl Outbox {
     /// queue is (currently) empty. The readiness loop's drain path —
     /// it never parks a thread on the condvar.
     pub fn try_pop(&self) -> Option<Vec<u8>> {
-        let mut inner = self.inner.lock().expect("outbox poisoned");
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         let msg = inner.queue.pop_front()?;
         if msg.event {
             inner.events -= 1;
@@ -205,13 +208,19 @@ impl Outbox {
 
     /// True once [`Outbox::close`] ran. Queued frames may still remain.
     pub fn is_closed(&self) -> bool {
-        self.inner.lock().expect("outbox poisoned").closed
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .closed
     }
 
     /// Closes the outbox: producers start dropping frames, and the
     /// drainer exits once the already-queued frames are written.
     pub fn close(&self) {
-        self.inner.lock().expect("outbox poisoned").closed = true;
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .closed = true;
         self.ready.notify_all();
         self.notify();
     }
@@ -222,7 +231,7 @@ impl Outbox {
     /// before the process exits. Returns true if the queue drained.
     pub fn drain(&self, timeout: Duration) -> bool {
         let deadline = Instant::now() + timeout;
-        let mut inner = self.inner.lock().expect("outbox poisoned");
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         loop {
             if inner.queue.is_empty() {
                 return true;
@@ -237,14 +246,17 @@ impl Outbox {
             let (i, _) = self
                 .ready
                 .wait_timeout(inner, (deadline - now).min(Duration::from_millis(20)))
-                .expect("outbox poisoned");
+                .unwrap_or_else(PoisonError::into_inner);
             inner = i;
         }
     }
 
     /// Events shed so far (slow-consumer back-pressure made visible).
     pub fn shed(&self) -> u64 {
-        self.inner.lock().expect("outbox poisoned").shed
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .shed
     }
 }
 
@@ -297,7 +309,7 @@ impl SubscriptionRegistry {
         outbox: Arc<Outbox>,
         conn: u64,
     ) -> Result<u64, String> {
-        let mut inner = self.inner.lock().expect("registry poisoned");
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         if inner.len() >= MAX_SUBSCRIPTIONS {
             return Err(format!(
                 "subscription limit reached ({MAX_SUBSCRIPTIONS} live subscriptions)"
@@ -323,7 +335,7 @@ impl SubscriptionRegistry {
     /// A human-readable message for unknown ids and cross-connection
     /// cancellation attempts.
     pub fn unregister(&self, id: u64, conn: u64) -> Result<(), String> {
-        let mut inner = self.inner.lock().expect("registry poisoned");
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         match inner.get(&id) {
             None => Err(format!("no such subscription: {id}")),
             Some(e) if e.conn != conn => {
@@ -340,7 +352,7 @@ impl SubscriptionRegistry {
     pub fn drop_conn(&self, conn: u64) {
         self.inner
             .lock()
-            .expect("registry poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .retain(|_, e| e.conn != conn);
     }
 
@@ -350,7 +362,7 @@ impl SubscriptionRegistry {
     /// ingests triggers each subscription once per wave, not once per
     /// batch it already caught up to.
     pub fn affected(&self, current: &EpochVector) -> Vec<Triggered> {
-        let mut inner = self.inner.lock().expect("registry poisoned");
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         let mut out = Vec::new();
         for (&id, entry) in inner.iter_mut() {
             let moved = entry
@@ -377,7 +389,7 @@ impl SubscriptionRegistry {
     /// these, so a watcher can tell a clean server drain from a dropped
     /// connection.
     pub fn subscriber_outboxes(&self) -> Vec<Arc<Outbox>> {
-        let inner = self.inner.lock().expect("registry poisoned");
+        let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         let mut seen = std::collections::HashSet::new();
         let mut out = Vec::new();
         for entry in inner.values() {
@@ -390,7 +402,10 @@ impl SubscriptionRegistry {
 
     /// Live subscriptions.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("registry poisoned").len()
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
     }
 
     /// True when no subscriptions are live.

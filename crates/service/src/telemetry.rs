@@ -70,6 +70,7 @@ use std::sync::{Arc, Mutex, PoisonError};
 use indaas_core::StageObserver;
 use indaas_obs::{Counter, FlightRecorder, Histo, Registry, SpanStore, Trace, TraceContext};
 
+use crate::names;
 use crate::proto::{MetricHisto, TraceEntry};
 use crate::scheduler::SchedMetrics;
 
@@ -141,53 +142,53 @@ impl Telemetry {
             "rg_bdd",
             "ranking",
         ] {
-            registry.histo(&stage_histo_name(stage));
+            registry.histo(&names::audit_stage_us(stage));
         }
         for gauge in [
-            "sched_queue_depth",
-            "sched_jobs_running",
-            "db_shard_writes",
-            "db_lock_waits",
-            "cache_sia_hits",
-            "cache_sia_misses",
-            "cache_pia_hits",
-            "cache_pia_misses",
-            "cache_entries",
-            "subscriptions",
-            "active_conns",
-            "pushed_events",
+            names::SCHED_QUEUE_DEPTH,
+            names::SCHED_JOBS_RUNNING,
+            names::DB_SHARD_WRITES,
+            names::DB_LOCK_WAITS,
+            names::CACHE_SIA_HITS,
+            names::CACHE_SIA_MISSES,
+            names::CACHE_PIA_HITS,
+            names::CACHE_PIA_MISSES,
+            names::CACHE_ENTRIES,
+            names::SUBSCRIPTIONS,
+            names::ACTIVE_CONNS,
+            names::PUSHED_EVENTS,
         ] {
             registry.gauge(gauge);
         }
-        registry.counter("sched_jobs_total");
-        registry.histo("sched_wait_us");
+        registry.counter(names::SCHED_JOBS_TOTAL);
+        registry.histo(names::SCHED_WAIT_US);
         Telemetry {
-            requests_total: registry.counter("requests_total"),
-            envelope_decode_us: registry.histo("envelope_decode_us"),
-            dispatch_us: registry.histo("dispatch_us"),
-            write_us: registry.histo("write_us"),
-            audits_sia_total: registry.counter("audits_sia_total"),
-            audits_pia_total: registry.counter("audits_pia_total"),
-            push_audits_total: registry.counter("push_audits_total"),
-            audit_sia_us: registry.histo("audit_sia_us"),
-            audit_pia_us: registry.histo("audit_pia_us"),
-            push_latency_us: registry.histo("push_latency_us"),
-            ingest_us: registry.histo("ingest_us"),
-            mutations_total: registry.counter("mutations_total"),
-            outbox_shed_total: registry.counter("outbox_shed_total"),
-            db_segment_saves_total: registry.counter("db_segment_saves_total"),
-            fed_wire_bytes_total: registry.counter("fed_wire_bytes_total"),
-            fed_rounds_total: registry.counter("fed_rounds_total"),
-            fed_frame_retries_total: registry.counter("fed_frame_retries_total"),
-            fed_redials_total: registry.counter("fed_redials_total"),
-            fed_party_failures_total: registry.counter("fed_party_failures_total"),
-            db_segments_quarantined_total: registry.counter("db_segments_quarantined_total"),
-            faults_injected_total: registry.counter("faults_injected_total"),
-            fed_party_us: registry.histo("fed_party_us"),
-            loop_wakeups_total: registry.counter("loop_wakeups_total"),
-            loop_ready_events: registry.histo("loop_ready_events"),
-            conn_registered: registry.gauge("conn_registered"),
-            write_queue_depth: registry.gauge("write_queue_depth"),
+            requests_total: registry.counter(names::REQUESTS_TOTAL),
+            envelope_decode_us: registry.histo(names::ENVELOPE_DECODE_US),
+            dispatch_us: registry.histo(names::DISPATCH_US),
+            write_us: registry.histo(names::WRITE_US),
+            audits_sia_total: registry.counter(names::AUDITS_SIA_TOTAL),
+            audits_pia_total: registry.counter(names::AUDITS_PIA_TOTAL),
+            push_audits_total: registry.counter(names::PUSH_AUDITS_TOTAL),
+            audit_sia_us: registry.histo(names::AUDIT_SIA_US),
+            audit_pia_us: registry.histo(names::AUDIT_PIA_US),
+            push_latency_us: registry.histo(names::PUSH_LATENCY_US),
+            ingest_us: registry.histo(names::INGEST_US),
+            mutations_total: registry.counter(names::MUTATIONS_TOTAL),
+            outbox_shed_total: registry.counter(names::OUTBOX_SHED_TOTAL),
+            db_segment_saves_total: registry.counter(names::DB_SEGMENT_SAVES_TOTAL),
+            fed_wire_bytes_total: registry.counter(names::FED_WIRE_BYTES_TOTAL),
+            fed_rounds_total: registry.counter(names::FED_ROUNDS_TOTAL),
+            fed_frame_retries_total: registry.counter(names::FED_FRAME_RETRIES_TOTAL),
+            fed_redials_total: registry.counter(names::FED_REDIALS_TOTAL),
+            fed_party_failures_total: registry.counter(names::FED_PARTY_FAILURES_TOTAL),
+            db_segments_quarantined_total: registry.counter(names::DB_SEGMENTS_QUARANTINED_TOTAL),
+            faults_injected_total: registry.counter(names::FAULTS_INJECTED_TOTAL),
+            fed_party_us: registry.histo(names::FED_PARTY_US),
+            loop_wakeups_total: registry.counter(names::LOOP_WAKEUPS_TOTAL),
+            loop_ready_events: registry.histo(names::LOOP_READY_EVENTS),
+            conn_registered: registry.gauge(names::CONN_REGISTERED),
+            write_queue_depth: registry.gauge(names::WRITE_QUEUE_DEPTH),
             registry,
             recorder,
             spans: SpanStore::new(SPAN_CAPACITY),
@@ -197,20 +198,16 @@ impl Telemetry {
     /// Handles the worker pool keeps current.
     pub fn sched_metrics(&self) -> SchedMetrics {
         SchedMetrics {
-            queue_depth: self.registry.gauge("sched_queue_depth"),
-            wait_us: self.registry.histo("sched_wait_us"),
-            jobs_total: self.registry.counter("sched_jobs_total"),
+            queue_depth: self.registry.gauge(names::SCHED_QUEUE_DEPTH),
+            wait_us: self.registry.histo(names::SCHED_WAIT_US),
+            jobs_total: self.registry.counter(names::SCHED_JOBS_TOTAL),
         }
     }
 
     /// The histogram an engine stage records into.
     pub fn stage_histo(&self, stage: &str) -> Arc<Histo> {
-        self.registry.histo(&stage_histo_name(stage))
+        self.registry.histo(&names::audit_stage_us(stage))
     }
-}
-
-fn stage_histo_name(stage: &str) -> String {
-    format!("audit_stage_{stage}_us")
 }
 
 /// A per-audit [`StageObserver`]: feeds each stage timing into the

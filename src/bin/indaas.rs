@@ -15,6 +15,7 @@ use std::process::ExitCode;
 
 use indaas::core::{AuditSpec, AuditingAgent, CandidateDeployment, RankingMetric, RgAlgorithm};
 use indaas::deps::{parse_records, DepDb, FailureProbModel, ShardedDepDb, SimCollector};
+use indaas::faultinj::points;
 use indaas::federation::{Federation, FederationCoordinator, PeerRegistry};
 use indaas::graph::to_dot;
 use indaas::obs::{
@@ -24,7 +25,7 @@ use indaas::pia::normalize::normalize_set;
 use indaas::pia::report::render_ranking;
 use indaas::pia::{rank_deployments, PsopConfig};
 use indaas::service::{
-    Client, MetricsAnswer, Request, ServeConfig, Server, SpanEntry, StatusAnswer, TraceEntry,
+    names, Client, MetricsAnswer, Request, ServeConfig, Server, SpanEntry, StatusAnswer, TraceEntry,
 };
 use indaas::sia::{build_fault_graph, BuildSpec};
 
@@ -140,9 +141,8 @@ OPTIONS:
                          <point>=<policy>[:prob][:seed] with policy one
                          of error|delay(MS)|drop|disconnect|crash, e.g.
                          --fault fed.frame.send=error:0.2:7. Points:
-                         svc.frame.read, svc.frame.write, fed.dial,
-                         fed.frame.send, sched.dispatch, db.save,
-                         db.load. Every firing is logged and counted in
+{fault_points}
+                         Every firing is logged and counted in
                          faults_injected_total; no --fault = zero cost
 
 PROTOCOL v2 (hello line, then multiplexed envelopes in binary frames):
@@ -157,6 +157,26 @@ PROTOCOL v1 (no Hello: line-delimited JSON, lock-step; still served):
   -> {\"FederateHello\": {...}}                  <- {\"FederateWelcome\": {...}}  (peer sessions)
   -> \"Status\" | \"Shutdown\"
 ";
+
+/// Renders `SERVE_USAGE` with the `--fault` point list generated from
+/// the registry ([`points::ALL`]), so the advertised points can never
+/// drift from the declared ones.
+fn serve_usage() -> String {
+    let indent = " ".repeat(25);
+    let mut lines: Vec<String> = Vec::new();
+    for (i, (name, _)) in points::ALL.iter().enumerate() {
+        let sep = if i + 1 == points::ALL.len() { "." } else { "," };
+        let word = format!("{name}{sep}");
+        match lines.last_mut() {
+            Some(line) if line.len() + 1 + word.len() <= 72 => {
+                line.push(' ');
+                line.push_str(&word);
+            }
+            _ => lines.push(format!("{indent}{word}")),
+        }
+    }
+    SERVE_USAGE.replace("{fault_points}", &lines.join("\n"))
+}
 
 const WATCH_USAGE: &str = "\
 indaas watch — subscribe to a deployment's audit and print every push
@@ -435,7 +455,7 @@ fn cmd_pia(args: &[String]) -> Result<(), String> {
 fn cmd_serve(args: &[String]) -> Result<(), String> {
     let flags = Flags { args };
     if flags.has("--help") || flags.has("-h") {
-        eprint!("{SERVE_USAGE}");
+        eprint!("{}", serve_usage());
         return Ok(());
     }
     let mut config = ServeConfig::default();
@@ -1215,45 +1235,45 @@ fn render_top(
         metrics.uptime_secs,
         status.epoch,
         status.records,
-        gauge("active_conns"),
+        gauge(names::ACTIVE_CONNS),
     );
     out.push_str(&format!(
         "rates:   {:.1} req/s   {:.1} audits/s   {:.1} ingests/s   {:.1} pushes/s\n",
-        rate("requests_total"),
-        rate("audits_sia_total") + rate("audits_pia_total"),
-        rate("mutations_total"),
-        rate("push_audits_total"),
+        rate(names::REQUESTS_TOTAL),
+        rate(names::AUDITS_SIA_TOTAL) + rate(names::AUDITS_PIA_TOTAL),
+        rate(names::MUTATIONS_TOTAL),
+        rate(names::PUSH_AUDITS_TOTAL),
     ));
     out.push_str(&format!(
         "cache:   {:.0}% hit   {} entries      queue: {} waiting, {} running\n",
         status.hit_ratio * 100.0,
         status.cache_entries,
-        gauge("sched_queue_depth"),
-        gauge("sched_jobs_running"),
+        gauge(names::SCHED_QUEUE_DEPTH),
+        gauge(names::SCHED_JOBS_RUNNING),
     ));
     out.push_str(&format!(
         "events:  {} pushed   {} shed      subs: {}\n",
         status.pushed_events,
-        metrics.counter("outbox_shed_total").unwrap_or(0),
+        metrics.counter(names::OUTBOX_SHED_TOTAL).unwrap_or(0),
         status.subscriptions,
     ));
     out.push_str(&format!(
         "loop:    {:.1} wakeups/s   {} conns registered   {} outbound bytes queued\n\n\
          stage latency (us):\n",
-        rate("loop_wakeups_total"),
-        gauge("conn_registered"),
-        gauge("write_queue_depth"),
+        rate(names::LOOP_WAKEUPS_TOTAL),
+        gauge(names::CONN_REGISTERED),
+        gauge(names::WRITE_QUEUE_DEPTH),
     ));
     for histo in &metrics.histos {
-        let interesting = histo.name.starts_with("audit_stage_")
+        let interesting = histo.name.starts_with(names::AUDIT_STAGE_PREFIX)
             || matches!(
                 histo.name.as_str(),
-                "audit_sia_us"
-                    | "audit_pia_us"
-                    | "push_latency_us"
-                    | "ingest_us"
-                    | "dispatch_us"
-                    | "loop_ready_events"
+                names::AUDIT_SIA_US
+                    | names::AUDIT_PIA_US
+                    | names::PUSH_LATENCY_US
+                    | names::INGEST_US
+                    | names::DISPATCH_US
+                    | names::LOOP_READY_EVENTS
             );
         if !interesting || histo.count == 0 {
             continue;

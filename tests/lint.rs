@@ -1,0 +1,26 @@
+//! Tier-1 gate: the workspace must lint clean.
+//!
+//! `indaas-lint` enforces the daemon's structural invariants — no
+//! blocking calls reachable from the readiness loop, disciplined lock
+//! nesting, every fault point and metric name declared once in its
+//! registry, and no unannotated panic paths in daemon code. A finding
+//! here is a real regression (or a missing reasoned
+//! `// lint:allow(..)` annotation), so the whole suite fails on one.
+
+use indaas_lint::{run, LintConfig};
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let findings = run(&LintConfig::workspace(root)).expect("lint walks the workspace");
+    assert!(
+        findings.is_empty(),
+        "indaas-lint found {} violation(s):\n{}",
+        findings.len(),
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
